@@ -1,0 +1,24 @@
+//! Criterion bench: nearest-neighbour queries in the perceptual space
+//! (the Table 2 operation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{DomainConfig, SyntheticDomain};
+
+fn bench_knn(c: &mut Criterion) {
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.5), 3).unwrap();
+    let space = crowddb_core::build_space_for_domain(&domain, 50, 10).unwrap();
+    let mut group = c.benchmark_group("knn");
+    for &k in &[5usize, 20] {
+        group.bench_with_input(BenchmarkId::new("nearest_neighbors", k), &k, |b, &k| {
+            let mut query = 0u32;
+            b.iter(|| {
+                query = (query + 17) % space.len() as u32;
+                space.nearest_neighbors(query, k).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn);
+criterion_main!(benches);

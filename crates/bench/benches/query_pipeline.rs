@@ -1,0 +1,45 @@
+//! Criterion bench: end-to-end query execution in the crowd-enabled
+//! database — factual queries (no expansion) and the full query-driven
+//! schema expansion pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowddb_core::{CrowdDb, CrowdDbConfig, ExpansionStrategy, ExtractionConfig, SimulatedCrowd};
+use crowdsim::ExperimentRegime;
+use datagen::{DomainConfig, SyntheticDomain};
+
+fn make_db(domain: &SyntheticDomain, space: perceptual::PerceptualSpace) -> CrowdDb {
+    let crowd = SimulatedCrowd::new(domain, ExperimentRegime::TrustedWorkers, 9);
+    let mut db = CrowdDb::new(CrowdDbConfig {
+        strategy: ExpansionStrategy::PerceptualSpace {
+            gold_sample_size: 60,
+            extraction: ExtractionConfig::default(),
+        },
+        ..Default::default()
+    });
+    db.load_domain("movies", domain, space, Box::new(crowd)).unwrap();
+    db.register_attribute("movies", "is_comedy", "Comedy").unwrap();
+    db
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.1), 4).unwrap();
+    let space = crowddb_core::build_space_for_domain(&domain, 16, 10).unwrap();
+
+    c.bench_function("factual_select", |b| {
+        let mut db = make_db(&domain, space.clone());
+        b.iter(|| db.execute("SELECT name FROM movies WHERE year < 1990 ORDER BY year LIMIT 20").unwrap())
+    });
+
+    let mut group = c.benchmark_group("schema_expansion_end_to_end");
+    group.sample_size(10);
+    group.bench_function("perceptual_strategy", |b| {
+        b.iter(|| {
+            let mut db = make_db(&domain, space.clone());
+            db.execute("SELECT item_id FROM movies WHERE is_comedy = true").unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

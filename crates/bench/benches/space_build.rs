@@ -1,0 +1,41 @@
+//! Criterion bench: building the perceptual space (Section 4.2 reports
+//! ~2 hours for 103M ratings on a notebook; here we measure SGD epochs per
+//! second on the synthetic domain so the scaling is visible).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{DomainConfig, SyntheticDomain};
+use perceptual::{EuclideanEmbeddingConfig, EuclideanEmbeddingModel, SvdConfig, SvdModel};
+
+fn bench_space_build(c: &mut Criterion) {
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.1), 1).unwrap();
+    let mut group = c.benchmark_group("space_build");
+    group.sample_size(10);
+    for &dims in &[16usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::new("euclidean_sgd_5_epochs", dims), &dims, |b, &dims| {
+            b.iter(|| {
+                let config = EuclideanEmbeddingConfig {
+                    dimensions: dims,
+                    epochs: 5,
+                    learning_rate: 0.02,
+                    ..Default::default()
+                };
+                EuclideanEmbeddingModel::train(domain.ratings(), &config).unwrap()
+            })
+        });
+    }
+    group.bench_function("svd_sgd_5_epochs_d50", |b| {
+        b.iter(|| {
+            let config = SvdConfig {
+                dimensions: 50,
+                epochs: 5,
+                learning_rate: 0.02,
+                ..Default::default()
+            };
+            SvdModel::train(domain.ratings(), &config).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_space_build);
+criterion_main!(benches);

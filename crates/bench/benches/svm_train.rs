@@ -1,0 +1,34 @@
+//! Criterion bench: SVM training and batch classification.
+//!
+//! Section 4.2 reports ~0.5 s to retrain the SVM during a running crowd task
+//! and ~3 s for a full Table 3 classification run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowddb_core::{extract_binary_attribute, ExtractionConfig};
+use datagen::{DomainConfig, SyntheticDomain};
+use mlkit::LabeledDataset;
+
+fn bench_svm(c: &mut Criterion) {
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.25), 2).unwrap();
+    let space = crowddb_core::build_space_for_domain(&domain, 24, 15).unwrap();
+    let labels = domain.labels_for_category(0);
+    let dataset = LabeledDataset::new(space.all_coordinates().to_vec(), labels.clone()).unwrap();
+
+    let mut group = c.benchmark_group("svm_train_and_classify_all");
+    group.sample_size(10);
+    for &n in &[10usize, 40, 100] {
+        let sample = dataset.balanced_sample(n, 3).unwrap();
+        let labeled: Vec<(u32, bool)> = sample
+            .train_indices
+            .iter()
+            .map(|&i| (i as u32, labels[i]))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &labeled, |b, labeled| {
+            b.iter(|| extract_binary_attribute(&space, labeled, &ExtractionConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svm);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Design-choice ablation — rating sparsity ("scarce data", Section 5).
+//!
+//! Section 5 discusses what happens in less popular domains where only few
+//! ratings are available: "only little can be learned about an item's
+//! properties … if no or only very few ratings are available", but active
+//! core users go a long way.  The ablation subsamples the rating collection
+//! to various fractions, rebuilds the space, and measures the downstream
+//! extraction quality.
+
+use bench::{fmt_gmean, mean_small_sample_gmean, print_header, ExperimentScale};
+use datagen::{DomainConfig, SyntheticDomain};
+use perceptual::{EuclideanEmbeddingConfig, EuclideanEmbeddingModel, Rating, RatingDataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("Generating the movie domain (scale factor {}) …", scale.domain_factor);
+    let domain = SyntheticDomain::generate(
+        &DomainConfig::movies().scaled(scale.domain_factor),
+        15015,
+    )
+    .expect("domain");
+    let labels = domain.labels_for_category(0); // Comedy
+    let all: Vec<Rating> = domain.ratings().ratings().to_vec();
+    let mut rng = StdRng::seed_from_u64(123);
+
+    print_header(
+        "Ablation: rating sparsity vs extraction quality",
+        &format!(
+            "{:<16} {:>12} {:>14} {:>20}",
+            "ratings kept", "#ratings", "density", "comedy g-mean (n=40)"
+        ),
+    );
+
+    for &fraction in &[1.0f64, 0.5, 0.25, 0.1, 0.05, 0.02] {
+        let mut subset = all.clone();
+        subset.shuffle(&mut rng);
+        subset.truncate(((all.len() as f64) * fraction) as usize);
+        let dataset = match RatingDataset::from_ratings(
+            domain.ratings().n_items(),
+            domain.ratings().n_users(),
+            subset,
+        ) {
+            Ok(d) => d,
+            Err(_) => continue,
+        };
+        let config = EuclideanEmbeddingConfig {
+            dimensions: scale.space_dimensions,
+            epochs: scale.space_epochs,
+            learning_rate: 0.02,
+            ..Default::default()
+        };
+        let model = EuclideanEmbeddingModel::train(&dataset, &config).expect("embedding");
+        let space = model.to_space();
+        let g = mean_small_sample_gmean(
+            &space,
+            &labels,
+            40,
+            scale.repetitions.min(3),
+            1100 + (fraction * 100.0) as u64,
+        );
+        println!(
+            "{:<15.0}% {:>12} {:>13.3}% {:>20}",
+            fraction * 100.0,
+            dataset.len(),
+            dataset.density() * 100.0,
+            fmt_gmean(g)
+        );
+    }
+
+    println!(
+        "\nExpected shape: extraction quality degrades gracefully as ratings are removed and \
+         collapses toward the 0.5 random baseline only at extreme sparsity — matching the \
+         paper's 'scarce data' discussion."
+    );
+}

@@ -1,0 +1,75 @@
+//! Design-choice ablation — Euclidean embedding vs. dot-product SVD model.
+//!
+//! Section 3.3 argues for the Euclidean embedding because, unlike the
+//! classic SVD factor model, its item coordinates come with a meaningful
+//! distance.  The ablation builds both spaces from the same ratings and runs
+//! the Table 3 small-sample extraction on each, confirming that the
+//! Euclidean space supports attribute extraction at least as well — and that
+//! both rating-based spaces dwarf the metadata/LSI baseline.
+
+use bench::{
+    fmt_gmean, mean_small_sample_gmean, print_header, ExperimentScale, MovieContext,
+};
+use perceptual::{SvdConfig, SvdModel};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("Building the movie context (scale factor {}) …", scale.domain_factor);
+    let ctx = MovieContext::build(scale, 13013);
+
+    println!("Training the SVD (dot-product) factor model on the same ratings …");
+    let svd = SvdModel::train(
+        ctx.domain.ratings(),
+        &SvdConfig {
+            dimensions: scale.space_dimensions,
+            epochs: scale.space_epochs,
+            learning_rate: 0.02,
+            ..Default::default()
+        },
+    )
+    .expect("svd model");
+    let svd_space = svd.to_space();
+
+    print_header(
+        "Ablation: factor model choice (mean g-mean across genres)",
+        &format!(
+            "{:<10} {:>12} {:>12} {:>12}",
+            "n", "Euclidean", "SVD", "Metadata/LSI"
+        ),
+    );
+
+    for &n in &[10usize, 20, 40] {
+        let mut sums = [0.0f64; 3];
+        let mut counts = [0usize; 3];
+        for cat_idx in 0..ctx.domain.category_names().len() {
+            let labels = ctx.domain.labels_for_category(cat_idx);
+            for (slot, space) in [&ctx.space, &svd_space, &ctx.metadata_space].iter().enumerate() {
+                if let Some(g) = mean_small_sample_gmean(
+                    space,
+                    &labels,
+                    n,
+                    scale.repetitions,
+                    700 + cat_idx as u64,
+                ) {
+                    sums[slot] += g;
+                    counts[slot] += 1;
+                }
+            }
+        }
+        let mean =
+            |slot: usize| (counts[slot] > 0).then(|| sums[slot] / counts[slot] as f64);
+        println!(
+            "{:<10} {:>12} {:>12} {:>12}",
+            n,
+            fmt_gmean(mean(0)),
+            fmt_gmean(mean(1)),
+            fmt_gmean(mean(2))
+        );
+    }
+
+    println!(
+        "\nExpected shape: both rating-based spaces carry the perceptual signal (g-means well \
+         above 0.5 and rising with n) while the metadata space does not; the Euclidean embedding \
+         is competitive with or better than the SVD factors, justifying the paper's model choice."
+    );
+}

@@ -1,0 +1,85 @@
+//! Section 5 — Semi-supervised learning: TSVM vs. plain SVM.
+//!
+//! The paper repeats the Table 3 experiment with a transductive SVM and
+//! finds almost identical accuracy (mean g-means 0.70 / 0.77 / 0.79) but
+//! runtimes of ~90 minutes per classification instead of ~3 seconds, ruling
+//! the method out for real-time crowd-sourcing.  The harness compares the
+//! two classifiers on the same balanced samples and reports both g-mean and
+//! wall-clock time.
+
+use std::time::Instant;
+
+use bench::{print_header, ExperimentScale, MovieContext};
+use mlkit::{BinaryConfusion, Kernel, LabeledDataset, SvmClassifier, SvmParams, TsvmClassifier, TsvmParams};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("Building the movie context (scale factor {}) …", scale.domain_factor);
+    let ctx = MovieContext::build(scale, 12012);
+    let labels = ctx.domain.labels_for_category(0); // Comedy
+    let dataset =
+        LabeledDataset::new(ctx.space.all_coordinates().to_vec(), labels.clone()).unwrap();
+
+    print_header(
+        "Section 5 ablation: supervised SVM vs transductive SVM",
+        &format!(
+            "{:<8} {:>12} {:>12} {:>14} {:>14}",
+            "n", "SVM g-mean", "TSVM g-mean", "SVM time (s)", "TSVM time (s)"
+        ),
+    );
+
+    // The TSVM sees a bounded number of unlabeled items; its cost grows
+    // quadratically, which is exactly the effect the paper reports.
+    let unlabeled_cap = 400.min(ctx.space.len());
+    for &n in &[10usize, 20, 40] {
+        let sample = match dataset.balanced_sample(n, 77 + n as u64) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let kernel = Kernel::rbf_for_dim(ctx.space.dimensions());
+        let svm_params = SvmParams {
+            kernel,
+            c: 10.0,
+            ..Default::default()
+        };
+
+        let start = Instant::now();
+        let svm =
+            SvmClassifier::train(sample.train.features(), sample.train.labels(), &svm_params)
+                .expect("svm");
+        let svm_pred: Vec<bool> = sample.eval.features().iter().map(|x| svm.predict(x)).collect();
+        let svm_time = start.elapsed().as_secs_f64();
+        let svm_gmean =
+            BinaryConfusion::from_predictions(&svm_pred, sample.eval.labels()).gmean();
+
+        let unlabeled: Vec<Vec<f64>> =
+            sample.eval.features().iter().take(unlabeled_cap).cloned().collect();
+        let start = Instant::now();
+        let tsvm = TsvmClassifier::train(
+            sample.train.features(),
+            sample.train.labels(),
+            &unlabeled,
+            &TsvmParams {
+                base: svm_params.clone(),
+                ..Default::default()
+            },
+        )
+        .expect("tsvm");
+        let tsvm_pred: Vec<bool> =
+            sample.eval.features().iter().map(|x| tsvm.predict(x)).collect();
+        let tsvm_time = start.elapsed().as_secs_f64();
+        let tsvm_gmean =
+            BinaryConfusion::from_predictions(&tsvm_pred, sample.eval.labels()).gmean();
+
+        println!(
+            "{:<8} {:>12.2} {:>12.2} {:>14.3} {:>14.3}",
+            n, svm_gmean, tsvm_gmean, svm_time, tsvm_time
+        );
+    }
+
+    println!(
+        "\nPaper reference: TSVM g-means 0.70 / 0.77 / 0.79 (vs 0.69 / 0.76 / 0.80 for the SVM) \
+         but ~90 minutes per run against ~3 seconds.  Expected shape: near-identical quality, \
+         order(s)-of-magnitude slower transductive training."
+    );
+}

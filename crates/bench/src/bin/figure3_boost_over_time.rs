@@ -1,0 +1,110 @@
+//! Figure 3 — Correctly classified movies over (relative) time.
+//!
+//! Experiments 4–6 of the paper re-use the judgment streams of Experiments
+//! 1–3 and, every few minutes, retrain an SVM on the movies that already
+//! have a crowd majority, then classify all 1,000 movies from the perceptual
+//! space.  The figure plots correctly classified movies against the fraction
+//! of the task's total runtime for all six curves (three crowd-only, three
+//! boosted).
+//!
+//! The harness prints the same series as a table: one row per 10 % of the
+//! relative runtime, one column per experiment.
+
+use bench::{print_header, ExperimentScale, MovieContext};
+use crowddb_core::{evaluate_boost_over_time, BoostCurve, ExtractionConfig};
+use crowdsim::ExperimentRegime;
+use datagen::CategoryOracle;
+
+struct RegimeCurves {
+    name: &'static str,
+    curve: BoostCurve,
+    total_minutes: f64,
+}
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("Building the movie context (scale factor {}) …", scale.domain_factor);
+    let ctx = MovieContext::build(scale, 5005);
+    let category = ctx.domain.category_index("Comedy").unwrap();
+    let truth = ctx.domain.labels_for_category(category);
+    let oracle = CategoryOracle::new(&ctx.domain, category);
+    let sample_size = ctx.domain.items().len().min(1000);
+    let items: Vec<u32> = (0..sample_size as u32).collect();
+
+    let mut results = Vec::new();
+    for (regime, name, seed) in [
+        (ExperimentRegime::AllWorkers, "Exp1/4 (all workers)", 51u64),
+        (ExperimentRegime::TrustedWorkers, "Exp2/5 (trusted)", 52),
+        (ExperimentRegime::LookupWithGold, "Exp3/6 (lookup)", 53),
+    ] {
+        println!("Simulating {name} …");
+        let pool = regime.worker_pool(seed);
+        let config = regime.hit_config(items.len());
+        let run = crowdsim::CrowdPlatform::new(config)
+            .run(&items, &oracle, &pool, seed + 100)
+            .expect("crowd run");
+        let judgments = match regime {
+            ExperimentRegime::LookupWithGold => run.trusted_judgments(),
+            _ => run.judgments.clone(),
+        };
+        let filtered_run = crowdsim::CrowdRun {
+            judgments,
+            ..run
+        };
+        let curve = evaluate_boost_over_time(
+            &filtered_run,
+            &ctx.space,
+            &items,
+            &truth,
+            filtered_run.total_minutes / 10.0,
+            &ExtractionConfig::default(),
+        )
+        .expect("boost curve");
+        results.push(RegimeCurves {
+            name,
+            total_minutes: filtered_run.total_minutes,
+            curve,
+        });
+    }
+
+    print_header(
+        &format!(
+            "Figure 3: correctly classified movies (of {}) over relative time",
+            items.len()
+        ),
+        &format!(
+            "{:>9} | {:>11} {:>11} | {:>11} {:>11} | {:>11} {:>11}",
+            "rel.time",
+            "crowd 1", "boost 4", "crowd 2", "boost 5", "crowd 3", "boost 6"
+        ),
+    );
+    let steps = results.iter().map(|r| r.curve.checkpoints.len()).max().unwrap_or(0);
+    for step in 0..steps {
+        let rel = (step + 1) as f64 / steps as f64;
+        let mut row = format!("{:>8.0}% |", rel * 100.0);
+        for r in &results {
+            match r.curve.checkpoints.get(step) {
+                Some(c) => {
+                    row.push_str(&format!(
+                        " {:>11} {:>11}",
+                        c.crowd_correct,
+                        c.boosted_correct.map_or("-".into(), |b| b.to_string())
+                    ));
+                }
+                None => row.push_str(&format!(" {:>11} {:>11}", "-", "-")),
+            }
+            row.push_str(" |");
+        }
+        println!("{}", row.trim_end_matches(" |"));
+    }
+
+    println!("\nTotal runtimes (simulated minutes):");
+    for r in &results {
+        println!("  {:<22} {:>7.0} min", r.name, r.total_minutes);
+    }
+    println!(
+        "\nPaper reference (1,000 movies): after 15 min Exp4 classifies 538 correctly vs 349 for \
+         crowd-only Exp1; Exp5 reaches 654 after 15 min; Exp6 reaches 732 after 15 min; final \
+         values 670 / 766 / 831 for the boosted runs vs 533 / 636 / 903 for the crowd."
+    );
+}

@@ -1,0 +1,70 @@
+//! Section 4.2 — Correlation between perceptual-space distances and the
+//! user consensus on movie similarity.
+//!
+//! The paper reports a Pearson correlation of 0.52 between distances in the
+//! perceptual space and the consensus of user studies on perceived movie
+//! similarity — roughly as high as the agreement of an individual user with
+//! that consensus (0.55).  We cannot rerun a human user study, so the
+//! harness simulates it: the "consensus dissimilarity" of two movies is the
+//! (noisy) disagreement of their ground-truth category sets plus latent
+//! distance, and the "individual user" adds further personal noise.
+
+use bench::{ExperimentScale, MovieContext};
+use mlkit::pearson_correlation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("Building the movie context (scale factor {}) …", scale.domain_factor);
+    let ctx = MovieContext::build(scale, 11011);
+    let mut rng = StdRng::seed_from_u64(4242);
+    let n_items = ctx.domain.items().len();
+
+    // Sample random movie pairs and build the simulated consensus.
+    let n_pairs = 2_000.min(n_items * (n_items - 1) / 2);
+    let mut space_distance = Vec::with_capacity(n_pairs);
+    let mut consensus = Vec::with_capacity(n_pairs);
+    let mut individual_user = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        let a = rng.gen_range(0..n_items) as u32;
+        let mut b = rng.gen_range(0..n_items) as u32;
+        while b == a {
+            b = rng.gen_range(0..n_items) as u32;
+        }
+        let item_a = ctx.domain.item(a).unwrap();
+        let item_b = ctx.domain.item(b).unwrap();
+        // Consensus dissimilarity: latent-trait distance plus category
+        // disagreement, plus a little noise (user studies are noisy too).
+        let latent: f64 = item_a
+            .latent
+            .iter()
+            .zip(item_b.latent.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        let disagreement = item_a
+            .categories
+            .iter()
+            .zip(item_b.categories.iter())
+            .filter(|(x, y)| x != y)
+            .count() as f64;
+        let base = latent + 0.5 * disagreement;
+        consensus.push(base + 0.3 * rng.gen::<f64>());
+        individual_user.push(base + 1.8 * (rng.gen::<f64>() - 0.5) * base.max(1.0));
+        space_distance.push(ctx.space.distance(a, b).unwrap());
+    }
+
+    let space_vs_consensus = pearson_correlation(&space_distance, &consensus);
+    let user_vs_consensus = pearson_correlation(&individual_user, &consensus);
+
+    println!("\n=== Section 4.2: distance correlation with the user consensus ===");
+    println!("movie pairs sampled                    : {n_pairs}");
+    println!("perceptual-space distance vs consensus : Pearson r = {space_vs_consensus:.2}");
+    println!("simulated individual user vs consensus : Pearson r = {user_vs_consensus:.2}");
+    println!(
+        "\nPaper reference: space vs consensus 0.52, average individual user vs consensus 0.55 — \
+         the space is about as accurate as a single human judge.  Expected shape here: both \
+         correlations are of comparable magnitude and clearly positive."
+    );
+}

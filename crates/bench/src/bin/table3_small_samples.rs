@@ -1,0 +1,104 @@
+//! Table 3 — Automatic schema expansion from small samples.
+//!
+//! For each of the six shared genres the paper draws n ∈ {10, 20, 40}
+//! positive and n negative training movies (20 random repetitions), trains
+//! an SVM on (a) the perceptual space and (b) the LSI metadata space, and
+//! reports the g-mean over the remaining 10,562 movies, next to the g-mean
+//! of the three individual expert databases against the majority reference.
+//!
+//! Paper means: perceptual 0.69 / 0.76 / 0.80, metadata 0.50 / 0.41 / 0.44,
+//! references Netflix 0.91, RT 0.94, IMDb 0.95, random baseline 0.50.
+
+use bench::{
+    fmt_gmean, labeling_gmean, mean_small_sample_gmean, print_header, ExperimentScale,
+    MovieContext,
+};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!(
+        "Building the movie context (scale factor {}, {} repetitions) …",
+        scale.domain_factor, scale.repetitions
+    );
+    let ctx = MovieContext::build(scale, 7007);
+    let ns = [10usize, 20, 40];
+
+    print_header(
+        "Table 3: automatic schema expansion from small samples (g-mean)",
+        &format!(
+            "{:<14} {:>6} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} | {:>8} {:>6} {:>6}",
+            "Genre", "Random", "P n=10", "P n=20", "P n=40", "M n=10", "M n=20", "M n=40",
+            "Netflix", "RT", "IMDb"
+        ),
+    );
+
+    let mut sums = vec![0.0f64; 9];
+    let mut counts = vec![0usize; 9];
+    for (cat_idx, genre) in ctx.domain.category_names().iter().enumerate() {
+        let labels = ctx.domain.labels_for_category(cat_idx);
+        let reference = ctx.experts.majority(cat_idx);
+
+        let mut row = format!("{:<14} {:>6.2} |", genre, 0.50);
+        let mut cell = |value: Option<f64>, slot: usize, row: &mut String| {
+            row.push_str(&format!(" {:>6}", fmt_gmean(value)));
+            if let Some(v) = value {
+                sums[slot] += v;
+                counts[slot] += 1;
+            }
+        };
+
+        for (i, &n) in ns.iter().enumerate() {
+            let g = mean_small_sample_gmean(&ctx.space, &labels, n, scale.repetitions, 100 + cat_idx as u64);
+            cell(g, i, &mut row);
+        }
+        row.push_str(" |");
+        for (i, &n) in ns.iter().enumerate() {
+            let g = mean_small_sample_gmean(
+                &ctx.metadata_space,
+                &labels,
+                n,
+                scale.repetitions,
+                200 + cat_idx as u64,
+            );
+            cell(g, 3 + i, &mut row);
+        }
+        row.push_str(" |");
+        for (i, source) in ctx.experts.sources().iter().enumerate() {
+            let g = labeling_gmean(source.category_labels(cat_idx), &reference);
+            let width = if i == 0 { 8 } else { 6 };
+            row.push_str(&format!(" {:>width$.2}", g, width = width));
+            sums[6 + i] += g;
+            counts[6 + i] += 1;
+        }
+        println!("{row}");
+    }
+
+    let mean = |slot: usize| {
+        if counts[slot] == 0 {
+            "  - ".to_string()
+        } else {
+            format!("{:.2}", sums[slot] / counts[slot] as f64)
+        }
+    };
+    println!(
+        "{:<14} {:>6.2} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} | {:>8} {:>6} {:>6}",
+        "Mean",
+        0.50,
+        mean(0),
+        mean(1),
+        mean(2),
+        mean(3),
+        mean(4),
+        mean(5),
+        mean(6),
+        mean(7),
+        mean(8)
+    );
+
+    println!(
+        "\nPaper means: perceptual 0.69 / 0.76 / 0.80; metadata 0.50 / 0.41 / 0.44; \
+         references Netflix 0.91, RT 0.94, IMDb 0.95.\n\
+         Expected shape: perceptual g-means rise with n and clearly beat the metadata space, \
+         which hovers at or below the 0.50 random baseline; expert references stay above 0.9."
+    );
+}

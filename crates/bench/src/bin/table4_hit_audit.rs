@@ -1,0 +1,101 @@
+//! Table 4 — Automatic identification of questionable HIT responses.
+//!
+//! For each genre the paper swaps the labels of x ∈ {5 %, 10 %, 20 %} of all
+//! movies, trains an SVM on the (corrupted) labels over the perceptual
+//! space, flags every movie whose label disagrees with the model, and
+//! reports precision / recall of the flags against the known swaps — once
+//! for the perceptual space and once for the metadata space (20 runs each).
+//!
+//! Paper means (perceptual): 0.46/0.88, 0.60/0.89, 0.73/0.88 for x = 5, 10,
+//! 20 %; metadata space: 0.09/0.40, 0.10/0.31, 0.16/0.31.
+
+use bench::{print_header, ExperimentScale, MovieContext};
+use crowddb_core::{audit_binary_labels, ExtractionConfig};
+use mlkit::LabeledDataset;
+use perceptual::PerceptualSpace;
+
+fn audit_mean(
+    space: &PerceptualSpace,
+    labels: &[bool],
+    corruption: f64,
+    repetitions: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let dataset = LabeledDataset::new(space.all_coordinates().to_vec(), labels.to_vec())
+        .expect("dataset");
+    let mut precision_sum = 0.0;
+    let mut recall_sum = 0.0;
+    let mut runs = 0;
+    for rep in 0..repetitions {
+        let (corrupted, swapped) = dataset.with_swapped_labels(corruption, seed + rep as u64);
+        let swapped: Vec<u32> = swapped.iter().map(|&i| i as u32).collect();
+        let outcome =
+            audit_binary_labels(space, corrupted.labels(), &ExtractionConfig::default())
+                .expect("audit");
+        let (p, r) = outcome.precision_recall(&swapped);
+        precision_sum += p;
+        recall_sum += r;
+        runs += 1;
+    }
+    (precision_sum / runs as f64, recall_sum / runs as f64)
+}
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!(
+        "Building the movie context (scale factor {}, {} repetitions) …",
+        scale.domain_factor, scale.repetitions
+    );
+    let ctx = MovieContext::build(scale, 8008);
+    let corruption_levels = [0.05, 0.10, 0.20];
+
+    print_header(
+        "Table 4: identification of questionable HIT responses (precision / recall)",
+        &format!(
+            "{:<14} | {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12}",
+            "Genre", "P x=5%", "P x=10%", "P x=20%", "M x=5%", "M x=10%", "M x=20%"
+        ),
+    );
+
+    let mut totals = vec![(0.0f64, 0.0f64); 6];
+    let n_genres = ctx.domain.category_names().len();
+    for (cat_idx, genre) in ctx.domain.category_names().iter().enumerate() {
+        let labels = ctx.domain.labels_for_category(cat_idx);
+        let mut row = format!("{:<14} |", genre);
+        for (slot, &x) in corruption_levels.iter().enumerate() {
+            let (p, r) = audit_mean(&ctx.space, &labels, x, scale.repetitions, 300 + cat_idx as u64);
+            totals[slot].0 += p;
+            totals[slot].1 += r;
+            row.push_str(&format!(" {:>5.2}/{:>5.2} ", p, r));
+        }
+        row.push_str("|");
+        for (slot, &x) in corruption_levels.iter().enumerate() {
+            let (p, r) =
+                audit_mean(&ctx.metadata_space, &labels, x, scale.repetitions, 400 + cat_idx as u64);
+            totals[3 + slot].0 += p;
+            totals[3 + slot].1 += r;
+            row.push_str(&format!(" {:>5.2}/{:>5.2} ", p, r));
+        }
+        println!("{row}");
+    }
+
+    let mut mean_row = format!("{:<14} |", "Mean");
+    for (slot, (p, r)) in totals.iter().enumerate() {
+        if slot == 3 {
+            mean_row.push_str("|");
+        }
+        mean_row.push_str(&format!(
+            " {:>5.2}/{:>5.2} ",
+            p / n_genres as f64,
+            r / n_genres as f64
+        ));
+    }
+    println!("{mean_row}");
+
+    println!(
+        "\nPaper means (perceptual space): 0.46/0.88 at 5%, 0.60/0.89 at 10%, 0.73/0.88 at 20%; \
+         metadata space: 0.09/0.40, 0.10/0.31, 0.16/0.31.\n\
+         Expected shape: recall stays high (~0.85+) across corruption levels, precision grows \
+         with x, and the metadata space is far worse on both."
+    );
+}

@@ -1,0 +1,77 @@
+//! Table 6 — Automatic schema expansion from small samples: board games.
+//!
+//! The Table 3 protocol on the BoardGameGeek-like domain (20 categories,
+//! 1–10 ratings).  Paper means: 0.63 / 0.68 / 0.73 for n = 10 / 20 / 40;
+//! the paper highlights that truly perceptual categories such as "Party
+//! Game" are identified much better than factual ones such as "Modular
+//! Board" — the same contrast the harness prints.
+
+use bench::{
+    build_domain_and_space, fmt_gmean, mean_small_sample_gmean, print_header, ExperimentScale,
+};
+use datagen::DomainConfig;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!(
+        "Building the board-game domain (scale factor {}, {} repetitions) …",
+        scale.domain_factor, scale.repetitions
+    );
+    let (domain, space) = build_domain_and_space(&DomainConfig::board_games(), scale, 10010);
+    let ns = [10usize, 20, 40];
+
+    print_header(
+        "Table 6: schema expansion from small samples — board games (g-mean)",
+        &format!("{:<26} {:>8} {:>8} {:>8}", "Category", "n = 10", "n = 20", "n = 40"),
+    );
+
+    let mut sums = [0.0f64; 3];
+    let mut counts = [0usize; 3];
+    let mut perceptual_40 = Vec::new();
+    let mut factual_40 = Vec::new();
+    for (cat_idx, category) in domain.category_names().iter().enumerate() {
+        let labels = domain.labels_for_category(cat_idx);
+        let spec = &domain.config().categories[cat_idx];
+        let mut row = format!("{:<26}", category);
+        for (slot, &n) in ns.iter().enumerate() {
+            let g = mean_small_sample_gmean(&space, &labels, n, scale.repetitions, 600 + cat_idx as u64);
+            if let Some(v) = g {
+                sums[slot] += v;
+                counts[slot] += 1;
+                if slot == 2 {
+                    if spec.perceptual_strength >= 0.5 {
+                        perceptual_40.push(v);
+                    } else {
+                        factual_40.push(v);
+                    }
+                }
+            }
+            row.push_str(&format!(" {:>8}", fmt_gmean(g)));
+        }
+        println!("{row}");
+    }
+    println!(
+        "{:<26} {:>8} {:>8} {:>8}",
+        "Mean",
+        fmt_gmean((counts[0] > 0).then(|| sums[0] / counts[0] as f64)),
+        fmt_gmean((counts[1] > 0).then(|| sums[1] / counts[1] as f64)),
+        fmt_gmean((counts[2] > 0).then(|| sums[2] / counts[2] as f64)),
+    );
+
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    println!(
+        "\nAt n = 40: perceptual categories mean g-mean {:.2}, mostly-factual categories {:.2}.",
+        mean(&perceptual_40),
+        mean(&factual_40)
+    );
+    println!(
+        "Paper means: 0.63 / 0.68 / 0.73; 'Party Game' 0.71 vs 'Modular Board' 0.52 at n = 40 — \
+         perceptual categories are extracted much better than factual ones."
+    );
+}

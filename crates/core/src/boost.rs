@@ -1,0 +1,248 @@
+//! Boosting a running crowd task with the perceptual space (Section 4.2,
+//! Experiments 4–6; Figures 3 and 4).
+//!
+//! While a direct crowd-sourcing task is still running, the judgments that
+//! have already arrived are periodically aggregated by majority vote and
+//! used as a training set for the perceptual-space extractor.  The extractor
+//! then classifies *all* items — including those no worker has judged yet —
+//! so that at any point in time (or at any amount of money spent) the
+//! database has a complete, and usually far more accurate, column than the
+//! raw crowd data alone.
+
+use crowdsim::{majority_vote, CrowdRun};
+use perceptual::{ItemId, PerceptualSpace};
+
+use crate::extraction::{extract_binary_attribute, ExtractionConfig};
+use crate::Result;
+
+/// One checkpoint of the boost curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoostCheckpoint {
+    /// Simulation minutes elapsed.
+    pub minutes: f64,
+    /// Money spent so far (dollars).
+    pub cost: f64,
+    /// Number of judgments available at this point.
+    pub judgments: usize,
+    /// Number of items with a crowd majority verdict.
+    pub crowd_classified: usize,
+    /// Of those, how many match the ground truth (the "crowd only" curve of
+    /// Figure 3).
+    pub crowd_correct: usize,
+    /// Size of the extractor training set (items with a clear majority).
+    pub training_size: usize,
+    /// Number of items classified correctly by the space-boosted extractor
+    /// (always out of *all* items — coverage is 100 % once a model exists).
+    pub boosted_correct: Option<usize>,
+}
+
+/// A full boost curve: one checkpoint per evaluation interval.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BoostCurve {
+    /// Checkpoints in chronological order.
+    pub checkpoints: Vec<BoostCheckpoint>,
+}
+
+impl BoostCurve {
+    /// The final checkpoint (if any).
+    pub fn last(&self) -> Option<&BoostCheckpoint> {
+        self.checkpoints.last()
+    }
+
+    /// The earliest checkpoint at which the boosted classification reaches
+    /// `target` correct items, if it ever does.
+    pub fn first_reaching(&self, target: usize) -> Option<&BoostCheckpoint> {
+        self.checkpoints
+            .iter()
+            .find(|c| c.boosted_correct.map_or(false, |b| b >= target))
+    }
+}
+
+/// Replays a crowd run and evaluates, every `interval_minutes`, both the raw
+/// majority-vote classification and the space-boosted classification against
+/// the ground truth.
+///
+/// * `items` — the payload items (in the order used for ground truth).
+/// * `truth` — ground-truth labels indexable by item id.
+/// * The extractor is retrained at every checkpoint on the majority-labeled
+///   items available at that time, exactly as in Experiments 4–6 ("every 5
+///   minutes, all movies currently classified by the crowd-workers are added
+///   to it").
+pub fn evaluate_boost_over_time(
+    run: &CrowdRun,
+    space: &PerceptualSpace,
+    items: &[ItemId],
+    truth: &[bool],
+    interval_minutes: f64,
+    extraction: &ExtractionConfig,
+) -> Result<BoostCurve> {
+    let mut curve = BoostCurve::default();
+    if run.judgments.is_empty() || interval_minutes <= 0.0 {
+        return Ok(curve);
+    }
+    let total_minutes = run.total_minutes.max(interval_minutes);
+    let mut t = interval_minutes;
+    while t < total_minutes + interval_minutes {
+        let now = t.min(total_minutes);
+        let available = run.judgments_until(now);
+        let cost = available.last().map_or(0.0, |j| j.cumulative_cost);
+        let verdicts = majority_vote(&available, items);
+
+        let mut crowd_classified = 0;
+        let mut crowd_correct = 0;
+        let mut training: Vec<(ItemId, bool)> = Vec::new();
+        for v in &verdicts {
+            if let Some(label) = v.verdict {
+                crowd_classified += 1;
+                if label == truth[v.item as usize] {
+                    crowd_correct += 1;
+                }
+                training.push((v.item, label));
+            }
+        }
+
+        // Train the extractor when the training set contains both classes.
+        let has_both = training.iter().any(|(_, l)| *l) && training.iter().any(|(_, l)| !*l);
+        let boosted_correct = if has_both {
+            let predicted = extract_binary_attribute(space, &training, extraction)?;
+            Some(
+                items
+                    .iter()
+                    .filter(|&&item| predicted[item as usize] == truth[item as usize])
+                    .count(),
+            )
+        } else {
+            None
+        };
+
+        curve.checkpoints.push(BoostCheckpoint {
+            minutes: now,
+            cost,
+            judgments: available.len(),
+            crowd_classified,
+            crowd_correct,
+            training_size: training.len(),
+            boosted_correct,
+        });
+
+        if (now - total_minutes).abs() < f64::EPSILON {
+            break;
+        }
+        t += interval_minutes;
+    }
+    Ok(curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdsim::{CrowdPlatform, ExperimentRegime, FnOracle, HitConfig};
+
+    /// A perceptual space in which the ground truth is linearly separable,
+    /// and a matching oracle for the crowd.
+    fn setup(n: usize) -> (PerceptualSpace, Vec<ItemId>, Vec<bool>) {
+        let coords: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let offset = if i % 3 == 0 { 2.5 } else { 0.0 };
+                vec![offset + ((i * 17 % 7) as f64) * 0.1, offset - ((i * 5 % 3) as f64) * 0.1]
+            })
+            .collect();
+        let truth: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let items: Vec<ItemId> = (0..n as u32).collect();
+        (PerceptualSpace::new(coords).unwrap(), items, truth)
+    }
+
+    #[test]
+    fn boost_curve_improves_over_crowd_alone() {
+        let (space, items, truth) = setup(120);
+        let oracle = FnOracle::new(|i| i % 3 == 0, |_| 0.35);
+        let pool = ExperimentRegime::TrustedWorkers.worker_pool(3);
+        let run = CrowdPlatform::new(HitConfig::default())
+            .run(&items, &oracle, &pool, 4)
+            .unwrap();
+        let curve = evaluate_boost_over_time(
+            &run,
+            &space,
+            &items,
+            &truth,
+            run.total_minutes / 10.0,
+            &ExtractionConfig::default(),
+        )
+        .unwrap();
+        assert!(curve.checkpoints.len() >= 5);
+        // Judgments and cost are monotone over time.
+        for w in curve.checkpoints.windows(2) {
+            assert!(w[0].judgments <= w[1].judgments);
+            assert!(w[0].cost <= w[1].cost + 1e-9);
+            assert!(w[0].minutes < w[1].minutes + 1e-9);
+        }
+        let last = curve.last().unwrap();
+        // The boosted classification covers all items and beats the raw
+        // crowd majority (which cannot classify unknown movies at all).
+        let boosted = last.boosted_correct.expect("extractor must have been trained");
+        assert!(
+            boosted > last.crowd_correct,
+            "boosted {boosted} vs crowd {}",
+            last.crowd_correct
+        );
+        assert!(boosted as f64 / items.len() as f64 > 0.8);
+        // Early on, the boosted classification already reaches a level the
+        // raw crowd needs much longer for (the Figure 3 shape).
+        let early = &curve.checkpoints[curve.checkpoints.len() / 3];
+        if let Some(b) = early.boosted_correct {
+            assert!(b >= early.crowd_correct);
+        }
+    }
+
+    #[test]
+    fn first_reaching_finds_the_earliest_checkpoint() {
+        let curve = BoostCurve {
+            checkpoints: vec![
+                BoostCheckpoint {
+                    minutes: 1.0,
+                    cost: 0.1,
+                    judgments: 10,
+                    crowd_classified: 5,
+                    crowd_correct: 3,
+                    training_size: 5,
+                    boosted_correct: None,
+                },
+                BoostCheckpoint {
+                    minutes: 2.0,
+                    cost: 0.2,
+                    judgments: 20,
+                    crowd_classified: 10,
+                    crowd_correct: 7,
+                    training_size: 10,
+                    boosted_correct: Some(50),
+                },
+            ],
+        };
+        assert_eq!(curve.first_reaching(40).unwrap().minutes, 2.0);
+        assert!(curve.first_reaching(60).is_none());
+        assert_eq!(curve.last().unwrap().minutes, 2.0);
+    }
+
+    #[test]
+    fn empty_run_produces_empty_curve() {
+        let (space, items, truth) = setup(30);
+        let run = CrowdRun {
+            judgments: vec![],
+            total_minutes: 0.0,
+            total_cost: 0.0,
+            excluded_workers: vec![],
+            hits_completed: 0,
+        };
+        let curve = evaluate_boost_over_time(
+            &run,
+            &space,
+            &items,
+            &truth,
+            5.0,
+            &ExtractionConfig::default(),
+        )
+        .unwrap();
+        assert!(curve.checkpoints.is_empty());
+        assert!(curve.last().is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! Crowd-sourcing backends for the crowd-enabled database.
+//!
+//! The database itself is agnostic of where human judgments come from; it
+//! talks to a [`CrowdSource`].  The provided [`SimulatedCrowd`] drives the
+//! `crowdsim` platform against a synthetic domain's ground truth, which is
+//! what the reproduction uses everywhere; a production system would put an
+//! actual crowd-sourcing service (Mechanical Turk, CrowdFlower, …) behind
+//! the same trait.
+
+use crowdsim::{CrowdPlatform, CrowdRun, ExperimentRegime, LabelOracle};
+use datagen::{CategoryOracle, SyntheticDomain};
+
+use crate::error::CrowdDbError;
+use crate::Result;
+
+/// A source of human judgments for a perceptual attribute.
+pub trait CrowdSource {
+    /// Collects judgments for `items` concerning `attribute`.
+    ///
+    /// `attribute` is the *domain concept* the workers are asked about (e.g.
+    /// the category name `"Comedy"`), not the SQL column name.
+    fn collect(&mut self, items: &[u32], attribute: &str, seed: u64) -> Result<CrowdRun>;
+
+    /// A short description of the source (used in expansion reports).
+    fn describe(&self) -> String;
+}
+
+/// A [`CrowdSource`] backed by the crowd simulator and a synthetic domain.
+///
+/// The struct owns a clone of the domain's ground truth (labels and
+/// familiarity per category), so it does not borrow the domain and can be
+/// boxed into the database.
+pub struct SimulatedCrowd {
+    category_names: Vec<String>,
+    labels: Vec<Vec<bool>>,
+    familiarity: Vec<f64>,
+    regime: ExperimentRegime,
+    seed: u64,
+}
+
+impl SimulatedCrowd {
+    /// Creates a simulated crowd for a domain under a given experiment
+    /// regime.
+    pub fn new(domain: &SyntheticDomain, regime: ExperimentRegime, seed: u64) -> Self {
+        let category_names = domain.category_names();
+        let labels = (0..category_names.len())
+            .map(|c| domain.labels_for_category(c))
+            .collect();
+        let familiarity = domain.items().iter().map(|i| i.familiarity).collect();
+        SimulatedCrowd {
+            category_names,
+            labels,
+            familiarity,
+            regime,
+            seed,
+        }
+    }
+
+    /// The regime this crowd simulates.
+    pub fn regime(&self) -> ExperimentRegime {
+        self.regime
+    }
+}
+
+struct SnapshotOracle<'a> {
+    labels: &'a [bool],
+    familiarity: &'a [f64],
+}
+
+impl LabelOracle for SnapshotOracle<'_> {
+    fn true_label(&self, item: u32) -> bool {
+        self.labels.get(item as usize).copied().unwrap_or(false)
+    }
+
+    fn familiarity(&self, item: u32) -> f64 {
+        self.familiarity.get(item as usize).copied().unwrap_or(0.0)
+    }
+}
+
+impl CrowdSource for SimulatedCrowd {
+    fn collect(&mut self, items: &[u32], attribute: &str, seed: u64) -> Result<CrowdRun> {
+        let category = self
+            .category_names
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(attribute))
+            .ok_or_else(|| {
+                CrowdDbError::Configuration(format!(
+                    "the simulated crowd has no ground truth for attribute '{attribute}'"
+                ))
+            })?;
+        let oracle = SnapshotOracle {
+            labels: &self.labels[category],
+            familiarity: &self.familiarity,
+        };
+        let pool = self.regime.worker_pool(self.seed.wrapping_add(seed));
+        let config = self.regime.hit_config(items.len());
+        let run = CrowdPlatform::new(config).run(items, &oracle, &pool, self.seed ^ seed)?;
+        Ok(run)
+    }
+
+    fn describe(&self) -> String {
+        format!("simulated crowd ({})", self.regime.name())
+    }
+}
+
+/// Convenience constructor: a simulated crowd that answers questions about
+/// one specific category via a [`CategoryOracle`].  Useful in tests that
+/// only care about a single attribute.
+pub fn single_category_crowd(
+    domain: &SyntheticDomain,
+    category: usize,
+    regime: ExperimentRegime,
+    seed: u64,
+) -> SimulatedCrowd {
+    // Reuse SimulatedCrowd but check the category exists early.
+    let _ = CategoryOracle::new(domain, category);
+    SimulatedCrowd::new(domain, regime, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::DomainConfig;
+
+    fn domain() -> SyntheticDomain {
+        SyntheticDomain::generate(&DomainConfig::movies().scaled(0.03), 11).unwrap()
+    }
+
+    #[test]
+    fn simulated_crowd_collects_judgments_for_known_attributes() {
+        let d = domain();
+        let mut crowd = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 1);
+        assert_eq!(crowd.regime(), ExperimentRegime::TrustedWorkers);
+        assert!(crowd.describe().contains("Trusted"));
+        let items: Vec<u32> = (0..30).collect();
+        let run = crowd.collect(&items, "Comedy", 2).unwrap();
+        assert_eq!(run.judgments.len(), 300);
+        // Case-insensitive attribute matching.
+        assert!(crowd.collect(&items, "comedy", 3).is_ok());
+    }
+
+    #[test]
+    fn unknown_attributes_are_rejected() {
+        let d = domain();
+        let mut crowd = SimulatedCrowd::new(&d, ExperimentRegime::AllWorkers, 1);
+        let err = crowd.collect(&[0, 1, 2], "Excitement", 4);
+        assert!(matches!(err, Err(CrowdDbError::Configuration(_))));
+    }
+
+    #[test]
+    fn single_category_constructor_validates_index() {
+        let d = domain();
+        let crowd = single_category_crowd(&d, 0, ExperimentRegime::AllWorkers, 5);
+        assert_eq!(crowd.regime(), ExperimentRegime::AllWorkers);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_category_constructor_panics_on_bad_index() {
+        let d = domain();
+        let _ = single_category_crowd(&d, 99, ExperimentRegime::AllWorkers, 5);
+    }
+}

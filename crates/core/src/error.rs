@@ -1,0 +1,93 @@
+//! Error type of the crowd-enabled database.
+
+use std::fmt;
+
+/// Errors produced by the crowd-enabled database layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrowdDbError {
+    /// An error bubbled up from the relational engine.
+    Relational(relational::RelationalError),
+    /// An error bubbled up from the perceptual-space crate.
+    Perceptual(perceptual::PerceptualError),
+    /// An error bubbled up from the machine-learning toolkit.
+    Learning(mlkit::MlError),
+    /// An error bubbled up from the crowd simulator.
+    Crowd(crowdsim::CrowdError),
+    /// A query references an attribute that is neither in the schema nor
+    /// registered for expansion.
+    UnknownAttribute {
+        /// The table that was queried.
+        table: String,
+        /// The unresolvable attribute.
+        attribute: String,
+    },
+    /// The database is mis-configured (missing space, missing crowd source,
+    /// unregistered table, …).
+    Configuration(String),
+}
+
+impl fmt::Display for CrowdDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrowdDbError::Relational(e) => write!(f, "relational error: {e}"),
+            CrowdDbError::Perceptual(e) => write!(f, "perceptual space error: {e}"),
+            CrowdDbError::Learning(e) => write!(f, "learning error: {e}"),
+            CrowdDbError::Crowd(e) => write!(f, "crowd error: {e}"),
+            CrowdDbError::UnknownAttribute { table, attribute } => write!(
+                f,
+                "attribute {attribute} of table {table} is not in the schema and not registered for expansion"
+            ),
+            CrowdDbError::Configuration(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CrowdDbError {}
+
+impl From<relational::RelationalError> for CrowdDbError {
+    fn from(e: relational::RelationalError) -> Self {
+        CrowdDbError::Relational(e)
+    }
+}
+
+impl From<perceptual::PerceptualError> for CrowdDbError {
+    fn from(e: perceptual::PerceptualError) -> Self {
+        CrowdDbError::Perceptual(e)
+    }
+}
+
+impl From<mlkit::MlError> for CrowdDbError {
+    fn from(e: mlkit::MlError) -> Self {
+        CrowdDbError::Learning(e)
+    }
+}
+
+impl From<crowdsim::CrowdError> for CrowdDbError {
+    fn from(e: crowdsim::CrowdError) -> Self {
+        CrowdDbError::Crowd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CrowdDbError = relational::RelationalError::UnknownTable("movies".into()).into();
+        assert!(e.to_string().contains("movies"));
+        let e: CrowdDbError = perceptual::PerceptualError::InvalidConfig("d = 0".into()).into();
+        assert!(e.to_string().contains("d = 0"));
+        let e: CrowdDbError = mlkit::MlError::MissingClass { positive: true }.into();
+        assert!(e.to_string().contains("positive"));
+        let e: CrowdDbError = crowdsim::CrowdError::InvalidConfig("no items".into()).into();
+        assert!(e.to_string().contains("no items"));
+        let e = CrowdDbError::UnknownAttribute {
+            table: "movies".into(),
+            attribute: "humor".into(),
+        };
+        assert!(e.to_string().contains("humor"));
+        let e = CrowdDbError::Configuration("no crowd source".into());
+        assert!(e.to_string().contains("no crowd source"));
+    }
+}

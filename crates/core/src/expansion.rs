@@ -1,0 +1,151 @@
+//! Schema-expansion strategies and reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::extraction::ExtractionConfig;
+
+/// How the values of a newly added perceptual attribute are obtained.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExpansionStrategy {
+    /// Naïve crowd-sourcing: every item is judged by the crowd and the
+    /// majority vote is stored; items without a majority stay `NULL`.
+    /// This is the baseline of Section 4.1.
+    DirectCrowd,
+    /// Query-driven schema expansion via the perceptual space (Section 3.4):
+    /// only `gold_sample_size` items are crowd-sourced; an SVM trained on
+    /// their space coordinates fills in all remaining items.
+    PerceptualSpace {
+        /// Number of items sent to the crowd as the gold training sample.
+        gold_sample_size: usize,
+        /// Extraction (SVM) configuration.
+        extraction: ExtractionConfig,
+    },
+}
+
+impl ExpansionStrategy {
+    /// The perceptual-space strategy with the paper's defaults: a gold
+    /// sample of 100 items ("Crowd workers have to provide reliable
+    /// judgments for, say, 100 movies") and the default SVM setup.
+    pub fn perceptual_default() -> Self {
+        ExpansionStrategy::PerceptualSpace {
+            gold_sample_size: 100,
+            extraction: ExtractionConfig::default(),
+        }
+    }
+
+    /// A short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExpansionStrategy::DirectCrowd => "direct crowd-sourcing",
+            ExpansionStrategy::PerceptualSpace { .. } => "perceptual-space extraction",
+        }
+    }
+}
+
+impl Default for ExpansionStrategy {
+    fn default() -> Self {
+        ExpansionStrategy::perceptual_default()
+    }
+}
+
+/// One stage of the expansion workflow (Figure 2 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpansionStage {
+    /// The query referenced an attribute missing from the schema.
+    MissingAttributeDetected,
+    /// The column was added to the table schema.
+    ColumnAdded,
+    /// HITs were dispatched to the crowd.
+    CrowdSourcingStarted,
+    /// Crowd judgments were aggregated by majority vote.
+    JudgmentsAggregated,
+    /// The extractor (SVM) was trained on the gold sample.
+    ExtractorTrained,
+    /// Attribute values were materialized for all rows.
+    ColumnMaterialized,
+    /// The original query was re-executed.
+    QueryReExecuted,
+}
+
+/// A report describing one schema expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpansionReport {
+    /// The table that was expanded.
+    pub table: String,
+    /// The SQL name of the new column.
+    pub column: String,
+    /// The domain concept the crowd was asked about.
+    pub attribute: String,
+    /// Name of the strategy used.
+    pub strategy: String,
+    /// Stages executed, in order (the Figure 2 workflow trace).
+    pub stages: Vec<ExpansionStage>,
+    /// Number of items whose value was sent to the crowd.
+    pub items_crowd_sourced: usize,
+    /// Number of crowd judgments collected.
+    pub judgments_collected: usize,
+    /// Number of rows whose value was filled (non-`NULL`) after expansion.
+    pub rows_filled: usize,
+    /// Number of rows left `NULL` (no majority and no extractor available).
+    pub rows_unfilled: usize,
+    /// Simulated crowd cost in dollars.
+    pub crowd_cost: f64,
+    /// Simulated crowd wall-clock minutes.
+    pub crowd_minutes: f64,
+    /// Size of the extractor training set (0 for direct crowd-sourcing).
+    pub training_set_size: usize,
+}
+
+impl ExpansionReport {
+    /// Fraction of rows that received a value.
+    pub fn coverage(&self) -> f64 {
+        let total = self.rows_filled + self.rows_unfilled;
+        if total == 0 {
+            return 0.0;
+        }
+        self.rows_filled as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_names_and_defaults() {
+        assert_eq!(ExpansionStrategy::DirectCrowd.name(), "direct crowd-sourcing");
+        let default = ExpansionStrategy::default();
+        match &default {
+            ExpansionStrategy::PerceptualSpace { gold_sample_size, .. } => {
+                assert_eq!(*gold_sample_size, 100);
+            }
+            other => panic!("unexpected default {other:?}"),
+        }
+        assert_eq!(default.name(), "perceptual-space extraction");
+    }
+
+    #[test]
+    fn report_coverage() {
+        let report = ExpansionReport {
+            table: "movies".into(),
+            column: "is_comedy".into(),
+            attribute: "Comedy".into(),
+            strategy: "perceptual-space extraction".into(),
+            stages: vec![ExpansionStage::MissingAttributeDetected],
+            items_crowd_sourced: 100,
+            judgments_collected: 1000,
+            rows_filled: 900,
+            rows_unfilled: 100,
+            crowd_cost: 2.0,
+            crowd_minutes: 15.0,
+            training_set_size: 80,
+        };
+        assert!((report.coverage() - 0.9).abs() < 1e-12);
+        let empty = ExpansionReport {
+            rows_filled: 0,
+            rows_unfilled: 0,
+            ..report
+        };
+        assert_eq!(empty.coverage(), 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! # crowddb-core — a crowd-enabled database with query-driven schema expansion
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (Sections 2–4): a relational database that can answer queries over
+//! **perceptual attributes that are not part of the schema yet**.
+//!
+//! When a query references an unknown column (e.g.
+//! `SELECT * FROM movies WHERE is_comedy = true`), the database
+//!
+//! 1. detects the missing attribute (the relational executor reports
+//!    [`relational::RelationalError::UnknownColumn`]),
+//! 2. adds the column to the schema (`ALTER TABLE … ADD COLUMN` semantics),
+//! 3. obtains values for it using one of two [`ExpansionStrategy`]s:
+//!    * **direct crowd-sourcing** — every item is judged by several crowd
+//!      workers and the majority vote is stored (the baseline of
+//!      Section 4.1), or
+//!    * **perceptual-space extraction** — only a small *gold sample* is
+//!      crowd-sourced; an SVM trained on the items' coordinates in a
+//!      [`perceptual::PerceptualSpace`] extrapolates the attribute to every
+//!      item (Sections 3.4 and 4.2–4.3),
+//! 4. re-executes the original query against the now-complete column.
+//!
+//! Additional capabilities reproduce the rest of the evaluation:
+//!
+//! * [`boost`] — incremental "boosting" of a running crowd task: as crowd
+//!   judgments arrive they are used to retrain the extractor, yielding the
+//!   time- and cost-resolved curves of Figures 3 and 4.
+//! * [`audit`] — identification of questionable HIT responses by comparing
+//!   crowd labels against the structure of the perceptual space (Table 4).
+//! * [`repair`] — the full data-quality loop: audit, re-crowd-source only the
+//!   flagged responses, and merge the fresh judgments back in (Section 4.4).
+//!
+//! ```
+//! use crowddb_core::{CrowdDb, CrowdDbConfig, ExpansionStrategy, SimulatedCrowd};
+//! use crowdsim::ExperimentRegime;
+//! use datagen::{DomainConfig, SyntheticDomain};
+//!
+//! // Generate a small synthetic movie domain and build its perceptual space.
+//! let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.05), 7).unwrap();
+//! let space = crowddb_core::build_space_for_domain(&domain, 8, 12).unwrap();
+//!
+//! // Assemble the crowd-enabled database.
+//! let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 99);
+//! let mut db = CrowdDb::new(CrowdDbConfig {
+//!     strategy: ExpansionStrategy::perceptual_default(),
+//!     ..Default::default()
+//! });
+//! db.load_domain("movies", &domain, space, Box::new(crowd)).unwrap();
+//! db.register_attribute("movies", "is_comedy", "Comedy").unwrap();
+//!
+//! // The schema has no `is_comedy` column — the query triggers expansion.
+//! let result = db.execute("SELECT name FROM movies WHERE is_comedy = true").unwrap();
+//! assert!(!result.rows.is_empty());
+//! ```
+
+pub mod audit;
+pub mod boost;
+pub mod crowd_source;
+pub mod db;
+pub mod error;
+pub mod expansion;
+pub mod extraction;
+pub mod repair;
+
+pub use audit::{audit_binary_labels, AuditOutcome};
+pub use boost::{evaluate_boost_over_time, BoostCheckpoint, BoostCurve};
+pub use crowd_source::{CrowdSource, SimulatedCrowd};
+pub use db::{build_space_for_domain, CrowdDb, CrowdDbConfig, ExpansionEvent};
+pub use error::CrowdDbError;
+pub use expansion::{ExpansionReport, ExpansionStrategy};
+pub use repair::{repair_labels, RepairOutcome};
+pub use extraction::{extract_binary_attribute, extract_numeric_attribute, ExtractionConfig};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CrowdDbError>;

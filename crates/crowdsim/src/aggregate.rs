@@ -1,0 +1,218 @@
+//! Aggregation of raw judgments into per-item verdicts.
+//!
+//! The paper aggregates the 10 judgments per movie by majority vote, ignoring
+//! "don't know" answers; a movie stays unclassified when it received no
+//! actual judgment or when the vote is tied (Section 4.1).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hit::{Judgment, JudgmentResponse};
+use crate::ItemId;
+
+/// The vote counts of one item.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VoteTally {
+    /// Number of "positive" judgments.
+    pub positive: usize,
+    /// Number of "negative" judgments.
+    pub negative: usize,
+    /// Number of "don't know" answers.
+    pub unknown: usize,
+}
+
+impl VoteTally {
+    /// Adds one response to the tally.
+    pub fn record(&mut self, response: JudgmentResponse) {
+        match response {
+            JudgmentResponse::Positive => self.positive += 1,
+            JudgmentResponse::Negative => self.negative += 1,
+            JudgmentResponse::Unknown => self.unknown += 1,
+        }
+    }
+
+    /// Total number of judgments (including "don't know").
+    pub fn total(&self) -> usize {
+        self.positive + self.negative + self.unknown
+    }
+
+    /// The majority verdict: `Some(true/false)` when one side strictly wins,
+    /// `None` on ties or when no actual judgment is available.
+    pub fn verdict(&self) -> Option<bool> {
+        use std::cmp::Ordering;
+        match self.positive.cmp(&self.negative) {
+            Ordering::Greater => Some(true),
+            Ordering::Less => Some(false),
+            Ordering::Equal => None,
+        }
+    }
+}
+
+/// The aggregated outcome for one item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItemVerdict {
+    /// The item.
+    pub item: ItemId,
+    /// Vote counts.
+    pub tally: VoteTally,
+    /// Majority verdict, if any.
+    pub verdict: Option<bool>,
+}
+
+/// Aggregates judgments by majority vote.
+///
+/// `items` lists the payload items of interest (gold questions and items
+/// without judgments are reported with an empty tally).  Judgments flagged as
+/// gold are ignored — they exist for quality control, not for data
+/// collection.
+pub fn majority_vote(judgments: &[Judgment], items: &[ItemId]) -> Vec<ItemVerdict> {
+    let mut tallies: HashMap<ItemId, VoteTally> = HashMap::with_capacity(items.len());
+    for item in items {
+        tallies.insert(*item, VoteTally::default());
+    }
+    for j in judgments {
+        if j.is_gold {
+            continue;
+        }
+        if let Some(tally) = tallies.get_mut(&j.item) {
+            tally.record(j.response);
+        }
+    }
+    items
+        .iter()
+        .map(|&item| {
+            let tally = tallies[&item];
+            ItemVerdict {
+                item,
+                tally,
+                verdict: tally.verdict(),
+            }
+        })
+        .collect()
+}
+
+/// Summary statistics of a majority-vote outcome against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoteAccuracy {
+    /// Number of items with a majority verdict.
+    pub classified: usize,
+    /// Number of items without a verdict (no votes or tie).
+    pub unclassified: usize,
+    /// Number of classified items whose verdict matches the ground truth.
+    pub correct: usize,
+}
+
+impl VoteAccuracy {
+    /// Fraction of classified items that are correct (0 when nothing was
+    /// classified).
+    pub fn precision(&self) -> f64 {
+        if self.classified == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.classified as f64
+    }
+}
+
+/// Scores verdicts against a ground-truth labeling.
+pub fn score_verdicts<F>(verdicts: &[ItemVerdict], truth: F) -> VoteAccuracy
+where
+    F: Fn(ItemId) -> bool,
+{
+    let mut acc = VoteAccuracy {
+        classified: 0,
+        unclassified: 0,
+        correct: 0,
+    };
+    for v in verdicts {
+        match v.verdict {
+            Some(label) => {
+                acc.classified += 1;
+                if label == truth(v.item) {
+                    acc.correct += 1;
+                }
+            }
+            None => acc.unclassified += 1,
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn judgment(item: ItemId, response: JudgmentResponse) -> Judgment {
+        Judgment {
+            item,
+            worker: 0,
+            response,
+            minutes: 0.0,
+            cumulative_cost: 0.0,
+            is_gold: false,
+        }
+    }
+
+    #[test]
+    fn tally_counts_and_verdicts() {
+        let mut t = VoteTally::default();
+        t.record(JudgmentResponse::Positive);
+        t.record(JudgmentResponse::Positive);
+        t.record(JudgmentResponse::Negative);
+        t.record(JudgmentResponse::Unknown);
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.verdict(), Some(true));
+
+        let tie = VoteTally { positive: 2, negative: 2, unknown: 1 };
+        assert_eq!(tie.verdict(), None);
+        let empty = VoteTally::default();
+        assert_eq!(empty.verdict(), None);
+        let negative = VoteTally { positive: 1, negative: 3, unknown: 0 };
+        assert_eq!(negative.verdict(), Some(false));
+    }
+
+    #[test]
+    fn majority_vote_ignores_gold_and_unlisted_items() {
+        let mut judgments = vec![
+            judgment(0, JudgmentResponse::Positive),
+            judgment(0, JudgmentResponse::Positive),
+            judgment(0, JudgmentResponse::Negative),
+            judgment(1, JudgmentResponse::Negative),
+            judgment(2, JudgmentResponse::Unknown),
+            judgment(99, JudgmentResponse::Positive), // not in item list
+        ];
+        judgments.push(Judgment {
+            is_gold: true,
+            ..judgment(1, JudgmentResponse::Positive)
+        });
+        let verdicts = majority_vote(&judgments, &[0, 1, 2, 3]);
+        assert_eq!(verdicts.len(), 4);
+        assert_eq!(verdicts[0].verdict, Some(true));
+        // The gold judgment on item 1 is ignored → only the negative counts.
+        assert_eq!(verdicts[1].verdict, Some(false));
+        // Only a "don't know" → unclassified.
+        assert_eq!(verdicts[2].verdict, None);
+        // No judgments at all → unclassified.
+        assert_eq!(verdicts[3].verdict, None);
+        assert_eq!(verdicts[3].tally.total(), 0);
+    }
+
+    #[test]
+    fn score_verdicts_counts_correct_and_unclassified() {
+        let judgments = vec![
+            judgment(0, JudgmentResponse::Positive),
+            judgment(1, JudgmentResponse::Positive),
+            judgment(2, JudgmentResponse::Negative),
+        ];
+        let verdicts = majority_vote(&judgments, &[0, 1, 2, 3]);
+        // Truth: item 0 and 2 positive.
+        let score = score_verdicts(&verdicts, |i| i % 2 == 0);
+        assert_eq!(score.classified, 3);
+        assert_eq!(score.unclassified, 1);
+        assert_eq!(score.correct, 1); // item 0 correct; 1 and 2 wrong
+        assert!((score.precision() - 1.0 / 3.0).abs() < 1e-12);
+
+        let empty = score_verdicts(&[], |_| true);
+        assert_eq!(empty.precision(), 0.0);
+    }
+}

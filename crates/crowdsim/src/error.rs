@@ -1,0 +1,35 @@
+//! Error types for the crowd-sourcing simulator.
+
+use std::fmt;
+
+/// Errors produced when configuring or running a simulated crowd task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrowdError {
+    /// The task configuration is invalid (no items, no workers, zero
+    /// judgments, …).
+    InvalidConfig(String),
+    /// A referenced worker or item does not exist.
+    UnknownId(String),
+}
+
+impl fmt::Display for CrowdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrowdError::InvalidConfig(msg) => write!(f, "invalid crowd configuration: {msg}"),
+            CrowdError::UnknownId(msg) => write!(f, "unknown identifier: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CrowdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_message() {
+        assert!(CrowdError::InvalidConfig("no items".into()).to_string().contains("no items"));
+        assert!(CrowdError::UnknownId("worker 7".into()).to_string().contains("worker 7"));
+    }
+}

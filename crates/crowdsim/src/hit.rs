@@ -1,0 +1,218 @@
+//! HITs, judgments, and task configuration.
+//!
+//! A HIT (Human Intelligence Task) is the smallest unit of crowd-sourceable
+//! work; in the paper's experiments one HIT asks a single worker to classify
+//! a batch of 10 movies, is paid $0.02–$0.03, and each movie is judged by 10
+//! different workers in total.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CrowdError;
+use crate::{ItemId, Result, WorkerId};
+
+/// A worker's answer to one item inside a HIT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JudgmentResponse {
+    /// "The item has the attribute" (e.g. *this movie is a comedy*).
+    Positive,
+    /// "The item does not have the attribute".
+    Negative,
+    /// "I do not know this item" — only available when the task offers the
+    /// option (Experiments 1 and 2).
+    Unknown,
+}
+
+impl JudgmentResponse {
+    /// Converts a boolean answer into a response.
+    pub fn from_bool(value: bool) -> Self {
+        if value {
+            JudgmentResponse::Positive
+        } else {
+            JudgmentResponse::Negative
+        }
+    }
+
+    /// The boolean value of the response, when it is an actual judgment.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JudgmentResponse::Positive => Some(true),
+            JudgmentResponse::Negative => Some(false),
+            JudgmentResponse::Unknown => None,
+        }
+    }
+}
+
+/// One time-stamped judgment produced by the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Judgment {
+    /// The judged item.
+    pub item: ItemId,
+    /// The worker who produced the judgment.
+    pub worker: WorkerId,
+    /// The answer.
+    pub response: JudgmentResponse,
+    /// Simulation time (minutes since the task was posted) at which the
+    /// judgment became available.
+    pub minutes: f64,
+    /// Money spent (in dollars, cumulative across the whole task) at the
+    /// moment this judgment's HIT was paid.
+    pub cumulative_cost: f64,
+    /// Whether the judged item was a gold question (known answer) rather
+    /// than a payload item.
+    pub is_gold: bool,
+}
+
+/// Configuration of a crowd-sourcing task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HitConfig {
+    /// Number of items bundled into one HIT (paper: 10).
+    pub items_per_hit: usize,
+    /// Number of distinct judgments requested per item (paper: 10).
+    pub judgments_per_item: usize,
+    /// Payment per HIT in dollars (paper: $0.02, $0.03 for the lookup task).
+    pub payment_per_hit: f64,
+    /// Whether workers may answer "I do not know this item".
+    pub allow_unknown: bool,
+    /// Number of gold questions (items with known answers) mixed into the
+    /// task; 0 disables gold-based quality control.
+    pub gold_questions: usize,
+    /// A worker is excluded once they have answered at least this many gold
+    /// questions *and* their gold accuracy is below
+    /// [`HitConfig::gold_exclusion_accuracy`].
+    pub gold_exclusion_threshold: usize,
+    /// Minimum gold accuracy a worker must maintain to keep receiving HITs.
+    pub gold_exclusion_accuracy: f64,
+}
+
+impl Default for HitConfig {
+    fn default() -> Self {
+        HitConfig {
+            items_per_hit: 10,
+            judgments_per_item: 10,
+            payment_per_hit: 0.02,
+            allow_unknown: true,
+            gold_questions: 0,
+            gold_exclusion_threshold: 3,
+            gold_exclusion_accuracy: 0.6,
+        }
+    }
+}
+
+impl HitConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.items_per_hit == 0 {
+            return Err(CrowdError::InvalidConfig("items_per_hit must be >= 1".into()));
+        }
+        if self.judgments_per_item == 0 {
+            return Err(CrowdError::InvalidConfig("judgments_per_item must be >= 1".into()));
+        }
+        if self.payment_per_hit < 0.0 {
+            return Err(CrowdError::InvalidConfig("payment_per_hit must be non-negative".into()));
+        }
+        if !(0.0..=1.0).contains(&self.gold_exclusion_accuracy) {
+            return Err(CrowdError::InvalidConfig(
+                "gold_exclusion_accuracy must lie in [0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The configuration used in Experiment 1 (all workers, "don't know"
+    /// allowed, $0.02 per HIT).
+    pub fn experiment1() -> Self {
+        HitConfig::default()
+    }
+
+    /// The configuration used in Experiment 2 (same task as Experiment 1;
+    /// the difference lies in the worker pool).
+    pub fn experiment2() -> Self {
+        HitConfig::default()
+    }
+
+    /// The configuration used in Experiment 3: no "don't know" option, 10 %
+    /// gold questions, higher payment.
+    pub fn experiment3(n_items: usize) -> Self {
+        HitConfig {
+            payment_per_hit: 0.03,
+            allow_unknown: false,
+            gold_questions: n_items / 10,
+            ..HitConfig::default()
+        }
+    }
+
+    /// Total cost of obtaining `judgments_per_item` judgments for `n_items`
+    /// payload items plus the configured gold questions.
+    pub fn total_cost(&self, n_items: usize) -> f64 {
+        let total_items = n_items + self.gold_questions;
+        let judgments = total_items * self.judgments_per_item;
+        let hits = (judgments + self.items_per_hit - 1) / self.items_per_hit;
+        hits as f64 * self.payment_per_hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_conversions() {
+        assert_eq!(JudgmentResponse::from_bool(true), JudgmentResponse::Positive);
+        assert_eq!(JudgmentResponse::from_bool(false), JudgmentResponse::Negative);
+        assert_eq!(JudgmentResponse::Positive.as_bool(), Some(true));
+        assert_eq!(JudgmentResponse::Negative.as_bool(), Some(false));
+        assert_eq!(JudgmentResponse::Unknown.as_bool(), None);
+    }
+
+    #[test]
+    fn default_config_matches_paper_experiment1() {
+        let c = HitConfig::default();
+        assert_eq!(c.items_per_hit, 10);
+        assert_eq!(c.judgments_per_item, 10);
+        assert!((c.payment_per_hit - 0.02).abs() < 1e-12);
+        assert!(c.allow_unknown);
+        assert_eq!(c.gold_questions, 0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn experiment3_config_enables_gold_and_lookup() {
+        let c = HitConfig::experiment3(1000);
+        assert_eq!(c.gold_questions, 100);
+        assert!(!c.allow_unknown);
+        assert!((c.payment_per_hit - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(HitConfig { items_per_hit: 0, ..Default::default() }.validate().is_err());
+        assert!(HitConfig { judgments_per_item: 0, ..Default::default() }.validate().is_err());
+        assert!(HitConfig { payment_per_hit: -0.1, ..Default::default() }.validate().is_err());
+        assert!(HitConfig { gold_exclusion_accuracy: 1.5, ..Default::default() }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn total_cost_matches_paper_numbers() {
+        // Experiment 1: 1,000 movies × 10 judgments at $0.02 per 10-item HIT
+        // = $20 (paper, Section 4.1).
+        let c = HitConfig::experiment1();
+        assert!((c.total_cost(1000) - 20.0).abs() < 1e-9);
+        // Experiment 3: 1,100 items (100 gold) at $0.03 → $33.
+        let c3 = HitConfig::experiment3(1000);
+        assert!((c3.total_cost(1000) - 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_cost_rounds_hits_up() {
+        let c = HitConfig {
+            items_per_hit: 10,
+            judgments_per_item: 1,
+            payment_per_hit: 1.0,
+            ..Default::default()
+        };
+        // 15 judgments → 2 HITs.
+        assert_eq!(c.total_cost(15), 2.0);
+    }
+}

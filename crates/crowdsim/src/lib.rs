@@ -1,0 +1,64 @@
+//! # crowdsim — a simulated crowd-sourcing platform
+//!
+//! The paper's Experiments 1–3 (Section 4.1) dispatch Human Intelligence
+//! Tasks (HITs) to Amazon Mechanical Turk via CrowdFlower.  We obviously
+//! cannot call a 2012 crowd of human workers from a test suite, so this crate
+//! provides a **discrete-event simulation** of such a platform that is
+//! calibrated to the aggregate worker statistics the paper reports:
+//!
+//! * **Experiment 1** ("all workers"): a large fraction of spammers who claim
+//!   to know ~94 % of all movies and answer "comedy" ~56 % of the time,
+//!   mixed with honest casual workers who only know ~26 % of the movies.
+//! * **Experiment 2** ("trusted workers"): the spammers are filtered out by a
+//!   country allow-list; fewer, slower, but far more accurate judgments.
+//! * **Experiment 3** ("web lookup + gold questions"): workers may look the
+//!   answer up (≈ 93.5 % per-judgment accuracy), there is no "don't know"
+//!   option, 10 % gold questions identify and exclude bad workers, and each
+//!   HIT takes several times longer.
+//!
+//! The simulator produces a time-stamped, cost-accounted stream of
+//! [`Judgment`]s which the crowd-enabled database (crate `crowddb-core`)
+//! aggregates by majority vote and, in the perceptual-space-boosted mode,
+//! uses as an incrementally growing SVM training set (Figures 3 and 4).
+//!
+//! ```
+//! use crowdsim::{CrowdPlatform, HitConfig, LabelOracle, WorkerPool};
+//!
+//! struct Oracle;
+//! impl LabelOracle for Oracle {
+//!     fn true_label(&self, item: u32) -> bool { item % 3 == 0 }
+//!     fn familiarity(&self, _item: u32) -> f64 { 0.5 }
+//! }
+//!
+//! let items: Vec<u32> = (0..50).collect();
+//! let workers = WorkerPool::trusted(20, 42);
+//! let config = HitConfig::default();
+//! let run = CrowdPlatform::new(config).run(&items, &Oracle, &workers, 7).unwrap();
+//! assert_eq!(run.judgments.len(), 50 * 10);
+//! ```
+
+pub mod aggregate;
+pub mod error;
+pub mod hit;
+pub mod oracle;
+pub mod platform;
+pub mod regimes;
+pub mod worker;
+
+pub use aggregate::{majority_vote, ItemVerdict, VoteTally};
+pub use error::CrowdError;
+pub use hit::{HitConfig, Judgment, JudgmentResponse};
+pub use oracle::{ConstantOracle, FnOracle, LabelOracle};
+pub use platform::{CrowdPlatform, CrowdRun};
+pub use regimes::{ExperimentRegime, RegimeOutcome};
+pub use worker::{Worker, WorkerKind, WorkerPool, WorkerProfile};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CrowdError>;
+
+/// Item identifier used by the simulator (matches the dense item ids of the
+/// `perceptual` and `datagen` crates).
+pub type ItemId = u32;
+
+/// Worker identifier.
+pub type WorkerId = u32;

@@ -1,0 +1,132 @@
+//! Ground-truth oracles.
+//!
+//! The simulator needs to know, for every item, (a) the *true* value of the
+//! perceptual attribute being crowd-sourced (so that an honest, knowledgeable
+//! worker can answer correctly) and (b) how *familiar* the item is to an
+//! average worker (so that "I do not know this movie" answers occur at the
+//! realistic rate the paper observes — an average person knows only 10–20 %
+//! of a random movie sample).
+//!
+//! Concrete data sets (crate `datagen`) implement [`LabelOracle`]; tests and
+//! examples can use the lightweight [`ConstantOracle`] or [`FnOracle`].
+
+use crate::ItemId;
+
+/// Source of ground truth and item familiarity for the simulated crowd.
+pub trait LabelOracle {
+    /// The true binary value of the attribute for `item`.
+    fn true_label(&self, item: ItemId) -> bool;
+
+    /// The probability (in `[0, 1]`) that an average honest worker knows the
+    /// item well enough to judge it without looking it up.
+    fn familiarity(&self, item: ItemId) -> f64;
+}
+
+/// An oracle with a fixed label and familiarity for every item — useful for
+/// unit tests.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantOracle {
+    /// The label returned for every item.
+    pub label: bool,
+    /// The familiarity returned for every item.
+    pub familiarity: f64,
+}
+
+impl LabelOracle for ConstantOracle {
+    fn true_label(&self, _item: ItemId) -> bool {
+        self.label
+    }
+
+    fn familiarity(&self, _item: ItemId) -> f64 {
+        self.familiarity
+    }
+}
+
+/// An oracle backed by closures.
+pub struct FnOracle<L, F>
+where
+    L: Fn(ItemId) -> bool,
+    F: Fn(ItemId) -> f64,
+{
+    label_fn: L,
+    familiarity_fn: F,
+}
+
+impl<L, F> FnOracle<L, F>
+where
+    L: Fn(ItemId) -> bool,
+    F: Fn(ItemId) -> f64,
+{
+    /// Creates an oracle from a label closure and a familiarity closure.
+    pub fn new(label_fn: L, familiarity_fn: F) -> Self {
+        FnOracle {
+            label_fn,
+            familiarity_fn,
+        }
+    }
+}
+
+impl<L, F> LabelOracle for FnOracle<L, F>
+where
+    L: Fn(ItemId) -> bool,
+    F: Fn(ItemId) -> f64,
+{
+    fn true_label(&self, item: ItemId) -> bool {
+        (self.label_fn)(item)
+    }
+
+    fn familiarity(&self, item: ItemId) -> f64 {
+        (self.familiarity_fn)(item).clamp(0.0, 1.0)
+    }
+}
+
+/// Blanket implementation so `&O` can be passed wherever an oracle is
+/// expected.
+impl<O: LabelOracle + ?Sized> LabelOracle for &O {
+    fn true_label(&self, item: ItemId) -> bool {
+        (**self).true_label(item)
+    }
+
+    fn familiarity(&self, item: ItemId) -> f64 {
+        (**self).familiarity(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_oracle_returns_fixed_values() {
+        let o = ConstantOracle {
+            label: true,
+            familiarity: 0.3,
+        };
+        assert!(o.true_label(0));
+        assert!(o.true_label(999));
+        assert_eq!(o.familiarity(5), 0.3);
+    }
+
+    #[test]
+    fn fn_oracle_delegates_and_clamps() {
+        let o = FnOracle::new(|i| i % 2 == 0, |i| i as f64);
+        assert!(o.true_label(4));
+        assert!(!o.true_label(3));
+        assert_eq!(o.familiarity(0), 0.0);
+        // Familiarity is clamped into [0, 1].
+        assert_eq!(o.familiarity(50), 1.0);
+    }
+
+    #[test]
+    fn reference_to_oracle_is_an_oracle() {
+        fn takes_oracle<O: LabelOracle>(o: O) -> bool {
+            o.true_label(2)
+        }
+        let o = ConstantOracle {
+            label: true,
+            familiarity: 1.0,
+        };
+        assert!(takes_oracle(&o));
+        assert!(takes_oracle(o));
+    }
+}

@@ -1,0 +1,539 @@
+//! The discrete-event crowd-platform simulator.
+//!
+//! Workers pull HITs (batches of items) from the task queue, take a
+//! worker-specific number of minutes per HIT, and produce one judgment per
+//! item according to their behavioural profile.  The simulation tracks wall
+//! clock time and money spent, so that the time- and cost-resolved curves of
+//! Figures 3 and 4 can be regenerated.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::error::CrowdError;
+use crate::hit::{HitConfig, Judgment, JudgmentResponse};
+use crate::oracle::LabelOracle;
+use crate::worker::{Worker, WorkerKind, WorkerPool};
+use crate::{ItemId, Result, WorkerId};
+
+/// The simulated crowd-sourcing service.
+#[derive(Debug, Clone)]
+pub struct CrowdPlatform {
+    config: HitConfig,
+}
+
+/// The complete outcome of one crowd-sourcing task.
+#[derive(Debug, Clone)]
+pub struct CrowdRun {
+    /// All judgments, ordered by completion time.
+    pub judgments: Vec<Judgment>,
+    /// Wall-clock minutes until the last HIT finished.
+    pub total_minutes: f64,
+    /// Total money spent in dollars.
+    pub total_cost: f64,
+    /// Workers excluded by the gold-question quality control.
+    pub excluded_workers: Vec<WorkerId>,
+    /// Number of HITs completed (including those of later-excluded workers).
+    pub hits_completed: usize,
+}
+
+impl CrowdRun {
+    /// Judgments with every contribution of an excluded worker removed —
+    /// the view the requester gets after gold-based quality control.
+    pub fn trusted_judgments(&self) -> Vec<Judgment> {
+        let excluded: HashSet<WorkerId> = self.excluded_workers.iter().copied().collect();
+        self.judgments
+            .iter()
+            .filter(|j| !excluded.contains(&j.worker))
+            .copied()
+            .collect()
+    }
+
+    /// Judgments available up to (and including) a point in time.
+    pub fn judgments_until(&self, minutes: f64) -> Vec<Judgment> {
+        self.judgments.iter().filter(|j| j.minutes <= minutes).copied().collect()
+    }
+
+    /// Judgments available within a spending budget (dollars).
+    pub fn judgments_within_budget(&self, dollars: f64) -> Vec<Judgment> {
+        self.judgments
+            .iter()
+            .filter(|j| j.cumulative_cost <= dollars + 1e-9)
+            .copied()
+            .collect()
+    }
+}
+
+/// A HIT batch: a fixed group of items that one worker judges in one sitting.
+#[derive(Debug, Clone)]
+struct Batch {
+    items: Vec<ItemId>,
+    /// Number of additional workers that still need to complete this batch.
+    remaining_assignments: usize,
+    /// Workers who already completed the batch.
+    done_by: HashSet<WorkerId>,
+}
+
+/// A scheduled completion event: worker `worker` finishes batch `batch` at
+/// time `minutes`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Completion {
+    minutes: f64,
+    worker: usize,
+    batch: usize,
+}
+
+impl Eq for Completion {}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.minutes
+            .partial_cmp(&other.minutes)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.worker.cmp(&other.worker))
+            .then(self.batch.cmp(&other.batch))
+    }
+}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl CrowdPlatform {
+    /// Creates a platform with the given task configuration.
+    pub fn new(config: HitConfig) -> Self {
+        CrowdPlatform { config }
+    }
+
+    /// The task configuration.
+    pub fn config(&self) -> &HitConfig {
+        &self.config
+    }
+
+    /// Runs the crowd-sourcing task: obtains `judgments_per_item` judgments
+    /// for every payload item in `items` (plus the configured gold
+    /// questions) from the worker pool.
+    ///
+    /// Gold-question items are assigned ids above the payload range; their
+    /// judgments are included in the output with `is_gold = true` so callers
+    /// can exclude them from aggregation.
+    pub fn run<O: LabelOracle>(
+        &self,
+        items: &[ItemId],
+        oracle: &O,
+        pool: &WorkerPool,
+        seed: u64,
+    ) -> Result<CrowdRun> {
+        self.config.validate()?;
+        if items.is_empty() {
+            return Err(CrowdError::InvalidConfig("no payload items given".into()));
+        }
+        if pool.is_empty() {
+            return Err(CrowdError::InvalidConfig("the worker pool is empty".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Gold items get ids above the payload range and random true labels.
+        let max_item = items.iter().copied().max().unwrap_or(0);
+        let gold_items: Vec<(ItemId, bool)> = (0..self.config.gold_questions)
+            .map(|i| (max_item + 1 + i as ItemId, rng.gen::<bool>()))
+            .collect();
+        let gold_labels: HashMap<ItemId, bool> = gold_items.iter().copied().collect();
+
+        // Build batches: payload and gold items shuffled together, grouped
+        // into HITs of `items_per_hit`.
+        let mut all_items: Vec<ItemId> = items.to_vec();
+        all_items.extend(gold_items.iter().map(|(id, _)| *id));
+        all_items.shuffle(&mut rng);
+        let mut batches: Vec<Batch> = all_items
+            .chunks(self.config.items_per_hit)
+            .map(|chunk| Batch {
+                items: chunk.to_vec(),
+                remaining_assignments: self.config.judgments_per_item,
+                done_by: HashSet::new(),
+            })
+            .collect();
+
+        let workers = pool.workers();
+        let mut gold_correct: Vec<usize> = vec![0; workers.len()];
+        let mut gold_answered: Vec<usize> = vec![0; workers.len()];
+        let mut excluded: Vec<bool> = vec![false; workers.len()];
+
+        let mut judgments: Vec<Judgment> = Vec::new();
+        let mut total_cost = 0.0f64;
+        let mut total_minutes = 0.0f64;
+        let mut hits_completed = 0usize;
+
+        // Event queue of pending HIT completions.
+        let mut queue: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
+
+        // Stagger the workers' start slightly so judgments trickle in.
+        let mut start_offsets: Vec<f64> =
+            workers.iter().map(|_| rng.gen::<f64>() * 2.0).collect();
+        start_offsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        // Initially dispatch one HIT per worker.
+        for (w_idx, offset) in (0..workers.len()).zip(start_offsets) {
+            if let Some(b_idx) = pick_batch(&batches, &workers[w_idx], &excluded, w_idx) {
+                batches[b_idx].remaining_assignments -= 1;
+                batches[b_idx].done_by.insert(workers[w_idx].id);
+                let duration = hit_duration(&workers[w_idx], &mut rng);
+                queue.push(Reverse(Completion {
+                    minutes: offset + duration,
+                    worker: w_idx,
+                    batch: b_idx,
+                }));
+            }
+        }
+
+        while let Some(Reverse(event)) = queue.pop() {
+            let worker = &workers[event.worker];
+            total_minutes = total_minutes.max(event.minutes);
+            total_cost += self.config.payment_per_hit;
+            hits_completed += 1;
+
+            // Produce judgments for every item in the batch.
+            for &item in &batches[event.batch].items {
+                let is_gold = gold_labels.contains_key(&item);
+                let truth = if is_gold {
+                    gold_labels[&item]
+                } else {
+                    oracle.true_label(item)
+                };
+                let familiarity = if is_gold { 0.9 } else { oracle.familiarity(item) };
+                let response = simulate_response(
+                    worker,
+                    item,
+                    truth,
+                    familiarity,
+                    self.config.allow_unknown,
+                    &mut rng,
+                );
+                if is_gold {
+                    if let Some(answer) = response.as_bool() {
+                        gold_answered[event.worker] += 1;
+                        if answer == truth {
+                            gold_correct[event.worker] += 1;
+                        }
+                    }
+                }
+                judgments.push(Judgment {
+                    item,
+                    worker: worker.id,
+                    response,
+                    minutes: event.minutes,
+                    cumulative_cost: total_cost,
+                    is_gold,
+                });
+            }
+
+            // Gold-based exclusion check.
+            if self.config.gold_questions > 0
+                && gold_answered[event.worker] >= self.config.gold_exclusion_threshold
+            {
+                let acc = gold_correct[event.worker] as f64 / gold_answered[event.worker] as f64;
+                if acc < self.config.gold_exclusion_accuracy {
+                    excluded[event.worker] = true;
+                }
+            }
+
+            // Dispatch the next HIT to this worker, if any remain and the
+            // worker is still allowed to work.
+            if !excluded[event.worker] {
+                if let Some(b_idx) = pick_batch(&batches, worker, &excluded, event.worker) {
+                    batches[b_idx].remaining_assignments -= 1;
+                    batches[b_idx].done_by.insert(worker.id);
+                    let duration = hit_duration(worker, &mut rng);
+                    queue.push(Reverse(Completion {
+                        minutes: event.minutes + duration,
+                        worker: event.worker,
+                        batch: b_idx,
+                    }));
+                }
+            }
+        }
+
+        judgments.sort_by(|a, b| a.minutes.partial_cmp(&b.minutes).unwrap_or(std::cmp::Ordering::Equal));
+        let excluded_workers: Vec<WorkerId> = excluded
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &e)| e.then(|| workers[i].id))
+            .collect();
+
+        Ok(CrowdRun {
+            judgments,
+            total_minutes,
+            total_cost,
+            excluded_workers,
+            hits_completed,
+        })
+    }
+}
+
+/// Picks the batch with the most remaining assignments that this worker has
+/// not done yet.  Returns `None` when the worker cannot take any batch.
+fn pick_batch(
+    batches: &[Batch],
+    worker: &Worker,
+    excluded: &[bool],
+    worker_idx: usize,
+) -> Option<usize> {
+    if excluded[worker_idx] {
+        return None;
+    }
+    batches
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.remaining_assignments > 0 && !b.done_by.contains(&worker.id))
+        .max_by_key(|(_, b)| b.remaining_assignments)
+        .map(|(i, _)| i)
+}
+
+/// Draws the duration of one HIT for a worker (±20 % jitter).
+fn hit_duration(worker: &Worker, rng: &mut StdRng) -> f64 {
+    worker.minutes_per_hit * (0.8 + rng.gen::<f64>() * 0.4)
+}
+
+/// Deterministic per-item noise in `[0, 1)` (splitmix64 of the item id and a
+/// salt).  Used to model *correlated* judgment errors: perceptual attributes
+/// are subjective, so some items are consistently misperceived by many
+/// workers (or consistently mislabeled by the web sources lookup workers
+/// consult) — errors that majority voting cannot wash out.  This is what
+/// keeps the aggregated accuracies of Experiments 2 and 3 below 100 % in the
+/// paper despite multiple judgments per movie.
+fn item_noise(item: ItemId, salt: u64) -> f64 {
+    let mut x = (item as u64).wrapping_add(salt).wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Fraction of items whose perception is genuinely ambiguous for honest
+/// workers (their individual judgments become coin flips).
+const AMBIGUOUS_ITEM_RATE: f64 = 0.15;
+
+/// Salt separating the "ambiguous to humans" noise from the "mislabeled on
+/// the Web" noise.
+const AMBIGUITY_SALT: u64 = 0xa5b1;
+const WEB_LABEL_SALT: u64 = 0x3e8f;
+
+/// Simulates one worker's answer for one item.
+fn simulate_response(
+    worker: &Worker,
+    item: ItemId,
+    truth: bool,
+    familiarity: f64,
+    allow_unknown: bool,
+    rng: &mut StdRng,
+) -> JudgmentResponse {
+    let p = &worker.profile;
+    match p.kind {
+        WorkerKind::Spammer => {
+            // Claims to know almost everything; the answer ignores the item.
+            if rng.gen::<f64>() < p.knowledge_boost || !allow_unknown {
+                JudgmentResponse::from_bool(rng.gen::<f64>() < p.positive_bias)
+            } else {
+                JudgmentResponse::Unknown
+            }
+        }
+        WorkerKind::Casual | WorkerKind::Trusted => {
+            let knows = rng.gen::<f64>() < familiarity * p.knowledge_boost;
+            if knows {
+                // Ambiguous items split honest opinion down the middle.
+                let accuracy = if item_noise(item, AMBIGUITY_SALT) < AMBIGUOUS_ITEM_RATE {
+                    0.5
+                } else {
+                    p.accuracy
+                };
+                let correct = rng.gen::<f64>() < accuracy;
+                JudgmentResponse::from_bool(if correct { truth } else { !truth })
+            } else if allow_unknown {
+                JudgmentResponse::Unknown
+            } else {
+                JudgmentResponse::from_bool(rng.gen::<f64>() < p.positive_bias)
+            }
+        }
+        WorkerKind::Lookup => {
+            // The worker reports what the Web says; for a small fraction of
+            // items the Web sources themselves disagree with the reference.
+            let web_label = if item_noise(item, WEB_LABEL_SALT) < 1.0 - p.accuracy {
+                !truth
+            } else {
+                truth
+            };
+            let reads_correctly = rng.gen::<f64>() < 0.97;
+            JudgmentResponse::from_bool(if reads_correctly { web_label } else { !web_label })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::FnOracle;
+
+    fn oracle() -> impl LabelOracle {
+        FnOracle::new(|i| i % 3 == 0, |_| 0.5)
+    }
+
+    #[test]
+    fn run_produces_requested_judgments() {
+        let items: Vec<ItemId> = (0..40).collect();
+        let pool = WorkerPool::trusted(15, 1);
+        let run = CrowdPlatform::new(HitConfig::default())
+            .run(&items, &oracle(), &pool, 2)
+            .unwrap();
+        // 40 items × 10 judgments each.
+        assert_eq!(run.judgments.len(), 400);
+        assert!(run.total_minutes > 0.0);
+        // 4 batches × 10 assignments = 40 HITs at $0.02.
+        assert_eq!(run.hits_completed, 40);
+        assert!((run.total_cost - 0.8).abs() < 1e-9);
+        // Judgments are sorted by time and cost is monotone.
+        for w in run.judgments.windows(2) {
+            assert!(w[0].minutes <= w[1].minutes);
+        }
+    }
+
+    #[test]
+    fn each_item_is_judged_by_distinct_workers() {
+        let items: Vec<ItemId> = (0..20).collect();
+        let pool = WorkerPool::trusted(12, 3);
+        let run = CrowdPlatform::new(HitConfig::default())
+            .run(&items, &oracle(), &pool, 4)
+            .unwrap();
+        let mut per_item: HashMap<ItemId, HashSet<WorkerId>> = HashMap::new();
+        for j in &run.judgments {
+            assert!(
+                per_item.entry(j.item).or_default().insert(j.worker),
+                "worker {} judged item {} twice",
+                j.worker,
+                j.item
+            );
+        }
+        for (_, workers) in per_item {
+            assert_eq!(workers.len(), 10);
+        }
+    }
+
+    #[test]
+    fn insufficient_worker_pool_degrades_gracefully() {
+        // Only 4 workers but 10 judgments per item requested: the run
+        // completes with fewer judgments instead of hanging.
+        let items: Vec<ItemId> = (0..10).collect();
+        let pool = WorkerPool::trusted(4, 5);
+        let run = CrowdPlatform::new(HitConfig::default())
+            .run(&items, &oracle(), &pool, 6)
+            .unwrap();
+        assert_eq!(run.judgments.len(), 10 * 4);
+    }
+
+    #[test]
+    fn trusted_workers_are_more_accurate_than_spammers() {
+        let items: Vec<ItemId> = (0..100).collect();
+        let truth = |i: ItemId| i % 3 == 0;
+        let o = FnOracle::new(truth, |_| 0.6);
+
+        let spam_pool = WorkerPool::from_counts(&[(crate::WorkerProfile::spammer(), 20)], 7);
+        let trusted_pool = WorkerPool::trusted(20, 8);
+        let platform = CrowdPlatform::new(HitConfig::default());
+
+        let score = |run: &CrowdRun| {
+            let verdicts = crate::aggregate::majority_vote(&run.judgments, &items);
+            crate::aggregate::score_verdicts(&verdicts, truth).precision()
+        };
+        let spam_run = platform.run(&items, &o, &spam_pool, 9).unwrap();
+        let trusted_run = platform.run(&items, &o, &trusted_pool, 10).unwrap();
+        assert!(
+            score(&trusted_run) > score(&spam_run) + 0.15,
+            "trusted {} vs spam {}",
+            score(&trusted_run),
+            score(&spam_run)
+        );
+    }
+
+    #[test]
+    fn gold_questions_exclude_spammers() {
+        let items: Vec<ItemId> = (0..50).collect();
+        let pool = WorkerPool::from_counts(
+            &[
+                (crate::WorkerProfile::lookup(), 10),
+                (crate::WorkerProfile::spammer(), 5),
+            ],
+            11,
+        );
+        let config = HitConfig::experiment3(items.len());
+        let run = CrowdPlatform::new(config).run(&items, &oracle(), &pool, 12).unwrap();
+        assert!(
+            !run.excluded_workers.is_empty(),
+            "gold questions should have excluded at least one spammer"
+        );
+        // Excluded workers' judgments disappear from the trusted view.
+        let trusted = run.trusted_judgments();
+        assert!(trusted.len() < run.judgments.len());
+        let excluded: HashSet<WorkerId> = run.excluded_workers.iter().copied().collect();
+        assert!(trusted.iter().all(|j| !excluded.contains(&j.worker)));
+        // Gold judgments are flagged.
+        assert!(run.judgments.iter().any(|j| j.is_gold));
+    }
+
+    #[test]
+    fn lookup_workers_are_slower() {
+        let items: Vec<ItemId> = (0..30).collect();
+        let fast = WorkerPool::trusted(10, 13);
+        let slow = WorkerPool::from_counts(&[(crate::WorkerProfile::lookup(), 10)], 14);
+        let platform = CrowdPlatform::new(HitConfig::default());
+        let fast_run = platform.run(&items, &oracle(), &fast, 15).unwrap();
+        let slow_run = platform.run(&items, &oracle(), &slow, 16).unwrap();
+        assert!(slow_run.total_minutes > fast_run.total_minutes * 1.5);
+    }
+
+    #[test]
+    fn time_and_budget_filters() {
+        let items: Vec<ItemId> = (0..30).collect();
+        let pool = WorkerPool::trusted(10, 17);
+        let run = CrowdPlatform::new(HitConfig::default())
+            .run(&items, &oracle(), &pool, 18)
+            .unwrap();
+        let half_time = run.total_minutes / 2.0;
+        let early = run.judgments_until(half_time);
+        assert!(!early.is_empty());
+        assert!(early.len() < run.judgments.len());
+        assert!(early.iter().all(|j| j.minutes <= half_time));
+
+        let half_budget = run.total_cost / 2.0;
+        let cheap = run.judgments_within_budget(half_budget);
+        assert!(!cheap.is_empty());
+        assert!(cheap.len() < run.judgments.len());
+        assert!(cheap.iter().all(|j| j.cumulative_cost <= half_budget + 1e-9));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let pool = WorkerPool::trusted(5, 19);
+        let platform = CrowdPlatform::new(HitConfig::default());
+        assert!(platform.run(&[], &oracle(), &pool, 20).is_err());
+        let empty_pool = WorkerPool::from_counts(&[], 21);
+        assert!(platform.run(&[1, 2, 3], &oracle(), &empty_pool, 22).is_err());
+        let bad = CrowdPlatform::new(HitConfig { items_per_hit: 0, ..Default::default() });
+        assert!(bad.run(&[1, 2, 3], &oracle(), &pool, 23).is_err());
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_fixed_seed() {
+        let items: Vec<ItemId> = (0..25).collect();
+        let pool = WorkerPool::unfiltered(20, 24);
+        let platform = CrowdPlatform::new(HitConfig::default());
+        let a = platform.run(&items, &oracle(), &pool, 25).unwrap();
+        let b = platform.run(&items, &oracle(), &pool, 25).unwrap();
+        assert_eq!(a.judgments.len(), b.judgments.len());
+        assert_eq!(a.total_cost, b.total_cost);
+        assert_eq!(a.judgments, b.judgments);
+    }
+}

@@ -1,0 +1,212 @@
+//! Experiment regimes: the three crowd-sourcing setups of Section 4.1.
+//!
+//! | Regime | Paper experiment | Worker pool | Quality control |
+//! |---|---|---|---|
+//! | [`ExperimentRegime::AllWorkers`] | Experiment 1 | 89 workers, ~half spammers | none |
+//! | [`ExperimentRegime::TrustedWorkers`] | Experiment 2 | 27 honest workers (country filter) | none |
+//! | [`ExperimentRegime::LookupWithGold`] | Experiment 3 | 51 lookup workers (+ a few spammers) | 10 % gold questions |
+//!
+//! Each regime bundles the matching [`WorkerPool`] and [`HitConfig`] and runs
+//! the platform end-to-end, returning the raw judgment stream together with
+//! the majority-vote outcome scored against the oracle — i.e. one row of
+//! Table 1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::aggregate::{majority_vote, score_verdicts, ItemVerdict, VoteAccuracy};
+use crate::hit::HitConfig;
+use crate::oracle::LabelOracle;
+use crate::platform::{CrowdPlatform, CrowdRun};
+use crate::worker::WorkerPool;
+use crate::{ItemId, Result};
+
+/// The three crowd-sourcing regimes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExperimentRegime {
+    /// Experiment 1: every worker may participate; many spammers.
+    AllWorkers,
+    /// Experiment 2: only trusted (honest) workers participate.
+    TrustedWorkers,
+    /// Experiment 3: workers look answers up; gold questions filter bad
+    /// workers; no "don't know" option.
+    LookupWithGold,
+}
+
+impl ExperimentRegime {
+    /// The worker pool the paper observed for this regime (89 / 27 / 51
+    /// workers respectively).
+    pub fn worker_pool(&self, seed: u64) -> WorkerPool {
+        match self {
+            ExperimentRegime::AllWorkers => WorkerPool::unfiltered(89, seed),
+            ExperimentRegime::TrustedWorkers => WorkerPool::trusted(27, seed),
+            ExperimentRegime::LookupWithGold => WorkerPool::lookup(51, seed),
+        }
+    }
+
+    /// The HIT configuration used by this regime for `n_items` payload
+    /// items.
+    pub fn hit_config(&self, n_items: usize) -> HitConfig {
+        match self {
+            ExperimentRegime::AllWorkers => HitConfig::experiment1(),
+            ExperimentRegime::TrustedWorkers => HitConfig::experiment2(),
+            ExperimentRegime::LookupWithGold => HitConfig::experiment3(n_items),
+        }
+    }
+
+    /// A human-readable name matching the paper's experiment numbering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExperimentRegime::AllWorkers => "Exp. 1: All",
+            ExperimentRegime::TrustedWorkers => "Exp. 2: Trusted",
+            ExperimentRegime::LookupWithGold => "Exp. 3: Lookup",
+        }
+    }
+
+    /// Runs the regime end-to-end on the given items.
+    pub fn run<O: LabelOracle>(
+        &self,
+        items: &[ItemId],
+        oracle: &O,
+        seed: u64,
+    ) -> Result<RegimeOutcome> {
+        let pool = self.worker_pool(seed);
+        let config = self.hit_config(items.len());
+        let platform = CrowdPlatform::new(config);
+        let run = platform.run(items, oracle, &pool, seed.wrapping_add(1))?;
+        // Experiment 3 discards the contributions of gold-excluded workers.
+        let judgments = match self {
+            ExperimentRegime::LookupWithGold => run.trusted_judgments(),
+            _ => run.judgments.clone(),
+        };
+        let verdicts = majority_vote(&judgments, items);
+        let accuracy = score_verdicts(&verdicts, |i| oracle.true_label(i));
+        Ok(RegimeOutcome {
+            regime: *self,
+            run,
+            verdicts,
+            accuracy,
+        })
+    }
+
+    /// All three regimes, in paper order.
+    pub fn all() -> [ExperimentRegime; 3] {
+        [
+            ExperimentRegime::AllWorkers,
+            ExperimentRegime::TrustedWorkers,
+            ExperimentRegime::LookupWithGold,
+        ]
+    }
+}
+
+/// The outcome of running one regime — one row of Table 1.
+#[derive(Debug, Clone)]
+pub struct RegimeOutcome {
+    /// Which regime produced this outcome.
+    pub regime: ExperimentRegime,
+    /// The raw simulation output (judgments, time, cost).
+    pub run: CrowdRun,
+    /// Per-item majority verdicts.
+    pub verdicts: Vec<ItemVerdict>,
+    /// Verdict counts scored against the ground truth.
+    pub accuracy: VoteAccuracy,
+}
+
+impl RegimeOutcome {
+    /// Fraction of classified items that match the ground truth (the
+    /// "%Correct" column of Table 1).
+    pub fn percent_correct(&self) -> f64 {
+        self.accuracy.precision()
+    }
+
+    /// Number of items that obtained a majority verdict (the "#Classified"
+    /// column of Table 1).
+    pub fn classified(&self) -> usize {
+        self.accuracy.classified
+    }
+
+    /// Wall-clock minutes the task took (the "Time" column of Table 1).
+    pub fn total_minutes(&self) -> f64 {
+        self.run.total_minutes
+    }
+
+    /// Total money spent.
+    pub fn total_cost(&self) -> f64 {
+        self.run.total_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::FnOracle;
+
+    /// An oracle resembling the paper's movie sample: 30 % of the items are
+    /// comedies and an average worker knows only a fraction of the items.
+    fn movie_like_oracle() -> impl LabelOracle {
+        FnOracle::new(
+            |i| i % 10 < 3,
+            |i| {
+                // Popular items are well-known, the long tail is obscure.
+                if i % 10 == 0 {
+                    0.8
+                } else {
+                    0.2
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn regime_presets_match_paper_setups() {
+        assert_eq!(ExperimentRegime::AllWorkers.worker_pool(1).len(), 89);
+        assert_eq!(ExperimentRegime::TrustedWorkers.worker_pool(1).len(), 27);
+        assert_eq!(ExperimentRegime::LookupWithGold.worker_pool(1).len(), 51);
+        assert_eq!(ExperimentRegime::LookupWithGold.hit_config(1000).gold_questions, 100);
+        assert!(ExperimentRegime::AllWorkers.name().contains("1"));
+        assert_eq!(ExperimentRegime::all().len(), 3);
+    }
+
+    #[test]
+    fn quality_ordering_matches_table1() {
+        // The paper's central Table 1 finding: Exp1 < Exp2 < Exp3 in
+        // accuracy, and Exp3 takes much longer.
+        let items: Vec<ItemId> = (0..200).collect();
+        let oracle = movie_like_oracle();
+        let exp1 = ExperimentRegime::AllWorkers.run(&items, &oracle, 41).unwrap();
+        let exp2 = ExperimentRegime::TrustedWorkers.run(&items, &oracle, 42).unwrap();
+        let exp3 = ExperimentRegime::LookupWithGold.run(&items, &oracle, 43).unwrap();
+
+        assert!(
+            exp1.percent_correct() < exp2.percent_correct(),
+            "exp1 {} !< exp2 {}",
+            exp1.percent_correct(),
+            exp2.percent_correct()
+        );
+        assert!(
+            exp2.percent_correct() < exp3.percent_correct(),
+            "exp2 {} !< exp3 {}",
+            exp2.percent_correct(),
+            exp3.percent_correct()
+        );
+        // Lookup is far slower.
+        assert!(exp3.total_minutes() > exp2.total_minutes());
+        // Lookup classifies nearly everything; trusted workers leave a
+        // noticeable share unclassified because they do not know every item.
+        assert!(exp3.classified() > exp2.classified());
+        assert!(exp2.accuracy.unclassified > 0);
+    }
+
+    #[test]
+    fn outcome_accessors_are_consistent() {
+        let items: Vec<ItemId> = (0..50).collect();
+        let oracle = movie_like_oracle();
+        let outcome = ExperimentRegime::TrustedWorkers.run(&items, &oracle, 7).unwrap();
+        assert_eq!(outcome.verdicts.len(), items.len());
+        assert_eq!(
+            outcome.classified() + outcome.accuracy.unclassified,
+            items.len()
+        );
+        assert!(outcome.total_cost() > 0.0);
+        assert!(outcome.percent_correct() >= 0.0 && outcome.percent_correct() <= 1.0);
+    }
+}

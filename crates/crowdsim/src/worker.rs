@@ -1,0 +1,263 @@
+//! Worker archetypes and worker pools.
+//!
+//! Section 4.1 of the paper identifies two clearly separated worker
+//! populations in Experiment 1: spammers "who supposedly knew nearly every
+//! movie (94 %), no matter how obscure, and judged them as being comedies in
+//! 56 % of all cases", and honest casual workers "who knew only roughly 26 %
+//! of all movies" and whose judgments track the true comedy ratio.
+//! Experiment 3 replaces personal judgment with a web lookup, trading speed
+//! for per-judgment accuracy of ≈ 93.5 %.
+//!
+//! These observations are encoded as [`WorkerProfile`]s; a [`WorkerPool`]
+//! instantiates a population of [`Worker`]s from them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::WorkerId;
+
+/// The behavioural archetype of a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerKind {
+    /// Abuses the task: claims to know almost every item and answers with a
+    /// fixed bias, ignoring the actual item.
+    Spammer,
+    /// Honest worker relying on personal knowledge; admits not knowing an
+    /// item.
+    Casual,
+    /// Honest worker from a trusted population; same behaviour as
+    /// [`WorkerKind::Casual`] but with slightly better accuracy.
+    Trusted,
+    /// Looks answers up on the Web; never answers "don't know", slow but
+    /// accurate.
+    Lookup,
+}
+
+/// Tunable behaviour of a worker archetype.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerProfile {
+    /// Archetype the profile belongs to.
+    pub kind: WorkerKind,
+    /// Probability of claiming to know an item *in addition to* the item's
+    /// intrinsic familiarity (spammers use 1.0 regardless of the item).
+    pub knowledge_boost: f64,
+    /// Probability of answering correctly, given that the worker knows (or
+    /// looked up) the item.
+    pub accuracy: f64,
+    /// Probability of answering "positive" when the worker is guessing
+    /// blindly (spammers).
+    pub positive_bias: f64,
+    /// Mean number of minutes the worker needs for one HIT (a batch of
+    /// items).
+    pub minutes_per_hit: f64,
+}
+
+impl WorkerProfile {
+    /// The spammer population observed in Experiment 1.
+    pub fn spammer() -> Self {
+        WorkerProfile {
+            kind: WorkerKind::Spammer,
+            knowledge_boost: 0.94,
+            accuracy: 0.5,
+            positive_bias: 0.56,
+            minutes_per_hit: 6.0,
+        }
+    }
+
+    /// The honest casual population observed in Experiment 1/2: knows about
+    /// a quarter of the items and classifies those with decent accuracy.
+    pub fn casual() -> Self {
+        WorkerProfile {
+            kind: WorkerKind::Casual,
+            knowledge_boost: 1.0,
+            accuracy: 0.85,
+            positive_bias: 0.5,
+            minutes_per_hit: 9.0,
+        }
+    }
+
+    /// The trusted population of Experiment 2 (spammers excluded by country
+    /// filtering); slightly more careful than the average casual worker.
+    pub fn trusted() -> Self {
+        WorkerProfile {
+            kind: WorkerKind::Trusted,
+            knowledge_boost: 1.0,
+            accuracy: 0.88,
+            positive_bias: 0.5,
+            minutes_per_hit: 10.0,
+        }
+    }
+
+    /// The lookup population of Experiment 3: always answers, ~93.5 %
+    /// per-judgment accuracy, several times slower per HIT.
+    pub fn lookup() -> Self {
+        WorkerProfile {
+            kind: WorkerKind::Lookup,
+            knowledge_boost: 1.0,
+            accuracy: 0.935,
+            positive_bias: 0.5,
+            minutes_per_hit: 28.0,
+        }
+    }
+}
+
+/// One simulated worker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Unique identifier within the pool.
+    pub id: WorkerId,
+    /// Behavioural profile.
+    pub profile: WorkerProfile,
+    /// This worker's actual minutes-per-HIT (drawn around the profile mean).
+    pub minutes_per_hit: f64,
+}
+
+/// A population of workers available to the platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// Builds a pool from explicit per-archetype counts.  Individual workers
+    /// get a per-HIT duration jittered ±30 % around the profile mean.
+    pub fn from_counts(counts: &[(WorkerProfile, usize)], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut workers = Vec::new();
+        let mut next_id: WorkerId = 0;
+        for &(profile, count) in counts {
+            for _ in 0..count {
+                let jitter = 0.7 + rng.gen::<f64>() * 0.6;
+                workers.push(Worker {
+                    id: next_id,
+                    profile,
+                    minutes_per_hit: profile.minutes_per_hit * jitter,
+                });
+                next_id += 1;
+            }
+        }
+        WorkerPool { workers }
+    }
+
+    /// The "all workers" population of Experiment 1: `n` workers, roughly
+    /// half of which are spammers.
+    pub fn unfiltered(n: usize, seed: u64) -> Self {
+        let spammers = n / 2;
+        WorkerPool::from_counts(
+            &[
+                (WorkerProfile::spammer(), spammers),
+                (WorkerProfile::casual(), n - spammers),
+            ],
+            seed,
+        )
+    }
+
+    /// The trusted population of Experiment 2: honest workers only.
+    pub fn trusted(n: usize, seed: u64) -> Self {
+        WorkerPool::from_counts(&[(WorkerProfile::trusted(), n)], seed)
+    }
+
+    /// The lookup population of Experiment 3: mostly lookup workers plus a
+    /// small share of spammers that the gold questions are meant to catch.
+    pub fn lookup(n: usize, seed: u64) -> Self {
+        let spammers = (n / 10).max(1);
+        WorkerPool::from_counts(
+            &[
+                (WorkerProfile::lookup(), n - spammers),
+                (WorkerProfile::spammer(), spammers),
+            ],
+            seed,
+        )
+    }
+
+    /// All workers in the pool.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Number of workers of a given archetype.
+    pub fn count_of(&self, kind: WorkerKind) -> usize {
+        self.workers.iter().filter(|w| w.profile.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_statistics() {
+        let s = WorkerProfile::spammer();
+        assert_eq!(s.kind, WorkerKind::Spammer);
+        assert!((s.knowledge_boost - 0.94).abs() < 1e-12);
+        assert!((s.positive_bias - 0.56).abs() < 1e-12);
+        let l = WorkerProfile::lookup();
+        assert!((l.accuracy - 0.935).abs() < 1e-12);
+        assert!(l.minutes_per_hit > WorkerProfile::casual().minutes_per_hit);
+    }
+
+    #[test]
+    fn pool_from_counts_assigns_unique_ids() {
+        let pool = WorkerPool::from_counts(
+            &[(WorkerProfile::spammer(), 3), (WorkerProfile::casual(), 2)],
+            1,
+        );
+        assert_eq!(pool.len(), 5);
+        let mut ids: Vec<u32> = pool.workers().iter().map(|w| w.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(pool.count_of(WorkerKind::Spammer), 3);
+        assert_eq!(pool.count_of(WorkerKind::Casual), 2);
+        assert_eq!(pool.count_of(WorkerKind::Lookup), 0);
+    }
+
+    #[test]
+    fn regime_pools_have_expected_composition() {
+        let e1 = WorkerPool::unfiltered(89, 2);
+        assert_eq!(e1.len(), 89);
+        assert!(e1.count_of(WorkerKind::Spammer) >= 40);
+        assert!(e1.count_of(WorkerKind::Casual) >= 40);
+
+        let e2 = WorkerPool::trusted(27, 3);
+        assert_eq!(e2.len(), 27);
+        assert_eq!(e2.count_of(WorkerKind::Trusted), 27);
+        assert_eq!(e2.count_of(WorkerKind::Spammer), 0);
+
+        let e3 = WorkerPool::lookup(51, 4);
+        assert_eq!(e3.len(), 51);
+        assert!(e3.count_of(WorkerKind::Lookup) >= 45);
+        assert!(e3.count_of(WorkerKind::Spammer) >= 1);
+    }
+
+    #[test]
+    fn per_worker_duration_is_jittered_but_close_to_profile() {
+        let pool = WorkerPool::trusted(50, 5);
+        let mean = WorkerProfile::trusted().minutes_per_hit;
+        for w in pool.workers() {
+            assert!(w.minutes_per_hit >= mean * 0.7 - 1e-9);
+            assert!(w.minutes_per_hit <= mean * 1.3 + 1e-9);
+        }
+        // Not all identical.
+        let first = pool.workers()[0].minutes_per_hit;
+        assert!(pool.workers().iter().any(|w| (w.minutes_per_hit - first).abs() > 1e-9));
+    }
+
+    #[test]
+    fn empty_pool() {
+        let pool = WorkerPool::from_counts(&[], 0);
+        assert!(pool.is_empty());
+        assert_eq!(pool.len(), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the crowd simulator: accounting invariants that
+//! must hold for any task configuration and worker pool.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+use crowdsim::{
+    majority_vote, CrowdPlatform, FnOracle, HitConfig, JudgmentResponse, WorkerPool,
+    WorkerProfile,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn crowd_runs_satisfy_accounting_invariants(
+        n_items in 5usize..40,
+        judgments_per_item in 1usize..6,
+        items_per_hit in 1usize..12,
+        n_workers in 3usize..20,
+        spam_fraction in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let items: Vec<u32> = (0..n_items as u32).collect();
+        let spammers = ((n_workers as f64) * spam_fraction) as usize;
+        let pool = WorkerPool::from_counts(
+            &[
+                (WorkerProfile::spammer(), spammers),
+                (WorkerProfile::casual(), n_workers - spammers),
+            ],
+            seed,
+        );
+        prop_assume!(!pool.is_empty());
+        let config = HitConfig {
+            items_per_hit,
+            judgments_per_item,
+            payment_per_hit: 0.02,
+            ..Default::default()
+        };
+        let oracle = FnOracle::new(|i| i % 4 == 0, |i| 0.1 + (i % 7) as f64 / 10.0);
+        let run = CrowdPlatform::new(config.clone()).run(&items, &oracle, &pool, seed).unwrap();
+
+        // 1. No worker judges the same item twice.
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        for j in &run.judgments {
+            prop_assert!(seen.insert((j.worker, j.item)), "duplicate judgment");
+        }
+        // 2. Every item receives at most judgments_per_item judgments, and
+        //    when the pool is large enough, exactly that many.
+        let mut per_item: HashMap<u32, usize> = HashMap::new();
+        for j in &run.judgments {
+            *per_item.entry(j.item).or_default() += 1;
+        }
+        for (_, &count) in &per_item {
+            prop_assert!(count <= judgments_per_item);
+            if n_workers >= judgments_per_item {
+                prop_assert_eq!(count, judgments_per_item);
+            }
+        }
+        // 3. Cost equals completed HITs times payment, and timestamps /
+        //    cumulative costs are monotone in judgment order.
+        prop_assert!((run.total_cost - run.hits_completed as f64 * 0.02).abs() < 1e-9);
+        for w in run.judgments.windows(2) {
+            prop_assert!(w[0].minutes <= w[1].minutes + 1e-9);
+        }
+        let max_cost = run.judgments.iter().map(|j| j.cumulative_cost).fold(0.0, f64::max);
+        prop_assert!(max_cost <= run.total_cost + 1e-9);
+        // 4. Wall-clock time covers every judgment.
+        for j in &run.judgments {
+            prop_assert!(j.minutes <= run.total_minutes + 1e-9);
+        }
+    }
+
+    #[test]
+    fn majority_vote_verdicts_follow_the_tallies(
+        votes in prop::collection::vec((0u32..10, 0u8..3), 1..150),
+    ) {
+        // Build raw judgments from (item, response-code) pairs.
+        let judgments: Vec<crowdsim::Judgment> = votes
+            .iter()
+            .enumerate()
+            .map(|(i, &(item, code))| crowdsim::Judgment {
+                item,
+                worker: i as u32,
+                response: match code {
+                    0 => JudgmentResponse::Positive,
+                    1 => JudgmentResponse::Negative,
+                    _ => JudgmentResponse::Unknown,
+                },
+                minutes: i as f64,
+                cumulative_cost: 0.0,
+                is_gold: false,
+            })
+            .collect();
+        let items: Vec<u32> = (0..10).collect();
+        let verdicts = majority_vote(&judgments, &items);
+        prop_assert_eq!(verdicts.len(), items.len());
+        for v in &verdicts {
+            // The verdict matches a manual recount.
+            let pos = judgments
+                .iter()
+                .filter(|j| j.item == v.item && j.response == JudgmentResponse::Positive)
+                .count();
+            let neg = judgments
+                .iter()
+                .filter(|j| j.item == v.item && j.response == JudgmentResponse::Negative)
+                .count();
+            prop_assert_eq!(v.tally.positive, pos);
+            prop_assert_eq!(v.tally.negative, neg);
+            let expected = if pos > neg {
+                Some(true)
+            } else if neg > pos {
+                Some(false)
+            } else {
+                None
+            };
+            prop_assert_eq!(v.verdict, expected);
+        }
+    }
+}

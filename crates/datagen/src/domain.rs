@@ -1,0 +1,261 @@
+//! Domain configurations and the paper's three domain presets.
+
+use serde::{Deserialize, Serialize};
+
+use perceptual::RatingScale;
+
+/// One binary perceptual category of a domain (a movie genre, a restaurant
+/// property, a board-game mechanic, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategorySpec {
+    /// Human-readable name (e.g. `"Comedy"`, `"Party Game"`).
+    pub name: String,
+    /// Fraction of items that belong to the category.
+    pub prevalence: f64,
+    /// How strongly the category influences rating behaviour, in `[0, 1]`.
+    /// Truly perceptual categories (comedy, party game) have high influence;
+    /// mostly factual ones (modular board) have low influence — this is what
+    /// makes them hard to extract from a perceptual space, exactly as the
+    /// paper observes in Section 4.5.
+    pub perceptual_strength: f64,
+}
+
+impl CategorySpec {
+    /// Creates a category with full perceptual strength.
+    pub fn new(name: impl Into<String>, prevalence: f64) -> Self {
+        CategorySpec {
+            name: name.into(),
+            prevalence,
+            perceptual_strength: 1.0,
+        }
+    }
+
+    /// Creates a category whose membership barely influences ratings.
+    pub fn factual(name: impl Into<String>, prevalence: f64) -> Self {
+        CategorySpec {
+            name: name.into(),
+            prevalence,
+            perceptual_strength: 0.15,
+        }
+    }
+}
+
+/// Configuration of a synthetic rating domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainConfig {
+    /// Domain name (used for table names and reports).
+    pub name: String,
+    /// Number of items.
+    pub n_items: usize,
+    /// Number of users.
+    pub n_users: usize,
+    /// Binary categories with their prevalences.
+    pub categories: Vec<CategorySpec>,
+    /// Rating scale.
+    pub scale: RatingScale,
+    /// Average number of ratings per user.
+    pub ratings_per_user: usize,
+    /// Dimensionality of the latent trait space used for generation.
+    pub latent_dimensions: usize,
+    /// Standard deviation of the rating noise.
+    pub noise_std: f64,
+    /// Strength of the preference signal (how much the user–item trait
+    /// distance influences the rating).
+    pub preference_strength: f64,
+}
+
+impl DomainConfig {
+    /// The movie domain (Netflix-Prize-like): 6 genres shared by the three
+    /// expert databases, comedy prevalence 30.1 % as reported in Section 4.1.
+    ///
+    /// The default scale (2,000 movies, 20,000 users, ≈ 50 ratings per user ≈
+    /// 1 M ratings) keeps a full experiment run in the minutes range; use
+    /// [`DomainConfig::movies_full_scale`] or [`DomainConfig::scaled`] to
+    /// change it.
+    pub fn movies() -> Self {
+        DomainConfig {
+            name: "movies".into(),
+            n_items: 2_000,
+            n_users: 20_000,
+            categories: vec![
+                CategorySpec::new("Comedy", 0.301),
+                CategorySpec::new("Documentary", 0.08),
+                CategorySpec::new("Drama", 0.45),
+                CategorySpec::new("Family", 0.12),
+                CategorySpec::new("Horror", 0.10),
+                CategorySpec::new("Romance", 0.17),
+            ],
+            scale: RatingScale::FIVE_STAR,
+            ratings_per_user: 50,
+            latent_dimensions: 12,
+            noise_std: 0.6,
+            preference_strength: 1.6,
+        }
+    }
+
+    /// The movie domain at the paper's item count (10,562 movies, 480 k
+    /// users).  Only use this from release-mode benchmark binaries.
+    pub fn movies_full_scale() -> Self {
+        DomainConfig {
+            n_items: 10_562,
+            n_users: 480_000,
+            ratings_per_user: 180,
+            ..DomainConfig::movies()
+        }
+    }
+
+    /// The restaurant domain (Yelp-like): 10 categories mixing perceptual
+    /// properties (trendy ambience, noise level) and factual ones.
+    pub fn restaurants() -> Self {
+        DomainConfig {
+            name: "restaurants".into(),
+            n_items: 1_500,
+            n_users: 12_000,
+            categories: vec![
+                CategorySpec::new("Ambience: Trendy", 0.20),
+                CategorySpec::new("Attire: Dressy", 0.15),
+                CategorySpec::new("Category: Fast Food", 0.18),
+                CategorySpec::new("Good For Kids", 0.35),
+                CategorySpec::new("Noise Level: Very Loud", 0.12),
+                CategorySpec::new("Romantic", 0.14),
+                CategorySpec::new("Outdoor Seating", 0.30),
+                CategorySpec::factual("Accepts Credit Cards", 0.85),
+                CategorySpec::new("Upscale", 0.10),
+                CategorySpec::factual("Open Late", 0.25),
+            ],
+            scale: RatingScale::FIVE_STAR,
+            ratings_per_user: 40,
+            latent_dimensions: 10,
+            noise_std: 0.7,
+            preference_strength: 1.4,
+        }
+    }
+
+    /// The restaurant domain at the paper's scale (3,811 restaurants,
+    /// 128,486 users, ≈ 626 k ratings).
+    pub fn restaurants_full_scale() -> Self {
+        DomainConfig {
+            n_items: 3_811,
+            n_users: 128_486,
+            ratings_per_user: 5,
+            ..DomainConfig::restaurants()
+        }
+    }
+
+    /// The board-game domain (BoardGameGeek-like): 20 categories; mechanics
+    /// such as "Modular Board" are mostly factual and therefore hard to
+    /// extract, matching Table 6.
+    pub fn board_games() -> Self {
+        let mut categories = vec![
+            CategorySpec::new("Collectible Components", 0.06),
+            CategorySpec::new("Children's Game", 0.12),
+            CategorySpec::new("Party Game", 0.14),
+            CategorySpec::factual("Modular Board", 0.10),
+            CategorySpec::new("Route/Network Building", 0.08),
+            CategorySpec::new("Worker Placement", 0.09),
+            CategorySpec::new("Cooperative", 0.07),
+            CategorySpec::new("Deck Building", 0.06),
+            CategorySpec::factual("Dice Rolling", 0.40),
+            CategorySpec::new("War Game", 0.15),
+        ];
+        for i in 0..10 {
+            // The remaining thematic categories.
+            categories.push(CategorySpec::new(format!("Theme {}", i + 1), 0.05 + 0.01 * i as f64));
+        }
+        DomainConfig {
+            name: "board_games".into(),
+            n_items: 2_500,
+            n_users: 10_000,
+            categories,
+            scale: RatingScale::TEN_POINT,
+            ratings_per_user: 60,
+            latent_dimensions: 14,
+            noise_std: 1.0,
+            preference_strength: 2.2,
+        }
+    }
+
+    /// The board-game domain at the paper's scale (32,337 games, 73,705
+    /// users, ≈ 3.5 M ratings).
+    pub fn board_games_full_scale() -> Self {
+        DomainConfig {
+            n_items: 32_337,
+            n_users: 73_705,
+            ratings_per_user: 48,
+            ..DomainConfig::board_games()
+        }
+    }
+
+    /// Returns a copy with item count, user count, and per-user activity
+    /// scaled by `factor` (minimum sizes are enforced so tiny factors still
+    /// produce a usable domain).
+    pub fn scaled(&self, factor: f64) -> Self {
+        let factor = factor.max(0.001);
+        DomainConfig {
+            n_items: ((self.n_items as f64 * factor) as usize).max(50),
+            n_users: ((self.n_users as f64 * factor) as usize).max(200),
+            ratings_per_user: ((self.ratings_per_user as f64 * factor.sqrt()) as usize).max(10),
+            ..self.clone()
+        }
+    }
+
+    /// Expected total number of ratings.
+    pub fn expected_ratings(&self) -> usize {
+        self.n_users * self.ratings_per_user
+    }
+
+    /// Names of the categories.
+    pub fn category_names(&self) -> Vec<String> {
+        self.categories.iter().map(|c| c.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_structure() {
+        let movies = DomainConfig::movies();
+        assert_eq!(movies.categories.len(), 6);
+        assert!((movies.categories[0].prevalence - 0.301).abs() < 1e-9);
+        assert_eq!(movies.scale, RatingScale::FIVE_STAR);
+
+        let restaurants = DomainConfig::restaurants();
+        assert_eq!(restaurants.categories.len(), 10);
+
+        let games = DomainConfig::board_games();
+        assert_eq!(games.categories.len(), 20);
+        assert_eq!(games.scale, RatingScale::TEN_POINT);
+        // Modular Board is a factual category.
+        let modular = games.categories.iter().find(|c| c.name == "Modular Board").unwrap();
+        assert!(modular.perceptual_strength < 0.5);
+    }
+
+    #[test]
+    fn full_scale_presets_match_paper_counts() {
+        assert_eq!(DomainConfig::movies_full_scale().n_items, 10_562);
+        assert_eq!(DomainConfig::restaurants_full_scale().n_items, 3_811);
+        assert_eq!(DomainConfig::board_games_full_scale().n_items, 32_337);
+    }
+
+    #[test]
+    fn scaling_respects_minimums() {
+        let tiny = DomainConfig::movies().scaled(0.0001);
+        assert!(tiny.n_items >= 50);
+        assert!(tiny.n_users >= 200);
+        assert!(tiny.ratings_per_user >= 10);
+        let half = DomainConfig::movies().scaled(0.5);
+        assert_eq!(half.n_items, 1000);
+        assert!(half.expected_ratings() > 0);
+    }
+
+    #[test]
+    fn category_spec_constructors() {
+        let c = CategorySpec::new("Comedy", 0.3);
+        assert_eq!(c.perceptual_strength, 1.0);
+        let f = CategorySpec::factual("Modular Board", 0.1);
+        assert!(f.perceptual_strength < 0.5);
+        assert_eq!(DomainConfig::movies().category_names()[0], "Comedy");
+    }
+}

@@ -1,0 +1,51 @@
+//! # datagen — synthetic Social-Web data sets
+//!
+//! The paper's evaluation uses three real rating collections that we cannot
+//! redistribute or download at build time:
+//!
+//! * the **Netflix Prize** data (103 M ratings, 480 k users, 17,770 movies)
+//!   joined with IMDb / Netflix / Rotten Tomatoes genre labels (10,562 movies
+//!   with agreed ground truth),
+//! * a **Yelp** crawl of San Francisco restaurants (3,811 restaurants,
+//!   626 k ratings, 10 editorial categories),
+//! * a **BoardGameGeek** crawl (32,337 games, 3.5 M ratings, 20 categories).
+//!
+//! This crate provides generative substitutes with *planted* perceptual
+//! structure: every item carries ground-truth binary categories and a latent
+//! trait vector; users carry preference vectors and biases; ratings are
+//! sampled from the same distance-based preference model that the paper's
+//! Euclidean embedding assumes (plus noise and realistic sparsity).  The key
+//! property the experiments need — *rating behaviour encodes perceptual
+//! attributes, item metadata text does not* — holds by construction, so the
+//! pipelines of Sections 4.2–4.5 can be exercised end-to-end and scored
+//! against a known ground truth.
+//!
+//! The [`DomainConfig`] presets mirror the three paper domains at a scale
+//! that runs comfortably on a laptop; `*_full_scale` variants match the
+//! paper's item counts for benchmark runs.
+//!
+//! ```
+//! use datagen::{DomainConfig, SyntheticDomain};
+//!
+//! let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.05), 42).unwrap();
+//! assert!(domain.items().len() >= 100);
+//! assert_eq!(domain.category_names().len(), 6);
+//! let comedies = domain.items_with_category(0);
+//! assert!(!comedies.is_empty());
+//! ```
+
+pub mod domain;
+pub mod experts;
+pub mod generator;
+pub mod metadata;
+pub mod oracle;
+
+pub use domain::{CategorySpec, DomainConfig};
+pub use experts::{ExpertDatabase, ExpertPanel};
+pub use generator::{Item, SyntheticDomain};
+pub use metadata::MetadataGenerator;
+pub use oracle::CategoryOracle;
+
+/// Result alias: generation failures are reported via the perceptual crate's
+/// error type (the only fallible substrate used during generation).
+pub type Result<T> = std::result::Result<T, perceptual::PerceptualError>;

@@ -1,0 +1,92 @@
+//! Bridging a synthetic domain to the crowd simulator.
+
+use crowdsim::LabelOracle;
+
+use crate::generator::SyntheticDomain;
+
+/// A [`LabelOracle`] view of one category of a [`SyntheticDomain`]: the
+/// crowd simulator asks it for the true label (so honest workers can answer
+/// correctly) and for the item's familiarity (so "I don't know this movie"
+/// answers occur at a realistic rate).
+#[derive(Debug, Clone, Copy)]
+pub struct CategoryOracle<'a> {
+    domain: &'a SyntheticDomain,
+    category: usize,
+}
+
+impl<'a> CategoryOracle<'a> {
+    /// Creates an oracle for `category` (panics if the index is out of
+    /// range, which would be a programming error in the experiment harness).
+    pub fn new(domain: &'a SyntheticDomain, category: usize) -> Self {
+        assert!(
+            category < domain.category_names().len(),
+            "category index {category} out of range"
+        );
+        CategoryOracle { domain, category }
+    }
+
+    /// The category this oracle exposes.
+    pub fn category(&self) -> usize {
+        self.category
+    }
+
+    /// The underlying domain.
+    pub fn domain(&self) -> &SyntheticDomain {
+        self.domain
+    }
+}
+
+impl LabelOracle for CategoryOracle<'_> {
+    fn true_label(&self, item: u32) -> bool {
+        self.domain
+            .item(item)
+            .map_or(false, |i| i.categories[self.category])
+    }
+
+    fn familiarity(&self, item: u32) -> f64 {
+        self.domain.familiarity(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainConfig;
+
+    #[test]
+    fn oracle_reflects_domain_ground_truth() {
+        let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.03), 9).unwrap();
+        let oracle = CategoryOracle::new(&domain, 0);
+        assert_eq!(oracle.category(), 0);
+        let labels = domain.labels_for_category(0);
+        for (i, &truth) in labels.iter().enumerate().take(50) {
+            assert_eq!(oracle.true_label(i as u32), truth);
+        }
+        // Unknown items are "not in the category" and unfamiliar.
+        assert!(!oracle.true_label(u32::MAX));
+        assert_eq!(oracle.familiarity(u32::MAX), 0.0);
+        let fam = oracle.familiarity(0);
+        assert!((0.0..=1.0).contains(&fam));
+        assert_eq!(oracle.domain().items().len(), domain.items().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_category_panics() {
+        let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.03), 9).unwrap();
+        let _ = CategoryOracle::new(&domain, 99);
+    }
+
+    #[test]
+    fn oracle_integrates_with_the_crowd_platform() {
+        use crowdsim::{CrowdPlatform, HitConfig, WorkerPool};
+        let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.03), 10).unwrap();
+        let oracle = CategoryOracle::new(&domain, 0);
+        let items: Vec<u32> = (0..30).collect();
+        let pool = WorkerPool::trusted(12, 1);
+        let run = CrowdPlatform::new(HitConfig::default())
+            .run(&items, &oracle, &pool, 2)
+            .unwrap();
+        assert_eq!(run.judgments.len(), 300);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the synthetic-domain generator: structural
+//! invariants that must hold for any configuration.
+
+use proptest::prelude::*;
+
+use datagen::{DomainConfig, ExpertPanel, MetadataGenerator, SyntheticDomain};
+
+fn any_domain_config() -> impl Strategy<Value = DomainConfig> {
+    (0.02f64..0.12, 0u8..3).prop_map(|(factor, which)| {
+        let base = match which {
+            0 => DomainConfig::movies(),
+            1 => DomainConfig::restaurants(),
+            _ => DomainConfig::board_games(),
+        };
+        base.scaled(factor)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_domains_are_structurally_sound(config in any_domain_config(), seed in 0u64..1000) {
+        let domain = SyntheticDomain::generate(&config, seed).unwrap();
+        // Exactly one item record per declared item, ids dense and ordered.
+        prop_assert_eq!(domain.items().len(), config.n_items);
+        for (i, item) in domain.items().iter().enumerate() {
+            prop_assert_eq!(item.id as usize, i);
+            prop_assert_eq!(item.categories.len(), config.categories.len());
+            prop_assert!(item.familiarity >= 0.0 && item.familiarity <= 1.0);
+            prop_assert!(item.popularity >= 0.0 && item.popularity <= 1.0);
+            prop_assert!(item.latent.iter().all(|v| v.is_finite()));
+        }
+        // Ratings respect the declared universe and scale.
+        let ratings = domain.ratings();
+        prop_assert_eq!(ratings.n_items(), config.n_items);
+        prop_assert_eq!(ratings.n_users(), config.n_users);
+        prop_assert!(ratings.len() > 0);
+        for r in ratings.ratings() {
+            prop_assert!((r.item as usize) < config.n_items);
+            prop_assert!((r.user as usize) < config.n_users);
+            prop_assert!(r.score >= config.scale.min && r.score <= config.scale.max);
+        }
+        // Category label vectors agree with the per-item membership flags.
+        for cat in 0..config.categories.len() {
+            let labels = domain.labels_for_category(cat);
+            prop_assert_eq!(labels.len(), config.n_items);
+            let positives = domain.items_with_category(cat);
+            prop_assert_eq!(positives.len(), labels.iter().filter(|&&l| l).count());
+            for &item in &positives {
+                prop_assert!(labels[item as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_and_expert_panels_align_with_the_domain(seed in 0u64..200) {
+        let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.03), seed).unwrap();
+        let docs = MetadataGenerator::default().generate(&domain, seed);
+        prop_assert_eq!(docs.len(), domain.items().len());
+        prop_assert!(docs.iter().all(|d| !d.trim().is_empty()));
+
+        let panel = ExpertPanel::standard(&domain, seed);
+        for source in panel.sources() {
+            prop_assert_eq!(source.labels.len(), domain.category_names().len());
+            for cat in 0..domain.category_names().len() {
+                prop_assert_eq!(source.category_labels(cat).len(), domain.items().len());
+                // Each source disagrees with ground truth on at most ~3x its
+                // nominal noise rate (loose bound, guards against systematic
+                // label corruption bugs).
+                let truth = domain.labels_for_category(cat);
+                let disagreement = truth
+                    .iter()
+                    .zip(source.category_labels(cat))
+                    .filter(|(a, b)| a != b)
+                    .count() as f64
+                    / truth.len() as f64;
+                prop_assert!(disagreement <= source.noise_rate * 3.0 + 0.05);
+            }
+        }
+        // The majority of three low-noise sources is closer to the truth
+        // than the noisiest individual source.
+        let truth = domain.labels_for_category(0);
+        let majority = panel.majority(0);
+        let agree = |labels: &[bool]| {
+            truth.iter().zip(labels).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
+        };
+        let worst = panel
+            .sources()
+            .iter()
+            .map(|s| agree(s.category_labels(0)))
+            .fold(f64::MAX, f64::min);
+        prop_assert!(agree(&majority) >= worst - 1e-9);
+    }
+}

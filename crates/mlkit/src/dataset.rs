@@ -1,0 +1,308 @@
+//! Dataset helpers: labeled feature sets, train/test splits, balanced
+//! sampling, and label corruption.
+//!
+//! The paper's Table 3 experiment draws `n` positive and `n` negative
+//! training examples uniformly at random from the reference data and repeats
+//! this 20 times ([`BalancedSample`]).  Table 4 corrupts a fraction `x` of
+//! the labels by swapping them ([`LabeledDataset::with_swapped_labels`]).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::MlError;
+use crate::Result;
+
+/// A set of dense feature vectors with binary labels.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledDataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+}
+
+impl LabeledDataset {
+    /// Creates a dataset from parallel feature / label vectors.
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<bool>) -> Result<Self> {
+        if features.len() != labels.len() {
+            return Err(MlError::InvalidInput(format!(
+                "{} feature vectors but {} labels",
+                features.len(),
+                labels.len()
+            )));
+        }
+        if let Some(first) = features.first() {
+            let dim = first.len();
+            if features.iter().any(|f| f.len() != dim) {
+                return Err(MlError::InvalidInput(
+                    "feature vectors have inconsistent dimensionality".into(),
+                ));
+            }
+        }
+        Ok(LabeledDataset { features, labels })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Dimensionality of the feature vectors (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, |f| f.len())
+    }
+
+    /// Borrow the feature vectors.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Borrow the labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Indices of all positive examples.
+    pub fn positive_indices(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| l.then_some(i))
+            .collect()
+    }
+
+    /// Indices of all negative examples.
+    pub fn negative_indices(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (!l).then_some(i))
+            .collect()
+    }
+
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&l| l).count() as f64 / self.labels.len() as f64
+    }
+
+    /// Builds the sub-dataset addressed by `indices` (cloning features).
+    pub fn subset(&self, indices: &[usize]) -> LabeledDataset {
+        let features = indices.iter().map(|&i| self.features[i].clone()).collect();
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        LabeledDataset { features, labels }
+    }
+
+    /// Returns a copy of the dataset with the labels of a random fraction
+    /// `fraction` of the examples swapped (true ↔ false).  This is the label
+    /// corruption model behind Table 4 ("x% of all labels are wrong").
+    ///
+    /// The returned vector lists the indices whose labels were swapped.
+    pub fn with_swapped_labels(&self, fraction: f64, seed: u64) -> (LabeledDataset, Vec<usize>) {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(&mut rng);
+        let n_swap = ((self.len() as f64) * fraction).round() as usize;
+        let swapped: Vec<usize> = indices.into_iter().take(n_swap).collect();
+        let mut labels = self.labels.clone();
+        for &i in &swapped {
+            labels[i] = !labels[i];
+        }
+        (
+            LabeledDataset {
+                features: self.features.clone(),
+                labels,
+            },
+            swapped,
+        )
+    }
+
+    /// Random train/test split; `train_fraction` of the examples (rounded
+    /// down, at least one if non-empty) go to the training side.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> TrainTestSplit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(&mut rng);
+        let n_train = if self.is_empty() {
+            0
+        } else {
+            (((self.len() as f64) * train_fraction) as usize).clamp(1, self.len())
+        };
+        let (train_idx, test_idx) = indices.split_at(n_train);
+        TrainTestSplit {
+            train: self.subset(train_idx),
+            test: self.subset(test_idx),
+        }
+    }
+
+    /// Draws a class-balanced sample of `n_per_class` positive and
+    /// `n_per_class` negative examples (without replacement).  The remaining
+    /// examples form the evaluation set, mirroring the paper's Table 3
+    /// protocol.
+    pub fn balanced_sample(&self, n_per_class: usize, seed: u64) -> Result<BalancedSample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pos = self.positive_indices();
+        let mut neg = self.negative_indices();
+        if pos.len() < n_per_class {
+            return Err(MlError::InvalidInput(format!(
+                "requested {n_per_class} positive examples but only {} available",
+                pos.len()
+            )));
+        }
+        if neg.len() < n_per_class {
+            return Err(MlError::InvalidInput(format!(
+                "requested {n_per_class} negative examples but only {} available",
+                neg.len()
+            )));
+        }
+        pos.shuffle(&mut rng);
+        neg.shuffle(&mut rng);
+        let mut train_idx: Vec<usize> = pos.iter().take(n_per_class).copied().collect();
+        train_idx.extend(neg.iter().take(n_per_class).copied());
+        let train_set: std::collections::HashSet<usize> = train_idx.iter().copied().collect();
+        let eval_idx: Vec<usize> = (0..self.len()).filter(|i| !train_set.contains(i)).collect();
+        Ok(BalancedSample {
+            train: self.subset(&train_idx),
+            train_indices: train_idx,
+            eval: self.subset(&eval_idx),
+            eval_indices: eval_idx,
+        })
+    }
+}
+
+/// Result of [`LabeledDataset::split`].
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// Training portion.
+    pub train: LabeledDataset,
+    /// Held-out portion.
+    pub test: LabeledDataset,
+}
+
+/// Result of [`LabeledDataset::balanced_sample`]: a small balanced training
+/// set plus the remaining evaluation examples, with their original indices.
+#[derive(Debug, Clone)]
+pub struct BalancedSample {
+    /// The `2 n` balanced training examples.
+    pub train: LabeledDataset,
+    /// Original indices of the training examples.
+    pub train_indices: Vec<usize>,
+    /// All remaining examples.
+    pub eval: LabeledDataset,
+    /// Original indices of the evaluation examples.
+    pub eval_indices: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, pos_every: usize) -> LabeledDataset {
+        let features: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let labels: Vec<bool> = (0..n).map(|i| i % pos_every == 0).collect();
+        LabeledDataset::new(features, labels).unwrap()
+    }
+
+    #[test]
+    fn new_validates_inputs() {
+        assert!(LabeledDataset::new(vec![vec![1.0]], vec![true, false]).is_err());
+        assert!(LabeledDataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![true, false]).is_err());
+        let d = LabeledDataset::new(vec![], vec![]).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.dim(), 0);
+        assert_eq!(d.positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn indices_and_rate() {
+        let d = toy(10, 2);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.positive_indices(), vec![0, 2, 4, 6, 8]);
+        assert_eq!(d.negative_indices(), vec![1, 3, 5, 7, 9]);
+        assert!((d.positive_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_preserves_alignment() {
+        let d = toy(10, 3);
+        let s = d.subset(&[0, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels(), &[true, true, false]);
+        assert_eq!(s.features()[2], vec![5.0, 25.0]);
+    }
+
+    #[test]
+    fn swapped_labels_swaps_exactly_requested_fraction() {
+        let d = toy(100, 4);
+        let (corrupted, swapped) = d.with_swapped_labels(0.2, 99);
+        assert_eq!(swapped.len(), 20);
+        let differing = d
+            .labels()
+            .iter()
+            .zip(corrupted.labels())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(differing, 20);
+        // Swapped indices are exactly the differing positions.
+        for &i in &swapped {
+            assert_ne!(d.labels()[i], corrupted.labels()[i]);
+        }
+    }
+
+    #[test]
+    fn swapped_labels_clamps_fraction() {
+        let d = toy(10, 2);
+        let (c, swapped) = d.with_swapped_labels(2.0, 1);
+        assert_eq!(swapped.len(), 10);
+        assert!(d.labels().iter().zip(c.labels()).all(|(a, b)| a != b));
+        let (_, none) = d.with_swapped_labels(-1.0, 1);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn split_partitions_all_examples() {
+        let d = toy(50, 5);
+        let split = d.split(0.7, 7);
+        assert_eq!(split.train.len() + split.test.len(), 50);
+        assert_eq!(split.train.len(), 35);
+    }
+
+    #[test]
+    fn balanced_sample_has_exact_class_counts() {
+        let d = toy(100, 4); // 25 positives
+        let s = d.balanced_sample(10, 3).unwrap();
+        assert_eq!(s.train.len(), 20);
+        assert_eq!(s.train.positive_indices().len(), 10);
+        assert_eq!(s.eval.len(), 80);
+        assert_eq!(s.train_indices.len(), 20);
+        assert_eq!(s.eval_indices.len(), 80);
+        // No overlap between train and eval indices.
+        for i in &s.train_indices {
+            assert!(!s.eval_indices.contains(i));
+        }
+    }
+
+    #[test]
+    fn balanced_sample_rejects_oversized_requests() {
+        let d = toy(20, 4); // 5 positives
+        assert!(d.balanced_sample(6, 1).is_err());
+        let all_pos = LabeledDataset::new(vec![vec![0.0]; 5], vec![true; 5]).unwrap();
+        assert!(all_pos.balanced_sample(1, 1).is_err());
+    }
+
+    #[test]
+    fn balanced_sample_differs_across_seeds() {
+        let d = toy(200, 3);
+        let a = d.balanced_sample(10, 1).unwrap();
+        let b = d.balanced_sample(10, 2).unwrap();
+        assert_ne!(a.train_indices, b.train_indices);
+    }
+}

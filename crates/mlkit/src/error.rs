@@ -1,0 +1,61 @@
+//! Error types for the ml toolkit.
+
+use std::fmt;
+
+/// Errors produced by training or applying models in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// The training inputs are structurally invalid (empty, mismatched
+    /// lengths, inconsistent dimensionality, …).
+    InvalidInput(String),
+    /// A hyper-parameter is outside its valid range.
+    InvalidParameter(String),
+    /// Training requires at least one example of each class.
+    MissingClass {
+        /// `true` when positive examples are missing, `false` for negatives.
+        positive: bool,
+    },
+    /// A numerical routine failed to converge or produced non-finite values.
+    Numerical(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            MlError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            MlError::MissingClass { positive } => {
+                let which = if *positive { "positive" } else { "negative" };
+                write!(f, "training data contains no {which} examples")
+            }
+            MlError::Numerical(msg) => write!(f, "numerical error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MlError::InvalidInput("empty training set".into());
+        assert!(e.to_string().contains("empty training set"));
+        let e = MlError::MissingClass { positive: true };
+        assert!(e.to_string().contains("positive"));
+        let e = MlError::MissingClass { positive: false };
+        assert!(e.to_string().contains("negative"));
+        let e = MlError::InvalidParameter("C must be > 0".into());
+        assert!(e.to_string().contains("C must be > 0"));
+        let e = MlError::Numerical("NaN".into());
+        assert!(e.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&MlError::Numerical("x".into()));
+    }
+}

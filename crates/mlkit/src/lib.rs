@@ -1,0 +1,58 @@
+//! # mlkit — a small, self-contained machine-learning toolkit
+//!
+//! This crate implements, from scratch, every learning component the paper
+//! *"Pushing the Boundaries of Crowd-enabled Databases with Query-driven
+//! Schema Expansion"* (VLDB 2012) relies on:
+//!
+//! * dense [`linalg`] primitives (matrices, QR, truncated SVD via subspace
+//!   iteration) used by the LSI baseline,
+//! * [`kernel`] functions (linear, RBF) shared by all SVM variants,
+//! * a kernel dual-coordinate-descent binary [`svm::SvmClassifier`] with
+//!   class weighting, the ε-insensitive [`svm::SvrRegressor`], and a
+//!   label-switching transductive [`svm::TsvmClassifier`] (Section 5 of the
+//!   paper),
+//! * an [`lsi`] pipeline (tokenizer → TF-IDF → truncated SVD) implementing
+//!   the "metadata space" baseline of Sections 4.3–4.4,
+//! * evaluation [`metrics`] (accuracy, g-mean, precision/recall, Pearson
+//!   correlation) used throughout the paper's tables,
+//! * [`dataset`] helpers for balanced sampling, splits, and label corruption.
+//!
+//! The crate has no dependency on the rest of the workspace so that it can be
+//! reused (and tested) in isolation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mlkit::{Kernel, SvmClassifier, SvmParams};
+//!
+//! // Tiny linearly separable problem.
+//! let xs = vec![
+//!     vec![0.0, 0.0],
+//!     vec![0.1, 0.2],
+//!     vec![1.0, 1.0],
+//!     vec![0.9, 1.1],
+//! ];
+//! let ys = vec![false, false, true, true];
+//! let params = SvmParams { kernel: Kernel::Linear, c: 10.0, ..Default::default() };
+//! let model = SvmClassifier::train(&xs, &ys, &params).unwrap();
+//! assert!(model.predict(&[1.0, 0.9]));
+//! assert!(!model.predict(&[0.05, 0.05]));
+//! ```
+
+pub mod dataset;
+pub mod error;
+pub mod kernel;
+pub mod linalg;
+pub mod lsi;
+pub mod metrics;
+pub mod svm;
+
+pub use dataset::{BalancedSample, LabeledDataset, TrainTestSplit};
+pub use error::MlError;
+pub use kernel::Kernel;
+pub use lsi::{LsiModel, TfIdfVectorizer, Tokenizer};
+pub use metrics::{gmean, pearson_correlation, BinaryConfusion};
+pub use svm::{SvmClassifier, SvmParams, SvrParams, SvrRegressor, TsvmClassifier, TsvmParams};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, MlError>;

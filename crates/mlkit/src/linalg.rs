@@ -1,0 +1,634 @@
+//! Dense linear-algebra primitives.
+//!
+//! The LSI "metadata space" baseline of the paper needs a truncated SVD of a
+//! (documents × terms) TF-IDF matrix.  Rather than pulling in an external
+//! linear-algebra stack, this module provides a compact row-major
+//! [`Matrix`] type together with the handful of routines required:
+//! matrix products, Gram–Schmidt QR, and a randomized subspace-iteration
+//! truncated SVD ([`truncated_svd`]).
+//!
+//! The implementation favours clarity over peak performance; the matrices
+//! involved in the experiments are at most a few tens of thousands of rows by
+//! a few thousand columns, which these routines handle in seconds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::MlError;
+use crate::Result;
+
+/// A dense row-major matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MlError::InvalidInput(format!(
+                "matrix data length {} does not match {}x{}",
+                data.len(),
+                rows,
+                cols
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of rows.  All rows must share the same
+    /// length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(MlError::InvalidInput("matrix needs at least one row".into()));
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(MlError::InvalidInput("rows have inconsistent lengths".into()));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutation.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow a row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow a row as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(MlError::InvalidInput(format!(
+                "cannot multiply {}x{} by {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (j, &b_kj) in b_row.iter().enumerate() {
+                    out_row[j] += a_ik * b_kj;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(MlError::InvalidInput(format!(
+                "vector length {} does not match matrix with {} columns",
+                v.len(),
+                self.cols
+            )));
+        }
+        Ok((0..self.rows).map(|i| dot(self.row(i), v)).collect())
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+/// Dot product of two equally-sized slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equally-sized slices.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two equally-sized slices.
+#[inline]
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    squared_distance(a, b).sqrt()
+}
+
+/// In-place scaling of a vector: `a *= s`.
+pub fn scale(a: &mut [f64], s: f64) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+/// In-place AXPY: `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Thin QR factorization via modified Gram–Schmidt.
+///
+/// Returns `(Q, R)` with `Q` of the same shape as the input (orthonormal
+/// columns) and `R` upper-triangular `cols × cols`.  Columns that become
+/// numerically zero are replaced by zero vectors (their `R` diagonal is 0).
+pub fn qr_thin(a: &Matrix) -> (Matrix, Matrix) {
+    let m = a.rows();
+    let n = a.cols();
+    let mut q = a.clone();
+    let mut r = Matrix::zeros(n, n);
+    for j in 0..n {
+        // Orthogonalize column j against previous columns (twice for
+        // numerical stability — "MGS with reorthogonalization").
+        for _ in 0..2 {
+            for i in 0..j {
+                let mut proj = 0.0;
+                for k in 0..m {
+                    proj += q.get(k, i) * q.get(k, j);
+                }
+                r.set(i, j, r.get(i, j) + proj);
+                for k in 0..m {
+                    let v = q.get(k, j) - proj * q.get(k, i);
+                    q.set(k, j, v);
+                }
+            }
+        }
+        let mut nrm = 0.0;
+        for k in 0..m {
+            nrm += q.get(k, j) * q.get(k, j);
+        }
+        let nrm = nrm.sqrt();
+        r.set(j, j, nrm);
+        if nrm > 1e-12 {
+            for k in 0..m {
+                let v = q.get(k, j) / nrm;
+                q.set(k, j, v);
+            }
+        } else {
+            for k in 0..m {
+                q.set(k, j, 0.0);
+            }
+        }
+    }
+    (q, r)
+}
+
+/// Result of a truncated singular value decomposition `A ≈ U Σ Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    /// Left singular vectors, `rows × k` (columns are singular vectors).
+    pub u: Matrix,
+    /// Singular values, length `k`, non-increasing.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, `cols × k`.
+    pub v: Matrix,
+}
+
+impl TruncatedSvd {
+    /// Projects a row vector of the original space (length = `A.cols()`)
+    /// into the `k`-dimensional latent space: `x V`.
+    pub fn project_row(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.v.rows() {
+            return Err(MlError::InvalidInput(format!(
+                "vector length {} does not match V with {} rows",
+                x.len(),
+                self.v.rows()
+            )));
+        }
+        let k = self.v.cols();
+        let mut out = vec![0.0; k];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for j in 0..k {
+                out[j] += xi * self.v.get(i, j);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Randomized subspace-iteration truncated SVD.
+///
+/// Computes the leading `k` singular triplets of `a` using a randomized range
+/// finder followed by `n_iter` power iterations (Halko-style).  `k` is capped
+/// at `min(rows, cols)`.
+pub fn truncated_svd(a: &Matrix, k: usize, n_iter: usize, seed: u64) -> Result<TruncatedSvd> {
+    if a.rows() == 0 || a.cols() == 0 {
+        return Err(MlError::InvalidInput("cannot decompose an empty matrix".into()));
+    }
+    if k == 0 {
+        return Err(MlError::InvalidParameter("k must be >= 1".into()));
+    }
+    let k = k.min(a.rows()).min(a.cols());
+    // Oversampling improves accuracy of the leading subspace.
+    let p = (k + 8).min(a.rows()).min(a.cols());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Random Gaussian test matrix Omega: cols × p.
+    let mut omega = Matrix::zeros(a.cols(), p);
+    for r in 0..a.cols() {
+        for c in 0..p {
+            omega.set(r, c, rng.gen::<f64>() * 2.0 - 1.0);
+        }
+    }
+
+    // Y = A Omega, then power iterations with re-orthogonalization.
+    let mut y = a.matmul(&omega)?;
+    let (mut q, _) = qr_thin(&y);
+    let at = a.transpose();
+    for _ in 0..n_iter {
+        let z = at.matmul(&q)?;
+        let (qz, _) = qr_thin(&z);
+        y = a.matmul(&qz)?;
+        let (qy, _) = qr_thin(&y);
+        q = qy;
+    }
+
+    // B = Qᵀ A  (p × cols); SVD of the small Gram matrix B Bᵀ.
+    let b = q.transpose().matmul(a)?;
+    let bbt = b.matmul(&b.transpose())?;
+    let (eigvals, eigvecs) = symmetric_eigen(&bbt, 200, 1e-12)?;
+
+    // Sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..eigvals.len()).collect();
+    order.sort_by(|&i, &j| eigvals[j].partial_cmp(&eigvals[i]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut singular_values = Vec::with_capacity(k);
+    let mut u = Matrix::zeros(a.rows(), k);
+    let mut v = Matrix::zeros(a.cols(), k);
+
+    for (out_idx, &e_idx) in order.iter().take(k).enumerate() {
+        let sigma2 = eigvals[e_idx].max(0.0);
+        let sigma = sigma2.sqrt();
+        singular_values.push(sigma);
+        // u_small = eigenvector (length p); U column = Q * u_small
+        let mut u_col = vec![0.0; a.rows()];
+        for r in 0..a.rows() {
+            let mut s = 0.0;
+            for i in 0..q.cols() {
+                s += q.get(r, i) * eigvecs.get(i, e_idx);
+            }
+            u_col[r] = s;
+        }
+        for r in 0..a.rows() {
+            u.set(r, out_idx, u_col[r]);
+        }
+        // V column = Aᵀ u / sigma
+        if sigma > 1e-12 {
+            let atu = at.matvec(&u_col)?;
+            for r in 0..a.cols() {
+                v.set(r, out_idx, atu[r] / sigma);
+            }
+        }
+    }
+
+    Ok(TruncatedSvd {
+        u,
+        singular_values,
+        v,
+    })
+}
+
+/// Eigen-decomposition of a small symmetric matrix via the cyclic Jacobi
+/// method.  Returns `(eigenvalues, eigenvectors)` with eigenvectors stored as
+/// columns.  Intended for the small (≤ a few hundred) matrices that appear
+/// inside [`truncated_svd`].
+pub fn symmetric_eigen(a: &Matrix, max_sweeps: usize, tol: f64) -> Result<(Vec<f64>, Matrix)> {
+    if a.rows() != a.cols() {
+        return Err(MlError::InvalidInput("eigen decomposition requires a square matrix".into()));
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    off += m.get(i, j) * m.get(i, j);
+                }
+            }
+        }
+        if off.sqrt() < tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let eigvals: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    Ok((eigvals, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_validates_consistency() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.get(0, 0), 58.0);
+        assert_eq!(c.get(0, 1), 64.0);
+        assert_eq!(c.get(1, 0), 139.0);
+        assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let v = a.matvec(&[5.0, 6.0]).unwrap();
+        assert_eq!(v, vec![17.0, 39.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!(approx(norm(&[3.0, 4.0]), 5.0, 1e-12));
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert!(approx(distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0, 1e-12));
+        let mut v = vec![1.0, 2.0];
+        scale(&mut v, 2.0);
+        assert_eq!(v, vec![2.0, 4.0]);
+        let mut y = vec![1.0, 1.0];
+        axpy(3.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![4.0, 7.0]);
+    }
+
+    #[test]
+    fn qr_produces_orthonormal_columns() {
+        let a = Matrix::from_vec(4, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 9.0]).unwrap();
+        let (q, r) = qr_thin(&a);
+        // Qᵀ Q = I
+        let qtq = q.transpose().matmul(&q).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx(qtq.get(i, j), expect, 1e-9), "QtQ[{i}][{j}]={}", qtq.get(i, j));
+            }
+        }
+        // Q R = A
+        let qr = q.matmul(&r).unwrap();
+        for i in 0..4 {
+            for j in 0..2 {
+                assert!(approx(qr.get(i, j), a.get(i, j), 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_eigen_recovers_known_spectrum() {
+        // Symmetric matrix with known eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let (mut vals, _) = symmetric_eigen(&a, 100, 1e-14).unwrap();
+        vals.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        assert!(approx(vals[0], 3.0, 1e-9));
+        assert!(approx(vals[1], 1.0, 1e-9));
+    }
+
+    #[test]
+    fn truncated_svd_reconstructs_low_rank_matrix() {
+        // Build an exactly rank-2 matrix A = u1 v1ᵀ * 5 + u2 v2ᵀ * 2.
+        let rows = 20;
+        let cols = 15;
+        let mut a = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let u1 = (i as f64 + 1.0).sin();
+                let v1 = (j as f64 + 2.0).cos();
+                let u2 = (i as f64 * 0.3).cos();
+                let v2 = (j as f64 * 0.7).sin();
+                a.set(i, j, 5.0 * u1 * v1 + 2.0 * u2 * v2);
+            }
+        }
+        let svd = truncated_svd(&a, 2, 5, 42).unwrap();
+        assert_eq!(svd.singular_values.len(), 2);
+        assert!(svd.singular_values[0] >= svd.singular_values[1]);
+        // Reconstruct and compare.
+        let mut recon = Matrix::zeros(rows, cols);
+        for k in 0..2 {
+            for i in 0..rows {
+                for j in 0..cols {
+                    let v = recon.get(i, j)
+                        + svd.singular_values[k] * svd.u.get(i, k) * svd.v.get(j, k);
+                    recon.set(i, j, v);
+                }
+            }
+        }
+        let mut diff = 0.0;
+        for i in 0..rows {
+            for j in 0..cols {
+                diff += (recon.get(i, j) - a.get(i, j)).powi(2);
+            }
+        }
+        let rel = diff.sqrt() / a.frobenius_norm();
+        assert!(rel < 1e-6, "relative reconstruction error {rel}");
+    }
+
+    #[test]
+    fn truncated_svd_rejects_bad_inputs() {
+        let a = Matrix::zeros(3, 3);
+        assert!(truncated_svd(&a, 0, 2, 1).is_err());
+        let empty = Matrix::zeros(0, 0);
+        assert!(truncated_svd(&empty, 1, 2, 1).is_err());
+    }
+
+    #[test]
+    fn svd_projection_matches_u_sigma() {
+        // For rows of A, projecting via V should give U * Sigma approximately.
+        let a = Matrix::from_vec(
+            4,
+            3,
+            vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let svd = truncated_svd(&a, 3, 6, 7).unwrap();
+        for i in 0..4 {
+            let proj = svd.project_row(a.row(i)).unwrap();
+            for k in 0..3 {
+                let expect = svd.u.get(i, k) * svd.singular_values[k];
+                assert!(approx(proj[k], expect, 1e-6), "row {i} comp {k}: {} vs {}", proj[k], expect);
+            }
+        }
+        assert!(svd.project_row(&[1.0]).is_err());
+    }
+}

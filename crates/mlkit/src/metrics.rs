@@ -1,0 +1,278 @@
+//! Evaluation metrics used in the paper's tables.
+//!
+//! * Table 1 and Figures 3–4 report plain accuracy / counts of correctly
+//!   classified items.
+//! * Table 3, 5, 6 report the **g-mean** (geometric mean of sensitivity and
+//!   specificity), the standard measure under class imbalance the paper
+//!   adopts from He & Garcia (2009).
+//! * Table 4 reports **precision / recall** of flagged labels.
+//! * Section 4.2 reports a **Pearson correlation** between distances in the
+//!   perceptual space and the user consensus.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryConfusion {
+    /// Positive examples classified as positive.
+    pub true_positives: usize,
+    /// Negative examples classified as positive.
+    pub false_positives: usize,
+    /// Negative examples classified as negative.
+    pub true_negatives: usize,
+    /// Positive examples classified as negative.
+    pub false_negatives: usize,
+}
+
+impl BinaryConfusion {
+    /// Builds a confusion matrix from parallel slices of predictions and
+    /// ground-truth labels.  Panics if the slices have different lengths.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(
+            predicted.len(),
+            actual.len(),
+            "prediction and label slices must have equal length"
+        );
+        let mut c = BinaryConfusion::default();
+        for (&p, &a) in predicted.iter().zip(actual.iter()) {
+            c.record(p, a);
+        }
+        c
+    }
+
+    /// Records one (prediction, actual) observation.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+            (false, true) => self.false_negatives += 1,
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Fraction of observations classified correctly; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / total as f64
+    }
+
+    /// Sensitivity (true-positive rate / recall on the positive class).
+    /// Returns 0 when there are no positive examples.
+    pub fn sensitivity(&self) -> f64 {
+        let pos = self.true_positives + self.false_negatives;
+        if pos == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / pos as f64
+    }
+
+    /// Specificity (true-negative rate).  Returns 0 when there are no
+    /// negative examples.
+    pub fn specificity(&self) -> f64 {
+        let neg = self.true_negatives + self.false_positives;
+        if neg == 0 {
+            return 0.0;
+        }
+        self.true_negatives as f64 / neg as f64
+    }
+
+    /// Precision of the positive class.  Returns 0 when nothing was
+    /// predicted positive.
+    pub fn precision(&self) -> f64 {
+        let pred_pos = self.true_positives + self.false_positives;
+        if pred_pos == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / pred_pos as f64
+    }
+
+    /// Recall of the positive class (alias for [`Self::sensitivity`]).
+    pub fn recall(&self) -> f64 {
+        self.sensitivity()
+    }
+
+    /// F1 score of the positive class; 0 when both precision and recall are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// The g-mean measure: geometric mean of sensitivity and specificity.
+    ///
+    /// This is the class-imbalance-robust metric used in Tables 3, 5, and 6
+    /// of the paper.  A classifier that ignores one of the classes scores 0.
+    pub fn gmean(&self) -> f64 {
+        (self.sensitivity() * self.specificity()).sqrt()
+    }
+}
+
+/// Convenience wrapper: computes the g-mean directly from predictions.
+pub fn gmean(predicted: &[bool], actual: &[bool]) -> f64 {
+    BinaryConfusion::from_predictions(predicted, actual).gmean()
+}
+
+/// Plain accuracy of a prediction vector.
+pub fn accuracy(predicted: &[bool], actual: &[bool]) -> f64 {
+    BinaryConfusion::from_predictions(predicted, actual).accuracy()
+}
+
+/// Pearson product-moment correlation coefficient between two samples.
+///
+/// Returns 0 when either sample has zero variance or when the slices are
+/// shorter than two elements.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "samples must have the same length");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean_x = xs.iter().sum::<f64>() / n as f64;
+    let mean_y = ys.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return 0.0;
+    }
+    cov / (var_x.sqrt() * var_y.sqrt())
+}
+
+/// Mean and (population) standard deviation of a sample; `(0, 0)` when empty.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Root mean squared error between predictions and targets.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let mse = predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(p, a)| (p - a).powi(2))
+        .sum::<f64>()
+        / predicted.len() as f64;
+    mse.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let pred = [true, true, false, false, true];
+        let act = [true, false, false, true, true];
+        let c = BinaryConfusion::from_predictions(&pred, &act);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.true_negatives, 1);
+        assert_eq!(c.false_negatives, 1);
+        assert_eq!(c.total(), 5);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_classifier_has_gmean_one() {
+        let labels = [true, false, true, false];
+        let c = BinaryConfusion::from_predictions(&labels, &labels);
+        assert_eq!(c.gmean(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn naive_majority_classifier_has_gmean_zero() {
+        // This is exactly the paper's "label everything not-Horror" example:
+        // high accuracy, zero g-mean.
+        let actual: Vec<bool> = (0..100).map(|i| i < 10).collect();
+        let predicted = vec![false; 100];
+        let c = BinaryConfusion::from_predictions(&predicted, &actual);
+        assert!(c.accuracy() >= 0.9);
+        assert_eq!(c.gmean(), 0.0);
+    }
+
+    #[test]
+    fn random_classifier_gmean_near_half() {
+        // A deterministic alternating "random" classifier on a balanced-ish
+        // set gets sensitivity ≈ specificity ≈ 0.5 → g-mean ≈ 0.5.
+        let actual: Vec<bool> = (0..1000).map(|i| i % 3 == 0).collect();
+        let predicted: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+        let g = gmean(&predicted, &actual);
+        assert!((g - 0.5).abs() < 0.05, "g-mean was {g}");
+    }
+
+    #[test]
+    fn degenerate_confusions_do_not_divide_by_zero() {
+        let c = BinaryConfusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.sensitivity(), 0.0);
+        assert_eq!(c.specificity(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.gmean(), 0.0);
+    }
+
+    #[test]
+    fn pearson_on_linear_relation() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson_correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let ys_neg: Vec<f64> = xs.iter().map(|x| -2.0 * x).collect();
+        assert!((pearson_correlation(&xs, &ys_neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson_correlation(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson_correlation(&[1.0, 1.0, 1.0], &[2.0, 3.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn rmse_basic() {
+        assert_eq!(rmse(&[], &[]), 0.0);
+        let r = rmse(&[1.0, 2.0, 3.0], &[1.0, 2.0, 5.0]);
+        assert!((r - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = BinaryConfusion::from_predictions(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the ml toolkit's core invariants.
+
+use proptest::prelude::*;
+
+use mlkit::linalg::{dot, distance, squared_distance, Matrix};
+use mlkit::metrics::{gmean, mean_std, pearson_correlation, BinaryConfusion};
+use mlkit::Kernel;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distance_is_a_metric(a in small_vec(5), b in small_vec(5), c in small_vec(5)) {
+        let dab = distance(&a, &b);
+        let dba = distance(&b, &a);
+        let dac = distance(&a, &c);
+        let dcb = distance(&c, &b);
+        // Symmetry, non-negativity, identity, triangle inequality.
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert!(dab >= 0.0);
+        prop_assert!(distance(&a, &a) < 1e-12);
+        prop_assert!(dab <= dac + dcb + 1e-9);
+        prop_assert!((squared_distance(&a, &b) - dab * dab).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_product_is_bilinear(a in small_vec(4), b in small_vec(4), s in -10.0f64..10.0) {
+        let scaled: Vec<f64> = a.iter().map(|x| x * s).collect();
+        prop_assert!((dot(&scaled, &b) - s * dot(&a, &b)).abs() < 1e-6);
+        prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rbf_kernel_is_bounded_symmetric_psd_on_diagonal(
+        a in small_vec(3),
+        b in small_vec(3),
+        gamma in 0.001f64..2.0,
+    ) {
+        let k = Kernel::Rbf { gamma };
+        let kab = k.eval(&a, &b);
+        // Mathematically kab > 0, but for very distant points the exponential
+        // underflows to exactly 0.0 in f64 — allow that.
+        prop_assert!(kab >= 0.0 && kab <= 1.0);
+        prop_assert!((kab - k.eval(&b, &a)).abs() < 1e-12);
+        prop_assert!((k.eval(&a, &a) - 1.0).abs() < 1e-12);
+        // Cauchy–Schwarz-like bound for a PSD kernel with unit diagonal.
+        prop_assert!(kab <= (k.eval(&a, &a) * k.eval(&b, &b)).sqrt() + 1e-12);
+    }
+
+    #[test]
+    fn matrix_transpose_is_involutive_and_product_shapes_match(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i as u64 + seed) % 17) as f64 - 8.0)
+            .collect();
+        let m = Matrix::from_vec(rows, cols, data).unwrap();
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        let product = m.matmul(&m.transpose()).unwrap();
+        prop_assert_eq!(product.rows(), rows);
+        prop_assert_eq!(product.cols(), rows);
+        // A·Aᵀ is symmetric.
+        for i in 0..rows {
+            for j in 0..rows {
+                prop_assert!((product.get(i, j) - product.get(j, i)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn confusion_counts_are_consistent(labels in prop::collection::vec(any::<(bool, bool)>(), 1..200)) {
+        let predicted: Vec<bool> = labels.iter().map(|(p, _)| *p).collect();
+        let actual: Vec<bool> = labels.iter().map(|(_, a)| *a).collect();
+        let c = BinaryConfusion::from_predictions(&predicted, &actual);
+        prop_assert_eq!(c.total(), labels.len());
+        prop_assert!(c.accuracy() >= 0.0 && c.accuracy() <= 1.0);
+        prop_assert!(c.gmean() >= 0.0 && c.gmean() <= 1.0);
+        prop_assert!(c.precision() >= 0.0 && c.precision() <= 1.0);
+        prop_assert!(c.recall() >= 0.0 && c.recall() <= 1.0);
+        // The g-mean never exceeds the larger of sensitivity and specificity.
+        prop_assert!(c.gmean() <= c.sensitivity().max(c.specificity()) + 1e-12);
+        // Perfect prediction ⇒ accuracy 1.
+        let perfect = BinaryConfusion::from_predictions(&actual, &actual);
+        prop_assert!((perfect.accuracy() - 1.0).abs() < 1e-12);
+        prop_assert_eq!(gmean(&actual, &actual) == 1.0,
+            actual.iter().any(|&x| x) && actual.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_scale_invariant(
+        xs in prop::collection::vec(-50.0f64..50.0, 3..60),
+        scale in 0.1f64..10.0,
+        shift in -5.0f64..5.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 1.0).collect();
+        let r = pearson_correlation(&xs, &ys);
+        prop_assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9);
+        // Correlation is invariant under positive affine transformations.
+        let transformed: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
+        let r2 = pearson_correlation(&transformed, &ys);
+        if r.abs() > 1e-9 {
+            prop_assert!((r - r2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mean_std_bounds(xs in prop::collection::vec(-1000.0f64..1000.0, 1..100)) {
+        let (mean, std) = mean_std(&xs);
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(mean >= min - 1e-9 && mean <= max + 1e-9);
+        prop_assert!(std >= 0.0);
+        prop_assert!(std <= (max - min) + 1e-9);
+    }
+}

@@ -1,0 +1,193 @@
+//! Cross-validation for choosing the embedding hyper-parameters.
+//!
+//! Section 3.3: *"In practice, the dimensionality d and the regularization
+//! parameter λ are determined by means of cross-validation"*.  This module
+//! provides a small k-fold cross-validation harness over the rating data that
+//! reports the held-out RMSE per candidate configuration.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::PerceptualError;
+use crate::euclidean::{EuclideanEmbeddingConfig, EuclideanEmbeddingModel};
+use crate::ratings::{Rating, RatingDataset};
+use crate::Result;
+
+/// RMSE of one fold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldResult {
+    /// Index of the fold used as hold-out.
+    pub fold: usize,
+    /// RMSE on the held-out fold.
+    pub validation_rmse: f64,
+}
+
+/// Aggregate result of a cross-validation run for one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValidationReport {
+    /// The evaluated configuration.
+    pub config: EuclideanEmbeddingConfig,
+    /// Per-fold results.
+    pub folds: Vec<FoldResult>,
+}
+
+impl CrossValidationReport {
+    /// Mean validation RMSE across folds.
+    pub fn mean_rmse(&self) -> f64 {
+        if self.folds.is_empty() {
+            return f64::NAN;
+        }
+        self.folds.iter().map(|f| f.validation_rmse).sum::<f64>() / self.folds.len() as f64
+    }
+}
+
+/// Runs `k`-fold cross-validation of the Euclidean embedding on `dataset`
+/// for each candidate configuration and returns one report per candidate,
+/// in input order.
+pub fn cross_validate_euclidean(
+    dataset: &RatingDataset,
+    candidates: &[EuclideanEmbeddingConfig],
+    k: usize,
+    seed: u64,
+) -> Result<Vec<CrossValidationReport>> {
+    if k < 2 {
+        return Err(PerceptualError::InvalidConfig("k-fold CV requires k >= 2".into()));
+    }
+    if dataset.len() < k {
+        return Err(PerceptualError::InvalidRatings(format!(
+            "cannot split {} ratings into {k} folds",
+            dataset.len()
+        )));
+    }
+    if candidates.is_empty() {
+        return Err(PerceptualError::InvalidConfig("no candidate configurations given".into()));
+    }
+
+    // Assign each rating to a fold.
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let fold_of: Vec<usize> = {
+        let mut fold_of = vec![0usize; dataset.len()];
+        for (pos, &idx) in indices.iter().enumerate() {
+            fold_of[idx] = pos % k;
+        }
+        fold_of
+    };
+
+    let ratings = dataset.ratings();
+    let mut reports = Vec::with_capacity(candidates.len());
+    for config in candidates {
+        let mut folds = Vec::with_capacity(k);
+        for fold in 0..k {
+            let mut train: Vec<Rating> = Vec::new();
+            let mut validation: Vec<Rating> = Vec::new();
+            for (i, r) in ratings.iter().enumerate() {
+                if fold_of[i] == fold {
+                    validation.push(*r);
+                } else {
+                    train.push(*r);
+                }
+            }
+            if train.is_empty() || validation.is_empty() {
+                return Err(PerceptualError::InvalidRatings(
+                    "a cross-validation fold ended up empty".into(),
+                ));
+            }
+            let train_set = RatingDataset::from_ratings(dataset.n_items(), dataset.n_users(), train)?;
+            let validation_set =
+                RatingDataset::from_ratings(dataset.n_items(), dataset.n_users(), validation)?;
+            let model = EuclideanEmbeddingModel::train(&train_set, config)?;
+            folds.push(FoldResult {
+                fold,
+                validation_rmse: model.rmse(&validation_set)?,
+            });
+        }
+        reports.push(CrossValidationReport {
+            config: config.clone(),
+            folds,
+        });
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ItemId, UserId};
+    use rand::Rng;
+
+    fn dataset(seed: u64) -> RatingDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_items = 20;
+        let n_users = 30;
+        let mut ratings = Vec::new();
+        for u in 0..n_users {
+            for m in 0..n_items {
+                if rng.gen::<f64>() > 0.5 {
+                    continue;
+                }
+                let agree = (u % 2) == (m % 2);
+                let score = if agree { 4.5 } else { 1.5 } + rng.gen::<f64>() * 0.5;
+                ratings.push(Rating::new(m as ItemId, u as UserId, score.clamp(1.0, 5.0)));
+            }
+        }
+        RatingDataset::from_ratings(n_items, n_users, ratings).unwrap()
+    }
+
+    fn small_config(dimensions: usize) -> EuclideanEmbeddingConfig {
+        EuclideanEmbeddingConfig {
+            dimensions,
+            epochs: 15,
+            learning_rate: 0.02,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_setups() {
+        let d = dataset(1);
+        assert!(cross_validate_euclidean(&d, &[small_config(4)], 1, 0).is_err());
+        assert!(cross_validate_euclidean(&d, &[], 3, 0).is_err());
+        let tiny = RatingDataset::from_ratings(
+            1,
+            1,
+            vec![Rating::new(0, 0, 3.0)],
+        )
+        .unwrap();
+        assert!(cross_validate_euclidean(&tiny, &[small_config(2)], 3, 0).is_err());
+    }
+
+    #[test]
+    fn produces_one_report_per_candidate_with_k_folds() {
+        let d = dataset(2);
+        let candidates = vec![small_config(2), small_config(6)];
+        let reports = cross_validate_euclidean(&d, &candidates, 3, 7).unwrap();
+        assert_eq!(reports.len(), 2);
+        for (report, cand) in reports.iter().zip(candidates.iter()) {
+            assert_eq!(&report.config, cand);
+            assert_eq!(report.folds.len(), 3);
+            assert!(report.mean_rmse().is_finite());
+            assert!(report.mean_rmse() > 0.0);
+        }
+    }
+
+    #[test]
+    fn reasonable_dimensionality_beats_trivial_one() {
+        let d = dataset(3);
+        let reports = cross_validate_euclidean(&d, &[small_config(1), small_config(8)], 3, 11).unwrap();
+        // With the planted two-cluster structure, more dimensions should not
+        // hurt; allow a small tolerance for SGD noise.
+        assert!(reports[1].mean_rmse() <= reports[0].mean_rmse() + 0.1);
+    }
+
+    #[test]
+    fn mean_rmse_of_empty_report_is_nan() {
+        let report = CrossValidationReport {
+            config: small_config(2),
+            folds: vec![],
+        };
+        assert!(report.mean_rmse().is_nan());
+    }
+}

@@ -1,0 +1,44 @@
+//! Error types for the perceptual-space crate.
+
+use std::fmt;
+
+/// Errors produced while building rating datasets or training factor models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PerceptualError {
+    /// The rating data is structurally invalid (empty, out-of-range ids, …).
+    InvalidRatings(String),
+    /// A model hyper-parameter is outside its valid range.
+    InvalidConfig(String),
+    /// A lookup referenced an item or user that does not exist.
+    UnknownId(String),
+    /// A numerical routine diverged or produced non-finite values.
+    Numerical(String),
+}
+
+impl fmt::Display for PerceptualError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerceptualError::InvalidRatings(msg) => write!(f, "invalid rating data: {msg}"),
+            PerceptualError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PerceptualError::UnknownId(msg) => write!(f, "unknown identifier: {msg}"),
+            PerceptualError::Numerical(msg) => write!(f, "numerical error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PerceptualError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        assert!(PerceptualError::InvalidRatings("no ratings".into())
+            .to_string()
+            .contains("no ratings"));
+        assert!(PerceptualError::InvalidConfig("d = 0".into()).to_string().contains("d = 0"));
+        assert!(PerceptualError::UnknownId("item 99".into()).to_string().contains("item 99"));
+        assert!(PerceptualError::Numerical("diverged".into()).to_string().contains("diverged"));
+    }
+}

@@ -1,0 +1,307 @@
+//! The perceptual space: item coordinates plus the query operations the
+//! crowd-enabled database needs.
+//!
+//! * nearest-neighbour queries (Table 2 of the paper shows the five nearest
+//!   neighbours of *Rocky*, *Dirty Dancing*, and *The Birds*),
+//! * export of per-item feature vectors for downstream SVM training
+//!   (Sections 3.4, 4.2, 4.3),
+//! * item–item distance statistics and correlation against a reference
+//!   similarity (the "Pearson 0.52 against the user consensus" analysis of
+//!   Section 4.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::PerceptualError;
+use crate::{ItemId, Result};
+
+/// A neighbour returned by [`PerceptualSpace::nearest_neighbors`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The neighbouring item.
+    pub item: ItemId,
+    /// Euclidean distance to the query item.
+    pub distance: f64,
+}
+
+/// A d-dimensional coordinate space over items.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerceptualSpace {
+    dimensions: usize,
+    coordinates: Vec<Vec<f64>>,
+}
+
+impl PerceptualSpace {
+    /// Creates a space from per-item coordinate vectors.
+    ///
+    /// All vectors must share the same non-zero dimensionality.
+    pub fn new(coordinates: Vec<Vec<f64>>) -> Result<Self> {
+        if coordinates.is_empty() {
+            return Err(PerceptualError::InvalidConfig(
+                "a perceptual space needs at least one item".into(),
+            ));
+        }
+        let dimensions = coordinates[0].len();
+        if dimensions == 0 {
+            return Err(PerceptualError::InvalidConfig(
+                "coordinates must have at least one dimension".into(),
+            ));
+        }
+        if coordinates.iter().any(|c| c.len() != dimensions) {
+            return Err(PerceptualError::InvalidConfig(
+                "all coordinate vectors must have the same dimensionality".into(),
+            ));
+        }
+        if coordinates.iter().any(|c| c.iter().any(|v| !v.is_finite())) {
+            return Err(PerceptualError::InvalidConfig(
+                "coordinates contain non-finite values".into(),
+            ));
+        }
+        Ok(PerceptualSpace {
+            dimensions,
+            coordinates,
+        })
+    }
+
+    /// Number of items in the space.
+    pub fn len(&self) -> usize {
+        self.coordinates.len()
+    }
+
+    /// True when the space contains no items (cannot occur after
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.coordinates.is_empty()
+    }
+
+    /// Dimensionality `d` of the space.
+    pub fn dimensions(&self) -> usize {
+        self.dimensions
+    }
+
+    /// Coordinates of one item.
+    pub fn coordinates(&self, item: ItemId) -> Result<&[f64]> {
+        self.coordinates
+            .get(item as usize)
+            .map(|v| v.as_slice())
+            .ok_or_else(|| PerceptualError::UnknownId(format!("item {item}")))
+    }
+
+    /// All coordinates, indexable by item id.
+    pub fn all_coordinates(&self) -> &[Vec<f64>] {
+        &self.coordinates
+    }
+
+    /// Clones the coordinate vectors of a subset of items, in the order of
+    /// `items` — the feature matrix handed to the SVM extractor.
+    pub fn feature_matrix(&self, items: &[ItemId]) -> Result<Vec<Vec<f64>>> {
+        items.iter().map(|&i| self.coordinates(i).map(|c| c.to_vec())).collect()
+    }
+
+    /// Euclidean distance between two items.
+    pub fn distance(&self, a: ItemId, b: ItemId) -> Result<f64> {
+        let ca = self.coordinates(a)?;
+        let cb = self.coordinates(b)?;
+        Ok(ca
+            .iter()
+            .zip(cb.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt())
+    }
+
+    /// The `k` nearest neighbours of `item` (excluding the item itself),
+    /// ordered by increasing distance.
+    pub fn nearest_neighbors(&self, item: ItemId, k: usize) -> Result<Vec<Neighbor>> {
+        let query = self.coordinates(item)?;
+        let mut neighbors: Vec<Neighbor> = self
+            .coordinates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != item as usize)
+            .map(|(i, c)| Neighbor {
+                item: i as ItemId,
+                distance: query
+                    .iter()
+                    .zip(c.iter())
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt(),
+            })
+            .collect();
+        neighbors.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal));
+        neighbors.truncate(k);
+        Ok(neighbors)
+    }
+
+    /// Pearson correlation between the pairwise distances in this space and a
+    /// reference dissimilarity, evaluated on the given item pairs.
+    ///
+    /// The reference values must be *dissimilarities* (larger = less similar)
+    /// so that a positive correlation means the space agrees with the
+    /// reference — this mirrors the user-consensus analysis of Section 4.2.
+    pub fn distance_correlation(&self, pairs: &[(ItemId, ItemId, f64)]) -> Result<f64> {
+        if pairs.len() < 2 {
+            return Err(PerceptualError::InvalidConfig(
+                "need at least two pairs to compute a correlation".into(),
+            ));
+        }
+        let mut ours = Vec::with_capacity(pairs.len());
+        let mut reference = Vec::with_capacity(pairs.len());
+        for &(a, b, ref_dissimilarity) in pairs {
+            ours.push(self.distance(a, b)?);
+            reference.push(ref_dissimilarity);
+        }
+        Ok(pearson(&ours, &reference))
+    }
+
+    /// Mean and standard deviation of all pairwise distances (sampled over
+    /// every pair when the space is small; callers with huge spaces should
+    /// subsample the item set first).
+    pub fn distance_statistics(&self) -> (f64, f64) {
+        let n = self.coordinates.len();
+        let mut distances = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = self
+                    .coordinates[i]
+                    .iter()
+                    .zip(self.coordinates[j].iter())
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt();
+                distances.push(d);
+            }
+        }
+        if distances.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mean = distances.iter().sum::<f64>() / distances.len() as f64;
+        let var =
+            distances.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / distances.len() as f64;
+        (mean, var.sqrt())
+    }
+
+    /// Projects the space onto its first two dimensions — used by the
+    /// Figure 1 harness to print an illustrative 2-D layout.
+    pub fn two_dimensional_projection(&self) -> Vec<(f64, f64)> {
+        self.coordinates
+            .iter()
+            .map(|c| (c[0], *c.get(1).unwrap_or(&0.0)))
+            .collect()
+    }
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x) * (x - mean_x);
+        var_y += (y - mean_y) * (y - mean_y);
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return 0.0;
+    }
+    cov / (var_x.sqrt() * var_y.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_space() -> PerceptualSpace {
+        // Items at positions 0, 1, 2, 10 on a line.
+        PerceptualSpace::new(vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+            vec![10.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_coordinates() {
+        assert!(PerceptualSpace::new(vec![]).is_err());
+        assert!(PerceptualSpace::new(vec![vec![]]).is_err());
+        assert!(PerceptualSpace::new(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(PerceptualSpace::new(vec![vec![f64::INFINITY]]).is_err());
+        assert!(PerceptualSpace::new(vec![vec![1.0, 2.0]]).is_ok());
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = grid_space();
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.dimensions(), 2);
+        assert_eq!(s.coordinates(1).unwrap(), &[1.0, 0.0]);
+        assert!(s.coordinates(9).is_err());
+        assert_eq!(s.all_coordinates().len(), 4);
+    }
+
+    #[test]
+    fn distances_are_euclidean() {
+        let s = grid_space();
+        assert_eq!(s.distance(0, 2).unwrap(), 2.0);
+        assert_eq!(s.distance(0, 0).unwrap(), 0.0);
+        assert!(s.distance(0, 9).is_err());
+    }
+
+    #[test]
+    fn nearest_neighbors_excludes_self_and_orders_by_distance() {
+        let s = grid_space();
+        let nn = s.nearest_neighbors(0, 2).unwrap();
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].item, 1);
+        assert_eq!(nn[1].item, 2);
+        assert!(nn[0].distance <= nn[1].distance);
+        // Requesting more neighbours than exist returns all others.
+        let all = s.nearest_neighbors(3, 10).unwrap();
+        assert_eq!(all.len(), 3);
+        assert!(s.nearest_neighbors(9, 1).is_err());
+    }
+
+    #[test]
+    fn feature_matrix_preserves_order() {
+        let s = grid_space();
+        let m = s.feature_matrix(&[2, 0]).unwrap();
+        assert_eq!(m, vec![vec![2.0, 0.0], vec![0.0, 0.0]]);
+        assert!(s.feature_matrix(&[0, 99]).is_err());
+    }
+
+    #[test]
+    fn distance_correlation_agrees_with_reference() {
+        let s = grid_space();
+        // Reference dissimilarity identical to true distances → correlation 1.
+        let pairs = vec![(0u32, 1u32, 1.0), (0, 2, 2.0), (0, 3, 10.0), (1, 3, 9.0)];
+        let c = s.distance_correlation(&pairs).unwrap();
+        assert!((c - 1.0).abs() < 1e-12);
+        // Anti-correlated reference.
+        let pairs_neg = vec![(0u32, 1u32, 10.0), (0, 2, 9.0), (0, 3, 1.0), (1, 3, 2.0)];
+        assert!(s.distance_correlation(&pairs_neg).unwrap() < -0.9);
+        assert!(s.distance_correlation(&pairs[..1]).is_err());
+    }
+
+    #[test]
+    fn distance_statistics_are_sane() {
+        let s = grid_space();
+        let (mean, std) = s.distance_statistics();
+        assert!(mean > 0.0);
+        assert!(std > 0.0);
+        let single = PerceptualSpace::new(vec![vec![1.0]]).unwrap();
+        assert_eq!(single.distance_statistics(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn two_dimensional_projection_takes_first_two_dims() {
+        let s = PerceptualSpace::new(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(s.two_dimensional_projection(), vec![(1.0, 2.0), (4.0, 5.0)]);
+        let one_d = PerceptualSpace::new(vec![vec![7.0]]).unwrap();
+        assert_eq!(one_d.two_dimensional_projection(), vec![(7.0, 0.0)]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for rating datasets, the factor models, and the
+//! perceptual space.
+
+use proptest::prelude::*;
+
+use perceptual::{
+    EuclideanEmbeddingConfig, EuclideanEmbeddingModel, PerceptualSpace, Rating, RatingDataset,
+};
+
+fn rating_set(max_items: u32, max_users: u32) -> impl Strategy<Value = Vec<Rating>> {
+    prop::collection::vec(
+        (0..max_items, 0..max_users, 1u8..=5).prop_map(|(item, user, score)| Rating {
+            item,
+            user,
+            score: score as f64,
+        }),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dataset_statistics_are_consistent(ratings in rating_set(20, 30)) {
+        let n = ratings.len();
+        let dataset = RatingDataset::from_ratings(20, 30, ratings.clone()).unwrap();
+        prop_assert_eq!(dataset.len(), n);
+        // Global mean lies within the rating scale.
+        prop_assert!(dataset.global_mean() >= 1.0 && dataset.global_mean() <= 5.0);
+        // Per-item counts sum to the total.
+        let total: usize = (0..20).map(|i| dataset.item_rating_count(i)).sum();
+        prop_assert_eq!(total, n);
+        let total_users: usize = (0..30).map(|u| dataset.user_rating_count(u)).sum();
+        prop_assert_eq!(total_users, n);
+        // Density is the ratio of observed to possible ratings.
+        prop_assert!((dataset.density() - n as f64 / 600.0).abs() < 1e-12);
+        // Item means lie within the observed range.
+        for i in 0..20u32 {
+            let mean = dataset.item_mean(i);
+            prop_assert!(mean >= 1.0 - 1e-9 && mean <= 5.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn split_partitions_without_loss(ratings in rating_set(15, 15), fraction in 0.1f64..0.9, seed in 0u64..100) {
+        prop_assume!(ratings.len() >= 2);
+        let dataset = RatingDataset::from_ratings(15, 15, ratings).unwrap();
+        let (train, holdout) = dataset.split(fraction, seed).unwrap();
+        prop_assert_eq!(train.len() + holdout.len(), dataset.len());
+        prop_assert!(!train.is_empty());
+        prop_assert!(!holdout.is_empty());
+        prop_assert_eq!(train.n_items(), dataset.n_items());
+        prop_assert_eq!(holdout.n_users(), dataset.n_users());
+    }
+
+    #[test]
+    fn embedding_training_never_panics_and_predictions_are_finite(
+        ratings in rating_set(12, 12),
+        dims in 1usize..6,
+    ) {
+        let dataset = RatingDataset::from_ratings(12, 12, ratings).unwrap();
+        let config = EuclideanEmbeddingConfig {
+            dimensions: dims,
+            epochs: 5,
+            learning_rate: 0.01,
+            ..Default::default()
+        };
+        let model = EuclideanEmbeddingModel::train(&dataset, &config).unwrap();
+        prop_assert_eq!(model.dimensions(), dims);
+        for item in 0..12u32 {
+            for user in 0..12u32 {
+                let prediction = model.predict(item, user).unwrap();
+                prop_assert!(prediction.is_finite());
+            }
+        }
+        // The exported space has one coordinate vector per item.
+        let space = model.to_space();
+        prop_assert_eq!(space.len(), 12);
+        prop_assert_eq!(space.dimensions(), dims);
+    }
+
+    #[test]
+    fn space_distances_form_a_metric_and_knn_is_sorted(
+        coords in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 3..=3), 2..30),
+        k in 1usize..8,
+    ) {
+        let n = coords.len();
+        let space = PerceptualSpace::new(coords).unwrap();
+        // Symmetry and identity on a few pairs.
+        for i in 0..n.min(5) as u32 {
+            for j in 0..n.min(5) as u32 {
+                let dij = space.distance(i, j).unwrap();
+                let dji = space.distance(j, i).unwrap();
+                prop_assert!((dij - dji).abs() < 1e-9);
+                if i == j {
+                    prop_assert!(dij < 1e-12);
+                }
+            }
+        }
+        // k-NN lists are sorted, self-free, and of the right length.
+        let neighbors = space.nearest_neighbors(0, k).unwrap();
+        prop_assert_eq!(neighbors.len(), k.min(n - 1));
+        for w in neighbors.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance + 1e-12);
+        }
+        prop_assert!(neighbors.iter().all(|nb| nb.item != 0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for the relational engine.
+
+use std::fmt;
+
+/// Errors produced while parsing or executing statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelationalError {
+    /// A statement could not be parsed.
+    Parse(String),
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced column does not exist in the table.
+    ///
+    /// The crowd-enabled database layer intercepts this variant to trigger
+    /// query-driven schema expansion.
+    UnknownColumn {
+        /// The table that was queried.
+        table: String,
+        /// The missing column.
+        column: String,
+    },
+    /// A table with this name already exists.
+    TableExists(String),
+    /// A column with this name already exists.
+    ColumnExists(String),
+    /// A value does not match the declared column type.
+    TypeMismatch(String),
+    /// A statement is structurally invalid (wrong arity, empty schema, …).
+    InvalidStatement(String),
+    /// An expression could not be evaluated.
+    Evaluation(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::Parse(msg) => write!(f, "parse error: {msg}"),
+            RelationalError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            RelationalError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {column} in table {table}")
+            }
+            RelationalError::TableExists(name) => write!(f, "table {name} already exists"),
+            RelationalError::ColumnExists(name) => write!(f, "column {name} already exists"),
+            RelationalError::TypeMismatch(msg) => write!(f, "type mismatch: {msg}"),
+            RelationalError::InvalidStatement(msg) => write!(f, "invalid statement: {msg}"),
+            RelationalError::Evaluation(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(RelationalError::Parse("bad token".into()).to_string().contains("bad token"));
+        assert!(RelationalError::UnknownTable("movies".into()).to_string().contains("movies"));
+        let e = RelationalError::UnknownColumn {
+            table: "movies".into(),
+            column: "is_comedy".into(),
+        };
+        assert!(e.to_string().contains("is_comedy"));
+        assert!(e.to_string().contains("movies"));
+        assert!(RelationalError::TableExists("t".into()).to_string().contains("already exists"));
+        assert!(RelationalError::ColumnExists("c".into()).to_string().contains("already exists"));
+        assert!(RelationalError::TypeMismatch("x".into()).to_string().contains("type mismatch"));
+        assert!(RelationalError::InvalidStatement("y".into()).to_string().contains("invalid"));
+        assert!(RelationalError::Evaluation("z".into()).to_string().contains("evaluation"));
+    }
+}

@@ -1,0 +1,534 @@
+//! Statement execution.
+
+use crate::catalog::Catalog;
+use crate::error::RelationalError;
+use crate::schema::{Column, Schema};
+use crate::sql::{OrderBy, Projection, SelectStatement, Statement};
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+
+/// The result of executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Names of the returned columns (empty for DDL/DML statements).
+    pub columns: Vec<String>,
+    /// Returned rows (empty for DDL/DML statements).
+    pub rows: Vec<Vec<Value>>,
+    /// Number of rows affected by an `INSERT`.
+    pub rows_affected: usize,
+}
+
+impl QueryResult {
+    fn empty() -> Self {
+        QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            rows_affected: 0,
+        }
+    }
+}
+
+/// Executes a parsed statement against the catalog.
+pub fn execute(statement: &Statement, catalog: &mut Catalog) -> Result<QueryResult> {
+    match statement {
+        Statement::Select(select) => execute_select(select, catalog),
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => execute_insert(table, columns, rows, catalog),
+        Statement::CreateTable { table, columns } => {
+            let schema = Schema::new(columns.clone())?;
+            catalog.create_table(Table::new(table.clone(), schema))?;
+            Ok(QueryResult::empty())
+        }
+        Statement::AlterTableAddColumn { table, column } => {
+            let table = catalog.table_mut(table)?;
+            table.add_column(column.clone(), None)?;
+            Ok(QueryResult::empty())
+        }
+        Statement::Update {
+            table,
+            assignments,
+            filter,
+        } => execute_update(table, assignments, filter.as_ref(), catalog),
+        Statement::Delete { table, filter } => execute_delete(table, filter.as_ref(), catalog),
+    }
+}
+
+fn matching_rows(
+    table: &Table,
+    filter: Option<&crate::expr::Expr>,
+) -> Result<Vec<usize>> {
+    // Validate column references up front for a deterministic error.
+    if let Some(filter) = filter {
+        for column in filter.referenced_columns() {
+            if !table.schema().contains(&column) {
+                return Err(RelationalError::UnknownColumn {
+                    table: table.name().to_string(),
+                    column,
+                });
+            }
+        }
+    }
+    let mut matching = Vec::new();
+    for (i, row) in table.rows().iter().enumerate() {
+        let keep = match filter {
+            Some(f) => f.matches(table.schema(), row, table.name())?,
+            None => true,
+        };
+        if keep {
+            matching.push(i);
+        }
+    }
+    Ok(matching)
+}
+
+fn execute_update(
+    table_name: &str,
+    assignments: &[(String, crate::expr::Expr)],
+    filter: Option<&crate::expr::Expr>,
+    catalog: &mut Catalog,
+) -> Result<QueryResult> {
+    let table = catalog.table_mut(table_name)?;
+    // Validate assignment targets.
+    for (column, _) in assignments {
+        if !table.schema().contains(column) {
+            return Err(RelationalError::UnknownColumn {
+                table: table.name().to_string(),
+                column: column.to_lowercase(),
+            });
+        }
+    }
+    let matching = matching_rows(table, filter)?;
+    let mut updated = 0;
+    for &row_index in &matching {
+        // Evaluate all assignment expressions against the *current* row
+        // before applying any of them, so `SET a = b, b = a` behaves sanely.
+        let row = table.row(row_index).expect("row index from scan").to_vec();
+        let mut new_values = Vec::with_capacity(assignments.len());
+        for (column, expr) in assignments {
+            let value = expr.evaluate(table.schema(), &row, table.name())?;
+            new_values.push((column.clone(), value));
+        }
+        for (column, value) in new_values {
+            table.set_value(row_index, &column, value)?;
+        }
+        updated += 1;
+    }
+    Ok(QueryResult {
+        columns: Vec::new(),
+        rows: Vec::new(),
+        rows_affected: updated,
+    })
+}
+
+fn execute_delete(
+    table_name: &str,
+    filter: Option<&crate::expr::Expr>,
+    catalog: &mut Catalog,
+) -> Result<QueryResult> {
+    let table = catalog.table_mut(table_name)?;
+    let matching = matching_rows(table, filter)?;
+    let removed = table.delete_rows(&matching);
+    Ok(QueryResult {
+        columns: Vec::new(),
+        rows: Vec::new(),
+        rows_affected: removed,
+    })
+}
+
+/// Executes a `SELECT`.
+pub fn execute_select(select: &SelectStatement, catalog: &Catalog) -> Result<QueryResult> {
+    let table = catalog.table(&select.table)?;
+    let schema = table.schema();
+
+    // Resolve the projection up front so unknown columns error out even for
+    // empty tables.
+    let projected_indices: Vec<(String, usize)> = match &select.projection {
+        Projection::All => schema
+            .column_names()
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| (n, i))
+            .collect(),
+        Projection::Columns(names) => names
+            .iter()
+            .map(|n| {
+                schema
+                    .index_of(n)
+                    .map(|i| (n.to_lowercase(), i))
+                    .ok_or_else(|| RelationalError::UnknownColumn {
+                        table: table.name().to_string(),
+                        column: n.to_lowercase(),
+                    })
+            })
+            .collect::<Result<Vec<_>>>()?,
+    };
+
+    // Validate the filter's column references before scanning (gives the
+    // crowd layer a deterministic UnknownColumn error).
+    if let Some(filter) = &select.filter {
+        for column in filter.referenced_columns() {
+            if !schema.contains(&column) {
+                return Err(RelationalError::UnknownColumn {
+                    table: table.name().to_string(),
+                    column,
+                });
+            }
+        }
+    }
+    if let Some(OrderBy { column, .. }) = &select.order_by {
+        if !schema.contains(column) {
+            return Err(RelationalError::UnknownColumn {
+                table: table.name().to_string(),
+                column: column.to_lowercase(),
+            });
+        }
+    }
+
+    // Scan, filter, and collect row indices.
+    let mut matching: Vec<usize> = Vec::new();
+    for (i, row) in table.rows().iter().enumerate() {
+        let keep = match &select.filter {
+            Some(filter) => filter.matches(schema, row, table.name())?,
+            None => true,
+        };
+        if keep {
+            matching.push(i);
+        }
+    }
+
+    // Order.
+    if let Some(OrderBy { column, ascending }) = &select.order_by {
+        let col_idx = schema.index_of(column).expect("validated above");
+        matching.sort_by(|&a, &b| {
+            let va = &table.rows()[a][col_idx];
+            let vb = &table.rows()[b][col_idx];
+            // NULLs sort last regardless of direction.
+            let ord = match (va.is_null(), vb.is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+                (false, false) => va.compare(vb).unwrap_or(std::cmp::Ordering::Equal),
+            };
+            if *ascending {
+                ord
+            } else {
+                ord.reverse()
+            }
+        });
+    }
+
+    // Limit.
+    if let Some(limit) = select.limit {
+        matching.truncate(limit);
+    }
+
+    // Project.
+    let columns: Vec<String> = projected_indices.iter().map(|(n, _)| n.clone()).collect();
+    let rows: Vec<Vec<Value>> = matching
+        .iter()
+        .map(|&i| {
+            projected_indices
+                .iter()
+                .map(|&(_, idx)| table.rows()[i][idx].clone())
+                .collect()
+        })
+        .collect();
+
+    Ok(QueryResult {
+        columns,
+        rows,
+        rows_affected: 0,
+    })
+}
+
+fn execute_insert(
+    table_name: &str,
+    columns: &[String],
+    rows: &[Vec<Value>],
+    catalog: &mut Catalog,
+) -> Result<QueryResult> {
+    let table = catalog.table_mut(table_name)?;
+    // Resolve the column list once.
+    let indices: Vec<usize> = columns
+        .iter()
+        .map(|c| {
+            table.schema().index_of(c).ok_or_else(|| RelationalError::UnknownColumn {
+                table: table.name().to_string(),
+                column: c.to_lowercase(),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let width = table.schema().len();
+    let mut inserted = 0;
+    for row in rows {
+        let mut full = vec![Value::Null; width];
+        for (value, &idx) in row.iter().zip(indices.iter()) {
+            full[idx] = value.clone();
+        }
+        table.insert_row(full)?;
+        inserted += 1;
+    }
+    Ok(QueryResult {
+        columns: Vec::new(),
+        rows: Vec::new(),
+        rows_affected: inserted,
+    })
+}
+
+/// Convenience helper: creates a table directly from a schema description,
+/// bypassing SQL.  Used by the data generators to bulk-load synthetic
+/// domains.
+pub fn create_table_with_rows(
+    catalog: &mut Catalog,
+    name: &str,
+    columns: Vec<Column>,
+    rows: Vec<Vec<Value>>,
+) -> Result<()> {
+    let schema = Schema::new(columns)?;
+    let mut table = Table::new(name, schema);
+    for row in rows {
+        table.insert_row(row)?;
+    }
+    catalog.create_table(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parse;
+    use crate::value::DataType;
+
+    fn setup() -> Catalog {
+        let mut catalog = Catalog::new();
+        execute(
+            &parse("CREATE TABLE movies (id INTEGER NOT NULL, name TEXT, year INTEGER, rating FLOAT)").unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
+        execute(
+            &parse(
+                "INSERT INTO movies (id, name, year, rating) VALUES \
+                 (1, 'Rocky', 1976, 8.1), (2, 'Psycho', 1960, 8.5), \
+                 (3, 'Vertigo', 1958, 8.3), (4, 'Grease', 1978, 7.2)",
+            )
+            .unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
+        catalog
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let mut catalog = setup();
+        let result = execute(&parse("SELECT * FROM movies").unwrap(), &mut catalog).unwrap();
+        assert_eq!(result.columns, vec!["id", "name", "year", "rating"]);
+        assert_eq!(result.rows.len(), 4);
+    }
+
+    #[test]
+    fn filter_projection_order_limit() {
+        let mut catalog = setup();
+        let result = execute(
+            &parse("SELECT name FROM movies WHERE year < 1977 ORDER BY rating DESC LIMIT 2").unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
+        assert_eq!(result.columns, vec!["name"]);
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0][0], Value::from("Psycho"));
+        assert_eq!(result.rows[1][0], Value::from("Vertigo"));
+    }
+
+    #[test]
+    fn order_by_ascending_and_null_handling() {
+        let mut catalog = setup();
+        execute(
+            &parse("INSERT INTO movies (id, name) VALUES (5, 'Unknown Year')").unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
+        let result = execute(
+            &parse("SELECT name FROM movies ORDER BY year ASC").unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
+        // NULL year sorts last.
+        assert_eq!(result.rows.last().unwrap()[0], Value::from("Unknown Year"));
+        assert_eq!(result.rows[0][0], Value::from("Vertigo"));
+    }
+
+    #[test]
+    fn unknown_column_in_filter_is_reported_for_schema_expansion() {
+        let mut catalog = setup();
+        let err = execute(
+            &parse("SELECT * FROM movies WHERE is_comedy = true").unwrap(),
+            &mut catalog,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RelationalError::UnknownColumn {
+                table: "movies".into(),
+                column: "is_comedy".into()
+            }
+        );
+        // Unknown column in projection and ORDER BY too.
+        assert!(matches!(
+            execute(&parse("SELECT humor FROM movies").unwrap(), &mut catalog),
+            Err(RelationalError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            execute(&parse("SELECT * FROM movies ORDER BY humor").unwrap(), &mut catalog),
+            Err(RelationalError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn alter_table_add_column_then_query() {
+        let mut catalog = setup();
+        execute(&parse("ALTER TABLE movies ADD COLUMN is_comedy BOOLEAN").unwrap(), &mut catalog)
+            .unwrap();
+        // All values start as NULL, so the predicate matches nothing.
+        let result = execute(
+            &parse("SELECT * FROM movies WHERE is_comedy = true").unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
+        assert!(result.rows.is_empty());
+        // Fill one value and re-query.
+        catalog
+            .table_mut("movies")
+            .unwrap()
+            .set_value(3, "is_comedy", Value::Boolean(true))
+            .unwrap();
+        let result = execute(
+            &parse("SELECT name FROM movies WHERE is_comedy = true").unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
+        assert_eq!(result.rows, vec![vec![Value::from("Grease")]]);
+    }
+
+    #[test]
+    fn insert_reports_rows_affected_and_validates() {
+        let mut catalog = setup();
+        let result = execute(
+            &parse("INSERT INTO movies (id, name) VALUES (7, 'New'), (8, 'Newer')").unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
+        assert_eq!(result.rows_affected, 2);
+        // Unknown table / column and NOT NULL violations.
+        assert!(matches!(
+            execute(&parse("INSERT INTO nope (id) VALUES (1)").unwrap(), &mut catalog),
+            Err(RelationalError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            execute(&parse("INSERT INTO movies (genre) VALUES ('comedy')").unwrap(), &mut catalog),
+            Err(RelationalError::UnknownColumn { .. })
+        ));
+        assert!(execute(
+            &parse("INSERT INTO movies (name) VALUES ('No Id')").unwrap(),
+            &mut catalog
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn create_table_twice_fails() {
+        let mut catalog = setup();
+        assert!(matches!(
+            execute(&parse("CREATE TABLE movies (id INTEGER)").unwrap(), &mut catalog),
+            Err(RelationalError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_table_in_select() {
+        let mut catalog = Catalog::new();
+        assert!(matches!(
+            execute(&parse("SELECT * FROM missing").unwrap(), &mut catalog),
+            Err(RelationalError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn update_statement_modifies_matching_rows() {
+        let mut catalog = setup();
+        let result = execute(
+            &parse("UPDATE movies SET rating = rating + 1, year = 2000 WHERE year < 1970").unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
+        assert_eq!(result.rows_affected, 2);
+        let rows = execute(
+            &parse("SELECT name, rating, year FROM movies WHERE year = 2000 ORDER BY name").unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
+        assert_eq!(rows.rows.len(), 2);
+        assert_eq!(rows.rows[0][0], Value::from("Psycho"));
+        assert_eq!(rows.rows[0][1], Value::Float(9.5));
+        // UPDATE without WHERE touches every row.
+        let all = execute(&parse("UPDATE movies SET rating = 0.0").unwrap(), &mut catalog).unwrap();
+        assert_eq!(all.rows_affected, 4);
+        // Unknown assignment target and unknown filter column are reported.
+        assert!(matches!(
+            execute(&parse("UPDATE movies SET humor = 1.0").unwrap(), &mut catalog),
+            Err(RelationalError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            execute(&parse("UPDATE movies SET rating = 1.0 WHERE humor = 2").unwrap(), &mut catalog),
+            Err(RelationalError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_statement_removes_matching_rows() {
+        let mut catalog = setup();
+        let result = execute(
+            &parse("DELETE FROM movies WHERE year >= 1976").unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
+        assert_eq!(result.rows_affected, 2);
+        let remaining = execute(&parse("SELECT name FROM movies").unwrap(), &mut catalog).unwrap();
+        assert_eq!(remaining.rows.len(), 2);
+        // DELETE without WHERE empties the table.
+        let rest = execute(&parse("DELETE FROM movies").unwrap(), &mut catalog).unwrap();
+        assert_eq!(rest.rows_affected, 2);
+        assert!(execute(&parse("SELECT * FROM movies").unwrap(), &mut catalog)
+            .unwrap()
+            .rows
+            .is_empty());
+        // Unknown filter columns are reported.
+        assert!(matches!(
+            execute(&parse("DELETE FROM movies WHERE humor = 2").unwrap(), &mut catalog),
+            Err(RelationalError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn helper_bulk_loads_tables() {
+        let mut catalog = Catalog::new();
+        create_table_with_rows(
+            &mut catalog,
+            "genres",
+            vec![Column::new("id", DataType::Integer), Column::new("name", DataType::Text)],
+            vec![
+                vec![Value::Integer(1), Value::from("comedy")],
+                vec![Value::Integer(2), Value::from("drama")],
+            ],
+        )
+        .unwrap();
+        let result = execute(&parse("SELECT name FROM genres ORDER BY id").unwrap(), &mut catalog)
+            .unwrap();
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0][0], Value::from("comedy"));
+    }
+}

@@ -1,0 +1,433 @@
+//! Expressions and their evaluation.
+//!
+//! The evaluator implements SQL three-valued logic: comparisons against
+//! `NULL` yield `NULL` (represented as [`Value::Null`]), `AND`/`OR` follow
+//! the Kleene truth tables, and a `WHERE` predicate only accepts rows whose
+//! predicate evaluates to *true* (not to `NULL`).
+
+use std::cmp::Ordering;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RelationalError;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Result;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinaryOperator {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Multiply,
+    /// `/`
+    Divide,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnaryOperator {
+    /// `NOT`
+    Not,
+    /// `-`
+    Negate,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A column reference.
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// A binary operation.
+    BinaryOp {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOperator,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// A unary operation.
+    UnaryOp {
+        /// Operator.
+        op: UnaryOperator,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `expr IS NULL`
+    IsNull(Box<Expr>),
+    /// `expr IS NOT NULL`
+    IsNotNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a column reference.
+    pub fn column(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Convenience constructor for a literal.
+    pub fn literal(value: impl Into<Value>) -> Expr {
+        Expr::Literal(value.into())
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn binary(left: Expr, op: BinaryOperator, right: Expr) -> Expr {
+        Expr::BinaryOp {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    /// All column names referenced by the expression (in first-appearance
+    /// order, without duplicates).  The crowd layer uses this to detect
+    /// predicates over attributes that are not part of the schema yet.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(name) => {
+                let lower = name.to_lowercase();
+                if !out.contains(&lower) {
+                    out.push(lower);
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::BinaryOp { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::UnaryOp { expr, .. } => expr.collect_columns(out),
+            Expr::IsNull(expr) | Expr::IsNotNull(expr) => expr.collect_columns(out),
+        }
+    }
+
+    /// Evaluates the expression against one row.
+    pub fn evaluate(&self, schema: &Schema, row: &[Value], table_name: &str) -> Result<Value> {
+        match self {
+            Expr::Column(name) => {
+                let idx = schema.index_of(name).ok_or_else(|| RelationalError::UnknownColumn {
+                    table: table_name.to_string(),
+                    column: name.to_lowercase(),
+                })?;
+                Ok(row[idx].clone())
+            }
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::BinaryOp { left, op, right } => {
+                let l = left.evaluate(schema, row, table_name)?;
+                let r = right.evaluate(schema, row, table_name)?;
+                evaluate_binary(&l, *op, &r)
+            }
+            Expr::UnaryOp { op, expr } => {
+                let v = expr.evaluate(schema, row, table_name)?;
+                match op {
+                    UnaryOperator::Not => Ok(match v {
+                        Value::Null => Value::Null,
+                        Value::Boolean(b) => Value::Boolean(!b),
+                        other => {
+                            return Err(RelationalError::Evaluation(format!(
+                                "NOT applied to non-boolean value {other}"
+                            )))
+                        }
+                    }),
+                    UnaryOperator::Negate => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Integer(i) => Ok(Value::Integer(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(RelationalError::Evaluation(format!(
+                            "cannot negate non-numeric value {other}"
+                        ))),
+                    },
+                }
+            }
+            Expr::IsNull(expr) => {
+                let v = expr.evaluate(schema, row, table_name)?;
+                Ok(Value::Boolean(v.is_null()))
+            }
+            Expr::IsNotNull(expr) => {
+                let v = expr.evaluate(schema, row, table_name)?;
+                Ok(Value::Boolean(!v.is_null()))
+            }
+        }
+    }
+
+    /// Evaluates the expression as a predicate: `true` only when the result
+    /// is the boolean `true` (SQL `WHERE` semantics — `NULL` rejects the
+    /// row).
+    pub fn matches(&self, schema: &Schema, row: &[Value], table_name: &str) -> Result<bool> {
+        match self.evaluate(schema, row, table_name)? {
+            Value::Boolean(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(RelationalError::Evaluation(format!(
+                "WHERE predicate evaluated to non-boolean value {other}"
+            ))),
+        }
+    }
+}
+
+fn evaluate_binary(left: &Value, op: BinaryOperator, right: &Value) -> Result<Value> {
+    use BinaryOperator::*;
+    match op {
+        And => Ok(kleene_and(left, right)?),
+        Or => Ok(kleene_or(left, right)?),
+        Eq | NotEq => {
+            let eq = left.sql_eq(right);
+            Ok(match eq {
+                None => Value::Null,
+                Some(v) => Value::Boolean(if op == Eq { v } else { !v }),
+            })
+        }
+        Lt | LtEq | Gt | GtEq => {
+            if left.is_null() || right.is_null() {
+                return Ok(Value::Null);
+            }
+            let ord = left.compare(right).ok_or_else(|| {
+                RelationalError::Evaluation(format!("cannot compare {left} with {right}"))
+            })?;
+            let result = match op {
+                Lt => ord == Ordering::Less,
+                LtEq => ord != Ordering::Greater,
+                Gt => ord == Ordering::Greater,
+                GtEq => ord != Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Boolean(result))
+        }
+        Plus | Minus | Multiply | Divide => {
+            if left.is_null() || right.is_null() {
+                return Ok(Value::Null);
+            }
+            // Integer arithmetic stays integral except for division.
+            if let (Value::Integer(a), Value::Integer(b)) = (left, right) {
+                return Ok(match op {
+                    Plus => Value::Integer(a + b),
+                    Minus => Value::Integer(a - b),
+                    Multiply => Value::Integer(a * b),
+                    Divide => {
+                        if *b == 0 {
+                            return Err(RelationalError::Evaluation("division by zero".into()));
+                        }
+                        Value::Float(*a as f64 / *b as f64)
+                    }
+                    _ => unreachable!(),
+                });
+            }
+            let a = left.as_f64().ok_or_else(|| {
+                RelationalError::Evaluation(format!("arithmetic on non-numeric value {left}"))
+            })?;
+            let b = right.as_f64().ok_or_else(|| {
+                RelationalError::Evaluation(format!("arithmetic on non-numeric value {right}"))
+            })?;
+            Ok(match op {
+                Plus => Value::Float(a + b),
+                Minus => Value::Float(a - b),
+                Multiply => Value::Float(a * b),
+                Divide => {
+                    if b == 0.0 {
+                        return Err(RelationalError::Evaluation("division by zero".into()));
+                    }
+                    Value::Float(a / b)
+                }
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+fn as_kleene(v: &Value) -> Result<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Boolean(b) => Ok(Some(*b)),
+        other => Err(RelationalError::Evaluation(format!(
+            "logical operator applied to non-boolean value {other}"
+        ))),
+    }
+}
+
+fn kleene_and(left: &Value, right: &Value) -> Result<Value> {
+    let (l, r) = (as_kleene(left)?, as_kleene(right)?);
+    Ok(match (l, r) {
+        (Some(false), _) | (_, Some(false)) => Value::Boolean(false),
+        (Some(true), Some(true)) => Value::Boolean(true),
+        _ => Value::Null,
+    })
+}
+
+fn kleene_or(left: &Value, right: &Value) -> Result<Value> {
+    let (l, r) = (as_kleene(left)?, as_kleene(right)?);
+    Ok(match (l, r) {
+        (Some(true), _) | (_, Some(true)) => Value::Boolean(true),
+        (Some(false), Some(false)) => Value::Boolean(false),
+        _ => Value::Null,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Integer),
+            Column::new("name", DataType::Text),
+            Column::new("humor", DataType::Float),
+            Column::new("is_comedy", DataType::Boolean),
+        ])
+        .unwrap()
+    }
+
+    fn row() -> Vec<Value> {
+        vec![
+            Value::Integer(1),
+            Value::from("Rocky"),
+            Value::Float(3.5),
+            Value::Null,
+        ]
+    }
+
+    #[test]
+    fn column_and_literal_evaluation() {
+        let s = schema();
+        let r = row();
+        assert_eq!(Expr::column("ID").evaluate(&s, &r, "movies").unwrap(), Value::Integer(1));
+        assert_eq!(Expr::literal(5i64).evaluate(&s, &r, "movies").unwrap(), Value::Integer(5));
+        let err = Expr::column("missing").evaluate(&s, &r, "movies");
+        assert!(matches!(err, Err(RelationalError::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        let r = row();
+        let gt = Expr::binary(Expr::column("humor"), BinaryOperator::Gt, Expr::literal(3.0));
+        assert_eq!(gt.evaluate(&s, &r, "t").unwrap(), Value::Boolean(true));
+        let eq = Expr::binary(Expr::column("name"), BinaryOperator::Eq, Expr::literal("Rocky"));
+        assert_eq!(eq.evaluate(&s, &r, "t").unwrap(), Value::Boolean(true));
+        let neq = Expr::binary(Expr::column("id"), BinaryOperator::NotEq, Expr::literal(1i64));
+        assert_eq!(neq.evaluate(&s, &r, "t").unwrap(), Value::Boolean(false));
+        // Comparison against NULL yields NULL, which `matches` treats as false.
+        let null_cmp = Expr::binary(Expr::column("is_comedy"), BinaryOperator::Eq, Expr::literal(true));
+        assert_eq!(null_cmp.evaluate(&s, &r, "t").unwrap(), Value::Null);
+        assert!(!null_cmp.matches(&s, &r, "t").unwrap());
+        // Incomparable types.
+        let bad = Expr::binary(Expr::column("name"), BinaryOperator::Lt, Expr::literal(1i64));
+        assert!(bad.evaluate(&s, &r, "t").is_err());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let s = schema();
+        let r = row();
+        let is_comedy = Expr::binary(Expr::column("is_comedy"), BinaryOperator::Eq, Expr::literal(true));
+        let id_pos = Expr::binary(Expr::column("id"), BinaryOperator::Gt, Expr::literal(0i64));
+        // NULL AND true = NULL; NULL OR true = true; NULL AND false = false.
+        let and = Expr::binary(is_comedy.clone(), BinaryOperator::And, id_pos.clone());
+        assert_eq!(and.evaluate(&s, &r, "t").unwrap(), Value::Null);
+        let or = Expr::binary(is_comedy.clone(), BinaryOperator::Or, id_pos.clone());
+        assert_eq!(or.evaluate(&s, &r, "t").unwrap(), Value::Boolean(true));
+        let id_neg = Expr::binary(Expr::column("id"), BinaryOperator::Lt, Expr::literal(0i64));
+        let and_false = Expr::binary(is_comedy.clone(), BinaryOperator::And, id_neg);
+        assert_eq!(and_false.evaluate(&s, &r, "t").unwrap(), Value::Boolean(false));
+        // NOT NULL = NULL.
+        let not_null = Expr::UnaryOp {
+            op: UnaryOperator::Not,
+            expr: Box::new(is_comedy),
+        };
+        assert_eq!(not_null.evaluate(&s, &r, "t").unwrap(), Value::Null);
+        // Logical op on non-boolean errors.
+        let bad = Expr::binary(Expr::column("id"), BinaryOperator::And, Expr::literal(true));
+        assert!(bad.evaluate(&s, &r, "t").is_err());
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let s = schema();
+        let r = row();
+        assert_eq!(
+            Expr::IsNull(Box::new(Expr::column("is_comedy"))).evaluate(&s, &r, "t").unwrap(),
+            Value::Boolean(true)
+        );
+        assert_eq!(
+            Expr::IsNotNull(Box::new(Expr::column("id"))).evaluate(&s, &r, "t").unwrap(),
+            Value::Boolean(true)
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        let s = schema();
+        let r = row();
+        let add = Expr::binary(Expr::column("id"), BinaryOperator::Plus, Expr::literal(2i64));
+        assert_eq!(add.evaluate(&s, &r, "t").unwrap(), Value::Integer(3));
+        let mul = Expr::binary(Expr::column("humor"), BinaryOperator::Multiply, Expr::literal(2i64));
+        assert_eq!(mul.evaluate(&s, &r, "t").unwrap(), Value::Float(7.0));
+        let div = Expr::binary(Expr::literal(7i64), BinaryOperator::Divide, Expr::literal(2i64));
+        assert_eq!(div.evaluate(&s, &r, "t").unwrap(), Value::Float(3.5));
+        let div0 = Expr::binary(Expr::literal(7i64), BinaryOperator::Divide, Expr::literal(0i64));
+        assert!(div0.evaluate(&s, &r, "t").is_err());
+        let bad = Expr::binary(Expr::column("name"), BinaryOperator::Plus, Expr::literal(1i64));
+        assert!(bad.evaluate(&s, &r, "t").is_err());
+        let null_arith =
+            Expr::binary(Expr::column("is_comedy"), BinaryOperator::Plus, Expr::literal(1i64));
+        assert_eq!(null_arith.evaluate(&s, &r, "t").unwrap(), Value::Null);
+        // Unary negation.
+        let neg = Expr::UnaryOp {
+            op: UnaryOperator::Negate,
+            expr: Box::new(Expr::column("humor")),
+        };
+        assert_eq!(neg.evaluate(&s, &r, "t").unwrap(), Value::Float(-3.5));
+        let neg_bad = Expr::UnaryOp {
+            op: UnaryOperator::Negate,
+            expr: Box::new(Expr::column("name")),
+        };
+        assert!(neg_bad.evaluate(&s, &r, "t").is_err());
+    }
+
+    #[test]
+    fn referenced_columns_are_collected_once() {
+        let e = Expr::binary(
+            Expr::binary(Expr::column("Humor"), BinaryOperator::GtEq, Expr::literal(8i64)),
+            BinaryOperator::And,
+            Expr::binary(Expr::column("humor"), BinaryOperator::Lt, Expr::column("year")),
+        );
+        assert_eq!(e.referenced_columns(), vec!["humor", "year"]);
+        assert!(Expr::literal(1i64).referenced_columns().is_empty());
+    }
+
+    #[test]
+    fn matches_requires_boolean() {
+        let s = schema();
+        let r = row();
+        assert!(Expr::column("id").matches(&s, &r, "t").is_err());
+        let ok = Expr::binary(Expr::column("id"), BinaryOperator::Eq, Expr::literal(1i64));
+        assert!(ok.matches(&s, &r, "t").unwrap());
+    }
+}

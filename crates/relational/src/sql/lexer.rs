@@ -1,0 +1,249 @@
+//! SQL tokenizer.
+
+use crate::error::RelationalError;
+use crate::Result;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword (upper-cased): `SELECT`, `FROM`, `WHERE`, …
+    Keyword(String),
+    /// An identifier (lower-cased): table and column names.
+    Identifier(String),
+    /// A numeric literal (integer or float).
+    Number(String),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    StringLiteral(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LeftParen,
+    /// `)`
+    RightParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `;`
+    Semicolon,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "ORDER", "BY", "ASC", "DESC", "LIMIT", "INSERT", "INTO", "VALUES",
+    "CREATE", "TABLE", "ALTER", "ADD", "COLUMN", "NOT", "NULL", "AND", "OR", "TRUE", "FALSE",
+    "IS", "INTEGER", "INT", "FLOAT", "REAL", "DOUBLE", "TEXT", "VARCHAR", "STRING", "BOOLEAN",
+    "BOOL", "UPDATE", "SET", "DELETE",
+];
+
+/// Splits a SQL string into tokens.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LeftParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RightParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < chars.len() && chars[i + 1] == '>' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(RelationalError::Parse("unexpected character '!'".into()));
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= chars.len() {
+                        return Err(RelationalError::Parse("unterminated string literal".into()));
+                    }
+                    if chars[i] == '\'' {
+                        // Escaped quote: '' inside a string.
+                        if i + 1 < chars.len() && chars[i + 1] == '\'' {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::StringLiteral(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                let mut seen_dot = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit() || (chars[i] == '.' && !seen_dot))
+                {
+                    if chars[i] == '.' {
+                        seen_dot = true;
+                    }
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::Number(s));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                let upper = s.to_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    tokens.push(Token::Keyword(upper));
+                } else {
+                    tokens.push(Token::Identifier(s.to_lowercase()));
+                }
+            }
+            other => {
+                return Err(RelationalError::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_full_select() {
+        let toks = tokenize("SELECT name FROM movies WHERE humor >= 8.5 AND year <> 1999;").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Identifier("name".into()));
+        assert!(toks.contains(&Token::GtEq));
+        assert!(toks.contains(&Token::Number("8.5".into())));
+        assert!(toks.contains(&Token::NotEq));
+        assert_eq!(*toks.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_identifiers_lowercased() {
+        let toks = tokenize("select NaMe from Movies").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Identifier("name".into()));
+        assert_eq!(toks[3], Token::Identifier("movies".into()));
+    }
+
+    #[test]
+    fn string_literals_and_escapes() {
+        let toks = tokenize("'it''s good'").unwrap();
+        assert_eq!(toks, vec![Token::StringLiteral("it's good".into())]);
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn operators_and_punctuation() {
+        let toks = tokenize("( ) , * = < <= > >= != + - /").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LeftParen,
+                Token::RightParen,
+                Token::Comma,
+                Token::Star,
+                Token::Eq,
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::NotEq,
+                Token::Plus,
+                Token::Minus,
+                Token::Slash,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(tokenize("SELECT # FROM t").is_err());
+        assert!(tokenize("!a").is_err());
+    }
+
+    #[test]
+    fn numbers_parse_with_single_dot() {
+        let toks = tokenize("3.14 42").unwrap();
+        assert_eq!(toks, vec![Token::Number("3.14".into()), Token::Number("42".into())]);
+    }
+}

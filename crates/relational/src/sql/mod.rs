@@ -1,0 +1,234 @@
+//! A SQL-subset parser.
+//!
+//! The grammar covers exactly what the paper's scenarios need:
+//!
+//! ```sql
+//! SELECT name FROM movies WHERE humor >= 8;
+//! SELECT * FROM movies WHERE is_comedy = true ORDER BY year DESC LIMIT 10;
+//! INSERT INTO movies (id, name, year) VALUES (1, 'Rocky', 1976);
+//! CREATE TABLE movies (id INTEGER NOT NULL, name TEXT, year INTEGER);
+//! ALTER TABLE movies ADD COLUMN is_comedy BOOLEAN;
+//! ```
+
+mod lexer;
+mod parser;
+
+pub use lexer::{tokenize, Token};
+pub use parser::parse;
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::Expr;
+use crate::schema::Column;
+use crate::value::Value;
+
+/// The projection list of a `SELECT`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Projection {
+    /// `SELECT *`
+    All,
+    /// `SELECT col1, col2, …`
+    Columns(Vec<String>),
+}
+
+/// `ORDER BY <column> [ASC | DESC]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderBy {
+    /// Column to sort by.
+    pub column: String,
+    /// Ascending (`true`) or descending order.
+    pub ascending: bool,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectStatement {
+    /// Projection list.
+    pub projection: Projection,
+    /// Source table.
+    pub table: String,
+    /// Optional `WHERE` predicate.
+    pub filter: Option<Expr>,
+    /// Optional `ORDER BY` clause.
+    pub order_by: Option<OrderBy>,
+    /// Optional `LIMIT` clause.
+    pub limit: Option<usize>,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// `SELECT …`
+    Select(SelectStatement),
+    /// `INSERT INTO …`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Column list.
+        columns: Vec<String>,
+        /// One or more value tuples.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `CREATE TABLE …`
+    CreateTable {
+        /// New table name.
+        table: String,
+        /// Column definitions.
+        columns: Vec<Column>,
+    },
+    /// `ALTER TABLE … ADD COLUMN …` — the DDL form of schema expansion.
+    AlterTableAddColumn {
+        /// Target table.
+        table: String,
+        /// The new column.
+        column: Column,
+    },
+    /// `UPDATE … SET … [WHERE …]` — used e.g. to overwrite crowd-derived
+    /// values after a re-crowd-sourcing round.
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, value expression)` assignments.
+        assignments: Vec<(String, Expr)>,
+        /// Optional `WHERE` predicate selecting the rows to update.
+        filter: Option<Expr>,
+    },
+    /// `DELETE FROM … [WHERE …]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional `WHERE` predicate selecting the rows to delete.
+        filter: Option<Expr>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    #[test]
+    fn parse_select_star() {
+        let stmt = parse("SELECT * FROM movies WHERE is_comedy = true").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.projection, Projection::All);
+                assert_eq!(s.table, "movies");
+                assert!(s.filter.is_some());
+                assert!(s.order_by.is_none());
+                assert!(s.limit.is_none());
+            }
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_select_with_projection_order_limit() {
+        let stmt =
+            parse("SELECT name, year FROM movies WHERE humor >= 8 ORDER BY year DESC LIMIT 5")
+                .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.projection, Projection::Columns(vec!["name".into(), "year".into()]));
+                let order = s.order_by.unwrap();
+                assert_eq!(order.column, "year");
+                assert!(!order.ascending);
+                assert_eq!(s.limit, Some(5));
+            }
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_multiple_rows() {
+        let stmt = parse(
+            "INSERT INTO movies (id, name, year) VALUES (1, 'Rocky', 1976), (2, 'Psycho', 1960)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Insert { table, columns, rows } => {
+                assert_eq!(table, "movies");
+                assert_eq!(columns, vec!["id", "name", "year"]);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][1], Value::Text("Rocky".into()));
+                assert_eq!(rows[1][2], Value::Integer(1960));
+            }
+            other => panic!("expected INSERT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_create_table() {
+        let stmt =
+            parse("CREATE TABLE movies (id INTEGER NOT NULL, name TEXT, rating FLOAT, fun BOOLEAN)")
+                .unwrap();
+        match stmt {
+            Statement::CreateTable { table, columns } => {
+                assert_eq!(table, "movies");
+                assert_eq!(columns.len(), 4);
+                assert_eq!(columns[0].data_type, DataType::Integer);
+                assert!(!columns[0].nullable);
+                assert_eq!(columns[1].data_type, DataType::Text);
+                assert!(columns[1].nullable);
+                assert_eq!(columns[2].data_type, DataType::Float);
+                assert_eq!(columns[3].data_type, DataType::Boolean);
+            }
+            other => panic!("expected CREATE TABLE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_alter_table_add_column() {
+        let stmt = parse("ALTER TABLE movies ADD COLUMN is_comedy BOOLEAN").unwrap();
+        match stmt {
+            Statement::AlterTableAddColumn { table, column } => {
+                assert_eq!(table, "movies");
+                assert_eq!(column.name, "is_comedy");
+                assert_eq!(column.data_type, DataType::Boolean);
+                assert!(column.nullable);
+            }
+            other => panic!("expected ALTER TABLE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_update_and_delete() {
+        match parse("UPDATE movies SET is_comedy = true, rating = rating + 1 WHERE year < 1980")
+            .unwrap()
+        {
+            Statement::Update { table, assignments, filter } => {
+                assert_eq!(table, "movies");
+                assert_eq!(assignments.len(), 2);
+                assert_eq!(assignments[0].0, "is_comedy");
+                assert!(filter.is_some());
+            }
+            other => panic!("expected UPDATE, got {other:?}"),
+        }
+        match parse("DELETE FROM movies WHERE year < 1950").unwrap() {
+            Statement::Delete { table, filter } => {
+                assert_eq!(table, "movies");
+                assert!(filter.is_some());
+            }
+            other => panic!("expected DELETE, got {other:?}"),
+        }
+        match parse("DELETE FROM movies").unwrap() {
+            Statement::Delete { filter, .. } => assert!(filter.is_none()),
+            other => panic!("expected DELETE, got {other:?}"),
+        }
+        assert!(parse("UPDATE movies").is_err());
+        assert!(parse("UPDATE movies SET").is_err());
+        assert!(parse("DELETE movies").is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("").is_err());
+        assert!(parse("SELEKT * FROM movies").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM movies WHERE").is_err());
+        assert!(parse("INSERT INTO movies VALUES").is_err());
+        assert!(parse("CREATE TABLE t ()").is_err());
+        assert!(parse("ALTER TABLE t DROP COLUMN c").is_err());
+        assert!(parse("SELECT * FROM movies extra garbage").is_err());
+    }
+}

@@ -1,0 +1,548 @@
+//! Recursive-descent parser for the SQL subset.
+
+use super::lexer::{tokenize, Token};
+use super::{OrderBy, Projection, SelectStatement, Statement};
+use crate::error::RelationalError;
+use crate::expr::{BinaryOperator, Expr, UnaryOperator};
+use crate::schema::Column;
+use crate::value::{DataType, Value};
+use crate::Result;
+
+/// Parses one SQL statement.
+pub fn parse(input: &str) -> Result<Statement> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let stmt = parser.statement()?;
+    // A trailing semicolon is allowed; anything else is an error.
+    if parser.consume_if(&Token::Semicolon) {}
+    if !parser.at_end() {
+        return Err(RelationalError::Parse(format!(
+            "unexpected trailing input near {:?}",
+            parser.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn consume_if(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<()> {
+        if self.consume_if(token) {
+            Ok(())
+        } else {
+            Err(RelationalError::Parse(format!(
+                "expected {token:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        match self.advance() {
+            Some(Token::Keyword(k)) if k == kw => Ok(()),
+            other => Err(RelationalError::Parse(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn consume_keyword_if(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Identifier(name)) => Ok(name),
+            other => Err(RelationalError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            Some(Token::Keyword(k)) if k == "SELECT" => self.select(),
+            Some(Token::Keyword(k)) if k == "INSERT" => self.insert(),
+            Some(Token::Keyword(k)) if k == "CREATE" => self.create_table(),
+            Some(Token::Keyword(k)) if k == "ALTER" => self.alter_table(),
+            Some(Token::Keyword(k)) if k == "UPDATE" => self.update(),
+            Some(Token::Keyword(k)) if k == "DELETE" => self.delete(),
+            other => Err(RelationalError::Parse(format!(
+                "expected SELECT, INSERT, UPDATE, DELETE, CREATE, or ALTER, found {other:?}"
+            ))),
+        }
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.keyword("UPDATE")?;
+        let table = self.identifier()?;
+        self.keyword("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = self.identifier()?;
+            self.expect(&Token::Eq)?;
+            let value = self.expression()?;
+            assignments.push((column, value));
+            if !self.consume_if(&Token::Comma) {
+                break;
+            }
+        }
+        let filter = if self.consume_keyword_if("WHERE") {
+            Some(self.expression()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            filter,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.keyword("DELETE")?;
+        self.keyword("FROM")?;
+        let table = self.identifier()?;
+        let filter = if self.consume_keyword_if("WHERE") {
+            Some(self.expression()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, filter })
+    }
+
+    fn select(&mut self) -> Result<Statement> {
+        self.keyword("SELECT")?;
+        let projection = if self.consume_if(&Token::Star) {
+            Projection::All
+        } else {
+            let mut columns = vec![self.identifier()?];
+            while self.consume_if(&Token::Comma) {
+                columns.push(self.identifier()?);
+            }
+            Projection::Columns(columns)
+        };
+        self.keyword("FROM")?;
+        let table = self.identifier()?;
+        let filter = if self.consume_keyword_if("WHERE") {
+            Some(self.expression()?)
+        } else {
+            None
+        };
+        let order_by = if self.consume_keyword_if("ORDER") {
+            self.keyword("BY")?;
+            let column = self.identifier()?;
+            let ascending = if self.consume_keyword_if("DESC") {
+                false
+            } else {
+                self.consume_keyword_if("ASC");
+                true
+            };
+            Some(OrderBy { column, ascending })
+        } else {
+            None
+        };
+        let limit = if self.consume_keyword_if("LIMIT") {
+            match self.advance() {
+                Some(Token::Number(n)) => Some(n.parse::<usize>().map_err(|_| {
+                    RelationalError::Parse(format!("invalid LIMIT value: {n}"))
+                })?),
+                other => {
+                    return Err(RelationalError::Parse(format!(
+                        "expected a number after LIMIT, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Statement::Select(SelectStatement {
+            projection,
+            table,
+            filter,
+            order_by,
+            limit,
+        }))
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.keyword("INSERT")?;
+        self.keyword("INTO")?;
+        let table = self.identifier()?;
+        self.expect(&Token::LeftParen)?;
+        let mut columns = vec![self.identifier()?];
+        while self.consume_if(&Token::Comma) {
+            columns.push(self.identifier()?);
+        }
+        self.expect(&Token::RightParen)?;
+        self.keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LeftParen)?;
+            let mut row = vec![self.literal_value()?];
+            while self.consume_if(&Token::Comma) {
+                row.push(self.literal_value()?);
+            }
+            self.expect(&Token::RightParen)?;
+            if row.len() != columns.len() {
+                return Err(RelationalError::Parse(format!(
+                    "INSERT lists {} columns but a value tuple has {} values",
+                    columns.len(),
+                    row.len()
+                )));
+            }
+            rows.push(row);
+            if !self.consume_if(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        self.keyword("CREATE")?;
+        self.keyword("TABLE")?;
+        let table = self.identifier()?;
+        self.expect(&Token::LeftParen)?;
+        let mut columns = vec![self.column_definition()?];
+        while self.consume_if(&Token::Comma) {
+            columns.push(self.column_definition()?);
+        }
+        self.expect(&Token::RightParen)?;
+        Ok(Statement::CreateTable { table, columns })
+    }
+
+    fn alter_table(&mut self) -> Result<Statement> {
+        self.keyword("ALTER")?;
+        self.keyword("TABLE")?;
+        let table = self.identifier()?;
+        self.keyword("ADD")?;
+        self.keyword("COLUMN")?;
+        let column = self.column_definition()?;
+        Ok(Statement::AlterTableAddColumn { table, column })
+    }
+
+    fn column_definition(&mut self) -> Result<Column> {
+        let name = self.identifier()?;
+        let data_type = match self.advance() {
+            Some(Token::Keyword(k)) => match k.as_str() {
+                "INTEGER" | "INT" => DataType::Integer,
+                "FLOAT" | "REAL" | "DOUBLE" => DataType::Float,
+                "TEXT" | "VARCHAR" | "STRING" => DataType::Text,
+                "BOOLEAN" | "BOOL" => DataType::Boolean,
+                other => {
+                    return Err(RelationalError::Parse(format!("unknown data type {other}")))
+                }
+            },
+            other => {
+                return Err(RelationalError::Parse(format!(
+                    "expected a data type, found {other:?}"
+                )))
+            }
+        };
+        let nullable = if self.consume_keyword_if("NOT") {
+            self.keyword("NULL")?;
+            false
+        } else {
+            self.consume_keyword_if("NULL");
+            true
+        };
+        Ok(Column {
+            name,
+            data_type,
+            nullable,
+        })
+    }
+
+    fn literal_value(&mut self) -> Result<Value> {
+        match self.advance() {
+            Some(Token::Number(n)) => parse_number(&n),
+            Some(Token::StringLiteral(s)) => Ok(Value::Text(s)),
+            Some(Token::Keyword(k)) if k == "TRUE" => Ok(Value::Boolean(true)),
+            Some(Token::Keyword(k)) if k == "FALSE" => Ok(Value::Boolean(false)),
+            Some(Token::Keyword(k)) if k == "NULL" => Ok(Value::Null),
+            Some(Token::Minus) => match self.advance() {
+                Some(Token::Number(n)) => match parse_number(&n)? {
+                    Value::Integer(i) => Ok(Value::Integer(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    _ => unreachable!("parse_number only returns numeric values"),
+                },
+                other => Err(RelationalError::Parse(format!(
+                    "expected a number after '-', found {other:?}"
+                ))),
+            },
+            other => Err(RelationalError::Parse(format!("expected a literal, found {other:?}"))),
+        }
+    }
+
+    // Expression grammar, lowest precedence first.
+    fn expression(&mut self) -> Result<Expr> {
+        self.or_expression()
+    }
+
+    fn or_expression(&mut self) -> Result<Expr> {
+        let mut left = self.and_expression()?;
+        while self.consume_keyword_if("OR") {
+            let right = self.and_expression()?;
+            left = Expr::binary(left, BinaryOperator::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expression(&mut self) -> Result<Expr> {
+        let mut left = self.not_expression()?;
+        while self.consume_keyword_if("AND") {
+            let right = self.not_expression()?;
+            left = Expr::binary(left, BinaryOperator::And, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expression(&mut self) -> Result<Expr> {
+        if self.consume_keyword_if("NOT") {
+            let inner = self.not_expression()?;
+            return Ok(Expr::UnaryOp {
+                op: UnaryOperator::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.consume_keyword_if("IS") {
+            let negated = self.consume_keyword_if("NOT");
+            self.keyword("NULL")?;
+            return Ok(if negated {
+                Expr::IsNotNull(Box::new(left))
+            } else {
+                Expr::IsNull(Box::new(left))
+            });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinaryOperator::Eq),
+            Some(Token::NotEq) => Some(BinaryOperator::NotEq),
+            Some(Token::Lt) => Some(BinaryOperator::Lt),
+            Some(Token::LtEq) => Some(BinaryOperator::LtEq),
+            Some(Token::Gt) => Some(BinaryOperator::Gt),
+            Some(Token::GtEq) => Some(BinaryOperator::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::binary(left, op, right));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOperator::Plus,
+                Some(Token::Minus) => BinaryOperator::Minus,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOperator::Multiply,
+                Some(Token::Slash) => BinaryOperator::Divide,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.factor()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        match self.advance() {
+            Some(Token::Number(n)) => Ok(Expr::Literal(parse_number(&n)?)),
+            Some(Token::StringLiteral(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(Token::Keyword(k)) if k == "TRUE" => Ok(Expr::Literal(Value::Boolean(true))),
+            Some(Token::Keyword(k)) if k == "FALSE" => Ok(Expr::Literal(Value::Boolean(false))),
+            Some(Token::Keyword(k)) if k == "NULL" => Ok(Expr::Literal(Value::Null)),
+            Some(Token::Identifier(name)) => Ok(Expr::Column(name)),
+            Some(Token::Minus) => {
+                let inner = self.factor()?;
+                Ok(Expr::UnaryOp {
+                    op: UnaryOperator::Negate,
+                    expr: Box::new(inner),
+                })
+            }
+            Some(Token::LeftParen) => {
+                let inner = self.expression()?;
+                self.expect(&Token::RightParen)?;
+                Ok(inner)
+            }
+            other => Err(RelationalError::Parse(format!(
+                "expected an expression, found {other:?}"
+            ))),
+        }
+    }
+}
+
+fn parse_number(text: &str) -> Result<Value> {
+    if text.contains('.') {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| RelationalError::Parse(format!("invalid number: {text}")))
+    } else {
+        text.parse::<i64>()
+            .map(Value::Integer)
+            .map_err(|_| RelationalError::Parse(format!("invalid number: {text}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select_filter(sql: &str) -> Expr {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => s.filter.unwrap(),
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_expression_precedence() {
+        // AND binds tighter than OR.
+        let e = select_filter("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        match e {
+            Expr::BinaryOp { op: BinaryOperator::Or, right, .. } => match *right {
+                Expr::BinaryOp { op: BinaryOperator::And, .. } => {}
+                other => panic!("expected AND on the right of OR, got {other:?}"),
+            },
+            other => panic!("expected OR at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = select_filter("SELECT * FROM t WHERE a = 1 + 2 * 3");
+        // Right side of '=' must be Plus(1, Multiply(2, 3)).
+        match e {
+            Expr::BinaryOp { op: BinaryOperator::Eq, right, .. } => match *right {
+                Expr::BinaryOp { op: BinaryOperator::Plus, right: ref mul, .. } => {
+                    assert!(matches!(**mul, Expr::BinaryOp { op: BinaryOperator::Multiply, .. }));
+                }
+                other => panic!("expected Plus, got {other:?}"),
+            },
+            other => panic!("expected Eq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_expressions_and_not() {
+        let e = select_filter("SELECT * FROM t WHERE NOT (a = 1 OR b = 2)");
+        assert!(matches!(e, Expr::UnaryOp { op: UnaryOperator::Not, .. }));
+    }
+
+    #[test]
+    fn is_null_and_is_not_null() {
+        let e = select_filter("SELECT * FROM t WHERE genre IS NULL");
+        assert!(matches!(e, Expr::IsNull(_)));
+        let e = select_filter("SELECT * FROM t WHERE genre IS NOT NULL");
+        assert!(matches!(e, Expr::IsNotNull(_)));
+    }
+
+    #[test]
+    fn negative_literals_in_insert_and_where() {
+        match parse("INSERT INTO t (a) VALUES (-5), (2.5)").unwrap() {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(rows[0][0], Value::Integer(-5));
+                assert_eq!(rows[1][0], Value::Float(2.5));
+            }
+            other => panic!("expected INSERT, got {other:?}"),
+        }
+        let e = select_filter("SELECT * FROM t WHERE a > -3");
+        match e {
+            Expr::BinaryOp { right, .. } => {
+                assert!(matches!(*right, Expr::UnaryOp { op: UnaryOperator::Negate, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_arity_mismatch_is_rejected() {
+        assert!(parse("INSERT INTO t (a, b) VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_is_accepted() {
+        assert!(parse("SELECT * FROM t;").is_ok());
+        assert!(parse("SELECT * FROM t; SELECT * FROM u").is_err());
+    }
+
+    #[test]
+    fn boolean_and_null_literals() {
+        match parse("INSERT INTO t (a, b, c) VALUES (true, false, NULL)").unwrap() {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(rows[0], vec![Value::Boolean(true), Value::Boolean(false), Value::Null]);
+            }
+            other => panic!("expected INSERT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_synonyms() {
+        match parse("CREATE TABLE t (a INT, b DOUBLE, c VARCHAR, d BOOL)").unwrap() {
+            Statement::CreateTable { columns, .. } => {
+                assert_eq!(columns[0].data_type, DataType::Integer);
+                assert_eq!(columns[1].data_type, DataType::Float);
+                assert_eq!(columns[2].data_type, DataType::Text);
+                assert_eq!(columns[3].data_type, DataType::Boolean);
+            }
+            other => panic!("expected CREATE TABLE, got {other:?}"),
+        }
+    }
+}

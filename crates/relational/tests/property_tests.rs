@@ -1,0 +1,172 @@
+//! Property-based tests for the relational engine: SQL literal round trips,
+//! three-valued logic laws, and executor invariants.
+
+use proptest::prelude::*;
+
+use relational::{executor, parse, Catalog, Column, DataType, Expr, Schema, Table, Value};
+
+fn identifier() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_filter("avoid SQL keywords", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "from" | "where" | "order" | "by" | "asc" | "desc" | "limit" | "insert"
+                | "into" | "values" | "create" | "table" | "alter" | "add" | "column" | "not"
+                | "null" | "and" | "or" | "true" | "false" | "is" | "integer" | "int" | "float"
+                | "real" | "double" | "text" | "varchar" | "string" | "boolean" | "bool"
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn integer_literals_round_trip_through_insert(value in -1_000_000i64..1_000_000) {
+        let mut catalog = Catalog::new();
+        executor::execute(&parse("CREATE TABLE t (v INTEGER)").unwrap(), &mut catalog).unwrap();
+        let sql = format!("INSERT INTO t (v) VALUES ({value})");
+        executor::execute(&parse(&sql).unwrap(), &mut catalog).unwrap();
+        let result = executor::execute(&parse("SELECT v FROM t").unwrap(), &mut catalog).unwrap();
+        prop_assert_eq!(&result.rows[0][0], &Value::Integer(value));
+    }
+
+    #[test]
+    fn text_literals_round_trip(text in "[a-zA-Z0-9 ]{0,24}") {
+        let mut catalog = Catalog::new();
+        executor::execute(&parse("CREATE TABLE t (v TEXT)").unwrap(), &mut catalog).unwrap();
+        let sql = format!("INSERT INTO t (v) VALUES ('{text}')");
+        executor::execute(&parse(&sql).unwrap(), &mut catalog).unwrap();
+        let result = executor::execute(&parse("SELECT v FROM t").unwrap(), &mut catalog).unwrap();
+        prop_assert_eq!(&result.rows[0][0], &Value::Text(text));
+    }
+
+    #[test]
+    fn parser_accepts_arbitrary_identifiers(table in identifier(), column in identifier()) {
+        let create = format!("CREATE TABLE {table} ({column} INTEGER)");
+        let stmt = parse(&create);
+        prop_assert!(stmt.is_ok(), "failed to parse {create}: {stmt:?}");
+        let select = format!("SELECT {column} FROM {table} WHERE {column} > 0");
+        prop_assert!(parse(&select).is_ok());
+    }
+
+    #[test]
+    fn filtered_rows_never_exceed_table_and_satisfy_predicate(
+        values in prop::collection::vec(-50i64..50, 1..40),
+        threshold in -50i64..50,
+    ) {
+        let mut catalog = Catalog::new();
+        executor::execute(&parse("CREATE TABLE t (v INTEGER)").unwrap(), &mut catalog).unwrap();
+        for v in &values {
+            executor::execute(
+                &parse(&format!("INSERT INTO t (v) VALUES ({v})")).unwrap(),
+                &mut catalog,
+            )
+            .unwrap();
+        }
+        let result = executor::execute(
+            &parse(&format!("SELECT v FROM t WHERE v >= {threshold}")).unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
+        let expected = values.iter().filter(|&&v| v >= threshold).count();
+        prop_assert_eq!(result.rows.len(), expected);
+        for row in &result.rows {
+            match row[0] {
+                Value::Integer(v) => prop_assert!(v >= threshold),
+                ref other => prop_assert!(false, "unexpected value {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn order_by_produces_sorted_output(values in prop::collection::vec(-1000i64..1000, 1..40)) {
+        let mut catalog = Catalog::new();
+        let schema = Schema::new(vec![Column::new("v", DataType::Integer)]).unwrap();
+        let mut table = Table::new("t", schema);
+        for v in &values {
+            table.insert_row(vec![Value::Integer(*v)]).unwrap();
+        }
+        catalog.create_table(table).unwrap();
+        let result = executor::execute(
+            &parse("SELECT v FROM t ORDER BY v ASC").unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
+        let sorted: Vec<i64> = result
+            .rows
+            .iter()
+            .map(|r| match r[0] {
+                Value::Integer(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn three_valued_logic_laws(a in any::<Option<bool>>(), b in any::<Option<bool>>()) {
+        // Encode Option<bool> as Value (None = NULL) and check Kleene laws
+        // through the expression evaluator.
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Boolean),
+            Column::new("b", DataType::Boolean),
+        ])
+        .unwrap();
+        let to_value = |x: Option<bool>| x.map(Value::Boolean).unwrap_or(Value::Null);
+        let row = vec![to_value(a), to_value(b)];
+        let and = Expr::binary(Expr::column("a"), relational::BinaryOperator::And, Expr::column("b"));
+        let or = Expr::binary(Expr::column("a"), relational::BinaryOperator::Or, Expr::column("b"));
+        let and_rev = Expr::binary(Expr::column("b"), relational::BinaryOperator::And, Expr::column("a"));
+        let or_rev = Expr::binary(Expr::column("b"), relational::BinaryOperator::Or, Expr::column("a"));
+        // Commutativity.
+        prop_assert_eq!(and.evaluate(&schema, &row, "t").unwrap(), and_rev.evaluate(&schema, &row, "t").unwrap());
+        prop_assert_eq!(or.evaluate(&schema, &row, "t").unwrap(), or_rev.evaluate(&schema, &row, "t").unwrap());
+        // Kleene truth tables.
+        let expected_and = match (a, b) {
+            (Some(false), _) | (_, Some(false)) => Value::Boolean(false),
+            (Some(true), Some(true)) => Value::Boolean(true),
+            _ => Value::Null,
+        };
+        let expected_or = match (a, b) {
+            (Some(true), _) | (_, Some(true)) => Value::Boolean(true),
+            (Some(false), Some(false)) => Value::Boolean(false),
+            _ => Value::Null,
+        };
+        prop_assert_eq!(and.evaluate(&schema, &row, "t").unwrap(), expected_and);
+        prop_assert_eq!(or.evaluate(&schema, &row, "t").unwrap(), expected_or);
+        // A WHERE predicate never accepts a NULL outcome.
+        let matches = and.matches(&schema, &row, "t").unwrap();
+        prop_assert_eq!(matches, a == Some(true) && b == Some(true));
+    }
+
+    #[test]
+    fn schema_expansion_preserves_existing_data(
+        values in prop::collection::vec(-100i64..100, 1..30),
+        new_column in identifier(),
+    ) {
+        let mut catalog = Catalog::new();
+        executor::execute(&parse("CREATE TABLE t (v INTEGER)").unwrap(), &mut catalog).unwrap();
+        for v in &values {
+            executor::execute(
+                &parse(&format!("INSERT INTO t (v) VALUES ({v})")).unwrap(),
+                &mut catalog,
+            )
+            .unwrap();
+        }
+        prop_assume!(new_column != "v");
+        executor::execute(
+            &parse(&format!("ALTER TABLE t ADD COLUMN {new_column} BOOLEAN")).unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
+        let result = executor::execute(&parse("SELECT * FROM t").unwrap(), &mut catalog).unwrap();
+        prop_assert_eq!(result.columns.len(), 2);
+        prop_assert_eq!(result.rows.len(), values.len());
+        for (row, original) in result.rows.iter().zip(values.iter()) {
+            prop_assert_eq!(&row[0], &Value::Integer(*original));
+            prop_assert_eq!(&row[1], &Value::Null);
+        }
+    }
+}
