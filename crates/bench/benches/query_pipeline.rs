@@ -16,8 +16,10 @@ fn make_db(domain: &SyntheticDomain, space: perceptual::PerceptualSpace) -> Crow
         },
         ..Default::default()
     });
-    db.load_domain("movies", domain, space, Box::new(crowd)).unwrap();
-    db.register_attribute("movies", "is_comedy", "Comedy").unwrap();
+    db.load_domain("movies", domain, space, Box::new(crowd))
+        .unwrap();
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
     db
 }
 
@@ -27,7 +29,10 @@ fn bench_pipeline(c: &mut Criterion) {
 
     c.bench_function("factual_select", |b| {
         let mut db = make_db(&domain, space.clone());
-        b.iter(|| db.execute("SELECT name FROM movies WHERE year < 1990 ORDER BY year LIMIT 20").unwrap())
+        b.iter(|| {
+            db.execute("SELECT name FROM movies WHERE year < 1990 ORDER BY year LIMIT 20")
+                .unwrap()
+        })
     });
 
     let mut group = c.benchmark_group("schema_expansion_end_to_end");
@@ -35,7 +40,8 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("perceptual_strategy", |b| {
         b.iter(|| {
             let mut db = make_db(&domain, space.clone());
-            db.execute("SELECT item_id FROM movies WHERE is_comedy = true").unwrap()
+            db.execute("SELECT item_id FROM movies WHERE is_comedy = true")
+                .unwrap()
         })
     });
     group.finish();

@@ -11,17 +11,21 @@ fn bench_space_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("space_build");
     group.sample_size(10);
     for &dims in &[16usize, 50, 100] {
-        group.bench_with_input(BenchmarkId::new("euclidean_sgd_5_epochs", dims), &dims, |b, &dims| {
-            b.iter(|| {
-                let config = EuclideanEmbeddingConfig {
-                    dimensions: dims,
-                    epochs: 5,
-                    learning_rate: 0.02,
-                    ..Default::default()
-                };
-                EuclideanEmbeddingModel::train(domain.ratings(), &config).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("euclidean_sgd_5_epochs", dims),
+            &dims,
+            |b, &dims| {
+                b.iter(|| {
+                    let config = EuclideanEmbeddingConfig {
+                        dimensions: dims,
+                        epochs: 5,
+                        learning_rate: 0.02,
+                        ..Default::default()
+                    };
+                    EuclideanEmbeddingModel::train(domain.ratings(), &config).unwrap()
+                })
+            },
+        );
     }
     group.bench_function("svd_sgd_5_epochs_d50", |b| {
         b.iter(|| {

@@ -24,7 +24,9 @@ fn bench_svm(c: &mut Criterion) {
             .map(|&i| (i as u32, labels[i]))
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &labeled, |b, labeled| {
-            b.iter(|| extract_binary_attribute(&space, labeled, &ExtractionConfig::default()).unwrap())
+            b.iter(|| {
+                extract_binary_attribute(&space, labeled, &ExtractionConfig::default()).unwrap()
+            })
         });
     }
     group.finish();

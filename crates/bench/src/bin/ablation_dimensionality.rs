@@ -13,18 +13,22 @@ use perceptual::{EuclideanEmbeddingConfig, EuclideanEmbeddingModel};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("Generating the movie domain (scale factor {}) …", scale.domain_factor);
-    let domain = SyntheticDomain::generate(
-        &DomainConfig::movies().scaled(scale.domain_factor),
-        14014,
-    )
-    .expect("domain");
+    println!(
+        "Generating the movie domain (scale factor {}) …",
+        scale.domain_factor
+    );
+    let domain =
+        SyntheticDomain::generate(&DomainConfig::movies().scaled(scale.domain_factor), 14014)
+            .expect("domain");
     let (train, holdout) = domain.ratings().split(0.1, 5).expect("split");
     let labels = domain.labels_for_category(0); // Comedy
 
     print_header(
         "Ablation: embedding dimensionality d (λ = 0.02)",
-        &format!("{:<8} {:>14} {:>18}", "d", "holdout RMSE", "comedy g-mean (n=40)"),
+        &format!(
+            "{:<8} {:>14} {:>18}",
+            "d", "holdout RMSE", "comedy g-mean (n=40)"
+        ),
     );
     for &d in &[2usize, 4, 8, 16, 32, 64] {
         let config = EuclideanEmbeddingConfig {
@@ -36,13 +40,22 @@ fn main() {
         let model = EuclideanEmbeddingModel::train(&train, &config).expect("embedding");
         let rmse = model.rmse(&holdout).expect("rmse");
         let space = model.to_space();
-        let g = mean_small_sample_gmean(&space, &labels, 40, scale.repetitions.min(3), 900 + d as u64);
+        let g = mean_small_sample_gmean(
+            &space,
+            &labels,
+            40,
+            scale.repetitions.min(3),
+            900 + d as u64,
+        );
         println!("{:<8} {:>14.3} {:>18}", d, rmse, fmt_gmean(g));
     }
 
     print_header(
         "Ablation: regularization λ (d at the experiment scale)",
-        &format!("{:<8} {:>14} {:>18}", "lambda", "holdout RMSE", "comedy g-mean (n=40)"),
+        &format!(
+            "{:<8} {:>14} {:>18}",
+            "lambda", "holdout RMSE", "comedy g-mean (n=40)"
+        ),
     );
     for &lambda in &[0.0f64, 0.005, 0.02, 0.08, 0.3] {
         let config = EuclideanEmbeddingConfig {

@@ -16,12 +16,13 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("Generating the movie domain (scale factor {}) …", scale.domain_factor);
-    let domain = SyntheticDomain::generate(
-        &DomainConfig::movies().scaled(scale.domain_factor),
-        15015,
-    )
-    .expect("domain");
+    println!(
+        "Generating the movie domain (scale factor {}) …",
+        scale.domain_factor
+    );
+    let domain =
+        SyntheticDomain::generate(&DomainConfig::movies().scaled(scale.domain_factor), 15015)
+            .expect("domain");
     let labels = domain.labels_for_category(0); // Comedy
     let all: Vec<Rating> = domain.ratings().ratings().to_vec();
     let mut rng = StdRng::seed_from_u64(123);

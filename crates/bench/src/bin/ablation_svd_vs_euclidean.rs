@@ -7,14 +7,15 @@
 //! Euclidean space supports attribute extraction at least as well — and that
 //! both rating-based spaces dwarf the metadata/LSI baseline.
 
-use bench::{
-    fmt_gmean, mean_small_sample_gmean, print_header, ExperimentScale, MovieContext,
-};
+use bench::{fmt_gmean, mean_small_sample_gmean, print_header, ExperimentScale, MovieContext};
 use perceptual::{SvdConfig, SvdModel};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("Building the movie context (scale factor {}) …", scale.domain_factor);
+    println!(
+        "Building the movie context (scale factor {}) …",
+        scale.domain_factor
+    );
     let ctx = MovieContext::build(scale, 13013);
 
     println!("Training the SVD (dot-product) factor model on the same ratings …");
@@ -43,7 +44,10 @@ fn main() {
         let mut counts = [0usize; 3];
         for cat_idx in 0..ctx.domain.category_names().len() {
             let labels = ctx.domain.labels_for_category(cat_idx);
-            for (slot, space) in [&ctx.space, &svd_space, &ctx.metadata_space].iter().enumerate() {
+            for (slot, space) in [&ctx.space, &svd_space, &ctx.metadata_space]
+                .iter()
+                .enumerate()
+            {
                 if let Some(g) = mean_small_sample_gmean(
                     space,
                     &labels,
@@ -56,8 +60,7 @@ fn main() {
                 }
             }
         }
-        let mean =
-            |slot: usize| (counts[slot] > 0).then(|| sums[slot] / counts[slot] as f64);
+        let mean = |slot: usize| (counts[slot] > 0).then(|| sums[slot] / counts[slot] as f64);
         println!(
             "{:<10} {:>12} {:>12} {:>12}",
             n,

@@ -10,11 +10,16 @@
 use std::time::Instant;
 
 use bench::{print_header, ExperimentScale, MovieContext};
-use mlkit::{BinaryConfusion, Kernel, LabeledDataset, SvmClassifier, SvmParams, TsvmClassifier, TsvmParams};
+use mlkit::{
+    BinaryConfusion, Kernel, LabeledDataset, SvmClassifier, SvmParams, TsvmClassifier, TsvmParams,
+};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("Building the movie context (scale factor {}) …", scale.domain_factor);
+    println!(
+        "Building the movie context (scale factor {}) …",
+        scale.domain_factor
+    );
     let ctx = MovieContext::build(scale, 12012);
     let labels = ctx.domain.labels_for_category(0); // Comedy
     let dataset =
@@ -44,16 +49,24 @@ fn main() {
         };
 
         let start = Instant::now();
-        let svm =
-            SvmClassifier::train(sample.train.features(), sample.train.labels(), &svm_params)
-                .expect("svm");
-        let svm_pred: Vec<bool> = sample.eval.features().iter().map(|x| svm.predict(x)).collect();
+        let svm = SvmClassifier::train(sample.train.features(), sample.train.labels(), &svm_params)
+            .expect("svm");
+        let svm_pred: Vec<bool> = sample
+            .eval
+            .features()
+            .iter()
+            .map(|x| svm.predict(x))
+            .collect();
         let svm_time = start.elapsed().as_secs_f64();
-        let svm_gmean =
-            BinaryConfusion::from_predictions(&svm_pred, sample.eval.labels()).gmean();
+        let svm_gmean = BinaryConfusion::from_predictions(&svm_pred, sample.eval.labels()).gmean();
 
-        let unlabeled: Vec<Vec<f64>> =
-            sample.eval.features().iter().take(unlabeled_cap).cloned().collect();
+        let unlabeled: Vec<Vec<f64>> = sample
+            .eval
+            .features()
+            .iter()
+            .take(unlabeled_cap)
+            .cloned()
+            .collect();
         let start = Instant::now();
         let tsvm = TsvmClassifier::train(
             sample.train.features(),
@@ -65,8 +78,12 @@ fn main() {
             },
         )
         .expect("tsvm");
-        let tsvm_pred: Vec<bool> =
-            sample.eval.features().iter().map(|x| tsvm.predict(x)).collect();
+        let tsvm_pred: Vec<bool> = sample
+            .eval
+            .features()
+            .iter()
+            .map(|x| tsvm.predict(x))
+            .collect();
         let tsvm_time = start.elapsed().as_secs_f64();
         let tsvm_gmean =
             BinaryConfusion::from_predictions(&tsvm_pred, sample.eval.labels()).gmean();

@@ -13,7 +13,10 @@ use crowdsim::ExperimentRegime;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("Building the movie context (scale factor {}) …", scale.domain_factor);
+    println!(
+        "Building the movie context (scale factor {}) …",
+        scale.domain_factor
+    );
     let ctx = MovieContext::build(scale, 4004);
 
     let crowd = SimulatedCrowd::new(&ctx.domain, ExperimentRegime::TrustedWorkers, 41);
@@ -26,7 +29,8 @@ fn main() {
     });
     db.load_domain("movies", &ctx.domain, ctx.space.clone(), Box::new(crowd))
         .expect("load domain");
-    db.register_attribute("movies", "is_comedy", "Comedy").expect("register attribute");
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .expect("register attribute");
 
     let sql = "SELECT name FROM movies WHERE is_comedy = true LIMIT 5";
     println!("\nFigure 2: crowd-driven schema expansion workflow");
@@ -40,16 +44,27 @@ fn main() {
     }
 
     println!("\n  measurable side effects:");
-    println!("    crowd-sourcing service : {} HIT judgments on {} gold movies",
-        event.report.judgments_collected, event.report.items_crowd_sourced);
-    println!("    cost / time            : ${:.2} / {:.0} simulated minutes",
-        event.report.crowd_cost, event.report.crowd_minutes);
-    println!("    extractor training set : {} movies with a clear majority",
-        event.report.training_set_size);
-    println!("    column materialized    : {} of {} rows filled",
+    println!(
+        "    crowd-sourcing service : {} HIT judgments on {} gold movies",
+        event.report.judgments_collected, event.report.items_crowd_sourced
+    );
+    println!(
+        "    cost / time            : ${:.2} / {:.0} simulated minutes",
+        event.report.crowd_cost, event.report.crowd_minutes
+    );
+    println!(
+        "    extractor training set : {} movies with a clear majority",
+        event.report.training_set_size
+    );
+    println!(
+        "    column materialized    : {} of {} rows filled",
         event.report.rows_filled,
-        event.report.rows_filled + event.report.rows_unfilled);
-    println!("    query answer           : {} rows returned", result.rows.len());
+        event.report.rows_filled + event.report.rows_unfilled
+    );
+    println!(
+        "    query answer           : {} rows returned",
+        result.rows.len()
+    );
 
     println!(
         "\n  (Basic crowd-enabled databases, by contrast, would have sent every movie to the \

@@ -23,7 +23,10 @@ struct RegimeCurves {
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("Building the movie context (scale factor {}) …", scale.domain_factor);
+    println!(
+        "Building the movie context (scale factor {}) …",
+        scale.domain_factor
+    );
     let ctx = MovieContext::build(scale, 5005);
     let category = ctx.domain.category_index("Comedy").unwrap();
     let truth = ctx.domain.labels_for_category(category);
@@ -47,10 +50,7 @@ fn main() {
             ExperimentRegime::LookupWithGold => run.trusted_judgments(),
             _ => run.judgments.clone(),
         };
-        let filtered_run = crowdsim::CrowdRun {
-            judgments,
-            ..run
-        };
+        let filtered_run = crowdsim::CrowdRun { judgments, ..run };
         let curve = evaluate_boost_over_time(
             &filtered_run,
             &ctx.space,
@@ -74,11 +74,14 @@ fn main() {
         ),
         &format!(
             "{:>9} | {:>11} {:>11} | {:>11} {:>11} | {:>11} {:>11}",
-            "rel.time",
-            "crowd 1", "boost 4", "crowd 2", "boost 5", "crowd 3", "boost 6"
+            "rel.time", "crowd 1", "boost 4", "crowd 2", "boost 5", "crowd 3", "boost 6"
         ),
     );
-    let steps = results.iter().map(|r| r.curve.checkpoints.len()).max().unwrap_or(0);
+    let steps = results
+        .iter()
+        .map(|r| r.curve.checkpoints.len())
+        .max()
+        .unwrap_or(0);
     for step in 0..steps {
         let rel = (step + 1) as f64 / steps as f64;
         let mut row = format!("{:>8.0}% |", rel * 100.0);

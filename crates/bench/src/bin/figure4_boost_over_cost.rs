@@ -13,7 +13,10 @@ use datagen::CategoryOracle;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("Building the movie context (scale factor {}) …", scale.domain_factor);
+    println!(
+        "Building the movie context (scale factor {}) …",
+        scale.domain_factor
+    );
     let ctx = MovieContext::build(scale, 6006);
     let category = ctx.domain.category_index("Comedy").unwrap();
     let truth = ctx.domain.labels_for_category(category);
@@ -22,7 +25,10 @@ fn main() {
     let items: Vec<u32> = (0..sample_size as u32).collect();
 
     print_header(
-        &format!("Figure 4: correctly classified movies (of {}) over money spent", items.len()),
+        &format!(
+            "Figure 4: correctly classified movies (of {}) over money spent",
+            items.len()
+        ),
         &format!(
             "{:<22} {:>10} {:>14} {:>16} {:>18}",
             "experiment", "budget $", "crowd correct", "boosted correct", "boosted full-$ "
@@ -62,8 +68,7 @@ fn main() {
             let checkpoint = curve
                 .checkpoints
                 .iter()
-                .filter(|c| c.cost <= budget + 1e-9)
-                .next_back()
+                .rfind(|c| c.cost <= budget + 1e-9)
                 .cloned();
             if let Some(c) = checkpoint {
                 println!(

@@ -16,7 +16,10 @@ use rand::{Rng, SeedableRng};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("Building the movie context (scale factor {}) …", scale.domain_factor);
+    println!(
+        "Building the movie context (scale factor {}) …",
+        scale.domain_factor
+    );
     let ctx = MovieContext::build(scale, 11011);
     let mut rng = StdRng::seed_from_u64(4242);
     let n_items = ctx.domain.items().len();

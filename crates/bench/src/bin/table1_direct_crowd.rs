@@ -20,9 +20,15 @@ use datagen::CategoryOracle;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("Building the movie context (scale factor {}) …", scale.domain_factor);
+    println!(
+        "Building the movie context (scale factor {}) …",
+        scale.domain_factor
+    );
     let ctx = MovieContext::build(scale, 1001);
-    let category = ctx.domain.category_index("Comedy").expect("comedy category");
+    let category = ctx
+        .domain
+        .category_index("Comedy")
+        .expect("comedy category");
     let oracle = CategoryOracle::new(&ctx.domain, category);
 
     // The paper samples 1,000 movies; we take the same number (or all items

@@ -26,7 +26,10 @@ fn jaccard(a: &[bool], b: &[bool]) -> f64 {
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("Building the movie context (scale factor {}) …", scale.domain_factor);
+    println!(
+        "Building the movie context (scale factor {}) …",
+        scale.domain_factor
+    );
     let ctx = MovieContext::build(scale, 2002);
     let mut rng = StdRng::seed_from_u64(77);
     let n_items = ctx.domain.items().len();

@@ -10,8 +10,7 @@
 //! references Netflix 0.91, RT 0.94, IMDb 0.95, random baseline 0.50.
 
 use bench::{
-    fmt_gmean, labeling_gmean, mean_small_sample_gmean, print_header, ExperimentScale,
-    MovieContext,
+    fmt_gmean, labeling_gmean, mean_small_sample_gmean, print_header, ExperimentScale, MovieContext,
 };
 
 fn main() {
@@ -27,13 +26,22 @@ fn main() {
         "Table 3: automatic schema expansion from small samples (g-mean)",
         &format!(
             "{:<14} {:>6} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} | {:>8} {:>6} {:>6}",
-            "Genre", "Random", "P n=10", "P n=20", "P n=40", "M n=10", "M n=20", "M n=40",
-            "Netflix", "RT", "IMDb"
+            "Genre",
+            "Random",
+            "P n=10",
+            "P n=20",
+            "P n=40",
+            "M n=10",
+            "M n=20",
+            "M n=40",
+            "Netflix",
+            "RT",
+            "IMDb"
         ),
     );
 
-    let mut sums = vec![0.0f64; 9];
-    let mut counts = vec![0usize; 9];
+    let mut sums = [0.0f64; 9];
+    let mut counts = [0usize; 9];
     for (cat_idx, genre) in ctx.domain.category_names().iter().enumerate() {
         let labels = ctx.domain.labels_for_category(cat_idx);
         let reference = ctx.experts.majority(cat_idx);
@@ -48,7 +56,13 @@ fn main() {
         };
 
         for (i, &n) in ns.iter().enumerate() {
-            let g = mean_small_sample_gmean(&ctx.space, &labels, n, scale.repetitions, 100 + cat_idx as u64);
+            let g = mean_small_sample_gmean(
+                &ctx.space,
+                &labels,
+                n,
+                scale.repetitions,
+                100 + cat_idx as u64,
+            );
             cell(g, i, &mut row);
         }
         row.push_str(" |");

@@ -21,17 +21,16 @@ fn audit_mean(
     repetitions: usize,
     seed: u64,
 ) -> (f64, f64) {
-    let dataset = LabeledDataset::new(space.all_coordinates().to_vec(), labels.to_vec())
-        .expect("dataset");
+    let dataset =
+        LabeledDataset::new(space.all_coordinates().to_vec(), labels.to_vec()).expect("dataset");
     let mut precision_sum = 0.0;
     let mut recall_sum = 0.0;
     let mut runs = 0;
     for rep in 0..repetitions {
         let (corrupted, swapped) = dataset.with_swapped_labels(corruption, seed + rep as u64);
         let swapped: Vec<u32> = swapped.iter().map(|&i| i as u32).collect();
-        let outcome =
-            audit_binary_labels(space, corrupted.labels(), &ExtractionConfig::default())
-                .expect("audit");
+        let outcome = audit_binary_labels(space, corrupted.labels(), &ExtractionConfig::default())
+            .expect("audit");
         let (p, r) = outcome.precision_recall(&swapped);
         precision_sum += p;
         recall_sum += r;
@@ -57,21 +56,32 @@ fn main() {
         ),
     );
 
-    let mut totals = vec![(0.0f64, 0.0f64); 6];
+    let mut totals = [(0.0f64, 0.0f64); 6];
     let n_genres = ctx.domain.category_names().len();
     for (cat_idx, genre) in ctx.domain.category_names().iter().enumerate() {
         let labels = ctx.domain.labels_for_category(cat_idx);
         let mut row = format!("{:<14} |", genre);
         for (slot, &x) in corruption_levels.iter().enumerate() {
-            let (p, r) = audit_mean(&ctx.space, &labels, x, scale.repetitions, 300 + cat_idx as u64);
+            let (p, r) = audit_mean(
+                &ctx.space,
+                &labels,
+                x,
+                scale.repetitions,
+                300 + cat_idx as u64,
+            );
             totals[slot].0 += p;
             totals[slot].1 += r;
             row.push_str(&format!(" {:>5.2}/{:>5.2} ", p, r));
         }
-        row.push_str("|");
+        row.push('|');
         for (slot, &x) in corruption_levels.iter().enumerate() {
-            let (p, r) =
-                audit_mean(&ctx.metadata_space, &labels, x, scale.repetitions, 400 + cat_idx as u64);
+            let (p, r) = audit_mean(
+                &ctx.metadata_space,
+                &labels,
+                x,
+                scale.repetitions,
+                400 + cat_idx as u64,
+            );
             totals[3 + slot].0 += p;
             totals[3 + slot].1 += r;
             row.push_str(&format!(" {:>5.2}/{:>5.2} ", p, r));
@@ -82,7 +92,7 @@ fn main() {
     let mut mean_row = format!("{:<14} |", "Mean");
     for (slot, (p, r)) in totals.iter().enumerate() {
         if slot == 3 {
-            mean_row.push_str("|");
+            mean_row.push('|');
         }
         mean_row.push_str(&format!(
             " {:>5.2}/{:>5.2} ",

@@ -22,7 +22,10 @@ fn main() {
 
     print_header(
         "Table 6: schema expansion from small samples — board games (g-mean)",
-        &format!("{:<26} {:>8} {:>8} {:>8}", "Category", "n = 10", "n = 20", "n = 40"),
+        &format!(
+            "{:<26} {:>8} {:>8} {:>8}",
+            "Category", "n = 10", "n = 20", "n = 40"
+        ),
     );
 
     let mut sums = [0.0f64; 3];
@@ -34,7 +37,13 @@ fn main() {
         let spec = &domain.config().categories[cat_idx];
         let mut row = format!("{:<26}", category);
         for (slot, &n) in ns.iter().enumerate() {
-            let g = mean_small_sample_gmean(&space, &labels, n, scale.repetitions, 600 + cat_idx as u64);
+            let g = mean_small_sample_gmean(
+                &space,
+                &labels,
+                n,
+                scale.repetitions,
+                600 + cat_idx as u64,
+            );
             if let Some(v) = g {
                 sums[slot] += v;
                 counts[slot] += 1;

@@ -106,9 +106,12 @@ impl MovieContext {
     pub fn build(scale: ExperimentScale, seed: u64) -> Self {
         let config = DomainConfig::movies().scaled(scale.domain_factor);
         let domain = SyntheticDomain::generate(&config, seed).expect("domain generation");
-        let space =
-            crowddb_core::build_space_for_domain(&domain, scale.space_dimensions, scale.space_epochs)
-                .expect("perceptual space");
+        let space = crowddb_core::build_space_for_domain(
+            &domain,
+            scale.space_dimensions,
+            scale.space_epochs,
+        )
+        .expect("perceptual space");
         let metadata_space = build_metadata_space(&domain, scale.lsi_dimensions, seed ^ 0x5151);
         let experts = ExpertPanel::standard(&domain, seed ^ 0xe59);
         MovieContext {
@@ -138,7 +141,11 @@ pub fn build_domain_and_space(
 
 /// Builds the LSI metadata space of a domain: metadata text → TF-IDF →
 /// truncated SVD → per-item latent coordinates.
-pub fn build_metadata_space(domain: &SyntheticDomain, dimensions: usize, seed: u64) -> PerceptualSpace {
+pub fn build_metadata_space(
+    domain: &SyntheticDomain,
+    dimensions: usize,
+    seed: u64,
+) -> PerceptualSpace {
     let docs = MetadataGenerator::default().generate(domain, seed);
     let lsi = LsiModel::fit(&docs, dimensions, 2, seed).expect("LSI model");
     PerceptualSpace::new(lsi.document_coordinates().to_vec()).expect("metadata space")

@@ -148,7 +148,10 @@ mod tests {
         let (p_low, r_low) = low.precision_recall(&swapped_low);
         let (p_high, r_high) = high.precision_recall(&swapped_high);
         assert!(p_high >= p_low, "precision low {p_low} vs high {p_high}");
-        assert!(r_low > 0.8 && r_high > 0.8, "recall low {r_low}, high {r_high}");
+        assert!(
+            r_low > 0.8 && r_high > 0.8,
+            "recall low {r_low}, high {r_high}"
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@ impl BoostCurve {
     pub fn first_reaching(&self, target: usize) -> Option<&BoostCheckpoint> {
         self.checkpoints
             .iter()
-            .find(|c| c.boosted_correct.map_or(false, |b| b >= target))
+            .find(|c| c.boosted_correct.is_some_and(|b| b >= target))
     }
 }
 
@@ -144,7 +144,10 @@ mod tests {
         let coords: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 let offset = if i % 3 == 0 { 2.5 } else { 0.0 };
-                vec![offset + ((i * 17 % 7) as f64) * 0.1, offset - ((i * 5 % 3) as f64) * 0.1]
+                vec![
+                    offset + ((i * 17 % 7) as f64) * 0.1,
+                    offset - ((i * 5 % 3) as f64) * 0.1,
+                ]
             })
             .collect();
         let truth: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
@@ -179,7 +182,9 @@ mod tests {
         let last = curve.last().unwrap();
         // The boosted classification covers all items and beats the raw
         // crowd majority (which cannot classify unknown movies at all).
-        let boosted = last.boosted_correct.expect("extractor must have been trained");
+        let boosted = last
+            .boosted_correct
+            .expect("extractor must have been trained");
         assert!(
             boosted > last.crowd_correct,
             "boosted {boosted} vs crowd {}",

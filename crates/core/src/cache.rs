@@ -1,0 +1,239 @@
+//! The judgment cache: never pay the crowd twice for the same answer.
+//!
+//! Crowd judgments are the expensive resource of a crowd-enabled database —
+//! every `(table, attribute, item)` triple a worker has judged represents
+//! real money and real minutes.  The seed implementation threw that work
+//! away after each expansion; this cache keeps the aggregated verdicts so
+//! that repeated expansion rounds — forced re-expansions
+//! (`CrowdDb::expand_attribute` on an already-materialized column) and
+//! plans overlapping earlier ones — reuse them instead of re-dispatching
+//! HITs.  A repair round that distrusts the stored answers evicts them via
+//! `CrowdDb::invalidate_judgments`; the standalone [`crate::boost`] and
+//! [`crate::repair`] helpers operate on raw judgment streams and do not
+//! consult the cache.
+//!
+//! The cache stores *aggregated* per-item verdicts (majority vote plus the
+//! judgment count and dollar cost behind it), not raw judgment streams: the
+//! planner needs answers, and the cost figure is what the hit/miss counters
+//! convert into the money-saved metric surfaced on
+//! [`crate::ExpansionReport`].
+
+use std::collections::HashMap;
+
+use perceptual::ItemId;
+
+/// The aggregated crowd knowledge about one `(table, attribute, item)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedJudgment {
+    /// The majority verdict (`None` when the crowd produced no majority —
+    /// also worth caching: asking again would cost the same and likely tie
+    /// again).
+    pub verdict: Option<bool>,
+    /// Number of raw judgments aggregated into the verdict.
+    pub judgments: usize,
+    /// Dollars paid to obtain those judgments.
+    pub cost: f64,
+}
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to go to the crowd.
+    pub misses: u64,
+    /// Dollars *not* re-spent thanks to cache hits (the cost originally paid
+    /// for the reused judgments).
+    pub cost_saved: f64,
+    /// Number of cached `(table, attribute, item)` entries.
+    pub entries: usize,
+}
+
+/// A cache of aggregated crowd judgments keyed by
+/// `(table, attribute, item)`.
+#[derive(Debug, Default)]
+pub struct JudgmentCache {
+    /// Outer key: `(table, attribute)`; inner key: item id.  Two-level so a
+    /// planning round constructs one string key per attribute, not one per
+    /// item.
+    entries: HashMap<(String, String), HashMap<ItemId, CachedJudgment>>,
+    hits: u64,
+    misses: u64,
+    cost_saved: f64,
+}
+
+impl JudgmentCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        JudgmentCache::default()
+    }
+
+    fn key(table: &str, attribute: &str) -> (String, String) {
+        (table.to_lowercase(), attribute.to_lowercase())
+    }
+
+    /// Splits `items` into cached judgments and items that must be sent to
+    /// the crowd, updating the hit/miss/cost-saved counters.
+    ///
+    /// This is the planner's bulk entry point: one call per attribute of an
+    /// expansion plan.
+    pub fn partition(
+        &mut self,
+        table: &str,
+        attribute: &str,
+        items: &[ItemId],
+    ) -> (HashMap<ItemId, CachedJudgment>, Vec<ItemId>) {
+        let per_item = self.entries.get(&Self::key(table, attribute));
+        let mut cached = HashMap::new();
+        let mut uncached = Vec::new();
+        for &item in items {
+            match per_item.and_then(|m| m.get(&item)) {
+                Some(&judgment) => {
+                    self.hits += 1;
+                    self.cost_saved += judgment.cost;
+                    cached.insert(item, judgment);
+                }
+                None => {
+                    self.misses += 1;
+                    uncached.push(item);
+                }
+            }
+        }
+        (cached, uncached)
+    }
+
+    /// Like [`partition`], but without touching the hit/miss/cost-saved
+    /// counters — for sibling columns that share one concept's judgments
+    /// inside a single plan, so the concept's reuse is counted once.
+    ///
+    /// [`partition`]: JudgmentCache::partition
+    pub fn partition_peek(
+        &self,
+        table: &str,
+        attribute: &str,
+        items: &[ItemId],
+    ) -> (HashMap<ItemId, CachedJudgment>, Vec<ItemId>) {
+        let per_item = self.entries.get(&Self::key(table, attribute));
+        let mut cached = HashMap::new();
+        let mut uncached = Vec::new();
+        for &item in items {
+            match per_item.and_then(|m| m.get(&item)) {
+                Some(&judgment) => {
+                    cached.insert(item, judgment);
+                }
+                None => uncached.push(item),
+            }
+        }
+        (cached, uncached)
+    }
+
+    /// Reads one entry without touching the counters.
+    pub fn peek(&self, table: &str, attribute: &str, item: ItemId) -> Option<&CachedJudgment> {
+        self.entries
+            .get(&Self::key(table, attribute))
+            .and_then(|m| m.get(&item))
+    }
+
+    /// Stores one aggregated judgment.
+    pub fn insert(&mut self, table: &str, attribute: &str, item: ItemId, judgment: CachedJudgment) {
+        self.entries
+            .entry(Self::key(table, attribute))
+            .or_default()
+            .insert(item, judgment);
+    }
+
+    /// Drops every entry of one `(table, attribute)` — used when fresh
+    /// judgments must be forced, e.g. after a repair round found the old
+    /// ones questionable.
+    pub fn invalidate(&mut self, table: &str, attribute: &str) {
+        self.entries.remove(&Self::key(table, attribute));
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            cost_saved: self.cost_saved,
+            entries: self.entries.values().map(HashMap::len).sum(),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(HashMap::len).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.values().all(HashMap::is_empty)
+    }
+
+    /// Clears entries and counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+        self.cost_saved = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn judgment(verdict: Option<bool>, cost: f64) -> CachedJudgment {
+        CachedJudgment {
+            verdict,
+            judgments: 10,
+            cost,
+        }
+    }
+
+    #[test]
+    fn partition_splits_cached_and_uncached() {
+        let mut cache = JudgmentCache::new();
+        cache.insert("movies", "Comedy", 1, judgment(Some(true), 0.02));
+        cache.insert("movies", "Comedy", 3, judgment(None, 0.02));
+
+        let (cached, uncached) = cache.partition("movies", "Comedy", &[1, 2, 3, 4]);
+        assert_eq!(cached.len(), 2);
+        assert_eq!(cached[&1].verdict, Some(true));
+        assert_eq!(cached[&3].verdict, None);
+        assert_eq!(uncached, vec![2, 4]);
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert!((stats.cost_saved - 0.04).abs() < 1e-12);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn keys_are_case_insensitive_and_scoped() {
+        let mut cache = JudgmentCache::new();
+        cache.insert("Movies", "Comedy", 7, judgment(Some(false), 0.01));
+        assert!(cache.peek("movies", "comedy", 7).is_some());
+        // Different attribute or table → different entry.
+        assert!(cache.peek("movies", "Horror", 7).is_none());
+        assert!(cache.peek("books", "comedy", 7).is_none());
+        // peek does not move the counters.
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut cache = JudgmentCache::new();
+        cache.insert("movies", "Comedy", 1, judgment(Some(true), 0.02));
+        cache.insert("movies", "Horror", 1, judgment(Some(true), 0.02));
+        assert_eq!(cache.len(), 2);
+        cache.invalidate("movies", "comedy");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.peek("movies", "Horror", 1).is_some());
+        let _ = cache.partition("movies", "Horror", &[1]);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

@@ -7,11 +7,23 @@
 //! actual crowd-sourcing service (Mechanical Turk, CrowdFlower, …) behind
 //! the same trait.
 
-use crowdsim::{CrowdPlatform, CrowdRun, ExperimentRegime, LabelOracle};
+use crowdsim::{
+    BatchCrowdRun, BatchQuestion, CrowdPlatform, CrowdRun, ExperimentRegime, LabelOracle,
+};
 use datagen::{CategoryOracle, SyntheticDomain};
 
 use crate::error::CrowdDbError;
 use crate::Result;
+
+/// One attribute's worth of questions in a batched crowd round: collect
+/// judgments about `attribute` for every item in `items`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeRequest {
+    /// The domain concept the workers are asked about.
+    pub attribute: String,
+    /// The items to judge.
+    pub items: Vec<u32>,
+}
 
 /// A source of human judgments for a perceptual attribute.
 pub trait CrowdSource {
@@ -20,6 +32,49 @@ pub trait CrowdSource {
     /// `attribute` is the *domain concept* the workers are asked about (e.g.
     /// the category name `"Comedy"`), not the SQL column name.
     fn collect(&mut self, items: &[u32], attribute: &str, seed: u64) -> Result<CrowdRun>;
+
+    /// Collects judgments for several attributes in **one** crowd round, so
+    /// a query that expands N attributes pays one dispatch, not N.
+    ///
+    /// The default implementation falls back to sequential [`collect`]
+    /// rounds with combined accounting, which keeps third-party sources
+    /// working unchanged; sources that can batch (like [`SimulatedCrowd`],
+    /// or a production Mechanical-Turk backend posting multi-question HITs)
+    /// should override it.
+    ///
+    /// [`collect`]: CrowdSource::collect
+    fn collect_batch(&mut self, requests: &[AttributeRequest], seed: u64) -> Result<BatchCrowdRun> {
+        if requests.is_empty() {
+            return Err(CrowdDbError::Configuration(
+                "a batched crowd round needs at least one attribute request".into(),
+            ));
+        }
+        let mut question_judgments = Vec::with_capacity(requests.len());
+        let mut total_minutes = 0.0;
+        let mut total_cost = 0.0;
+        let mut hits_completed = 0;
+        let mut excluded_workers = Vec::new();
+        for (index, request) in requests.iter().enumerate() {
+            let run = self.collect(
+                &request.items,
+                &request.attribute,
+                seed.wrapping_add(index as u64),
+            )?;
+            // Sequential rounds: wall-clock adds up, unlike a real batch.
+            total_minutes += run.total_minutes;
+            total_cost += run.total_cost;
+            hits_completed += run.hits_completed;
+            excluded_workers.extend(run.excluded_workers.iter().copied());
+            question_judgments.push(run.judgments.into_iter().filter(|j| !j.is_gold).collect());
+        }
+        Ok(BatchCrowdRun {
+            question_judgments,
+            total_minutes,
+            total_cost,
+            excluded_workers,
+            hits_completed,
+        })
+    }
 
     /// A short description of the source (used in expansion reports).
     fn describe(&self) -> String;
@@ -77,17 +132,22 @@ impl LabelOracle for SnapshotOracle<'_> {
     }
 }
 
-impl CrowdSource for SimulatedCrowd {
-    fn collect(&mut self, items: &[u32], attribute: &str, seed: u64) -> Result<CrowdRun> {
-        let category = self
-            .category_names
+impl SimulatedCrowd {
+    fn category_index(&self, attribute: &str) -> Result<usize> {
+        self.category_names
             .iter()
             .position(|n| n.eq_ignore_ascii_case(attribute))
             .ok_or_else(|| {
                 CrowdDbError::Configuration(format!(
                     "the simulated crowd has no ground truth for attribute '{attribute}'"
                 ))
-            })?;
+            })
+    }
+}
+
+impl CrowdSource for SimulatedCrowd {
+    fn collect(&mut self, items: &[u32], attribute: &str, seed: u64) -> Result<CrowdRun> {
+        let category = self.category_index(attribute)?;
         let oracle = SnapshotOracle {
             labels: &self.labels[category],
             familiarity: &self.familiarity,
@@ -96,6 +156,46 @@ impl CrowdSource for SimulatedCrowd {
         let config = self.regime.hit_config(items.len());
         let run = CrowdPlatform::new(config).run(items, &oracle, &pool, self.seed ^ seed)?;
         Ok(run)
+    }
+
+    /// One platform round whose HITs mix questions about all requested
+    /// attributes — the real batched dispatch the planner relies on.
+    fn collect_batch(&mut self, requests: &[AttributeRequest], seed: u64) -> Result<BatchCrowdRun> {
+        if requests.is_empty() {
+            return Err(CrowdDbError::Configuration(
+                "a batched crowd round needs at least one attribute request".into(),
+            ));
+        }
+        let categories: Vec<usize> = requests
+            .iter()
+            .map(|r| self.category_index(&r.attribute))
+            .collect::<Result<_>>()?;
+        let oracles: Vec<SnapshotOracle<'_>> = categories
+            .iter()
+            .map(|&category| SnapshotOracle {
+                labels: &self.labels[category],
+                familiarity: &self.familiarity,
+            })
+            .collect();
+        let oracle_refs: Vec<&dyn LabelOracle> =
+            oracles.iter().map(|o| o as &dyn LabelOracle).collect();
+        let questions: Vec<BatchQuestion> = requests
+            .iter()
+            .map(|r| BatchQuestion {
+                attribute: r.attribute.clone(),
+                items: r.items.clone(),
+            })
+            .collect();
+        let total_items: usize = requests.iter().map(|r| r.items.len()).sum();
+        let pool = self.regime.worker_pool(self.seed.wrapping_add(seed));
+        let config = self.regime.hit_config(total_items);
+        let batch = CrowdPlatform::new(config).run_batch(
+            &questions,
+            &oracle_refs,
+            &pool,
+            self.seed ^ seed,
+        )?;
+        Ok(batch)
     }
 
     fn describe(&self) -> String {
@@ -145,6 +245,84 @@ mod tests {
         let mut crowd = SimulatedCrowd::new(&d, ExperimentRegime::AllWorkers, 1);
         let err = crowd.collect(&[0, 1, 2], "Excitement", 4);
         assert!(matches!(err, Err(CrowdDbError::Configuration(_))));
+        let err = crowd.collect_batch(
+            &[AttributeRequest {
+                attribute: "Excitement".into(),
+                items: vec![0, 1],
+            }],
+            4,
+        );
+        assert!(matches!(err, Err(CrowdDbError::Configuration(_))));
+        assert!(matches!(
+            crowd.collect_batch(&[], 4),
+            Err(CrowdDbError::Configuration(_))
+        ));
+    }
+
+    #[test]
+    fn simulated_crowd_batches_several_attributes_in_one_round() {
+        let d = domain();
+        let mut crowd = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 1);
+        let requests = vec![
+            AttributeRequest {
+                attribute: "Comedy".into(),
+                items: (0..20).collect(),
+            },
+            AttributeRequest {
+                attribute: d.category_names()[1].clone(),
+                items: (5..15).collect(),
+            },
+        ];
+        let batch = crowd.collect_batch(&requests, 9).unwrap();
+        assert_eq!(batch.question_judgments.len(), 2);
+        // Every question received the full 10 judgments per item.
+        assert_eq!(batch.question_judgments[0].len(), 200);
+        assert_eq!(batch.question_judgments[1].len(), 100);
+        // One shared round: the cost equals one 30-slot dispatch, cheaper
+        // than two separate rounds of 20 and 10 items with ragged HITs.
+        let shared = crowdsim::HitConfig::default().total_cost(30);
+        assert!((batch.total_cost - shared).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_collect_batch_falls_back_to_sequential_rounds() {
+        // A minimal CrowdSource that only implements `collect`.
+        struct Sequential {
+            inner: SimulatedCrowd,
+            calls: usize,
+        }
+        impl CrowdSource for Sequential {
+            fn collect(&mut self, items: &[u32], attribute: &str, seed: u64) -> Result<CrowdRun> {
+                self.calls += 1;
+                self.inner.collect(items, attribute, seed)
+            }
+            fn describe(&self) -> String {
+                "sequential".into()
+            }
+        }
+        let d = domain();
+        let mut source = Sequential {
+            inner: SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 2),
+            calls: 0,
+        };
+        let requests = vec![
+            AttributeRequest {
+                attribute: "Comedy".into(),
+                items: (0..10).collect(),
+            },
+            AttributeRequest {
+                attribute: d.category_names()[1].clone(),
+                items: (0..10).collect(),
+            },
+        ];
+        let batch = source.collect_batch(&requests, 3).unwrap();
+        assert_eq!(
+            source.calls, 2,
+            "fallback dispatches one round per attribute"
+        );
+        assert_eq!(batch.question_judgments.len(), 2);
+        assert_eq!(batch.total_judgments(), 200);
+        assert!(batch.total_cost > 0.0);
     }
 
     #[test]

@@ -1,29 +1,41 @@
 //! The crowd-enabled database.
+//!
+//! `CrowdDb::execute` runs the plan → acquire → materialize pipeline:
+//!
+//! 1. **parse** the statement once,
+//! 2. **analyze** it statically ([`relational::executor::analyze`]) to find
+//!    *all* missing columns in one shot,
+//! 3. **plan** ([`crate::planner`]) — deduplicate attributes, resolve
+//!    per-attribute strategies, draw one shared gold sample, build the
+//!    explicit id → row mapping,
+//! 4. **acquire** — consult the [`JudgmentCache`], dispatch **one** batched
+//!    crowd round ([`CrowdSource::collect_batch`]) for everything the cache
+//!    cannot answer, aggregate, and write fresh verdicts back to the cache,
+//! 5. **materialize** ([`crate::materialize`]) — fill the new columns
+//!    through the id → row mapping, then execute the statement exactly
+//!    once.
 
-use std::collections::HashMap;
-
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
 
 use crowdsim::majority_vote;
 use datagen::SyntheticDomain;
-use perceptual::{
-    EuclideanEmbeddingConfig, EuclideanEmbeddingModel, ItemId, PerceptualSpace,
-};
-use relational::{
-    executor, sql, Catalog, Column, DataType, QueryResult, RelationalError, Schema, Table, Value,
-};
+use perceptual::{EuclideanEmbeddingConfig, EuclideanEmbeddingModel, ItemId, PerceptualSpace};
+use relational::{executor, sql, Catalog, Column, DataType, QueryResult, Schema, Table, Value};
 
-use crate::crowd_source::CrowdSource;
+use crate::cache::{CacheStats, CachedJudgment, JudgmentCache};
+use crate::crowd_source::{AttributeRequest, CrowdSource};
 use crate::error::CrowdDbError;
 use crate::expansion::{ExpansionReport, ExpansionStage, ExpansionStrategy};
 use crate::extraction::extract_binary_attribute;
+use crate::materialize::materialize_column;
+use crate::planner::{self, ExpansionPlan, PlanInputs};
 use crate::Result;
 
 /// Configuration of a [`CrowdDb`].
 pub struct CrowdDbConfig {
-    /// How newly added perceptual attributes are filled.
+    /// The default strategy for filling newly added perceptual attributes.
+    /// Individual attributes can override it via
+    /// [`CrowdDb::register_attribute_with_strategy`].
     pub strategy: ExpansionStrategy,
     /// Name of the column that links table rows to perceptual-space item
     /// ids.
@@ -57,6 +69,37 @@ struct TableBinding {
     /// Maps SQL column names (lower-cased) to the domain concept the crowd
     /// is asked about (e.g. `is_comedy` → `Comedy`).
     attributes: HashMap<String, String>,
+    /// Per-column strategy overrides; columns without an entry use the
+    /// database-wide default.
+    strategy_overrides: HashMap<String, ExpansionStrategy>,
+}
+
+/// The acquisition state of one planned attribute while a plan runs.
+struct Acquisition {
+    /// Judgments answered by the cache.
+    cached: HashMap<ItemId, CachedJudgment>,
+    /// Items that had to go to the crowd.
+    uncached: Vec<ItemId>,
+    /// Index into the batched round's requests (`None` = fully cached).
+    question: Option<usize>,
+    /// Whether this attribute created the request (and therefore carries
+    /// the question's full cost/judgment accounting) or merged into a
+    /// sibling column's question about the same concept.
+    owns_question: bool,
+    /// Dollars saved by the cache hits.
+    cost_saved: f64,
+    /// Merged verdicts (cache + fresh round).
+    verdicts: HashMap<ItemId, bool>,
+    /// Distinct items this attribute's report charges to the crowd: the
+    /// owner carries the whole question (including sibling-merged items),
+    /// siblings and fully-cached attributes charge none.
+    items_charged: usize,
+    /// Fresh judgments collected for this attribute.
+    judgments_collected: usize,
+    /// Cost share of this attribute in the round.
+    crowd_cost: f64,
+    /// Wall-clock minutes of the round (0 when fully cached).
+    crowd_minutes: f64,
 }
 
 /// A relational database extended with crowd-driven, query-driven schema
@@ -66,6 +109,12 @@ pub struct CrowdDb {
     catalog: Catalog,
     bindings: HashMap<String, TableBinding>,
     events: Vec<ExpansionEvent>,
+    cache: JudgmentCache,
+    /// Number of crowd rounds dispatched so far; mixed into every round's
+    /// seed so that re-acquisition after [`CrowdDb::invalidate_judgments`]
+    /// draws genuinely fresh judgments instead of deterministically
+    /// reproducing the ones it was meant to replace.
+    crowd_rounds: u64,
 }
 
 impl CrowdDb {
@@ -76,6 +125,8 @@ impl CrowdDb {
             catalog: Catalog::new(),
             bindings: HashMap::new(),
             events: Vec::new(),
+            cache: JudgmentCache::new(),
+            crowd_rounds: 0,
         }
     }
 
@@ -93,6 +144,23 @@ impl CrowdDb {
     /// All expansions performed so far, in order.
     pub fn expansion_events(&self) -> &[ExpansionEvent] {
         &self.events
+    }
+
+    /// Read access to the judgment cache.
+    pub fn judgment_cache(&self) -> &JudgmentCache {
+        &self.cache
+    }
+
+    /// Cache effectiveness counters (hits, misses, dollars saved).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops the cached judgments of one attribute, forcing the next
+    /// expansion to re-crowd-source it (e.g. after a repair round found the
+    /// old judgments questionable).
+    pub fn invalidate_judgments(&mut self, table: &str, attribute: &str) {
+        self.cache.invalidate(table, attribute);
     }
 
     /// Loads a synthetic domain as a table holding the factual attributes
@@ -136,6 +204,7 @@ impl CrowdDb {
                 space,
                 crowd,
                 attributes: HashMap::new(),
+                strategy_overrides: HashMap::new(),
             },
         );
         Ok(())
@@ -163,6 +232,7 @@ impl CrowdDb {
                 space,
                 crowd,
                 attributes: HashMap::new(),
+                strategy_overrides: HashMap::new(),
             },
         );
         Ok(())
@@ -171,179 +241,491 @@ impl CrowdDb {
     /// Declares that queries over `column` of `table` refer to the domain
     /// concept `attribute` (a category name the crowd source understands).
     /// The column itself is created lazily when a query first needs it.
-    pub fn register_attribute(
-        &mut self,
-        table: &str,
-        column: &str,
-        attribute: &str,
-    ) -> Result<()> {
-        let binding = self.bindings.get_mut(&table.to_lowercase()).ok_or_else(|| {
-            CrowdDbError::Configuration(format!("table {table} is not bound to a crowd source"))
-        })?;
+    pub fn register_attribute(&mut self, table: &str, column: &str, attribute: &str) -> Result<()> {
+        let binding = self
+            .bindings
+            .get_mut(&table.to_lowercase())
+            .ok_or_else(|| {
+                CrowdDbError::Configuration(format!("table {table} is not bound to a crowd source"))
+            })?;
         binding
             .attributes
             .insert(column.to_lowercase(), attribute.to_string());
         Ok(())
     }
 
-    /// Executes a SQL statement.  `SELECT`s that reference a registered but
-    /// not-yet-materialized perceptual attribute transparently trigger
-    /// schema expansion, then run against the completed column.
+    /// Like [`register_attribute`], additionally pinning the expansion
+    /// strategy for this column instead of using the database default.
+    ///
+    /// [`register_attribute`]: CrowdDb::register_attribute
+    pub fn register_attribute_with_strategy(
+        &mut self,
+        table: &str,
+        column: &str,
+        attribute: &str,
+        strategy: ExpansionStrategy,
+    ) -> Result<()> {
+        self.register_attribute(table, column, attribute)?;
+        let binding = self
+            .bindings
+            .get_mut(&table.to_lowercase())
+            .expect("binding exists after register_attribute");
+        binding
+            .strategy_overrides
+            .insert(column.to_lowercase(), strategy);
+        Ok(())
+    }
+
+    /// Overrides the expansion strategy of an already-registered attribute.
+    pub fn set_attribute_strategy(
+        &mut self,
+        table: &str,
+        column: &str,
+        strategy: ExpansionStrategy,
+    ) -> Result<()> {
+        let binding = self
+            .bindings
+            .get_mut(&table.to_lowercase())
+            .ok_or_else(|| {
+                CrowdDbError::Configuration(format!("table {table} is not bound to a crowd source"))
+            })?;
+        let column = column.to_lowercase();
+        if !binding.attributes.contains_key(&column) {
+            return Err(CrowdDbError::UnknownAttribute {
+                table: table.to_string(),
+                attribute: column,
+            });
+        }
+        binding.strategy_overrides.insert(column, strategy);
+        Ok(())
+    }
+
+    /// Executes a SQL statement.  Statements referencing registered but
+    /// not-yet-materialized perceptual attributes transparently trigger
+    /// **one** planned expansion round covering every missing attribute,
+    /// then run against the completed columns — parse, analyze, plan,
+    /// acquire, materialize, execute once.
     pub fn execute(&mut self, sql_text: &str) -> Result<QueryResult> {
         let statement = sql::parse(sql_text)?;
-        // Expansion may be needed more than once (a query can reference two
-        // missing attributes), so retry until the executor succeeds or the
-        // error is not an expandable unknown column.
-        loop {
-            match executor::execute(&statement, &mut self.catalog) {
-                Ok(result) => return Ok(result),
-                Err(RelationalError::UnknownColumn { table, column }) => {
-                    if !self.is_expandable(&table, &column) {
-                        return Err(CrowdDbError::UnknownAttribute {
-                            table,
-                            attribute: column,
-                        });
-                    }
-                    let report = self.expand_attribute(&table, &column)?;
-                    self.events.push(ExpansionEvent {
-                        triggering_query: sql_text.to_string(),
-                        report,
+        let analysis = executor::analyze(&statement, &self.catalog)?;
+        if !analysis.missing_columns.is_empty() {
+            let table = analysis
+                .table
+                .expect("missing columns imply a target table");
+            for column in &analysis.missing_columns {
+                if !self.is_expandable(&table, column) {
+                    return Err(CrowdDbError::UnknownAttribute {
+                        table,
+                        attribute: column.clone(),
                     });
                 }
-                Err(other) => return Err(other.into()),
+            }
+            let reports = self.expand_columns(&table, &analysis.missing_columns)?;
+            for report in reports {
+                self.events.push(ExpansionEvent {
+                    triggering_query: sql_text.to_string(),
+                    report,
+                });
             }
         }
+        executor::execute(&statement, &mut self.catalog).map_err(Into::into)
     }
 
     fn is_expandable(&self, table: &str, column: &str) -> bool {
         self.bindings
             .get(&table.to_lowercase())
-            .map_or(false, |b| b.attributes.contains_key(&column.to_lowercase()))
+            .is_some_and(|b| b.attributes.contains_key(&column.to_lowercase()))
     }
 
-    /// Performs query-driven schema expansion of `column` on `table`.
+    /// Runs the plan → acquire → materialize pipeline for a set of missing
+    /// columns on one table, with **one** batched crowd round serving every
+    /// attribute the cache cannot answer.
     ///
-    /// Returns the expansion report; the column is added to the table and
-    /// filled according to the configured [`ExpansionStrategy`].
+    /// Returns one report per expanded attribute, in plan order.
+    pub fn expand_columns(
+        &mut self,
+        table_name: &str,
+        columns: &[String],
+    ) -> Result<Vec<ExpansionReport>> {
+        let plan = self.build_plan(table_name, columns)?;
+        let acquisitions = self.acquire(&plan)?;
+        self.materialize(&plan, acquisitions)
+    }
+
+    /// Performs query-driven schema expansion of a single `column` on
+    /// `table` — the one-attribute special case of [`expand_columns`].
+    ///
+    /// Calling this for an already-materialized column re-runs the pipeline
+    /// and overwrites the column in place; thanks to the [`JudgmentCache`]
+    /// such a re-expansion reuses the crowd's previous answers instead of
+    /// paying for them again.
+    ///
+    /// [`expand_columns`]: CrowdDb::expand_columns
     pub fn expand_attribute(&mut self, table_name: &str, column: &str) -> Result<ExpansionReport> {
+        let mut reports = self.expand_columns(table_name, &[column.to_lowercase()])?;
+        Ok(reports.remove(0))
+    }
+
+    /// The **plan** stage.
+    fn build_plan(&self, table_name: &str, columns: &[String]) -> Result<ExpansionPlan> {
         let key = table_name.to_lowercase();
-        let column = column.to_lowercase();
-        let binding = self.bindings.get_mut(&key).ok_or_else(|| {
-            CrowdDbError::Configuration(format!("table {table_name} is not bound to a crowd source"))
+        let binding = self.bindings.get(&key).ok_or_else(|| {
+            CrowdDbError::Configuration(format!(
+                "table {table_name} is not bound to a crowd source"
+            ))
         })?;
-        let attribute = binding
-            .attributes
-            .get(&column)
-            .cloned()
-            .ok_or_else(|| CrowdDbError::UnknownAttribute {
-                table: table_name.to_string(),
-                attribute: column.clone(),
-            })?;
-
-        let mut stages = vec![ExpansionStage::MissingAttributeDetected];
-
-        // Map row indices to item ids.
         let table = self.catalog.table(table_name)?;
-        let id_idx = table
-            .schema()
-            .index_of(&self.config.id_column)
-            .ok_or_else(|| {
-                CrowdDbError::Configuration(format!(
-                    "table {table_name} has no id column '{}'",
-                    self.config.id_column
-                ))
-            })?;
-        let row_items: Vec<(usize, ItemId)> = table
-            .rows()
-            .iter()
-            .enumerate()
-            .filter_map(|(row, values)| match &values[id_idx] {
-                Value::Integer(id) if *id >= 0 => Some((row, *id as ItemId)),
-                _ => None,
-            })
-            .collect();
-        let all_items: Vec<ItemId> = row_items.iter().map(|(_, id)| *id).collect();
+        planner::build_plan(PlanInputs {
+            table,
+            table_name: &key,
+            id_column: &self.config.id_column,
+            columns,
+            attributes: &binding.attributes,
+            overrides: &binding.strategy_overrides,
+            default_strategy: &self.config.strategy,
+            space_len: binding.space.len(),
+            seed: self.config.seed,
+        })
+    }
 
-        // Obtain values according to the strategy.
-        let strategy_name = self.config.strategy.name().to_string();
-        let (values_by_item, crowd_stats, training_size) = match &self.config.strategy {
-            ExpansionStrategy::DirectCrowd => {
-                stages.push(ExpansionStage::CrowdSourcingStarted);
-                let run = binding.crowd.collect(&all_items, &attribute, self.config.seed)?;
-                stages.push(ExpansionStage::JudgmentsAggregated);
-                let verdicts = majority_vote(&run.judgments, &all_items);
-                let values: HashMap<ItemId, bool> = verdicts
-                    .iter()
-                    .filter_map(|v| v.verdict.map(|label| (v.item, label)))
-                    .collect();
-                let stats = (run.judgments.len(), all_items.len(), run.total_cost, run.total_minutes);
-                (values, stats, 0)
-            }
-            ExpansionStrategy::PerceptualSpace {
-                gold_sample_size,
-                extraction,
-            } => {
-                // Draw the gold sample.
-                let mut rng = StdRng::seed_from_u64(self.config.seed);
-                let mut candidates = all_items.clone();
-                candidates.shuffle(&mut rng);
-                let gold: Vec<ItemId> =
-                    candidates.into_iter().take((*gold_sample_size).max(2)).collect();
-                stages.push(ExpansionStage::CrowdSourcingStarted);
-                let run = binding.crowd.collect(&gold, &attribute, self.config.seed)?;
-                stages.push(ExpansionStage::JudgmentsAggregated);
-                let verdicts = majority_vote(&run.judgments, &gold);
-                let training: Vec<(ItemId, bool)> = verdicts
-                    .iter()
-                    .filter_map(|v| v.verdict.map(|label| (v.item, label)))
-                    .collect();
-                let training_size = training.len();
-                stages.push(ExpansionStage::ExtractorTrained);
-                let predicted = extract_binary_attribute(&binding.space, &training, extraction)?;
-                let values: HashMap<ItemId, bool> = all_items
-                    .iter()
-                    .filter(|&&item| (item as usize) < predicted.len())
-                    .map(|&item| (item, predicted[item as usize]))
-                    .collect();
-                let stats = (run.judgments.len(), gold.len(), run.total_cost, run.total_minutes);
-                (values, stats, training_size)
-            }
-        };
-        let (judgments_collected, items_crowd_sourced, crowd_cost, crowd_minutes) = crowd_stats;
+    /// The **acquire** stage: cache first, then one batched crowd round for
+    /// everything the cache cannot answer, then write fresh verdicts back.
+    ///
+    /// Columns registered to the same domain concept share one crowd
+    /// question — asking the crowd twice about `Comedy` for two columns
+    /// would pay double for identical judgments.
+    fn acquire(&mut self, plan: &ExpansionPlan) -> Result<Vec<Acquisition>> {
+        // Consult the cache per attribute; deduplicate crowd questions by
+        // attribute concept.  The first column asking about a concept owns
+        // the question; sibling columns merge their items into it and
+        // report zero collection (summing reports then matches what the
+        // round really collected and cost).
+        let mut acquisitions: Vec<Acquisition> = Vec::with_capacity(plan.attributes.len());
+        let mut requests: Vec<AttributeRequest> = Vec::new();
+        let mut request_item_sets: Vec<HashSet<ItemId>> = Vec::new();
+        let mut question_of: HashMap<String, usize> = HashMap::new();
+        let mut seen_concepts: HashSet<String> = HashSet::new();
+        for (index, attribute) in plan.attributes.iter().enumerate() {
+            let targets = plan.crowd_items_for(index);
+            // The first column of a concept moves the cache counters and
+            // carries cost_saved; siblings peek so the concept's reuse is
+            // counted once per plan.
+            let first_for_concept = seen_concepts.insert(attribute.attribute.to_lowercase());
+            let (cached, uncached) = if first_for_concept {
+                self.cache
+                    .partition(&plan.table, &attribute.attribute, targets)
+            } else {
+                self.cache
+                    .partition_peek(&plan.table, &attribute.attribute, targets)
+            };
+            let cost_saved: f64 = if first_for_concept {
+                cached.values().map(|j| j.cost).sum()
+            } else {
+                0.0
+            };
+            let mut owns_question = false;
+            let question = if uncached.is_empty() {
+                None
+            } else {
+                let concept = attribute.attribute.to_lowercase();
+                let q = match question_of.get(&concept) {
+                    Some(&q) => {
+                        // Merge this column's items into the shared question.
+                        for &item in &uncached {
+                            if request_item_sets[q].insert(item) {
+                                requests[q].items.push(item);
+                            }
+                        }
+                        q
+                    }
+                    None => {
+                        owns_question = true;
+                        requests.push(AttributeRequest {
+                            attribute: attribute.attribute.clone(),
+                            items: uncached.clone(),
+                        });
+                        request_item_sets.push(uncached.iter().copied().collect());
+                        question_of.insert(concept, requests.len() - 1);
+                        requests.len() - 1
+                    }
+                };
+                Some(q)
+            };
+            let verdicts = cached
+                .iter()
+                .filter_map(|(&item, judgment)| judgment.verdict.map(|v| (item, v)))
+                .collect();
+            acquisitions.push(Acquisition {
+                cached,
+                uncached,
+                question,
+                owns_question,
+                cost_saved,
+                verdicts,
+                items_charged: 0,
+                judgments_collected: 0,
+                crowd_cost: 0.0,
+                crowd_minutes: 0.0,
+            });
+        }
 
-        // Materialize the column.
-        let table = self.catalog.table_mut(table_name)?;
-        table.add_column(Column::new(column.clone(), DataType::Boolean), None)?;
-        stages.push(ExpansionStage::ColumnAdded);
-        let mut rows_filled = 0;
-        for (row, item) in &row_items {
-            if let Some(&label) = values_by_item.get(item) {
-                table.set_value(*row, &column, Value::Boolean(label))?;
-                rows_filled += 1;
+        // One batched round serves every attribute with uncached items.
+        if requests.is_empty() {
+            return Ok(acquisitions);
+        }
+        let round_seed = self.config.seed.wrapping_add(self.crowd_rounds);
+        self.crowd_rounds += 1;
+        let binding = self
+            .bindings
+            .get_mut(&plan.table)
+            .expect("plan was built from this binding");
+        let batch = binding.crowd.collect_batch(&requests, round_seed)?;
+
+        // Aggregate fresh judgments and feed the cache.
+        for (index, acquisition) in acquisitions.iter_mut().enumerate() {
+            let question = match acquisition.question {
+                Some(q) => q,
+                None => continue,
+            };
+            let attribute = &plan.attributes[index].attribute;
+            let judgments = &batch.question_judgments[question];
+            acquisition.crowd_minutes = batch.total_minutes;
+            if acquisition.owns_question {
+                // The question's owner carries the full accounting; sibling
+                // columns that merged into it report zero collection.
+                acquisition.judgments_collected = judgments.len();
+                acquisition.crowd_cost = batch.question_cost(question);
+                acquisition.items_charged = requests[question].items.len();
+                let distinct_items = requests[question].items.len();
+                let per_item_cost = if distinct_items == 0 {
+                    0.0
+                } else {
+                    acquisition.crowd_cost / distinct_items as f64
+                };
+                let mut judgment_counts: HashMap<ItemId, usize> = HashMap::new();
+                for judgment in judgments {
+                    *judgment_counts.entry(judgment.item).or_insert(0) += 1;
+                }
+                // Cache every distinct item of the question, including those
+                // merged in by siblings.
+                let verdicts = majority_vote(judgments, &requests[question].items);
+                for verdict in &verdicts {
+                    self.cache.insert(
+                        &plan.table,
+                        attribute,
+                        verdict.item,
+                        CachedJudgment {
+                            verdict: verdict.verdict,
+                            judgments: judgment_counts.get(&verdict.item).copied().unwrap_or(0),
+                            cost: per_item_cost,
+                        },
+                    );
+                }
+            }
+            // Every sharer (owner included) reads its own items' verdicts
+            // from the shared question's judgments.
+            let verdicts = majority_vote(judgments, &acquisition.uncached);
+            for verdict in &verdicts {
+                if let Some(label) = verdict.verdict {
+                    acquisition.verdicts.insert(verdict.item, label);
+                }
             }
         }
-        stages.push(ExpansionStage::ColumnMaterialized);
-        stages.push(ExpansionStage::QueryReExecuted);
+        Ok(acquisitions)
+    }
 
-        Ok(ExpansionReport {
-            table: table_name.to_lowercase(),
-            column,
-            attribute,
-            strategy: strategy_name,
-            stages,
-            items_crowd_sourced,
-            judgments_collected,
-            rows_filled,
-            rows_unfilled: row_items.len() - rows_filled,
-            crowd_cost,
-            crowd_minutes,
-            training_set_size: training_size,
-        })
+    /// The **materialize** stage: train extractors where needed, fill the
+    /// columns through the explicit id → row mapping, and assemble reports.
+    fn materialize(
+        &mut self,
+        plan: &ExpansionPlan,
+        acquisitions: Vec<Acquisition>,
+    ) -> Result<Vec<ExpansionReport>> {
+        let mut reports = Vec::with_capacity(plan.attributes.len());
+        for (attribute, acquisition) in plan.attributes.iter().zip(acquisitions) {
+            let mut stages = vec![
+                ExpansionStage::MissingAttributeDetected,
+                ExpansionStage::ExpansionPlanned,
+            ];
+            if !acquisition.cached.is_empty() {
+                stages.push(ExpansionStage::JudgmentsReused);
+            }
+            if acquisition.question.is_some() {
+                stages.push(ExpansionStage::CrowdSourcingStarted);
+                stages.push(ExpansionStage::JudgmentsAggregated);
+            }
+
+            let (values, training_set_size, items_unmapped) = match &attribute.strategy {
+                ExpansionStrategy::DirectCrowd => {
+                    let values: HashMap<ItemId, Value> = acquisition
+                        .verdicts
+                        .iter()
+                        .map(|(&item, &label)| (item, Value::Boolean(label)))
+                        .collect();
+                    (values, 0, 0)
+                }
+                ExpansionStrategy::PerceptualSpace { extraction, .. } => {
+                    let binding = self
+                        .bindings
+                        .get(&plan.table)
+                        .expect("plan was built from this binding");
+                    let mut training: Vec<(ItemId, bool)> = acquisition
+                        .verdicts
+                        .iter()
+                        .map(|(&item, &label)| (item, label))
+                        .collect();
+                    // Deterministic SVM input regardless of hash order.
+                    training.sort_unstable_by_key(|(item, _)| *item);
+                    let training_set_size = training.len();
+                    stages.push(ExpansionStage::ExtractorTrained);
+                    let predicted =
+                        extract_binary_attribute(&binding.space, &training, extraction)?;
+                    let (mapped, unmapped) = planner::predictions_by_item(&plan.items, &predicted);
+                    let values: HashMap<ItemId, Value> = mapped
+                        .into_iter()
+                        .map(|(item, label)| (item, Value::Boolean(label)))
+                        .collect();
+                    (values, training_set_size, unmapped.len())
+                }
+            };
+
+            let table = self.catalog.table_mut(&plan.table)?;
+            let outcome = materialize_column(
+                table,
+                &attribute.column,
+                DataType::Boolean,
+                &values,
+                &plan.rows,
+            )?;
+            stages.push(ExpansionStage::ColumnAdded);
+            stages.push(ExpansionStage::ColumnMaterialized);
+            stages.push(ExpansionStage::QueryReExecuted);
+
+            reports.push(ExpansionReport {
+                table: plan.table.clone(),
+                column: attribute.column.clone(),
+                attribute: attribute.attribute.clone(),
+                strategy: attribute.strategy.name().to_string(),
+                stages,
+                items_crowd_sourced: acquisition.items_charged,
+                judgments_collected: acquisition.judgments_collected,
+                rows_filled: outcome.rows_filled,
+                // Rows without a usable item id can never be filled; count
+                // them instead of dropping them from the accounting.
+                rows_unfilled: outcome.rows_unfilled + plan.skipped_rows,
+                crowd_cost: acquisition.crowd_cost,
+                crowd_minutes: acquisition.crowd_minutes,
+                training_set_size,
+                cache_hits: acquisition.cached.len(),
+                cache_misses: acquisition.uncached.len(),
+                cost_saved: acquisition.cost_saved,
+                items_unmapped,
+            });
+        }
+        Ok(reports)
     }
 
     /// The perceptual space bound to a table (if any).
     pub fn space_of(&self, table: &str) -> Option<&PerceptualSpace> {
         self.bindings.get(&table.to_lowercase()).map(|b| &b.space)
+    }
+
+    /// The data-quality loop of Section 4.4 for an expanded binary
+    /// attribute: audit the column against the perceptual space,
+    /// re-crowd-source **only** the flagged items, overwrite the column
+    /// with the repaired labels, and refresh the [`JudgmentCache`] so
+    /// later expansions reuse the repaired verdicts instead of the
+    /// questionable ones.
+    ///
+    /// The column must already be materialized (expanded).  Unfilled and
+    /// out-of-space rows are treated as `false` for the audit and are not
+    /// touched by the repair.
+    pub fn repair_attribute(
+        &mut self,
+        table_name: &str,
+        column: &str,
+        extraction: &crate::extraction::ExtractionConfig,
+    ) -> Result<crate::repair::RepairOutcome> {
+        let key = table_name.to_lowercase();
+        let column = column.to_lowercase();
+        let binding = self.bindings.get(&key).ok_or_else(|| {
+            CrowdDbError::Configuration(format!(
+                "table {table_name} is not bound to a crowd source"
+            ))
+        })?;
+        let attribute = binding.attributes.get(&column).cloned().ok_or_else(|| {
+            CrowdDbError::UnknownAttribute {
+                table: table_name.to_string(),
+                attribute: column.clone(),
+            }
+        })?;
+        let space_len = binding.space.len();
+
+        // Read the current column as a space-indexed labeling.
+        let table = self.catalog.table(table_name)?;
+        let col_idx = table.schema().index_of(&column).ok_or_else(|| {
+            CrowdDbError::Configuration(format!(
+                "column {column} of table {table_name} is not materialized — expand it first"
+            ))
+        })?;
+        let (rows, items, _skipped) = planner::row_mapping(table, &self.config.id_column, &key)?;
+        let mut labels = vec![false; space_len];
+        for (row, item) in &rows {
+            if (*item as usize) < space_len {
+                if let Value::Boolean(b) = &table.rows()[*row][col_idx] {
+                    labels[*item as usize] = *b;
+                }
+            }
+        }
+        // Only items that still have a row are worth re-crowd-sourcing.
+        let eligible: Vec<ItemId> = items
+            .into_iter()
+            .filter(|&item| (item as usize) < space_len)
+            .collect();
+
+        let round_seed = self.config.seed.wrapping_add(self.crowd_rounds);
+        self.crowd_rounds += 1;
+        let binding = self.bindings.get_mut(&key).expect("checked above");
+        let outcome = crate::repair::repair_labels_among(
+            &binding.space,
+            &labels,
+            &eligible,
+            binding.crowd.as_mut(),
+            &attribute,
+            extraction,
+            round_seed,
+        )?;
+
+        // Refresh the cache and the column with the repaired verdicts.
+        let per_item_cost = if outcome.flagged.is_empty() {
+            0.0
+        } else {
+            outcome.repair_cost / outcome.flagged.len() as f64
+        };
+        for &item in &outcome.flagged {
+            self.cache.insert(
+                &key,
+                &attribute,
+                item,
+                CachedJudgment {
+                    verdict: Some(outcome.labels[item as usize]),
+                    judgments: 0,
+                    cost: per_item_cost,
+                },
+            );
+        }
+        let flagged: HashSet<ItemId> = outcome.flagged.iter().copied().collect();
+        let table = self.catalog.table_mut(table_name)?;
+        for (row, item) in &rows {
+            if flagged.contains(item) {
+                table.set_value(
+                    *row,
+                    &column,
+                    Value::Boolean(outcome.labels[*item as usize]),
+                )?;
+            }
+        }
+        Ok(outcome)
     }
 
     /// Expands `column` of `table` as a **numeric** perceptual attribute
@@ -372,37 +754,20 @@ impl CrowdDb {
         let predicted =
             crate::extraction::extract_numeric_attribute(&binding.space, gold, extraction)?;
 
-        let table = self.catalog.table_mut(table_name)?;
-        let id_idx = table
-            .schema()
-            .index_of(&self.config.id_column)
-            .ok_or_else(|| {
-                CrowdDbError::Configuration(format!(
-                    "table {table_name} has no id column '{}'",
-                    self.config.id_column
-                ))
-            })?;
-        let row_items: Vec<(usize, ItemId)> = table
-            .rows()
-            .iter()
-            .enumerate()
-            .filter_map(|(row, values)| match &values[id_idx] {
-                Value::Integer(id) if *id >= 0 => Some((row, *id as ItemId)),
-                _ => None,
-            })
+        let table = self.catalog.table(table_name)?;
+        let (rows, items, skipped_rows) =
+            planner::row_mapping(table, &self.config.id_column, &key)?;
+        let (mapped, unmapped) = planner::predictions_by_item(&items, &predicted);
+        let values: HashMap<ItemId, Value> = mapped
+            .into_iter()
+            .map(|(item, value)| (item, Value::Float(value)))
             .collect();
 
-        table.add_column(Column::new(column.clone(), DataType::Float), None)?;
-        let mut rows_filled = 0;
-        for (row, item) in &row_items {
-            if let Some(&value) = predicted.get(*item as usize) {
-                table.set_value(*row, &column, Value::Float(value))?;
-                rows_filled += 1;
-            }
-        }
+        let table = self.catalog.table_mut(table_name)?;
+        let outcome = materialize_column(table, &column, DataType::Float, &values, &rows)?;
 
         Ok(ExpansionReport {
-            table: table_name.to_lowercase(),
+            table: key,
             column,
             attribute: "numeric gold sample".into(),
             strategy: "perceptual-space regression (SVR)".into(),
@@ -415,11 +780,15 @@ impl CrowdDb {
             ],
             items_crowd_sourced: gold.len(),
             judgments_collected: gold.len(),
-            rows_filled,
-            rows_unfilled: row_items.len() - rows_filled,
+            rows_filled: outcome.rows_filled,
+            rows_unfilled: outcome.rows_unfilled + skipped_rows,
             crowd_cost: 0.0,
             crowd_minutes: 0.0,
             training_set_size: gold.len(),
+            cache_hits: 0,
+            cache_misses: 0,
+            cost_saved: 0.0,
+            items_unmapped: unmapped.len(),
         })
     }
 }
@@ -448,10 +817,14 @@ pub fn build_space_for_domain(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
     use crate::crowd_source::SimulatedCrowd;
-    use crowdsim::ExperimentRegime;
+    use crowdsim::{BatchCrowdRun, CrowdRun, ExperimentRegime};
     use datagen::DomainConfig;
     use mlkit::BinaryConfusion;
+    use relational::RelationalError;
 
     fn domain() -> SyntheticDomain {
         SyntheticDomain::generate(&DomainConfig::movies().scaled(0.1), 21).unwrap()
@@ -464,18 +837,53 @@ mod tests {
             strategy,
             ..Default::default()
         });
-        db.load_domain("movies", domain, space, Box::new(crowd)).unwrap();
-        db.register_attribute("movies", "is_comedy", "Comedy").unwrap();
+        db.load_domain("movies", domain, space, Box::new(crowd))
+            .unwrap();
+        db.register_attribute("movies", "is_comedy", "Comedy")
+            .unwrap();
         db
+    }
+
+    /// A crowd source that counts batched dispatches, for asserting that a
+    /// plan pays exactly one round.
+    struct CountingCrowd {
+        inner: SimulatedCrowd,
+        collect_calls: Rc<Cell<usize>>,
+        batch_calls: Rc<Cell<usize>>,
+        last_request_count: Rc<Cell<usize>>,
+    }
+
+    impl CrowdSource for CountingCrowd {
+        fn collect(&mut self, items: &[u32], attribute: &str, seed: u64) -> Result<CrowdRun> {
+            self.collect_calls.set(self.collect_calls.get() + 1);
+            self.inner.collect(items, attribute, seed)
+        }
+
+        fn collect_batch(
+            &mut self,
+            requests: &[AttributeRequest],
+            seed: u64,
+        ) -> Result<BatchCrowdRun> {
+            self.batch_calls.set(self.batch_calls.get() + 1);
+            self.last_request_count.set(requests.len());
+            self.inner.collect_batch(requests, seed)
+        }
+
+        fn describe(&self) -> String {
+            self.inner.describe()
+        }
     }
 
     #[test]
     fn factual_queries_run_without_expansion() {
         let d = domain();
         let mut db = db_with_domain(&d, ExpansionStrategy::perceptual_default());
-        let result = db.execute("SELECT name FROM movies WHERE year < 1970 LIMIT 5").unwrap();
+        let result = db
+            .execute("SELECT name FROM movies WHERE year < 1970 LIMIT 5")
+            .unwrap();
         assert!(result.rows.len() <= 5);
         assert!(db.expansion_events().is_empty());
+        assert_eq!(db.cache_stats().hits, 0);
     }
 
     #[test]
@@ -488,34 +896,35 @@ mod tests {
                 extraction: Default::default(),
             },
         );
-        let result = db.execute("SELECT item_id FROM movies WHERE is_comedy = true").unwrap();
+        let result = db
+            .execute("SELECT item_id FROM movies WHERE is_comedy = true")
+            .unwrap();
         assert!(!result.rows.is_empty());
         assert_eq!(db.expansion_events().len(), 1);
         let event = &db.expansion_events()[0];
         assert_eq!(event.report.column, "is_comedy");
         assert_eq!(event.report.attribute, "Comedy");
-        assert!(event.report.coverage() > 0.99, "perceptual expansion covers all rows");
+        assert!(
+            event.report.coverage() > 0.99,
+            "perceptual expansion covers all rows"
+        );
         assert!(event.report.items_crowd_sourced <= 60);
         assert!(event.report.crowd_cost > 0.0);
         assert!(event
             .report
             .stages
+            .contains(&ExpansionStage::ExpansionPlanned));
+        assert!(event
+            .report
+            .stages
             .contains(&ExpansionStage::ExtractorTrained));
+        // First acquisition: everything was a cache miss, nothing reused.
+        assert_eq!(event.report.cache_hits, 0);
+        assert_eq!(event.report.cache_misses, event.report.items_crowd_sourced);
 
-        // The expanded column is reasonably accurate against ground truth.
-        let truth = d.labels_for_category(0);
-        let predicted: Vec<bool> = result
-            .rows
-            .iter()
-            .map(|r| match r[0] {
-                Value::Integer(id) => id as usize,
-                _ => panic!("expected integer id"),
-            })
-            .map(|_| true)
-            .collect();
-        assert_eq!(predicted.len(), result.rows.len());
         // Of the returned (predicted-comedy) items, most must truly be
         // comedies.
+        let truth = d.labels_for_category(0);
         let correct = result
             .rows
             .iter()
@@ -530,16 +939,245 @@ mod tests {
             result.rows.len()
         );
 
-        // Subsequent queries reuse the materialized column (no new event).
-        let _ = db.execute("SELECT item_id FROM movies WHERE is_comedy = false").unwrap();
+        // Subsequent queries reuse the materialized column: no new event,
+        // no new crowd spend.
+        let stats_before = db.cache_stats();
+        let _ = db
+            .execute("SELECT item_id FROM movies WHERE is_comedy = false")
+            .unwrap();
         assert_eq!(db.expansion_events().len(), 1);
+        assert_eq!(db.cache_stats(), stats_before);
+    }
+
+    #[test]
+    fn one_query_expands_all_missing_attributes_in_one_batched_round() {
+        let d = domain();
+        let space = build_space_for_domain(&d, 8, 15).unwrap();
+        let collect_calls = Rc::new(Cell::new(0));
+        let batch_calls = Rc::new(Cell::new(0));
+        let last_request_count = Rc::new(Cell::new(0));
+        let crowd = CountingCrowd {
+            inner: SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 5),
+            collect_calls: collect_calls.clone(),
+            batch_calls: batch_calls.clone(),
+            last_request_count: last_request_count.clone(),
+        };
+        let mut db = CrowdDb::new(CrowdDbConfig {
+            strategy: ExpansionStrategy::PerceptualSpace {
+                gold_sample_size: 50,
+                extraction: Default::default(),
+            },
+            ..Default::default()
+        });
+        db.load_domain("movies", &d, space, Box::new(crowd))
+            .unwrap();
+        db.register_attribute("movies", "is_comedy", "Comedy")
+            .unwrap();
+        let second = d.category_names()[1].clone();
+        db.register_attribute("movies", "is_other", &second)
+            .unwrap();
+
+        let result = db
+            .execute("SELECT name FROM movies WHERE is_comedy = true AND is_other = false")
+            .unwrap();
+        assert!(!result.rows.is_empty());
+        // One planning round, one batched dispatch, one event per attribute.
+        assert_eq!(batch_calls.get(), 1);
+        assert_eq!(collect_calls.get(), 0);
+        assert_eq!(db.expansion_events().len(), 2);
+        let columns: Vec<&str> = db
+            .expansion_events()
+            .iter()
+            .map(|e| e.report.column.as_str())
+            .collect();
+        assert_eq!(columns, vec!["is_comedy", "is_other"]);
+        // Both trained on the same shared gold sample.
+        let schema = db.catalog().table("movies").unwrap().schema().clone();
+        assert!(schema.contains("is_comedy") && schema.contains("is_other"));
+        assert_eq!(
+            last_request_count.get(),
+            2,
+            "distinct concepts, two questions"
+        );
+    }
+
+    #[test]
+    fn columns_sharing_a_concept_share_one_crowd_question() {
+        let d = domain();
+        let space = build_space_for_domain(&d, 8, 15).unwrap();
+        let collect_calls = Rc::new(Cell::new(0));
+        let batch_calls = Rc::new(Cell::new(0));
+        let last_request_count = Rc::new(Cell::new(0));
+        let crowd = CountingCrowd {
+            inner: SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 5),
+            collect_calls: collect_calls.clone(),
+            batch_calls: batch_calls.clone(),
+            last_request_count: last_request_count.clone(),
+        };
+        let mut db = CrowdDb::new(CrowdDbConfig {
+            strategy: ExpansionStrategy::PerceptualSpace {
+                gold_sample_size: 40,
+                extraction: Default::default(),
+            },
+            ..Default::default()
+        });
+        db.load_domain("movies", &d, space, Box::new(crowd))
+            .unwrap();
+        // Two columns mapped to the same domain concept.
+        db.register_attribute("movies", "is_comedy", "Comedy")
+            .unwrap();
+        db.register_attribute("movies", "comedy_flag", "Comedy")
+            .unwrap();
+
+        db.execute("SELECT name FROM movies WHERE is_comedy = true AND comedy_flag = true")
+            .unwrap();
+        // One round, ONE question: the concept is crowd-sourced once.
+        assert_eq!(batch_calls.get(), 1);
+        assert_eq!(
+            last_request_count.get(),
+            1,
+            "shared concept must share a question"
+        );
+
+        // Both columns materialized identically (same judgments, same
+        // extractor input).
+        let table = db.catalog().table("movies").unwrap();
+        let a = table.schema().index_of("is_comedy").unwrap();
+        let b = table.schema().index_of("comedy_flag").unwrap();
+        assert!(table.rows().iter().all(|row| row[a] == row[b]));
+
+        // Owner-pays accounting: the first column carries the question's
+        // full cost and judgment count, the sibling reports zero collection
+        // — so summing reports matches what the round really collected.
+        let events = db.expansion_events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].report.crowd_cost > 0.0);
+        assert!(events[0].report.judgments_collected > 0);
+        assert!(events[0].report.items_crowd_sourced > 0);
+        assert_eq!(events[1].report.crowd_cost, 0.0);
+        assert_eq!(events[1].report.judgments_collected, 0);
+        assert_eq!(events[1].report.items_crowd_sourced, 0);
+        let total_judgments: usize = events.iter().map(|e| e.report.judgments_collected).sum();
+        assert_eq!(total_judgments, events[0].report.judgments_collected);
+        let cost_paid: f64 = events.iter().map(|e| e.report.crowd_cost).sum();
+
+        // Forced re-expansion of both columns: the concept's cached
+        // judgments are reused and their reuse is counted ONCE, not once
+        // per column.
+        let reports = db
+            .expand_columns("movies", &["is_comedy".into(), "comedy_flag".into()])
+            .unwrap();
+        assert_eq!(batch_calls.get(), 1, "re-expansion is fully cache-served");
+        assert!(reports[0].cost_saved > 0.0);
+        assert_eq!(
+            reports[1].cost_saved, 0.0,
+            "sibling does not re-count the saving"
+        );
+        let stats = db.cache_stats();
+        assert!(
+            (stats.cost_saved - cost_paid).abs() < 1e-9,
+            "dollars saved ({}) must equal dollars once paid ({cost_paid})",
+            stats.cost_saved
+        );
+    }
+
+    #[test]
+    fn forced_re_expansion_is_served_from_the_judgment_cache() {
+        let d = domain();
+        let mut db = db_with_domain(
+            &d,
+            ExpansionStrategy::PerceptualSpace {
+                gold_sample_size: 40,
+                extraction: Default::default(),
+            },
+        );
+        let first = db.expand_attribute("movies", "is_comedy").unwrap();
+        assert!(first.judgments_collected > 0);
+        assert!(first.crowd_cost > 0.0);
+        assert_eq!(first.cache_hits, 0);
+
+        // Re-expanding pays the crowd nothing: every gold judgment is
+        // cached.
+        let second = db.expand_attribute("movies", "is_comedy").unwrap();
+        assert_eq!(second.judgments_collected, 0);
+        assert_eq!(second.items_crowd_sourced, 0);
+        assert_eq!(second.crowd_cost, 0.0);
+        assert_eq!(second.cache_hits, first.cache_misses);
+        assert!(second.cost_saved > 0.0);
+        assert!(second.stages.contains(&ExpansionStage::JudgmentsReused));
+        assert!(!second
+            .stages
+            .contains(&ExpansionStage::CrowdSourcingStarted));
+        // The two expansions agree (same judgments, same extractor input).
+        assert_eq!(first.rows_filled, second.rows_filled);
+
+        // Invalidation forces fresh judgments again.
+        db.invalidate_judgments("movies", "Comedy");
+        let third = db.expand_attribute("movies", "is_comedy").unwrap();
+        assert!(third.judgments_collected > 0);
+        assert_eq!(third.cache_hits, 0);
+    }
+
+    #[test]
+    fn per_attribute_strategy_overrides_replace_the_global_default() {
+        let d = domain();
+        let space = build_space_for_domain(&d, 8, 15).unwrap();
+        let crowd = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 5);
+        let mut db = CrowdDb::new(CrowdDbConfig {
+            strategy: ExpansionStrategy::PerceptualSpace {
+                gold_sample_size: 40,
+                extraction: Default::default(),
+            },
+            ..Default::default()
+        });
+        db.load_domain("movies", &d, space, Box::new(crowd))
+            .unwrap();
+        db.register_attribute("movies", "is_comedy", "Comedy")
+            .unwrap();
+        let second = d.category_names()[1].clone();
+        db.register_attribute_with_strategy(
+            "movies",
+            "is_other",
+            &second,
+            ExpansionStrategy::DirectCrowd,
+        )
+        .unwrap();
+
+        db.execute("SELECT name FROM movies WHERE is_comedy = true AND is_other = true")
+            .unwrap();
+        let strategies: Vec<&str> = db
+            .expansion_events()
+            .iter()
+            .map(|e| e.report.strategy.as_str())
+            .collect();
+        assert_eq!(
+            strategies,
+            vec!["perceptual-space extraction", "direct crowd-sourcing"]
+        );
+        // The direct attribute crowd-sourced every item, the perceptual one
+        // only its gold sample.
+        assert!(db.expansion_events()[1].report.items_crowd_sourced > 40);
+        assert!(db.expansion_events()[0].report.items_crowd_sourced <= 40);
+
+        // set_attribute_strategy validates registration.
+        assert!(db
+            .set_attribute_strategy("movies", "is_comedy", ExpansionStrategy::DirectCrowd)
+            .is_ok());
+        assert!(db
+            .set_attribute_strategy("movies", "unknown", ExpansionStrategy::DirectCrowd)
+            .is_err());
+        assert!(db
+            .set_attribute_strategy("nope", "is_comedy", ExpansionStrategy::DirectCrowd)
+            .is_err());
     }
 
     #[test]
     fn direct_crowd_strategy_leaves_unknown_items_null() {
         let d = domain();
         let mut db = db_with_domain(&d, ExpansionStrategy::DirectCrowd);
-        let result = db.execute("SELECT item_id FROM movies WHERE is_comedy = true").unwrap();
+        let result = db
+            .execute("SELECT item_id FROM movies WHERE is_comedy = true")
+            .unwrap();
         let event = &db.expansion_events()[0];
         assert_eq!(event.report.strategy, "direct crowd-sourcing");
         assert_eq!(event.report.training_set_size, 0);
@@ -555,7 +1193,8 @@ mod tests {
         let d = domain();
         let truth = d.labels_for_category(0);
         let accuracy_of = |db: &mut CrowdDb| {
-            db.execute("SELECT item_id FROM movies WHERE is_comedy = true").unwrap();
+            db.execute("SELECT item_id FROM movies WHERE is_comedy = true")
+                .unwrap();
             let table = db.catalog().table("movies").unwrap();
             let mut predicted = Vec::new();
             let mut actual = Vec::new();
@@ -600,6 +1239,11 @@ mod tests {
         let mut db = db_with_domain(&d, ExpansionStrategy::perceptual_default());
         let err = db.execute("SELECT * FROM movies WHERE excitement = true");
         assert!(matches!(err, Err(CrowdDbError::UnknownAttribute { .. })));
+        // A mix of expandable and non-expandable attributes is rejected
+        // before any crowd money is spent.
+        let err = db.execute("SELECT * FROM movies WHERE is_comedy = true AND excitement = true");
+        assert!(matches!(err, Err(CrowdDbError::UnknownAttribute { .. })));
+        assert!(db.expansion_events().is_empty());
         // Unknown tables and parse errors pass through.
         assert!(matches!(
             db.execute("SELECT * FROM restaurants"),
@@ -618,10 +1262,16 @@ mod tests {
         let crowd = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 5);
         let mut db = CrowdDb::new(CrowdDbConfig::default());
         // register_attribute before binding fails.
-        assert!(db.register_attribute("movies", "is_comedy", "Comedy").is_err());
+        assert!(db
+            .register_attribute("movies", "is_comedy", "Comedy")
+            .is_err());
         // bind_table requires the table to exist and contain the id column.
         assert!(db
-            .bind_table("movies", space.clone(), Box::new(SimulatedCrowd::new(&d, ExperimentRegime::AllWorkers, 1)))
+            .bind_table(
+                "movies",
+                space.clone(),
+                Box::new(SimulatedCrowd::new(&d, ExperimentRegime::AllWorkers, 1))
+            )
             .is_err());
         // Space size must match the domain.
         let small_space = PerceptualSpace::new(vec![vec![0.0, 0.0]; 3]).unwrap();
@@ -630,7 +1280,8 @@ mod tests {
             .is_err());
         // Proper load works and exposes the space.
         let crowd2 = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 5);
-        db.load_domain("movies", &d, space, Box::new(crowd2)).unwrap();
+        db.load_domain("movies", &d, space, Box::new(crowd2))
+            .unwrap();
         assert!(db.space_of("movies").is_some());
         assert!(db.space_of("other").is_none());
         assert_eq!(db.catalog().table("movies").unwrap().len(), d.items().len());
@@ -658,23 +1309,31 @@ mod tests {
         let mut table = Table::new("things", schema);
         for i in 0..n {
             table
-                .insert_row(vec![Value::Integer(i as i64), Value::Text(format!("thing {i}"))])
+                .insert_row(vec![
+                    Value::Integer(i as i64),
+                    Value::Text(format!("thing {i}")),
+                ])
                 .unwrap();
         }
         db.catalog_mut().create_table(table).unwrap();
         db.bind_table("things", space, Box::new(crowd)).unwrap();
 
         // Gold sample: every 10th item with its true humor value.
-        let gold: Vec<(ItemId, f64)> =
-            (0..n).step_by(10).map(|i| (i as u32, coords[i][0])).collect();
+        let gold: Vec<(ItemId, f64)> = (0..n)
+            .step_by(10)
+            .map(|i| (i as u32, coords[i][0]))
+            .collect();
         let report = db
             .expand_numeric_attribute("things", "humor", &gold, &Default::default())
             .unwrap();
         assert_eq!(report.rows_filled, n);
         assert_eq!(report.training_set_size, gold.len());
+        assert_eq!(report.items_unmapped, 0);
 
         // The paper's motivating query now runs against the filled column.
-        let result = db.execute("SELECT item_id FROM things WHERE humor >= 8").unwrap();
+        let result = db
+            .execute("SELECT item_id FROM things WHERE humor >= 8")
+            .unwrap();
         assert!(!result.rows.is_empty());
         // Returned items are genuinely the high-humor ones (first coordinate
         // >= ~8 means item index >= ~96); allow some regression slack.
@@ -685,7 +1344,187 @@ mod tests {
             }
         }
         // Unbound tables are rejected.
-        assert!(db.expand_numeric_attribute("movies", "humor", &gold, &Default::default()).is_err());
+        assert!(db
+            .expand_numeric_attribute("movies", "humor", &gold, &Default::default())
+            .is_err());
+    }
+
+    #[test]
+    fn non_contiguous_ids_are_routed_through_the_explicit_mapping() {
+        // Regression test for the dense-id assumption: the seed indexed
+        // predictions as `predicted[item as usize]` and silently dropped
+        // items beyond the space length.  Ids here are sparse and one lies
+        // far outside the 40-item space.
+        let coords: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64 / 4.0, (i % 5) as f64])
+            .collect();
+        let space = PerceptualSpace::new(coords.clone()).unwrap();
+        let d = domain();
+        let crowd = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 1);
+        let mut db = CrowdDb::new(CrowdDbConfig::default());
+        let schema = Schema::new(vec![Column::not_null("item_id", DataType::Integer)]).unwrap();
+        let mut table = Table::new("things", schema);
+        let sparse_ids: Vec<i64> = vec![1, 7, 13, 22, 38, 9000];
+        for &id in &sparse_ids {
+            table.insert_row(vec![Value::Integer(id)]).unwrap();
+        }
+        db.catalog_mut().create_table(table).unwrap();
+        db.bind_table("things", space, Box::new(crowd)).unwrap();
+
+        let gold: Vec<(ItemId, f64)> = vec![(0, 0.0), (10, 2.5), (20, 5.0), (39, 9.75)];
+        let report = db
+            .expand_numeric_attribute("things", "score", &gold, &Default::default())
+            .unwrap();
+        // The five in-space items are filled; id 9000 is reported, not
+        // silently dropped.
+        assert_eq!(report.rows_filled, 5);
+        assert_eq!(report.rows_unfilled, 1);
+        assert_eq!(report.items_unmapped, 1);
+
+        // Every filled value matches its own item id's position in the
+        // space, not its row number.
+        let table = db.catalog().table("things").unwrap();
+        let score_idx = table.schema().index_of("score").unwrap();
+        let id_idx = table.schema().index_of("item_id").unwrap();
+        let mut checked = 0;
+        for row in table.rows() {
+            let (id, score) = match (&row[id_idx], &row[score_idx]) {
+                (Value::Integer(id), Value::Float(score)) => (*id, *score),
+                (Value::Integer(9000), Value::Null) => continue,
+                other => panic!("unexpected row {other:?}"),
+            };
+            // The ground truth is the first coordinate = id / 4.
+            assert!(
+                (score - id as f64 / 4.0).abs() < 1.5,
+                "item {id}: predicted {score}, truth {}",
+                id as f64 / 4.0
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, 5);
+    }
+
+    #[test]
+    fn repair_attribute_refreshes_column_and_cache() {
+        // A noisy direct-crowd expansion, then the Section 4.4 repair loop.
+        let d = domain();
+        let space = build_space_for_domain(&d, 8, 15).unwrap();
+        let crowd = SimulatedCrowd::new(&d, ExperimentRegime::AllWorkers, 3);
+        let mut db = CrowdDb::new(CrowdDbConfig {
+            strategy: ExpansionStrategy::DirectCrowd,
+            ..Default::default()
+        });
+        db.load_domain("movies", &d, space, Box::new(crowd))
+            .unwrap();
+        db.register_attribute("movies", "is_comedy", "Comedy")
+            .unwrap();
+
+        // Repair before expansion is rejected.
+        assert!(db
+            .repair_attribute("movies", "is_comedy", &Default::default())
+            .is_err());
+
+        db.execute("SELECT item_id FROM movies WHERE is_comedy = true")
+            .unwrap();
+        let outcome = db
+            .repair_attribute("movies", "is_comedy", &Default::default())
+            .unwrap();
+        assert!(
+            !outcome.flagged.is_empty(),
+            "a spam-heavy column should get flags"
+        );
+        assert!(outcome.repair_cost > 0.0);
+
+        // The column now carries the repaired labels for flagged items, and
+        // the cache holds the repaired verdicts for future expansions.
+        let table = db.catalog().table("movies").unwrap();
+        let col = table.schema().index_of("is_comedy").unwrap();
+        let id = table.schema().index_of("item_id").unwrap();
+        for row in table.rows() {
+            let item = match row[id] {
+                Value::Integer(i) => i as u32,
+                _ => continue,
+            };
+            if outcome.flagged.contains(&item) {
+                assert_eq!(
+                    row[col],
+                    Value::Boolean(outcome.labels[item as usize]),
+                    "flagged item {item} must carry its repaired label"
+                );
+                let cached = db.judgment_cache().peek("movies", "Comedy", item).unwrap();
+                assert_eq!(cached.verdict, Some(outcome.labels[item as usize]));
+            }
+        }
+
+        // Unknown columns and unbound tables are rejected.
+        assert!(db
+            .repair_attribute("movies", "mystery", &Default::default())
+            .is_err());
+        assert!(db
+            .repair_attribute("books", "is_comedy", &Default::default())
+            .is_err());
+
+        // After rows are deleted, a repair round never pays for row-less
+        // items: every flagged item still exists in the table.
+        db.execute("DELETE FROM movies WHERE year < 1970").unwrap();
+        let remaining: std::collections::HashSet<u32> = db
+            .catalog()
+            .table("movies")
+            .unwrap()
+            .rows()
+            .iter()
+            .filter_map(|r| match r[0] {
+                Value::Integer(i) => Some(i as u32),
+                _ => None,
+            })
+            .collect();
+        assert!(remaining.len() < d.items().len(), "the DELETE removed rows");
+        let outcome = db
+            .repair_attribute("movies", "is_comedy", &Default::default())
+            .unwrap();
+        assert!(
+            outcome.flagged.iter().all(|i| remaining.contains(i)),
+            "no crowd money spent on deleted rows"
+        );
+    }
+
+    #[test]
+    fn gold_sample_skips_items_outside_the_space() {
+        // A sparse table whose ids exceed the space: the planner must never
+        // pick an out-of-space item for extractor training (the crowd would
+        // be paid for a judgment the trainer cannot use).
+        let coords: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 1.0]).collect();
+        let space = PerceptualSpace::new(coords).unwrap();
+        let d = domain();
+        let crowd = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 1);
+        let mut db = CrowdDb::new(CrowdDbConfig {
+            strategy: ExpansionStrategy::PerceptualSpace {
+                gold_sample_size: 10,
+                extraction: Default::default(),
+            },
+            ..Default::default()
+        });
+        let schema = Schema::new(vec![Column::not_null("item_id", DataType::Integer)]).unwrap();
+        let mut table = Table::new("things", schema);
+        for id in [0i64, 3, 7, 11, 15, 19, 500, 900] {
+            table.insert_row(vec![Value::Integer(id)]).unwrap();
+        }
+        db.catalog_mut().create_table(table).unwrap();
+        db.bind_table("things", space, Box::new(crowd)).unwrap();
+        db.register_attribute("things", "is_comedy", "Comedy")
+            .unwrap();
+
+        // The expansion must succeed — an out-of-space gold item would make
+        // feature extraction fail after the crowd round.
+        let report = db.expand_attribute("things", "is_comedy").unwrap();
+        assert!(report.training_set_size > 0);
+        assert!(
+            report.items_crowd_sourced <= 6,
+            "only the 6 in-space items qualify"
+        );
+        // The two out-of-space rows are reported, not silently dropped.
+        assert_eq!(report.items_unmapped, 2);
+        assert_eq!(report.rows_unfilled, 2);
     }
 
     #[test]

@@ -48,11 +48,17 @@ impl Default for ExpansionStrategy {
     }
 }
 
-/// One stage of the expansion workflow (Figure 2 of the paper).
+/// One stage of the expansion workflow (Figure 2 of the paper, extended
+/// with the planning and caching stages of the batched pipeline).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExpansionStage {
     /// The query referenced an attribute missing from the schema.
     MissingAttributeDetected,
+    /// The missing-attribute set was turned into an expansion plan (one
+    /// planning round covers every missing attribute of the statement).
+    ExpansionPlanned,
+    /// Cached judgments were reused instead of re-paying the crowd.
+    JudgmentsReused,
     /// The column was added to the table schema.
     ColumnAdded,
     /// HITs were dispatched to the crowd.
@@ -88,12 +94,28 @@ pub struct ExpansionReport {
     pub rows_filled: usize,
     /// Number of rows left `NULL` (no majority and no extractor available).
     pub rows_unfilled: usize,
-    /// Simulated crowd cost in dollars.
+    /// Simulated crowd cost in dollars attributable to this attribute.
+    /// Attributes acquired in one batched round split the round's cost, so
+    /// summing `crowd_cost` across a plan's reports gives the round total.
     pub crowd_cost: f64,
-    /// Simulated crowd wall-clock minutes.
+    /// Wall-clock minutes of the crowd round this attribute was acquired
+    /// in.  Attributes expanded in one batched round **share** the round,
+    /// so summing `crowd_minutes` across their reports double-counts time —
+    /// take the maximum instead (0 when served entirely from the cache).
     pub crowd_minutes: f64,
     /// Size of the extractor training set (0 for direct crowd-sourcing).
     pub training_set_size: usize,
+    /// Items whose judgment came from the [`crate::JudgmentCache`] instead
+    /// of a fresh crowd round.
+    pub cache_hits: usize,
+    /// Items that had to be sent to the crowd.
+    pub cache_misses: usize,
+    /// Dollars saved by cache hits (the cost originally paid for the reused
+    /// judgments).
+    pub cost_saved: f64,
+    /// Items whose id has no coordinates in the perceptual space (reported
+    /// explicitly instead of being silently dropped).
+    pub items_unmapped: usize,
 }
 
 impl ExpansionReport {
@@ -113,10 +135,15 @@ mod tests {
 
     #[test]
     fn strategy_names_and_defaults() {
-        assert_eq!(ExpansionStrategy::DirectCrowd.name(), "direct crowd-sourcing");
+        assert_eq!(
+            ExpansionStrategy::DirectCrowd.name(),
+            "direct crowd-sourcing"
+        );
         let default = ExpansionStrategy::default();
         match &default {
-            ExpansionStrategy::PerceptualSpace { gold_sample_size, .. } => {
+            ExpansionStrategy::PerceptualSpace {
+                gold_sample_size, ..
+            } => {
                 assert_eq!(*gold_sample_size, 100);
             }
             other => panic!("unexpected default {other:?}"),
@@ -139,6 +166,10 @@ mod tests {
             crowd_cost: 2.0,
             crowd_minutes: 15.0,
             training_set_size: 80,
+            cache_hits: 0,
+            cache_misses: 100,
+            cost_saved: 0.0,
+            items_unmapped: 0,
         };
         assert!((report.coverage() - 0.9).abs() < 1e-12);
         let empty = ExpansionReport {

@@ -65,8 +65,14 @@ impl ExtractionConfig {
                 count += 1;
             }
         }
-        let mean_sq = if count == 0 { 1.0 } else { (total / count as f64).max(1e-9) };
-        Kernel::Rbf { gamma: 1.0 / mean_sq }
+        let mean_sq = if count == 0 {
+            1.0
+        } else {
+            (total / count as f64).max(1e-9)
+        };
+        Kernel::Rbf {
+            gamma: 1.0 / mean_sq,
+        }
     }
 }
 
@@ -169,7 +175,11 @@ mod tests {
         let predicted =
             extract_binary_attribute(&space, &labeled, &ExtractionConfig::default()).unwrap();
         assert_eq!(predicted.len(), 200);
-        let correct = predicted.iter().zip(truth.iter()).filter(|(a, b)| a == b).count();
+        let correct = predicted
+            .iter()
+            .zip(truth.iter())
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(correct >= 190, "only {correct}/200 correct");
     }
 
@@ -181,8 +191,10 @@ mod tests {
             .map(|i| vec![i as f64 / 15.0, ((i * 7) % 13) as f64 / 13.0])
             .collect();
         let space = PerceptualSpace::new(coords.clone()).unwrap();
-        let labeled: Vec<(ItemId, f64)> =
-            (0..150).step_by(10).map(|i| (i as u32, coords[i][0])).collect();
+        let labeled: Vec<(ItemId, f64)> = (0..150)
+            .step_by(10)
+            .map(|i| (i as u32, coords[i][0]))
+            .collect();
         let predicted =
             extract_numeric_attribute(&space, &labeled, &ExtractionConfig::default()).unwrap();
         assert_eq!(predicted.len(), 150);
@@ -221,7 +233,11 @@ mod tests {
         let predicted = extract_binary_attribute(&space, &labeled, &config).unwrap();
         assert_eq!(predicted.len(), 40);
         // Training data itself must be classified almost perfectly.
-        let correct = predicted.iter().enumerate().filter(|(i, &p)| p == (*i >= 20)).count();
+        let correct = predicted
+            .iter()
+            .enumerate()
+            .filter(|(i, &p)| p == (*i >= 20))
+            .count();
         assert!(correct >= 38);
     }
 

@@ -4,21 +4,39 @@
 //! (Sections 2–4): a relational database that can answer queries over
 //! **perceptual attributes that are not part of the schema yet**.
 //!
-//! When a query references an unknown column (e.g.
-//! `SELECT * FROM movies WHERE is_comedy = true`), the database
+//! When a query references unknown columns (e.g.
+//! `SELECT * FROM movies WHERE is_comedy = true AND is_horror = false`),
+//! the database runs the **plan → acquire → materialize** pipeline:
 //!
-//! 1. detects the missing attribute (the relational executor reports
-//!    [`relational::RelationalError::UnknownColumn`]),
-//! 2. adds the column to the schema (`ALTER TABLE … ADD COLUMN` semantics),
-//! 3. obtains values for it using one of two [`ExpansionStrategy`]s:
-//!    * **direct crowd-sourcing** — every item is judged by several crowd
-//!      workers and the majority vote is stored (the baseline of
-//!      Section 4.1), or
-//!    * **perceptual-space extraction** — only a small *gold sample* is
-//!      crowd-sourced; an SVM trained on the items' coordinates in a
-//!      [`perceptual::PerceptualSpace`] extrapolates the attribute to every
-//!      item (Sections 3.4 and 4.2–4.3),
-//! 4. re-executes the original query against the now-complete column.
+//! 1. **analyze** — a static pass over the parsed statement
+//!    ([`relational::executor::analyze`]) reports *all* missing columns at
+//!    once, so a query touching N perceptual attributes triggers one
+//!    planning round, not N parse/execute/fail cycles,
+//! 2. **plan** — the [`planner`] deduplicates the missing attributes,
+//!    resolves each one's [`ExpansionStrategy`] (per-attribute overrides
+//!    fall back to the database default), draws **one** shared gold sample
+//!    per table, and builds the explicit item-id → row mapping that all
+//!    later stages route values through,
+//! 3. **acquire** — the [`JudgmentCache`] answers everything the crowd has
+//!    already been paid for (keyed by `(table, attribute, item)`, with
+//!    hit/miss/cost-saved counters surfaced on [`ExpansionReport`]); the
+//!    remainder goes out as **one** batched crowd round
+//!    ([`CrowdSource::collect_batch`]) whose HITs mix questions about all
+//!    attributes, and fresh majority verdicts are written back to the
+//!    cache,
+//! 4. **materialize** — per attribute, either the verdicts are stored
+//!    directly (**direct crowd-sourcing**, the Section 4.1 baseline) or an
+//!    SVM trained on the gold verdicts' coordinates in a
+//!    [`perceptual::PerceptualSpace`] extrapolates the attribute to every
+//!    item (**perceptual-space extraction**, Sections 3.4 and 4.2–4.3);
+//!    the columns are filled through the id → row mapping,
+//! 5. the original query then executes exactly **once** against the
+//!    completed schema.
+//!
+//! Re-executing a query whose attributes are already materialized touches
+//! neither the planner nor the crowd; forcing a re-expansion
+//! ([`CrowdDb::expand_attribute`] on an existing column) reuses the cached
+//! judgments at zero crowd cost.
 //!
 //! Additional capabilities reproduce the rest of the evaluation:
 //!
@@ -55,21 +73,26 @@
 
 pub mod audit;
 pub mod boost;
+pub mod cache;
 pub mod crowd_source;
 pub mod db;
 pub mod error;
 pub mod expansion;
 pub mod extraction;
+mod materialize;
+pub mod planner;
 pub mod repair;
 
 pub use audit::{audit_binary_labels, AuditOutcome};
 pub use boost::{evaluate_boost_over_time, BoostCheckpoint, BoostCurve};
-pub use crowd_source::{CrowdSource, SimulatedCrowd};
+pub use cache::{CacheStats, CachedJudgment, JudgmentCache};
+pub use crowd_source::{AttributeRequest, CrowdSource, SimulatedCrowd};
 pub use db::{build_space_for_domain, CrowdDb, CrowdDbConfig, ExpansionEvent};
 pub use error::CrowdDbError;
 pub use expansion::{ExpansionReport, ExpansionStrategy};
-pub use repair::{repair_labels, RepairOutcome};
 pub use extraction::{extract_binary_attribute, extract_numeric_attribute, ExtractionConfig};
+pub use planner::{ExpansionPlan, PlannedAttribute};
+pub use repair::{repair_labels, repair_labels_among, RepairOutcome};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CrowdDbError>;

@@ -1,0 +1,139 @@
+//! The materialize stage: writing acquired attribute values into relational
+//! columns through the planner's explicit id → row mapping.
+
+use std::collections::HashMap;
+
+use perceptual::ItemId;
+use relational::{Column, DataType, Table, Value};
+
+use crate::Result;
+
+/// The outcome of materializing one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MaterializeOutcome {
+    /// Rows that received a value.
+    pub rows_filled: usize,
+    /// Rows left `NULL` (no verdict, or the item is not mapped).
+    pub rows_unfilled: usize,
+}
+
+/// Adds `column` to `table` (if not already present — a forced re-expansion
+/// overwrites in place) and fills it with `values` routed through the
+/// explicit `(row, item)` mapping.
+///
+/// Rows sharing an item id all receive its value; rows whose item has no
+/// value stay `NULL` and are counted, never silently skipped.
+pub(crate) fn materialize_column(
+    table: &mut Table,
+    column: &str,
+    data_type: DataType,
+    values: &HashMap<ItemId, Value>,
+    rows: &[(usize, ItemId)],
+) -> Result<MaterializeOutcome> {
+    let existed = table.schema().contains(column);
+    if !existed {
+        table.add_column(Column::new(column, data_type), None)?;
+    }
+    let mut rows_filled = 0;
+    for (row, item) in rows {
+        match values.get(item) {
+            Some(value) => {
+                table.set_value(*row, column, value.clone())?;
+                rows_filled += 1;
+            }
+            // A re-materialization must not leave a stale value from the
+            // previous round in a row this round could not decide.
+            None if existed => table.set_value(*row, column, Value::Null)?,
+            None => {}
+        }
+    }
+    Ok(MaterializeOutcome {
+        rows_filled,
+        rows_unfilled: rows.len() - rows_filled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::Schema;
+
+    fn table_with_ids(ids: &[i64]) -> Table {
+        let schema = Schema::new(vec![Column::not_null("item_id", DataType::Integer)]).unwrap();
+        let mut table = Table::new("t", schema);
+        for &id in ids {
+            table.insert_row(vec![Value::Integer(id)]).unwrap();
+        }
+        table
+    }
+
+    #[test]
+    fn fills_through_the_mapping_and_counts_gaps() {
+        let mut table = table_with_ids(&[5, 17, 99]);
+        let rows: Vec<(usize, ItemId)> = vec![(0, 5), (1, 17), (2, 99)];
+        let values: HashMap<ItemId, Value> =
+            [(5, Value::Boolean(true)), (99, Value::Boolean(false))]
+                .into_iter()
+                .collect();
+        let outcome =
+            materialize_column(&mut table, "flag", DataType::Boolean, &values, &rows).unwrap();
+        assert_eq!(outcome.rows_filled, 2);
+        assert_eq!(outcome.rows_unfilled, 1);
+        let idx = table.schema().index_of("flag").unwrap();
+        assert_eq!(table.rows()[0][idx], Value::Boolean(true));
+        assert_eq!(table.rows()[1][idx], Value::Null);
+        assert_eq!(table.rows()[2][idx], Value::Boolean(false));
+    }
+
+    #[test]
+    fn duplicated_item_ids_fill_every_row() {
+        let mut table = table_with_ids(&[7, 7, 8]);
+        let rows: Vec<(usize, ItemId)> = vec![(0, 7), (1, 7), (2, 8)];
+        let values: HashMap<ItemId, Value> = [(7, Value::Boolean(true))].into_iter().collect();
+        let outcome =
+            materialize_column(&mut table, "flag", DataType::Boolean, &values, &rows).unwrap();
+        assert_eq!(outcome.rows_filled, 2, "both rows with item 7 are filled");
+        assert_eq!(outcome.rows_unfilled, 1);
+        let idx = table.schema().index_of("flag").unwrap();
+        assert_eq!(table.rows()[0][idx], Value::Boolean(true));
+        assert_eq!(table.rows()[1][idx], Value::Boolean(true));
+        assert_eq!(table.rows()[2][idx], Value::Null);
+    }
+
+    #[test]
+    fn re_materializing_overwrites_in_place() {
+        let mut table = table_with_ids(&[1, 2]);
+        let rows: Vec<(usize, ItemId)> = vec![(0, 1), (1, 2)];
+        let first: HashMap<ItemId, Value> = [(1, Value::Boolean(true))].into_iter().collect();
+        materialize_column(&mut table, "flag", DataType::Boolean, &first, &rows).unwrap();
+        let second: HashMap<ItemId, Value> =
+            [(1, Value::Boolean(false)), (2, Value::Boolean(true))]
+                .into_iter()
+                .collect();
+        let outcome =
+            materialize_column(&mut table, "flag", DataType::Boolean, &second, &rows).unwrap();
+        assert_eq!(outcome.rows_filled, 2);
+        // Still exactly one `flag` column.
+        assert_eq!(
+            table
+                .schema()
+                .column_names()
+                .iter()
+                .filter(|n| *n == "flag")
+                .count(),
+            1
+        );
+        let idx = table.schema().index_of("flag").unwrap();
+        assert_eq!(table.rows()[0][idx], Value::Boolean(false));
+
+        // A round that cannot decide item 1 clears its stale value instead
+        // of leaving the previous round's answer in place.
+        let third: HashMap<ItemId, Value> = [(2, Value::Boolean(false))].into_iter().collect();
+        let outcome =
+            materialize_column(&mut table, "flag", DataType::Boolean, &third, &rows).unwrap();
+        assert_eq!(outcome.rows_filled, 1);
+        assert_eq!(outcome.rows_unfilled, 1);
+        assert_eq!(table.rows()[0][idx], Value::Null, "stale value cleared");
+        assert_eq!(table.rows()[1][idx], Value::Boolean(false));
+    }
+}

@@ -57,6 +57,27 @@ pub fn repair_labels<C: CrowdSource + ?Sized>(
     extraction: &ExtractionConfig,
     seed: u64,
 ) -> Result<RepairOutcome> {
+    let all: Vec<ItemId> = (0..labels.len() as ItemId).collect();
+    repair_labels_among(space, labels, &all, crowd, attribute, extraction, seed)
+}
+
+/// Like [`repair_labels`], but only items listed in `eligible` may be
+/// flagged and re-crowd-sourced.
+///
+/// Used when the labeling spans a perceptual space whose items are not all
+/// present in the data being repaired (e.g. rows were deleted after the
+/// expansion): paying the crowd to re-judge an item no query can ever
+/// return would be money wasted on unreachable data.
+#[allow(clippy::too_many_arguments)]
+pub fn repair_labels_among<C: CrowdSource + ?Sized>(
+    space: &PerceptualSpace,
+    labels: &[bool],
+    eligible: &[ItemId],
+    crowd: &mut C,
+    attribute: &str,
+    extraction: &ExtractionConfig,
+    seed: u64,
+) -> Result<RepairOutcome> {
     if labels.len() != space.len() {
         return Err(CrowdDbError::Configuration(format!(
             "{} labels given but the space contains {} items",
@@ -64,7 +85,9 @@ pub fn repair_labels<C: CrowdSource + ?Sized>(
             space.len()
         )));
     }
-    let audit = audit_binary_labels(space, labels, extraction)?;
+    let eligible: std::collections::HashSet<ItemId> = eligible.iter().copied().collect();
+    let mut audit = audit_binary_labels(space, labels, extraction)?;
+    audit.flagged.retain(|item| eligible.contains(item));
     let mut repaired = labels.to_vec();
     if audit.flagged.is_empty() {
         return Ok(RepairOutcome {
@@ -109,8 +132,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (SyntheticDomain, PerceptualSpace) {
-        let domain =
-            SyntheticDomain::generate(&DomainConfig::movies().scaled(0.1), 77).unwrap();
+        let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.1), 77).unwrap();
         let space = crate::db::build_space_for_domain(&domain, 12, 20).unwrap();
         (domain, space)
     }
@@ -134,7 +156,11 @@ mod tests {
         let truth = domain.labels_for_category(0);
         let (corrupted, _) = corrupt(&truth, 0.15, 1);
         let accuracy = |labels: &[bool]| {
-            labels.iter().zip(truth.iter()).filter(|(a, b)| a == b).count() as f64
+            labels
+                .iter()
+                .zip(truth.iter())
+                .filter(|(a, b)| a == b)
+                .count() as f64
                 / truth.len() as f64
         };
         let before = accuracy(&corrupted);

@@ -163,11 +163,19 @@ mod tests {
         assert_eq!(t.total(), 4);
         assert_eq!(t.verdict(), Some(true));
 
-        let tie = VoteTally { positive: 2, negative: 2, unknown: 1 };
+        let tie = VoteTally {
+            positive: 2,
+            negative: 2,
+            unknown: 1,
+        };
         assert_eq!(tie.verdict(), None);
         let empty = VoteTally::default();
         assert_eq!(empty.verdict(), None);
-        let negative = VoteTally { positive: 1, negative: 3, unknown: 0 };
+        let negative = VoteTally {
+            positive: 1,
+            negative: 3,
+            unknown: 0,
+        };
         assert_eq!(negative.verdict(), Some(false));
     }
 

@@ -29,7 +29,11 @@ mod tests {
 
     #[test]
     fn display_contains_message() {
-        assert!(CrowdError::InvalidConfig("no items".into()).to_string().contains("no items"));
-        assert!(CrowdError::UnknownId("worker 7".into()).to_string().contains("worker 7"));
+        assert!(CrowdError::InvalidConfig("no items".into())
+            .to_string()
+            .contains("no items"));
+        assert!(CrowdError::UnknownId("worker 7".into())
+            .to_string()
+            .contains("worker 7"));
     }
 }

@@ -102,13 +102,19 @@ impl HitConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.items_per_hit == 0 {
-            return Err(CrowdError::InvalidConfig("items_per_hit must be >= 1".into()));
+            return Err(CrowdError::InvalidConfig(
+                "items_per_hit must be >= 1".into(),
+            ));
         }
         if self.judgments_per_item == 0 {
-            return Err(CrowdError::InvalidConfig("judgments_per_item must be >= 1".into()));
+            return Err(CrowdError::InvalidConfig(
+                "judgments_per_item must be >= 1".into(),
+            ));
         }
         if self.payment_per_hit < 0.0 {
-            return Err(CrowdError::InvalidConfig("payment_per_hit must be non-negative".into()));
+            return Err(CrowdError::InvalidConfig(
+                "payment_per_hit must be non-negative".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.gold_exclusion_accuracy) {
             return Err(CrowdError::InvalidConfig(
@@ -146,7 +152,7 @@ impl HitConfig {
     pub fn total_cost(&self, n_items: usize) -> f64 {
         let total_items = n_items + self.gold_questions;
         let judgments = total_items * self.judgments_per_item;
-        let hits = (judgments + self.items_per_hit - 1) / self.items_per_hit;
+        let hits = judgments.div_ceil(self.items_per_hit);
         hits as f64 * self.payment_per_hit
     }
 }
@@ -157,8 +163,14 @@ mod tests {
 
     #[test]
     fn response_conversions() {
-        assert_eq!(JudgmentResponse::from_bool(true), JudgmentResponse::Positive);
-        assert_eq!(JudgmentResponse::from_bool(false), JudgmentResponse::Negative);
+        assert_eq!(
+            JudgmentResponse::from_bool(true),
+            JudgmentResponse::Positive
+        );
+        assert_eq!(
+            JudgmentResponse::from_bool(false),
+            JudgmentResponse::Negative
+        );
         assert_eq!(JudgmentResponse::Positive.as_bool(), Some(true));
         assert_eq!(JudgmentResponse::Negative.as_bool(), Some(false));
         assert_eq!(JudgmentResponse::Unknown.as_bool(), None);
@@ -185,12 +197,30 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        assert!(HitConfig { items_per_hit: 0, ..Default::default() }.validate().is_err());
-        assert!(HitConfig { judgments_per_item: 0, ..Default::default() }.validate().is_err());
-        assert!(HitConfig { payment_per_hit: -0.1, ..Default::default() }.validate().is_err());
-        assert!(HitConfig { gold_exclusion_accuracy: 1.5, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(HitConfig {
+            items_per_hit: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HitConfig {
+            judgments_per_item: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HitConfig {
+            payment_per_hit: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HitConfig {
+            gold_exclusion_accuracy: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use aggregate::{majority_vote, ItemVerdict, VoteTally};
 pub use error::CrowdError;
 pub use hit::{HitConfig, Judgment, JudgmentResponse};
 pub use oracle::{ConstantOracle, FnOracle, LabelOracle};
-pub use platform::{CrowdPlatform, CrowdRun};
+pub use platform::{BatchCrowdRun, BatchQuestion, CrowdPlatform, CrowdRun};
 pub use regimes::{ExperimentRegime, RegimeOutcome};
 pub use worker::{Worker, WorkerKind, WorkerPool, WorkerProfile};
 

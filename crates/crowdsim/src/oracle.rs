@@ -126,7 +126,7 @@ mod tests {
             label: true,
             familiarity: 1.0,
         };
-        assert!(takes_oracle(&o));
+        assert!(takes_oracle(o));
         assert!(takes_oracle(o));
     }
 }

@@ -54,7 +54,11 @@ impl CrowdRun {
 
     /// Judgments available up to (and including) a point in time.
     pub fn judgments_until(&self, minutes: f64) -> Vec<Judgment> {
-        self.judgments.iter().filter(|j| j.minutes <= minutes).copied().collect()
+        self.judgments
+            .iter()
+            .filter(|j| j.minutes <= minutes)
+            .copied()
+            .collect()
     }
 
     /// Judgments available within a spending budget (dollars).
@@ -64,6 +68,74 @@ impl CrowdRun {
             .filter(|j| j.cumulative_cost <= dollars + 1e-9)
             .copied()
             .collect()
+    }
+}
+
+/// One question of a batched crowd round: collect judgments about
+/// `attribute` for every item in `items`.
+#[derive(Debug, Clone)]
+pub struct BatchQuestion {
+    /// The attribute (domain concept) the workers are asked about.  Carried
+    /// for bookkeeping; the oracle provides the ground truth.
+    pub attribute: String,
+    /// The items to judge.
+    pub items: Vec<ItemId>,
+}
+
+/// The outcome of one batched crowd round serving several questions.
+///
+/// Time, money, and worker-exclusion accounting are shared across the whole
+/// round — that is the point of batching: one dispatch, one payment stream,
+/// one quality-control pass.
+#[derive(Debug, Clone)]
+pub struct BatchCrowdRun {
+    /// Judgments per question, parallel to the `questions` passed to
+    /// [`CrowdPlatform::run_batch`].  Item ids are the caller's original
+    /// ids; gold-question judgments are excluded.
+    pub question_judgments: Vec<Vec<Judgment>>,
+    /// Wall-clock minutes until the last HIT of the round finished.
+    pub total_minutes: f64,
+    /// Total money spent on the round in dollars.
+    pub total_cost: f64,
+    /// Workers excluded by the gold-question quality control.
+    pub excluded_workers: Vec<WorkerId>,
+    /// Number of HITs completed in the round.
+    pub hits_completed: usize,
+}
+
+impl BatchCrowdRun {
+    /// Total number of payload judgments across all questions.
+    pub fn total_judgments(&self) -> usize {
+        self.question_judgments.iter().map(Vec::len).sum()
+    }
+
+    /// The cost share attributable to one question, proportional to its
+    /// item count (a question with more items consumed more HIT slots).
+    pub fn question_cost(&self, question: usize) -> f64 {
+        let total_items: usize = self.question_judgments.iter().map(Vec::len).sum();
+        if total_items == 0 {
+            return 0.0;
+        }
+        self.total_cost * self.question_judgments[question].len() as f64 / total_items as f64
+    }
+}
+
+/// Dispatches slot-encoded items of a batched round to per-question oracles.
+struct SlotOracle<'a> {
+    /// Maps a slot id to `(question index, original item id)`.
+    slots: &'a [(usize, ItemId)],
+    oracles: &'a [&'a dyn LabelOracle],
+}
+
+impl LabelOracle for SlotOracle<'_> {
+    fn true_label(&self, slot: ItemId) -> bool {
+        let (question, item) = self.slots[slot as usize];
+        self.oracles[question].true_label(item)
+    }
+
+    fn familiarity(&self, slot: ItemId) -> f64 {
+        let (question, item) = self.slots[slot as usize];
+        self.oracles[question].familiarity(item)
     }
 }
 
@@ -129,6 +201,28 @@ impl CrowdPlatform {
         pool: &WorkerPool,
         seed: u64,
     ) -> Result<CrowdRun> {
+        self.run_inner(items, oracle, pool, seed, None)
+    }
+
+    /// The shared simulation loop behind [`run`] and [`run_batch`].
+    ///
+    /// `noise_id_of` translates a payload item id to the id used for the
+    /// stable per-item difficulty noise ([`item_noise`]): batched rounds
+    /// encode `(question, item)` pairs as dense slot ids, and without the
+    /// translation an item's ambiguity would depend on its batch position
+    /// instead of the item itself, making batched and sequential dispatch
+    /// statistically different.
+    ///
+    /// [`run`]: CrowdPlatform::run
+    /// [`run_batch`]: CrowdPlatform::run_batch
+    fn run_inner(
+        &self,
+        items: &[ItemId],
+        oracle: &dyn LabelOracle,
+        pool: &WorkerPool,
+        seed: u64,
+        noise_id_of: Option<&dyn Fn(ItemId) -> ItemId>,
+    ) -> Result<CrowdRun> {
         self.config.validate()?;
         if items.is_empty() {
             return Err(CrowdError::InvalidConfig("no payload items given".into()));
@@ -173,8 +267,7 @@ impl CrowdPlatform {
         let mut queue: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
 
         // Stagger the workers' start slightly so judgments trickle in.
-        let mut start_offsets: Vec<f64> =
-            workers.iter().map(|_| rng.gen::<f64>() * 2.0).collect();
+        let mut start_offsets: Vec<f64> = workers.iter().map(|_| rng.gen::<f64>() * 2.0).collect();
         start_offsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
 
         // Initially dispatch one HIT per worker.
@@ -205,10 +298,21 @@ impl CrowdPlatform {
                 } else {
                     oracle.true_label(item)
                 };
-                let familiarity = if is_gold { 0.9 } else { oracle.familiarity(item) };
+                let familiarity = if is_gold {
+                    0.9
+                } else {
+                    oracle.familiarity(item)
+                };
+                // Per-item difficulty noise keys on the caller's real item
+                // id, never on a batch slot (gold ids are synthetic either
+                // way and stay untranslated).
+                let noise_item = match (is_gold, noise_id_of) {
+                    (false, Some(translate)) => translate(item),
+                    _ => item,
+                };
                 let response = simulate_response(
                     worker,
-                    item,
+                    noise_item,
                     truth,
                     familiarity,
                     self.config.allow_unknown,
@@ -258,11 +362,16 @@ impl CrowdPlatform {
             }
         }
 
-        judgments.sort_by(|a, b| a.minutes.partial_cmp(&b.minutes).unwrap_or(std::cmp::Ordering::Equal));
+        judgments.sort_by(|a, b| {
+            a.minutes
+                .partial_cmp(&b.minutes)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let excluded_workers: Vec<WorkerId> = excluded
             .iter()
             .enumerate()
-            .filter_map(|(i, &e)| e.then(|| workers[i].id))
+            .filter(|(_, &e)| e)
+            .map(|(i, _)| workers[i].id)
             .collect();
 
         Ok(CrowdRun {
@@ -271,6 +380,72 @@ impl CrowdPlatform {
             total_cost,
             excluded_workers,
             hits_completed,
+        })
+    }
+
+    /// Runs **one** crowd round that serves several questions at once.
+    ///
+    /// Every `(question, item)` pair becomes one slot of the round; slots
+    /// from different questions are shuffled together into multi-question
+    /// HITs, so a single worker sitting produces judgments for several
+    /// attributes.  This is what makes planned schema expansion cheaper than
+    /// per-attribute dispatch: a query touching N missing attributes pays
+    /// one round of HIT overhead, not N.
+    ///
+    /// `questions` and `oracles` are parallel slices; the returned
+    /// [`BatchCrowdRun`] demultiplexes the judgments back per question with
+    /// the caller's original item ids.
+    pub fn run_batch(
+        &self,
+        questions: &[BatchQuestion],
+        oracles: &[&dyn LabelOracle],
+        pool: &WorkerPool,
+        seed: u64,
+    ) -> Result<BatchCrowdRun> {
+        if questions.len() != oracles.len() {
+            return Err(CrowdError::InvalidConfig(format!(
+                "{} questions but {} oracles",
+                questions.len(),
+                oracles.len()
+            )));
+        }
+        if questions.is_empty() {
+            return Err(CrowdError::InvalidConfig("no questions given".into()));
+        }
+        // Encode every (question, item) pair as one dense slot id.
+        let slots: Vec<(usize, ItemId)> = questions
+            .iter()
+            .enumerate()
+            .flat_map(|(q, question)| question.items.iter().map(move |&item| (q, item)))
+            .collect();
+        if slots.is_empty() {
+            return Err(CrowdError::InvalidConfig(
+                "the batch contains no items to judge".into(),
+            ));
+        }
+        let slot_ids: Vec<ItemId> = (0..slots.len() as u32).collect();
+        let oracle = SlotOracle {
+            slots: &slots,
+            oracles,
+        };
+        let original_item_of = |slot: ItemId| slots[slot as usize].1;
+        let run = self.run_inner(&slot_ids, &oracle, pool, seed, Some(&original_item_of))?;
+
+        // Demultiplex: translate slot ids back to (question, original item).
+        let mut question_judgments: Vec<Vec<Judgment>> = vec![Vec::new(); questions.len()];
+        for judgment in &run.judgments {
+            if judgment.is_gold {
+                continue;
+            }
+            let (question, item) = slots[judgment.item as usize];
+            question_judgments[question].push(Judgment { item, ..*judgment });
+        }
+        Ok(BatchCrowdRun {
+            question_judgments,
+            total_minutes: run.total_minutes,
+            total_cost: run.total_cost,
+            excluded_workers: run.excluded_workers,
+            hits_completed: run.hits_completed,
         })
     }
 }
@@ -307,7 +482,9 @@ fn hit_duration(worker: &Worker, rng: &mut StdRng) -> f64 {
 /// keeps the aggregated accuracies of Experiments 2 and 3 below 100 % in the
 /// paper despite multiple judgments per movie.
 fn item_noise(item: ItemId, salt: u64) -> f64 {
-    let mut x = (item as u64).wrapping_add(salt).wrapping_add(0x9e3779b97f4a7c15);
+    let mut x = (item as u64)
+        .wrapping_add(salt)
+        .wrapping_add(0x9e3779b97f4a7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
     x ^= x >> 31;
@@ -368,7 +545,11 @@ fn simulate_response(
                 truth
             };
             let reads_correctly = rng.gen::<f64>() < 0.97;
-            JudgmentResponse::from_bool(if reads_correctly { web_label } else { !web_label })
+            JudgmentResponse::from_bool(if reads_correctly {
+                web_label
+            } else {
+                !web_label
+            })
         }
     }
 }
@@ -437,7 +618,7 @@ mod tests {
     #[test]
     fn trusted_workers_are_more_accurate_than_spammers() {
         let items: Vec<ItemId> = (0..100).collect();
-        let truth = |i: ItemId| i % 3 == 0;
+        let truth = |i: ItemId| i.is_multiple_of(3);
         let o = FnOracle::new(truth, |_| 0.6);
 
         let spam_pool = WorkerPool::from_counts(&[(crate::WorkerProfile::spammer(), 20)], 7);
@@ -469,7 +650,9 @@ mod tests {
             11,
         );
         let config = HitConfig::experiment3(items.len());
-        let run = CrowdPlatform::new(config).run(&items, &oracle(), &pool, 12).unwrap();
+        let run = CrowdPlatform::new(config)
+            .run(&items, &oracle(), &pool, 12)
+            .unwrap();
         assert!(
             !run.excluded_workers.is_empty(),
             "gold questions should have excluded at least one spammer"
@@ -511,7 +694,9 @@ mod tests {
         let cheap = run.judgments_within_budget(half_budget);
         assert!(!cheap.is_empty());
         assert!(cheap.len() < run.judgments.len());
-        assert!(cheap.iter().all(|j| j.cumulative_cost <= half_budget + 1e-9));
+        assert!(cheap
+            .iter()
+            .all(|j| j.cumulative_cost <= half_budget + 1e-9));
     }
 
     #[test]
@@ -520,9 +705,175 @@ mod tests {
         let platform = CrowdPlatform::new(HitConfig::default());
         assert!(platform.run(&[], &oracle(), &pool, 20).is_err());
         let empty_pool = WorkerPool::from_counts(&[], 21);
-        assert!(platform.run(&[1, 2, 3], &oracle(), &empty_pool, 22).is_err());
-        let bad = CrowdPlatform::new(HitConfig { items_per_hit: 0, ..Default::default() });
+        assert!(platform
+            .run(&[1, 2, 3], &oracle(), &empty_pool, 22)
+            .is_err());
+        let bad = CrowdPlatform::new(HitConfig {
+            items_per_hit: 0,
+            ..Default::default()
+        });
         assert!(bad.run(&[1, 2, 3], &oracle(), &pool, 23).is_err());
+    }
+
+    #[test]
+    fn batched_rounds_serve_several_questions_at_once() {
+        let comedy_oracle = FnOracle::new(|i| i % 2 == 0, |_| 0.9);
+        let horror_oracle = FnOracle::new(|i| i % 5 == 0, |_| 0.9);
+        let questions = vec![
+            BatchQuestion {
+                attribute: "Comedy".into(),
+                items: (0..40).collect(),
+            },
+            BatchQuestion {
+                attribute: "Horror".into(),
+                items: (10..30).collect(),
+            },
+        ];
+        let pool = WorkerPool::trusted(15, 1);
+        let platform = CrowdPlatform::new(HitConfig::default());
+        let batch = platform
+            .run_batch(&questions, &[&comedy_oracle, &horror_oracle], &pool, 7)
+            .unwrap();
+
+        // Every question got its judgments back under original item ids.
+        assert_eq!(batch.question_judgments.len(), 2);
+        assert_eq!(batch.question_judgments[0].len(), 40 * 10);
+        assert_eq!(batch.question_judgments[1].len(), 20 * 10);
+        assert_eq!(batch.total_judgments(), 600);
+        assert!(batch.question_judgments[0].iter().all(|j| j.item < 40));
+        assert!(batch.question_judgments[1]
+            .iter()
+            .all(|j| (10..30).contains(&j.item)));
+
+        // One shared round: cost equals the single-run cost of the combined
+        // slot count, strictly below two separate dispatches of HIT rounds
+        // with ragged final HITs.
+        assert!(batch.total_cost > 0.0);
+        assert!((batch.total_cost - HitConfig::default().total_cost(60)).abs() < 1e-9);
+        // Proportional cost attribution sums back to the total.
+        let attributed: f64 = (0..2).map(|q| batch.question_cost(q)).sum();
+        assert!((attributed - batch.total_cost).abs() < 1e-9);
+        assert!(batch.question_cost(0) > batch.question_cost(1));
+
+        // The two questions were answered against their own ground truth.
+        let comedy_items: Vec<u32> = (0..40).collect();
+        let verdicts = crate::aggregate::majority_vote(&batch.question_judgments[0], &comedy_items);
+        let accuracy = crate::aggregate::score_verdicts(&verdicts, |i| i % 2 == 0);
+        assert!(accuracy.precision() > 0.6);
+    }
+
+    #[test]
+    fn batched_rounds_keep_per_item_difficulty_tied_to_the_item() {
+        // item_noise marks ~15% of items as inherently ambiguous.  That
+        // property must follow the *item*, not its slot position in a
+        // batched round — otherwise batched and sequential dispatch of the
+        // same question would disagree on which items are hard.
+        let oracle = FnOracle::new(|_| true, |_| 1.0);
+        let items: Vec<ItemId> = (500..560).collect();
+        let pool = WorkerPool::trusted(20, 42);
+        let platform = CrowdPlatform::new(HitConfig::default());
+
+        // Classify items as "hard" by their judgment disagreement.
+        let hard_set = |judgments: &[Judgment]| -> HashSet<ItemId> {
+            let mut correct: HashMap<ItemId, usize> = HashMap::new();
+            let mut total: HashMap<ItemId, usize> = HashMap::new();
+            for j in judgments {
+                if let Some(answer) = j.response.as_bool() {
+                    *total.entry(j.item).or_insert(0) += 1;
+                    if answer {
+                        *correct.entry(j.item).or_insert(0) += 1;
+                    }
+                }
+            }
+            total
+                .into_iter()
+                .filter(|&(item, n)| {
+                    n > 0 && (correct.get(&item).copied().unwrap_or(0) as f64) < n as f64 * 0.75
+                })
+                .map(|(item, _)| item)
+                .collect()
+        };
+
+        let sequential = platform.run(&items, &oracle, &pool, 9).unwrap();
+        let sequential_hard = hard_set(&sequential.judgments);
+
+        // In the batched round the same items sit at slots 40..100 (offset
+        // by a 40-item leading question), so any slot-keyed noise would
+        // reshuffle which items look ambiguous.
+        let questions = vec![
+            BatchQuestion {
+                attribute: "Padding".into(),
+                items: (0..40).collect(),
+            },
+            BatchQuestion {
+                attribute: "Payload".into(),
+                items: items.clone(),
+            },
+        ];
+        let batch = platform
+            .run_batch(&questions, &[&oracle, &oracle], &pool, 77)
+            .unwrap();
+        let batched_hard = hard_set(&batch.question_judgments[1]);
+
+        // The ambiguous subset is a property of the items, so the two runs
+        // must largely agree despite independent judgment randomness.
+        let agreement = items
+            .iter()
+            .filter(|i| sequential_hard.contains(i) == batched_hard.contains(i))
+            .count();
+        assert!(
+            agreement as f64 / items.len() as f64 > 0.8,
+            "per-item difficulty diverged between sequential and batched \
+             dispatch: {agreement}/{} items agree (sequential hard: {}, batched hard: {})",
+            items.len(),
+            sequential_hard.len(),
+            batched_hard.len()
+        );
+        // And the hard subset is a minority in both, as designed.
+        assert!(sequential_hard.len() < items.len() / 2);
+        assert!(batched_hard.len() < items.len() / 2);
+    }
+
+    #[test]
+    fn batched_round_validation_and_determinism() {
+        let oracle = FnOracle::new(|i| i % 3 == 0, |_| 0.8);
+        let pool = WorkerPool::trusted(10, 2);
+        let platform = CrowdPlatform::new(HitConfig::default());
+        // Mismatched oracles, empty question lists, and empty batches fail.
+        let q = BatchQuestion {
+            attribute: "A".into(),
+            items: vec![1, 2, 3],
+        };
+        assert!(platform
+            .run_batch(std::slice::from_ref(&q), &[], &pool, 1)
+            .is_err());
+        assert!(platform.run_batch(&[], &[], &pool, 1).is_err());
+        let empty = BatchQuestion {
+            attribute: "A".into(),
+            items: Vec::new(),
+        };
+        assert!(platform
+            .run_batch(&[empty], &[&oracle as &dyn LabelOracle], &pool, 1)
+            .is_err());
+        // Same seed, same outcome.
+        let a = platform
+            .run_batch(
+                std::slice::from_ref(&q),
+                &[&oracle as &dyn LabelOracle],
+                &pool,
+                3,
+            )
+            .unwrap();
+        let b = platform
+            .run_batch(
+                std::slice::from_ref(&q),
+                &[&oracle as &dyn LabelOracle],
+                &pool,
+                3,
+            )
+            .unwrap();
+        assert_eq!(a.question_judgments, b.question_judgments);
+        assert_eq!(a.total_cost, b.total_cost);
     }
 
     #[test]

@@ -161,7 +161,12 @@ mod tests {
         assert_eq!(ExperimentRegime::AllWorkers.worker_pool(1).len(), 89);
         assert_eq!(ExperimentRegime::TrustedWorkers.worker_pool(1).len(), 27);
         assert_eq!(ExperimentRegime::LookupWithGold.worker_pool(1).len(), 51);
-        assert_eq!(ExperimentRegime::LookupWithGold.hit_config(1000).gold_questions, 100);
+        assert_eq!(
+            ExperimentRegime::LookupWithGold
+                .hit_config(1000)
+                .gold_questions,
+            100
+        );
         assert!(ExperimentRegime::AllWorkers.name().contains("1"));
         assert_eq!(ExperimentRegime::all().len(), 3);
     }
@@ -172,9 +177,15 @@ mod tests {
         // accuracy, and Exp3 takes much longer.
         let items: Vec<ItemId> = (0..200).collect();
         let oracle = movie_like_oracle();
-        let exp1 = ExperimentRegime::AllWorkers.run(&items, &oracle, 41).unwrap();
-        let exp2 = ExperimentRegime::TrustedWorkers.run(&items, &oracle, 42).unwrap();
-        let exp3 = ExperimentRegime::LookupWithGold.run(&items, &oracle, 43).unwrap();
+        let exp1 = ExperimentRegime::AllWorkers
+            .run(&items, &oracle, 41)
+            .unwrap();
+        let exp2 = ExperimentRegime::TrustedWorkers
+            .run(&items, &oracle, 42)
+            .unwrap();
+        let exp3 = ExperimentRegime::LookupWithGold
+            .run(&items, &oracle, 43)
+            .unwrap();
 
         assert!(
             exp1.percent_correct() < exp2.percent_correct(),
@@ -200,7 +211,9 @@ mod tests {
     fn outcome_accessors_are_consistent() {
         let items: Vec<ItemId> = (0..50).collect();
         let oracle = movie_like_oracle();
-        let outcome = ExperimentRegime::TrustedWorkers.run(&items, &oracle, 7).unwrap();
+        let outcome = ExperimentRegime::TrustedWorkers
+            .run(&items, &oracle, 7)
+            .unwrap();
         assert_eq!(outcome.verdicts.len(), items.len());
         assert_eq!(
             outcome.classified() + outcome.accuracy.unclassified,

@@ -188,7 +188,10 @@ impl WorkerPool {
 
     /// Number of workers of a given archetype.
     pub fn count_of(&self, kind: WorkerKind) -> usize {
-        self.workers.iter().filter(|w| w.profile.kind == kind).count()
+        self.workers
+            .iter()
+            .filter(|w| w.profile.kind == kind)
+            .count()
     }
 }
 
@@ -251,7 +254,10 @@ mod tests {
         }
         // Not all identical.
         let first = pool.workers()[0].minutes_per_hit;
-        assert!(pool.workers().iter().any(|w| (w.minutes_per_hit - first).abs() > 1e-9));
+        assert!(pool
+            .workers()
+            .iter()
+            .any(|w| (w.minutes_per_hit - first).abs() > 1e-9));
     }
 
     #[test]

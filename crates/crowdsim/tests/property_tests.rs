@@ -5,8 +5,7 @@ use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
 use crowdsim::{
-    majority_vote, CrowdPlatform, FnOracle, HitConfig, JudgmentResponse, WorkerPool,
-    WorkerProfile,
+    majority_vote, CrowdPlatform, FnOracle, HitConfig, JudgmentResponse, WorkerPool, WorkerProfile,
 };
 
 proptest! {
@@ -51,7 +50,7 @@ proptest! {
         for j in &run.judgments {
             *per_item.entry(j.item).or_default() += 1;
         }
-        for (_, &count) in &per_item {
+        for &count in per_item.values() {
             prop_assert!(count <= judgments_per_item);
             if n_workers >= judgments_per_item {
                 prop_assert_eq!(count, judgments_per_item);

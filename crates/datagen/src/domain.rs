@@ -160,7 +160,10 @@ impl DomainConfig {
         ];
         for i in 0..10 {
             // The remaining thematic categories.
-            categories.push(CategorySpec::new(format!("Theme {}", i + 1), 0.05 + 0.01 * i as f64));
+            categories.push(CategorySpec::new(
+                format!("Theme {}", i + 1),
+                0.05 + 0.01 * i as f64,
+            ));
         }
         DomainConfig {
             name: "board_games".into(),
@@ -228,7 +231,11 @@ mod tests {
         assert_eq!(games.categories.len(), 20);
         assert_eq!(games.scale, RatingScale::TEN_POINT);
         // Modular Board is a factual category.
-        let modular = games.categories.iter().find(|c| c.name == "Modular Board").unwrap();
+        let modular = games
+            .categories
+            .iter()
+            .find(|c| c.name == "Modular Board")
+            .unwrap();
         assert!(modular.perceptual_strength < 0.5);
     }
 

@@ -136,10 +136,16 @@ mod tests {
         let panel = ExpertPanel::generate(&d, &[("Noisy", 0.10)], 2);
         let truth = d.labels_for_category(0);
         let source = panel.sources()[0].category_labels(0);
-        let disagreements =
-            truth.iter().zip(source.iter()).filter(|(a, b)| a != b).count() as f64
-                / truth.len() as f64;
-        assert!((disagreements - 0.10).abs() < 0.05, "observed {disagreements}");
+        let disagreements = truth
+            .iter()
+            .zip(source.iter())
+            .filter(|(a, b)| a != b)
+            .count() as f64
+            / truth.len() as f64;
+        assert!(
+            (disagreements - 0.10).abs() < 0.05,
+            "observed {disagreements}"
+        );
     }
 
     #[test]
@@ -149,7 +155,11 @@ mod tests {
         let truth = d.labels_for_category(0);
         let majority = panel.majority(0);
         let agree = |labels: &[bool]| {
-            truth.iter().zip(labels.iter()).filter(|(a, b)| a == b).count() as f64
+            truth
+                .iter()
+                .zip(labels.iter())
+                .filter(|(a, b)| a == b)
+                .count() as f64
                 / truth.len() as f64
         };
         let majority_acc = agree(&majority);

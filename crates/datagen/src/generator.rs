@@ -159,15 +159,16 @@ impl SyntheticDomain {
 
         let mut ratings = Vec::with_capacity(config.expected_ratings());
         for (u, pref) in user_prefs.iter().enumerate() {
-            let activity =
-                ((config.ratings_per_user as f64) * (0.5 + rng.gen::<f64>())) as usize;
+            let activity = ((config.ratings_per_user as f64) * (0.5 + rng.gen::<f64>())) as usize;
             let activity = activity.clamp(1, config.n_items);
             let mut seen: HashSet<u32> = HashSet::with_capacity(activity);
             let mut attempts = 0;
             while seen.len() < activity && attempts < activity * 8 {
                 attempts += 1;
                 let target = rng.gen::<f64>() * total_weight;
-                let idx = cumulative.partition_point(|&c| c < target).min(config.n_items - 1);
+                let idx = cumulative
+                    .partition_point(|&c| c < target)
+                    .min(config.n_items - 1);
                 let item_id = idx as u32;
                 if !seen.insert(item_id) {
                     continue;
@@ -331,12 +332,19 @@ mod tests {
                 *mean = ratings.item_mean(i as u32);
             }
         }
-        let finite: Vec<f64> = by_item_mean.iter().copied().filter(|m| m.is_finite()).collect();
+        let finite: Vec<f64> = by_item_mean
+            .iter()
+            .copied()
+            .filter(|m| m.is_finite())
+            .collect();
         assert!(finite.len() > config.n_items / 2);
         let (lo, hi) = finite
             .iter()
             .fold((f64::MAX, f64::MIN), |(lo, hi), &m| (lo.min(m), hi.max(m)));
-        assert!(hi - lo > 0.5, "item mean ratings show no spread: {lo}..{hi}");
+        assert!(
+            hi - lo > 0.5,
+            "item mean ratings show no spread: {lo}..{hi}"
+        );
     }
 
     #[test]

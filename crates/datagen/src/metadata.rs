@@ -53,7 +53,11 @@ impl MetadataGenerator {
         let n_categories = domain.category_names().len();
         // Each category gets a small set of keywords it leaks into.
         let leak_keywords: Vec<Vec<usize>> = (0..n_categories)
-            .map(|_| (0..12).map(|_| rng.gen_range(0..self.keyword_pool)).collect())
+            .map(|_| {
+                (0..12)
+                    .map(|_| rng.gen_range(0..self.keyword_pool))
+                    .collect()
+            })
             .collect();
 
         domain

@@ -40,7 +40,7 @@ impl LabelOracle for CategoryOracle<'_> {
     fn true_label(&self, item: u32) -> bool {
         self.domain
             .item(item)
-            .map_or(false, |i| i.categories[self.category])
+            .is_some_and(|i| i.categories[self.category])
     }
 
     fn familiarity(&self, item: u32) -> f64 {

@@ -35,7 +35,7 @@ proptest! {
         let ratings = domain.ratings();
         prop_assert_eq!(ratings.n_items(), config.n_items);
         prop_assert_eq!(ratings.n_users(), config.n_users);
-        prop_assert!(ratings.len() > 0);
+        prop_assert!(!ratings.is_empty());
         for r in ratings.ratings() {
             prop_assert!((r.item as usize) < config.n_items);
             prop_assert!((r.user as usize) < config.n_users);

@@ -54,11 +54,15 @@ impl Matrix {
     /// length.
     pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
         if rows.is_empty() {
-            return Err(MlError::InvalidInput("matrix needs at least one row".into()));
+            return Err(MlError::InvalidInput(
+                "matrix needs at least one row".into(),
+            ));
         }
         let cols = rows[0].len();
         if rows.iter().any(|r| r.len() != cols) {
-            return Err(MlError::InvalidInput("rows have inconsistent lengths".into()));
+            return Err(MlError::InvalidInput(
+                "rows have inconsistent lengths".into(),
+            ));
         }
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
@@ -296,8 +300,8 @@ impl TruncatedSvd {
             if xi == 0.0 {
                 continue;
             }
-            for j in 0..k {
-                out[j] += xi * self.v.get(i, j);
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += xi * self.v.get(i, j);
             }
         }
         Ok(out)
@@ -311,7 +315,9 @@ impl TruncatedSvd {
 /// at `min(rows, cols)`.
 pub fn truncated_svd(a: &Matrix, k: usize, n_iter: usize, seed: u64) -> Result<TruncatedSvd> {
     if a.rows() == 0 || a.cols() == 0 {
-        return Err(MlError::InvalidInput("cannot decompose an empty matrix".into()));
+        return Err(MlError::InvalidInput(
+            "cannot decompose an empty matrix".into(),
+        ));
     }
     if k == 0 {
         return Err(MlError::InvalidParameter("k must be >= 1".into()));
@@ -348,7 +354,11 @@ pub fn truncated_svd(a: &Matrix, k: usize, n_iter: usize, seed: u64) -> Result<T
 
     // Sort eigenpairs by descending eigenvalue.
     let mut order: Vec<usize> = (0..eigvals.len()).collect();
-    order.sort_by(|&i, &j| eigvals[j].partial_cmp(&eigvals[i]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        eigvals[j]
+            .partial_cmp(&eigvals[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut singular_values = Vec::with_capacity(k);
     let mut u = Matrix::zeros(a.rows(), k);
@@ -360,21 +370,21 @@ pub fn truncated_svd(a: &Matrix, k: usize, n_iter: usize, seed: u64) -> Result<T
         singular_values.push(sigma);
         // u_small = eigenvector (length p); U column = Q * u_small
         let mut u_col = vec![0.0; a.rows()];
-        for r in 0..a.rows() {
+        for (r, u_val) in u_col.iter_mut().enumerate() {
             let mut s = 0.0;
             for i in 0..q.cols() {
                 s += q.get(r, i) * eigvecs.get(i, e_idx);
             }
-            u_col[r] = s;
+            *u_val = s;
         }
-        for r in 0..a.rows() {
-            u.set(r, out_idx, u_col[r]);
+        for (r, &u_val) in u_col.iter().enumerate() {
+            u.set(r, out_idx, u_val);
         }
         // V column = Aᵀ u / sigma
         if sigma > 1e-12 {
             let atu = at.matvec(&u_col)?;
-            for r in 0..a.cols() {
-                v.set(r, out_idx, atu[r] / sigma);
+            for (r, &atu_val) in atu.iter().enumerate() {
+                v.set(r, out_idx, atu_val / sigma);
             }
         }
     }
@@ -392,7 +402,9 @@ pub fn truncated_svd(a: &Matrix, k: usize, n_iter: usize, seed: u64) -> Result<T
 /// inside [`truncated_svd`].
 pub fn symmetric_eigen(a: &Matrix, max_sweeps: usize, tol: f64) -> Result<(Vec<f64>, Matrix)> {
     if a.rows() != a.cols() {
-        return Err(MlError::InvalidInput("eigen decomposition requires a square matrix".into()));
+        return Err(MlError::InvalidInput(
+            "eigen decomposition requires a square matrix".into(),
+        ));
     }
     let n = a.rows();
     let mut m = a.clone();
@@ -543,7 +555,11 @@ mod tests {
         for i in 0..2 {
             for j in 0..2 {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!(approx(qtq.get(i, j), expect, 1e-9), "QtQ[{i}][{j}]={}", qtq.get(i, j));
+                assert!(
+                    approx(qtq.get(i, j), expect, 1e-9),
+                    "QtQ[{i}][{j}]={}",
+                    qtq.get(i, j)
+                );
             }
         }
         // Q R = A
@@ -624,9 +640,14 @@ mod tests {
         let svd = truncated_svd(&a, 3, 6, 7).unwrap();
         for i in 0..4 {
             let proj = svd.project_row(a.row(i)).unwrap();
-            for k in 0..3 {
+            for (k, &proj_k) in proj.iter().enumerate().take(3) {
                 let expect = svd.u.get(i, k) * svd.singular_values[k];
-                assert!(approx(proj[k], expect, 1e-6), "row {i} comp {k}: {} vs {}", proj[k], expect);
+                assert!(
+                    approx(proj_k, expect, 1e-6),
+                    "row {i} comp {k}: {} vs {}",
+                    proj_k,
+                    expect
+                );
             }
         }
         assert!(svd.project_row(&[1.0]).is_err());

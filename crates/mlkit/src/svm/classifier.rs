@@ -62,7 +62,10 @@ impl SvmClassifier {
     pub fn train(xs: &[Vec<f64>], ys: &[bool], params: &SvmParams) -> Result<Self> {
         validate_inputs(xs, ys)?;
         if params.c <= 0.0 || !params.c.is_finite() {
-            return Err(MlError::InvalidParameter(format!("C must be positive, got {}", params.c)));
+            return Err(MlError::InvalidParameter(format!(
+                "C must be positive, got {}",
+                params.c
+            )));
         }
         if params.max_epochs == 0 {
             return Err(MlError::InvalidParameter("max_epochs must be >= 1".into()));
@@ -143,7 +146,9 @@ impl SvmClassifier {
             }
         }
         if support_vectors.is_empty() {
-            return Err(MlError::Numerical("training produced no support vectors".into()));
+            return Err(MlError::Numerical(
+                "training produced no support vectors".into(),
+            ));
         }
 
         Ok(SvmClassifier {
@@ -210,7 +215,9 @@ pub(crate) fn validate_inputs_regression(xs: &[Vec<f64>], ys: &[f64]) -> Result<
         )));
     }
     if ys.iter().any(|y| !y.is_finite()) {
-        return Err(MlError::InvalidInput("targets contain non-finite values".into()));
+        return Err(MlError::InvalidInput(
+            "targets contain non-finite values".into(),
+        ));
     }
     validate_features(xs)
 }
@@ -221,13 +228,19 @@ fn validate_features(xs: &[Vec<f64>]) -> Result<()> {
     }
     let dim = xs[0].len();
     if dim == 0 {
-        return Err(MlError::InvalidInput("feature vectors must be non-empty".into()));
+        return Err(MlError::InvalidInput(
+            "feature vectors must be non-empty".into(),
+        ));
     }
     if xs.iter().any(|x| x.len() != dim) {
-        return Err(MlError::InvalidInput("feature vectors have inconsistent dimensionality".into()));
+        return Err(MlError::InvalidInput(
+            "feature vectors have inconsistent dimensionality".into(),
+        ));
     }
     if xs.iter().any(|x| x.iter().any(|v| !v.is_finite())) {
-        return Err(MlError::InvalidInput("feature vectors contain non-finite values".into()));
+        return Err(MlError::InvalidInput(
+            "feature vectors contain non-finite values".into(),
+        ));
     }
     Ok(())
 }
@@ -261,7 +274,10 @@ mod tests {
         let model = SvmClassifier::train(&xs, &ys, &params).unwrap();
         let preds = model.predict_batch(&xs);
         let correct = preds.iter().zip(ys.iter()).filter(|(a, b)| a == b).count();
-        assert!(correct as f64 / xs.len() as f64 > 0.95, "train accuracy too low");
+        assert!(
+            correct as f64 / xs.len() as f64 > 0.95,
+            "train accuracy too low"
+        );
         assert!(model.n_support_vectors() > 0);
         assert!(model.n_support_vectors() <= xs.len());
     }
@@ -303,7 +319,11 @@ mod tests {
         };
         let model = SvmClassifier::train(&xs, &ys, &params).unwrap();
         let preds = model.predict_batch(&test_xs);
-        let correct = preds.iter().zip(test_ys.iter()).filter(|(a, b)| a == b).count();
+        let correct = preds
+            .iter()
+            .zip(test_ys.iter())
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(correct as f64 / test_xs.len() as f64 > 0.9);
     }
 
@@ -332,7 +352,10 @@ mod tests {
         .unwrap();
         let preds = balanced.predict_batch(&xs);
         let conf = crate::metrics::BinaryConfusion::from_predictions(&preds, &ys);
-        assert!(conf.sensitivity() > 0.8, "balanced SVM should not ignore the rare class");
+        assert!(
+            conf.sensitivity() > 0.8,
+            "balanced SVM should not ignore the rare class"
+        );
     }
 
     #[test]
@@ -369,15 +392,36 @@ mod tests {
         let xs = vec![vec![0.0], vec![1.0]];
         let ys = vec![false, true];
         assert!(matches!(
-            SvmClassifier::train(&xs, &ys, &SvmParams { c: 0.0, ..Default::default() }),
+            SvmClassifier::train(
+                &xs,
+                &ys,
+                &SvmParams {
+                    c: 0.0,
+                    ..Default::default()
+                }
+            ),
             Err(MlError::InvalidParameter(_))
         ));
         assert!(matches!(
-            SvmClassifier::train(&xs, &ys, &SvmParams { c: -1.0, ..Default::default() }),
+            SvmClassifier::train(
+                &xs,
+                &ys,
+                &SvmParams {
+                    c: -1.0,
+                    ..Default::default()
+                }
+            ),
             Err(MlError::InvalidParameter(_))
         ));
         assert!(matches!(
-            SvmClassifier::train(&xs, &ys, &SvmParams { max_epochs: 0, ..Default::default() }),
+            SvmClassifier::train(
+                &xs,
+                &ys,
+                &SvmParams {
+                    max_epochs: 0,
+                    ..Default::default()
+                }
+            ),
             Err(MlError::InvalidParameter(_))
         ));
     }

@@ -6,8 +6,9 @@
 //! transductive SVM as a semi-supervised extension (Section 5).
 //!
 //! All three variants here are trained with **kernelized dual coordinate
-//! descent**: the bias term is absorbed into the kernel (`K'(x, y) = K(x, y)
-//! + 1`), which removes the equality constraint of the classic SMO dual and
+//! descent**: the bias term is absorbed into the kernel
+//! (`K'(x, y) = K(x, y) + 1`), which removes the equality constraint of the
+//! classic SMO dual and
 //! lets every coordinate be optimized independently with a closed-form
 //! clipped update.  This is simple, dependency-free, and robust for the
 //! training-set sizes that occur in the paper's experiments (tens of gold

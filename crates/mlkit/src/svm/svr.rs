@@ -62,7 +62,10 @@ impl SvrRegressor {
     pub fn train(xs: &[Vec<f64>], ys: &[f64], params: &SvrParams) -> Result<Self> {
         validate_inputs_regression(xs, ys)?;
         if params.c <= 0.0 || !params.c.is_finite() {
-            return Err(MlError::InvalidParameter(format!("C must be positive, got {}", params.c)));
+            return Err(MlError::InvalidParameter(format!(
+                "C must be positive, got {}",
+                params.c
+            )));
         }
         if params.epsilon < 0.0 {
             return Err(MlError::InvalidParameter("epsilon must be >= 0".into()));
@@ -200,7 +203,9 @@ mod tests {
     #[test]
     fn fits_a_nonlinear_function_with_rbf() {
         let mut rng = StdRng::seed_from_u64(4);
-        let xs: Vec<Vec<f64>> = (0..120).map(|_| vec![rng.gen::<f64>() * 6.0 - 3.0]).collect();
+        let xs: Vec<Vec<f64>> = (0..120)
+            .map(|_| vec![rng.gen::<f64>() * 6.0 - 3.0])
+            .collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0].sin()).collect();
         let params = SvrParams {
             kernel: Kernel::Rbf { gamma: 1.0 },
@@ -213,7 +218,11 @@ mod tests {
         let probe: Vec<Vec<f64>> = (0..30).map(|i| vec![-2.5 + i as f64 * 0.15]).collect();
         let expected: Vec<f64> = probe.iter().map(|x| x[0].sin()).collect();
         let preds = model.predict_batch(&probe);
-        assert!(rmse(&preds, &expected) < 0.15, "rmse {}", rmse(&preds, &expected));
+        assert!(
+            rmse(&preds, &expected) < 0.15,
+            "rmse {}",
+            rmse(&preds, &expected)
+        );
     }
 
     #[test]
@@ -237,13 +246,23 @@ mod tests {
         let tight = SvrRegressor::train(
             &xs,
             &ys,
-            &SvrParams { kernel: Kernel::Linear, epsilon: 0.001, c: 10.0, ..Default::default() },
+            &SvrParams {
+                kernel: Kernel::Linear,
+                epsilon: 0.001,
+                c: 10.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         let loose = SvrRegressor::train(
             &xs,
             &ys,
-            &SvrParams { kernel: Kernel::Linear, epsilon: 1.0, c: 10.0, ..Default::default() },
+            &SvrParams {
+                kernel: Kernel::Linear,
+                epsilon: 1.0,
+                c: 10.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(loose.n_support_vectors() <= tight.n_support_vectors());
@@ -256,18 +275,40 @@ mod tests {
         assert!(SvrRegressor::train(&[], &[], &SvrParams::default()).is_err());
         assert!(SvrRegressor::train(&xs, &[1.0], &SvrParams::default()).is_err());
         assert!(SvrRegressor::train(&xs, &[1.0, f64::NAN], &SvrParams::default()).is_err());
-        assert!(SvrRegressor::train(&xs, &ys, &SvrParams { c: 0.0, ..Default::default() }).is_err());
-        assert!(
-            SvrRegressor::train(&xs, &ys, &SvrParams { epsilon: -0.1, ..Default::default() }).is_err()
-        );
-        assert!(
-            SvrRegressor::train(&xs, &ys, &SvrParams { max_epochs: 0, ..Default::default() }).is_err()
-        );
+        assert!(SvrRegressor::train(
+            &xs,
+            &ys,
+            &SvrParams {
+                c: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(SvrRegressor::train(
+            &xs,
+            &ys,
+            &SvrParams {
+                epsilon: -0.1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(SvrRegressor::train(
+            &xs,
+            &ys,
+            &SvrParams {
+                max_epochs: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![(i as f64).cos(), (i as f64).sin()]).collect();
+        let xs: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i as f64).cos(), (i as f64).sin()])
+            .collect();
         let ys: Vec<f64> = (0..30).map(|i| (i as f64 * 0.3).cos()).collect();
         let p = SvrParams::default();
         let a = SvrRegressor::train(&xs, &ys, &p).unwrap();

@@ -74,7 +74,9 @@ impl TsvmClassifier {
             return Err(MlError::InvalidParameter("c_star must be positive".into()));
         }
         if params.annealing_steps == 0 {
-            return Err(MlError::InvalidParameter("annealing_steps must be >= 1".into()));
+            return Err(MlError::InvalidParameter(
+                "annealing_steps must be >= 1".into(),
+            ));
         }
         if let Some(frac) = params.positive_fraction {
             if !(0.0..=1.0).contains(&frac) {
@@ -90,9 +92,9 @@ impl TsvmClassifier {
         // Impute initial pseudo-labels: rank unlabeled points by decision
         // value and label the top `positive_fraction` as positive, matching
         // the expected class ratio.
-        let frac = params.positive_fraction.unwrap_or_else(|| {
-            labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64
-        });
+        let frac = params
+            .positive_fraction
+            .unwrap_or_else(|| labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64);
         let mut scored: Vec<(usize, f64)> = unlabeled
             .iter()
             .enumerate()
@@ -139,10 +141,10 @@ impl TsvmClassifier {
                     let signed = if pseudo[i] { value } else { -value };
                     if signed < 0.0 {
                         if pseudo[i] {
-                            if worst_pos.map_or(true, |(_, v)| signed < v) {
+                            if worst_pos.is_none_or(|(_, v)| signed < v) {
                                 worst_pos = Some((i, signed));
                             }
-                        } else if worst_neg.map_or(true, |(_, v)| signed < v) {
+                        } else if worst_neg.is_none_or(|(_, v)| signed < v) {
                             worst_neg = Some((i, signed));
                         }
                     }
@@ -209,7 +211,10 @@ mod tests {
         for _ in 0..n {
             let pos: bool = rng.gen();
             let offset = if pos { 1.5 } else { -1.5 };
-            xs.push(vec![offset + rng.gen::<f64>() * 0.8, offset + rng.gen::<f64>() * 0.8]);
+            xs.push(vec![
+                offset + rng.gen::<f64>() * 0.8,
+                offset + rng.gen::<f64>() * 0.8,
+            ]);
             ys.push(pos);
         }
         (xs, ys)
@@ -257,11 +262,18 @@ mod tests {
             &labeled,
             &labels,
             &unlabeled,
-            &TsvmParams { base: base.clone(), ..Default::default() },
+            &TsvmParams {
+                base: base.clone(),
+                ..Default::default()
+            },
         )
         .unwrap();
         let acc = |preds: &[bool]| {
-            preds.iter().zip(test_labels.iter()).filter(|(a, b)| a == b).count() as f64
+            preds
+                .iter()
+                .zip(test_labels.iter())
+                .filter(|(a, b)| a == b)
+                .count() as f64
                 / test.len() as f64
         };
         let svm_preds: Vec<bool> = test.iter().map(|x| svm.predict(x)).collect();
@@ -279,21 +291,30 @@ mod tests {
             &labeled,
             &labels,
             &unlabeled,
-            &TsvmParams { c_star: 0.0, ..Default::default() }
+            &TsvmParams {
+                c_star: 0.0,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(TsvmClassifier::train(
             &labeled,
             &labels,
             &unlabeled,
-            &TsvmParams { annealing_steps: 0, ..Default::default() }
+            &TsvmParams {
+                annealing_steps: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(TsvmClassifier::train(
             &labeled,
             &labels,
             &unlabeled,
-            &TsvmParams { positive_fraction: Some(1.5), ..Default::default() }
+            &TsvmParams {
+                positive_fraction: Some(1.5),
+                ..Default::default()
+            }
         )
         .is_err());
     }

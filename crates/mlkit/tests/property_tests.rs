@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use mlkit::linalg::{dot, distance, squared_distance, Matrix};
+use mlkit::linalg::{distance, dot, squared_distance, Matrix};
 use mlkit::metrics::{gmean, mean_std, pearson_correlation, BinaryConfusion};
 use mlkit::Kernel;
 
@@ -44,7 +44,7 @@ proptest! {
         let kab = k.eval(&a, &b);
         // Mathematically kab > 0, but for very distant points the exponential
         // underflows to exactly 0.0 in f64 — allow that.
-        prop_assert!(kab >= 0.0 && kab <= 1.0);
+        prop_assert!((0.0..=1.0).contains(&kab));
         prop_assert!((kab - k.eval(&b, &a)).abs() < 1e-12);
         prop_assert!((k.eval(&a, &a) - 1.0).abs() < 1e-12);
         // Cauchy–Schwarz-like bound for a PSD kernel with unit diagonal.
@@ -100,7 +100,7 @@ proptest! {
     ) {
         let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 1.0).collect();
         let r = pearson_correlation(&xs, &ys);
-        prop_assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
         // Correlation is invariant under positive affine transformations.
         let transformed: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
         let r2 = pearson_correlation(&transformed, &ys);

@@ -52,7 +52,9 @@ pub fn cross_validate_euclidean(
     seed: u64,
 ) -> Result<Vec<CrossValidationReport>> {
     if k < 2 {
-        return Err(PerceptualError::InvalidConfig("k-fold CV requires k >= 2".into()));
+        return Err(PerceptualError::InvalidConfig(
+            "k-fold CV requires k >= 2".into(),
+        ));
     }
     if dataset.len() < k {
         return Err(PerceptualError::InvalidRatings(format!(
@@ -61,7 +63,9 @@ pub fn cross_validate_euclidean(
         )));
     }
     if candidates.is_empty() {
-        return Err(PerceptualError::InvalidConfig("no candidate configurations given".into()));
+        return Err(PerceptualError::InvalidConfig(
+            "no candidate configurations given".into(),
+        ));
     }
 
     // Assign each rating to a fold.
@@ -95,7 +99,8 @@ pub fn cross_validate_euclidean(
                     "a cross-validation fold ended up empty".into(),
                 ));
             }
-            let train_set = RatingDataset::from_ratings(dataset.n_items(), dataset.n_users(), train)?;
+            let train_set =
+                RatingDataset::from_ratings(dataset.n_items(), dataset.n_users(), train)?;
             let validation_set =
                 RatingDataset::from_ratings(dataset.n_items(), dataset.n_users(), validation)?;
             let model = EuclideanEmbeddingModel::train(&train_set, config)?;
@@ -150,12 +155,7 @@ mod tests {
         let d = dataset(1);
         assert!(cross_validate_euclidean(&d, &[small_config(4)], 1, 0).is_err());
         assert!(cross_validate_euclidean(&d, &[], 3, 0).is_err());
-        let tiny = RatingDataset::from_ratings(
-            1,
-            1,
-            vec![Rating::new(0, 0, 3.0)],
-        )
-        .unwrap();
+        let tiny = RatingDataset::from_ratings(1, 1, vec![Rating::new(0, 0, 3.0)]).unwrap();
         assert!(cross_validate_euclidean(&tiny, &[small_config(2)], 3, 0).is_err());
     }
 
@@ -176,7 +176,8 @@ mod tests {
     #[test]
     fn reasonable_dimensionality_beats_trivial_one() {
         let d = dataset(3);
-        let reports = cross_validate_euclidean(&d, &[small_config(1), small_config(8)], 3, 11).unwrap();
+        let reports =
+            cross_validate_euclidean(&d, &[small_config(1), small_config(8)], 3, 11).unwrap();
         // With the planted two-cluster structure, more dimensions should not
         // hurt; allow a small tolerance for SGD noise.
         assert!(reports[1].mean_rmse() <= reports[0].mean_rmse() + 0.1);

@@ -37,8 +37,14 @@ mod tests {
         assert!(PerceptualError::InvalidRatings("no ratings".into())
             .to_string()
             .contains("no ratings"));
-        assert!(PerceptualError::InvalidConfig("d = 0".into()).to_string().contains("d = 0"));
-        assert!(PerceptualError::UnknownId("item 99".into()).to_string().contains("item 99"));
-        assert!(PerceptualError::Numerical("diverged".into()).to_string().contains("diverged"));
+        assert!(PerceptualError::InvalidConfig("d = 0".into())
+            .to_string()
+            .contains("d = 0"));
+        assert!(PerceptualError::UnknownId("item 99".into())
+            .to_string()
+            .contains("item 99"));
+        assert!(PerceptualError::Numerical("diverged".into())
+            .to_string()
+            .contains("diverged"));
     }
 }

@@ -63,13 +63,19 @@ impl Default for EuclideanEmbeddingConfig {
 impl EuclideanEmbeddingConfig {
     fn validate(&self) -> Result<()> {
         if self.dimensions == 0 {
-            return Err(PerceptualError::InvalidConfig("dimensions must be >= 1".into()));
+            return Err(PerceptualError::InvalidConfig(
+                "dimensions must be >= 1".into(),
+            ));
         }
         if self.lambda < 0.0 || !self.lambda.is_finite() {
-            return Err(PerceptualError::InvalidConfig("lambda must be non-negative".into()));
+            return Err(PerceptualError::InvalidConfig(
+                "lambda must be non-negative".into(),
+            ));
         }
         if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
-            return Err(PerceptualError::InvalidConfig("learning_rate must be positive".into()));
+            return Err(PerceptualError::InvalidConfig(
+                "learning_rate must be positive".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.learning_rate_decay) {
             return Err(PerceptualError::InvalidConfig(
@@ -80,7 +86,9 @@ impl EuclideanEmbeddingConfig {
             return Err(PerceptualError::InvalidConfig("epochs must be >= 1".into()));
         }
         if self.init_scale <= 0.0 {
-            return Err(PerceptualError::InvalidConfig("init_scale must be positive".into()));
+            return Err(PerceptualError::InvalidConfig(
+                "init_scale must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -114,17 +122,27 @@ impl EuclideanEmbeddingModel {
         let mut rng = StdRng::seed_from_u64(config.seed);
 
         let mut item_coords: Vec<Vec<f64>> = (0..dataset.n_items())
-            .map(|_| (0..d).map(|_| (rng.gen::<f64>() - 0.5) * config.init_scale).collect())
+            .map(|_| {
+                (0..d)
+                    .map(|_| (rng.gen::<f64>() - 0.5) * config.init_scale)
+                    .collect()
+            })
             .collect();
         let mut user_coords: Vec<Vec<f64>> = (0..dataset.n_users())
-            .map(|_| (0..d).map(|_| (rng.gen::<f64>() - 0.5) * config.init_scale).collect())
+            .map(|_| {
+                (0..d)
+                    .map(|_| (rng.gen::<f64>() - 0.5) * config.init_scale)
+                    .collect()
+            })
             .collect();
         // Biases start from the observed per-entity deviations from μ, which
         // speeds up convergence considerably.
-        let mut item_bias: Vec<f64> =
-            (0..dataset.n_items()).map(|i| dataset.item_mean(i as ItemId) - mu).collect();
-        let mut user_bias: Vec<f64> =
-            (0..dataset.n_users()).map(|u| dataset.user_mean(u as UserId) - mu).collect();
+        let mut item_bias: Vec<f64> = (0..dataset.n_items())
+            .map(|i| dataset.item_mean(i as ItemId) - mu)
+            .collect();
+        let mut user_bias: Vec<f64> = (0..dataset.n_users())
+            .map(|u| dataset.user_mean(u as UserId) - mu)
+            .collect();
 
         let mut order: Vec<usize> = (0..dataset.len()).collect();
         let mut lr = config.learning_rate;
@@ -140,8 +158,7 @@ impl EuclideanEmbeddingModel {
                 let (sq_dist, err) = {
                     let a = &item_coords[m];
                     let b = &user_coords[u];
-                    let sq_dist: f64 =
-                        a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+                    let sq_dist: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
                     let pred = mu + item_bias[m] + user_bias[u] - sq_dist;
                     (sq_dist, r.score - pred)
                 };
@@ -240,7 +257,10 @@ impl EuclideanEmbeddingModel {
         let a = self.item_vector(item)?;
         let b = self.user_vector(user)?;
         let sq_dist: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
-        Ok(self.global_mean + self.item_bias[item as usize] + self.user_bias[user as usize] - sq_dist)
+        Ok(
+            self.global_mean + self.item_bias[item as usize] + self.user_bias[user as usize]
+                - sq_dist,
+        )
     }
 
     /// RMSE of the model on an arbitrary rating set (items/users must exist).
@@ -280,11 +300,11 @@ mod tests {
         let mut ratings = Vec::new();
         for u in 0..n_users {
             let user_likes_cluster0 = u % 2 == 0;
-            for m in 0..n_items {
+            for (m, &in_cluster0) in item_cluster.iter().enumerate() {
                 if rng.gen::<f64>() > 0.6 {
                     continue; // sparsity
                 }
-                let agree = item_cluster[m] == user_likes_cluster0;
+                let agree = in_cluster0 == user_likes_cluster0;
                 let base = if agree { 4.5 } else { 1.5 };
                 let score = (base + rng.gen::<f64>() - 0.5).clamp(1.0, 5.0);
                 ratings.push(Rating::new(m as ItemId, u as UserId, score));
@@ -368,8 +388,12 @@ mod tests {
             for j in (i + 1)..24u32 {
                 let a = model.item_vector(i).unwrap();
                 let b = model.item_vector(j).unwrap();
-                let dist: f64 =
-                    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+                let dist: f64 = a
+                    .iter()
+                    .zip(b.iter())
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt();
                 if item_cluster[i as usize] == item_cluster[j as usize] {
                     intra.push(dist);
                 } else {

@@ -28,7 +28,10 @@ impl RatingScale {
     /// The 1–5 star scale used by Netflix and Yelp.
     pub const FIVE_STAR: RatingScale = RatingScale { min: 1.0, max: 5.0 };
     /// The 1–10 scale used by IMDb and BoardGameGeek.
-    pub const TEN_POINT: RatingScale = RatingScale { min: 1.0, max: 10.0 };
+    pub const TEN_POINT: RatingScale = RatingScale {
+        min: 1.0,
+        max: 10.0,
+    };
 
     /// Clamps a raw score onto the scale.
     pub fn clamp(&self, score: f64) -> f64 {
@@ -85,7 +88,9 @@ impl RatingDataset {
     /// score is non-finite.
     pub fn from_ratings(n_items: usize, n_users: usize, ratings: Vec<Rating>) -> Result<Self> {
         if ratings.is_empty() {
-            return Err(PerceptualError::InvalidRatings("the rating collection is empty".into()));
+            return Err(PerceptualError::InvalidRatings(
+                "the rating collection is empty".into(),
+            ));
         }
         if n_items == 0 || n_users == 0 {
             return Err(PerceptualError::InvalidRatings(
@@ -170,7 +175,9 @@ impl RatingDataset {
         if idx >= self.n_items {
             return Err(PerceptualError::UnknownId(format!("item {item}")));
         }
-        Ok(self.by_item[idx].iter().map(move |&i| &self.ratings[i as usize]))
+        Ok(self.by_item[idx]
+            .iter()
+            .map(move |&i| &self.ratings[i as usize]))
     }
 
     /// Ratings given by `user`.
@@ -179,7 +186,9 @@ impl RatingDataset {
         if idx >= self.n_users {
             return Err(PerceptualError::UnknownId(format!("user {user}")));
         }
-        Ok(self.by_user[idx].iter().map(move |&i| &self.ratings[i as usize]))
+        Ok(self.by_user[idx]
+            .iter()
+            .map(move |&i| &self.ratings[i as usize]))
     }
 
     /// Number of ratings per item.
@@ -199,7 +208,10 @@ impl RatingDataset {
             Some(v) if !v.is_empty() => v,
             _ => return self.global_mean,
         };
-        idxs.iter().map(|&i| self.ratings[i as usize].score).sum::<f64>() / idxs.len() as f64
+        idxs.iter()
+            .map(|&i| self.ratings[i as usize].score)
+            .sum::<f64>()
+            / idxs.len() as f64
     }
 
     /// Mean score of a user; falls back to the global mean when the user has
@@ -209,7 +221,10 @@ impl RatingDataset {
             Some(v) if !v.is_empty() => v,
             _ => return self.global_mean,
         };
-        idxs.iter().map(|&i| self.ratings[i as usize].score).sum::<f64>() / idxs.len() as f64
+        idxs.iter()
+            .map(|&i| self.ratings[i as usize].score)
+            .sum::<f64>()
+            / idxs.len() as f64
     }
 
     /// Splits the ratings into a training and a held-out validation set.
@@ -217,7 +232,11 @@ impl RatingDataset {
     /// `holdout_fraction` of the ratings (rounded, at least one and at most
     /// `len() - 1`) become validation data.  Item/user universes are shared
     /// between the two datasets.
-    pub fn split(&self, holdout_fraction: f64, seed: u64) -> Result<(RatingDataset, RatingDataset)> {
+    pub fn split(
+        &self,
+        holdout_fraction: f64,
+        seed: u64,
+    ) -> Result<(RatingDataset, RatingDataset)> {
         if !(0.0..1.0).contains(&holdout_fraction) {
             return Err(PerceptualError::InvalidConfig(
                 "holdout_fraction must lie in [0, 1)".into(),

@@ -94,7 +94,10 @@ impl PerceptualSpace {
     /// Clones the coordinate vectors of a subset of items, in the order of
     /// `items` — the feature matrix handed to the SVM extractor.
     pub fn feature_matrix(&self, items: &[ItemId]) -> Result<Vec<Vec<f64>>> {
-        items.iter().map(|&i| self.coordinates(i).map(|c| c.to_vec())).collect()
+        items
+            .iter()
+            .map(|&i| self.coordinates(i).map(|c| c.to_vec()))
+            .collect()
     }
 
     /// Euclidean distance between two items.
@@ -128,7 +131,11 @@ impl PerceptualSpace {
                     .sqrt(),
             })
             .collect();
-        neighbors.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal));
+        neighbors.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         neighbors.truncate(k);
         Ok(neighbors)
     }
@@ -162,8 +169,7 @@ impl PerceptualSpace {
         let mut distances = Vec::new();
         for i in 0..n {
             for j in (i + 1)..n {
-                let d = self
-                    .coordinates[i]
+                let d = self.coordinates[i]
                     .iter()
                     .zip(self.coordinates[j].iter())
                     .map(|(x, y)| (x - y) * (x - y))
@@ -176,8 +182,11 @@ impl PerceptualSpace {
             return (0.0, 0.0);
         }
         let mean = distances.iter().sum::<f64>() / distances.len() as f64;
-        let var =
-            distances.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / distances.len() as f64;
+        let var = distances
+            .iter()
+            .map(|d| (d - mean) * (d - mean))
+            .sum::<f64>()
+            / distances.len() as f64;
         (mean, var.sqrt())
     }
 

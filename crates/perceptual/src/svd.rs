@@ -52,13 +52,19 @@ impl Default for SvdConfig {
 impl SvdConfig {
     fn validate(&self) -> Result<()> {
         if self.dimensions == 0 {
-            return Err(PerceptualError::InvalidConfig("dimensions must be >= 1".into()));
+            return Err(PerceptualError::InvalidConfig(
+                "dimensions must be >= 1".into(),
+            ));
         }
         if self.lambda < 0.0 {
-            return Err(PerceptualError::InvalidConfig("lambda must be non-negative".into()));
+            return Err(PerceptualError::InvalidConfig(
+                "lambda must be non-negative".into(),
+            ));
         }
         if self.learning_rate <= 0.0 {
-            return Err(PerceptualError::InvalidConfig("learning_rate must be positive".into()));
+            return Err(PerceptualError::InvalidConfig(
+                "learning_rate must be positive".into(),
+            ));
         }
         if self.epochs == 0 {
             return Err(PerceptualError::InvalidConfig("epochs must be >= 1".into()));
@@ -87,10 +93,18 @@ impl SvdModel {
         let mut rng = StdRng::seed_from_u64(config.seed);
 
         let mut item_factors: Vec<Vec<f64>> = (0..dataset.n_items())
-            .map(|_| (0..d).map(|_| (rng.gen::<f64>() - 0.5) * config.init_scale).collect())
+            .map(|_| {
+                (0..d)
+                    .map(|_| (rng.gen::<f64>() - 0.5) * config.init_scale)
+                    .collect()
+            })
             .collect();
         let mut user_factors: Vec<Vec<f64>> = (0..dataset.n_users())
-            .map(|_| (0..d).map(|_| (rng.gen::<f64>() - 0.5) * config.init_scale).collect())
+            .map(|_| {
+                (0..d)
+                    .map(|_| (rng.gen::<f64>() - 0.5) * config.init_scale)
+                    .collect()
+            })
             .collect();
 
         let mut order: Vec<usize> = (0..dataset.len()).collect();
@@ -222,10 +236,38 @@ mod tests {
     #[test]
     fn config_is_validated() {
         let d = preference_dataset(1);
-        assert!(SvdModel::train(&d, &SvdConfig { dimensions: 0, ..quick_config() }).is_err());
-        assert!(SvdModel::train(&d, &SvdConfig { lambda: -0.1, ..quick_config() }).is_err());
-        assert!(SvdModel::train(&d, &SvdConfig { learning_rate: 0.0, ..quick_config() }).is_err());
-        assert!(SvdModel::train(&d, &SvdConfig { epochs: 0, ..quick_config() }).is_err());
+        assert!(SvdModel::train(
+            &d,
+            &SvdConfig {
+                dimensions: 0,
+                ..quick_config()
+            }
+        )
+        .is_err());
+        assert!(SvdModel::train(
+            &d,
+            &SvdConfig {
+                lambda: -0.1,
+                ..quick_config()
+            }
+        )
+        .is_err());
+        assert!(SvdModel::train(
+            &d,
+            &SvdConfig {
+                learning_rate: 0.0,
+                ..quick_config()
+            }
+        )
+        .is_err());
+        assert!(SvdModel::train(
+            &d,
+            &SvdConfig {
+                epochs: 0,
+                ..quick_config()
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -280,6 +322,9 @@ mod tests {
             / holdout.len() as f64)
             .sqrt();
         let model_rmse = model.rmse(&holdout).unwrap();
-        assert!(model_rmse < baseline, "model {model_rmse} vs baseline {baseline}");
+        assert!(
+            model_rmse < baseline,
+            "model {model_rmse} vs baseline {baseline}"
+        );
     }
 }

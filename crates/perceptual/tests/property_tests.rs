@@ -38,7 +38,7 @@ proptest! {
         // Item means lie within the observed range.
         for i in 0..20u32 {
             let mean = dataset.item_mean(i);
-            prop_assert!(mean >= 1.0 - 1e-9 && mean <= 5.0 + 1e-9);
+            prop_assert!((1.0 - 1e-9..=5.0 + 1e-9).contains(&mean));
         }
     }
 

@@ -92,7 +92,10 @@ mod tests {
         assert!(c.table_mut("movies").is_ok());
         assert!(c.table("games").is_err());
         assert!(c.table_mut("games").is_err());
-        assert!(matches!(c.create_table(table("movies")), Err(RelationalError::TableExists(_))));
+        assert!(matches!(
+            c.create_table(table("movies")),
+            Err(RelationalError::TableExists(_))
+        ));
         let dropped = c.drop_table("movies").unwrap();
         assert_eq!(dropped.name(), "movies");
         assert!(c.drop_table("movies").is_err());

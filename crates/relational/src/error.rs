@@ -56,18 +56,32 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(RelationalError::Parse("bad token".into()).to_string().contains("bad token"));
-        assert!(RelationalError::UnknownTable("movies".into()).to_string().contains("movies"));
+        assert!(RelationalError::Parse("bad token".into())
+            .to_string()
+            .contains("bad token"));
+        assert!(RelationalError::UnknownTable("movies".into())
+            .to_string()
+            .contains("movies"));
         let e = RelationalError::UnknownColumn {
             table: "movies".into(),
             column: "is_comedy".into(),
         };
         assert!(e.to_string().contains("is_comedy"));
         assert!(e.to_string().contains("movies"));
-        assert!(RelationalError::TableExists("t".into()).to_string().contains("already exists"));
-        assert!(RelationalError::ColumnExists("c".into()).to_string().contains("already exists"));
-        assert!(RelationalError::TypeMismatch("x".into()).to_string().contains("type mismatch"));
-        assert!(RelationalError::InvalidStatement("y".into()).to_string().contains("invalid"));
-        assert!(RelationalError::Evaluation("z".into()).to_string().contains("evaluation"));
+        assert!(RelationalError::TableExists("t".into())
+            .to_string()
+            .contains("already exists"));
+        assert!(RelationalError::ColumnExists("c".into())
+            .to_string()
+            .contains("already exists"));
+        assert!(RelationalError::TypeMismatch("x".into())
+            .to_string()
+            .contains("type mismatch"));
+        assert!(RelationalError::InvalidStatement("y".into())
+            .to_string()
+            .contains("invalid"));
+        assert!(RelationalError::Evaluation("z".into())
+            .to_string()
+            .contains("evaluation"));
     }
 }

@@ -29,6 +29,55 @@ impl QueryResult {
     }
 }
 
+/// The outcome of statically analyzing a statement against a catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatementAnalysis {
+    /// The table the statement reads or writes (`None` for `CREATE TABLE`).
+    pub table: Option<String>,
+    /// Every referenced column that is missing from the table's schema, in
+    /// first-appearance order and without duplicates.
+    pub missing_columns: Vec<String>,
+}
+
+impl StatementAnalysis {
+    /// True when every referenced column exists in the schema.
+    pub fn is_fully_resolved(&self) -> bool {
+        self.missing_columns.is_empty()
+    }
+}
+
+/// Statically analyzes a statement against the catalog, reporting **all**
+/// unknown columns at once.
+///
+/// Execution stops at the first unknown column, which forces a caller that
+/// wants to repair the schema (the crowd layer's query-driven expansion)
+/// into a parse→execute→fail cycle per missing attribute.  `analyze` lets it
+/// plan one expansion round covering every missing attribute of the
+/// statement instead.  Unknown tables are still an error: there is nothing
+/// to analyze against.
+pub fn analyze(statement: &Statement, catalog: &Catalog) -> Result<StatementAnalysis> {
+    let table_name = match statement.target_table() {
+        Some(name) => name,
+        None => {
+            return Ok(StatementAnalysis {
+                table: None,
+                missing_columns: Vec::new(),
+            })
+        }
+    };
+    let table = catalog.table(table_name)?;
+    let schema = table.schema();
+    let missing_columns = statement
+        .referenced_columns()
+        .into_iter()
+        .filter(|column| !schema.contains(column))
+        .collect();
+    Ok(StatementAnalysis {
+        table: Some(table.name().to_string()),
+        missing_columns,
+    })
+}
+
 /// Executes a parsed statement against the catalog.
 pub fn execute(statement: &Statement, catalog: &mut Catalog) -> Result<QueryResult> {
     match statement {
@@ -57,10 +106,7 @@ pub fn execute(statement: &Statement, catalog: &mut Catalog) -> Result<QueryResu
     }
 }
 
-fn matching_rows(
-    table: &Table,
-    filter: Option<&crate::expr::Expr>,
-) -> Result<Vec<usize>> {
+fn matching_rows(table: &Table, filter: Option<&crate::expr::Expr>) -> Result<Vec<usize>> {
     // Validate column references up front for a deterministic error.
     if let Some(filter) = filter {
         for column in filter.referenced_columns() {
@@ -256,10 +302,13 @@ fn execute_insert(
     let indices: Vec<usize> = columns
         .iter()
         .map(|c| {
-            table.schema().index_of(c).ok_or_else(|| RelationalError::UnknownColumn {
-                table: table.name().to_string(),
-                column: c.to_lowercase(),
-            })
+            table
+                .schema()
+                .index_of(c)
+                .ok_or_else(|| RelationalError::UnknownColumn {
+                    table: table.name().to_string(),
+                    column: c.to_lowercase(),
+                })
         })
         .collect::<Result<Vec<_>>>()?;
     let width = table.schema().len();
@@ -305,7 +354,10 @@ mod tests {
     fn setup() -> Catalog {
         let mut catalog = Catalog::new();
         execute(
-            &parse("CREATE TABLE movies (id INTEGER NOT NULL, name TEXT, year INTEGER, rating FLOAT)").unwrap(),
+            &parse(
+                "CREATE TABLE movies (id INTEGER NOT NULL, name TEXT, year INTEGER, rating FLOAT)",
+            )
+            .unwrap(),
             &mut catalog,
         )
         .unwrap();
@@ -334,7 +386,8 @@ mod tests {
     fn filter_projection_order_limit() {
         let mut catalog = setup();
         let result = execute(
-            &parse("SELECT name FROM movies WHERE year < 1977 ORDER BY rating DESC LIMIT 2").unwrap(),
+            &parse("SELECT name FROM movies WHERE year < 1977 ORDER BY rating DESC LIMIT 2")
+                .unwrap(),
             &mut catalog,
         )
         .unwrap();
@@ -383,7 +436,10 @@ mod tests {
             Err(RelationalError::UnknownColumn { .. })
         ));
         assert!(matches!(
-            execute(&parse("SELECT * FROM movies ORDER BY humor").unwrap(), &mut catalog),
+            execute(
+                &parse("SELECT * FROM movies ORDER BY humor").unwrap(),
+                &mut catalog
+            ),
             Err(RelationalError::UnknownColumn { .. })
         ));
     }
@@ -391,8 +447,11 @@ mod tests {
     #[test]
     fn alter_table_add_column_then_query() {
         let mut catalog = setup();
-        execute(&parse("ALTER TABLE movies ADD COLUMN is_comedy BOOLEAN").unwrap(), &mut catalog)
-            .unwrap();
+        execute(
+            &parse("ALTER TABLE movies ADD COLUMN is_comedy BOOLEAN").unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
         // All values start as NULL, so the predicate matches nothing.
         let result = execute(
             &parse("SELECT * FROM movies WHERE is_comedy = true").unwrap(),
@@ -425,11 +484,17 @@ mod tests {
         assert_eq!(result.rows_affected, 2);
         // Unknown table / column and NOT NULL violations.
         assert!(matches!(
-            execute(&parse("INSERT INTO nope (id) VALUES (1)").unwrap(), &mut catalog),
+            execute(
+                &parse("INSERT INTO nope (id) VALUES (1)").unwrap(),
+                &mut catalog
+            ),
             Err(RelationalError::UnknownTable(_))
         ));
         assert!(matches!(
-            execute(&parse("INSERT INTO movies (genre) VALUES ('comedy')").unwrap(), &mut catalog),
+            execute(
+                &parse("INSERT INTO movies (genre) VALUES ('comedy')").unwrap(),
+                &mut catalog
+            ),
             Err(RelationalError::UnknownColumn { .. })
         ));
         assert!(execute(
@@ -443,7 +508,10 @@ mod tests {
     fn create_table_twice_fails() {
         let mut catalog = setup();
         assert!(matches!(
-            execute(&parse("CREATE TABLE movies (id INTEGER)").unwrap(), &mut catalog),
+            execute(
+                &parse("CREATE TABLE movies (id INTEGER)").unwrap(),
+                &mut catalog
+            ),
             Err(RelationalError::TableExists(_))
         ));
     }
@@ -467,7 +535,8 @@ mod tests {
         .unwrap();
         assert_eq!(result.rows_affected, 2);
         let rows = execute(
-            &parse("SELECT name, rating, year FROM movies WHERE year = 2000 ORDER BY name").unwrap(),
+            &parse("SELECT name, rating, year FROM movies WHERE year = 2000 ORDER BY name")
+                .unwrap(),
             &mut catalog,
         )
         .unwrap();
@@ -475,15 +544,25 @@ mod tests {
         assert_eq!(rows.rows[0][0], Value::from("Psycho"));
         assert_eq!(rows.rows[0][1], Value::Float(9.5));
         // UPDATE without WHERE touches every row.
-        let all = execute(&parse("UPDATE movies SET rating = 0.0").unwrap(), &mut catalog).unwrap();
+        let all = execute(
+            &parse("UPDATE movies SET rating = 0.0").unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
         assert_eq!(all.rows_affected, 4);
         // Unknown assignment target and unknown filter column are reported.
         assert!(matches!(
-            execute(&parse("UPDATE movies SET humor = 1.0").unwrap(), &mut catalog),
+            execute(
+                &parse("UPDATE movies SET humor = 1.0").unwrap(),
+                &mut catalog
+            ),
             Err(RelationalError::UnknownColumn { .. })
         ));
         assert!(matches!(
-            execute(&parse("UPDATE movies SET rating = 1.0 WHERE humor = 2").unwrap(), &mut catalog),
+            execute(
+                &parse("UPDATE movies SET rating = 1.0 WHERE humor = 2").unwrap(),
+                &mut catalog
+            ),
             Err(RelationalError::UnknownColumn { .. })
         ));
     }
@@ -502,15 +581,86 @@ mod tests {
         // DELETE without WHERE empties the table.
         let rest = execute(&parse("DELETE FROM movies").unwrap(), &mut catalog).unwrap();
         assert_eq!(rest.rows_affected, 2);
-        assert!(execute(&parse("SELECT * FROM movies").unwrap(), &mut catalog)
-            .unwrap()
-            .rows
-            .is_empty());
+        assert!(
+            execute(&parse("SELECT * FROM movies").unwrap(), &mut catalog)
+                .unwrap()
+                .rows
+                .is_empty()
+        );
         // Unknown filter columns are reported.
         assert!(matches!(
-            execute(&parse("DELETE FROM movies WHERE humor = 2").unwrap(), &mut catalog),
+            execute(
+                &parse("DELETE FROM movies WHERE humor = 2").unwrap(),
+                &mut catalog
+            ),
             Err(RelationalError::UnknownColumn { .. })
         ));
+    }
+
+    #[test]
+    fn analyze_reports_all_missing_columns_in_one_pass() {
+        let mut catalog = setup();
+        // Two unknown columns across filter and ORDER BY, one known.
+        let stmt =
+            parse("SELECT name FROM movies WHERE is_comedy = true AND year > 1970 ORDER BY humor")
+                .unwrap();
+        let analysis = analyze(&stmt, &catalog).unwrap();
+        assert_eq!(analysis.table.as_deref(), Some("movies"));
+        assert_eq!(analysis.missing_columns, vec!["is_comedy", "humor"]);
+        assert!(!analysis.is_fully_resolved());
+
+        // Fully resolved statements report no missing columns.
+        let stmt = parse("SELECT name FROM movies WHERE year > 1970").unwrap();
+        let analysis = analyze(&stmt, &catalog).unwrap();
+        assert!(analysis.is_fully_resolved());
+
+        // Duplicated references are reported once, in first-appearance order.
+        let stmt =
+            parse("SELECT a, b FROM movies WHERE a = 1 AND b = 2 AND a = 3 ORDER BY b").unwrap();
+        let analysis = analyze(&stmt, &catalog).unwrap();
+        assert_eq!(analysis.missing_columns, vec!["a", "b"]);
+
+        // UPDATE and DELETE are analyzed through the same pass.
+        let stmt = parse("UPDATE movies SET humor = 1.0 WHERE is_comedy = true").unwrap();
+        let analysis = analyze(&stmt, &catalog).unwrap();
+        assert_eq!(analysis.missing_columns, vec!["humor", "is_comedy"]);
+        let stmt = parse("DELETE FROM movies WHERE humor = 2").unwrap();
+        assert_eq!(
+            analyze(&stmt, &catalog).unwrap().missing_columns,
+            vec!["humor"]
+        );
+
+        // CREATE TABLE has no target table to analyze.
+        let stmt = parse("CREATE TABLE t2 (id INTEGER)").unwrap();
+        let analysis = analyze(&stmt, &catalog).unwrap();
+        assert_eq!(analysis.table, None);
+        assert!(analysis.is_fully_resolved());
+
+        // Unknown tables are still an error.
+        let stmt = parse("SELECT * FROM missing").unwrap();
+        assert!(matches!(
+            analyze(&stmt, &catalog),
+            Err(RelationalError::UnknownTable(_))
+        ));
+        // Sanity: analysis does not mutate the catalog.
+        execute(&parse("SELECT * FROM movies").unwrap(), &mut catalog).unwrap();
+    }
+
+    #[test]
+    fn statement_referenced_columns_cover_all_clauses() {
+        let stmt = parse(
+            "SELECT Name, Year FROM movies WHERE IS_COMEDY = true AND year > 1970 ORDER BY rating",
+        )
+        .unwrap();
+        assert_eq!(
+            stmt.referenced_columns(),
+            vec!["name", "year", "is_comedy", "rating"]
+        );
+        assert_eq!(stmt.target_table(), Some("movies"));
+        let stmt = parse("INSERT INTO movies (id, name) VALUES (1, 'x')").unwrap();
+        assert_eq!(stmt.referenced_columns(), vec!["id", "name"]);
+        let stmt = parse("UPDATE movies SET rating = rating + 1 WHERE year < 1970").unwrap();
+        assert_eq!(stmt.referenced_columns(), vec!["rating", "year"]);
     }
 
     #[test]
@@ -519,15 +669,21 @@ mod tests {
         create_table_with_rows(
             &mut catalog,
             "genres",
-            vec![Column::new("id", DataType::Integer), Column::new("name", DataType::Text)],
+            vec![
+                Column::new("id", DataType::Integer),
+                Column::new("name", DataType::Text),
+            ],
             vec![
                 vec![Value::Integer(1), Value::from("comedy")],
                 vec![Value::Integer(2), Value::from("drama")],
             ],
         )
         .unwrap();
-        let result = execute(&parse("SELECT name FROM genres ORDER BY id").unwrap(), &mut catalog)
-            .unwrap();
+        let result = execute(
+            &parse("SELECT name FROM genres ORDER BY id").unwrap(),
+            &mut catalog,
+        )
+        .unwrap();
         assert_eq!(result.rows.len(), 2);
         assert_eq!(result.rows[0][0], Value::from("comedy"));
     }

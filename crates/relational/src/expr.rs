@@ -132,10 +132,12 @@ impl Expr {
     pub fn evaluate(&self, schema: &Schema, row: &[Value], table_name: &str) -> Result<Value> {
         match self {
             Expr::Column(name) => {
-                let idx = schema.index_of(name).ok_or_else(|| RelationalError::UnknownColumn {
-                    table: table_name.to_string(),
-                    column: name.to_lowercase(),
-                })?;
+                let idx = schema
+                    .index_of(name)
+                    .ok_or_else(|| RelationalError::UnknownColumn {
+                        table: table_name.to_string(),
+                        column: name.to_lowercase(),
+                    })?;
                 Ok(row[idx].clone())
             }
             Expr::Literal(v) => Ok(v.clone()),
@@ -317,8 +319,14 @@ mod tests {
     fn column_and_literal_evaluation() {
         let s = schema();
         let r = row();
-        assert_eq!(Expr::column("ID").evaluate(&s, &r, "movies").unwrap(), Value::Integer(1));
-        assert_eq!(Expr::literal(5i64).evaluate(&s, &r, "movies").unwrap(), Value::Integer(5));
+        assert_eq!(
+            Expr::column("ID").evaluate(&s, &r, "movies").unwrap(),
+            Value::Integer(1)
+        );
+        assert_eq!(
+            Expr::literal(5i64).evaluate(&s, &r, "movies").unwrap(),
+            Value::Integer(5)
+        );
         let err = Expr::column("missing").evaluate(&s, &r, "movies");
         assert!(matches!(err, Err(RelationalError::UnknownColumn { .. })));
     }
@@ -327,18 +335,38 @@ mod tests {
     fn comparisons() {
         let s = schema();
         let r = row();
-        let gt = Expr::binary(Expr::column("humor"), BinaryOperator::Gt, Expr::literal(3.0));
+        let gt = Expr::binary(
+            Expr::column("humor"),
+            BinaryOperator::Gt,
+            Expr::literal(3.0),
+        );
         assert_eq!(gt.evaluate(&s, &r, "t").unwrap(), Value::Boolean(true));
-        let eq = Expr::binary(Expr::column("name"), BinaryOperator::Eq, Expr::literal("Rocky"));
+        let eq = Expr::binary(
+            Expr::column("name"),
+            BinaryOperator::Eq,
+            Expr::literal("Rocky"),
+        );
         assert_eq!(eq.evaluate(&s, &r, "t").unwrap(), Value::Boolean(true));
-        let neq = Expr::binary(Expr::column("id"), BinaryOperator::NotEq, Expr::literal(1i64));
+        let neq = Expr::binary(
+            Expr::column("id"),
+            BinaryOperator::NotEq,
+            Expr::literal(1i64),
+        );
         assert_eq!(neq.evaluate(&s, &r, "t").unwrap(), Value::Boolean(false));
         // Comparison against NULL yields NULL, which `matches` treats as false.
-        let null_cmp = Expr::binary(Expr::column("is_comedy"), BinaryOperator::Eq, Expr::literal(true));
+        let null_cmp = Expr::binary(
+            Expr::column("is_comedy"),
+            BinaryOperator::Eq,
+            Expr::literal(true),
+        );
         assert_eq!(null_cmp.evaluate(&s, &r, "t").unwrap(), Value::Null);
         assert!(!null_cmp.matches(&s, &r, "t").unwrap());
         // Incomparable types.
-        let bad = Expr::binary(Expr::column("name"), BinaryOperator::Lt, Expr::literal(1i64));
+        let bad = Expr::binary(
+            Expr::column("name"),
+            BinaryOperator::Lt,
+            Expr::literal(1i64),
+        );
         assert!(bad.evaluate(&s, &r, "t").is_err());
     }
 
@@ -346,7 +374,11 @@ mod tests {
     fn three_valued_logic() {
         let s = schema();
         let r = row();
-        let is_comedy = Expr::binary(Expr::column("is_comedy"), BinaryOperator::Eq, Expr::literal(true));
+        let is_comedy = Expr::binary(
+            Expr::column("is_comedy"),
+            BinaryOperator::Eq,
+            Expr::literal(true),
+        );
         let id_pos = Expr::binary(Expr::column("id"), BinaryOperator::Gt, Expr::literal(0i64));
         // NULL AND true = NULL; NULL OR true = true; NULL AND false = false.
         let and = Expr::binary(is_comedy.clone(), BinaryOperator::And, id_pos.clone());
@@ -355,7 +387,10 @@ mod tests {
         assert_eq!(or.evaluate(&s, &r, "t").unwrap(), Value::Boolean(true));
         let id_neg = Expr::binary(Expr::column("id"), BinaryOperator::Lt, Expr::literal(0i64));
         let and_false = Expr::binary(is_comedy.clone(), BinaryOperator::And, id_neg);
-        assert_eq!(and_false.evaluate(&s, &r, "t").unwrap(), Value::Boolean(false));
+        assert_eq!(
+            and_false.evaluate(&s, &r, "t").unwrap(),
+            Value::Boolean(false)
+        );
         // NOT NULL = NULL.
         let not_null = Expr::UnaryOp {
             op: UnaryOperator::Not,
@@ -372,11 +407,15 @@ mod tests {
         let s = schema();
         let r = row();
         assert_eq!(
-            Expr::IsNull(Box::new(Expr::column("is_comedy"))).evaluate(&s, &r, "t").unwrap(),
+            Expr::IsNull(Box::new(Expr::column("is_comedy")))
+                .evaluate(&s, &r, "t")
+                .unwrap(),
             Value::Boolean(true)
         );
         assert_eq!(
-            Expr::IsNotNull(Box::new(Expr::column("id"))).evaluate(&s, &r, "t").unwrap(),
+            Expr::IsNotNull(Box::new(Expr::column("id")))
+                .evaluate(&s, &r, "t")
+                .unwrap(),
             Value::Boolean(true)
         );
     }
@@ -385,18 +424,41 @@ mod tests {
     fn arithmetic() {
         let s = schema();
         let r = row();
-        let add = Expr::binary(Expr::column("id"), BinaryOperator::Plus, Expr::literal(2i64));
+        let add = Expr::binary(
+            Expr::column("id"),
+            BinaryOperator::Plus,
+            Expr::literal(2i64),
+        );
         assert_eq!(add.evaluate(&s, &r, "t").unwrap(), Value::Integer(3));
-        let mul = Expr::binary(Expr::column("humor"), BinaryOperator::Multiply, Expr::literal(2i64));
+        let mul = Expr::binary(
+            Expr::column("humor"),
+            BinaryOperator::Multiply,
+            Expr::literal(2i64),
+        );
         assert_eq!(mul.evaluate(&s, &r, "t").unwrap(), Value::Float(7.0));
-        let div = Expr::binary(Expr::literal(7i64), BinaryOperator::Divide, Expr::literal(2i64));
+        let div = Expr::binary(
+            Expr::literal(7i64),
+            BinaryOperator::Divide,
+            Expr::literal(2i64),
+        );
         assert_eq!(div.evaluate(&s, &r, "t").unwrap(), Value::Float(3.5));
-        let div0 = Expr::binary(Expr::literal(7i64), BinaryOperator::Divide, Expr::literal(0i64));
+        let div0 = Expr::binary(
+            Expr::literal(7i64),
+            BinaryOperator::Divide,
+            Expr::literal(0i64),
+        );
         assert!(div0.evaluate(&s, &r, "t").is_err());
-        let bad = Expr::binary(Expr::column("name"), BinaryOperator::Plus, Expr::literal(1i64));
+        let bad = Expr::binary(
+            Expr::column("name"),
+            BinaryOperator::Plus,
+            Expr::literal(1i64),
+        );
         assert!(bad.evaluate(&s, &r, "t").is_err());
-        let null_arith =
-            Expr::binary(Expr::column("is_comedy"), BinaryOperator::Plus, Expr::literal(1i64));
+        let null_arith = Expr::binary(
+            Expr::column("is_comedy"),
+            BinaryOperator::Plus,
+            Expr::literal(1i64),
+        );
         assert_eq!(null_arith.evaluate(&s, &r, "t").unwrap(), Value::Null);
         // Unary negation.
         let neg = Expr::UnaryOp {
@@ -414,9 +476,17 @@ mod tests {
     #[test]
     fn referenced_columns_are_collected_once() {
         let e = Expr::binary(
-            Expr::binary(Expr::column("Humor"), BinaryOperator::GtEq, Expr::literal(8i64)),
+            Expr::binary(
+                Expr::column("Humor"),
+                BinaryOperator::GtEq,
+                Expr::literal(8i64),
+            ),
             BinaryOperator::And,
-            Expr::binary(Expr::column("humor"), BinaryOperator::Lt, Expr::column("year")),
+            Expr::binary(
+                Expr::column("humor"),
+                BinaryOperator::Lt,
+                Expr::column("year"),
+            ),
         );
         assert_eq!(e.referenced_columns(), vec!["humor", "year"]);
         assert!(Expr::literal(1i64).referenced_columns().is_empty());

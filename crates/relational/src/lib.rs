@@ -43,7 +43,7 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use error::RelationalError;
-pub use executor::{execute, QueryResult};
+pub use executor::{analyze, execute, QueryResult, StatementAnalysis};
 pub use expr::{BinaryOperator, Expr, UnaryOperator};
 pub use schema::{Column, Schema};
 pub use sql::{parse, Statement};

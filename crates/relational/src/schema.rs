@@ -152,7 +152,9 @@ mod tests {
     #[test]
     fn add_column_extends_schema() {
         let mut schema = Schema::new(vec![Column::new("id", DataType::Integer)]).unwrap();
-        schema.add_column(Column::new("is_comedy", DataType::Boolean)).unwrap();
+        schema
+            .add_column(Column::new("is_comedy", DataType::Boolean))
+            .unwrap();
         assert_eq!(schema.len(), 2);
         assert!(schema.contains("is_comedy"));
         assert!(matches!(

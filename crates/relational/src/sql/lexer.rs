@@ -46,9 +46,9 @@ pub enum Token {
 
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "ORDER", "BY", "ASC", "DESC", "LIMIT", "INSERT", "INTO", "VALUES",
-    "CREATE", "TABLE", "ALTER", "ADD", "COLUMN", "NOT", "NULL", "AND", "OR", "TRUE", "FALSE",
-    "IS", "INTEGER", "INT", "FLOAT", "REAL", "DOUBLE", "TEXT", "VARCHAR", "STRING", "BOOLEAN",
-    "BOOL", "UPDATE", "SET", "DELETE",
+    "CREATE", "TABLE", "ALTER", "ADD", "COLUMN", "NOT", "NULL", "AND", "OR", "TRUE", "FALSE", "IS",
+    "INTEGER", "INT", "FLOAT", "REAL", "DOUBLE", "TEXT", "VARCHAR", "STRING", "BOOLEAN", "BOOL",
+    "UPDATE", "SET", "DELETE",
 ];
 
 /// Splits a SQL string into tokens.
@@ -175,7 +175,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
             }
             other => {
-                return Err(RelationalError::Parse(format!("unexpected character '{other}'")));
+                return Err(RelationalError::Parse(format!(
+                    "unexpected character '{other}'"
+                )));
             }
         }
     }
@@ -188,7 +190,8 @@ mod tests {
 
     #[test]
     fn tokenizes_a_full_select() {
-        let toks = tokenize("SELECT name FROM movies WHERE humor >= 8.5 AND year <> 1999;").unwrap();
+        let toks =
+            tokenize("SELECT name FROM movies WHERE humor >= 8.5 AND year <> 1999;").unwrap();
         assert_eq!(toks[0], Token::Keyword("SELECT".into()));
         assert_eq!(toks[1], Token::Identifier("name".into()));
         assert!(toks.contains(&Token::GtEq));
@@ -244,6 +247,9 @@ mod tests {
     #[test]
     fn numbers_parse_with_single_dot() {
         let toks = tokenize("3.14 42").unwrap();
-        assert_eq!(toks, vec![Token::Number("3.14".into()), Token::Number("42".into())]);
+        assert_eq!(
+            toks,
+            vec![Token::Number("3.14".into()), Token::Number("42".into())]
+        );
     }
 }

@@ -102,6 +102,72 @@ pub enum Statement {
     },
 }
 
+impl Statement {
+    /// All column names the statement references (lower-cased, in
+    /// first-appearance order, without duplicates).  This is the AST-level
+    /// half of the static analysis pass: [`crate::executor::analyze`]
+    /// intersects this set with the catalog to report *every* unknown
+    /// column of a statement in one shot, so the crowd layer can plan a
+    /// single expansion round instead of discovering missing attributes one
+    /// failed execution at a time.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut push = |name: &str| {
+            let lower = name.to_lowercase();
+            if !out.contains(&lower) {
+                out.push(lower);
+            }
+        };
+        match self {
+            Statement::Select(select) => {
+                if let Projection::Columns(names) = &select.projection {
+                    names.iter().for_each(|n| push(n));
+                }
+                if let Some(filter) = &select.filter {
+                    filter.referenced_columns().iter().for_each(|n| push(n));
+                }
+                if let Some(OrderBy { column, .. }) = &select.order_by {
+                    push(column);
+                }
+            }
+            Statement::Insert { columns, .. } => columns.iter().for_each(|n| push(n)),
+            Statement::Update {
+                assignments,
+                filter,
+                ..
+            } => {
+                for (column, expr) in assignments {
+                    push(column);
+                    expr.referenced_columns().iter().for_each(|n| push(n));
+                }
+                if let Some(filter) = filter {
+                    filter.referenced_columns().iter().for_each(|n| push(n));
+                }
+            }
+            Statement::Delete { filter, .. } => {
+                if let Some(filter) = filter {
+                    filter.referenced_columns().iter().for_each(|n| push(n));
+                }
+            }
+            Statement::CreateTable { .. } | Statement::AlterTableAddColumn { .. } => {}
+        }
+        out
+    }
+
+    /// The table the statement operates on, when it targets an existing
+    /// table (`CREATE TABLE` introduces its table instead of reading one).
+    pub fn target_table(&self) -> Option<&str> {
+        match self {
+            Statement::Select(select) => Some(&select.table),
+            Statement::Insert { table, .. }
+            | Statement::AlterTableAddColumn { table, .. }
+            | Statement::Update { table, .. }
+            | Statement::Delete { table, .. } => Some(table),
+            Statement::CreateTable { .. } => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,7 +195,10 @@ mod tests {
                 .unwrap();
         match stmt {
             Statement::Select(s) => {
-                assert_eq!(s.projection, Projection::Columns(vec!["name".into(), "year".into()]));
+                assert_eq!(
+                    s.projection,
+                    Projection::Columns(vec!["name".into(), "year".into()])
+                );
                 let order = s.order_by.unwrap();
                 assert_eq!(order.column, "year");
                 assert!(!order.ascending);
@@ -146,7 +215,11 @@ mod tests {
         )
         .unwrap();
         match stmt {
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 assert_eq!(table, "movies");
                 assert_eq!(columns, vec!["id", "name", "year"]);
                 assert_eq!(rows.len(), 2);
@@ -159,9 +232,10 @@ mod tests {
 
     #[test]
     fn parse_create_table() {
-        let stmt =
-            parse("CREATE TABLE movies (id INTEGER NOT NULL, name TEXT, rating FLOAT, fun BOOLEAN)")
-                .unwrap();
+        let stmt = parse(
+            "CREATE TABLE movies (id INTEGER NOT NULL, name TEXT, rating FLOAT, fun BOOLEAN)",
+        )
+        .unwrap();
         match stmt {
             Statement::CreateTable { table, columns } => {
                 assert_eq!(table, "movies");
@@ -196,7 +270,11 @@ mod tests {
         match parse("UPDATE movies SET is_comedy = true, rating = rating + 1 WHERE year < 1980")
             .unwrap()
         {
-            Statement::Update { table, assignments, filter } => {
+            Statement::Update {
+                table,
+                assignments,
+                filter,
+            } => {
                 assert_eq!(table, "movies");
                 assert_eq!(assignments.len(), 2);
                 assert_eq!(assignments[0].0, "is_comedy");

@@ -14,7 +14,7 @@ pub fn parse(input: &str) -> Result<Statement> {
     let mut parser = Parser { tokens, pos: 0 };
     let stmt = parser.statement()?;
     // A trailing semicolon is allowed; anything else is an error.
-    if parser.consume_if(&Token::Semicolon) {}
+    parser.consume_if(&Token::Semicolon);
     if !parser.at_end() {
         return Err(RelationalError::Parse(format!(
             "unexpected trailing input near {:?}",
@@ -69,7 +69,9 @@ impl Parser {
     fn keyword(&mut self, kw: &str) -> Result<()> {
         match self.advance() {
             Some(Token::Keyword(k)) if k == kw => Ok(()),
-            other => Err(RelationalError::Parse(format!("expected {kw}, found {other:?}"))),
+            other => Err(RelationalError::Parse(format!(
+                "expected {kw}, found {other:?}"
+            ))),
         }
     }
 
@@ -85,7 +87,9 @@ impl Parser {
     fn identifier(&mut self) -> Result<String> {
         match self.advance() {
             Some(Token::Identifier(name)) => Ok(name),
-            other => Err(RelationalError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(RelationalError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -174,9 +178,10 @@ impl Parser {
         };
         let limit = if self.consume_keyword_if("LIMIT") {
             match self.advance() {
-                Some(Token::Number(n)) => Some(n.parse::<usize>().map_err(|_| {
-                    RelationalError::Parse(format!("invalid LIMIT value: {n}"))
-                })?),
+                Some(Token::Number(n)) => Some(
+                    n.parse::<usize>()
+                        .map_err(|_| RelationalError::Parse(format!("invalid LIMIT value: {n}")))?,
+                ),
                 other => {
                     return Err(RelationalError::Parse(format!(
                         "expected a number after LIMIT, found {other:?}"
@@ -264,9 +269,7 @@ impl Parser {
                 "FLOAT" | "REAL" | "DOUBLE" => DataType::Float,
                 "TEXT" | "VARCHAR" | "STRING" => DataType::Text,
                 "BOOLEAN" | "BOOL" => DataType::Boolean,
-                other => {
-                    return Err(RelationalError::Parse(format!("unknown data type {other}")))
-                }
+                other => return Err(RelationalError::Parse(format!("unknown data type {other}"))),
             },
             other => {
                 return Err(RelationalError::Parse(format!(
@@ -305,7 +308,9 @@ impl Parser {
                     "expected a number after '-', found {other:?}"
                 ))),
             },
-            other => Err(RelationalError::Parse(format!("expected a literal, found {other:?}"))),
+            other => Err(RelationalError::Parse(format!(
+                "expected a literal, found {other:?}"
+            ))),
         }
     }
 
@@ -457,8 +462,15 @@ mod tests {
         // AND binds tighter than OR.
         let e = select_filter("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
         match e {
-            Expr::BinaryOp { op: BinaryOperator::Or, right, .. } => match *right {
-                Expr::BinaryOp { op: BinaryOperator::And, .. } => {}
+            Expr::BinaryOp {
+                op: BinaryOperator::Or,
+                right,
+                ..
+            } => match *right {
+                Expr::BinaryOp {
+                    op: BinaryOperator::And,
+                    ..
+                } => {}
                 other => panic!("expected AND on the right of OR, got {other:?}"),
             },
             other => panic!("expected OR at the top, got {other:?}"),
@@ -470,9 +482,23 @@ mod tests {
         let e = select_filter("SELECT * FROM t WHERE a = 1 + 2 * 3");
         // Right side of '=' must be Plus(1, Multiply(2, 3)).
         match e {
-            Expr::BinaryOp { op: BinaryOperator::Eq, right, .. } => match *right {
-                Expr::BinaryOp { op: BinaryOperator::Plus, right: ref mul, .. } => {
-                    assert!(matches!(**mul, Expr::BinaryOp { op: BinaryOperator::Multiply, .. }));
+            Expr::BinaryOp {
+                op: BinaryOperator::Eq,
+                right,
+                ..
+            } => match *right {
+                Expr::BinaryOp {
+                    op: BinaryOperator::Plus,
+                    right: ref mul,
+                    ..
+                } => {
+                    assert!(matches!(
+                        **mul,
+                        Expr::BinaryOp {
+                            op: BinaryOperator::Multiply,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("expected Plus, got {other:?}"),
             },
@@ -483,7 +509,13 @@ mod tests {
     #[test]
     fn parenthesized_expressions_and_not() {
         let e = select_filter("SELECT * FROM t WHERE NOT (a = 1 OR b = 2)");
-        assert!(matches!(e, Expr::UnaryOp { op: UnaryOperator::Not, .. }));
+        assert!(matches!(
+            e,
+            Expr::UnaryOp {
+                op: UnaryOperator::Not,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -506,7 +538,13 @@ mod tests {
         let e = select_filter("SELECT * FROM t WHERE a > -3");
         match e {
             Expr::BinaryOp { right, .. } => {
-                assert!(matches!(*right, Expr::UnaryOp { op: UnaryOperator::Negate, .. }));
+                assert!(matches!(
+                    *right,
+                    Expr::UnaryOp {
+                        op: UnaryOperator::Negate,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -527,7 +565,10 @@ mod tests {
     fn boolean_and_null_literals() {
         match parse("INSERT INTO t (a, b, c) VALUES (true, false, NULL)").unwrap() {
             Statement::Insert { rows, .. } => {
-                assert_eq!(rows[0], vec![Value::Boolean(true), Value::Boolean(false), Value::Null]);
+                assert_eq!(
+                    rows[0],
+                    vec![Value::Boolean(true), Value::Boolean(false), Value::Null]
+                );
             }
             other => panic!("expected INSERT, got {other:?}"),
         }

@@ -87,10 +87,13 @@ impl Table {
     pub fn insert_named(&mut self, values: &[(&str, Value)]) -> Result<()> {
         let mut row = vec![Value::Null; self.schema.len()];
         for (name, value) in values {
-            let idx = self.schema.index_of(name).ok_or_else(|| RelationalError::UnknownColumn {
-                table: self.name.clone(),
-                column: name.to_string(),
-            })?;
+            let idx = self
+                .schema
+                .index_of(name)
+                .ok_or_else(|| RelationalError::UnknownColumn {
+                    table: self.name.clone(),
+                    column: name.to_string(),
+                })?;
             row[idx] = value.clone();
         }
         self.insert_row(row)
@@ -124,10 +127,13 @@ impl Table {
 
     /// Overwrites the value of `column` in row `row_index`.
     pub fn set_value(&mut self, row_index: usize, column: &str, value: Value) -> Result<()> {
-        let col_idx = self.schema.index_of(column).ok_or_else(|| RelationalError::UnknownColumn {
-            table: self.name.clone(),
-            column: column.to_string(),
-        })?;
+        let col_idx =
+            self.schema
+                .index_of(column)
+                .ok_or_else(|| RelationalError::UnknownColumn {
+                    table: self.name.clone(),
+                    column: column.to_string(),
+                })?;
         let col = &self.schema.columns()[col_idx];
         if !value.is_compatible_with(col.data_type) {
             return Err(RelationalError::TypeMismatch(format!(
@@ -135,24 +141,28 @@ impl Table {
                 col.name, col.data_type
             )));
         }
-        let row = self
-            .rows
-            .get_mut(row_index)
-            .ok_or_else(|| RelationalError::InvalidStatement(format!("row {row_index} does not exist")))?;
+        let row = self.rows.get_mut(row_index).ok_or_else(|| {
+            RelationalError::InvalidStatement(format!("row {row_index} does not exist"))
+        })?;
         row[col_idx] = value;
         Ok(())
     }
 
     /// Reads the value of `column` in row `row_index`.
     pub fn value(&self, row_index: usize, column: &str) -> Result<&Value> {
-        let col_idx = self.schema.index_of(column).ok_or_else(|| RelationalError::UnknownColumn {
-            table: self.name.clone(),
-            column: column.to_string(),
-        })?;
+        let col_idx =
+            self.schema
+                .index_of(column)
+                .ok_or_else(|| RelationalError::UnknownColumn {
+                    table: self.name.clone(),
+                    column: column.to_string(),
+                })?;
         self.rows
             .get(row_index)
             .map(|r| &r[col_idx])
-            .ok_or_else(|| RelationalError::InvalidStatement(format!("row {row_index} does not exist")))
+            .ok_or_else(|| {
+                RelationalError::InvalidStatement(format!("row {row_index} does not exist"))
+            })
     }
 
     /// Removes the rows at the given indices (indices refer to the current
@@ -162,8 +172,11 @@ impl Table {
         if indices.is_empty() {
             return 0;
         }
-        let to_delete: std::collections::HashSet<usize> =
-            indices.iter().copied().filter(|&i| i < self.rows.len()).collect();
+        let to_delete: std::collections::HashSet<usize> = indices
+            .iter()
+            .copied()
+            .filter(|&i| i < self.rows.len())
+            .collect();
         let before = self.rows.len();
         let mut keep_index = 0usize;
         self.rows.retain(|_| {
@@ -177,10 +190,13 @@ impl Table {
     /// Number of `NULL`s in a column — the amount of data a crowd-enabled
     /// database would have to complete at query time.
     pub fn null_count(&self, column: &str) -> Result<usize> {
-        let col_idx = self.schema.index_of(column).ok_or_else(|| RelationalError::UnknownColumn {
-            table: self.name.clone(),
-            column: column.to_string(),
-        })?;
+        let col_idx =
+            self.schema
+                .index_of(column)
+                .ok_or_else(|| RelationalError::UnknownColumn {
+                    table: self.name.clone(),
+                    column: column.to_string(),
+                })?;
         Ok(self.rows.iter().filter(|r| r[col_idx].is_null()).count())
     }
 }
@@ -205,9 +221,14 @@ mod tests {
         let mut t = movies();
         assert_eq!(t.name(), "movies");
         assert!(t.is_empty());
-        t.insert_row(vec![Value::Integer(1), Value::from("Rocky"), Value::Integer(1976)])
+        t.insert_row(vec![
+            Value::Integer(1),
+            Value::from("Rocky"),
+            Value::Integer(1976),
+        ])
+        .unwrap();
+        t.insert_named(&[("id", Value::Integer(2)), ("name", Value::from("Psycho"))])
             .unwrap();
-        t.insert_named(&[("id", Value::Integer(2)), ("name", Value::from("Psycho"))]).unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.row(0).unwrap()[1], Value::from("Rocky"));
         assert_eq!(t.value(1, "year").unwrap(), &Value::Null);
@@ -223,7 +244,9 @@ mod tests {
             .insert_row(vec![Value::from("x"), Value::from("y"), Value::Integer(1)])
             .is_err());
         // NOT NULL id.
-        assert!(t.insert_row(vec![Value::Null, Value::from("y"), Value::Integer(1)]).is_err());
+        assert!(t
+            .insert_row(vec![Value::Null, Value::from("y"), Value::Integer(1)])
+            .is_err());
         // Unknown column in named insert.
         assert!(matches!(
             t.insert_named(&[("genre", Value::from("drama"))]),
@@ -234,30 +257,50 @@ mod tests {
     #[test]
     fn add_column_fills_existing_rows() {
         let mut t = movies();
-        t.insert_row(vec![Value::Integer(1), Value::from("Rocky"), Value::Integer(1976)])
+        t.insert_row(vec![
+            Value::Integer(1),
+            Value::from("Rocky"),
+            Value::Integer(1976),
+        ])
+        .unwrap();
+        t.add_column(Column::new("is_comedy", DataType::Boolean), None)
             .unwrap();
-        t.add_column(Column::new("is_comedy", DataType::Boolean), None).unwrap();
         assert_eq!(t.schema().len(), 4);
         assert_eq!(t.value(0, "is_comedy").unwrap(), &Value::Null);
         assert_eq!(t.null_count("is_comedy").unwrap(), 1);
 
-        t.add_column(Column::new("humor", DataType::Float), Some(Value::Float(0.0))).unwrap();
+        t.add_column(
+            Column::new("humor", DataType::Float),
+            Some(Value::Float(0.0)),
+        )
+        .unwrap();
         assert_eq!(t.value(0, "humor").unwrap(), &Value::Float(0.0));
 
         // Duplicate column and bad defaults are rejected.
-        assert!(t.add_column(Column::new("is_comedy", DataType::Boolean), None).is_err());
         assert!(t
-            .add_column(Column::new("bad", DataType::Integer), Some(Value::from("oops")))
+            .add_column(Column::new("is_comedy", DataType::Boolean), None)
             .is_err());
-        assert!(t.add_column(Column::not_null("strict", DataType::Integer), None).is_err());
+        assert!(t
+            .add_column(
+                Column::new("bad", DataType::Integer),
+                Some(Value::from("oops"))
+            )
+            .is_err());
+        assert!(t
+            .add_column(Column::not_null("strict", DataType::Integer), None)
+            .is_err());
     }
 
     #[test]
     fn delete_rows_removes_only_requested_indices() {
         let mut t = movies();
         for i in 0..5 {
-            t.insert_row(vec![Value::Integer(i), Value::from("m"), Value::Integer(2000 + i)])
-                .unwrap();
+            t.insert_row(vec![
+                Value::Integer(i),
+                Value::from("m"),
+                Value::Integer(2000 + i),
+            ])
+            .unwrap();
         }
         // Duplicates and out-of-range indices are ignored.
         let removed = t.delete_rows(&[1, 3, 3, 99]);
@@ -278,9 +321,14 @@ mod tests {
     #[test]
     fn set_value_updates_cells() {
         let mut t = movies();
-        t.insert_row(vec![Value::Integer(1), Value::from("Rocky"), Value::Integer(1976)])
+        t.insert_row(vec![
+            Value::Integer(1),
+            Value::from("Rocky"),
+            Value::Integer(1976),
+        ])
+        .unwrap();
+        t.add_column(Column::new("is_comedy", DataType::Boolean), None)
             .unwrap();
-        t.add_column(Column::new("is_comedy", DataType::Boolean), None).unwrap();
         t.set_value(0, "is_comedy", Value::Boolean(false)).unwrap();
         assert_eq!(t.value(0, "is_comedy").unwrap(), &Value::Boolean(false));
         assert_eq!(t.null_count("is_comedy").unwrap(), 0);

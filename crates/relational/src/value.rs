@@ -68,15 +68,15 @@ impl Value {
     /// `NULL` is compatible with every type; integers may be widened into
     /// float columns.
     pub fn is_compatible_with(&self, ty: DataType) -> bool {
-        match (self, ty) {
-            (Value::Null, _) => true,
-            (Value::Integer(_), DataType::Integer) => true,
-            (Value::Integer(_), DataType::Float) => true,
-            (Value::Float(_), DataType::Float) => true,
-            (Value::Text(_), DataType::Text) => true,
-            (Value::Boolean(_), DataType::Boolean) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Integer(_), DataType::Integer)
+                | (Value::Integer(_), DataType::Float)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Text(_), DataType::Text)
+                | (Value::Boolean(_), DataType::Boolean)
+        )
     }
 
     /// Numeric view of the value (integers widened to floats).
@@ -213,10 +213,22 @@ mod tests {
 
     #[test]
     fn comparisons_follow_three_valued_logic() {
-        assert_eq!(Value::Integer(1).compare(&Value::Integer(2)), Some(Ordering::Less));
-        assert_eq!(Value::Integer(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Text("a".into()).compare(&Value::Text("b".into())), Some(Ordering::Less));
-        assert_eq!(Value::Boolean(false).compare(&Value::Boolean(true)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Integer(1).compare(&Value::Integer(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Integer(2).compare(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Text("a".into()).compare(&Value::Text("b".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Boolean(false).compare(&Value::Boolean(true)),
+            Some(Ordering::Less)
+        );
         assert_eq!(Value::Null.compare(&Value::Integer(1)), None);
         assert_eq!(Value::Integer(1).compare(&Value::Null), None);
         // Incomparable types.
@@ -229,7 +241,10 @@ mod tests {
         assert_eq!(Value::Integer(1).sql_eq(&Value::Integer(2)), Some(false));
         assert_eq!(Value::Null.sql_eq(&Value::Null), None);
         assert_eq!(Value::Boolean(true).sql_eq(&Value::Null), None);
-        assert_eq!(Value::Text("a".into()).sql_eq(&Value::Integer(1)), Some(false));
+        assert_eq!(
+            Value::Text("a".into()).sql_eq(&Value::Integer(1)),
+            Some(false)
+        );
     }
 
     #[test]

@@ -9,10 +9,39 @@ fn identifier() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,10}".prop_filter("avoid SQL keywords", |s| {
         !matches!(
             s.as_str(),
-            "select" | "from" | "where" | "order" | "by" | "asc" | "desc" | "limit" | "insert"
-                | "into" | "values" | "create" | "table" | "alter" | "add" | "column" | "not"
-                | "null" | "and" | "or" | "true" | "false" | "is" | "integer" | "int" | "float"
-                | "real" | "double" | "text" | "varchar" | "string" | "boolean" | "bool"
+            "select"
+                | "from"
+                | "where"
+                | "order"
+                | "by"
+                | "asc"
+                | "desc"
+                | "limit"
+                | "insert"
+                | "into"
+                | "values"
+                | "create"
+                | "table"
+                | "alter"
+                | "add"
+                | "column"
+                | "not"
+                | "null"
+                | "and"
+                | "or"
+                | "true"
+                | "false"
+                | "is"
+                | "integer"
+                | "int"
+                | "float"
+                | "real"
+                | "double"
+                | "text"
+                | "varchar"
+                | "string"
+                | "boolean"
+                | "bool"
         )
     })
 }

@@ -1,0 +1,80 @@
+//! Demonstrates the plan → acquire → materialize pipeline: one query
+//! referencing two missing perceptual attributes triggers a single planned
+//! round with one batched crowd dispatch, and the judgment cache makes
+//! repeated work free.
+//!
+//! Run with `cargo run --example batched_expansion`.
+
+use crowddb::prelude::*;
+
+fn main() {
+    println!("Generating the movie domain and its perceptual space …");
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.15), 99).unwrap();
+    let space = build_space_for_domain(&domain, 16, 20).unwrap();
+    let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 7);
+
+    let mut db = CrowdDb::new(CrowdDbConfig {
+        strategy: ExpansionStrategy::PerceptualSpace {
+            gold_sample_size: 80,
+            extraction: ExtractionConfig::default(),
+        },
+        ..Default::default()
+    });
+    db.load_domain("movies", &domain, space, Box::new(crowd))
+        .unwrap();
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
+    let second = domain.category_names()[1].clone();
+    // The second attribute overrides the default strategy: every item is
+    // crowd-sourced directly instead of extrapolating from a gold sample.
+    db.register_attribute_with_strategy(
+        "movies",
+        "is_other",
+        &second,
+        ExpansionStrategy::DirectCrowd,
+    )
+    .unwrap();
+
+    let query = "SELECT name FROM movies WHERE is_comedy = true AND is_other = false LIMIT 5";
+    println!("\nExecuting: {query}");
+    let result = db.execute(query).unwrap();
+    println!("→ {} rows (showing up to 5)", result.rows.len());
+
+    println!("\nOne planned round produced one event per attribute:");
+    println!(
+        "{:<12} {:>22} {:>8} {:>11} {:>8} {:>7}",
+        "column", "strategy", "items", "judgments", "cost $", "hits"
+    );
+    for event in db.expansion_events() {
+        let r = &event.report;
+        println!(
+            "{:<12} {:>22} {:>8} {:>11} {:>8.2} {:>7}",
+            r.column,
+            r.strategy,
+            r.items_crowd_sourced,
+            r.judgments_collected,
+            r.crowd_cost,
+            r.cache_hits
+        );
+    }
+
+    // Re-running the identical query is free: columns exist, nothing to plan.
+    let before = db.cache_stats();
+    db.execute(query).unwrap();
+    assert_eq!(db.expansion_events().len(), 2);
+    println!("\nRe-running the query: no new expansion events, no crowd work.");
+
+    // A forced re-expansion is served entirely from the judgment cache.
+    let report = db.expand_attribute("movies", "is_comedy").unwrap();
+    println!(
+        "Forced re-expansion of is_comedy: {} fresh judgments, {} cache hits, ${:.2} saved",
+        report.judgments_collected, report.cache_hits, report.cost_saved
+    );
+    assert_eq!(report.judgments_collected, 0);
+
+    let stats = db.cache_stats();
+    println!(
+        "\nJudgment cache: {} entries, {} hits / {} misses, ${:.2} not re-spent (was: {} hits)",
+        stats.entries, stats.hits, stats.misses, stats.cost_saved, before.hits
+    );
+}

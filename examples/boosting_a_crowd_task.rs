@@ -24,12 +24,17 @@ fn main() {
     let truth = domain.labels_for_category(category);
 
     // Run the trusted-worker crowd task (Experiment 2 → boosted = Experiment 5).
-    println!("Simulating the crowd task ({} movies, 10 judgments each) …", items.len());
+    println!(
+        "Simulating the crowd task ({} movies, 10 judgments each) …",
+        items.len()
+    );
     let oracle = CategoryOracle::new(&domain, category);
     let regime = ExperimentRegime::TrustedWorkers;
     let pool = regime.worker_pool(21);
     let config = regime.hit_config(items.len());
-    let run = CrowdPlatform::new(config).run(&items, &oracle, &pool, 22).unwrap();
+    let run = CrowdPlatform::new(config)
+        .run(&items, &oracle, &pool, 22)
+        .unwrap();
     println!(
         "  finished after {:.0} simulated minutes, total cost ${:.2}",
         run.total_minutes, run.total_cost

@@ -37,9 +37,12 @@ fn run_strategy(
         strategy,
         ..Default::default()
     });
-    db.load_domain("movies", domain, space.clone(), Box::new(crowd)).expect("load domain");
-    db.register_attribute("movies", "is_comedy", "Comedy").expect("register attribute");
-    db.execute("SELECT item_id FROM movies WHERE is_comedy = true").expect("query");
+    db.load_domain("movies", domain, space.clone(), Box::new(crowd))
+        .expect("load domain");
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .expect("register attribute");
+    db.execute("SELECT item_id FROM movies WHERE is_comedy = true")
+        .expect("query");
 
     let report = &db.expansion_events()[0].report;
     let truth = domain.labels_for_category(domain.category_index("Comedy").unwrap());

@@ -27,7 +27,11 @@ fn main() {
     // 2. Build the perceptual space from the ratings (Section 3.3).
     println!("Training the Euclidean-embedding factor model …");
     let space = build_space_for_domain(&domain, 16, 20).expect("factor model training");
-    println!("  perceptual space: {} items x {} dimensions", space.len(), space.dimensions());
+    println!(
+        "  perceptual space: {} items x {} dimensions",
+        space.len(),
+        space.dimensions()
+    );
 
     // 3. Assemble the crowd-enabled database: factual columns only.
     let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 7);
@@ -38,8 +42,10 @@ fn main() {
         },
         ..Default::default()
     });
-    db.load_domain("movies", &domain, space, Box::new(crowd)).expect("load domain");
-    db.register_attribute("movies", "is_comedy", "Comedy").expect("register attribute");
+    db.load_domain("movies", &domain, space, Box::new(crowd))
+        .expect("load domain");
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .expect("register attribute");
 
     // 4. The query references `is_comedy`, which does not exist yet.
     let sql = "SELECT name, year FROM movies WHERE is_comedy = true ORDER BY year DESC LIMIT 10";
@@ -48,20 +54,36 @@ fn main() {
 
     println!("\nTop comedies according to the expanded schema:");
     for row in &result.rows {
-        println!("  {:<28} ({})", row[0].to_string().trim_matches('\''), row[1]);
+        println!(
+            "  {:<28} ({})",
+            row[0].to_string().trim_matches('\''),
+            row[1]
+        );
     }
 
     // 5. What did the expansion cost?
     let event = &db.expansion_events()[0];
     println!("\nSchema expansion report");
     println!("  strategy          : {}", event.report.strategy);
-    println!("  items crowd-sourced: {}", event.report.items_crowd_sourced);
-    println!("  judgments collected: {}", event.report.judgments_collected);
+    println!(
+        "  items crowd-sourced: {}",
+        event.report.items_crowd_sourced
+    );
+    println!(
+        "  judgments collected: {}",
+        event.report.judgments_collected
+    );
     println!("  crowd cost         : ${:.2}", event.report.crowd_cost);
-    println!("  crowd time         : {:.0} simulated minutes", event.report.crowd_minutes);
+    println!(
+        "  crowd time         : {:.0} simulated minutes",
+        event.report.crowd_minutes
+    );
     println!("  training set size  : {}", event.report.training_set_size);
-    println!("  rows filled        : {} / {}", event.report.rows_filled,
-        event.report.rows_filled + event.report.rows_unfilled);
+    println!(
+        "  rows filled        : {} / {}",
+        event.report.rows_filled,
+        event.report.rows_filled + event.report.rows_unfilled
+    );
 
     // 6. Compare against the ground truth the generator planted.
     let truth = domain.labels_for_category(domain.category_index("Comedy").unwrap());

@@ -34,8 +34,10 @@ fn main() {
         },
         ..Default::default()
     });
-    db.load_domain("restaurants", &domain, space.clone(), Box::new(crowd)).unwrap();
-    db.register_attribute("restaurants", "is_trendy", "Ambience: Trendy").unwrap();
+    db.load_domain("restaurants", &domain, space.clone(), Box::new(crowd))
+        .unwrap();
+    db.register_attribute("restaurants", "is_trendy", "Ambience: Trendy")
+        .unwrap();
 
     let sql = "SELECT name FROM restaurants WHERE is_trendy = true LIMIT 8";
     println!("\nExecuting: {sql}");
@@ -68,7 +70,10 @@ fn main() {
     println!("\nAuditing a crowd labeling with {n_corrupt} planted errors …");
     let outcome = audit_binary_labels(&space, &crowd_labels, &ExtractionConfig::default()).unwrap();
     let (precision, recall) = outcome.precision_recall(&corrupted_items);
-    println!("  responses flagged for re-crowd-sourcing: {}", outcome.flagged.len());
+    println!(
+        "  responses flagged for re-crowd-sourcing: {}",
+        outcome.flagged.len()
+    );
     println!("  precision of the flags: {:.1}%", precision * 100.0);
     println!("  recall of the planted errors: {:.1}%", recall * 100.0);
     println!(

@@ -42,9 +42,10 @@ pub use relational;
 pub mod prelude {
     pub use crowddb_core::{
         audit_binary_labels, build_space_for_domain, evaluate_boost_over_time,
-        extract_binary_attribute, extract_numeric_attribute, repair_labels, AuditOutcome,
-        BoostCurve, CrowdDb, CrowdDbConfig, CrowdDbError, CrowdSource, ExpansionReport,
-        ExpansionStrategy, ExtractionConfig, RepairOutcome, SimulatedCrowd,
+        extract_binary_attribute, extract_numeric_attribute, repair_labels, AttributeRequest,
+        AuditOutcome, BoostCurve, CacheStats, CrowdDb, CrowdDbConfig, CrowdDbError, CrowdSource,
+        ExpansionPlan, ExpansionReport, ExpansionStrategy, ExtractionConfig, JudgmentCache,
+        RepairOutcome, SimulatedCrowd,
     };
     pub use crowdsim::{
         majority_vote, CrowdPlatform, CrowdRun, ExperimentRegime, HitConfig, Judgment,

@@ -22,11 +22,15 @@ fn perceptual_expansion_answers_the_papers_running_example() {
         },
         ..Default::default()
     });
-    db.load_domain("movies", &domain, space, Box::new(crowd)).unwrap();
-    db.register_attribute("movies", "is_comedy", "Comedy").unwrap();
+    db.load_domain("movies", &domain, space, Box::new(crowd))
+        .unwrap();
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
 
     let before = db.catalog().table("movies").unwrap().schema().len();
-    let result = db.execute("SELECT * FROM movies WHERE is_comedy = true").unwrap();
+    let result = db
+        .execute("SELECT * FROM movies WHERE is_comedy = true")
+        .unwrap();
     let after_schema = db.catalog().table("movies").unwrap().schema().clone();
 
     // Schema grew by exactly the new column and the result exposes it.
@@ -36,7 +40,11 @@ fn perceptual_expansion_answers_the_papers_running_example() {
     assert!(!result.rows.is_empty());
 
     // Every returned row really has is_comedy = true.
-    let col = result.columns.iter().position(|c| c == "is_comedy").unwrap();
+    let col = result
+        .columns
+        .iter()
+        .position(|c| c == "is_comedy")
+        .unwrap();
     assert!(result.rows.iter().all(|r| r[col] == Value::Boolean(true)));
 
     // The number of returned comedies is in the right ballpark of the
@@ -91,11 +99,19 @@ fn expanded_column_quality_beats_untrusted_direct_crowdsourcing() {
             "movies",
             &domain,
             space.clone(),
-            Box::new(SimulatedCrowd::new(&domain, ExperimentRegime::AllWorkers, 3)),
+            Box::new(SimulatedCrowd::new(
+                &domain,
+                ExperimentRegime::AllWorkers,
+                3,
+            )),
         )
         .unwrap();
-    direct.register_attribute("movies", "is_comedy", "Comedy").unwrap();
-    direct.execute("SELECT item_id FROM movies WHERE is_comedy = true").unwrap();
+    direct
+        .register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
+    direct
+        .execute("SELECT item_id FROM movies WHERE is_comedy = true")
+        .unwrap();
 
     let mut boosted = CrowdDb::new(CrowdDbConfig {
         strategy: ExpansionStrategy::PerceptualSpace {
@@ -109,11 +125,19 @@ fn expanded_column_quality_beats_untrusted_direct_crowdsourcing() {
             "movies",
             &domain,
             space,
-            Box::new(SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 4)),
+            Box::new(SimulatedCrowd::new(
+                &domain,
+                ExperimentRegime::TrustedWorkers,
+                4,
+            )),
         )
         .unwrap();
-    boosted.register_attribute("movies", "is_comedy", "Comedy").unwrap();
-    boosted.execute("SELECT item_id FROM movies WHERE is_comedy = true").unwrap();
+    boosted
+        .register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
+    boosted
+        .execute("SELECT item_id FROM movies WHERE is_comedy = true")
+        .unwrap();
 
     let direct_acc = accuracy(&direct);
     let boosted_acc = accuracy(&boosted);
@@ -138,9 +162,12 @@ fn multiple_attributes_expand_independently() {
         },
         ..Default::default()
     });
-    db.load_domain("movies", &domain, space, Box::new(crowd)).unwrap();
-    db.register_attribute("movies", "is_comedy", "Comedy").unwrap();
-    db.register_attribute("movies", "is_horror", "Horror").unwrap();
+    db.load_domain("movies", &domain, space, Box::new(crowd))
+        .unwrap();
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
+    db.register_attribute("movies", "is_horror", "Horror")
+        .unwrap();
 
     // One query referencing both missing attributes triggers two expansions.
     let result = db
@@ -160,7 +187,8 @@ fn multiple_attributes_expand_independently() {
     let schema = db.catalog().table("movies").unwrap().schema().clone();
     assert!(schema.contains("is_comedy"));
     assert!(schema.contains("is_horror"));
-    db.execute("SELECT name FROM movies WHERE is_horror = true").unwrap();
+    db.execute("SELECT name FROM movies WHERE is_horror = true")
+        .unwrap();
     assert_eq!(db.expansion_events().len(), 2);
 }
 
@@ -169,16 +197,23 @@ fn factual_sql_still_behaves_like_a_normal_database() {
     let (domain, space) = movie_setup(0.05, 400);
     let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 6);
     let mut db = CrowdDb::new(CrowdDbConfig::default());
-    db.load_domain("movies", &domain, space, Box::new(crowd)).unwrap();
+    db.load_domain("movies", &domain, space, Box::new(crowd))
+        .unwrap();
 
     // Plain projections, ordering, limits.
-    let all = db.execute("SELECT item_id, name, year FROM movies").unwrap();
+    let all = db
+        .execute("SELECT item_id, name, year FROM movies")
+        .unwrap();
     assert_eq!(all.rows.len(), domain.items().len());
-    let limited = db.execute("SELECT name FROM movies ORDER BY year DESC LIMIT 7").unwrap();
+    let limited = db
+        .execute("SELECT name FROM movies ORDER BY year DESC LIMIT 7")
+        .unwrap();
     assert_eq!(limited.rows.len(), 7);
     // Creating and querying an unrelated table works through the same API.
-    db.execute("CREATE TABLE genres (id INTEGER, label TEXT)").unwrap();
-    db.execute("INSERT INTO genres (id, label) VALUES (1, 'comedy'), (2, 'drama')").unwrap();
+    db.execute("CREATE TABLE genres (id INTEGER, label TEXT)")
+        .unwrap();
+    db.execute("INSERT INTO genres (id, label) VALUES (1, 'comedy'), (2, 'drama')")
+        .unwrap();
     let genres = db.execute("SELECT label FROM genres ORDER BY id").unwrap();
     assert_eq!(genres.rows.len(), 2);
     assert_eq!(genres.rows[0][0], Value::Text("comedy".into()));

@@ -1,0 +1,225 @@
+//! Integration tests for the plan → acquire → materialize pipeline: a query
+//! referencing several unregistered perceptual attributes expands all of
+//! them in **one** planned round with **one** batched crowd dispatch, and
+//! repeated work is served by the judgment cache instead of the crowd.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crowddb::prelude::*;
+use crowdsim::{BatchCrowdRun, CrowdRun};
+
+/// Wraps a [`SimulatedCrowd`] and counts every dispatch, so tests can
+/// assert exactly how many crowd rounds a query paid for.
+struct CountingCrowd {
+    inner: SimulatedCrowd,
+    collect_calls: Rc<Cell<usize>>,
+    batch_calls: Rc<Cell<usize>>,
+    judgments_served: Rc<Cell<usize>>,
+}
+
+impl CrowdSource for CountingCrowd {
+    fn collect(
+        &mut self,
+        items: &[u32],
+        attribute: &str,
+        seed: u64,
+    ) -> Result<CrowdRun, CrowdDbError> {
+        self.collect_calls.set(self.collect_calls.get() + 1);
+        let run = self.inner.collect(items, attribute, seed)?;
+        self.judgments_served
+            .set(self.judgments_served.get() + run.judgments.len());
+        Ok(run)
+    }
+
+    fn collect_batch(
+        &mut self,
+        requests: &[AttributeRequest],
+        seed: u64,
+    ) -> Result<BatchCrowdRun, CrowdDbError> {
+        self.batch_calls.set(self.batch_calls.get() + 1);
+        let batch = self.inner.collect_batch(requests, seed)?;
+        self.judgments_served
+            .set(self.judgments_served.get() + batch.total_judgments());
+        Ok(batch)
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+}
+
+struct Setup {
+    db: CrowdDb,
+    collect_calls: Rc<Cell<usize>>,
+    batch_calls: Rc<Cell<usize>>,
+    judgments_served: Rc<Cell<usize>>,
+    second_category: String,
+}
+
+fn setup(gold_sample_size: usize) -> Setup {
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.1), 4242).unwrap();
+    let space = build_space_for_domain(&domain, 12, 18).unwrap();
+    let collect_calls = Rc::new(Cell::new(0));
+    let batch_calls = Rc::new(Cell::new(0));
+    let judgments_served = Rc::new(Cell::new(0));
+    let crowd = CountingCrowd {
+        inner: SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 11),
+        collect_calls: collect_calls.clone(),
+        batch_calls: batch_calls.clone(),
+        judgments_served: judgments_served.clone(),
+    };
+    let mut db = CrowdDb::new(CrowdDbConfig {
+        strategy: ExpansionStrategy::PerceptualSpace {
+            gold_sample_size,
+            extraction: ExtractionConfig::default(),
+        },
+        ..Default::default()
+    });
+    let second_category = domain.category_names()[1].clone();
+    db.load_domain("movies", &domain, space, Box::new(crowd))
+        .unwrap();
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
+    db.register_attribute("movies", "is_other", &second_category)
+        .unwrap();
+    Setup {
+        db,
+        collect_calls,
+        batch_calls,
+        judgments_served,
+        second_category,
+    }
+}
+
+#[test]
+fn two_missing_attributes_expand_in_one_planned_round() {
+    let mut s = setup(60);
+    let query = "SELECT name FROM movies WHERE is_comedy = true AND is_other = false";
+    let result = s.db.execute(query).unwrap();
+    assert!(!result.rows.is_empty());
+
+    // Exactly one batched crowd dispatch — never one round per attribute.
+    assert_eq!(
+        s.batch_calls.get(),
+        1,
+        "expected exactly one collect_batch call"
+    );
+    assert_eq!(
+        s.collect_calls.get(),
+        0,
+        "per-attribute collect must not be used"
+    );
+
+    // One ExpansionEvent per attribute, both tied to the triggering query.
+    let events = s.db.expansion_events();
+    assert_eq!(events.len(), 2);
+    for event in events {
+        assert_eq!(event.triggering_query, query);
+        assert!(event
+            .report
+            .stages
+            .contains(&crowddb_core::expansion::ExpansionStage::ExpansionPlanned));
+    }
+    let columns: Vec<&str> = events.iter().map(|e| e.report.column.as_str()).collect();
+    assert_eq!(columns, vec!["is_comedy", "is_other"]);
+    assert_eq!(events[0].report.attribute, "Comedy");
+    assert_eq!(events[1].report.attribute, s.second_category);
+
+    // Both attributes share one gold sample, so the batched round served
+    // both questions over the same items.
+    assert_eq!(
+        events[0].report.items_crowd_sourced,
+        events[1].report.items_crowd_sourced
+    );
+    assert!(events[0].report.judgments_collected > 0);
+    assert!(events[1].report.judgments_collected > 0);
+}
+
+#[test]
+fn repeated_queries_pay_the_crowd_nothing() {
+    let mut s = setup(50);
+    let query = "SELECT name FROM movies WHERE is_comedy = true AND is_other = false";
+    let first = s.db.execute(query).unwrap();
+    let rounds_after_first = s.batch_calls.get();
+    let judgments_after_first = s.judgments_served.get();
+    let stats_after_first = s.db.cache_stats();
+    assert_eq!(rounds_after_first, 1);
+    assert!(judgments_after_first > 0);
+    // The first round populated the cache with every gold verdict.
+    assert!(stats_after_first.entries > 0);
+
+    // Re-executing the identical query: same rows, zero new crowd work, no
+    // new expansion events.
+    let second = s.db.execute(query).unwrap();
+    assert_eq!(first.rows, second.rows);
+    assert_eq!(s.batch_calls.get(), rounds_after_first);
+    assert_eq!(s.collect_calls.get(), 0);
+    assert_eq!(s.judgments_served.get(), judgments_after_first);
+    assert_eq!(s.db.expansion_events().len(), 2);
+
+    // Forcing a re-expansion of an already-materialized attribute is served
+    // entirely from the JudgmentCache: zero new crowd judgments, and the
+    // hit counters record the reuse.
+    let report = s.db.expand_attribute("movies", "is_comedy").unwrap();
+    assert_eq!(
+        s.batch_calls.get(),
+        rounds_after_first,
+        "no new crowd round"
+    );
+    assert_eq!(report.judgments_collected, 0);
+    assert_eq!(report.crowd_cost, 0.0);
+    assert!(report.cache_hits > 0);
+    assert_eq!(report.cache_misses, 0);
+    assert!(report.cost_saved > 0.0);
+    let stats = s.db.cache_stats();
+    assert_eq!(stats.hits as usize, report.cache_hits);
+    assert!(stats.cost_saved > 0.0);
+}
+
+#[test]
+fn batched_expansion_matches_sequential_results_but_costs_less_dispatch() {
+    // The batched pipeline and two separate single-attribute expansions
+    // must produce columns of the same quality; the batch does it in one
+    // round.
+    let mut batched = setup(60);
+    batched
+        .db
+        .execute("SELECT name FROM movies WHERE is_comedy = true AND is_other = false")
+        .unwrap();
+    assert_eq!(batched.batch_calls.get(), 1);
+
+    let mut sequential = setup(60);
+    sequential
+        .db
+        .execute("SELECT name FROM movies WHERE is_comedy = true")
+        .unwrap();
+    sequential
+        .db
+        .execute("SELECT name FROM movies WHERE is_other = false")
+        .unwrap();
+    assert_eq!(sequential.batch_calls.get(), 2);
+
+    // Same schema either way.
+    for db in [&batched.db, &sequential.db] {
+        let schema = db.catalog().table("movies").unwrap().schema().clone();
+        assert!(schema.contains("is_comedy"));
+        assert!(schema.contains("is_other"));
+    }
+    // The batched run answered both attributes with one round's wall-clock
+    // time; sequential rounds add up.
+    let batched_minutes: f64 = batched
+        .db
+        .expansion_events()
+        .iter()
+        .map(|e| e.report.crowd_minutes)
+        .fold(0.0, f64::max);
+    let sequential_minutes: f64 = sequential
+        .db
+        .expansion_events()
+        .iter()
+        .map(|e| e.report.crowd_minutes)
+        .sum();
+    assert!(batched_minutes > 0.0);
+    assert!(sequential_minutes > batched_minutes * 0.9);
+}

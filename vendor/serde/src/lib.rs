@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward
+//! declarations — nothing actually serializes today, and the build
+//! environment cannot reach crates.io.  This crate provides the two marker
+//! traits and re-exports no-op derive macros so the annotations compile.
+//! When real serialization is needed, swap this for the actual `serde` by
+//! changing one line in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,16 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde
+//! stand-in.  They accept any input and emit nothing; the marker traits in
+//! the companion `serde` crate have no required methods, so types remain
+//! usable wherever the derives appear.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
