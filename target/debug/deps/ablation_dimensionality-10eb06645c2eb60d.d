@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dimensionality-10eb06645c2eb60d.d: crates/bench/src/bin/ablation_dimensionality.rs
+
+/root/repo/target/debug/deps/ablation_dimensionality-10eb06645c2eb60d: crates/bench/src/bin/ablation_dimensionality.rs
+
+crates/bench/src/bin/ablation_dimensionality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dimensionality-1369bc6775c52cca.d: crates/bench/src/bin/ablation_dimensionality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dimensionality-1369bc6775c52cca.rmeta: crates/bench/src/bin/ablation_dimensionality.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dimensionality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dimensionality-13c7f0b0fcf619ae.d: crates/bench/src/bin/ablation_dimensionality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dimensionality-13c7f0b0fcf619ae.rmeta: crates/bench/src/bin/ablation_dimensionality.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dimensionality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

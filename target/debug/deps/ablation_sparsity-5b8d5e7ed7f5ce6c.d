@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sparsity-5b8d5e7ed7f5ce6c.d: crates/bench/src/bin/ablation_sparsity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sparsity-5b8d5e7ed7f5ce6c.rmeta: crates/bench/src/bin/ablation_sparsity.rs Cargo.toml
+
+crates/bench/src/bin/ablation_sparsity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sparsity-d22f920b4aa7980a.d: crates/bench/src/bin/ablation_sparsity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sparsity-d22f920b4aa7980a.rmeta: crates/bench/src/bin/ablation_sparsity.rs Cargo.toml
+
+crates/bench/src/bin/ablation_sparsity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sparsity-f30a6e6abfbc4a54.d: crates/bench/src/bin/ablation_sparsity.rs
+
+/root/repo/target/debug/deps/ablation_sparsity-f30a6e6abfbc4a54: crates/bench/src/bin/ablation_sparsity.rs
+
+crates/bench/src/bin/ablation_sparsity.rs:

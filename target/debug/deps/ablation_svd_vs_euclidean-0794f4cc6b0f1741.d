@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_svd_vs_euclidean-0794f4cc6b0f1741.d: crates/bench/src/bin/ablation_svd_vs_euclidean.rs
+
+/root/repo/target/debug/deps/ablation_svd_vs_euclidean-0794f4cc6b0f1741: crates/bench/src/bin/ablation_svd_vs_euclidean.rs
+
+crates/bench/src/bin/ablation_svd_vs_euclidean.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_svd_vs_euclidean-c7807035dddfa799.d: crates/bench/src/bin/ablation_svd_vs_euclidean.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_svd_vs_euclidean-c7807035dddfa799.rmeta: crates/bench/src/bin/ablation_svd_vs_euclidean.rs Cargo.toml
+
+crates/bench/src/bin/ablation_svd_vs_euclidean.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_tsvm-10a6c1a28cee8f0d.d: crates/bench/src/bin/ablation_tsvm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_tsvm-10a6c1a28cee8f0d.rmeta: crates/bench/src/bin/ablation_tsvm.rs Cargo.toml
+
+crates/bench/src/bin/ablation_tsvm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

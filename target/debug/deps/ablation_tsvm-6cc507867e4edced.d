@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tsvm-6cc507867e4edced.d: crates/bench/src/bin/ablation_tsvm.rs
+
+/root/repo/target/debug/deps/ablation_tsvm-6cc507867e4edced: crates/bench/src/bin/ablation_tsvm.rs
+
+crates/bench/src/bin/ablation_tsvm.rs:

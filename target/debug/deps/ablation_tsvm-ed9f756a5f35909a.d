@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_tsvm-ed9f756a5f35909a.d: crates/bench/src/bin/ablation_tsvm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_tsvm-ed9f756a5f35909a.rmeta: crates/bench/src/bin/ablation_tsvm.rs Cargo.toml
+
+crates/bench/src/bin/ablation_tsvm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-05cabb51c0ebb34d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-05cabb51c0ebb34d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

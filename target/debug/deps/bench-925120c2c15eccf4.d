@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-925120c2c15eccf4.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-925120c2c15eccf4.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

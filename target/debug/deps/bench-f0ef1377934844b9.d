@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-f0ef1377934844b9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-f0ef1377934844b9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-f0ef1377934844b9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

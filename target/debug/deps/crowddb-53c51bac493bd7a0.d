@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crowddb-53c51bac493bd7a0.d: src/lib.rs
+
+/root/repo/target/debug/deps/crowddb-53c51bac493bd7a0: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crowddb-7fb1833cacf400ca.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowddb-7fb1833cacf400ca.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crowddb-d02715927021f578.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowddb-d02715927021f578.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

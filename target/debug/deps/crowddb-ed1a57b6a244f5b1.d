@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crowddb-ed1a57b6a244f5b1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcrowddb-ed1a57b6a244f5b1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcrowddb-ed1a57b6a244f5b1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/crowddb_core-09c6d3d6a6ce8bb8.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/boost.rs crates/core/src/cache.rs crates/core/src/crowd_source.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/expansion.rs crates/core/src/extraction.rs crates/core/src/materialize.rs crates/core/src/planner.rs crates/core/src/repair.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowddb_core-09c6d3d6a6ce8bb8.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/boost.rs crates/core/src/cache.rs crates/core/src/crowd_source.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/expansion.rs crates/core/src/extraction.rs crates/core/src/materialize.rs crates/core/src/planner.rs crates/core/src/repair.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/boost.rs:
+crates/core/src/cache.rs:
+crates/core/src/crowd_source.rs:
+crates/core/src/db.rs:
+crates/core/src/error.rs:
+crates/core/src/expansion.rs:
+crates/core/src/extraction.rs:
+crates/core/src/materialize.rs:
+crates/core/src/planner.rs:
+crates/core/src/repair.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

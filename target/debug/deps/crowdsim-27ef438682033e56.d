@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/crowdsim-27ef438682033e56.d: crates/crowdsim/src/lib.rs crates/crowdsim/src/aggregate.rs crates/crowdsim/src/error.rs crates/crowdsim/src/hit.rs crates/crowdsim/src/oracle.rs crates/crowdsim/src/platform.rs crates/crowdsim/src/regimes.rs crates/crowdsim/src/worker.rs
+
+/root/repo/target/debug/deps/libcrowdsim-27ef438682033e56.rlib: crates/crowdsim/src/lib.rs crates/crowdsim/src/aggregate.rs crates/crowdsim/src/error.rs crates/crowdsim/src/hit.rs crates/crowdsim/src/oracle.rs crates/crowdsim/src/platform.rs crates/crowdsim/src/regimes.rs crates/crowdsim/src/worker.rs
+
+/root/repo/target/debug/deps/libcrowdsim-27ef438682033e56.rmeta: crates/crowdsim/src/lib.rs crates/crowdsim/src/aggregate.rs crates/crowdsim/src/error.rs crates/crowdsim/src/hit.rs crates/crowdsim/src/oracle.rs crates/crowdsim/src/platform.rs crates/crowdsim/src/regimes.rs crates/crowdsim/src/worker.rs
+
+crates/crowdsim/src/lib.rs:
+crates/crowdsim/src/aggregate.rs:
+crates/crowdsim/src/error.rs:
+crates/crowdsim/src/hit.rs:
+crates/crowdsim/src/oracle.rs:
+crates/crowdsim/src/platform.rs:
+crates/crowdsim/src/regimes.rs:
+crates/crowdsim/src/worker.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/crowdsim-3385855193640ad7.d: crates/crowdsim/src/lib.rs crates/crowdsim/src/aggregate.rs crates/crowdsim/src/error.rs crates/crowdsim/src/hit.rs crates/crowdsim/src/oracle.rs crates/crowdsim/src/platform.rs crates/crowdsim/src/regimes.rs crates/crowdsim/src/worker.rs
+
+/root/repo/target/debug/deps/crowdsim-3385855193640ad7: crates/crowdsim/src/lib.rs crates/crowdsim/src/aggregate.rs crates/crowdsim/src/error.rs crates/crowdsim/src/hit.rs crates/crowdsim/src/oracle.rs crates/crowdsim/src/platform.rs crates/crowdsim/src/regimes.rs crates/crowdsim/src/worker.rs
+
+crates/crowdsim/src/lib.rs:
+crates/crowdsim/src/aggregate.rs:
+crates/crowdsim/src/error.rs:
+crates/crowdsim/src/hit.rs:
+crates/crowdsim/src/oracle.rs:
+crates/crowdsim/src/platform.rs:
+crates/crowdsim/src/regimes.rs:
+crates/crowdsim/src/worker.rs:

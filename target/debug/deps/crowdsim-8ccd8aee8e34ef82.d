@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/crowdsim-8ccd8aee8e34ef82.d: crates/crowdsim/src/lib.rs crates/crowdsim/src/aggregate.rs crates/crowdsim/src/error.rs crates/crowdsim/src/hit.rs crates/crowdsim/src/oracle.rs crates/crowdsim/src/platform.rs crates/crowdsim/src/regimes.rs crates/crowdsim/src/worker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowdsim-8ccd8aee8e34ef82.rmeta: crates/crowdsim/src/lib.rs crates/crowdsim/src/aggregate.rs crates/crowdsim/src/error.rs crates/crowdsim/src/hit.rs crates/crowdsim/src/oracle.rs crates/crowdsim/src/platform.rs crates/crowdsim/src/regimes.rs crates/crowdsim/src/worker.rs Cargo.toml
+
+crates/crowdsim/src/lib.rs:
+crates/crowdsim/src/aggregate.rs:
+crates/crowdsim/src/error.rs:
+crates/crowdsim/src/hit.rs:
+crates/crowdsim/src/oracle.rs:
+crates/crowdsim/src/platform.rs:
+crates/crowdsim/src/regimes.rs:
+crates/crowdsim/src/worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

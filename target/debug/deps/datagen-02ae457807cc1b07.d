@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/datagen-02ae457807cc1b07.d: crates/datagen/src/lib.rs crates/datagen/src/domain.rs crates/datagen/src/experts.rs crates/datagen/src/generator.rs crates/datagen/src/metadata.rs crates/datagen/src/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatagen-02ae457807cc1b07.rmeta: crates/datagen/src/lib.rs crates/datagen/src/domain.rs crates/datagen/src/experts.rs crates/datagen/src/generator.rs crates/datagen/src/metadata.rs crates/datagen/src/oracle.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/domain.rs:
+crates/datagen/src/experts.rs:
+crates/datagen/src/generator.rs:
+crates/datagen/src/metadata.rs:
+crates/datagen/src/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/datagen-2dc2acd4d91d98dc.d: crates/datagen/src/lib.rs crates/datagen/src/domain.rs crates/datagen/src/experts.rs crates/datagen/src/generator.rs crates/datagen/src/metadata.rs crates/datagen/src/oracle.rs
+
+/root/repo/target/debug/deps/libdatagen-2dc2acd4d91d98dc.rlib: crates/datagen/src/lib.rs crates/datagen/src/domain.rs crates/datagen/src/experts.rs crates/datagen/src/generator.rs crates/datagen/src/metadata.rs crates/datagen/src/oracle.rs
+
+/root/repo/target/debug/deps/libdatagen-2dc2acd4d91d98dc.rmeta: crates/datagen/src/lib.rs crates/datagen/src/domain.rs crates/datagen/src/experts.rs crates/datagen/src/generator.rs crates/datagen/src/metadata.rs crates/datagen/src/oracle.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/domain.rs:
+crates/datagen/src/experts.rs:
+crates/datagen/src/generator.rs:
+crates/datagen/src/metadata.rs:
+crates/datagen/src/oracle.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/datagen-5f5124259eb3d26d.d: crates/datagen/src/lib.rs crates/datagen/src/domain.rs crates/datagen/src/experts.rs crates/datagen/src/generator.rs crates/datagen/src/metadata.rs crates/datagen/src/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatagen-5f5124259eb3d26d.rmeta: crates/datagen/src/lib.rs crates/datagen/src/domain.rs crates/datagen/src/experts.rs crates/datagen/src/generator.rs crates/datagen/src/metadata.rs crates/datagen/src/oracle.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/domain.rs:
+crates/datagen/src/experts.rs:
+crates/datagen/src/generator.rs:
+crates/datagen/src/metadata.rs:
+crates/datagen/src/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/datagen-ea372207541ed845.d: crates/datagen/src/lib.rs crates/datagen/src/domain.rs crates/datagen/src/experts.rs crates/datagen/src/generator.rs crates/datagen/src/metadata.rs crates/datagen/src/oracle.rs
+
+/root/repo/target/debug/deps/datagen-ea372207541ed845: crates/datagen/src/lib.rs crates/datagen/src/domain.rs crates/datagen/src/experts.rs crates/datagen/src/generator.rs crates/datagen/src/metadata.rs crates/datagen/src/oracle.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/domain.rs:
+crates/datagen/src/experts.rs:
+crates/datagen/src/generator.rs:
+crates/datagen/src/metadata.rs:
+crates/datagen/src/oracle.rs:

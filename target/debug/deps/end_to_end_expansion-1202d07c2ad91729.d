@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_expansion-1202d07c2ad91729.d: tests/end_to_end_expansion.rs
+
+/root/repo/target/debug/deps/end_to_end_expansion-1202d07c2ad91729: tests/end_to_end_expansion.rs
+
+tests/end_to_end_expansion.rs:

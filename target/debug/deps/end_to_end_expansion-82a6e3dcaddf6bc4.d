@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_expansion-82a6e3dcaddf6bc4.d: tests/end_to_end_expansion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_expansion-82a6e3dcaddf6bc4.rmeta: tests/end_to_end_expansion.rs Cargo.toml
+
+tests/end_to_end_expansion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/expansion_pipeline-c38c9356e8fb90c3.d: crates/bench/benches/expansion_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexpansion_pipeline-c38c9356e8fb90c3.rmeta: crates/bench/benches/expansion_pipeline.rs Cargo.toml
+
+crates/bench/benches/expansion_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

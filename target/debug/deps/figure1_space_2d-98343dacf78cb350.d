@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure1_space_2d-98343dacf78cb350.d: crates/bench/src/bin/figure1_space_2d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1_space_2d-98343dacf78cb350.rmeta: crates/bench/src/bin/figure1_space_2d.rs Cargo.toml
+
+crates/bench/src/bin/figure1_space_2d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1_space_2d-9c0e8c0dfb501fe4.d: crates/bench/src/bin/figure1_space_2d.rs
+
+/root/repo/target/debug/deps/figure1_space_2d-9c0e8c0dfb501fe4: crates/bench/src/bin/figure1_space_2d.rs
+
+crates/bench/src/bin/figure1_space_2d.rs:

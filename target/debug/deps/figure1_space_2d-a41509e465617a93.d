@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure1_space_2d-a41509e465617a93.d: crates/bench/src/bin/figure1_space_2d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1_space_2d-a41509e465617a93.rmeta: crates/bench/src/bin/figure1_space_2d.rs Cargo.toml
+
+crates/bench/src/bin/figure1_space_2d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2_workflow-06e2d1c71a1e52bf.d: crates/bench/src/bin/figure2_workflow.rs
+
+/root/repo/target/debug/deps/figure2_workflow-06e2d1c71a1e52bf: crates/bench/src/bin/figure2_workflow.rs
+
+crates/bench/src/bin/figure2_workflow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure2_workflow-b8d91c880c080459.d: crates/bench/src/bin/figure2_workflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure2_workflow-b8d91c880c080459.rmeta: crates/bench/src/bin/figure2_workflow.rs Cargo.toml
+
+crates/bench/src/bin/figure2_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

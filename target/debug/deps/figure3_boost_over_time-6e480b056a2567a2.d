@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3_boost_over_time-6e480b056a2567a2.d: crates/bench/src/bin/figure3_boost_over_time.rs
+
+/root/repo/target/debug/deps/figure3_boost_over_time-6e480b056a2567a2: crates/bench/src/bin/figure3_boost_over_time.rs
+
+crates/bench/src/bin/figure3_boost_over_time.rs:

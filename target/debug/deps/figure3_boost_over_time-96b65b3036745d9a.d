@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure3_boost_over_time-96b65b3036745d9a.d: crates/bench/src/bin/figure3_boost_over_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure3_boost_over_time-96b65b3036745d9a.rmeta: crates/bench/src/bin/figure3_boost_over_time.rs Cargo.toml
+
+crates/bench/src/bin/figure3_boost_over_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4_boost_over_cost-b1d76b388e9904cb.d: crates/bench/src/bin/figure4_boost_over_cost.rs
+
+/root/repo/target/debug/deps/figure4_boost_over_cost-b1d76b388e9904cb: crates/bench/src/bin/figure4_boost_over_cost.rs
+
+crates/bench/src/bin/figure4_boost_over_cost.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure4_boost_over_cost-c954349dee568d60.d: crates/bench/src/bin/figure4_boost_over_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure4_boost_over_cost-c954349dee568d60.rmeta: crates/bench/src/bin/figure4_boost_over_cost.rs Cargo.toml
+
+crates/bench/src/bin/figure4_boost_over_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

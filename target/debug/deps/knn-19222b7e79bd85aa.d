@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/knn-19222b7e79bd85aa.d: crates/bench/benches/knn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libknn-19222b7e79bd85aa.rmeta: crates/bench/benches/knn.rs Cargo.toml
+
+crates/bench/benches/knn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mlkit-db95ce63143dafe6.d: crates/mlkit/src/lib.rs crates/mlkit/src/dataset.rs crates/mlkit/src/error.rs crates/mlkit/src/kernel.rs crates/mlkit/src/linalg.rs crates/mlkit/src/lsi.rs crates/mlkit/src/metrics.rs crates/mlkit/src/svm/mod.rs crates/mlkit/src/svm/classifier.rs crates/mlkit/src/svm/svr.rs crates/mlkit/src/svm/tsvm.rs
+
+/root/repo/target/debug/deps/libmlkit-db95ce63143dafe6.rlib: crates/mlkit/src/lib.rs crates/mlkit/src/dataset.rs crates/mlkit/src/error.rs crates/mlkit/src/kernel.rs crates/mlkit/src/linalg.rs crates/mlkit/src/lsi.rs crates/mlkit/src/metrics.rs crates/mlkit/src/svm/mod.rs crates/mlkit/src/svm/classifier.rs crates/mlkit/src/svm/svr.rs crates/mlkit/src/svm/tsvm.rs
+
+/root/repo/target/debug/deps/libmlkit-db95ce63143dafe6.rmeta: crates/mlkit/src/lib.rs crates/mlkit/src/dataset.rs crates/mlkit/src/error.rs crates/mlkit/src/kernel.rs crates/mlkit/src/linalg.rs crates/mlkit/src/lsi.rs crates/mlkit/src/metrics.rs crates/mlkit/src/svm/mod.rs crates/mlkit/src/svm/classifier.rs crates/mlkit/src/svm/svr.rs crates/mlkit/src/svm/tsvm.rs
+
+crates/mlkit/src/lib.rs:
+crates/mlkit/src/dataset.rs:
+crates/mlkit/src/error.rs:
+crates/mlkit/src/kernel.rs:
+crates/mlkit/src/linalg.rs:
+crates/mlkit/src/lsi.rs:
+crates/mlkit/src/metrics.rs:
+crates/mlkit/src/svm/mod.rs:
+crates/mlkit/src/svm/classifier.rs:
+crates/mlkit/src/svm/svr.rs:
+crates/mlkit/src/svm/tsvm.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mlkit-ef617b39cd6cba80.d: crates/mlkit/src/lib.rs crates/mlkit/src/dataset.rs crates/mlkit/src/error.rs crates/mlkit/src/kernel.rs crates/mlkit/src/linalg.rs crates/mlkit/src/lsi.rs crates/mlkit/src/metrics.rs crates/mlkit/src/svm/mod.rs crates/mlkit/src/svm/classifier.rs crates/mlkit/src/svm/svr.rs crates/mlkit/src/svm/tsvm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlkit-ef617b39cd6cba80.rmeta: crates/mlkit/src/lib.rs crates/mlkit/src/dataset.rs crates/mlkit/src/error.rs crates/mlkit/src/kernel.rs crates/mlkit/src/linalg.rs crates/mlkit/src/lsi.rs crates/mlkit/src/metrics.rs crates/mlkit/src/svm/mod.rs crates/mlkit/src/svm/classifier.rs crates/mlkit/src/svm/svr.rs crates/mlkit/src/svm/tsvm.rs Cargo.toml
+
+crates/mlkit/src/lib.rs:
+crates/mlkit/src/dataset.rs:
+crates/mlkit/src/error.rs:
+crates/mlkit/src/kernel.rs:
+crates/mlkit/src/linalg.rs:
+crates/mlkit/src/lsi.rs:
+crates/mlkit/src/metrics.rs:
+crates/mlkit/src/svm/mod.rs:
+crates/mlkit/src/svm/classifier.rs:
+crates/mlkit/src/svm/svr.rs:
+crates/mlkit/src/svm/tsvm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pearson_consensus-02fd43830ee100ba.d: crates/bench/src/bin/pearson_consensus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpearson_consensus-02fd43830ee100ba.rmeta: crates/bench/src/bin/pearson_consensus.rs Cargo.toml
+
+crates/bench/src/bin/pearson_consensus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pearson_consensus-8d7d403efed23d1a.d: crates/bench/src/bin/pearson_consensus.rs
+
+/root/repo/target/debug/deps/pearson_consensus-8d7d403efed23d1a: crates/bench/src/bin/pearson_consensus.rs
+
+crates/bench/src/bin/pearson_consensus.rs:

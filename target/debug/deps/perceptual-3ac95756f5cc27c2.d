@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/perceptual-3ac95756f5cc27c2.d: crates/perceptual/src/lib.rs crates/perceptual/src/cross_validation.rs crates/perceptual/src/error.rs crates/perceptual/src/euclidean.rs crates/perceptual/src/ratings.rs crates/perceptual/src/space.rs crates/perceptual/src/svd.rs
+
+/root/repo/target/debug/deps/libperceptual-3ac95756f5cc27c2.rlib: crates/perceptual/src/lib.rs crates/perceptual/src/cross_validation.rs crates/perceptual/src/error.rs crates/perceptual/src/euclidean.rs crates/perceptual/src/ratings.rs crates/perceptual/src/space.rs crates/perceptual/src/svd.rs
+
+/root/repo/target/debug/deps/libperceptual-3ac95756f5cc27c2.rmeta: crates/perceptual/src/lib.rs crates/perceptual/src/cross_validation.rs crates/perceptual/src/error.rs crates/perceptual/src/euclidean.rs crates/perceptual/src/ratings.rs crates/perceptual/src/space.rs crates/perceptual/src/svd.rs
+
+crates/perceptual/src/lib.rs:
+crates/perceptual/src/cross_validation.rs:
+crates/perceptual/src/error.rs:
+crates/perceptual/src/euclidean.rs:
+crates/perceptual/src/ratings.rs:
+crates/perceptual/src/space.rs:
+crates/perceptual/src/svd.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/perceptual-6304b3fc1cf00015.d: crates/perceptual/src/lib.rs crates/perceptual/src/cross_validation.rs crates/perceptual/src/error.rs crates/perceptual/src/euclidean.rs crates/perceptual/src/ratings.rs crates/perceptual/src/space.rs crates/perceptual/src/svd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperceptual-6304b3fc1cf00015.rmeta: crates/perceptual/src/lib.rs crates/perceptual/src/cross_validation.rs crates/perceptual/src/error.rs crates/perceptual/src/euclidean.rs crates/perceptual/src/ratings.rs crates/perceptual/src/space.rs crates/perceptual/src/svd.rs Cargo.toml
+
+crates/perceptual/src/lib.rs:
+crates/perceptual/src/cross_validation.rs:
+crates/perceptual/src/error.rs:
+crates/perceptual/src/euclidean.rs:
+crates/perceptual/src/ratings.rs:
+crates/perceptual/src/space.rs:
+crates/perceptual/src/svd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

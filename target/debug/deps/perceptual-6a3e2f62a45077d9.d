@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/perceptual-6a3e2f62a45077d9.d: crates/perceptual/src/lib.rs crates/perceptual/src/cross_validation.rs crates/perceptual/src/error.rs crates/perceptual/src/euclidean.rs crates/perceptual/src/ratings.rs crates/perceptual/src/space.rs crates/perceptual/src/svd.rs
+
+/root/repo/target/debug/deps/perceptual-6a3e2f62a45077d9: crates/perceptual/src/lib.rs crates/perceptual/src/cross_validation.rs crates/perceptual/src/error.rs crates/perceptual/src/euclidean.rs crates/perceptual/src/ratings.rs crates/perceptual/src/space.rs crates/perceptual/src/svd.rs
+
+crates/perceptual/src/lib.rs:
+crates/perceptual/src/cross_validation.rs:
+crates/perceptual/src/error.rs:
+crates/perceptual/src/euclidean.rs:
+crates/perceptual/src/ratings.rs:
+crates/perceptual/src/space.rs:
+crates/perceptual/src/svd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planned_expansion-79b061cbaefdbab1.d: tests/planned_expansion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanned_expansion-79b061cbaefdbab1.rmeta: tests/planned_expansion.rs Cargo.toml
+
+tests/planned_expansion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planned_expansion-c01ff65c91320759.d: tests/planned_expansion.rs
+
+/root/repo/target/debug/deps/planned_expansion-c01ff65c91320759: tests/planned_expansion.rs
+
+tests/planned_expansion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-23a8003d0f449782.d: crates/relational/tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-23a8003d0f449782: crates/relational/tests/property_tests.rs
+
+crates/relational/tests/property_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_tests-33af2d690db1c734.d: crates/crowdsim/tests/property_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_tests-33af2d690db1c734.rmeta: crates/crowdsim/tests/property_tests.rs Cargo.toml
+
+crates/crowdsim/tests/property_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_tests-388bc71e0d5e8d22.d: crates/perceptual/tests/property_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_tests-388bc71e0d5e8d22.rmeta: crates/perceptual/tests/property_tests.rs Cargo.toml
+
+crates/perceptual/tests/property_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

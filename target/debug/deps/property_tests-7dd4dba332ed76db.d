@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-7dd4dba332ed76db.d: crates/mlkit/tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-7dd4dba332ed76db: crates/mlkit/tests/property_tests.rs
+
+crates/mlkit/tests/property_tests.rs:

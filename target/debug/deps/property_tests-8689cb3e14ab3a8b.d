@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-8689cb3e14ab3a8b.d: crates/perceptual/tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-8689cb3e14ab3a8b: crates/perceptual/tests/property_tests.rs
+
+crates/perceptual/tests/property_tests.rs:

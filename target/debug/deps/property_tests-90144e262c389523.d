@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_tests-90144e262c389523.d: crates/relational/tests/property_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_tests-90144e262c389523.rmeta: crates/relational/tests/property_tests.rs Cargo.toml
+
+crates/relational/tests/property_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

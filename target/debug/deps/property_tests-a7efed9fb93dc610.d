@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_tests-a7efed9fb93dc610.d: crates/datagen/tests/property_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_tests-a7efed9fb93dc610.rmeta: crates/datagen/tests/property_tests.rs Cargo.toml
+
+crates/datagen/tests/property_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

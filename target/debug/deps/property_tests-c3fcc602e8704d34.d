@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-c3fcc602e8704d34.d: crates/crowdsim/tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-c3fcc602e8704d34: crates/crowdsim/tests/property_tests.rs
+
+crates/crowdsim/tests/property_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-d227afe18575f539.d: crates/datagen/tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-d227afe18575f539: crates/datagen/tests/property_tests.rs
+
+crates/datagen/tests/property_tests.rs:

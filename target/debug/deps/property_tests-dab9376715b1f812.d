@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_tests-dab9376715b1f812.d: crates/mlkit/tests/property_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_tests-dab9376715b1f812.rmeta: crates/mlkit/tests/property_tests.rs Cargo.toml
+
+crates/mlkit/tests/property_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

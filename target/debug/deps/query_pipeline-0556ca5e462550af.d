@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query_pipeline-0556ca5e462550af.d: crates/bench/benches/query_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery_pipeline-0556ca5e462550af.rmeta: crates/bench/benches/query_pipeline.rs Cargo.toml
+
+crates/bench/benches/query_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

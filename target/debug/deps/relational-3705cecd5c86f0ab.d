@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/relational-3705cecd5c86f0ab.d: crates/relational/src/lib.rs crates/relational/src/catalog.rs crates/relational/src/error.rs crates/relational/src/executor.rs crates/relational/src/expr.rs crates/relational/src/schema.rs crates/relational/src/sql/mod.rs crates/relational/src/sql/lexer.rs crates/relational/src/sql/parser.rs crates/relational/src/table.rs crates/relational/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelational-3705cecd5c86f0ab.rmeta: crates/relational/src/lib.rs crates/relational/src/catalog.rs crates/relational/src/error.rs crates/relational/src/executor.rs crates/relational/src/expr.rs crates/relational/src/schema.rs crates/relational/src/sql/mod.rs crates/relational/src/sql/lexer.rs crates/relational/src/sql/parser.rs crates/relational/src/table.rs crates/relational/src/value.rs Cargo.toml
+
+crates/relational/src/lib.rs:
+crates/relational/src/catalog.rs:
+crates/relational/src/error.rs:
+crates/relational/src/executor.rs:
+crates/relational/src/expr.rs:
+crates/relational/src/schema.rs:
+crates/relational/src/sql/mod.rs:
+crates/relational/src/sql/lexer.rs:
+crates/relational/src/sql/parser.rs:
+crates/relational/src/table.rs:
+crates/relational/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/relational-4de3674737b84e8b.d: crates/relational/src/lib.rs crates/relational/src/catalog.rs crates/relational/src/error.rs crates/relational/src/executor.rs crates/relational/src/expr.rs crates/relational/src/schema.rs crates/relational/src/sql/mod.rs crates/relational/src/sql/lexer.rs crates/relational/src/sql/parser.rs crates/relational/src/table.rs crates/relational/src/value.rs
+
+/root/repo/target/debug/deps/relational-4de3674737b84e8b: crates/relational/src/lib.rs crates/relational/src/catalog.rs crates/relational/src/error.rs crates/relational/src/executor.rs crates/relational/src/expr.rs crates/relational/src/schema.rs crates/relational/src/sql/mod.rs crates/relational/src/sql/lexer.rs crates/relational/src/sql/parser.rs crates/relational/src/table.rs crates/relational/src/value.rs
+
+crates/relational/src/lib.rs:
+crates/relational/src/catalog.rs:
+crates/relational/src/error.rs:
+crates/relational/src/executor.rs:
+crates/relational/src/expr.rs:
+crates/relational/src/schema.rs:
+crates/relational/src/sql/mod.rs:
+crates/relational/src/sql/lexer.rs:
+crates/relational/src/sql/parser.rs:
+crates/relational/src/table.rs:
+crates/relational/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/space_build-d82d4615a7477214.d: crates/bench/benches/space_build.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspace_build-d82d4615a7477214.rmeta: crates/bench/benches/space_build.rs Cargo.toml
+
+crates/bench/benches/space_build.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

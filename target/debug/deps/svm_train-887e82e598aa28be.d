@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/svm_train-887e82e598aa28be.d: crates/bench/benches/svm_train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvm_train-887e82e598aa28be.rmeta: crates/bench/benches/svm_train.rs Cargo.toml
+
+crates/bench/benches/svm_train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_direct_crowd-5c800e064d661f62.d: crates/bench/src/bin/table1_direct_crowd.rs
+
+/root/repo/target/debug/deps/table1_direct_crowd-5c800e064d661f62: crates/bench/src/bin/table1_direct_crowd.rs
+
+crates/bench/src/bin/table1_direct_crowd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_direct_crowd-cb37bf782e178dc1.d: crates/bench/src/bin/table1_direct_crowd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_direct_crowd-cb37bf782e178dc1.rmeta: crates/bench/src/bin/table1_direct_crowd.rs Cargo.toml
+
+crates/bench/src/bin/table1_direct_crowd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

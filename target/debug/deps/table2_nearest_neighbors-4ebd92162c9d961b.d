@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_nearest_neighbors-4ebd92162c9d961b.d: crates/bench/src/bin/table2_nearest_neighbors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_nearest_neighbors-4ebd92162c9d961b.rmeta: crates/bench/src/bin/table2_nearest_neighbors.rs Cargo.toml
+
+crates/bench/src/bin/table2_nearest_neighbors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_nearest_neighbors-de9d24a2504bd511.d: crates/bench/src/bin/table2_nearest_neighbors.rs
+
+/root/repo/target/debug/deps/table2_nearest_neighbors-de9d24a2504bd511: crates/bench/src/bin/table2_nearest_neighbors.rs
+
+crates/bench/src/bin/table2_nearest_neighbors.rs:

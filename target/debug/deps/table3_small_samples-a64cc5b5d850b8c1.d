@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_small_samples-a64cc5b5d850b8c1.d: crates/bench/src/bin/table3_small_samples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_small_samples-a64cc5b5d850b8c1.rmeta: crates/bench/src/bin/table3_small_samples.rs Cargo.toml
+
+crates/bench/src/bin/table3_small_samples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_small_samples-f988402c5625ba0b.d: crates/bench/src/bin/table3_small_samples.rs
+
+/root/repo/target/debug/deps/table3_small_samples-f988402c5625ba0b: crates/bench/src/bin/table3_small_samples.rs
+
+crates/bench/src/bin/table3_small_samples.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_hit_audit-3e5303d890ec8525.d: crates/bench/src/bin/table4_hit_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_hit_audit-3e5303d890ec8525.rmeta: crates/bench/src/bin/table4_hit_audit.rs Cargo.toml
+
+crates/bench/src/bin/table4_hit_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_hit_audit-900d051d7f36668e.d: crates/bench/src/bin/table4_hit_audit.rs
+
+/root/repo/target/debug/deps/table4_hit_audit-900d051d7f36668e: crates/bench/src/bin/table4_hit_audit.rs
+
+crates/bench/src/bin/table4_hit_audit.rs:

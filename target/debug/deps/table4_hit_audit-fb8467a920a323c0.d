@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_hit_audit-fb8467a920a323c0.d: crates/bench/src/bin/table4_hit_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_hit_audit-fb8467a920a323c0.rmeta: crates/bench/src/bin/table4_hit_audit.rs Cargo.toml
+
+crates/bench/src/bin/table4_hit_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_restaurants-58579f40b7c21898.d: crates/bench/src/bin/table5_restaurants.rs
+
+/root/repo/target/debug/deps/table5_restaurants-58579f40b7c21898: crates/bench/src/bin/table5_restaurants.rs
+
+crates/bench/src/bin/table5_restaurants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_restaurants-662eebd9a2516122.d: crates/bench/src/bin/table5_restaurants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_restaurants-662eebd9a2516122.rmeta: crates/bench/src/bin/table5_restaurants.rs Cargo.toml
+
+crates/bench/src/bin/table5_restaurants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

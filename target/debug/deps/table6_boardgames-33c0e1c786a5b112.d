@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_boardgames-33c0e1c786a5b112.d: crates/bench/src/bin/table6_boardgames.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_boardgames-33c0e1c786a5b112.rmeta: crates/bench/src/bin/table6_boardgames.rs Cargo.toml
+
+crates/bench/src/bin/table6_boardgames.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

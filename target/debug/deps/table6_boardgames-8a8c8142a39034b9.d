@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_boardgames-8a8c8142a39034b9.d: crates/bench/src/bin/table6_boardgames.rs
+
+/root/repo/target/debug/deps/table6_boardgames-8a8c8142a39034b9: crates/bench/src/bin/table6_boardgames.rs
+
+crates/bench/src/bin/table6_boardgames.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/__probe-35b3650ce426de5d.d: examples/__probe.rs
+
+/root/repo/target/debug/examples/__probe-35b3650ce426de5d: examples/__probe.rs
+
+examples/__probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/batched_expansion-aa9fd98860b91c2f.d: examples/batched_expansion.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbatched_expansion-aa9fd98860b91c2f.rmeta: examples/batched_expansion.rs Cargo.toml
+
+examples/batched_expansion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

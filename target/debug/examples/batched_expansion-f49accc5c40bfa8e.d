@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batched_expansion-f49accc5c40bfa8e.d: examples/batched_expansion.rs
+
+/root/repo/target/debug/examples/batched_expansion-f49accc5c40bfa8e: examples/batched_expansion.rs
+
+examples/batched_expansion.rs:

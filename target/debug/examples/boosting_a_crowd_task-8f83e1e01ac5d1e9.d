@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/boosting_a_crowd_task-8f83e1e01ac5d1e9.d: examples/boosting_a_crowd_task.rs
+
+/root/repo/target/debug/examples/boosting_a_crowd_task-8f83e1e01ac5d1e9: examples/boosting_a_crowd_task.rs
+
+examples/boosting_a_crowd_task.rs:

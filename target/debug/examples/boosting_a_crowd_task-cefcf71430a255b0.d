@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/boosting_a_crowd_task-cefcf71430a255b0.d: examples/boosting_a_crowd_task.rs Cargo.toml
+
+/root/repo/target/debug/examples/libboosting_a_crowd_task-cefcf71430a255b0.rmeta: examples/boosting_a_crowd_task.rs Cargo.toml
+
+examples/boosting_a_crowd_task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/movie_schema_expansion-64f519a7b599be46.d: examples/movie_schema_expansion.rs
+
+/root/repo/target/debug/examples/movie_schema_expansion-64f519a7b599be46: examples/movie_schema_expansion.rs
+
+examples/movie_schema_expansion.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/movie_schema_expansion-afe97e1322ca5110.d: examples/movie_schema_expansion.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmovie_schema_expansion-afe97e1322ca5110.rmeta: examples/movie_schema_expansion.rs Cargo.toml
+
+examples/movie_schema_expansion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-1d3976ed28b0f1d2.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-1d3976ed28b0f1d2.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8bc72251379f4120.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8bc72251379f4120: examples/quickstart.rs
+
+examples/quickstart.rs:

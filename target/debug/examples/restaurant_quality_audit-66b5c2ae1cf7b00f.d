@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/restaurant_quality_audit-66b5c2ae1cf7b00f.d: examples/restaurant_quality_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/librestaurant_quality_audit-66b5c2ae1cf7b00f.rmeta: examples/restaurant_quality_audit.rs Cargo.toml
+
+examples/restaurant_quality_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/restaurant_quality_audit-eaf00fbd2d400721.d: examples/restaurant_quality_audit.rs
+
+/root/repo/target/debug/examples/restaurant_quality_audit-eaf00fbd2d400721: examples/restaurant_quality_audit.rs
+
+examples/restaurant_quality_audit.rs:

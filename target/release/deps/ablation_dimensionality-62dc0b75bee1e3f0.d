@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dimensionality-62dc0b75bee1e3f0.d: crates/bench/src/bin/ablation_dimensionality.rs
+
+/root/repo/target/release/deps/ablation_dimensionality-62dc0b75bee1e3f0: crates/bench/src/bin/ablation_dimensionality.rs
+
+crates/bench/src/bin/ablation_dimensionality.rs:

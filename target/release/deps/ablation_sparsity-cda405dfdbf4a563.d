@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sparsity-cda405dfdbf4a563.d: crates/bench/src/bin/ablation_sparsity.rs
+
+/root/repo/target/release/deps/ablation_sparsity-cda405dfdbf4a563: crates/bench/src/bin/ablation_sparsity.rs
+
+crates/bench/src/bin/ablation_sparsity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_svd_vs_euclidean-fac12f7125c2f22b.d: crates/bench/src/bin/ablation_svd_vs_euclidean.rs
+
+/root/repo/target/release/deps/ablation_svd_vs_euclidean-fac12f7125c2f22b: crates/bench/src/bin/ablation_svd_vs_euclidean.rs
+
+crates/bench/src/bin/ablation_svd_vs_euclidean.rs:

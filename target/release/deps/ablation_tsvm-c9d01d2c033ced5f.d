@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_tsvm-c9d01d2c033ced5f.d: crates/bench/src/bin/ablation_tsvm.rs
+
+/root/repo/target/release/deps/ablation_tsvm-c9d01d2c033ced5f: crates/bench/src/bin/ablation_tsvm.rs
+
+crates/bench/src/bin/ablation_tsvm.rs:

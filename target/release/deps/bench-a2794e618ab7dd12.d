@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-a2794e618ab7dd12.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-a2794e618ab7dd12.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-a2794e618ab7dd12.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crowddb-cb0f5f2b6088ef23.d: src/lib.rs
+
+/root/repo/target/release/deps/libcrowddb-cb0f5f2b6088ef23.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcrowddb-cb0f5f2b6088ef23.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/crowddb_core-6f2ba3c2fe1bdc33.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/boost.rs crates/core/src/cache.rs crates/core/src/crowd_source.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/expansion.rs crates/core/src/extraction.rs crates/core/src/materialize.rs crates/core/src/planner.rs crates/core/src/repair.rs
+
+/root/repo/target/release/deps/libcrowddb_core-6f2ba3c2fe1bdc33.rlib: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/boost.rs crates/core/src/cache.rs crates/core/src/crowd_source.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/expansion.rs crates/core/src/extraction.rs crates/core/src/materialize.rs crates/core/src/planner.rs crates/core/src/repair.rs
+
+/root/repo/target/release/deps/libcrowddb_core-6f2ba3c2fe1bdc33.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/boost.rs crates/core/src/cache.rs crates/core/src/crowd_source.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/expansion.rs crates/core/src/extraction.rs crates/core/src/materialize.rs crates/core/src/planner.rs crates/core/src/repair.rs
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/boost.rs:
+crates/core/src/cache.rs:
+crates/core/src/crowd_source.rs:
+crates/core/src/db.rs:
+crates/core/src/error.rs:
+crates/core/src/expansion.rs:
+crates/core/src/extraction.rs:
+crates/core/src/materialize.rs:
+crates/core/src/planner.rs:
+crates/core/src/repair.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/crowdsim-f8eb6553892be65a.d: crates/crowdsim/src/lib.rs crates/crowdsim/src/aggregate.rs crates/crowdsim/src/error.rs crates/crowdsim/src/hit.rs crates/crowdsim/src/oracle.rs crates/crowdsim/src/platform.rs crates/crowdsim/src/regimes.rs crates/crowdsim/src/worker.rs
+
+/root/repo/target/release/deps/libcrowdsim-f8eb6553892be65a.rlib: crates/crowdsim/src/lib.rs crates/crowdsim/src/aggregate.rs crates/crowdsim/src/error.rs crates/crowdsim/src/hit.rs crates/crowdsim/src/oracle.rs crates/crowdsim/src/platform.rs crates/crowdsim/src/regimes.rs crates/crowdsim/src/worker.rs
+
+/root/repo/target/release/deps/libcrowdsim-f8eb6553892be65a.rmeta: crates/crowdsim/src/lib.rs crates/crowdsim/src/aggregate.rs crates/crowdsim/src/error.rs crates/crowdsim/src/hit.rs crates/crowdsim/src/oracle.rs crates/crowdsim/src/platform.rs crates/crowdsim/src/regimes.rs crates/crowdsim/src/worker.rs
+
+crates/crowdsim/src/lib.rs:
+crates/crowdsim/src/aggregate.rs:
+crates/crowdsim/src/error.rs:
+crates/crowdsim/src/hit.rs:
+crates/crowdsim/src/oracle.rs:
+crates/crowdsim/src/platform.rs:
+crates/crowdsim/src/regimes.rs:
+crates/crowdsim/src/worker.rs:

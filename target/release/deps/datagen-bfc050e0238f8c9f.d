@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/datagen-bfc050e0238f8c9f.d: crates/datagen/src/lib.rs crates/datagen/src/domain.rs crates/datagen/src/experts.rs crates/datagen/src/generator.rs crates/datagen/src/metadata.rs crates/datagen/src/oracle.rs
+
+/root/repo/target/release/deps/libdatagen-bfc050e0238f8c9f.rlib: crates/datagen/src/lib.rs crates/datagen/src/domain.rs crates/datagen/src/experts.rs crates/datagen/src/generator.rs crates/datagen/src/metadata.rs crates/datagen/src/oracle.rs
+
+/root/repo/target/release/deps/libdatagen-bfc050e0238f8c9f.rmeta: crates/datagen/src/lib.rs crates/datagen/src/domain.rs crates/datagen/src/experts.rs crates/datagen/src/generator.rs crates/datagen/src/metadata.rs crates/datagen/src/oracle.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/domain.rs:
+crates/datagen/src/experts.rs:
+crates/datagen/src/generator.rs:
+crates/datagen/src/metadata.rs:
+crates/datagen/src/oracle.rs:

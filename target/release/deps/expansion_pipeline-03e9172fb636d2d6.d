@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/expansion_pipeline-03e9172fb636d2d6.d: crates/bench/benches/expansion_pipeline.rs
+
+/root/repo/target/release/deps/expansion_pipeline-03e9172fb636d2d6: crates/bench/benches/expansion_pipeline.rs
+
+crates/bench/benches/expansion_pipeline.rs:

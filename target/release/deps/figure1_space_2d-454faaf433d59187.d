@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1_space_2d-454faaf433d59187.d: crates/bench/src/bin/figure1_space_2d.rs
+
+/root/repo/target/release/deps/figure1_space_2d-454faaf433d59187: crates/bench/src/bin/figure1_space_2d.rs
+
+crates/bench/src/bin/figure1_space_2d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2_workflow-7b1df9b94a74f207.d: crates/bench/src/bin/figure2_workflow.rs
+
+/root/repo/target/release/deps/figure2_workflow-7b1df9b94a74f207: crates/bench/src/bin/figure2_workflow.rs
+
+crates/bench/src/bin/figure2_workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3_boost_over_time-b9ed63a31c74efec.d: crates/bench/src/bin/figure3_boost_over_time.rs
+
+/root/repo/target/release/deps/figure3_boost_over_time-b9ed63a31c74efec: crates/bench/src/bin/figure3_boost_over_time.rs
+
+crates/bench/src/bin/figure3_boost_over_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4_boost_over_cost-400f1a3ac31f3dd1.d: crates/bench/src/bin/figure4_boost_over_cost.rs
+
+/root/repo/target/release/deps/figure4_boost_over_cost-400f1a3ac31f3dd1: crates/bench/src/bin/figure4_boost_over_cost.rs
+
+crates/bench/src/bin/figure4_boost_over_cost.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mlkit-cdfdbb8a93214d6d.d: crates/mlkit/src/lib.rs crates/mlkit/src/dataset.rs crates/mlkit/src/error.rs crates/mlkit/src/kernel.rs crates/mlkit/src/linalg.rs crates/mlkit/src/lsi.rs crates/mlkit/src/metrics.rs crates/mlkit/src/svm/mod.rs crates/mlkit/src/svm/classifier.rs crates/mlkit/src/svm/svr.rs crates/mlkit/src/svm/tsvm.rs
+
+/root/repo/target/release/deps/libmlkit-cdfdbb8a93214d6d.rlib: crates/mlkit/src/lib.rs crates/mlkit/src/dataset.rs crates/mlkit/src/error.rs crates/mlkit/src/kernel.rs crates/mlkit/src/linalg.rs crates/mlkit/src/lsi.rs crates/mlkit/src/metrics.rs crates/mlkit/src/svm/mod.rs crates/mlkit/src/svm/classifier.rs crates/mlkit/src/svm/svr.rs crates/mlkit/src/svm/tsvm.rs
+
+/root/repo/target/release/deps/libmlkit-cdfdbb8a93214d6d.rmeta: crates/mlkit/src/lib.rs crates/mlkit/src/dataset.rs crates/mlkit/src/error.rs crates/mlkit/src/kernel.rs crates/mlkit/src/linalg.rs crates/mlkit/src/lsi.rs crates/mlkit/src/metrics.rs crates/mlkit/src/svm/mod.rs crates/mlkit/src/svm/classifier.rs crates/mlkit/src/svm/svr.rs crates/mlkit/src/svm/tsvm.rs
+
+crates/mlkit/src/lib.rs:
+crates/mlkit/src/dataset.rs:
+crates/mlkit/src/error.rs:
+crates/mlkit/src/kernel.rs:
+crates/mlkit/src/linalg.rs:
+crates/mlkit/src/lsi.rs:
+crates/mlkit/src/metrics.rs:
+crates/mlkit/src/svm/mod.rs:
+crates/mlkit/src/svm/classifier.rs:
+crates/mlkit/src/svm/svr.rs:
+crates/mlkit/src/svm/tsvm.rs:

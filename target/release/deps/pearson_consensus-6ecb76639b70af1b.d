@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pearson_consensus-6ecb76639b70af1b.d: crates/bench/src/bin/pearson_consensus.rs
+
+/root/repo/target/release/deps/pearson_consensus-6ecb76639b70af1b: crates/bench/src/bin/pearson_consensus.rs
+
+crates/bench/src/bin/pearson_consensus.rs:

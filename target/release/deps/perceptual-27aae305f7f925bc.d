@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/perceptual-27aae305f7f925bc.d: crates/perceptual/src/lib.rs crates/perceptual/src/cross_validation.rs crates/perceptual/src/error.rs crates/perceptual/src/euclidean.rs crates/perceptual/src/ratings.rs crates/perceptual/src/space.rs crates/perceptual/src/svd.rs
+
+/root/repo/target/release/deps/libperceptual-27aae305f7f925bc.rlib: crates/perceptual/src/lib.rs crates/perceptual/src/cross_validation.rs crates/perceptual/src/error.rs crates/perceptual/src/euclidean.rs crates/perceptual/src/ratings.rs crates/perceptual/src/space.rs crates/perceptual/src/svd.rs
+
+/root/repo/target/release/deps/libperceptual-27aae305f7f925bc.rmeta: crates/perceptual/src/lib.rs crates/perceptual/src/cross_validation.rs crates/perceptual/src/error.rs crates/perceptual/src/euclidean.rs crates/perceptual/src/ratings.rs crates/perceptual/src/space.rs crates/perceptual/src/svd.rs
+
+crates/perceptual/src/lib.rs:
+crates/perceptual/src/cross_validation.rs:
+crates/perceptual/src/error.rs:
+crates/perceptual/src/euclidean.rs:
+crates/perceptual/src/ratings.rs:
+crates/perceptual/src/space.rs:
+crates/perceptual/src/svd.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/relational-ce3170bcfb90ee69.d: crates/relational/src/lib.rs crates/relational/src/catalog.rs crates/relational/src/error.rs crates/relational/src/executor.rs crates/relational/src/expr.rs crates/relational/src/schema.rs crates/relational/src/sql/mod.rs crates/relational/src/sql/lexer.rs crates/relational/src/sql/parser.rs crates/relational/src/table.rs crates/relational/src/value.rs
+
+/root/repo/target/release/deps/librelational-ce3170bcfb90ee69.rlib: crates/relational/src/lib.rs crates/relational/src/catalog.rs crates/relational/src/error.rs crates/relational/src/executor.rs crates/relational/src/expr.rs crates/relational/src/schema.rs crates/relational/src/sql/mod.rs crates/relational/src/sql/lexer.rs crates/relational/src/sql/parser.rs crates/relational/src/table.rs crates/relational/src/value.rs
+
+/root/repo/target/release/deps/librelational-ce3170bcfb90ee69.rmeta: crates/relational/src/lib.rs crates/relational/src/catalog.rs crates/relational/src/error.rs crates/relational/src/executor.rs crates/relational/src/expr.rs crates/relational/src/schema.rs crates/relational/src/sql/mod.rs crates/relational/src/sql/lexer.rs crates/relational/src/sql/parser.rs crates/relational/src/table.rs crates/relational/src/value.rs
+
+crates/relational/src/lib.rs:
+crates/relational/src/catalog.rs:
+crates/relational/src/error.rs:
+crates/relational/src/executor.rs:
+crates/relational/src/expr.rs:
+crates/relational/src/schema.rs:
+crates/relational/src/sql/mod.rs:
+crates/relational/src/sql/lexer.rs:
+crates/relational/src/sql/parser.rs:
+crates/relational/src/table.rs:
+crates/relational/src/value.rs:

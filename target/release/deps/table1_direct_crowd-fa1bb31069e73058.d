@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_direct_crowd-fa1bb31069e73058.d: crates/bench/src/bin/table1_direct_crowd.rs
+
+/root/repo/target/release/deps/table1_direct_crowd-fa1bb31069e73058: crates/bench/src/bin/table1_direct_crowd.rs
+
+crates/bench/src/bin/table1_direct_crowd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_nearest_neighbors-61c084b84ffc6950.d: crates/bench/src/bin/table2_nearest_neighbors.rs
+
+/root/repo/target/release/deps/table2_nearest_neighbors-61c084b84ffc6950: crates/bench/src/bin/table2_nearest_neighbors.rs
+
+crates/bench/src/bin/table2_nearest_neighbors.rs:

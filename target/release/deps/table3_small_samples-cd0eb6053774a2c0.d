@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_small_samples-cd0eb6053774a2c0.d: crates/bench/src/bin/table3_small_samples.rs
+
+/root/repo/target/release/deps/table3_small_samples-cd0eb6053774a2c0: crates/bench/src/bin/table3_small_samples.rs
+
+crates/bench/src/bin/table3_small_samples.rs:

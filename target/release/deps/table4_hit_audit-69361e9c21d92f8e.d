@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_hit_audit-69361e9c21d92f8e.d: crates/bench/src/bin/table4_hit_audit.rs
+
+/root/repo/target/release/deps/table4_hit_audit-69361e9c21d92f8e: crates/bench/src/bin/table4_hit_audit.rs
+
+crates/bench/src/bin/table4_hit_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_restaurants-a3bb30a4b5cfc14c.d: crates/bench/src/bin/table5_restaurants.rs
+
+/root/repo/target/release/deps/table5_restaurants-a3bb30a4b5cfc14c: crates/bench/src/bin/table5_restaurants.rs
+
+crates/bench/src/bin/table5_restaurants.rs:

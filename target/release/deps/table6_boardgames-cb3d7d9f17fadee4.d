@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_boardgames-cb3d7d9f17fadee4.d: crates/bench/src/bin/table6_boardgames.rs
+
+/root/repo/target/release/deps/table6_boardgames-cb3d7d9f17fadee4: crates/bench/src/bin/table6_boardgames.rs
+
+crates/bench/src/bin/table6_boardgames.rs:
