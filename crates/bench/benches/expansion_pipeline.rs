@@ -18,7 +18,7 @@ const QUERY: &str = "SELECT item_id FROM movies WHERE is_comedy = true AND is_ot
 
 fn make_db(domain: &SyntheticDomain, space: PerceptualSpace, second: &str) -> CrowdDb {
     let crowd = SimulatedCrowd::new(domain, ExperimentRegime::TrustedWorkers, 17);
-    let mut db = CrowdDb::new(CrowdDbConfig {
+    let db = CrowdDb::new(CrowdDbConfig {
         strategy: ExpansionStrategy::PerceptualSpace {
             gold_sample_size: 60,
             extraction: ExtractionConfig::default(),
@@ -44,7 +44,7 @@ fn bench_expansion_pipeline(c: &mut Criterion) {
     // Cold: plan, one batched crowd round, extraction, materialization.
     group.bench_function("two_attribute_query_cold", |b| {
         b.iter(|| {
-            let mut db = make_db(&domain, space.clone(), &second);
+            let db = make_db(&domain, space.clone(), &second);
             db.execute(QUERY).unwrap()
         })
     });
@@ -52,7 +52,7 @@ fn bench_expansion_pipeline(c: &mut Criterion) {
     // Cache-warm: the same two attributes re-expanded with every judgment
     // served from the cache — no crowd dispatch, extraction only.
     group.bench_function("two_attribute_reexpansion_warm", |b| {
-        let mut db = make_db(&domain, space.clone(), &second);
+        let db = make_db(&domain, space.clone(), &second);
         db.execute(QUERY).unwrap();
         b.iter(|| {
             let reports = db
@@ -69,7 +69,7 @@ fn bench_expansion_pipeline(c: &mut Criterion) {
     // Steady state: the columns exist, the query is a plain scan — the
     // pipeline must add zero overhead to factual execution.
     group.bench_function("materialized_query_steady_state", |b| {
-        let mut db = make_db(&domain, space.clone(), &second);
+        let db = make_db(&domain, space.clone(), &second);
         db.execute(QUERY).unwrap();
         b.iter(|| db.execute(QUERY).unwrap())
     });

@@ -9,7 +9,7 @@ use datagen::{DomainConfig, SyntheticDomain};
 
 fn make_db(domain: &SyntheticDomain, space: perceptual::PerceptualSpace) -> CrowdDb {
     let crowd = SimulatedCrowd::new(domain, ExperimentRegime::TrustedWorkers, 9);
-    let mut db = CrowdDb::new(CrowdDbConfig {
+    let db = CrowdDb::new(CrowdDbConfig {
         strategy: ExpansionStrategy::PerceptualSpace {
             gold_sample_size: 60,
             extraction: ExtractionConfig::default(),
@@ -28,7 +28,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let space = crowddb_core::build_space_for_domain(&domain, 16, 10).unwrap();
 
     c.bench_function("factual_select", |b| {
-        let mut db = make_db(&domain, space.clone());
+        let db = make_db(&domain, space.clone());
         b.iter(|| {
             db.execute("SELECT name FROM movies WHERE year < 1990 ORDER BY year LIMIT 20")
                 .unwrap()
@@ -39,7 +39,7 @@ fn bench_pipeline(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("perceptual_strategy", |b| {
         b.iter(|| {
-            let mut db = make_db(&domain, space.clone());
+            let db = make_db(&domain, space.clone());
             db.execute("SELECT item_id FROM movies WHERE is_comedy = true")
                 .unwrap()
         })

@@ -20,7 +20,7 @@ fn main() {
     let ctx = MovieContext::build(scale, 4004);
 
     let crowd = SimulatedCrowd::new(&ctx.domain, ExperimentRegime::TrustedWorkers, 41);
-    let mut db = CrowdDb::new(CrowdDbConfig {
+    let db = CrowdDb::new(CrowdDbConfig {
         strategy: ExpansionStrategy::PerceptualSpace {
             gold_sample_size: 100,
             extraction: ExtractionConfig::default(),
@@ -36,7 +36,8 @@ fn main() {
     println!("\nFigure 2: crowd-driven schema expansion workflow");
     println!("  incoming query: {sql}");
     let result = db.execute(sql).expect("query");
-    let event = &db.expansion_events()[0];
+    let events = db.expansion_events();
+    let event = &events[0];
 
     println!("\n  workflow stages executed:");
     for (i, stage) in event.report.stages.iter().enumerate() {

@@ -5,22 +5,32 @@
 //! real money and real minutes.  The seed implementation threw that work
 //! away after each expansion; this cache keeps the aggregated verdicts so
 //! that repeated expansion rounds — forced re-expansions
-//! (`CrowdDb::expand_attribute` on an already-materialized column) and
-//! plans overlapping earlier ones — reuse them instead of re-dispatching
-//! HITs.  A repair round that distrusts the stored answers evicts them via
-//! `CrowdDb::invalidate_judgments`; the standalone [`crate::boost`] and
-//! [`crate::repair`] helpers operate on raw judgment streams and do not
-//! consult the cache.
+//! (`CrowdDb::expand_attribute` on an already-materialized column), plans
+//! overlapping earlier ones, and queries that coalesced onto another
+//! query's in-flight round ([`crate::inflight`]) — reuse them instead of
+//! re-dispatching HITs.  A repair round that distrusts the stored answers
+//! evicts them via `CrowdDb::invalidate_judgments`; the standalone
+//! [`crate::boost`] and [`crate::repair`] helpers operate on raw judgment
+//! streams and do not consult the cache.
 //!
 //! The cache stores *aggregated* per-item verdicts (majority vote plus the
 //! judgment count and dollar cost behind it), not raw judgment streams: the
 //! planner needs answers, and the cost figure is what the hit/miss counters
 //! convert into the money-saved metric surfaced on
 //! [`crate::ExpansionReport`].
+//!
+//! All methods take `&self`: the state lives behind an internal [`RwLock`],
+//! so a cache shared by N concurrently executing queries needs no external
+//! synchronization.  Reads (`peek`, `partition_peek`, `stats`) take the
+//! shared lock; `partition` takes the exclusive lock because it moves the
+//! hit/miss counters.
 
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 use perceptual::ItemId;
+
+use crate::sync::{rlock, wlock};
 
 /// The aggregated crowd knowledge about one `(table, attribute, item)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,7 +50,10 @@ pub struct CachedJudgment {
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that had to go to the crowd.
+    /// Lookups that found no cached verdict.  The items behind them went to
+    /// the crowd — either in this query's own round or, when the
+    /// acquisition coalesced onto a concurrent query's in-flight round, in
+    /// that round.
     pub misses: u64,
     /// Dollars *not* re-spent thanks to cache hits (the cost originally paid
     /// for the reused judgments).
@@ -49,10 +62,10 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// A cache of aggregated crowd judgments keyed by
-/// `(table, attribute, item)`.
+/// Mutable state of the cache, kept behind one lock so counters and entries
+/// always move together.
 #[derive(Debug, Default)]
-pub struct JudgmentCache {
+struct CacheInner {
     /// Outer key: `(table, attribute)`; inner key: item id.  Two-level so a
     /// planning round constructs one string key per attribute, not one per
     /// item.
@@ -60,6 +73,13 @@ pub struct JudgmentCache {
     hits: u64,
     misses: u64,
     cost_saved: f64,
+}
+
+/// A concurrency-safe cache of aggregated crowd judgments keyed by
+/// `(table, attribute, item)`.
+#[derive(Debug, Default)]
+pub struct JudgmentCache {
+    inner: RwLock<CacheInner>,
 }
 
 impl JudgmentCache {
@@ -72,39 +92,51 @@ impl JudgmentCache {
         (table.to_lowercase(), attribute.to_lowercase())
     }
 
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, CacheInner> {
+        rlock(&self.inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, CacheInner> {
+        wlock(&self.inner)
+    }
+
     /// Splits `items` into cached judgments and items that must be sent to
     /// the crowd, updating the hit/miss/cost-saved counters.
     ///
     /// This is the planner's bulk entry point: one call per attribute of an
     /// expansion plan.
     pub fn partition(
-        &mut self,
+        &self,
         table: &str,
         attribute: &str,
         items: &[ItemId],
     ) -> (HashMap<ItemId, CachedJudgment>, Vec<ItemId>) {
-        let per_item = self.entries.get(&Self::key(table, attribute));
+        let mut inner = self.write();
         let mut cached = HashMap::new();
         let mut uncached = Vec::new();
+        let mut hits = 0u64;
+        let mut cost_saved = 0.0;
+        let per_item = inner.entries.get(&Self::key(table, attribute));
         for &item in items {
             match per_item.and_then(|m| m.get(&item)) {
                 Some(&judgment) => {
-                    self.hits += 1;
-                    self.cost_saved += judgment.cost;
+                    hits += 1;
+                    cost_saved += judgment.cost;
                     cached.insert(item, judgment);
                 }
-                None => {
-                    self.misses += 1;
-                    uncached.push(item);
-                }
+                None => uncached.push(item),
             }
         }
+        inner.hits += hits;
+        inner.misses += uncached.len() as u64;
+        inner.cost_saved += cost_saved;
         (cached, uncached)
     }
 
     /// Like [`partition`], but without touching the hit/miss/cost-saved
     /// counters — for sibling columns that share one concept's judgments
-    /// inside a single plan, so the concept's reuse is counted once.
+    /// inside a single plan (so the concept's reuse is counted once), and
+    /// for waiters reading the verdicts an in-flight owner just published.
     ///
     /// [`partition`]: JudgmentCache::partition
     pub fn partition_peek(
@@ -113,7 +145,8 @@ impl JudgmentCache {
         attribute: &str,
         items: &[ItemId],
     ) -> (HashMap<ItemId, CachedJudgment>, Vec<ItemId>) {
-        let per_item = self.entries.get(&Self::key(table, attribute));
+        let inner = self.read();
+        let per_item = inner.entries.get(&Self::key(table, attribute));
         let mut cached = HashMap::new();
         let mut uncached = Vec::new();
         for &item in items {
@@ -128,15 +161,18 @@ impl JudgmentCache {
     }
 
     /// Reads one entry without touching the counters.
-    pub fn peek(&self, table: &str, attribute: &str, item: ItemId) -> Option<&CachedJudgment> {
-        self.entries
+    pub fn peek(&self, table: &str, attribute: &str, item: ItemId) -> Option<CachedJudgment> {
+        self.read()
+            .entries
             .get(&Self::key(table, attribute))
             .and_then(|m| m.get(&item))
+            .copied()
     }
 
     /// Stores one aggregated judgment.
-    pub fn insert(&mut self, table: &str, attribute: &str, item: ItemId, judgment: CachedJudgment) {
-        self.entries
+    pub fn insert(&self, table: &str, attribute: &str, item: ItemId, judgment: CachedJudgment) {
+        self.write()
+            .entries
             .entry(Self::key(table, attribute))
             .or_default()
             .insert(item, judgment);
@@ -145,36 +181,38 @@ impl JudgmentCache {
     /// Drops every entry of one `(table, attribute)` — used when fresh
     /// judgments must be forced, e.g. after a repair round found the old
     /// ones questionable.
-    pub fn invalidate(&mut self, table: &str, attribute: &str) {
-        self.entries.remove(&Self::key(table, attribute));
+    pub fn invalidate(&self, table: &str, attribute: &str) {
+        self.write().entries.remove(&Self::key(table, attribute));
     }
 
     /// Current effectiveness counters.
     pub fn stats(&self) -> CacheStats {
+        let inner = self.read();
         CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            cost_saved: self.cost_saved,
-            entries: self.entries.values().map(HashMap::len).sum(),
+            hits: inner.hits,
+            misses: inner.misses,
+            cost_saved: inner.cost_saved,
+            entries: inner.entries.values().map(HashMap::len).sum(),
         }
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.entries.values().map(HashMap::len).sum()
+        self.read().entries.values().map(HashMap::len).sum()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.values().all(HashMap::is_empty)
+        self.read().entries.values().all(HashMap::is_empty)
     }
 
     /// Clears entries and counters.
-    pub fn clear(&mut self) {
-        self.entries.clear();
-        self.hits = 0;
-        self.misses = 0;
-        self.cost_saved = 0.0;
+    pub fn clear(&self) {
+        let mut inner = self.write();
+        inner.entries.clear();
+        inner.hits = 0;
+        inner.misses = 0;
+        inner.cost_saved = 0.0;
     }
 }
 
@@ -192,7 +230,7 @@ mod tests {
 
     #[test]
     fn partition_splits_cached_and_uncached() {
-        let mut cache = JudgmentCache::new();
+        let cache = JudgmentCache::new();
         cache.insert("movies", "Comedy", 1, judgment(Some(true), 0.02));
         cache.insert("movies", "Comedy", 3, judgment(None, 0.02));
 
@@ -211,7 +249,7 @@ mod tests {
 
     #[test]
     fn keys_are_case_insensitive_and_scoped() {
-        let mut cache = JudgmentCache::new();
+        let cache = JudgmentCache::new();
         cache.insert("Movies", "Comedy", 7, judgment(Some(false), 0.01));
         assert!(cache.peek("movies", "comedy", 7).is_some());
         // Different attribute or table → different entry.
@@ -224,7 +262,7 @@ mod tests {
 
     #[test]
     fn invalidate_and_clear() {
-        let mut cache = JudgmentCache::new();
+        let cache = JudgmentCache::new();
         cache.insert("movies", "Comedy", 1, judgment(Some(true), 0.02));
         cache.insert("movies", "Horror", 1, judgment(Some(true), 0.02));
         assert_eq!(cache.len(), 2);
@@ -235,5 +273,38 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn concurrent_inserts_and_partitions_stay_consistent() {
+        use std::sync::Arc;
+        use std::thread;
+
+        let cache = Arc::new(JudgmentCache::new());
+        let threads: Vec<_> = (0..8u32)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    for item in 0..50u32 {
+                        cache.insert("movies", "Comedy", item, judgment(Some(true), 0.01));
+                        let (cached, _) =
+                            cache.partition_peek("movies", "Comedy", &[item, item + t]);
+                        assert!(cached.contains_key(&item));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // 50 distinct items, inserted idempotently by 8 threads.
+        assert_eq!(cache.len(), 50);
+        let (cached, uncached) =
+            cache.partition("movies", "Comedy", &(0..60u32).collect::<Vec<_>>());
+        assert_eq!(cached.len(), 50);
+        assert_eq!(uncached, (50..60u32).collect::<Vec<_>>());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 50);
+        assert_eq!(stats.misses, 10);
     }
 }

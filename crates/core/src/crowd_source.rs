@@ -26,7 +26,11 @@ pub struct AttributeRequest {
 }
 
 /// A source of human judgments for a perceptual attribute.
-pub trait CrowdSource {
+///
+/// Sources must be [`Send`]: the database serializes access to each
+/// table's source behind a mutex, but the source itself moves between the
+/// threads whose queries dispatch crowd rounds.
+pub trait CrowdSource: Send {
     /// Collects judgments for `items` concerning `attribute`.
     ///
     /// `attribute` is the *domain concept* the workers are asked about (e.g.

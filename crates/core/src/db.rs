@@ -8,14 +8,37 @@
 //! 3. **plan** ([`crate::planner`]) — deduplicate attributes, resolve
 //!    per-attribute strategies, draw one shared gold sample, build the
 //!    explicit id → row mapping,
-//! 4. **acquire** — consult the [`JudgmentCache`], dispatch **one** batched
-//!    crowd round ([`CrowdSource::collect_batch`]) for everything the cache
-//!    cannot answer, aggregate, and write fresh verdicts back to the cache,
-//! 5. **materialize** ([`crate::materialize`]) — fill the new columns
+//! 4. **acquire** — consult the [`JudgmentCache`], claim each attribute in
+//!    the [`InflightRegistry`] (queries racing for the same attribute
+//!    coalesce onto one crowd round), dispatch **one** batched crowd round
+//!    ([`CrowdSource::collect_batch`]) for everything neither the cache nor
+//!    a concurrent query can answer, aggregate, and write fresh verdicts
+//!    back to the cache,
+//! 5. **materialize** — fill the new columns
 //!    through the id → row mapping, then execute the statement exactly
 //!    once.
+//!
+//! # Concurrency
+//!
+//! [`CrowdDb::execute`] takes `&self`: the catalog and the binding table
+//! live behind [`RwLock`]s, every crowd source behind a [`Mutex`], the
+//! [`JudgmentCache`] and [`InflightRegistry`] are internally synchronized,
+//! and the database is `Send + Sync` — share it across N threads (e.g. via
+//! [`std::sync::Arc`] or [`std::thread::scope`]) and call `execute` from
+//! all of them.  Read-only statements (`SELECT`) run under the shared
+//! catalog lock and therefore in parallel; writes and column
+//! materialization take the exclusive lock.  No lock is ever held across a
+//! crowd dispatch, so slow human work never blocks factual queries.
+//!
+//! Queries that concurrently need the same missing `(table, attribute)`
+//! are **coalesced**: the first becomes the owner of one crowd round, the
+//! others block on the in-flight acquisition and then serve themselves
+//! from the judgment cache at zero crowd cost (see [`crate::inflight`]).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crowdsim::majority_vote;
 use datagen::SyntheticDomain;
@@ -27,9 +50,12 @@ use crate::crowd_source::{AttributeRequest, CrowdSource};
 use crate::error::CrowdDbError;
 use crate::expansion::{ExpansionReport, ExpansionStage, ExpansionStrategy};
 use crate::extraction::extract_binary_attribute;
+use crate::inflight::{Claim, InflightRegistry, InflightStats};
 use crate::materialize::materialize_column;
 use crate::planner::{self, ExpansionPlan, PlanInputs};
 use crate::Result;
+
+use crate::sync::{mlock, rlock, wlock};
 
 /// Configuration of a [`CrowdDb`].
 pub struct CrowdDbConfig {
@@ -63,32 +89,38 @@ pub struct ExpansionEvent {
     pub report: ExpansionReport,
 }
 
+/// Everything one table needs for crowd-driven expansion: its perceptual
+/// space, its crowd source, and the registered column → concept mappings.
 struct TableBinding {
     space: PerceptualSpace,
-    crowd: Box<dyn CrowdSource>,
+    /// The crowd source, serialized by a mutex: one crowd round per table
+    /// at a time (the in-flight registry already deduplicates the *content*
+    /// of rounds, the mutex only orders their dispatch).
+    crowd: Mutex<Box<dyn CrowdSource>>,
     /// Maps SQL column names (lower-cased) to the domain concept the crowd
     /// is asked about (e.g. `is_comedy` → `Comedy`).
-    attributes: HashMap<String, String>,
+    attributes: RwLock<HashMap<String, String>>,
     /// Per-column strategy overrides; columns without an entry use the
     /// database-wide default.
-    strategy_overrides: HashMap<String, ExpansionStrategy>,
+    strategy_overrides: RwLock<HashMap<String, ExpansionStrategy>>,
 }
 
 /// The acquisition state of one planned attribute while a plan runs.
 struct Acquisition {
     /// Judgments answered by the cache.
     cached: HashMap<ItemId, CachedJudgment>,
-    /// Items that had to go to the crowd.
+    /// Items that had to go to the crowd (directly or via a coalesced
+    /// in-flight round).
     uncached: Vec<ItemId>,
-    /// Index into the batched round's requests (`None` = fully cached).
+    /// Index into the plan's concept needs (`None` = fully cached).
     question: Option<usize>,
-    /// Whether this attribute created the request (and therefore carries
-    /// the question's full cost/judgment accounting) or merged into a
-    /// sibling column's question about the same concept.
+    /// Whether this attribute created the concept need (and therefore
+    /// carries the full cost/judgment accounting) or merged into a sibling
+    /// column's question about the same concept.
     owns_question: bool,
     /// Dollars saved by the cache hits.
     cost_saved: f64,
-    /// Merged verdicts (cache + fresh round).
+    /// Merged verdicts (cache + fresh round + coalesced round).
     verdicts: HashMap<ItemId, bool>,
     /// Distinct items this attribute's report charges to the crowd: the
     /// owner carries the whole question (including sibling-merged items),
@@ -100,21 +132,58 @@ struct Acquisition {
     crowd_cost: f64,
     /// Wall-clock minutes of the round (0 when fully cached).
     crowd_minutes: f64,
+    /// Items served by a concurrent query's in-flight crowd round.
+    items_coalesced: usize,
+    /// Whether this acquisition's concept saw a round dispatched by *this*
+    /// query (drives the `CrowdSourcingStarted` stage).
+    fresh_round: bool,
+}
+
+/// The union of crowd work one domain concept needs across the plan's
+/// attributes (sibling columns registered to the same concept merge here).
+struct ConceptNeed {
+    /// The domain concept, in registration casing.
+    concept: String,
+    /// Distinct uncached items, in first-demand order.
+    items: Vec<ItemId>,
+    item_set: HashSet<ItemId>,
+}
+
+/// What the coalescing resolution loop produced for one concept need.
+#[derive(Default)]
+struct ConceptResolution {
+    /// Majority verdicts for every decidable item of the need.
+    verdicts: HashMap<ItemId, bool>,
+    /// Fresh judgments collected by rounds *this* query dispatched.
+    judgments: usize,
+    /// Dollars paid by rounds this query dispatched.
+    cost: f64,
+    /// Wall-clock minutes of the slowest round involved.
+    minutes: f64,
+    /// Items this query paid for.
+    items_charged: usize,
+    /// Items served by another query's in-flight round.
+    items_coalesced: usize,
 }
 
 /// A relational database extended with crowd-driven, query-driven schema
 /// expansion.
+///
+/// All methods take `&self`; the database is `Send + Sync` and designed to
+/// be shared across threads.  See the [module documentation](self) for the
+/// locking and coalescing design.
 pub struct CrowdDb {
     config: CrowdDbConfig,
-    catalog: Catalog,
-    bindings: HashMap<String, TableBinding>,
-    events: Vec<ExpansionEvent>,
+    catalog: RwLock<Catalog>,
+    bindings: RwLock<HashMap<String, Arc<TableBinding>>>,
+    events: Mutex<Vec<ExpansionEvent>>,
     cache: JudgmentCache,
+    inflight: InflightRegistry,
     /// Number of crowd rounds dispatched so far; mixed into every round's
     /// seed so that re-acquisition after [`CrowdDb::invalidate_judgments`]
     /// draws genuinely fresh judgments instead of deterministically
     /// reproducing the ones it was meant to replace.
-    crowd_rounds: u64,
+    crowd_rounds: AtomicU64,
 }
 
 impl CrowdDb {
@@ -122,28 +191,37 @@ impl CrowdDb {
     pub fn new(config: CrowdDbConfig) -> Self {
         CrowdDb {
             config,
-            catalog: Catalog::new(),
-            bindings: HashMap::new(),
-            events: Vec::new(),
+            catalog: RwLock::new(Catalog::new()),
+            bindings: RwLock::new(HashMap::new()),
+            events: Mutex::new(Vec::new()),
             cache: JudgmentCache::new(),
-            crowd_rounds: 0,
+            inflight: InflightRegistry::new(),
+            crowd_rounds: AtomicU64::new(0),
         }
     }
 
     /// Read access to the relational catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    ///
+    /// The returned guard holds the shared catalog lock: concurrent
+    /// `SELECT`s keep running, but writes and expansions block until it is
+    /// dropped.  Do not hold it across a call to [`CrowdDb::execute`].
+    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        rlock(&self.catalog)
     }
 
     /// Mutable access to the relational catalog (for bulk loading or
     /// low-level inspection).
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+    ///
+    /// The returned guard holds the exclusive catalog lock; every other
+    /// statement blocks until it is dropped.  Do not hold it across a call
+    /// to [`CrowdDb::execute`].
+    pub fn catalog_mut(&self) -> RwLockWriteGuard<'_, Catalog> {
+        wlock(&self.catalog)
     }
 
-    /// All expansions performed so far, in order.
-    pub fn expansion_events(&self) -> &[ExpansionEvent] {
-        &self.events
+    /// All expansions performed so far, in completion order.
+    pub fn expansion_events(&self) -> Vec<ExpansionEvent> {
+        mlock(&self.events).clone()
     }
 
     /// Read access to the judgment cache.
@@ -156,10 +234,17 @@ impl CrowdDb {
         self.cache.stats()
     }
 
+    /// Counters of the in-flight registry: how many crowd rounds this
+    /// database dispatched and how many it avoided by coalescing onto
+    /// rounds already in flight.
+    pub fn inflight_stats(&self) -> InflightStats {
+        self.inflight.stats()
+    }
+
     /// Drops the cached judgments of one attribute, forcing the next
     /// expansion to re-crowd-source it (e.g. after a repair round found the
     /// old judgments questionable).
-    pub fn invalidate_judgments(&mut self, table: &str, attribute: &str) {
+    pub fn invalidate_judgments(&self, table: &str, attribute: &str) {
         self.cache.invalidate(table, attribute);
     }
 
@@ -169,7 +254,7 @@ impl CrowdDb {
     ///
     /// The table is bound to the given perceptual space and crowd source.
     pub fn load_domain(
-        &mut self,
+        &self,
         table_name: &str,
         domain: &SyntheticDomain,
         space: PerceptualSpace,
@@ -197,15 +282,15 @@ impl CrowdDb {
                 Value::Float(item.popularity),
             ])?;
         }
-        self.catalog.create_table(table)?;
-        self.bindings.insert(
+        wlock(&self.catalog).create_table(table)?;
+        wlock(&self.bindings).insert(
             table_name.to_lowercase(),
-            TableBinding {
+            Arc::new(TableBinding {
                 space,
-                crowd,
-                attributes: HashMap::new(),
-                strategy_overrides: HashMap::new(),
-            },
+                crowd: Mutex::new(crowd),
+                attributes: RwLock::new(HashMap::new()),
+                strategy_overrides: RwLock::new(HashMap::new()),
+            }),
         );
         Ok(())
     }
@@ -214,43 +299,51 @@ impl CrowdDb {
     ///
     /// The table must contain the configured id column.
     pub fn bind_table(
-        &mut self,
+        &self,
         table_name: &str,
         space: PerceptualSpace,
         crowd: Box<dyn CrowdSource>,
     ) -> Result<()> {
-        let table = self.catalog.table(table_name)?;
-        if !table.schema().contains(&self.config.id_column) {
-            return Err(CrowdDbError::Configuration(format!(
-                "table {table_name} has no id column '{}'",
-                self.config.id_column
-            )));
+        {
+            let catalog = rlock(&self.catalog);
+            let table = catalog.table(table_name)?;
+            if !table.schema().contains(&self.config.id_column) {
+                return Err(CrowdDbError::Configuration(format!(
+                    "table {table_name} has no id column '{}'",
+                    self.config.id_column
+                )));
+            }
         }
-        self.bindings.insert(
+        wlock(&self.bindings).insert(
             table_name.to_lowercase(),
-            TableBinding {
+            Arc::new(TableBinding {
                 space,
-                crowd,
-                attributes: HashMap::new(),
-                strategy_overrides: HashMap::new(),
-            },
+                crowd: Mutex::new(crowd),
+                attributes: RwLock::new(HashMap::new()),
+                strategy_overrides: RwLock::new(HashMap::new()),
+            }),
         );
         Ok(())
+    }
+
+    /// The binding of one table, by lower-cased name.
+    fn binding(&self, table_key: &str) -> Result<Arc<TableBinding>> {
+        rlock(&self.bindings)
+            .get(table_key)
+            .cloned()
+            .ok_or_else(|| {
+                CrowdDbError::Configuration(format!(
+                    "table {table_key} is not bound to a crowd source"
+                ))
+            })
     }
 
     /// Declares that queries over `column` of `table` refer to the domain
     /// concept `attribute` (a category name the crowd source understands).
     /// The column itself is created lazily when a query first needs it.
-    pub fn register_attribute(&mut self, table: &str, column: &str, attribute: &str) -> Result<()> {
-        let binding = self
-            .bindings
-            .get_mut(&table.to_lowercase())
-            .ok_or_else(|| {
-                CrowdDbError::Configuration(format!("table {table} is not bound to a crowd source"))
-            })?;
-        binding
-            .attributes
-            .insert(column.to_lowercase(), attribute.to_string());
+    pub fn register_attribute(&self, table: &str, column: &str, attribute: &str) -> Result<()> {
+        let binding = self.binding(&table.to_lowercase())?;
+        wlock(&binding.attributes).insert(column.to_lowercase(), attribute.to_string());
         Ok(())
     }
 
@@ -259,44 +352,38 @@ impl CrowdDb {
     ///
     /// [`register_attribute`]: CrowdDb::register_attribute
     pub fn register_attribute_with_strategy(
-        &mut self,
+        &self,
         table: &str,
         column: &str,
         attribute: &str,
         strategy: ExpansionStrategy,
     ) -> Result<()> {
-        self.register_attribute(table, column, attribute)?;
-        let binding = self
-            .bindings
-            .get_mut(&table.to_lowercase())
-            .expect("binding exists after register_attribute");
-        binding
-            .strategy_overrides
-            .insert(column.to_lowercase(), strategy);
+        let binding = self.binding(&table.to_lowercase())?;
+        // The override goes in first: the instant the attribute
+        // registration lands, a concurrent query may plan an expansion,
+        // and it must already see the pinned strategy rather than the
+        // database default.
+        wlock(&binding.strategy_overrides).insert(column.to_lowercase(), strategy);
+        wlock(&binding.attributes).insert(column.to_lowercase(), attribute.to_string());
         Ok(())
     }
 
     /// Overrides the expansion strategy of an already-registered attribute.
     pub fn set_attribute_strategy(
-        &mut self,
+        &self,
         table: &str,
         column: &str,
         strategy: ExpansionStrategy,
     ) -> Result<()> {
-        let binding = self
-            .bindings
-            .get_mut(&table.to_lowercase())
-            .ok_or_else(|| {
-                CrowdDbError::Configuration(format!("table {table} is not bound to a crowd source"))
-            })?;
+        let binding = self.binding(&table.to_lowercase())?;
         let column = column.to_lowercase();
-        if !binding.attributes.contains_key(&column) {
+        if !rlock(&binding.attributes).contains_key(&column) {
             return Err(CrowdDbError::UnknownAttribute {
                 table: table.to_string(),
                 attribute: column,
             });
         }
-        binding.strategy_overrides.insert(column, strategy);
+        wlock(&binding.strategy_overrides).insert(column, strategy);
         Ok(())
     }
 
@@ -305,9 +392,35 @@ impl CrowdDb {
     /// **one** planned expansion round covering every missing attribute,
     /// then run against the completed columns — parse, analyze, plan,
     /// acquire, materialize, execute once.
-    pub fn execute(&mut self, sql_text: &str) -> Result<QueryResult> {
+    ///
+    /// `execute` takes `&self` and may be called from any number of threads
+    /// simultaneously; queries racing for the same missing attribute share
+    /// one crowd round (see the [module documentation](self)).
+    ///
+    /// ```
+    /// use crowddb_core::{CrowdDb, CrowdDbConfig, ExpansionStrategy, SimulatedCrowd};
+    /// use crowdsim::ExperimentRegime;
+    /// use datagen::{DomainConfig, SyntheticDomain};
+    ///
+    /// let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.05), 7).unwrap();
+    /// let space = crowddb_core::build_space_for_domain(&domain, 8, 12).unwrap();
+    /// let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 99);
+    ///
+    /// let db = CrowdDb::new(CrowdDbConfig::default());
+    /// db.load_domain("movies", &domain, space, Box::new(crowd)).unwrap();
+    /// db.register_attribute("movies", "is_comedy", "Comedy").unwrap();
+    ///
+    /// // `is_comedy` is not in the schema — the query triggers expansion.
+    /// let result = db.execute("SELECT name FROM movies WHERE is_comedy = true").unwrap();
+    /// assert!(!result.rows.is_empty());
+    /// assert_eq!(db.expansion_events().len(), 1);
+    /// ```
+    pub fn execute(&self, sql_text: &str) -> Result<QueryResult> {
         let statement = sql::parse(sql_text)?;
-        let analysis = executor::analyze(&statement, &self.catalog)?;
+        let analysis = {
+            let catalog = rlock(&self.catalog);
+            executor::analyze(&statement, &catalog)?
+        };
         if !analysis.missing_columns.is_empty() {
             let table = analysis
                 .table
@@ -321,35 +434,43 @@ impl CrowdDb {
                 }
             }
             let reports = self.expand_columns(&table, &analysis.missing_columns)?;
+            let mut events = mlock(&self.events);
             for report in reports {
-                self.events.push(ExpansionEvent {
+                events.push(ExpansionEvent {
                     triggering_query: sql_text.to_string(),
                     report,
                 });
             }
         }
-        executor::execute(&statement, &mut self.catalog).map_err(Into::into)
+        if statement.is_read_only() {
+            let catalog = rlock(&self.catalog);
+            executor::execute_read(&statement, &catalog).map_err(Into::into)
+        } else {
+            let mut catalog = wlock(&self.catalog);
+            executor::execute(&statement, &mut catalog).map_err(Into::into)
+        }
     }
 
     fn is_expandable(&self, table: &str, column: &str) -> bool {
-        self.bindings
-            .get(&table.to_lowercase())
-            .is_some_and(|b| b.attributes.contains_key(&column.to_lowercase()))
+        self.binding(&table.to_lowercase())
+            .is_ok_and(|b| rlock(&b.attributes).contains_key(&column.to_lowercase()))
     }
 
     /// Runs the plan → acquire → materialize pipeline for a set of missing
     /// columns on one table, with **one** batched crowd round serving every
-    /// attribute the cache cannot answer.
+    /// attribute that neither the cache nor a concurrent query's in-flight
+    /// round can answer.
     ///
     /// Returns one report per expanded attribute, in plan order.
     pub fn expand_columns(
-        &mut self,
+        &self,
         table_name: &str,
         columns: &[String],
     ) -> Result<Vec<ExpansionReport>> {
-        let plan = self.build_plan(table_name, columns)?;
-        let acquisitions = self.acquire(&plan)?;
-        self.materialize(&plan, acquisitions)
+        let binding = self.binding(&table_name.to_lowercase())?;
+        let plan = self.build_plan(&binding, table_name, columns)?;
+        let acquisitions = self.acquire(&plan, &binding)?;
+        self.materialize(&plan, &binding, acquisitions)
     }
 
     /// Performs query-driven schema expansion of a single `column` on
@@ -361,49 +482,54 @@ impl CrowdDb {
     /// paying for them again.
     ///
     /// [`expand_columns`]: CrowdDb::expand_columns
-    pub fn expand_attribute(&mut self, table_name: &str, column: &str) -> Result<ExpansionReport> {
+    pub fn expand_attribute(&self, table_name: &str, column: &str) -> Result<ExpansionReport> {
         let mut reports = self.expand_columns(table_name, &[column.to_lowercase()])?;
         Ok(reports.remove(0))
     }
 
     /// The **plan** stage.
-    fn build_plan(&self, table_name: &str, columns: &[String]) -> Result<ExpansionPlan> {
+    fn build_plan(
+        &self,
+        binding: &TableBinding,
+        table_name: &str,
+        columns: &[String],
+    ) -> Result<ExpansionPlan> {
         let key = table_name.to_lowercase();
-        let binding = self.bindings.get(&key).ok_or_else(|| {
-            CrowdDbError::Configuration(format!(
-                "table {table_name} is not bound to a crowd source"
-            ))
-        })?;
-        let table = self.catalog.table(table_name)?;
+        let catalog = rlock(&self.catalog);
+        let table = catalog.table(table_name)?;
+        let attributes = rlock(&binding.attributes);
+        let overrides = rlock(&binding.strategy_overrides);
         planner::build_plan(PlanInputs {
             table,
             table_name: &key,
             id_column: &self.config.id_column,
             columns,
-            attributes: &binding.attributes,
-            overrides: &binding.strategy_overrides,
+            attributes: &attributes,
+            overrides: &overrides,
             default_strategy: &self.config.strategy,
             space_len: binding.space.len(),
             seed: self.config.seed,
         })
     }
 
-    /// The **acquire** stage: cache first, then one batched crowd round for
-    /// everything the cache cannot answer, then write fresh verdicts back.
+    /// The **acquire** stage: cache first, then the in-flight registry
+    /// (coalescing with concurrent queries), then one batched crowd round
+    /// for everything still unanswered, then write fresh verdicts back.
     ///
     /// Columns registered to the same domain concept share one crowd
     /// question — asking the crowd twice about `Comedy` for two columns
-    /// would pay double for identical judgments.
-    fn acquire(&mut self, plan: &ExpansionPlan) -> Result<Vec<Acquisition>> {
+    /// would pay double for identical judgments.  The same rule extends
+    /// across queries: a concept another query is currently acquiring is
+    /// *waited for*, not re-dispatched.
+    fn acquire(&self, plan: &ExpansionPlan, binding: &TableBinding) -> Result<Vec<Acquisition>> {
         // Consult the cache per attribute; deduplicate crowd questions by
         // attribute concept.  The first column asking about a concept owns
         // the question; sibling columns merge their items into it and
         // report zero collection (summing reports then matches what the
         // round really collected and cost).
         let mut acquisitions: Vec<Acquisition> = Vec::with_capacity(plan.attributes.len());
-        let mut requests: Vec<AttributeRequest> = Vec::new();
-        let mut request_item_sets: Vec<HashSet<ItemId>> = Vec::new();
-        let mut question_of: HashMap<String, usize> = HashMap::new();
+        let mut needs: Vec<ConceptNeed> = Vec::new();
+        let mut need_of: HashMap<String, usize> = HashMap::new();
         let mut seen_concepts: HashSet<String> = HashSet::new();
         for (index, attribute) in plan.attributes.iter().enumerate() {
             let targets = plan.crowd_items_for(index);
@@ -428,25 +554,25 @@ impl CrowdDb {
                 None
             } else {
                 let concept = attribute.attribute.to_lowercase();
-                let q = match question_of.get(&concept) {
+                let q = match need_of.get(&concept) {
                     Some(&q) => {
-                        // Merge this column's items into the shared question.
+                        // Merge this column's items into the shared need.
                         for &item in &uncached {
-                            if request_item_sets[q].insert(item) {
-                                requests[q].items.push(item);
+                            if needs[q].item_set.insert(item) {
+                                needs[q].items.push(item);
                             }
                         }
                         q
                     }
                     None => {
                         owns_question = true;
-                        requests.push(AttributeRequest {
-                            attribute: attribute.attribute.clone(),
+                        needs.push(ConceptNeed {
+                            concept: attribute.attribute.clone(),
                             items: uncached.clone(),
+                            item_set: uncached.iter().copied().collect(),
                         });
-                        request_item_sets.push(uncached.iter().copied().collect());
-                        question_of.insert(concept, requests.len() - 1);
-                        requests.len() - 1
+                        need_of.insert(concept, needs.len() - 1);
+                        needs.len() - 1
                     }
                 };
                 Some(q)
@@ -466,82 +592,215 @@ impl CrowdDb {
                 judgments_collected: 0,
                 crowd_cost: 0.0,
                 crowd_minutes: 0.0,
+                items_coalesced: 0,
+                fresh_round: false,
             });
         }
 
-        // One batched round serves every attribute with uncached items.
-        if requests.is_empty() {
+        if needs.is_empty() {
             return Ok(acquisitions);
         }
-        let round_seed = self.config.seed.wrapping_add(self.crowd_rounds);
-        self.crowd_rounds += 1;
-        let binding = self
-            .bindings
-            .get_mut(&plan.table)
-            .expect("plan was built from this binding");
-        let batch = binding.crowd.collect_batch(&requests, round_seed)?;
+        let resolutions = self.resolve_needs(plan, binding, &needs)?;
 
-        // Aggregate fresh judgments and feed the cache.
-        for (index, acquisition) in acquisitions.iter_mut().enumerate() {
+        // Route the resolved verdicts and accounting back to the plan's
+        // attributes.  Every sharer (owner included) reads its own items'
+        // verdicts; the owner carries the full cost accounting.
+        for acquisition in acquisitions.iter_mut() {
             let question = match acquisition.question {
                 Some(q) => q,
                 None => continue,
             };
-            let attribute = &plan.attributes[index].attribute;
-            let judgments = &batch.question_judgments[question];
-            acquisition.crowd_minutes = batch.total_minutes;
+            let resolution = &resolutions[question];
+            acquisition.crowd_minutes = resolution.minutes;
+            acquisition.fresh_round = resolution.judgments > 0;
             if acquisition.owns_question {
                 // The question's owner carries the full accounting; sibling
                 // columns that merged into it report zero collection.
-                acquisition.judgments_collected = judgments.len();
-                acquisition.crowd_cost = batch.question_cost(question);
-                acquisition.items_charged = requests[question].items.len();
-                let distinct_items = requests[question].items.len();
-                let per_item_cost = if distinct_items == 0 {
-                    0.0
-                } else {
-                    acquisition.crowd_cost / distinct_items as f64
-                };
-                let mut judgment_counts: HashMap<ItemId, usize> = HashMap::new();
-                for judgment in judgments {
-                    *judgment_counts.entry(judgment.item).or_insert(0) += 1;
-                }
-                // Cache every distinct item of the question, including those
-                // merged in by siblings.
-                let verdicts = majority_vote(judgments, &requests[question].items);
-                for verdict in &verdicts {
-                    self.cache.insert(
-                        &plan.table,
-                        attribute,
-                        verdict.item,
-                        CachedJudgment {
-                            verdict: verdict.verdict,
-                            judgments: judgment_counts.get(&verdict.item).copied().unwrap_or(0),
-                            cost: per_item_cost,
-                        },
-                    );
-                }
+                acquisition.judgments_collected = resolution.judgments;
+                acquisition.crowd_cost = resolution.cost;
+                acquisition.items_charged = resolution.items_charged;
+                acquisition.items_coalesced = resolution.items_coalesced;
             }
-            // Every sharer (owner included) reads its own items' verdicts
-            // from the shared question's judgments.
-            let verdicts = majority_vote(judgments, &acquisition.uncached);
-            for verdict in &verdicts {
-                if let Some(label) = verdict.verdict {
-                    acquisition.verdicts.insert(verdict.item, label);
+            for &item in &acquisition.uncached {
+                if let Some(&label) = resolution.verdicts.get(&item) {
+                    acquisition.verdicts.insert(item, label);
                 }
             }
         }
         Ok(acquisitions)
     }
 
-    /// The **materialize** stage: train extractors where needed, fill the
-    /// columns through the explicit id → row mapping, and assemble reports.
-    fn materialize(
-        &mut self,
+    /// Resolves every concept need of a plan: claim each concept in the
+    /// in-flight registry, dispatch **one** batched crowd round for the
+    /// concepts this query owns, and wait for (then reuse) the rounds other
+    /// queries have in flight.
+    ///
+    /// Deadlock freedom: all claims of an iteration are taken before any
+    /// wait, and every owned claim is completed by the dispatch step of the
+    /// same iteration — no thread holds an uncompleted claim while
+    /// blocking on another thread's claim.
+    fn resolve_needs(
+        &self,
         plan: &ExpansionPlan,
+        binding: &TableBinding,
+        needs: &[ConceptNeed],
+    ) -> Result<Vec<ConceptResolution>> {
+        let mut resolutions: Vec<ConceptResolution> =
+            needs.iter().map(|_| ConceptResolution::default()).collect();
+        let mut pending: Vec<Vec<ItemId>> = needs.iter().map(|n| n.items.clone()).collect();
+        // In the common case this loop runs once (everything owned) or
+        // twice (wait, then serve from cache).  More iterations only happen
+        // when an in-flight owner aborts or acquired a different item set;
+        // the bound turns a pathological livelock into a hard error.
+        for _ in 0..64 {
+            if pending.iter().all(Vec::is_empty) {
+                return Ok(resolutions);
+            }
+
+            // Claim phase: every unresolved concept, before any waiting.
+            let mut owned: Vec<(usize, crate::inflight::OwnerToken)> = Vec::new();
+            let mut waiting: Vec<(usize, crate::inflight::WaitHandle)> = Vec::new();
+            for (index, need) in needs.iter().enumerate() {
+                if pending[index].is_empty() {
+                    continue;
+                }
+                match self.inflight.claim(&plan.table, &need.concept) {
+                    Claim::Owner(token) => owned.push((index, token)),
+                    Claim::Waiter(handle) => waiting.push((index, handle)),
+                }
+            }
+
+            // Ownership makes the cache state stable for a concept: no
+            // other query can start a round for it while we hold the
+            // claim.  Re-check it before paying — a round that completed
+            // between our first cache look and our claim (read skew) has
+            // already published exactly the verdicts we were about to buy
+            // again.
+            let mut dispatch: Vec<(usize, crate::inflight::OwnerToken)> = Vec::new();
+            for (index, token) in owned {
+                let (cached, uncached) =
+                    self.cache
+                        .partition_peek(&plan.table, &needs[index].concept, &pending[index]);
+                if !cached.is_empty() {
+                    let resolution = &mut resolutions[index];
+                    resolution.items_coalesced += cached.len();
+                    for (item, judgment) in cached {
+                        if let Some(label) = judgment.verdict {
+                            resolution.verdicts.insert(item, label);
+                        }
+                    }
+                    pending[index] = uncached;
+                }
+                if pending[index].is_empty() {
+                    token.complete();
+                } else {
+                    dispatch.push((index, token));
+                }
+            }
+
+            // Dispatch phase: one batched round covering every owned
+            // concept.  An error drops the tokens, which aborts the claims
+            // and wakes any waiters into a retry.
+            if !dispatch.is_empty() {
+                let requests: Vec<AttributeRequest> = dispatch
+                    .iter()
+                    .map(|&(index, _)| AttributeRequest {
+                        attribute: needs[index].concept.clone(),
+                        items: pending[index].clone(),
+                    })
+                    .collect();
+                let round_seed = self
+                    .config
+                    .seed
+                    .wrapping_add(self.crowd_rounds.fetch_add(1, Ordering::Relaxed));
+                let batch = mlock(&binding.crowd).collect_batch(&requests, round_seed)?;
+                for (question, (index, token)) in dispatch.into_iter().enumerate() {
+                    let judgments = &batch.question_judgments[question];
+                    let items = &requests[question].items;
+                    let resolution = &mut resolutions[index];
+                    resolution.judgments += judgments.len();
+                    resolution.cost += batch.question_cost(question);
+                    resolution.minutes = resolution.minutes.max(batch.total_minutes);
+                    resolution.items_charged += items.len();
+                    let per_item_cost = if items.is_empty() {
+                        0.0
+                    } else {
+                        batch.question_cost(question) / items.len() as f64
+                    };
+                    let mut judgment_counts: HashMap<ItemId, usize> = HashMap::new();
+                    for judgment in judgments {
+                        *judgment_counts.entry(judgment.item).or_insert(0) += 1;
+                    }
+                    // Cache every item of the question — including ties
+                    // (verdict `None`): asking again would cost the same
+                    // and likely tie again.
+                    let verdicts = majority_vote(judgments, items);
+                    for verdict in &verdicts {
+                        self.cache.insert(
+                            &plan.table,
+                            &needs[index].concept,
+                            verdict.item,
+                            CachedJudgment {
+                                verdict: verdict.verdict,
+                                judgments: judgment_counts.get(&verdict.item).copied().unwrap_or(0),
+                                cost: per_item_cost,
+                            },
+                        );
+                        if let Some(label) = verdict.verdict {
+                            resolution.verdicts.insert(verdict.item, label);
+                        }
+                    }
+                    pending[index].clear();
+                    token.complete();
+                }
+            }
+
+            // Wait phase: block on foreign in-flight rounds, then serve
+            // this concept from the verdicts their owners published to the
+            // cache.  Whatever the round did not cover (abort, diverging
+            // item sets) stays pending and is re-claimed next iteration.
+            for (index, handle) in waiting {
+                let _ = handle.wait();
+                let (cached, uncached) =
+                    self.cache
+                        .partition_peek(&plan.table, &needs[index].concept, &pending[index]);
+                let resolution = &mut resolutions[index];
+                resolution.items_coalesced += cached.len();
+                for (item, judgment) in cached {
+                    if let Some(label) = judgment.verdict {
+                        resolution.verdicts.insert(item, label);
+                    }
+                }
+                pending[index] = uncached;
+            }
+        }
+        Err(CrowdDbError::Contention(format!(
+            "acquisition of table {} did not converge: concurrent crowd rounds \
+             kept aborting or resolving disjoint item sets",
+            plan.table
+        )))
+    }
+
+    /// The **materialize** stage: train extractors where needed (without
+    /// holding any lock), then fill the columns through the explicit
+    /// id → row mapping under one exclusive catalog lock, and assemble
+    /// reports.
+    fn materialize(
+        &self,
+        plan: &ExpansionPlan,
+        binding: &TableBinding,
         acquisitions: Vec<Acquisition>,
     ) -> Result<Vec<ExpansionReport>> {
-        let mut reports = Vec::with_capacity(plan.attributes.len());
+        // Phase 1 (lock-free): aggregate verdicts into per-attribute value
+        // maps, training extractors where the strategy demands it.
+        struct Prepared {
+            values: HashMap<ItemId, Value>,
+            training_set_size: usize,
+            items_unmapped: usize,
+            stages: Vec<ExpansionStage>,
+            acquisition: Acquisition,
+        }
+        let mut prepared: Vec<Prepared> = Vec::with_capacity(plan.attributes.len());
         for (attribute, acquisition) in plan.attributes.iter().zip(acquisitions) {
             let mut stages = vec![
                 ExpansionStage::MissingAttributeDetected,
@@ -550,7 +809,10 @@ impl CrowdDb {
             if !acquisition.cached.is_empty() {
                 stages.push(ExpansionStage::JudgmentsReused);
             }
-            if acquisition.question.is_some() {
+            if acquisition.items_coalesced > 0 {
+                stages.push(ExpansionStage::JoinedInflightRound);
+            }
+            if acquisition.question.is_some() && acquisition.fresh_round {
                 stages.push(ExpansionStage::CrowdSourcingStarted);
                 stages.push(ExpansionStage::JudgmentsAggregated);
             }
@@ -565,10 +827,6 @@ impl CrowdDb {
                     (values, 0, 0)
                 }
                 ExpansionStrategy::PerceptualSpace { extraction, .. } => {
-                    let binding = self
-                        .bindings
-                        .get(&plan.table)
-                        .expect("plan was built from this binding");
                     let mut training: Vec<(ItemId, bool)> = acquisition
                         .verdicts
                         .iter()
@@ -588,46 +846,73 @@ impl CrowdDb {
                     (values, training_set_size, unmapped.len())
                 }
             };
+            prepared.push(Prepared {
+                values,
+                training_set_size,
+                items_unmapped,
+                stages,
+                acquisition,
+            });
+        }
 
-            let table = self.catalog.table_mut(&plan.table)?;
+        // Phase 2: one exclusive catalog lock fills every column.  The
+        // id → row mapping is re-derived under this lock: `plan.rows` was
+        // captured under an earlier read lock, and a DELETE/INSERT that
+        // committed while the crowd worked would shift row indices —
+        // replaying the stale mapping would write verdicts to the wrong
+        // rows.  Values are keyed by item id, so the fresh mapping routes
+        // every verdict to whichever rows carry that item *now*.
+        let mut reports = Vec::with_capacity(plan.attributes.len());
+        let mut catalog = wlock(&self.catalog);
+        let (rows, _, skipped_rows) = planner::row_mapping(
+            catalog.table(&plan.table)?,
+            &self.config.id_column,
+            &plan.table,
+        )?;
+        for (attribute, mut item) in plan.attributes.iter().zip(prepared) {
+            let table = catalog.table_mut(&plan.table)?;
             let outcome = materialize_column(
                 table,
                 &attribute.column,
                 DataType::Boolean,
-                &values,
-                &plan.rows,
+                &item.values,
+                &rows,
             )?;
-            stages.push(ExpansionStage::ColumnAdded);
-            stages.push(ExpansionStage::ColumnMaterialized);
-            stages.push(ExpansionStage::QueryReExecuted);
+            item.stages.push(ExpansionStage::ColumnAdded);
+            item.stages.push(ExpansionStage::ColumnMaterialized);
+            item.stages.push(ExpansionStage::QueryReExecuted);
 
             reports.push(ExpansionReport {
                 table: plan.table.clone(),
                 column: attribute.column.clone(),
                 attribute: attribute.attribute.clone(),
                 strategy: attribute.strategy.name().to_string(),
-                stages,
-                items_crowd_sourced: acquisition.items_charged,
-                judgments_collected: acquisition.judgments_collected,
+                stages: item.stages,
+                items_crowd_sourced: item.acquisition.items_charged,
+                judgments_collected: item.acquisition.judgments_collected,
                 rows_filled: outcome.rows_filled,
                 // Rows without a usable item id can never be filled; count
                 // them instead of dropping them from the accounting.
-                rows_unfilled: outcome.rows_unfilled + plan.skipped_rows,
-                crowd_cost: acquisition.crowd_cost,
-                crowd_minutes: acquisition.crowd_minutes,
-                training_set_size,
-                cache_hits: acquisition.cached.len(),
-                cache_misses: acquisition.uncached.len(),
-                cost_saved: acquisition.cost_saved,
-                items_unmapped,
+                rows_unfilled: outcome.rows_unfilled + skipped_rows,
+                crowd_cost: item.acquisition.crowd_cost,
+                crowd_minutes: item.acquisition.crowd_minutes,
+                training_set_size: item.training_set_size,
+                cache_hits: item.acquisition.cached.len(),
+                cache_misses: item.acquisition.uncached.len(),
+                cost_saved: item.acquisition.cost_saved,
+                items_unmapped: item.items_unmapped,
+                items_coalesced: item.acquisition.items_coalesced,
             });
         }
         Ok(reports)
     }
 
-    /// The perceptual space bound to a table (if any).
-    pub fn space_of(&self, table: &str) -> Option<&PerceptualSpace> {
-        self.bindings.get(&table.to_lowercase()).map(|b| &b.space)
+    /// The perceptual space bound to a table (if any), cloned out of the
+    /// binding so no lock is held by the caller.
+    pub fn space_of(&self, table: &str) -> Option<PerceptualSpace> {
+        rlock(&self.bindings)
+            .get(&table.to_lowercase())
+            .map(|b| b.space.clone())
     }
 
     /// The data-quality loop of Section 4.4 for an expanded binary
@@ -640,61 +925,91 @@ impl CrowdDb {
     /// The column must already be materialized (expanded).  Unfilled and
     /// out-of-space rows are treated as `false` for the audit and are not
     /// touched by the repair.
+    ///
+    /// ```
+    /// use crowddb_core::{CrowdDb, CrowdDbConfig, ExpansionStrategy, SimulatedCrowd};
+    /// use crowdsim::ExperimentRegime;
+    /// use datagen::{DomainConfig, SyntheticDomain};
+    ///
+    /// let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.05), 21).unwrap();
+    /// let space = crowddb_core::build_space_for_domain(&domain, 8, 12).unwrap();
+    /// // A spam-heavy crowd produces a noisy column worth repairing.
+    /// let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::AllWorkers, 3);
+    /// let db = CrowdDb::new(CrowdDbConfig {
+    ///     strategy: ExpansionStrategy::DirectCrowd,
+    ///     ..Default::default()
+    /// });
+    /// db.load_domain("movies", &domain, space, Box::new(crowd)).unwrap();
+    /// db.register_attribute("movies", "is_comedy", "Comedy").unwrap();
+    /// db.execute("SELECT item_id FROM movies WHERE is_comedy = true").unwrap();
+    ///
+    /// let outcome = db.repair_attribute("movies", "is_comedy", &Default::default()).unwrap();
+    /// // Flagged items were re-crowd-sourced and the column now carries
+    /// // the repaired labels.
+    /// assert_eq!(outcome.labels.len(), domain.items().len());
+    /// ```
     pub fn repair_attribute(
-        &mut self,
+        &self,
         table_name: &str,
         column: &str,
         extraction: &crate::extraction::ExtractionConfig,
     ) -> Result<crate::repair::RepairOutcome> {
         let key = table_name.to_lowercase();
         let column = column.to_lowercase();
-        let binding = self.bindings.get(&key).ok_or_else(|| {
-            CrowdDbError::Configuration(format!(
-                "table {table_name} is not bound to a crowd source"
-            ))
-        })?;
-        let attribute = binding.attributes.get(&column).cloned().ok_or_else(|| {
-            CrowdDbError::UnknownAttribute {
+        let binding = self.binding(&key)?;
+        let attribute = rlock(&binding.attributes)
+            .get(&column)
+            .cloned()
+            .ok_or_else(|| CrowdDbError::UnknownAttribute {
                 table: table_name.to_string(),
                 attribute: column.clone(),
-            }
-        })?;
+            })?;
         let space_len = binding.space.len();
 
-        // Read the current column as a space-indexed labeling.
-        let table = self.catalog.table(table_name)?;
-        let col_idx = table.schema().index_of(&column).ok_or_else(|| {
-            CrowdDbError::Configuration(format!(
-                "column {column} of table {table_name} is not materialized — expand it first"
-            ))
-        })?;
-        let (rows, items, _skipped) = planner::row_mapping(table, &self.config.id_column, &key)?;
-        let mut labels = vec![false; space_len];
-        for (row, item) in &rows {
-            if (*item as usize) < space_len {
-                if let Value::Boolean(b) = &table.rows()[*row][col_idx] {
-                    labels[*item as usize] = *b;
+        // Read the current column as a space-indexed labeling, then drop
+        // the catalog lock before any crowd work.
+        let (labels, eligible) = {
+            let catalog = rlock(&self.catalog);
+            let table = catalog.table(table_name)?;
+            let col_idx = table.schema().index_of(&column).ok_or_else(|| {
+                CrowdDbError::Configuration(format!(
+                    "column {column} of table {table_name} is not materialized — expand it first"
+                ))
+            })?;
+            let (rows, items, _skipped) =
+                planner::row_mapping(table, &self.config.id_column, &key)?;
+            let mut labels = vec![false; space_len];
+            for (row, item) in &rows {
+                if (*item as usize) < space_len {
+                    if let Value::Boolean(b) = &table.rows()[*row][col_idx] {
+                        labels[*item as usize] = *b;
+                    }
                 }
             }
-        }
-        // Only items that still have a row are worth re-crowd-sourcing.
-        let eligible: Vec<ItemId> = items
-            .into_iter()
-            .filter(|&item| (item as usize) < space_len)
-            .collect();
+            // Only items that still have a row are worth re-crowd-sourcing.
+            let eligible: Vec<ItemId> = items
+                .into_iter()
+                .filter(|&item| (item as usize) < space_len)
+                .collect();
+            (labels, eligible)
+        };
 
-        let round_seed = self.config.seed.wrapping_add(self.crowd_rounds);
-        self.crowd_rounds += 1;
-        let binding = self.bindings.get_mut(&key).expect("checked above");
-        let outcome = crate::repair::repair_labels_among(
-            &binding.space,
-            &labels,
-            &eligible,
-            binding.crowd.as_mut(),
-            &attribute,
-            extraction,
-            round_seed,
-        )?;
+        let round_seed = self
+            .config
+            .seed
+            .wrapping_add(self.crowd_rounds.fetch_add(1, Ordering::Relaxed));
+        let outcome = {
+            let mut crowd = mlock(&binding.crowd);
+            crate::repair::repair_labels_among(
+                &binding.space,
+                &labels,
+                &eligible,
+                crowd.as_mut(),
+                &attribute,
+                extraction,
+                round_seed,
+            )?
+        };
 
         // Refresh the cache and the column with the repaired verdicts.
         let per_item_cost = if outcome.flagged.is_empty() {
@@ -715,7 +1030,15 @@ impl CrowdDb {
             );
         }
         let flagged: HashSet<ItemId> = outcome.flagged.iter().copied().collect();
-        let table = self.catalog.table_mut(table_name)?;
+        let mut catalog = wlock(&self.catalog);
+        // Re-derive the id → row mapping under the exclusive lock: the
+        // repair round takes simulated minutes, and rows deleted or
+        // inserted meanwhile would shift the indices captured earlier —
+        // writing repaired labels through a stale mapping would flip the
+        // wrong movies.
+        let (rows, _, _) =
+            planner::row_mapping(catalog.table(table_name)?, &self.config.id_column, &key)?;
+        let table = catalog.table_mut(table_name)?;
         for (row, item) in &rows {
             if flagged.contains(item) {
                 table.set_value(
@@ -738,7 +1061,7 @@ impl CrowdDb {
     /// 3.4).  Support-vector regression over the bound perceptual space
     /// extrapolates the value to every row; the new column has type `FLOAT`.
     pub fn expand_numeric_attribute(
-        &mut self,
+        &self,
         table_name: &str,
         column: &str,
         gold: &[(ItemId, f64)],
@@ -746,7 +1069,7 @@ impl CrowdDb {
     ) -> Result<ExpansionReport> {
         let key = table_name.to_lowercase();
         let column = column.to_lowercase();
-        let binding = self.bindings.get(&key).ok_or_else(|| {
+        let binding = rlock(&self.bindings).get(&key).cloned().ok_or_else(|| {
             CrowdDbError::Configuration(format!(
                 "table {table_name} is not bound to a perceptual space"
             ))
@@ -754,7 +1077,12 @@ impl CrowdDb {
         let predicted =
             crate::extraction::extract_numeric_attribute(&binding.space, gold, extraction)?;
 
-        let table = self.catalog.table(table_name)?;
+        // Map and materialize under one exclusive lock: deriving the
+        // id → row mapping under a read lock and replaying it under a
+        // later write lock would let a concurrent DELETE shift the row
+        // indices in between and misroute the values.
+        let mut catalog = wlock(&self.catalog);
+        let table = catalog.table(table_name)?;
         let (rows, items, skipped_rows) =
             planner::row_mapping(table, &self.config.id_column, &key)?;
         let (mapped, unmapped) = planner::predictions_by_item(&items, &predicted);
@@ -762,8 +1090,7 @@ impl CrowdDb {
             .into_iter()
             .map(|(item, value)| (item, Value::Float(value)))
             .collect();
-
-        let table = self.catalog.table_mut(table_name)?;
+        let table = catalog.table_mut(table_name)?;
         let outcome = materialize_column(table, &column, DataType::Float, &values, &rows)?;
 
         Ok(ExpansionReport {
@@ -789,6 +1116,7 @@ impl CrowdDb {
             cache_misses: 0,
             cost_saved: 0.0,
             items_unmapped: unmapped.len(),
+            items_coalesced: 0,
         })
     }
 }
@@ -817,8 +1145,8 @@ pub fn build_space_for_domain(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
-    use std::rc::Rc;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
 
     use crate::crowd_source::SimulatedCrowd;
     use crowdsim::{BatchCrowdRun, CrowdRun, ExperimentRegime};
@@ -833,7 +1161,7 @@ mod tests {
     fn db_with_domain(domain: &SyntheticDomain, strategy: ExpansionStrategy) -> CrowdDb {
         let space = build_space_for_domain(domain, 8, 15).unwrap();
         let crowd = SimulatedCrowd::new(domain, ExperimentRegime::TrustedWorkers, 5);
-        let mut db = CrowdDb::new(CrowdDbConfig {
+        let db = CrowdDb::new(CrowdDbConfig {
             strategy,
             ..Default::default()
         });
@@ -848,14 +1176,14 @@ mod tests {
     /// plan pays exactly one round.
     struct CountingCrowd {
         inner: SimulatedCrowd,
-        collect_calls: Rc<Cell<usize>>,
-        batch_calls: Rc<Cell<usize>>,
-        last_request_count: Rc<Cell<usize>>,
+        collect_calls: Arc<AtomicUsize>,
+        batch_calls: Arc<AtomicUsize>,
+        last_request_count: Arc<AtomicUsize>,
     }
 
     impl CrowdSource for CountingCrowd {
         fn collect(&mut self, items: &[u32], attribute: &str, seed: u64) -> Result<CrowdRun> {
-            self.collect_calls.set(self.collect_calls.get() + 1);
+            self.collect_calls.fetch_add(1, Ordering::SeqCst);
             self.inner.collect(items, attribute, seed)
         }
 
@@ -864,8 +1192,9 @@ mod tests {
             requests: &[AttributeRequest],
             seed: u64,
         ) -> Result<BatchCrowdRun> {
-            self.batch_calls.set(self.batch_calls.get() + 1);
-            self.last_request_count.set(requests.len());
+            self.batch_calls.fetch_add(1, Ordering::SeqCst);
+            self.last_request_count
+                .store(requests.len(), Ordering::SeqCst);
             self.inner.collect_batch(requests, seed)
         }
 
@@ -875,9 +1204,15 @@ mod tests {
     }
 
     #[test]
+    fn crowddb_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CrowdDb>();
+    }
+
+    #[test]
     fn factual_queries_run_without_expansion() {
         let d = domain();
-        let mut db = db_with_domain(&d, ExpansionStrategy::perceptual_default());
+        let db = db_with_domain(&d, ExpansionStrategy::perceptual_default());
         let result = db
             .execute("SELECT name FROM movies WHERE year < 1970 LIMIT 5")
             .unwrap();
@@ -889,7 +1224,7 @@ mod tests {
     #[test]
     fn query_on_missing_attribute_triggers_expansion() {
         let d = domain();
-        let mut db = db_with_domain(
+        let db = db_with_domain(
             &d,
             ExpansionStrategy::PerceptualSpace {
                 gold_sample_size: 60,
@@ -901,7 +1236,8 @@ mod tests {
             .unwrap();
         assert!(!result.rows.is_empty());
         assert_eq!(db.expansion_events().len(), 1);
-        let event = &db.expansion_events()[0];
+        let events = db.expansion_events();
+        let event = &events[0];
         assert_eq!(event.report.column, "is_comedy");
         assert_eq!(event.report.attribute, "Comedy");
         assert!(
@@ -918,9 +1254,14 @@ mod tests {
             .report
             .stages
             .contains(&ExpansionStage::ExtractorTrained));
-        // First acquisition: everything was a cache miss, nothing reused.
+        // First acquisition: everything was a cache miss, nothing reused,
+        // no concurrent round to join.
         assert_eq!(event.report.cache_hits, 0);
         assert_eq!(event.report.cache_misses, event.report.items_crowd_sourced);
+        assert_eq!(event.report.items_coalesced, 0);
+        // One crowd round was owned, none coalesced.
+        assert_eq!(db.inflight_stats().owned, 1);
+        assert_eq!(db.inflight_stats().coalesced, 0);
 
         // Of the returned (predicted-comedy) items, most must truly be
         // comedies.
@@ -953,16 +1294,16 @@ mod tests {
     fn one_query_expands_all_missing_attributes_in_one_batched_round() {
         let d = domain();
         let space = build_space_for_domain(&d, 8, 15).unwrap();
-        let collect_calls = Rc::new(Cell::new(0));
-        let batch_calls = Rc::new(Cell::new(0));
-        let last_request_count = Rc::new(Cell::new(0));
+        let collect_calls = Arc::new(AtomicUsize::new(0));
+        let batch_calls = Arc::new(AtomicUsize::new(0));
+        let last_request_count = Arc::new(AtomicUsize::new(0));
         let crowd = CountingCrowd {
             inner: SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 5),
             collect_calls: collect_calls.clone(),
             batch_calls: batch_calls.clone(),
             last_request_count: last_request_count.clone(),
         };
-        let mut db = CrowdDb::new(CrowdDbConfig {
+        let db = CrowdDb::new(CrowdDbConfig {
             strategy: ExpansionStrategy::PerceptualSpace {
                 gold_sample_size: 50,
                 extraction: Default::default(),
@@ -982,20 +1323,17 @@ mod tests {
             .unwrap();
         assert!(!result.rows.is_empty());
         // One planning round, one batched dispatch, one event per attribute.
-        assert_eq!(batch_calls.get(), 1);
-        assert_eq!(collect_calls.get(), 0);
+        assert_eq!(batch_calls.load(Ordering::SeqCst), 1);
+        assert_eq!(collect_calls.load(Ordering::SeqCst), 0);
         assert_eq!(db.expansion_events().len(), 2);
-        let columns: Vec<&str> = db
-            .expansion_events()
-            .iter()
-            .map(|e| e.report.column.as_str())
-            .collect();
+        let events = db.expansion_events();
+        let columns: Vec<&str> = events.iter().map(|e| e.report.column.as_str()).collect();
         assert_eq!(columns, vec!["is_comedy", "is_other"]);
         // Both trained on the same shared gold sample.
         let schema = db.catalog().table("movies").unwrap().schema().clone();
         assert!(schema.contains("is_comedy") && schema.contains("is_other"));
         assert_eq!(
-            last_request_count.get(),
+            last_request_count.load(Ordering::SeqCst),
             2,
             "distinct concepts, two questions"
         );
@@ -1005,16 +1343,16 @@ mod tests {
     fn columns_sharing_a_concept_share_one_crowd_question() {
         let d = domain();
         let space = build_space_for_domain(&d, 8, 15).unwrap();
-        let collect_calls = Rc::new(Cell::new(0));
-        let batch_calls = Rc::new(Cell::new(0));
-        let last_request_count = Rc::new(Cell::new(0));
+        let collect_calls = Arc::new(AtomicUsize::new(0));
+        let batch_calls = Arc::new(AtomicUsize::new(0));
+        let last_request_count = Arc::new(AtomicUsize::new(0));
         let crowd = CountingCrowd {
             inner: SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 5),
             collect_calls: collect_calls.clone(),
             batch_calls: batch_calls.clone(),
             last_request_count: last_request_count.clone(),
         };
-        let mut db = CrowdDb::new(CrowdDbConfig {
+        let db = CrowdDb::new(CrowdDbConfig {
             strategy: ExpansionStrategy::PerceptualSpace {
                 gold_sample_size: 40,
                 extraction: Default::default(),
@@ -1032,19 +1370,22 @@ mod tests {
         db.execute("SELECT name FROM movies WHERE is_comedy = true AND comedy_flag = true")
             .unwrap();
         // One round, ONE question: the concept is crowd-sourced once.
-        assert_eq!(batch_calls.get(), 1);
+        assert_eq!(batch_calls.load(Ordering::SeqCst), 1);
         assert_eq!(
-            last_request_count.get(),
+            last_request_count.load(Ordering::SeqCst),
             1,
             "shared concept must share a question"
         );
 
         // Both columns materialized identically (same judgments, same
         // extractor input).
-        let table = db.catalog().table("movies").unwrap();
-        let a = table.schema().index_of("is_comedy").unwrap();
-        let b = table.schema().index_of("comedy_flag").unwrap();
-        assert!(table.rows().iter().all(|row| row[a] == row[b]));
+        {
+            let catalog = db.catalog();
+            let table = catalog.table("movies").unwrap();
+            let a = table.schema().index_of("is_comedy").unwrap();
+            let b = table.schema().index_of("comedy_flag").unwrap();
+            assert!(table.rows().iter().all(|row| row[a] == row[b]));
+        }
 
         // Owner-pays accounting: the first column carries the question's
         // full cost and judgment count, the sibling reports zero collection
@@ -1067,7 +1408,11 @@ mod tests {
         let reports = db
             .expand_columns("movies", &["is_comedy".into(), "comedy_flag".into()])
             .unwrap();
-        assert_eq!(batch_calls.get(), 1, "re-expansion is fully cache-served");
+        assert_eq!(
+            batch_calls.load(Ordering::SeqCst),
+            1,
+            "re-expansion is fully cache-served"
+        );
         assert!(reports[0].cost_saved > 0.0);
         assert_eq!(
             reports[1].cost_saved, 0.0,
@@ -1084,7 +1429,7 @@ mod tests {
     #[test]
     fn forced_re_expansion_is_served_from_the_judgment_cache() {
         let d = domain();
-        let mut db = db_with_domain(
+        let db = db_with_domain(
             &d,
             ExpansionStrategy::PerceptualSpace {
                 gold_sample_size: 40,
@@ -1123,7 +1468,7 @@ mod tests {
         let d = domain();
         let space = build_space_for_domain(&d, 8, 15).unwrap();
         let crowd = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 5);
-        let mut db = CrowdDb::new(CrowdDbConfig {
+        let db = CrowdDb::new(CrowdDbConfig {
             strategy: ExpansionStrategy::PerceptualSpace {
                 gold_sample_size: 40,
                 extraction: Default::default(),
@@ -1145,10 +1490,10 @@ mod tests {
 
         db.execute("SELECT name FROM movies WHERE is_comedy = true AND is_other = true")
             .unwrap();
-        let strategies: Vec<&str> = db
+        let strategies: Vec<String> = db
             .expansion_events()
             .iter()
-            .map(|e| e.report.strategy.as_str())
+            .map(|e| e.report.strategy.clone())
             .collect();
         assert_eq!(
             strategies,
@@ -1174,11 +1519,12 @@ mod tests {
     #[test]
     fn direct_crowd_strategy_leaves_unknown_items_null() {
         let d = domain();
-        let mut db = db_with_domain(&d, ExpansionStrategy::DirectCrowd);
+        let db = db_with_domain(&d, ExpansionStrategy::DirectCrowd);
         let result = db
             .execute("SELECT item_id FROM movies WHERE is_comedy = true")
             .unwrap();
-        let event = &db.expansion_events()[0];
+        let events = db.expansion_events();
+        let event = &events[0];
         assert_eq!(event.report.strategy, "direct crowd-sourcing");
         assert_eq!(event.report.training_set_size, 0);
         // Trusted workers do not know every movie: coverage stays below 100 %.
@@ -1192,10 +1538,11 @@ mod tests {
         // The core Table 1 vs Experiment 5 comparison, end to end.
         let d = domain();
         let truth = d.labels_for_category(0);
-        let accuracy_of = |db: &mut CrowdDb| {
+        let accuracy_of = |db: &CrowdDb| {
             db.execute("SELECT item_id FROM movies WHERE is_comedy = true")
                 .unwrap();
-            let table = db.catalog().table("movies").unwrap();
+            let catalog = db.catalog();
+            let table = catalog.table("movies").unwrap();
             let mut predicted = Vec::new();
             let mut actual = Vec::new();
             for row in table.rows() {
@@ -1217,16 +1564,16 @@ mod tests {
             }
             BinaryConfusion::from_predictions(&predicted, &actual).accuracy()
         };
-        let mut direct_db = db_with_domain(&d, ExpansionStrategy::DirectCrowd);
-        let mut perceptual_db = db_with_domain(
+        let direct_db = db_with_domain(&d, ExpansionStrategy::DirectCrowd);
+        let perceptual_db = db_with_domain(
             &d,
             ExpansionStrategy::PerceptualSpace {
                 gold_sample_size: 80,
                 extraction: Default::default(),
             },
         );
-        let direct = accuracy_of(&mut direct_db);
-        let perceptual = accuracy_of(&mut perceptual_db);
+        let direct = accuracy_of(&direct_db);
+        let perceptual = accuracy_of(&perceptual_db);
         assert!(
             perceptual > direct,
             "perceptual {perceptual} should beat direct {direct}"
@@ -1236,7 +1583,7 @@ mod tests {
     #[test]
     fn unregistered_attributes_are_rejected() {
         let d = domain();
-        let mut db = db_with_domain(&d, ExpansionStrategy::perceptual_default());
+        let db = db_with_domain(&d, ExpansionStrategy::perceptual_default());
         let err = db.execute("SELECT * FROM movies WHERE excitement = true");
         assert!(matches!(err, Err(CrowdDbError::UnknownAttribute { .. })));
         // A mix of expandable and non-expandable attributes is rejected
@@ -1260,7 +1607,7 @@ mod tests {
         let d = domain();
         let space = build_space_for_domain(&d, 4, 5).unwrap();
         let crowd = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 5);
-        let mut db = CrowdDb::new(CrowdDbConfig::default());
+        let db = CrowdDb::new(CrowdDbConfig::default());
         // register_attribute before binding fails.
         assert!(db
             .register_attribute("movies", "is_comedy", "Comedy")
@@ -1300,7 +1647,7 @@ mod tests {
 
         let d = domain(); // only used to satisfy the crowd-source parameter
         let crowd = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 1);
-        let mut db = CrowdDb::new(CrowdDbConfig::default());
+        let db = CrowdDb::new(CrowdDbConfig::default());
         let schema = Schema::new(vec![
             Column::not_null("item_id", DataType::Integer),
             Column::new("name", DataType::Text),
@@ -1361,7 +1708,7 @@ mod tests {
         let space = PerceptualSpace::new(coords.clone()).unwrap();
         let d = domain();
         let crowd = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 1);
-        let mut db = CrowdDb::new(CrowdDbConfig::default());
+        let db = CrowdDb::new(CrowdDbConfig::default());
         let schema = Schema::new(vec![Column::not_null("item_id", DataType::Integer)]).unwrap();
         let mut table = Table::new("things", schema);
         let sparse_ids: Vec<i64> = vec![1, 7, 13, 22, 38, 9000];
@@ -1383,7 +1730,8 @@ mod tests {
 
         // Every filled value matches its own item id's position in the
         // space, not its row number.
-        let table = db.catalog().table("things").unwrap();
+        let catalog = db.catalog();
+        let table = catalog.table("things").unwrap();
         let score_idx = table.schema().index_of("score").unwrap();
         let id_idx = table.schema().index_of("item_id").unwrap();
         let mut checked = 0;
@@ -1410,7 +1758,7 @@ mod tests {
         let d = domain();
         let space = build_space_for_domain(&d, 8, 15).unwrap();
         let crowd = SimulatedCrowd::new(&d, ExperimentRegime::AllWorkers, 3);
-        let mut db = CrowdDb::new(CrowdDbConfig {
+        let db = CrowdDb::new(CrowdDbConfig {
             strategy: ExpansionStrategy::DirectCrowd,
             ..Default::default()
         });
@@ -1437,22 +1785,25 @@ mod tests {
 
         // The column now carries the repaired labels for flagged items, and
         // the cache holds the repaired verdicts for future expansions.
-        let table = db.catalog().table("movies").unwrap();
-        let col = table.schema().index_of("is_comedy").unwrap();
-        let id = table.schema().index_of("item_id").unwrap();
-        for row in table.rows() {
-            let item = match row[id] {
-                Value::Integer(i) => i as u32,
-                _ => continue,
-            };
-            if outcome.flagged.contains(&item) {
-                assert_eq!(
-                    row[col],
-                    Value::Boolean(outcome.labels[item as usize]),
-                    "flagged item {item} must carry its repaired label"
-                );
-                let cached = db.judgment_cache().peek("movies", "Comedy", item).unwrap();
-                assert_eq!(cached.verdict, Some(outcome.labels[item as usize]));
+        {
+            let catalog = db.catalog();
+            let table = catalog.table("movies").unwrap();
+            let col = table.schema().index_of("is_comedy").unwrap();
+            let id = table.schema().index_of("item_id").unwrap();
+            for row in table.rows() {
+                let item = match row[id] {
+                    Value::Integer(i) => i as u32,
+                    _ => continue,
+                };
+                if outcome.flagged.contains(&item) {
+                    assert_eq!(
+                        row[col],
+                        Value::Boolean(outcome.labels[item as usize]),
+                        "flagged item {item} must carry its repaired label"
+                    );
+                    let cached = db.judgment_cache().peek("movies", "Comedy", item).unwrap();
+                    assert_eq!(cached.verdict, Some(outcome.labels[item as usize]));
+                }
             }
         }
 
@@ -1497,7 +1848,7 @@ mod tests {
         let space = PerceptualSpace::new(coords).unwrap();
         let d = domain();
         let crowd = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 1);
-        let mut db = CrowdDb::new(CrowdDbConfig {
+        let db = CrowdDb::new(CrowdDbConfig {
             strategy: ExpansionStrategy::PerceptualSpace {
                 gold_sample_size: 10,
                 extraction: Default::default(),
@@ -1525,6 +1876,43 @@ mod tests {
         // The two out-of-space rows are reported, not silently dropped.
         assert_eq!(report.items_unmapped, 2);
         assert_eq!(report.rows_unfilled, 2);
+    }
+
+    #[test]
+    fn concurrent_reads_and_expansions_share_the_database() {
+        // A smoke test of the shared-state design: concurrent factual
+        // SELECTs and one expanding query, from plain borrowed threads.
+        let d = domain();
+        let db = db_with_domain(
+            &d,
+            ExpansionStrategy::PerceptualSpace {
+                gold_sample_size: 30,
+                extraction: Default::default(),
+            },
+        );
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for _ in 0..5 {
+                        let result = db
+                            .execute("SELECT name FROM movies WHERE year < 1990 LIMIT 3")
+                            .unwrap();
+                        assert!(result.rows.len() <= 3);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                db.execute("SELECT item_id FROM movies WHERE is_comedy = true")
+                    .unwrap();
+            });
+        });
+        assert!(!db.expansion_events().is_empty());
+        assert!(db
+            .catalog()
+            .table("movies")
+            .unwrap()
+            .schema()
+            .contains("is_comedy"));
     }
 
     #[test]

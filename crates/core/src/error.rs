@@ -24,6 +24,11 @@ pub enum CrowdDbError {
     /// The database is mis-configured (missing space, missing crowd source,
     /// unregistered table, …).
     Configuration(String),
+    /// A transient concurrency failure: concurrent acquisitions of the same
+    /// attribute kept aborting or resolving disjoint item sets.  Unlike
+    /// [`Configuration`](CrowdDbError::Configuration) this is not a caller
+    /// mistake — retrying the query is reasonable.
+    Contention(String),
 }
 
 impl fmt::Display for CrowdDbError {
@@ -38,6 +43,7 @@ impl fmt::Display for CrowdDbError {
                 "attribute {attribute} of table {table} is not in the schema and not registered for expansion"
             ),
             CrowdDbError::Configuration(msg) => write!(f, "configuration error: {msg}"),
+            CrowdDbError::Contention(msg) => write!(f, "contention error: {msg}"),
         }
     }
 }

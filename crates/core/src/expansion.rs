@@ -59,6 +59,10 @@ pub enum ExpansionStage {
     ExpansionPlanned,
     /// Cached judgments were reused instead of re-paying the crowd.
     JudgmentsReused,
+    /// A concurrent query had a crowd round for the same attribute in
+    /// flight; this expansion waited for it and reused its verdicts
+    /// instead of dispatching a duplicate round.
+    JoinedInflightRound,
     /// The column was added to the table schema.
     ColumnAdded,
     /// HITs were dispatched to the crowd.
@@ -98,10 +102,13 @@ pub struct ExpansionReport {
     /// Attributes acquired in one batched round split the round's cost, so
     /// summing `crowd_cost` across a plan's reports gives the round total.
     pub crowd_cost: f64,
-    /// Wall-clock minutes of the crowd round this attribute was acquired
-    /// in.  Attributes expanded in one batched round **share** the round,
-    /// so summing `crowd_minutes` across their reports double-counts time —
-    /// take the maximum instead (0 when served entirely from the cache).
+    /// Wall-clock minutes of the crowd round **this query dispatched** for
+    /// the attribute.  Attributes expanded in one batched round **share**
+    /// the round, so summing `crowd_minutes` across their reports
+    /// double-counts time — take the maximum instead.  0 when served
+    /// entirely from the cache or from a concurrent query's round (see
+    /// [`items_coalesced`](ExpansionReport::items_coalesced)): the round's
+    /// time is reported by the query that owned it.
     pub crowd_minutes: f64,
     /// Size of the extractor training set (0 for direct crowd-sourcing).
     pub training_set_size: usize,
@@ -116,6 +123,13 @@ pub struct ExpansionReport {
     /// Items whose id has no coordinates in the perceptual space (reported
     /// explicitly instead of being silently dropped).
     pub items_unmapped: usize,
+    /// Items whose verdict was published by a *concurrent* query's crowd
+    /// round instead of one this expansion dispatched — either waited for
+    /// while in flight, or discovered already-published when this
+    /// expansion claimed the attribute.  Paid for by that other query (the
+    /// cross-query extension of the owner-pays rule), so these items
+    /// contribute neither `crowd_cost` nor `crowd_minutes` here.
+    pub items_coalesced: usize,
 }
 
 impl ExpansionReport {
@@ -170,6 +184,7 @@ mod tests {
             cache_misses: 100,
             cost_saved: 0.0,
             items_unmapped: 0,
+            items_coalesced: 0,
         };
         assert!((report.coverage() - 0.9).abs() < 1e-12);
         let empty = ExpansionReport {

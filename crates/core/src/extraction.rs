@@ -17,7 +17,7 @@ use crate::Result;
 pub struct ExtractionConfig {
     /// RBF kernel width; `None` selects the bandwidth from the training data
     /// with the mean-distance heuristic (see
-    /// [`ExtractionConfig::resolve_kernel`]).
+    /// `ExtractionConfig::resolve_kernel`).
     pub gamma: Option<f64>,
     /// Soft-margin cost.
     pub c: f64,

@@ -1,0 +1,317 @@
+//! The in-flight expansion registry: cross-query coalescing of crowd work.
+//!
+//! Under concurrent load, several queries frequently need the same missing
+//! `(table, attribute)` at the same time — the first has analyzed the
+//! statement and started a crowd round while the others are still planning.
+//! Without coordination each of them would dispatch its own round and pay
+//! the crowd several times for identical judgments (the same waste
+//! Trushkowsky et al., *Getting It All from the Crowd*, PVLDB 2012, observe
+//! for overlapping crowd acquisitions).
+//!
+//! The registry turns that race into a rendezvous.  Every acquisition first
+//! **claims** its `(table, attribute)` key:
+//!
+//! * the first claimant becomes the **owner** — it dispatches the crowd
+//!   round, writes the fresh verdicts into the [`crate::JudgmentCache`],
+//!   and then completes the claim, waking everyone else;
+//! * later claimants become **waiters** — they block until the owner
+//!   completes, then read the verdicts straight from the judgment cache at
+//!   zero crowd cost (the owner-pays accounting rule of the batched
+//!   pipeline extends across queries).
+//!
+//! Completion always removes the entry, so the registry only ever contains
+//! keys with a crowd round literally in flight.  If an owner fails (crowd
+//! error or panic) its claim is aborted on drop and the waiters simply
+//! retry: one of them becomes the new owner and dispatches the round the
+//! failed owner never finished.
+//!
+//! Deadlock freedom: a single acquisition claims every key it needs *before*
+//! it starts waiting on foreign keys, and completes every key it owns in the
+//! same dispatch step.  No thread ever holds an uncompleted claim while
+//! blocking on another thread's claim, so the wait graph stays acyclic.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use crate::sync::mlock as lock;
+
+/// How an in-flight entry ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The owner dispatched its round and published the verdicts to the
+    /// judgment cache.
+    Completed,
+    /// The owner gave up (crowd error or panic) without publishing; the
+    /// waiter should retry the acquisition.
+    Aborted,
+}
+
+/// Internal state shared between one owner and its waiters.
+#[derive(Debug)]
+struct Entry {
+    state: Mutex<Option<Outcome>>,
+    ready: Condvar,
+}
+
+impl Entry {
+    fn finish(&self, outcome: Outcome) {
+        let mut state = lock(&self.state);
+        // First writer wins: `complete` and the abort-on-drop guard can
+        // both run when completion races a panic unwind.
+        if state.is_none() {
+            *state = Some(outcome);
+        }
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Outcome {
+        let mut state = lock(&self.state);
+        loop {
+            if let Some(outcome) = *state {
+                return outcome;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Effectiveness counters of the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InflightStats {
+    /// Claims that made the caller the owner of a crowd round.
+    pub owned: u64,
+    /// Claims that found another query's acquisition in flight and joined
+    /// it instead of dispatching their own.  Counted at claim time: a
+    /// waiter that retries after an owner abort is counted once per
+    /// attempt, so under owner failures this is an upper bound on the
+    /// crowd rounds avoided, not an exact count.
+    pub coalesced: u64,
+}
+
+/// The result of claiming a `(table, attribute)` key.
+pub enum Claim {
+    /// The caller owns the acquisition and must dispatch the crowd round,
+    /// then call [`OwnerToken::complete`].
+    Owner(OwnerToken),
+    /// Another query is already acquiring this key; call
+    /// [`WaitHandle::wait`] to block until it finishes.
+    Waiter(WaitHandle),
+}
+
+/// Proof of ownership of one in-flight acquisition.
+///
+/// Dropping the token without calling [`complete`](OwnerToken::complete)
+/// aborts the claim (waiters wake up and retry) — this is what keeps waiters
+/// from hanging when the owner's crowd round fails.
+pub struct OwnerToken {
+    registry: Arc<Shared>,
+    key: (String, String),
+    entry: Arc<Entry>,
+    completed: bool,
+}
+
+impl std::fmt::Debug for OwnerToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OwnerToken")
+            .field("key", &self.key)
+            .finish()
+    }
+}
+
+impl OwnerToken {
+    /// Marks the acquisition as published: the fresh verdicts are in the
+    /// judgment cache and every waiter can serve itself from it.
+    pub fn complete(mut self) {
+        self.finish(Outcome::Completed);
+    }
+
+    fn finish(&mut self, outcome: Outcome) {
+        if self.completed {
+            return;
+        }
+        self.completed = true;
+        // Remove the entry first so a new claimant after this point starts
+        // a fresh acquisition instead of observing a finished one.
+        lock(&self.registry.entries).remove(&self.key);
+        self.entry.finish(outcome);
+    }
+}
+
+impl Drop for OwnerToken {
+    fn drop(&mut self) {
+        self.finish(Outcome::Aborted);
+    }
+}
+
+/// A handle onto another query's in-flight acquisition.
+#[derive(Debug)]
+pub struct WaitHandle {
+    entry: Arc<Entry>,
+}
+
+impl WaitHandle {
+    /// Blocks until the owning query completes (or aborts) its crowd round.
+    pub fn wait(self) -> Outcome {
+        self.entry.wait()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    entries: Mutex<HashMap<(String, String), Arc<Entry>>>,
+}
+
+/// A registry of `(table, attribute)` acquisitions currently in flight.
+///
+/// See the [module documentation](self) for the coalescing protocol.
+#[derive(Debug, Default)]
+pub struct InflightRegistry {
+    shared: Arc<Shared>,
+    owned: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl InflightRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        InflightRegistry::default()
+    }
+
+    /// Claims the `(table, attribute)` key: the first claimant becomes the
+    /// owner, everyone else joins as a waiter.
+    pub fn claim(&self, table: &str, attribute: &str) -> Claim {
+        let key = (table.to_lowercase(), attribute.to_lowercase());
+        let mut entries = lock(&self.shared.entries);
+        match entries.get(&key) {
+            Some(entry) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Claim::Waiter(WaitHandle {
+                    entry: Arc::clone(entry),
+                })
+            }
+            None => {
+                let entry = Arc::new(Entry {
+                    state: Mutex::new(None),
+                    ready: Condvar::new(),
+                });
+                entries.insert(key.clone(), Arc::clone(&entry));
+                self.owned.fetch_add(1, Ordering::Relaxed);
+                Claim::Owner(OwnerToken {
+                    registry: Arc::clone(&self.shared),
+                    key,
+                    entry,
+                    completed: false,
+                })
+            }
+        }
+    }
+
+    /// Number of keys with a crowd round currently in flight.
+    pub fn len(&self) -> usize {
+        lock(&self.shared.entries).len()
+    }
+
+    /// True when no acquisition is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> InflightStats {
+        InflightStats {
+            owned: self.owned.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn first_claim_owns_later_claims_wait() {
+        let registry = InflightRegistry::new();
+        let owner = match registry.claim("movies", "Comedy") {
+            Claim::Owner(token) => token,
+            Claim::Waiter(_) => panic!("first claim must own"),
+        };
+        assert_eq!(registry.len(), 1);
+        // Keys are case-insensitive: the same acquisition is joined.
+        let waiter = match registry.claim("Movies", "comedy") {
+            Claim::Waiter(handle) => handle,
+            Claim::Owner(_) => panic!("second claim must wait"),
+        };
+        // A different attribute is an independent acquisition.
+        assert!(matches!(
+            registry.claim("movies", "Horror"),
+            Claim::Owner(_)
+        ));
+
+        owner.complete();
+        assert_eq!(waiter.wait(), Outcome::Completed);
+        // Completion removed the entry; the next claim starts fresh.
+        assert!(matches!(
+            registry.claim("movies", "Comedy"),
+            Claim::Owner(_)
+        ));
+        let stats = registry.stats();
+        assert_eq!(stats.coalesced, 1);
+        assert!(stats.owned >= 3);
+    }
+
+    #[test]
+    fn dropping_the_owner_token_aborts_and_wakes_waiters() {
+        let registry = InflightRegistry::new();
+        let owner = match registry.claim("movies", "Comedy") {
+            Claim::Owner(token) => token,
+            Claim::Waiter(_) => panic!("first claim must own"),
+        };
+        let waiter = match registry.claim("movies", "Comedy") {
+            Claim::Waiter(handle) => handle,
+            Claim::Owner(_) => panic!("second claim must wait"),
+        };
+        drop(owner);
+        assert_eq!(waiter.wait(), Outcome::Aborted);
+        // The aborted key is free again for a retry.
+        let retry = registry.claim("movies", "Comedy");
+        assert!(matches!(retry, Claim::Owner(_)));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn waiters_block_until_the_owner_completes() {
+        let registry = Arc::new(InflightRegistry::new());
+        let owner = match registry.claim("t", "a") {
+            Claim::Owner(token) => token,
+            Claim::Waiter(_) => panic!("first claim must own"),
+        };
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                thread::spawn(move || match registry.claim("t", "a") {
+                    Claim::Waiter(handle) => handle.wait(),
+                    // A waiter that claims after completion owns a fresh
+                    // round; completing it immediately keeps the test exact.
+                    Claim::Owner(token) => {
+                        token.complete();
+                        Outcome::Completed
+                    }
+                })
+            })
+            .collect();
+        // Give the waiters a moment to actually block on the entry.
+        thread::sleep(Duration::from_millis(20));
+        owner.complete();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), Outcome::Completed);
+        }
+        assert!(registry.is_empty());
+    }
+}

@@ -38,6 +38,15 @@
 //! ([`CrowdDb::expand_attribute`] on an existing column) reuses the cached
 //! judgments at zero crowd cost.
 //!
+//! The database is a **concurrent query engine**: [`CrowdDb::execute`]
+//! takes `&self` and [`CrowdDb`] is `Send + Sync`, so N threads can share
+//! one database and execute simultaneously.  Read-only statements run in
+//! parallel under a shared catalog lock; queries racing to expand the same
+//! missing `(table, attribute)` are **coalesced** by the [`inflight`]
+//! registry onto a single crowd round — the first query dispatches and
+//! pays, the others wait and reuse its verdicts through the cache (see the
+//! [`db`] module documentation for the full locking design).
+//!
 //! Additional capabilities reproduce the rest of the evaluation:
 //!
 //! * [`boost`] — incremental "boosting" of a running crowd task: as crowd
@@ -59,7 +68,7 @@
 //!
 //! // Assemble the crowd-enabled database.
 //! let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 99);
-//! let mut db = CrowdDb::new(CrowdDbConfig {
+//! let db = CrowdDb::new(CrowdDbConfig {
 //!     strategy: ExpansionStrategy::perceptual_default(),
 //!     ..Default::default()
 //! });
@@ -71,6 +80,8 @@
 //! assert!(!result.rows.is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod audit;
 pub mod boost;
 pub mod cache;
@@ -79,9 +90,11 @@ pub mod db;
 pub mod error;
 pub mod expansion;
 pub mod extraction;
+pub mod inflight;
 mod materialize;
 pub mod planner;
 pub mod repair;
+mod sync;
 
 pub use audit::{audit_binary_labels, AuditOutcome};
 pub use boost::{evaluate_boost_over_time, BoostCheckpoint, BoostCurve};
@@ -91,6 +104,7 @@ pub use db::{build_space_for_domain, CrowdDb, CrowdDbConfig, ExpansionEvent};
 pub use error::CrowdDbError;
 pub use expansion::{ExpansionReport, ExpansionStrategy};
 pub use extraction::{extract_binary_attribute, extract_numeric_attribute, ExtractionConfig};
+pub use inflight::{InflightRegistry, InflightStats};
 pub use planner::{ExpansionPlan, PlannedAttribute};
 pub use repair::{repair_labels, repair_labels_among, RepairOutcome};
 

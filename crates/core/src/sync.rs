@@ -1,0 +1,29 @@
+//! Poison-forgiving lock acquisition, shared by every synchronized
+//! structure of the crate.
+//!
+//! A poisoned lock means some thread panicked while holding it.  The
+//! database's shared structures are all updated in single self-contained
+//! steps (one map insert, one counter bump, one column fill per guard), so
+//! the state behind a poisoned lock is still internally consistent and
+//! serving it beats cascading the panic into every concurrent query.  If a
+//! future change makes any critical section multi-step (where a mid-panic
+//! could expose a torn invariant), revisit this policy *here* — every
+//! module shares these helpers precisely so the decision lives in one
+//! place.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Acquires a shared read lock, ignoring poisoning.
+pub(crate) fn rlock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires an exclusive write lock, ignoring poisoning.
+pub(crate) fn wlock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires a mutex, ignoring poisoning.
+pub(crate) fn mlock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}

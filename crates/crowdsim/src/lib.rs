@@ -37,6 +37,8 @@
 //! assert_eq!(run.judgments.len(), 50 * 10);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod aggregate;
 pub mod error;
 pub mod hit;

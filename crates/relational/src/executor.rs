@@ -78,6 +78,23 @@ pub fn analyze(statement: &Statement, catalog: &Catalog) -> Result<StatementAnal
     })
 }
 
+/// Executes a read-only statement (`SELECT`) against a shared catalog
+/// reference.
+///
+/// This is the concurrent engine's fast path: callers holding a shared
+/// (read) lock on the catalog can run any statement for which
+/// [`Statement::is_read_only`] is true without serializing behind writers.
+/// Passing a write statement is a logic error and reported as
+/// [`RelationalError::InvalidStatement`].
+pub fn execute_read(statement: &Statement, catalog: &Catalog) -> Result<QueryResult> {
+    match statement {
+        Statement::Select(select) => execute_select(select, catalog),
+        other => Err(RelationalError::InvalidStatement(format!(
+            "execute_read got a write statement: {other:?}"
+        ))),
+    }
+}
+
 /// Executes a parsed statement against the catalog.
 pub fn execute(statement: &Statement, catalog: &mut Catalog) -> Result<QueryResult> {
     match statement {

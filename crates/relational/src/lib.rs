@@ -32,6 +32,8 @@
 //! assert_eq!(result.rows.len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod catalog;
 pub mod error;
 pub mod executor;
@@ -43,7 +45,7 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use error::RelationalError;
-pub use executor::{analyze, execute, QueryResult, StatementAnalysis};
+pub use executor::{analyze, execute, execute_read, QueryResult, StatementAnalysis};
 pub use expr::{BinaryOperator, Expr, UnaryOperator};
 pub use schema::{Column, Schema};
 pub use sql::{parse, Statement};

@@ -154,6 +154,14 @@ impl Statement {
         out
     }
 
+    /// True when executing the statement cannot modify the catalog — i.e.
+    /// it is a `SELECT`.  Concurrent engines use this to route read-only
+    /// statements through [`crate::executor::execute_read`] under a shared
+    /// lock while writes take the exclusive one.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Statement::Select(_))
+    }
+
     /// The table the statement operates on, when it targets an existing
     /// table (`CREATE TABLE` introduces its table instead of reading one).
     pub fn target_table(&self) -> Option<&str> {

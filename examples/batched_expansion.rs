@@ -13,7 +13,7 @@ fn main() {
     let space = build_space_for_domain(&domain, 16, 20).unwrap();
     let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 7);
 
-    let mut db = CrowdDb::new(CrowdDbConfig {
+    let db = CrowdDb::new(CrowdDbConfig {
         strategy: ExpansionStrategy::PerceptualSpace {
             gold_sample_size: 80,
             extraction: ExtractionConfig::default(),

@@ -33,7 +33,7 @@ fn run_strategy(
     label: &str,
 ) -> Outcome {
     let crowd = SimulatedCrowd::new(domain, regime, 11);
-    let mut db = CrowdDb::new(CrowdDbConfig {
+    let db = CrowdDb::new(CrowdDbConfig {
         strategy,
         ..Default::default()
     });
@@ -44,9 +44,11 @@ fn run_strategy(
     db.execute("SELECT item_id FROM movies WHERE is_comedy = true")
         .expect("query");
 
-    let report = &db.expansion_events()[0].report;
+    let events = db.expansion_events();
+    let report = &events[0].report;
     let truth = domain.labels_for_category(domain.category_index("Comedy").unwrap());
-    let table = db.catalog().table("movies").unwrap();
+    let catalog = db.catalog();
+    let table = catalog.table("movies").unwrap();
     let col = table.schema().index_of("is_comedy").unwrap();
     let id_col = table.schema().index_of("item_id").unwrap();
     let mut predicted = Vec::new();

@@ -35,7 +35,7 @@ fn main() {
 
     // 3. Assemble the crowd-enabled database: factual columns only.
     let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 7);
-    let mut db = CrowdDb::new(CrowdDbConfig {
+    let db = CrowdDb::new(CrowdDbConfig {
         strategy: ExpansionStrategy::PerceptualSpace {
             gold_sample_size: 100,
             extraction: ExtractionConfig::default(),
@@ -62,7 +62,8 @@ fn main() {
     }
 
     // 5. What did the expansion cost?
-    let event = &db.expansion_events()[0];
+    let events = db.expansion_events();
+    let event = &events[0];
     println!("\nSchema expansion report");
     println!("  strategy          : {}", event.report.strategy);
     println!(
@@ -87,7 +88,8 @@ fn main() {
 
     // 6. Compare against the ground truth the generator planted.
     let truth = domain.labels_for_category(domain.category_index("Comedy").unwrap());
-    let table = db.catalog().table("movies").unwrap();
+    let catalog = db.catalog();
+    let table = catalog.table("movies").unwrap();
     let col = table.schema().index_of("is_comedy").unwrap();
     let id_col = table.schema().index_of("item_id").unwrap();
     let mut predicted = Vec::new();

@@ -27,7 +27,7 @@ fn main() {
 
     // --- Part 1: query-driven schema expansion on a restaurant attribute ---
     let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 3);
-    let mut db = CrowdDb::new(CrowdDbConfig {
+    let db = CrowdDb::new(CrowdDbConfig {
         strategy: ExpansionStrategy::PerceptualSpace {
             gold_sample_size: 80,
             extraction: ExtractionConfig::default(),
@@ -45,7 +45,8 @@ fn main() {
     for row in &result.rows {
         println!("  {}", row[0].to_string().trim_matches('\''));
     }
-    let report = &db.expansion_events()[0].report;
+    let events = db.expansion_events();
+    let report = &events[0].report;
     println!(
         "Expansion used {} crowd-sourced restaurants (${:.2}) to fill {} rows.",
         report.items_crowd_sourced, report.crowd_cost, report.rows_filled

@@ -14,8 +14,9 @@
 //! | [`datagen`] | synthetic Social-Web domains (movies, restaurants, board games) |
 //! | [`crowddb_core`] | the crowd-enabled database: query-driven schema expansion, boosting, HIT auditing |
 //!
-//! See the repository README for a quickstart and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the experiment-by-experiment mapping to the paper.
+//! See the repository README for a quickstart, `docs/architecture.md` for
+//! the pipeline and concurrency design, and `docs/paper-mapping.md` for the
+//! experiment-by-experiment mapping to the paper.
 //!
 //! ```
 //! use crowddb::prelude::*;
@@ -24,7 +25,7 @@
 //! let space = build_space_for_domain(&domain, 8, 10).unwrap();
 //! let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 1);
 //!
-//! let mut db = CrowdDb::new(CrowdDbConfig::default());
+//! let db = CrowdDb::new(CrowdDbConfig::default());
 //! db.load_domain("movies", &domain, space, Box::new(crowd)).unwrap();
 //! db.register_attribute("movies", "is_comedy", "Comedy").unwrap();
 //! let result = db.execute("SELECT name FROM movies WHERE is_comedy = true LIMIT 3").unwrap();

@@ -1,0 +1,381 @@
+//! Concurrency stress tests: N threads call `CrowdDb::execute`
+//! simultaneously, and queries racing for the same missing attribute must
+//! coalesce onto **one** crowd round — never pay the crowd twice for the
+//! same `(table, attribute)` — while the judgment-cache and cost counters
+//! stay consistent.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crowddb::prelude::*;
+use crowddb_core::expansion::ExpansionStage;
+use crowdsim::{BatchCrowdRun, CrowdRun};
+
+/// A gate the test holds closed while worker threads pile up on the same
+/// acquisition, making the contention deterministic instead of timing-based.
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    signal: Condvar,
+}
+
+impl Gate {
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.signal.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.signal.wait(open).unwrap();
+        }
+    }
+}
+
+/// Wraps a [`SimulatedCrowd`], counting rounds, recording every request,
+/// accumulating the real dollars charged, and (optionally) blocking each
+/// dispatch on a [`Gate`].
+struct InstrumentedCrowd {
+    inner: SimulatedCrowd,
+    batch_calls: Arc<AtomicUsize>,
+    /// Attribute names of every request of every dispatched round.
+    requests_seen: Arc<Mutex<Vec<Vec<String>>>>,
+    /// Total dollars and judgments the crowd really charged/served.
+    dollars_charged: Arc<Mutex<f64>>,
+    judgments_served: Arc<AtomicUsize>,
+    gate: Option<Arc<Gate>>,
+}
+
+impl CrowdSource for InstrumentedCrowd {
+    fn collect(
+        &mut self,
+        items: &[u32],
+        attribute: &str,
+        seed: u64,
+    ) -> Result<CrowdRun, CrowdDbError> {
+        self.inner.collect(items, attribute, seed)
+    }
+
+    fn collect_batch(
+        &mut self,
+        requests: &[AttributeRequest],
+        seed: u64,
+    ) -> Result<BatchCrowdRun, CrowdDbError> {
+        // Count the arrival before parking on the gate, so tests can tell
+        // "a round is in flight" apart from "a round has completed".
+        self.batch_calls.fetch_add(1, Ordering::SeqCst);
+        if let Some(gate) = &self.gate {
+            gate.wait_open();
+        }
+        self.requests_seen
+            .lock()
+            .unwrap()
+            .push(requests.iter().map(|r| r.attribute.clone()).collect());
+        let batch = self.inner.collect_batch(requests, seed)?;
+        *self.dollars_charged.lock().unwrap() += batch.total_cost;
+        self.judgments_served
+            .fetch_add(batch.total_judgments(), Ordering::SeqCst);
+        Ok(batch)
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+}
+
+struct Setup {
+    db: CrowdDb,
+    batch_calls: Arc<AtomicUsize>,
+    requests_seen: Arc<Mutex<Vec<Vec<String>>>>,
+    dollars_charged: Arc<Mutex<f64>>,
+    judgments_served: Arc<AtomicUsize>,
+    second_category: String,
+}
+
+fn setup(gold_sample_size: usize, gate: Option<Arc<Gate>>) -> Setup {
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.1), 777).unwrap();
+    let space = build_space_for_domain(&domain, 10, 15).unwrap();
+    let batch_calls = Arc::new(AtomicUsize::new(0));
+    let requests_seen = Arc::new(Mutex::new(Vec::new()));
+    let dollars_charged = Arc::new(Mutex::new(0.0));
+    let judgments_served = Arc::new(AtomicUsize::new(0));
+    let crowd = InstrumentedCrowd {
+        inner: SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 23),
+        batch_calls: batch_calls.clone(),
+        requests_seen: requests_seen.clone(),
+        dollars_charged: dollars_charged.clone(),
+        judgments_served: judgments_served.clone(),
+        gate,
+    };
+    let db = CrowdDb::new(CrowdDbConfig {
+        strategy: ExpansionStrategy::PerceptualSpace {
+            gold_sample_size,
+            extraction: ExtractionConfig::default(),
+        },
+        ..Default::default()
+    });
+    let second_category = domain.category_names()[1].clone();
+    db.load_domain("movies", &domain, space, Box::new(crowd))
+        .unwrap();
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
+    db.register_attribute("movies", "is_other", &second_category)
+        .unwrap();
+    Setup {
+        db,
+        batch_calls,
+        requests_seen,
+        dollars_charged,
+        judgments_served,
+        second_category,
+    }
+}
+
+/// The acceptance scenario: M concurrent queries over the same missing
+/// attribute produce **exactly one** `collect_batch` crowd round.
+///
+/// The crowd is gated: the owner blocks inside its dispatch until every
+/// other thread has verifiably coalesced onto the in-flight acquisition, so
+/// the contention is deterministic, not a matter of scheduler luck.
+#[test]
+fn m_concurrent_queries_same_attribute_share_one_crowd_round() {
+    const M: usize = 6;
+    let gate = Arc::new(Gate::default());
+    let s = setup(40, Some(gate.clone()));
+    let query = "SELECT item_id FROM movies WHERE is_comedy = true";
+
+    let results: Vec<QueryResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..M)
+            .map(|_| scope.spawn(|| s.db.execute(query).unwrap()))
+            .collect();
+
+        // Hold the crowd round until all M-1 non-owner threads are waiting
+        // on the in-flight acquisition (bounded: fail loudly, never hang).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while s.db.inflight_stats().coalesced < (M - 1) as u64 {
+            assert!(
+                Instant::now() < deadline,
+                "threads never coalesced: {:?}",
+                s.db.inflight_stats()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        gate.open();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Exactly one crowd round, owned by exactly one query.
+    assert_eq!(s.batch_calls.load(Ordering::SeqCst), 1);
+    let stats = s.db.inflight_stats();
+    assert_eq!(stats.owned, 1);
+    assert_eq!(stats.coalesced, (M - 1) as u64);
+
+    // Every thread saw the same rows.
+    for result in &results[1..] {
+        assert_eq!(result.rows, results[0].rows);
+    }
+    assert!(!results[0].rows.is_empty());
+
+    // Owner-pays accounting across queries: summing every thread's reports
+    // matches what the crowd really charged and served — nothing double-
+    // counted, nothing lost.
+    let events = s.db.expansion_events();
+    assert_eq!(events.len(), M, "each query reports its expansion");
+    let total_cost: f64 = events.iter().map(|e| e.report.crowd_cost).sum();
+    let total_judgments: usize = events.iter().map(|e| e.report.judgments_collected).sum();
+    assert!((total_cost - *s.dollars_charged.lock().unwrap()).abs() < 1e-9);
+    assert_eq!(total_judgments, s.judgments_served.load(Ordering::SeqCst));
+    let paying: Vec<_> = events
+        .iter()
+        .filter(|e| e.report.crowd_cost > 0.0)
+        .collect();
+    assert_eq!(paying.len(), 1, "exactly one query paid the round");
+    // The coalesced queries joined the in-flight round and say so.
+    let coalesced: Vec<_> = events
+        .iter()
+        .filter(|e| e.report.items_coalesced > 0)
+        .collect();
+    assert_eq!(coalesced.len(), M - 1);
+    for event in &coalesced {
+        assert_eq!(event.report.crowd_cost, 0.0);
+        assert_eq!(event.report.judgments_collected, 0);
+        assert!(event
+            .report
+            .stages
+            .contains(&ExpansionStage::JoinedInflightRound));
+    }
+
+    // Cache consistency: the round's gold items are cached exactly once.
+    let cache = s.db.cache_stats();
+    assert_eq!(cache.entries, paying[0].report.items_crowd_sourced);
+    // Every column value the threads materialized agrees (idempotent
+    // re-materialization of identical verdicts).
+    let catalog = s.db.catalog();
+    let table = catalog.table("movies").unwrap();
+    assert!(table.schema().contains("is_comedy"));
+}
+
+/// Overlapping multi-attribute queries from many threads: each distinct
+/// attribute is crowd-sourced **at most once** across all rounds, no matter
+/// which thread ends up owning which concept.
+#[test]
+fn overlapping_queries_crowd_each_attribute_exactly_once() {
+    let s = setup(40, None);
+    let queries = [
+        "SELECT item_id FROM movies WHERE is_comedy = true",
+        "SELECT item_id FROM movies WHERE is_other = true",
+        "SELECT name FROM movies WHERE is_comedy = true AND is_other = false",
+    ];
+
+    let db = &s.db;
+    std::thread::scope(|scope| {
+        for query in queries.iter().cycle().take(9) {
+            scope.spawn(move || db.execute(query).unwrap());
+        }
+    });
+
+    // Each concept appears in exactly one request of one round.
+    let requests = s.requests_seen.lock().unwrap();
+    for concept in ["Comedy", s.second_category.as_str()] {
+        let occurrences: usize = requests
+            .iter()
+            .flatten()
+            .filter(|attr| attr.as_str() == concept)
+            .count();
+        assert_eq!(
+            occurrences, 1,
+            "concept {concept} crowd-sourced {occurrences} times across rounds {requests:?}"
+        );
+    }
+    // At most one round per distinct concept (one round covering both is
+    // ideal; two rounds happen when different threads own one concept each).
+    assert!(s.batch_calls.load(Ordering::SeqCst) <= 2);
+
+    // Both columns exist and further queries are pure cache/catalog reads.
+    let rounds_before = s.batch_calls.load(Ordering::SeqCst);
+    s.db.execute("SELECT name FROM movies WHERE is_comedy = true AND is_other = true")
+        .unwrap();
+    assert_eq!(s.batch_calls.load(Ordering::SeqCst), rounds_before);
+}
+
+/// A `DELETE` that commits while the crowd round is in flight shifts row
+/// indices; the materialize stage must re-derive the id → row mapping
+/// under its write lock instead of replaying the pre-round mapping, or
+/// every verdict lands on the wrong movie.
+#[test]
+fn expansion_racing_a_delete_writes_verdicts_to_the_right_rows() {
+    let gate = Arc::new(Gate::default());
+    let s = setup(40, Some(gate.clone()));
+    // Direct crowd-sourcing stores per-item verdicts verbatim, so every
+    // materialized cell can be checked against the judgment cache by item.
+    s.db.set_attribute_strategy("movies", "is_comedy", ExpansionStrategy::DirectCrowd)
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        let expander = scope.spawn(|| {
+            s.db.execute("SELECT item_id FROM movies WHERE is_comedy = true")
+                .unwrap()
+        });
+        // Wait until the expander is parked inside its crowd round…
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while s.batch_calls.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "round never started");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // …then delete the first 60 rows, shifting every later row index,
+        // and let the round finish.
+        let deleted =
+            s.db.execute("DELETE FROM movies WHERE item_id < 60")
+                .unwrap()
+                .rows_affected;
+        assert_eq!(deleted, 60);
+        gate.open();
+        expander.join().unwrap();
+    });
+
+    // Every materialized cell agrees with the crowd's verdict *for that
+    // row's item* — nothing was written through a stale row index.
+    let catalog = s.db.catalog();
+    let table = catalog.table("movies").unwrap();
+    let id_idx = table.schema().index_of("item_id").unwrap();
+    let col_idx = table.schema().index_of("is_comedy").unwrap();
+    let mut checked = 0;
+    for row in table.rows() {
+        let item = match row[id_idx] {
+            Value::Integer(id) => id as u32,
+            ref other => panic!("unexpected id {other:?}"),
+        };
+        assert!(item >= 60, "deleted rows must stay deleted");
+        if let Value::Boolean(label) = row[col_idx] {
+            let cached =
+                s.db.judgment_cache()
+                    .peek("movies", "Comedy", item)
+                    .unwrap();
+            assert_eq!(
+                cached.verdict,
+                Some(label),
+                "row of item {item} carries another item's verdict"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 50, "only {checked} rows materialized");
+}
+
+/// Steady-state contention: once the columns are materialized, concurrent
+/// readers and a writer share the database without extra crowd work and
+/// without torn results.
+#[test]
+fn materialized_columns_serve_concurrent_readers_and_writers() {
+    let s = setup(30, None);
+    s.db.execute("SELECT name FROM movies WHERE is_comedy = true AND is_other = false")
+        .unwrap();
+    let rounds_after_expansion = s.batch_calls.load(Ordering::SeqCst);
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..20 {
+                    let result =
+                        s.db.execute("SELECT item_id FROM movies WHERE is_comedy = true")
+                            .unwrap();
+                    assert!(!result.rows.is_empty());
+                }
+            });
+        }
+        scope.spawn(|| {
+            for year in [1950, 1955, 1960] {
+                s.db.execute(&format!(
+                    "UPDATE movies SET popularity = 0.5 WHERE year < {year}"
+                ))
+                .unwrap();
+            }
+        });
+    });
+
+    assert_eq!(
+        s.batch_calls.load(Ordering::SeqCst),
+        rounds_after_expansion,
+        "steady-state queries never re-dispatch crowd work"
+    );
+    let stats_before = s.db.cache_stats();
+    // Forced re-expansion under concurrency is still fully cache-served.
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(|| {
+                let report = s.db.expand_attribute("movies", "is_comedy").unwrap();
+                assert_eq!(report.judgments_collected, 0);
+                assert_eq!(report.crowd_cost, 0.0);
+            });
+        }
+    });
+    assert_eq!(s.batch_calls.load(Ordering::SeqCst), rounds_after_expansion);
+    let stats = s.db.cache_stats();
+    assert_eq!(stats.entries, stats_before.entries, "no duplicate entries");
+    assert!(
+        stats.hits > stats_before.hits,
+        "re-expansions hit the cache"
+    );
+}

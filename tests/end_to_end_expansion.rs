@@ -15,7 +15,7 @@ fn perceptual_expansion_answers_the_papers_running_example() {
     // "SELECT * FROM movies WHERE is_comedy = true" with no is_comedy column.
     let (domain, space) = movie_setup(0.1, 100);
     let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 1);
-    let mut db = CrowdDb::new(CrowdDbConfig {
+    let db = CrowdDb::new(CrowdDbConfig {
         strategy: ExpansionStrategy::PerceptualSpace {
             gold_sample_size: 80,
             extraction: ExtractionConfig::default(),
@@ -57,7 +57,8 @@ fn perceptual_expansion_answers_the_papers_running_example() {
 
     // The expansion used far fewer judgments than direct crowd-sourcing
     // would need (10 per movie).
-    let report = &db.expansion_events()[0].report;
+    let events = db.expansion_events();
+    let report = &events[0].report;
     assert!(report.judgments_collected < domain.items().len() * 10);
     assert!(report.training_set_size > 10);
 }
@@ -70,7 +71,8 @@ fn expanded_column_quality_beats_untrusted_direct_crowdsourcing() {
     let truth = domain.labels_for_category(domain.category_index("Comedy").unwrap());
 
     let accuracy = |db: &CrowdDb| {
-        let table = db.catalog().table("movies").unwrap();
+        let catalog = db.catalog();
+        let table = catalog.table("movies").unwrap();
         let col = table.schema().index_of("is_comedy").unwrap();
         let id = table.schema().index_of("item_id").unwrap();
         let mut correct = 0;
@@ -90,7 +92,7 @@ fn expanded_column_quality_beats_untrusted_direct_crowdsourcing() {
         correct as f64 / table.len() as f64
     };
 
-    let mut direct = CrowdDb::new(CrowdDbConfig {
+    let direct = CrowdDb::new(CrowdDbConfig {
         strategy: ExpansionStrategy::DirectCrowd,
         ..Default::default()
     });
@@ -113,7 +115,7 @@ fn expanded_column_quality_beats_untrusted_direct_crowdsourcing() {
         .execute("SELECT item_id FROM movies WHERE is_comedy = true")
         .unwrap();
 
-    let mut boosted = CrowdDb::new(CrowdDbConfig {
+    let boosted = CrowdDb::new(CrowdDbConfig {
         strategy: ExpansionStrategy::PerceptualSpace {
             gold_sample_size: 80,
             extraction: ExtractionConfig::default(),
@@ -155,7 +157,7 @@ fn expanded_column_quality_beats_untrusted_direct_crowdsourcing() {
 fn multiple_attributes_expand_independently() {
     let (domain, space) = movie_setup(0.1, 300);
     let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 5);
-    let mut db = CrowdDb::new(CrowdDbConfig {
+    let db = CrowdDb::new(CrowdDbConfig {
         strategy: ExpansionStrategy::PerceptualSpace {
             gold_sample_size: 60,
             extraction: ExtractionConfig::default(),
@@ -175,11 +177,8 @@ fn multiple_attributes_expand_independently() {
         .unwrap();
     assert!(!result.rows.is_empty());
     assert_eq!(db.expansion_events().len(), 2);
-    let columns: Vec<&str> = db
-        .expansion_events()
-        .iter()
-        .map(|e| e.report.column.as_str())
-        .collect();
+    let events = db.expansion_events();
+    let columns: Vec<&str> = events.iter().map(|e| e.report.column.as_str()).collect();
     assert!(columns.contains(&"is_comedy"));
     assert!(columns.contains(&"is_horror"));
 
@@ -196,7 +195,7 @@ fn multiple_attributes_expand_independently() {
 fn factual_sql_still_behaves_like_a_normal_database() {
     let (domain, space) = movie_setup(0.05, 400);
     let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 6);
-    let mut db = CrowdDb::new(CrowdDbConfig::default());
+    let db = CrowdDb::new(CrowdDbConfig::default());
     db.load_domain("movies", &domain, space, Box::new(crowd))
         .unwrap();
 

@@ -3,8 +3,8 @@
 //! them in **one** planned round with **one** batched crowd dispatch, and
 //! repeated work is served by the judgment cache instead of the crowd.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crowddb::prelude::*;
 use crowdsim::{BatchCrowdRun, CrowdRun};
@@ -13,9 +13,9 @@ use crowdsim::{BatchCrowdRun, CrowdRun};
 /// assert exactly how many crowd rounds a query paid for.
 struct CountingCrowd {
     inner: SimulatedCrowd,
-    collect_calls: Rc<Cell<usize>>,
-    batch_calls: Rc<Cell<usize>>,
-    judgments_served: Rc<Cell<usize>>,
+    collect_calls: Arc<AtomicUsize>,
+    batch_calls: Arc<AtomicUsize>,
+    judgments_served: Arc<AtomicUsize>,
 }
 
 impl CrowdSource for CountingCrowd {
@@ -25,10 +25,10 @@ impl CrowdSource for CountingCrowd {
         attribute: &str,
         seed: u64,
     ) -> Result<CrowdRun, CrowdDbError> {
-        self.collect_calls.set(self.collect_calls.get() + 1);
+        self.collect_calls.fetch_add(1, Ordering::SeqCst);
         let run = self.inner.collect(items, attribute, seed)?;
         self.judgments_served
-            .set(self.judgments_served.get() + run.judgments.len());
+            .fetch_add(run.judgments.len(), Ordering::SeqCst);
         Ok(run)
     }
 
@@ -37,10 +37,10 @@ impl CrowdSource for CountingCrowd {
         requests: &[AttributeRequest],
         seed: u64,
     ) -> Result<BatchCrowdRun, CrowdDbError> {
-        self.batch_calls.set(self.batch_calls.get() + 1);
+        self.batch_calls.fetch_add(1, Ordering::SeqCst);
         let batch = self.inner.collect_batch(requests, seed)?;
         self.judgments_served
-            .set(self.judgments_served.get() + batch.total_judgments());
+            .fetch_add(batch.total_judgments(), Ordering::SeqCst);
         Ok(batch)
     }
 
@@ -51,25 +51,25 @@ impl CrowdSource for CountingCrowd {
 
 struct Setup {
     db: CrowdDb,
-    collect_calls: Rc<Cell<usize>>,
-    batch_calls: Rc<Cell<usize>>,
-    judgments_served: Rc<Cell<usize>>,
+    collect_calls: Arc<AtomicUsize>,
+    batch_calls: Arc<AtomicUsize>,
+    judgments_served: Arc<AtomicUsize>,
     second_category: String,
 }
 
 fn setup(gold_sample_size: usize) -> Setup {
     let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.1), 4242).unwrap();
     let space = build_space_for_domain(&domain, 12, 18).unwrap();
-    let collect_calls = Rc::new(Cell::new(0));
-    let batch_calls = Rc::new(Cell::new(0));
-    let judgments_served = Rc::new(Cell::new(0));
+    let collect_calls = Arc::new(AtomicUsize::new(0));
+    let batch_calls = Arc::new(AtomicUsize::new(0));
+    let judgments_served = Arc::new(AtomicUsize::new(0));
     let crowd = CountingCrowd {
         inner: SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 11),
         collect_calls: collect_calls.clone(),
         batch_calls: batch_calls.clone(),
         judgments_served: judgments_served.clone(),
     };
-    let mut db = CrowdDb::new(CrowdDbConfig {
+    let db = CrowdDb::new(CrowdDbConfig {
         strategy: ExpansionStrategy::PerceptualSpace {
             gold_sample_size,
             extraction: ExtractionConfig::default(),
@@ -94,19 +94,19 @@ fn setup(gold_sample_size: usize) -> Setup {
 
 #[test]
 fn two_missing_attributes_expand_in_one_planned_round() {
-    let mut s = setup(60);
+    let s = setup(60);
     let query = "SELECT name FROM movies WHERE is_comedy = true AND is_other = false";
     let result = s.db.execute(query).unwrap();
     assert!(!result.rows.is_empty());
 
     // Exactly one batched crowd dispatch — never one round per attribute.
     assert_eq!(
-        s.batch_calls.get(),
+        s.batch_calls.load(Ordering::SeqCst),
         1,
         "expected exactly one collect_batch call"
     );
     assert_eq!(
-        s.collect_calls.get(),
+        s.collect_calls.load(Ordering::SeqCst),
         0,
         "per-attribute collect must not be used"
     );
@@ -114,7 +114,7 @@ fn two_missing_attributes_expand_in_one_planned_round() {
     // One ExpansionEvent per attribute, both tied to the triggering query.
     let events = s.db.expansion_events();
     assert_eq!(events.len(), 2);
-    for event in events {
+    for event in &events {
         assert_eq!(event.triggering_query, query);
         assert!(event
             .report
@@ -138,11 +138,11 @@ fn two_missing_attributes_expand_in_one_planned_round() {
 
 #[test]
 fn repeated_queries_pay_the_crowd_nothing() {
-    let mut s = setup(50);
+    let s = setup(50);
     let query = "SELECT name FROM movies WHERE is_comedy = true AND is_other = false";
     let first = s.db.execute(query).unwrap();
-    let rounds_after_first = s.batch_calls.get();
-    let judgments_after_first = s.judgments_served.get();
+    let rounds_after_first = s.batch_calls.load(Ordering::SeqCst);
+    let judgments_after_first = s.judgments_served.load(Ordering::SeqCst);
     let stats_after_first = s.db.cache_stats();
     assert_eq!(rounds_after_first, 1);
     assert!(judgments_after_first > 0);
@@ -153,9 +153,12 @@ fn repeated_queries_pay_the_crowd_nothing() {
     // new expansion events.
     let second = s.db.execute(query).unwrap();
     assert_eq!(first.rows, second.rows);
-    assert_eq!(s.batch_calls.get(), rounds_after_first);
-    assert_eq!(s.collect_calls.get(), 0);
-    assert_eq!(s.judgments_served.get(), judgments_after_first);
+    assert_eq!(s.batch_calls.load(Ordering::SeqCst), rounds_after_first);
+    assert_eq!(s.collect_calls.load(Ordering::SeqCst), 0);
+    assert_eq!(
+        s.judgments_served.load(Ordering::SeqCst),
+        judgments_after_first
+    );
     assert_eq!(s.db.expansion_events().len(), 2);
 
     // Forcing a re-expansion of an already-materialized attribute is served
@@ -163,7 +166,7 @@ fn repeated_queries_pay_the_crowd_nothing() {
     // hit counters record the reuse.
     let report = s.db.expand_attribute("movies", "is_comedy").unwrap();
     assert_eq!(
-        s.batch_calls.get(),
+        s.batch_calls.load(Ordering::SeqCst),
         rounds_after_first,
         "no new crowd round"
     );
@@ -182,14 +185,14 @@ fn batched_expansion_matches_sequential_results_but_costs_less_dispatch() {
     // The batched pipeline and two separate single-attribute expansions
     // must produce columns of the same quality; the batch does it in one
     // round.
-    let mut batched = setup(60);
+    let batched = setup(60);
     batched
         .db
         .execute("SELECT name FROM movies WHERE is_comedy = true AND is_other = false")
         .unwrap();
-    assert_eq!(batched.batch_calls.get(), 1);
+    assert_eq!(batched.batch_calls.load(Ordering::SeqCst), 1);
 
-    let mut sequential = setup(60);
+    let sequential = setup(60);
     sequential
         .db
         .execute("SELECT name FROM movies WHERE is_comedy = true")
@@ -198,7 +201,7 @@ fn batched_expansion_matches_sequential_results_but_costs_less_dispatch() {
         .db
         .execute("SELECT name FROM movies WHERE is_other = false")
         .unwrap();
-    assert_eq!(sequential.batch_calls.get(), 2);
+    assert_eq!(sequential.batch_calls.load(Ordering::SeqCst), 2);
 
     // Same schema either way.
     for db in [&batched.db, &sequential.db] {
