@@ -1,0 +1,178 @@
+//! Criterion bench: expansion-policy modes on the cold/warm pipeline.
+//!
+//! Compares a cold `Full` expansion, a cold `BestEffort` expansion whose
+//! budget covers roughly half the items, and a warm `CacheOnly` query, so
+//! the policy path has a tracked perf baseline next to the unpoliced
+//! pipeline bench.  Besides the timings, the run emits `BENCH_policy.json`
+//! at the workspace root with the measured crowd *dollars* per mode — the
+//! cost axis criterion cannot see.
+//!
+//! Run with `cargo bench -p bench --bench policy_modes`; pass `-- --test`
+//! for the CI smoke mode (one sample per benchmark, same JSON).
+
+use std::path::PathBuf;
+
+use criterion::Criterion;
+use crowddb_core::{
+    build_space_for_domain, CrowdDb, CrowdDbConfig, ExpansionMode, ExpansionStrategy,
+    SimulatedCrowd,
+};
+use crowdsim::ExperimentRegime;
+use datagen::{DomainConfig, SyntheticDomain};
+use perceptual::PerceptualSpace;
+
+const QUERY: &str = "SELECT item_id, is_comedy FROM movies";
+
+fn make_db(domain: &SyntheticDomain, space: PerceptualSpace) -> CrowdDb {
+    let crowd = SimulatedCrowd::new(domain, ExperimentRegime::TrustedWorkers, 17);
+    // Direct crowd-sourcing prices every item, which is what makes the
+    // budget meaningful (perceptual extraction would extrapolate around it).
+    let db = CrowdDb::new(CrowdDbConfig {
+        strategy: ExpansionStrategy::DirectCrowd,
+        ..Default::default()
+    });
+    db.load_domain("movies", domain, space, Box::new(crowd))
+        .unwrap();
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
+    db
+}
+
+struct ModeCosts {
+    full: f64,
+    best_effort: f64,
+    best_effort_budget: f64,
+    best_effort_missing: usize,
+    cache_only_warm: f64,
+    items: usize,
+}
+
+/// One un-timed pass per mode, capturing the crowd dollars each policy
+/// spends — the numbers `BENCH_policy.json` records.
+fn measure_costs(domain: &SyntheticDomain, space: &PerceptualSpace, budget: f64) -> ModeCosts {
+    let full = make_db(domain, space.clone())
+        .query(QUERY)
+        .mode(ExpansionMode::Full)
+        .run()
+        .unwrap();
+    let best_effort_db = make_db(domain, space.clone());
+    let best_effort = best_effort_db.query(QUERY).budget(budget).run().unwrap();
+    // Warm cache-only: reuse the budgeted database's cache.
+    let cache_only = best_effort_db
+        .query(QUERY)
+        .mode(ExpansionMode::CacheOnly)
+        .run()
+        .unwrap();
+    ModeCosts {
+        full: full.crowd_cost,
+        best_effort: best_effort.crowd_cost,
+        best_effort_budget: budget,
+        best_effort_missing: best_effort.rows().unwrap().missing_cells(),
+        cache_only_warm: cache_only.crowd_cost,
+        items: domain.items().len(),
+    }
+}
+
+fn write_report(costs: &ModeCosts) {
+    // CARGO_MANIFEST_DIR is crates/bench; the report belongs at the
+    // workspace root regardless of where cargo runs the bench binary.
+    let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_policy.json");
+    let json = format!(
+        "{{\n  \"bench\": \"policy_modes\",\n  \"items\": {},\n  \
+         \"full_cost_dollars\": {:.4},\n  \"best_effort_budget_dollars\": {:.4},\n  \
+         \"best_effort_cost_dollars\": {:.4},\n  \"best_effort_missing_cells\": {},\n  \
+         \"cache_only_warm_cost_dollars\": {:.4}\n}}\n",
+        costs.items,
+        costs.full,
+        costs.best_effort_budget,
+        costs.best_effort,
+        costs.best_effort_missing,
+        costs.cache_only_warm,
+    );
+    std::fs::write(&path, json).expect("write BENCH_policy.json");
+    println!("wrote {}", path.display());
+}
+
+fn bench_policy_modes(
+    c: &mut Criterion,
+    domain: &SyntheticDomain,
+    space: &PerceptualSpace,
+    budget: f64,
+) {
+    let mut group = c.benchmark_group("policy_modes");
+    group.sample_size(10);
+
+    // Cold full expansion: every item judged, every dollar spent.
+    group.bench_function("full_cold", |b| {
+        b.iter(|| {
+            let db = make_db(domain, space.clone());
+            db.query(QUERY).mode(ExpansionMode::Full).run().unwrap()
+        })
+    });
+
+    // Cold best-effort under a half-coverage budget: fewer rounds, partial
+    // column, Missing-provenance cells.
+    group.bench_function("best_effort_half_budget_cold", |b| {
+        b.iter(|| {
+            let db = make_db(domain, space.clone());
+            let outcome = db.query(QUERY).budget(budget).run().unwrap();
+            assert!(outcome.crowd_cost <= budget + 1e-9);
+            outcome
+        })
+    });
+
+    // Warm cache-only: zero crowd work, pure cache + catalog reads.
+    group.bench_function("cache_only_warm", |b| {
+        let db = make_db(domain, space.clone());
+        db.query(QUERY).mode(ExpansionMode::Full).run().unwrap();
+        b.iter(|| {
+            let outcome = db
+                .query(QUERY)
+                .mode(ExpansionMode::CacheOnly)
+                .run()
+                .unwrap();
+            assert_eq!(outcome.crowd_cost, 0.0);
+            outcome
+        })
+    });
+
+    group.finish();
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.05), 6).unwrap();
+    let space = build_space_for_domain(&domain, 8, 10).unwrap();
+    // Half-coverage budget under trusted-worker pricing; the platform's
+    // own inversion confirms what that budget buys.
+    let half = domain.items().len() / 2;
+    let pricing = ExperimentRegime::TrustedWorkers.hit_config(half);
+    let budget = pricing.total_cost(half);
+    assert_eq!(pricing.max_items_within_budget(budget), half);
+
+    let costs = measure_costs(&domain, &space, budget);
+    assert!(costs.best_effort <= costs.best_effort_budget + 1e-9);
+    assert!(costs.full > costs.best_effort);
+    assert_eq!(costs.cache_only_warm, 0.0);
+    write_report(&costs);
+
+    let mut criterion = Criterion::default();
+    if smoke {
+        // CI smoke mode: compile-and-exercise the policy path, one sample
+        // per benchmark, no timing fidelity intended.
+        let mut group = criterion.benchmark_group("policy_modes_smoke");
+        group.sample_size(1);
+        group.bench_function("smoke", |b| {
+            b.iter(|| {
+                let db = make_db(&domain, space.clone());
+                db.query(QUERY).budget(budget).run().unwrap()
+            })
+        });
+        group.finish();
+        return;
+    }
+    bench_policy_modes(&mut criterion, &domain, &space, budget);
+}

@@ -43,6 +43,11 @@ pub struct CachedJudgment {
     pub judgments: usize,
     /// Dollars paid to obtain those judgments.
     pub cost: f64,
+    /// Inter-worker agreement behind the verdict (fraction of decisive
+    /// judgments agreeing with the majority; 0 when no decisive judgment
+    /// was collected).  Stored so quality-floor policies and per-cell
+    /// provenance apply to reused judgments exactly as to fresh ones.
+    pub confidence: f64,
 }
 
 /// Counters describing cache effectiveness.
@@ -225,6 +230,7 @@ mod tests {
             verdict,
             judgments: 10,
             cost,
+            confidence: 0.9,
         }
     }
 

@@ -80,6 +80,22 @@ pub trait CrowdSource: Send {
         })
     }
 
+    /// The predicted dollar cost of a round judging `n_items` items, when
+    /// the source can price its work up front.
+    ///
+    /// Budgeted acquisition ([`ExpansionMode::BestEffort`]) uses the
+    /// estimate to size each crowd round so the spend never crosses the
+    /// query's budget.  Sources that cannot predict their pricing return
+    /// `None` (the default); the acquirer then falls back to small
+    /// fixed-size rounds and checks the real charge after each one, which
+    /// may overshoot the budget by at most one such round.
+    ///
+    /// [`ExpansionMode::BestEffort`]: crate::ExpansionMode::BestEffort
+    fn estimate_cost(&self, n_items: usize) -> Option<f64> {
+        let _ = n_items;
+        None
+    }
+
     /// A short description of the source (used in expansion reports).
     fn describe(&self) -> String;
 }
@@ -200,6 +216,13 @@ impl CrowdSource for SimulatedCrowd {
             self.seed ^ seed,
         )?;
         Ok(batch)
+    }
+
+    /// The simulator prices deterministically, so the estimate equals the
+    /// real charge of a round over `n_items` items.
+    fn estimate_cost(&self, n_items: usize) -> Option<f64> {
+        let config = self.regime.hit_config(n_items);
+        Some(config.total_cost(n_items))
     }
 
     fn describe(&self) -> String {
@@ -327,6 +350,31 @@ mod tests {
         assert_eq!(batch.question_judgments.len(), 2);
         assert_eq!(batch.total_judgments(), 200);
         assert!(batch.total_cost > 0.0);
+    }
+
+    #[test]
+    fn simulated_crowd_estimates_match_real_charges() {
+        let d = domain();
+        let mut crowd = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 1);
+        let items: Vec<u32> = (0..25).collect();
+        let estimate = crowd.estimate_cost(items.len()).unwrap();
+        let run = crowd.collect(&items, "Comedy", 2).unwrap();
+        assert!(
+            (estimate - run.total_cost).abs() < 1e-9,
+            "estimate {estimate} vs charged {}",
+            run.total_cost
+        );
+        // The trait default declines to estimate.
+        struct Opaque;
+        impl CrowdSource for Opaque {
+            fn collect(&mut self, _: &[u32], _: &str, _: u64) -> Result<CrowdRun> {
+                unreachable!()
+            }
+            fn describe(&self) -> String {
+                "opaque".into()
+            }
+        }
+        assert_eq!(Opaque.estimate_cost(10), None);
     }
 
     #[test]

@@ -53,9 +53,18 @@ use crate::extraction::extract_binary_attribute;
 use crate::inflight::{Claim, InflightRegistry, InflightStats};
 use crate::materialize::materialize_column;
 use crate::planner::{self, ExpansionPlan, PlanInputs};
+use crate::policy::{ExpansionMode, ExpansionPolicy};
+use crate::provenance::{CellProvenance, MissingReason};
+use crate::session::{QueryBuilder, QueryOutcome, RowSet, Session, StatementResult};
 use crate::Result;
 
 use crate::sync::{mlock, rlock, wlock};
+
+/// Items dispatched per budgeted round when the crowd source cannot price
+/// its work up front ([`CrowdSource::estimate_cost`] returns `None`): the
+/// acquirer checks the real charge after each round, so a small round bounds
+/// the possible budget overshoot.
+const FALLBACK_BUDGET_CHUNK: usize = 10;
 
 /// Configuration of a [`CrowdDb`].
 pub struct CrowdDbConfig {
@@ -122,6 +131,16 @@ struct Acquisition {
     cost_saved: f64,
     /// Merged verdicts (cache + fresh round + coalesced round).
     verdicts: HashMap<ItemId, bool>,
+    /// Per-item inter-worker agreement (cached entries carry their stored
+    /// confidence, fresh rounds compute it from the tallies).
+    confidence: HashMap<ItemId, f64>,
+    /// Items this query's own rounds judged, with each item's cost share.
+    fresh_cost_share: HashMap<ItemId, f64>,
+    /// Items served by a concurrent query's round (paid by that query).
+    coalesced_items: HashSet<ItemId>,
+    /// Items the policy left unacquired, with the reason their cells stay
+    /// `NULL` (budget, cache-only, or quality floor).
+    dropped: Vec<(ItemId, MissingReason)>,
     /// Distinct items this attribute's report charges to the crowd: the
     /// owner carries the whole question (including sibling-merged items),
     /// siblings and fully-cached attributes charge none.
@@ -154,6 +173,15 @@ struct ConceptNeed {
 struct ConceptResolution {
     /// Majority verdicts for every decidable item of the need.
     verdicts: HashMap<ItemId, bool>,
+    /// Per-item inter-worker agreement for every judged item (fresh or
+    /// read back from the cache).
+    confidence: HashMap<ItemId, f64>,
+    /// Items judged by rounds this query dispatched, with cost shares.
+    fresh_cost_share: HashMap<ItemId, f64>,
+    /// Items served by another query's round (this query paid nothing).
+    coalesced_set: HashSet<ItemId>,
+    /// Items dropped because the budget could not pay for another round.
+    budget_denied: Vec<ItemId>,
     /// Fresh judgments collected by rounds *this* query dispatched.
     judgments: usize,
     /// Dollars paid by rounds this query dispatched.
@@ -164,6 +192,30 @@ struct ConceptResolution {
     items_charged: usize,
     /// Items served by another query's in-flight round.
     items_coalesced: usize,
+}
+
+/// The running spend of one budgeted query, shared across every concept
+/// and round of its plan so the budget is enforced *mid-plan*.
+struct BudgetLedger {
+    /// The budget, `None` when the policy sets no cap.
+    limit: Option<f64>,
+    /// Dollars charged to this query so far.
+    spent: f64,
+}
+
+impl BudgetLedger {
+    fn new(limit: Option<f64>) -> Self {
+        BudgetLedger { limit, spent: 0.0 }
+    }
+
+    /// Dollars still spendable (`None` = unbounded).
+    fn remaining(&self) -> Option<f64> {
+        self.limit.map(|limit| (limit - self.spent).max(0.0))
+    }
+
+    fn charge(&mut self, dollars: f64) {
+        self.spent += dollars;
+    }
 }
 
 /// A relational database extended with crowd-driven, query-driven schema
@@ -184,6 +236,16 @@ pub struct CrowdDb {
     /// draws genuinely fresh judgments instead of deterministically
     /// reproducing the ones it was meant to replace.
     crowd_rounds: AtomicU64,
+    /// Per-`(table, column)` record of where every item's materialized
+    /// value came from — the ledger behind the per-cell [`CellProvenance`]
+    /// of [`QueryOutcome`] row sets.
+    provenance: RwLock<HashMap<(String, String), HashMap<ItemId, CellProvenance>>>,
+    /// Materialized columns with *recoverable* holes (budget-denied or
+    /// cache-only-missed items).  Policy queries referencing such a column
+    /// re-run its expansion — paying only for what is still missing,
+    /// thanks to the judgment cache — instead of treating the partial
+    /// column as complete forever.
+    incomplete: RwLock<HashSet<(String, String)>>,
 }
 
 impl CrowdDb {
@@ -197,6 +259,8 @@ impl CrowdDb {
             cache: JudgmentCache::new(),
             inflight: InflightRegistry::new(),
             crowd_rounds: AtomicU64::new(0),
+            provenance: RwLock::new(HashMap::new()),
+            incomplete: RwLock::new(HashSet::new()),
         }
     }
 
@@ -209,14 +273,40 @@ impl CrowdDb {
         rlock(&self.catalog)
     }
 
-    /// Mutable access to the relational catalog (for bulk loading or
-    /// low-level inspection).
+    /// Mutable access to the relational catalog.
+    ///
+    /// **Deprecated** — the raw write guard lets callers mutate *bound*
+    /// tables behind the planner's back, which violates the invariant the
+    /// expansion pipeline depends on: the configured id column is the only
+    /// link between table rows and perceptual-space items, and the judgment
+    /// cache and provenance ledger are keyed by those item ids.  Rewriting
+    /// id cells, dropping the id column, or editing crowd-materialized
+    /// values through the guard leaves stale row mappings, stale cached
+    /// verdicts, and lying provenance that no later expansion can detect.
+    /// Use the narrow mutators instead: [`CrowdDb::create_table`] to
+    /// register new tables, and SQL through [`CrowdDb::execute`] /
+    /// [`CrowdDb::query`] for data changes (the pipeline re-derives its
+    /// row mappings around those).
     ///
     /// The returned guard holds the exclusive catalog lock; every other
     /// statement blocks until it is dropped.  Do not hold it across a call
     /// to [`CrowdDb::execute`].
+    #[deprecated(
+        note = "mutating bound tables behind the planner invalidates row mappings, \
+                cached judgments, and provenance; use CrowdDb::create_table or SQL \
+                via CrowdDb::execute / CrowdDb::query instead"
+    )]
     pub fn catalog_mut(&self) -> RwLockWriteGuard<'_, Catalog> {
         wlock(&self.catalog)
+    }
+
+    /// Registers a fully built table with the catalog — the narrow,
+    /// invariant-safe replacement for loading tables through
+    /// [`catalog_mut`](CrowdDb::catalog_mut).  A brand-new table has no
+    /// binding, cache entries, or provenance to invalidate.
+    pub fn create_table(&self, table: Table) -> Result<()> {
+        wlock(&self.catalog).create_table(table)?;
+        Ok(())
     }
 
     /// All expansions performed so far, in completion order.
@@ -416,15 +506,65 @@ impl CrowdDb {
     /// assert_eq!(db.expansion_events().len(), 1);
     /// ```
     pub fn execute(&self, sql_text: &str) -> Result<QueryResult> {
+        self.run_policy_query(sql_text, ExpansionPolicy::full())
+            .map(QueryOutcome::into_query_result)
+    }
+
+    /// Starts building a policy-driven query — the typed entry point:
+    ///
+    /// ```no_run
+    /// # use crowddb_core::{CrowdDb, CrowdDbConfig, ExpansionMode};
+    /// # let db = CrowdDb::new(CrowdDbConfig::default());
+    /// let outcome = db
+    ///     .query("SELECT name FROM movies WHERE is_comedy = true")
+    ///     .budget(12.0)
+    ///     .mode(ExpansionMode::BestEffort)
+    ///     .quality_floor(0.8)
+    ///     .run()?;
+    /// # Ok::<(), crowddb_core::CrowdDbError>(())
+    /// ```
+    ///
+    /// See [`QueryBuilder`] for the policy knobs and [`QueryOutcome`] for
+    /// the typed result with per-cell provenance.
+    pub fn query(&self, sql: impl Into<String>) -> QueryBuilder<'_> {
+        QueryBuilder::new(self, sql)
+    }
+
+    /// Opens a [`Session`]: a handle carrying default policy settings that
+    /// every query built from it inherits.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
+    /// The engine behind [`execute`](CrowdDb::execute), [`QueryBuilder`],
+    /// and [`Session`]: parse, overlay the SQL `WITH EXPANSION` clause on
+    /// the caller's policy, analyze, expand within policy, execute once,
+    /// and attach per-cell provenance.
+    pub(crate) fn run_policy_query(
+        &self,
+        sql_text: &str,
+        policy: ExpansionPolicy,
+    ) -> Result<QueryOutcome> {
         let statement = sql::parse(sql_text)?;
+        let policy = match &statement {
+            sql::Statement::Select(select) => match &select.expansion {
+                Some(clause) => policy.merged_with_clause(clause),
+                None => policy,
+            },
+            _ => policy,
+        };
+        policy.validate()?;
+
         let analysis = {
             let catalog = rlock(&self.catalog);
             executor::analyze(&statement, &catalog)?
         };
-        if !analysis.missing_columns.is_empty() {
-            let table = analysis
-                .table
-                .expect("missing columns imply a target table");
+        let mut reports = Vec::new();
+        if let Some(table) = analysis.table.clone() {
+            let key = table.to_lowercase();
+            // Columns that do not exist yet: unregistered ones are a hard
+            // error regardless of policy (there is nothing to expand them
+            // *from*), registered ones are refused under `Deny`.
             for column in &analysis.missing_columns {
                 if !self.is_expandable(&table, column) {
                     return Err(CrowdDbError::UnknownAttribute {
@@ -433,22 +573,184 @@ impl CrowdDb {
                     });
                 }
             }
-            let reports = self.expand_columns(&table, &analysis.missing_columns)?;
-            let mut events = mlock(&self.events);
-            for report in reports {
-                events.push(ExpansionEvent {
-                    triggering_query: sql_text.to_string(),
-                    report,
+            if policy.mode == ExpansionMode::Deny && !analysis.missing_columns.is_empty() {
+                return Err(CrowdDbError::ExpansionDenied {
+                    table,
+                    columns: analysis.missing_columns.clone(),
                 });
             }
+            // Referenced columns that exist but have recoverable holes
+            // (left by an earlier budgeted or cache-only query) are
+            // re-expanded: the judgment cache makes the already-purchased
+            // part free, so the query pays only for what is still missing.
+            // `SELECT *` references every column of the table, including
+            // every incomplete one.  Reads only: a write that merely names
+            // an incomplete column (an UPDATE about to overwrite it, say)
+            // must not pay the crowd to fill holes first.
+            let mut candidates = analysis.missing_columns.clone();
+            if statement.is_read_only() && policy.mode != ExpansionMode::Deny {
+                let incomplete = rlock(&self.incomplete);
+                if !incomplete.is_empty() {
+                    let references_all = matches!(
+                        &statement,
+                        sql::Statement::Select(select)
+                            if matches!(select.projection, sql::Projection::All)
+                    );
+                    if references_all {
+                        for (incomplete_table, column) in incomplete.iter() {
+                            if *incomplete_table == key && !candidates.contains(column) {
+                                candidates.push(column.clone());
+                            }
+                        }
+                    } else {
+                        for column in statement.referenced_columns() {
+                            if !candidates.contains(&column)
+                                && incomplete.contains(&(key.clone(), column.clone()))
+                            {
+                                candidates.push(column);
+                            }
+                        }
+                    }
+                }
+            }
+            if !candidates.is_empty() {
+                reports = self.expand_columns_with_policy(&table, &candidates, &policy)?;
+                let mut events = mlock(&self.events);
+                for report in &reports {
+                    events.push(ExpansionEvent {
+                        triggering_query: sql_text.to_string(),
+                        report: report.clone(),
+                    });
+                }
+            }
         }
-        if statement.is_read_only() {
+
+        // fold, not sum: an empty `f64` sum is `-0.0`, which would print as
+        // a spurious "-0.00" spend on queries that expanded nothing.
+        let crowd_cost = reports.iter().fold(0.0, |total, r| total + r.crowd_cost);
+        let result = if statement.is_read_only() {
             let catalog = rlock(&self.catalog);
-            executor::execute_read(&statement, &catalog).map_err(Into::into)
+            let (result, row_indices) = executor::execute_read_indexed(&statement, &catalog)?;
+            let provenance =
+                self.row_provenance(&catalog, statement.target_table(), &result, &row_indices)?;
+            let mut rows = RowSet {
+                columns: result.columns,
+                rows: result.rows,
+                provenance,
+            };
+            // The quality floor is a per-query *view* filter: it masks
+            // low-agreement verdicts in this query's result, never in the
+            // shared table — a strict caller must not be able to NULL out
+            // data other queries paid for, and the floor must hold even
+            // when the column was materialized long ago.
+            if let Some(floor) = policy.quality_floor {
+                mask_below_quality_floor(&mut rows, floor);
+            }
+            StatementResult::Rows(rows)
         } else {
             let mut catalog = wlock(&self.catalog);
-            executor::execute(&statement, &mut catalog).map_err(Into::into)
+            let result = executor::execute(&statement, &mut catalog)?;
+            StatementResult::Mutation {
+                rows_affected: result.rows_affected,
+            }
+        };
+        Ok(QueryOutcome {
+            policy,
+            result,
+            reports,
+            crowd_cost,
+        })
+    }
+
+    /// Builds the per-cell provenance of a result set: `Stored` for factual
+    /// columns, the provenance ledger's record for expanded columns, and
+    /// `Missing` markers for rows no expansion could ever reach.
+    fn row_provenance(
+        &self,
+        catalog: &Catalog,
+        table: Option<&str>,
+        result: &QueryResult,
+        row_indices: &[usize],
+    ) -> Result<Vec<Vec<CellProvenance>>> {
+        let all_stored = |result: &QueryResult| {
+            result
+                .rows
+                .iter()
+                .map(|row| vec![CellProvenance::Stored; row.len()])
+                .collect()
+        };
+        let table_name = match table {
+            Some(name) => name,
+            None => return Ok(all_stored(result)),
+        };
+        let key = table_name.to_lowercase();
+        let ledger = rlock(&self.provenance);
+        let tracked: Vec<Option<&HashMap<ItemId, CellProvenance>>> = result
+            .columns
+            .iter()
+            .map(|column| ledger.get(&(key.clone(), column.clone())))
+            .collect();
+        if tracked.iter().all(Option::is_none) {
+            return Ok(all_stored(result));
         }
+        // Expanded columns exist, so the table necessarily carries the id
+        // column.  Read the id cell of the *result* rows only — a full
+        // table id → row mapping per read would put O(table) work on the
+        // hot concurrent-read path for a LIMIT-bounded query.
+        let table = catalog.table(table_name)?;
+        let id_idx = table
+            .schema()
+            .index_of(&self.config.id_column)
+            .ok_or_else(|| {
+                CrowdDbError::Configuration(format!(
+                    "table {table_name} has no id column '{}'",
+                    self.config.id_column
+                ))
+            })?;
+        let item_of_row = |row: usize| -> Option<ItemId> {
+            match table.rows().get(row)?.get(id_idx)? {
+                Value::Integer(id) if *id >= 0 && *id <= u32::MAX as i64 => Some(*id as ItemId),
+                _ => None,
+            }
+        };
+        Ok(row_indices
+            .iter()
+            .map(|&row| {
+                let item = item_of_row(row);
+                tracked
+                    .iter()
+                    .map(|column| match column {
+                        None => CellProvenance::Stored,
+                        Some(items) => match item {
+                            None => CellProvenance::Missing {
+                                reason: MissingReason::NoItemId,
+                            },
+                            Some(item) => {
+                                items
+                                    .get(&item)
+                                    .copied()
+                                    .unwrap_or(CellProvenance::Missing {
+                                        reason: MissingReason::NotExpanded,
+                                    })
+                            }
+                        },
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// The provenance ledger of one expanded column: per item, where its
+    /// materialized value came from.  `None` when the column was never
+    /// expanded.
+    pub fn column_provenance(
+        &self,
+        table: &str,
+        column: &str,
+    ) -> Option<HashMap<ItemId, CellProvenance>> {
+        rlock(&self.provenance)
+            .get(&(table.to_lowercase(), column.to_lowercase()))
+            .cloned()
     }
 
     fn is_expandable(&self, table: &str, column: &str) -> bool {
@@ -467,10 +769,35 @@ impl CrowdDb {
         table_name: &str,
         columns: &[String],
     ) -> Result<Vec<ExpansionReport>> {
+        self.expand_columns_with_policy(table_name, columns, &ExpansionPolicy::full())
+    }
+
+    /// [`expand_columns`](CrowdDb::expand_columns) under an explicit
+    /// [`ExpansionPolicy`]: `CacheOnly` acquires nothing beyond the
+    /// judgment cache, `BestEffort` stops dispatching crowd rounds the
+    /// moment the budget is spent, the quality floor filters verdicts
+    /// before materialization, and `Deny` refuses the whole expansion with
+    /// [`CrowdDbError::ExpansionDenied`].
+    pub fn expand_columns_with_policy(
+        &self,
+        table_name: &str,
+        columns: &[String],
+        policy: &ExpansionPolicy,
+    ) -> Result<Vec<ExpansionReport>> {
+        policy.validate()?;
+        // `Deny` promises "never trigger crowd spending" no matter which
+        // entry point asked for the expansion.
+        if policy.mode == ExpansionMode::Deny {
+            return Err(CrowdDbError::ExpansionDenied {
+                table: table_name.to_string(),
+                columns: columns.to_vec(),
+            });
+        }
         let binding = self.binding(&table_name.to_lowercase())?;
         let plan = self.build_plan(&binding, table_name, columns)?;
-        let acquisitions = self.acquire(&plan, &binding)?;
-        self.materialize(&plan, &binding, acquisitions)
+        let mut ledger = BudgetLedger::new(policy.budget);
+        let acquisitions = self.acquire(&plan, &binding, policy, &mut ledger)?;
+        self.materialize(&plan, &binding, acquisitions, policy)
     }
 
     /// Performs query-driven schema expansion of a single `column` on
@@ -521,7 +848,13 @@ impl CrowdDb {
     /// would pay double for identical judgments.  The same rule extends
     /// across queries: a concept another query is currently acquiring is
     /// *waited for*, not re-dispatched.
-    fn acquire(&self, plan: &ExpansionPlan, binding: &TableBinding) -> Result<Vec<Acquisition>> {
+    fn acquire(
+        &self,
+        plan: &ExpansionPlan,
+        binding: &TableBinding,
+        policy: &ExpansionPolicy,
+        ledger: &mut BudgetLedger,
+    ) -> Result<Vec<Acquisition>> {
         // Consult the cache per attribute; deduplicate crowd questions by
         // attribute concept.  The first column asking about a concept owns
         // the question; sibling columns merge their items into it and
@@ -581,6 +914,10 @@ impl CrowdDb {
                 .iter()
                 .filter_map(|(&item, judgment)| judgment.verdict.map(|v| (item, v)))
                 .collect();
+            let confidence = cached
+                .iter()
+                .map(|(&item, judgment)| (item, judgment.confidence))
+                .collect();
             acquisitions.push(Acquisition {
                 cached,
                 uncached,
@@ -588,6 +925,10 @@ impl CrowdDb {
                 owns_question,
                 cost_saved,
                 verdicts,
+                confidence,
+                fresh_cost_share: HashMap::new(),
+                coalesced_items: HashSet::new(),
+                dropped: Vec::new(),
                 items_charged: 0,
                 judgments_collected: 0,
                 crowd_cost: 0.0,
@@ -597,10 +938,25 @@ impl CrowdDb {
             });
         }
 
+        if policy.mode == ExpansionMode::CacheOnly {
+            // Cache-only queries never dispatch crowd work and never wait
+            // on other queries' rounds: every uncached item stays NULL.
+            for acquisition in acquisitions.iter_mut() {
+                let uncached = std::mem::take(&mut acquisition.uncached);
+                acquisition.dropped.extend(
+                    uncached
+                        .into_iter()
+                        .map(|item| (item, MissingReason::NoCachedJudgment)),
+                );
+                acquisition.question = None;
+            }
+            return Ok(acquisitions);
+        }
+
         if needs.is_empty() {
             return Ok(acquisitions);
         }
-        let resolutions = self.resolve_needs(plan, binding, &needs)?;
+        let resolutions = self.resolve_needs(plan, binding, &needs, ledger)?;
 
         // Route the resolved verdicts and accounting back to the plan's
         // attributes.  Every sharer (owner included) reads its own items'
@@ -621,9 +977,23 @@ impl CrowdDb {
                 acquisition.items_charged = resolution.items_charged;
                 acquisition.items_coalesced = resolution.items_coalesced;
             }
+            let denied: HashSet<ItemId> = resolution.budget_denied.iter().copied().collect();
             for &item in &acquisition.uncached {
                 if let Some(&label) = resolution.verdicts.get(&item) {
                     acquisition.verdicts.insert(item, label);
+                }
+                if let Some(&confidence) = resolution.confidence.get(&item) {
+                    acquisition.confidence.insert(item, confidence);
+                }
+                if let Some(&share) = resolution.fresh_cost_share.get(&item) {
+                    acquisition.fresh_cost_share.insert(item, share);
+                } else if resolution.coalesced_set.contains(&item) {
+                    acquisition.coalesced_items.insert(item);
+                }
+                if denied.contains(&item) {
+                    acquisition
+                        .dropped
+                        .push((item, MissingReason::BudgetExhausted));
                 }
             }
         }
@@ -644,6 +1014,7 @@ impl CrowdDb {
         plan: &ExpansionPlan,
         binding: &TableBinding,
         needs: &[ConceptNeed],
+        ledger: &mut BudgetLedger,
     ) -> Result<Vec<ConceptResolution>> {
         let mut resolutions: Vec<ConceptResolution> =
             needs.iter().map(|_| ConceptResolution::default()).collect();
@@ -682,13 +1053,7 @@ impl CrowdDb {
                     self.cache
                         .partition_peek(&plan.table, &needs[index].concept, &pending[index]);
                 if !cached.is_empty() {
-                    let resolution = &mut resolutions[index];
-                    resolution.items_coalesced += cached.len();
-                    for (item, judgment) in cached {
-                        if let Some(label) = judgment.verdict {
-                            resolution.verdicts.insert(item, label);
-                        }
-                    }
+                    absorb_published(&mut resolutions[index], cached);
                     pending[index] = uncached;
                 }
                 if pending[index].is_empty() {
@@ -698,59 +1063,84 @@ impl CrowdDb {
                 }
             }
 
-            // Dispatch phase: one batched round covering every owned
-            // concept.  An error drops the tokens, which aborts the claims
-            // and wakes any waiters into a retry.
-            if !dispatch.is_empty() {
-                let requests: Vec<AttributeRequest> = dispatch
-                    .iter()
-                    .map(|&(index, _)| AttributeRequest {
-                        attribute: needs[index].concept.clone(),
-                        items: pending[index].clone(),
-                    })
-                    .collect();
-                let round_seed = self
-                    .config
-                    .seed
-                    .wrapping_add(self.crowd_rounds.fetch_add(1, Ordering::Relaxed));
-                let batch = mlock(&binding.crowd).collect_batch(&requests, round_seed)?;
-                for (question, (index, token)) in dispatch.into_iter().enumerate() {
-                    let judgments = &batch.question_judgments[question];
-                    let items = &requests[question].items;
-                    let resolution = &mut resolutions[index];
-                    resolution.judgments += judgments.len();
-                    resolution.cost += batch.question_cost(question);
-                    resolution.minutes = resolution.minutes.max(batch.total_minutes);
-                    resolution.items_charged += items.len();
-                    let per_item_cost = if items.is_empty() {
-                        0.0
-                    } else {
-                        batch.question_cost(question) / items.len() as f64
-                    };
-                    let mut judgment_counts: HashMap<ItemId, usize> = HashMap::new();
-                    for judgment in judgments {
-                        *judgment_counts.entry(judgment.item).or_insert(0) += 1;
-                    }
-                    // Cache every item of the question — including ties
-                    // (verdict `None`): asking again would cost the same
-                    // and likely tie again.
-                    let verdicts = majority_vote(judgments, items);
-                    for verdict in &verdicts {
-                        self.cache.insert(
+            // Dispatch phase.  An error drops the tokens, which aborts the
+            // claims and wakes any waiters into a retry.
+            if ledger.limit.is_none() {
+                // Unbudgeted: one batched round covering every owned
+                // concept — the cheapest dispatch shape.
+                if !dispatch.is_empty() {
+                    let requests: Vec<AttributeRequest> = dispatch
+                        .iter()
+                        .map(|&(index, _)| AttributeRequest {
+                            attribute: needs[index].concept.clone(),
+                            items: pending[index].clone(),
+                        })
+                        .collect();
+                    let batch =
+                        mlock(&binding.crowd).collect_batch(&requests, self.next_round_seed())?;
+                    ledger.charge(batch.total_cost);
+                    for (question, (index, token)) in dispatch.into_iter().enumerate() {
+                        let judgments = &batch.question_judgments[question];
+                        let items = &requests[question].items;
+                        let resolution = &mut resolutions[index];
+                        resolution.judgments += judgments.len();
+                        resolution.cost += batch.question_cost(question);
+                        resolution.minutes = resolution.minutes.max(batch.total_minutes);
+                        resolution.items_charged += items.len();
+                        self.ingest_question(
                             &plan.table,
                             &needs[index].concept,
-                            verdict.item,
-                            CachedJudgment {
-                                verdict: verdict.verdict,
-                                judgments: judgment_counts.get(&verdict.item).copied().unwrap_or(0),
-                                cost: per_item_cost,
-                            },
+                            items,
+                            judgments,
+                            batch.question_cost(question),
+                            resolution,
                         );
-                        if let Some(label) = verdict.verdict {
-                            resolution.verdicts.insert(verdict.item, label);
-                        }
+                        pending[index].clear();
+                        token.complete();
                     }
-                    pending[index].clear();
+                }
+            } else {
+                // Budgeted (best-effort): one round at a time per concept,
+                // each sized to what the remaining budget can pay, charging
+                // the crowd's *real* cost after every round and stopping
+                // the moment another round no longer fits.  Items the
+                // budget cannot reach are recorded as denied, not retried.
+                for (index, token) in dispatch {
+                    let mut items = std::mem::take(&mut pending[index]);
+                    while !items.is_empty() {
+                        let affordable = self.affordable_round(binding, ledger, items.len());
+                        if affordable == 0 {
+                            resolutions[index].budget_denied.append(&mut items);
+                            break;
+                        }
+                        let chunk: Vec<ItemId> = items.drain(..affordable).collect();
+                        let request = AttributeRequest {
+                            attribute: needs[index].concept.clone(),
+                            items: chunk.clone(),
+                        };
+                        let batch = mlock(&binding.crowd).collect_batch(
+                            std::slice::from_ref(&request),
+                            self.next_round_seed(),
+                        )?;
+                        ledger.charge(batch.total_cost);
+                        let resolution = &mut resolutions[index];
+                        resolution.judgments += batch.question_judgments[0].len();
+                        resolution.cost += batch.total_cost;
+                        // Sequential rounds: their wall-clock adds up.
+                        resolution.minutes += batch.total_minutes;
+                        resolution.items_charged += chunk.len();
+                        self.ingest_question(
+                            &plan.table,
+                            &needs[index].concept,
+                            &chunk,
+                            &batch.question_judgments[0],
+                            batch.total_cost,
+                            resolution,
+                        );
+                    }
+                    // The claim is complete either way: what the budget
+                    // refused is final for this query, and a waiter is free
+                    // to claim the concept and pay for the remainder itself.
                     token.complete();
                 }
             }
@@ -764,13 +1154,7 @@ impl CrowdDb {
                 let (cached, uncached) =
                     self.cache
                         .partition_peek(&plan.table, &needs[index].concept, &pending[index]);
-                let resolution = &mut resolutions[index];
-                resolution.items_coalesced += cached.len();
-                for (item, judgment) in cached {
-                    if let Some(label) = judgment.verdict {
-                        resolution.verdicts.insert(item, label);
-                    }
-                }
+                absorb_published(&mut resolutions[index], cached);
                 pending[index] = uncached;
             }
         }
@@ -779,6 +1163,110 @@ impl CrowdDb {
              kept aborting or resolving disjoint item sets",
             plan.table
         )))
+    }
+
+    /// A fresh seed for one crowd round (see the `crowd_rounds` field).
+    fn next_round_seed(&self) -> u64 {
+        self.config
+            .seed
+            .wrapping_add(self.crowd_rounds.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Aggregates one question's fresh judgments: majority vote, per-item
+    /// confidence from the tallies, cache write-back (ties included — asking
+    /// again would cost the same and likely tie again), and resolution
+    /// bookkeeping for verdict routing and provenance.
+    fn ingest_question(
+        &self,
+        table: &str,
+        concept: &str,
+        items: &[ItemId],
+        judgments: &[crowdsim::Judgment],
+        question_cost: f64,
+        resolution: &mut ConceptResolution,
+    ) {
+        let per_item_cost = if items.is_empty() {
+            0.0
+        } else {
+            question_cost / items.len() as f64
+        };
+        let mut judgment_counts: HashMap<ItemId, usize> = HashMap::new();
+        for judgment in judgments {
+            *judgment_counts.entry(judgment.item).or_insert(0) += 1;
+        }
+        let verdicts = majority_vote(judgments, items);
+        for verdict in &verdicts {
+            let confidence = verdict.tally.agreement();
+            self.cache.insert(
+                table,
+                concept,
+                verdict.item,
+                CachedJudgment {
+                    verdict: verdict.verdict,
+                    judgments: judgment_counts.get(&verdict.item).copied().unwrap_or(0),
+                    cost: per_item_cost,
+                    confidence,
+                },
+            );
+            resolution.confidence.insert(verdict.item, confidence);
+            resolution
+                .fresh_cost_share
+                .insert(verdict.item, per_item_cost);
+            if let Some(label) = verdict.verdict {
+                resolution.verdicts.insert(verdict.item, label);
+            }
+        }
+    }
+
+    /// How many of `available` items the next budgeted round may judge.
+    ///
+    /// With a pricing source ([`CrowdSource::estimate_cost`]) this is the
+    /// largest count whose estimated round cost fits the remaining budget
+    /// (found by bisection — the estimate is monotonic in the item count);
+    /// the spend then never crosses the budget.  Without an estimate a
+    /// small fixed round is dispatched and the real charge is checked
+    /// afterwards, bounding any overshoot to one such round.
+    ///
+    /// The bisection is the source-generic counterpart of
+    /// `crowdsim::HitConfig::max_items_within_budget`: for a source whose
+    /// estimate is `HitConfig::total_cost` (like [`SimulatedCrowd`]) the
+    /// two agree exactly, which `tests/policy_expansion.rs` pins down.
+    ///
+    /// [`SimulatedCrowd`]: crate::SimulatedCrowd
+    fn affordable_round(
+        &self,
+        binding: &TableBinding,
+        ledger: &BudgetLedger,
+        available: usize,
+    ) -> usize {
+        let remaining = match ledger.remaining() {
+            Some(remaining) => remaining,
+            None => return available,
+        };
+        if remaining <= 1e-12 {
+            return 0;
+        }
+        let crowd = mlock(&binding.crowd);
+        match crowd.estimate_cost(1) {
+            None => available.min(FALLBACK_BUDGET_CHUNK),
+            Some(single) if single > remaining + 1e-9 => 0,
+            Some(_) => {
+                let fits = |n: usize| match crowd.estimate_cost(n) {
+                    Some(cost) => cost <= remaining + 1e-9,
+                    None => false,
+                };
+                let (mut lo, mut hi) = (1usize, available);
+                while lo < hi {
+                    let mid = (lo + hi).div_ceil(2);
+                    if fits(mid) {
+                        lo = mid;
+                    } else {
+                        hi = mid - 1;
+                    }
+                }
+                lo
+            }
+        }
     }
 
     /// The **materialize** stage: train extractors where needed (without
@@ -790,6 +1278,7 @@ impl CrowdDb {
         plan: &ExpansionPlan,
         binding: &TableBinding,
         acquisitions: Vec<Acquisition>,
+        policy: &ExpansionPolicy,
     ) -> Result<Vec<ExpansionReport>> {
         // Phase 1 (lock-free): aggregate verdicts into per-attribute value
         // maps, training extractors where the strategy demands it.
@@ -797,6 +1286,7 @@ impl CrowdDb {
             values: HashMap<ItemId, Value>,
             training_set_size: usize,
             items_unmapped: usize,
+            extracted: bool,
             stages: Vec<ExpansionStage>,
             acquisition: Acquisition,
         }
@@ -816,16 +1306,23 @@ impl CrowdDb {
                 stages.push(ExpansionStage::CrowdSourcingStarted);
                 stages.push(ExpansionStage::JudgmentsAggregated);
             }
+            if acquisition
+                .dropped
+                .iter()
+                .any(|(_, reason)| *reason == MissingReason::BudgetExhausted)
+            {
+                stages.push(ExpansionStage::BudgetExhausted);
+            }
 
-            let (values, training_set_size, items_unmapped) = match &attribute.strategy {
-                ExpansionStrategy::DirectCrowd => {
-                    let values: HashMap<ItemId, Value> = acquisition
-                        .verdicts
-                        .iter()
-                        .map(|(&item, &label)| (item, Value::Boolean(label)))
-                        .collect();
-                    (values, 0, 0)
-                }
+            let direct_values = |acquisition: &Acquisition| -> HashMap<ItemId, Value> {
+                acquisition
+                    .verdicts
+                    .iter()
+                    .map(|(&item, &label)| (item, Value::Boolean(label)))
+                    .collect()
+            };
+            let (values, training_set_size, items_unmapped, extracted) = match &attribute.strategy {
+                ExpansionStrategy::DirectCrowd => (direct_values(&acquisition), 0, 0, false),
                 ExpansionStrategy::PerceptualSpace { extraction, .. } => {
                     let mut training: Vec<(ItemId, bool)> = acquisition
                         .verdicts
@@ -835,21 +1332,36 @@ impl CrowdDb {
                     // Deterministic SVM input regardless of hash order.
                     training.sort_unstable_by_key(|(item, _)| *item);
                     let training_set_size = training.len();
-                    stages.push(ExpansionStage::ExtractorTrained);
-                    let predicted =
-                        extract_binary_attribute(&binding.space, &training, extraction)?;
-                    let (mapped, unmapped) = planner::predictions_by_item(&plan.items, &predicted);
-                    let values: HashMap<ItemId, Value> = mapped
-                        .into_iter()
-                        .map(|(item, label)| (item, Value::Boolean(label)))
-                        .collect();
-                    (values, training_set_size, unmapped.len())
+                    match extract_binary_attribute(&binding.space, &training, extraction) {
+                        Ok(predicted) => {
+                            stages.push(ExpansionStage::ExtractorTrained);
+                            let (mapped, unmapped) =
+                                planner::predictions_by_item(&plan.items, &predicted);
+                            let values: HashMap<ItemId, Value> = mapped
+                                .into_iter()
+                                .map(|(item, label)| (item, Value::Boolean(label)))
+                                .collect();
+                            (values, training_set_size, unmapped.len(), true)
+                        }
+                        // A policy that tolerates partial columns also
+                        // tolerates a gold sample too small or too
+                        // one-sided to train on (a budget or cache-only
+                        // acquisition can truncate it arbitrarily):
+                        // degrade to materializing the acquired
+                        // verdicts directly instead of failing the
+                        // whole query.
+                        Err(_) if policy.tolerates_partial_columns() => {
+                            (direct_values(&acquisition), training_set_size, 0, false)
+                        }
+                        Err(error) => return Err(error),
+                    }
                 }
             };
             prepared.push(Prepared {
                 values,
                 training_set_size,
                 items_unmapped,
+                extracted,
                 stages,
                 acquisition,
             });
@@ -882,6 +1394,73 @@ impl CrowdDb {
             item.stages.push(ExpansionStage::ColumnMaterialized);
             item.stages.push(ExpansionStage::QueryReExecuted);
 
+            // Record, per item, where its cell value came from (or why it
+            // is absent) — the ledger the session layer attaches to result
+            // rows as per-cell provenance.
+            let acquisition = &item.acquisition;
+            let dropped_reason: HashMap<ItemId, MissingReason> =
+                acquisition.dropped.iter().copied().collect();
+            let judged = |item_id: ItemId| -> CellProvenance {
+                let confidence = acquisition.confidence.get(&item_id).copied().unwrap_or(0.0);
+                if acquisition.cached.contains_key(&item_id) {
+                    CellProvenance::CacheHit { confidence }
+                } else if let Some(&cost_share) = acquisition.fresh_cost_share.get(&item_id) {
+                    CellProvenance::CrowdDerived {
+                        confidence,
+                        cost_share,
+                    }
+                } else {
+                    // Judged by a concurrent query's round this acquisition
+                    // coalesced onto — served through the cache at zero
+                    // cost.  Every judged-but-not-cached-not-fresh item got
+                    // here via the coalescing route.
+                    debug_assert!(acquisition.coalesced_items.contains(&item_id));
+                    CellProvenance::CacheHit { confidence }
+                }
+            };
+            let cell_provenance: HashMap<ItemId, CellProvenance> = plan
+                .items
+                .iter()
+                .map(|&item_id| {
+                    let provenance = if acquisition.verdicts.contains_key(&item_id) {
+                        judged(item_id)
+                    } else if item.values.contains_key(&item_id) {
+                        CellProvenance::Extracted
+                    } else if let Some(&reason) = dropped_reason.get(&item_id) {
+                        CellProvenance::Missing { reason }
+                    } else if item.extracted {
+                        CellProvenance::Missing {
+                            reason: MissingReason::OutOfSpace,
+                        }
+                    } else {
+                        CellProvenance::Missing {
+                            reason: MissingReason::NoMajority,
+                        }
+                    };
+                    (item_id, provenance)
+                })
+                .collect();
+            // A column whose holes a later query could still fill is
+            // *incomplete*: policy queries referencing it re-expand it
+            // instead of trusting the partial materialization forever.
+            // (Quality floors never appear here: they are a per-query view
+            // filter applied at read time, not a materialization decision.)
+            let recoverable = cell_provenance.values().any(|p| {
+                matches!(
+                    p,
+                    CellProvenance::Missing {
+                        reason: MissingReason::BudgetExhausted | MissingReason::NoCachedJudgment,
+                    }
+                )
+            });
+            let ledger_key = (plan.table.clone(), attribute.column.clone());
+            wlock(&self.provenance).insert(ledger_key.clone(), cell_provenance);
+            if recoverable {
+                wlock(&self.incomplete).insert(ledger_key);
+            } else {
+                wlock(&self.incomplete).remove(&ledger_key);
+            }
+
             reports.push(ExpansionReport {
                 table: plan.table.clone(),
                 column: attribute.column.clone(),
@@ -902,6 +1481,7 @@ impl CrowdDb {
                 cost_saved: item.acquisition.cost_saved,
                 items_unmapped: item.items_unmapped,
                 items_coalesced: item.acquisition.items_coalesced,
+                items_dropped: item.acquisition.dropped.len(),
             });
         }
         Ok(reports)
@@ -1026,6 +1606,9 @@ impl CrowdDb {
                     verdict: Some(outcome.labels[item as usize]),
                     judgments: 0,
                     cost: per_item_cost,
+                    // Repaired labels went through the audit → re-source →
+                    // merge loop; treat them as fully trusted.
+                    confidence: 1.0,
                 },
             );
         }
@@ -1117,7 +1700,45 @@ impl CrowdDb {
             cost_saved: 0.0,
             items_unmapped: unmapped.len(),
             items_coalesced: 0,
+            items_dropped: 0,
         })
+    }
+}
+
+/// Folds verdicts another query published to the cache into a resolution:
+/// coalesced items are free for this query (cross-query owner-pays) but
+/// still carry their confidence for quality floors and provenance.
+fn absorb_published(resolution: &mut ConceptResolution, cached: HashMap<ItemId, CachedJudgment>) {
+    resolution.items_coalesced += cached.len();
+    for (item, judgment) in cached {
+        resolution.coalesced_set.insert(item);
+        resolution.confidence.insert(item, judgment.confidence);
+        if let Some(label) = judgment.verdict {
+            resolution.verdicts.insert(item, label);
+        }
+    }
+}
+
+/// The per-query quality floor, applied to this query's *view* of the
+/// result: cells whose verdict carries a known inter-worker agreement below
+/// `floor` are masked to `NULL` with `BelowQualityFloor` provenance.  The
+/// shared table, cache, and provenance ledger are untouched — a strict
+/// caller must never destroy data other (or future, less strict) queries
+/// paid for, and the floor holds whether the column was materialized by
+/// this query or long ago.
+fn mask_below_quality_floor(rows: &mut RowSet, floor: f64) {
+    for (row, provenance) in rows.rows.iter_mut().zip(rows.provenance.iter_mut()) {
+        for (value, cell) in row.iter_mut().zip(provenance.iter_mut()) {
+            if cell
+                .confidence()
+                .is_some_and(|confidence| confidence < floor)
+            {
+                *value = Value::Null;
+                *cell = CellProvenance::Missing {
+                    reason: MissingReason::BelowQualityFloor,
+                };
+            }
+        }
     }
 }
 
@@ -1207,6 +1828,59 @@ mod tests {
     fn crowddb_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CrowdDb>();
+    }
+
+    #[test]
+    fn factual_query_cells_carry_stored_provenance() {
+        let d = domain();
+        let db = db_with_domain(&d, ExpansionStrategy::perceptual_default());
+        let outcome = db
+            .query("SELECT name, year FROM movies LIMIT 3")
+            .run()
+            .unwrap();
+        let rows = outcome.rows().unwrap();
+        assert_eq!(rows.rows.len(), 3);
+        for row in &rows.provenance {
+            assert!(row.iter().all(|p| *p == CellProvenance::Stored));
+        }
+        assert!(outcome.reports.is_empty());
+        assert_eq!(outcome.crowd_cost, 0.0);
+        // No expansion ever ran, so no column has a provenance ledger.
+        assert!(db.column_provenance("movies", "is_comedy").is_none());
+    }
+
+    #[test]
+    fn execute_honors_a_with_expansion_clause() {
+        let d = domain();
+        let db = db_with_domain(&d, ExpansionStrategy::DirectCrowd);
+        // The legacy entry point is a thin wrapper over the session engine,
+        // so a SQL-level deny reaches it too.
+        let err = db
+            .execute("SELECT name FROM movies WHERE is_comedy = true WITH EXPANSION (mode = deny)")
+            .unwrap_err();
+        assert!(matches!(err, CrowdDbError::ExpansionDenied { .. }));
+        assert!(db.expansion_events().is_empty());
+    }
+
+    #[test]
+    fn expanded_columns_expose_their_provenance_ledger() {
+        let d = domain();
+        let db = db_with_domain(&d, ExpansionStrategy::DirectCrowd);
+        db.execute("SELECT item_id FROM movies WHERE is_comedy = true")
+            .unwrap();
+        let ledger = db.column_provenance("movies", "is_comedy").unwrap();
+        assert_eq!(ledger.len(), d.items().len());
+        assert!(ledger.values().any(|p| matches!(
+            p,
+            CellProvenance::CrowdDerived { cost_share, .. } if *cost_share > 0.0
+        )));
+        // A re-expansion is served by the cache and the ledger says so.
+        db.expand_attribute("movies", "is_comedy").unwrap();
+        let ledger = db.column_provenance("movies", "is_comedy").unwrap();
+        assert!(ledger.values().all(|p| matches!(
+            p,
+            CellProvenance::CacheHit { .. } | CellProvenance::Missing { .. }
+        )));
     }
 
     #[test]
@@ -1662,7 +2336,7 @@ mod tests {
                 ])
                 .unwrap();
         }
-        db.catalog_mut().create_table(table).unwrap();
+        db.create_table(table).unwrap();
         db.bind_table("things", space, Box::new(crowd)).unwrap();
 
         // Gold sample: every 10th item with its true humor value.
@@ -1715,7 +2389,7 @@ mod tests {
         for &id in &sparse_ids {
             table.insert_row(vec![Value::Integer(id)]).unwrap();
         }
-        db.catalog_mut().create_table(table).unwrap();
+        db.create_table(table).unwrap();
         db.bind_table("things", space, Box::new(crowd)).unwrap();
 
         let gold: Vec<(ItemId, f64)> = vec![(0, 0.0), (10, 2.5), (20, 5.0), (39, 9.75)];
@@ -1860,7 +2534,7 @@ mod tests {
         for id in [0i64, 3, 7, 11, 15, 19, 500, 900] {
             table.insert_row(vec![Value::Integer(id)]).unwrap();
         }
-        db.catalog_mut().create_table(table).unwrap();
+        db.create_table(table).unwrap();
         db.bind_table("things", space, Box::new(crowd)).unwrap();
         db.register_attribute("things", "is_comedy", "Comedy")
             .unwrap();

@@ -3,6 +3,10 @@
 use std::fmt;
 
 /// Errors produced by the crowd-enabled database layer.
+///
+/// The enum is `#[non_exhaustive]`: future expansion modes and policy
+/// failures can add variants without breaking downstream matches.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum CrowdDbError {
     /// An error bubbled up from the relational engine.
@@ -29,6 +33,16 @@ pub enum CrowdDbError {
     /// [`Configuration`](CrowdDbError::Configuration) this is not a caller
     /// mistake — retrying the query is reasonable.
     Contention(String),
+    /// The query referenced missing expandable columns, but its policy was
+    /// [`ExpansionMode::Deny`](crate::ExpansionMode::Deny): the caller asked
+    /// to never trigger crowd spending, so the expansion was refused rather
+    /// than silently paid for.
+    ExpansionDenied {
+        /// The table whose expansion was refused.
+        table: String,
+        /// The missing columns the query would have expanded.
+        columns: Vec<String>,
+    },
 }
 
 impl fmt::Display for CrowdDbError {
@@ -44,6 +58,11 @@ impl fmt::Display for CrowdDbError {
             ),
             CrowdDbError::Configuration(msg) => write!(f, "configuration error: {msg}"),
             CrowdDbError::Contention(msg) => write!(f, "contention error: {msg}"),
+            CrowdDbError::ExpansionDenied { table, columns } => write!(
+                f,
+                "expansion denied by the query policy: table {table} is missing columns {}",
+                columns.join(", ")
+            ),
         }
     }
 }
@@ -95,5 +114,11 @@ mod tests {
         assert!(e.to_string().contains("humor"));
         let e = CrowdDbError::Configuration("no crowd source".into());
         assert!(e.to_string().contains("no crowd source"));
+        let e = CrowdDbError::ExpansionDenied {
+            table: "movies".into(),
+            columns: vec!["is_comedy".into(), "humor".into()],
+        };
+        assert!(e.to_string().contains("denied"));
+        assert!(e.to_string().contains("is_comedy, humor"));
     }
 }

@@ -63,6 +63,10 @@ pub enum ExpansionStage {
     /// flight; this expansion waited for it and reused its verdicts
     /// instead of dispatching a duplicate round.
     JoinedInflightRound,
+    /// The query's crowd budget ran out mid-plan: acquisition stopped
+    /// dispatching rounds and the remaining items were left unexpanded
+    /// (best-effort policies only).
+    BudgetExhausted,
     /// The column was added to the table schema.
     ColumnAdded,
     /// HITs were dispatched to the crowd.
@@ -130,6 +134,13 @@ pub struct ExpansionReport {
     /// cross-query extension of the owner-pays rule), so these items
     /// contribute neither `crowd_cost` nor `crowd_minutes` here.
     pub items_coalesced: usize,
+    /// Items the query's policy left unacquired: budget-denied under
+    /// [`BestEffort`](crate::ExpansionMode::BestEffort) or uncached under
+    /// [`CacheOnly`](crate::ExpansionMode::CacheOnly).  Their cells carry
+    /// [`Missing`](crate::CellProvenance::Missing) provenance.  Quality
+    /// floors are *not* counted here — they are a per-query view filter
+    /// applied to returned rows, not an acquisition decision.
+    pub items_dropped: usize,
 }
 
 impl ExpansionReport {
@@ -185,6 +196,7 @@ mod tests {
             cost_saved: 0.0,
             items_unmapped: 0,
             items_coalesced: 0,
+            items_dropped: 0,
         };
         assert!((report.coverage() - 0.9).abs() < 1e-12);
         let empty = ExpansionReport {

@@ -38,6 +38,18 @@
 //! ([`CrowdDb::expand_attribute`] on an existing column) reuses the cached
 //! judgments at zero crowd cost.
 //!
+//! How much a query is *allowed* to spend is a per-query decision: the
+//! [`session`] layer ([`CrowdDb::query`] / [`Session`]) runs every query
+//! under an [`ExpansionPolicy`] — deny, cache-only, best-effort within a
+//! dollar budget (enforced mid-plan, round by round), or full expansion —
+//! also expressible in SQL itself as a `WITH EXPANSION (budget = 12.0,
+//! mode = best_effort, quality >= 0.8)` suffix clause.  The typed
+//! [`QueryOutcome`] carries the effective policy, the dollars actually
+//! paid, and per-cell [`CellProvenance`] (stored / crowd-derived with
+//! confidence and cost share / cache hit / extracted / missing-with-reason).
+//! [`CrowdDb::execute`] remains as a thin full-expansion compatibility
+//! wrapper over the same engine.
+//!
 //! The database is a **concurrent query engine**: [`CrowdDb::execute`]
 //! takes `&self` and [`CrowdDb`] is `Send + Sync`, so N threads can share
 //! one database and execute simultaneously.  Read-only statements run in
@@ -93,7 +105,10 @@ pub mod extraction;
 pub mod inflight;
 mod materialize;
 pub mod planner;
+pub mod policy;
+pub mod provenance;
 pub mod repair;
+pub mod session;
 mod sync;
 
 pub use audit::{audit_binary_labels, AuditOutcome};
@@ -106,7 +121,10 @@ pub use expansion::{ExpansionReport, ExpansionStrategy};
 pub use extraction::{extract_binary_attribute, extract_numeric_attribute, ExtractionConfig};
 pub use inflight::{InflightRegistry, InflightStats};
 pub use planner::{ExpansionPlan, PlannedAttribute};
+pub use policy::{ExpansionMode, ExpansionPolicy};
+pub use provenance::{CellProvenance, MissingReason};
 pub use repair::{repair_labels, repair_labels_among, RepairOutcome};
+pub use session::{QueryBuilder, QueryOutcome, RowSet, Session, StatementResult};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CrowdDbError>;

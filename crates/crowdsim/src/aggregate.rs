@@ -47,6 +47,17 @@ impl VoteTally {
             Ordering::Equal => None,
         }
     }
+
+    /// The fraction of decisive ("don't know" excluded) judgments that agree
+    /// with the majority — the per-item confidence a requester can hold a
+    /// quality floor against.  0 when the item received no decisive judgment.
+    pub fn agreement(&self) -> f64 {
+        let decisive = self.positive + self.negative;
+        if decisive == 0 {
+            return 0.0;
+        }
+        self.positive.max(self.negative) as f64 / decisive as f64
+    }
 }
 
 /// The aggregated outcome for one item.
@@ -151,6 +162,25 @@ mod tests {
             cumulative_cost: 0.0,
             is_gold: false,
         }
+    }
+
+    #[test]
+    fn agreement_measures_majority_share() {
+        let mut t = VoteTally::default();
+        assert_eq!(t.agreement(), 0.0, "no decisive judgments");
+        t.record(JudgmentResponse::Unknown);
+        assert_eq!(t.agreement(), 0.0, "don't-know answers are not decisive");
+        t.record(JudgmentResponse::Positive);
+        t.record(JudgmentResponse::Positive);
+        t.record(JudgmentResponse::Positive);
+        t.record(JudgmentResponse::Negative);
+        assert!((t.agreement() - 0.75).abs() < 1e-12);
+        // Ties have 50% agreement and no verdict.
+        let mut tie = VoteTally::default();
+        tie.record(JudgmentResponse::Positive);
+        tie.record(JudgmentResponse::Negative);
+        assert!((tie.agreement() - 0.5).abs() < 1e-12);
+        assert_eq!(tie.verdict(), None);
     }
 
     #[test]

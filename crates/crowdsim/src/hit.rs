@@ -149,11 +149,46 @@ impl HitConfig {
 
     /// Total cost of obtaining `judgments_per_item` judgments for `n_items`
     /// payload items plus the configured gold questions.
+    ///
+    /// This matches how the platform really schedules and pays: items are
+    /// grouped into HITs of `items_per_hit`, and **each group** — including
+    /// a trailing partial one — is assigned to `judgments_per_item`
+    /// distinct workers, every assignment paid as one HIT.  A round over 25
+    /// items therefore costs three groups × 10 assignments, not the 25
+    /// perfectly-packed HITs a pure judgment count would suggest; budget
+    /// planners that sized rounds by the latter would overdraw on every
+    /// ragged round.
     pub fn total_cost(&self, n_items: usize) -> f64 {
         let total_items = n_items + self.gold_questions;
-        let judgments = total_items * self.judgments_per_item;
-        let hits = judgments.div_ceil(self.items_per_hit);
+        let hits = total_items.div_ceil(self.items_per_hit) * self.judgments_per_item;
         hits as f64 * self.payment_per_hit
+    }
+
+    /// The largest number of payload items whose round
+    /// ([`total_cost`](HitConfig::total_cost)) fits inside `budget` dollars.
+    ///
+    /// This is the round-level planning primitive for budgeted acquisition:
+    /// a requester that may spend at most `budget` more dollars sizes its
+    /// next dispatch with this instead of discovering the overdraft after
+    /// the HITs have been paid.  Returns 0 when not even a single item is
+    /// affordable; when HITs are free every item count fits, and the caller's
+    /// demand is the only bound (`usize::MAX` is returned).
+    pub fn max_items_within_budget(&self, budget: f64) -> usize {
+        if budget <= 0.0 {
+            return 0;
+        }
+        if self.payment_per_hit <= 0.0 {
+            return usize::MAX;
+        }
+        // Invert the cost formula, then walk down over the HIT-rounding
+        // boundary (total_cost rounds partial HITs up).
+        let hits = (budget / self.payment_per_hit + 1e-9).floor() as usize;
+        let judgments = hits.saturating_mul(self.items_per_hit);
+        let mut n = (judgments / self.judgments_per_item).saturating_sub(self.gold_questions);
+        while n > 0 && self.total_cost(n) > budget + 1e-9 {
+            n -= 1;
+        }
+        n
     }
 }
 
@@ -221,6 +256,44 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn max_items_within_budget_inverts_total_cost() {
+        let c = HitConfig::default();
+        // One 10-item group × 10 assignments at $0.02 = $0.20: the first
+        // group already serves up to 10 items.
+        assert_eq!(c.max_items_within_budget(0.2), 10);
+        assert_eq!(c.max_items_within_budget(0.39), 10);
+        assert_eq!(c.max_items_within_budget(0.4), 20);
+        // The result always fits: total_cost(n) <= budget < total_cost(n+1)
+        // whenever n sits on a group boundary (cost is a step function).
+        for budget in [0.2, 0.33, 1.0, 19.99] {
+            let n = c.max_items_within_budget(budget);
+            assert!(c.total_cost(n) <= budget + 1e-9, "budget {budget}");
+            assert!(
+                n % c.items_per_hit != 0 || c.total_cost(n + 1) > budget + 1e-9,
+                "budget {budget}"
+            );
+        }
+        // Nothing is affordable below one group's assignments; zero and
+        // negative budgets buy nothing.
+        assert_eq!(c.max_items_within_budget(0.19), 0);
+        assert_eq!(c.max_items_within_budget(0.0), 0);
+        assert_eq!(c.max_items_within_budget(-1.0), 0);
+        // Gold questions occupy paid slots before any payload item does.
+        let gold = HitConfig {
+            gold_questions: 5,
+            ..Default::default()
+        };
+        assert_eq!(gold.max_items_within_budget(0.19), 0);
+        assert_eq!(gold.max_items_within_budget(0.2), 5);
+        // Free HITs make every demand affordable.
+        let free = HitConfig {
+            payment_per_hit: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(free.max_items_within_budget(1.0), usize::MAX);
     }
 
     #[test]

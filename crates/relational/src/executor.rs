@@ -87,8 +87,23 @@ pub fn analyze(statement: &Statement, catalog: &Catalog) -> Result<StatementAnal
 /// Passing a write statement is a logic error and reported as
 /// [`RelationalError::InvalidStatement`].
 pub fn execute_read(statement: &Statement, catalog: &Catalog) -> Result<QueryResult> {
+    execute_read_indexed(statement, catalog).map(|(result, _)| result)
+}
+
+/// Like [`execute_read`], additionally returning the table row index behind
+/// each result row (parallel to `result.rows`).
+///
+/// Row-level lineage is what a caller needs to attach *provenance* to the
+/// returned cells: the projected values alone no longer say which physical
+/// row — and therefore which crowd-sourced item — they came from.  The crowd
+/// layer joins these indices against its id → item mapping to report, per
+/// cell, whether the value was stored, crowd-derived, cached, or missing.
+pub fn execute_read_indexed(
+    statement: &Statement,
+    catalog: &Catalog,
+) -> Result<(QueryResult, Vec<usize>)> {
     match statement {
-        Statement::Select(select) => execute_select(select, catalog),
+        Statement::Select(select) => execute_select_indexed(select, catalog),
         other => Err(RelationalError::InvalidStatement(format!(
             "execute_read got a write statement: {other:?}"
         ))),
@@ -204,6 +219,15 @@ fn execute_delete(
 
 /// Executes a `SELECT`.
 pub fn execute_select(select: &SelectStatement, catalog: &Catalog) -> Result<QueryResult> {
+    execute_select_indexed(select, catalog).map(|(result, _)| result)
+}
+
+/// Executes a `SELECT`, returning the result alongside the table row index
+/// behind each result row (see [`execute_read_indexed`]).
+pub fn execute_select_indexed(
+    select: &SelectStatement,
+    catalog: &Catalog,
+) -> Result<(QueryResult, Vec<usize>)> {
     let table = catalog.table(&select.table)?;
     let schema = table.schema();
 
@@ -301,11 +325,14 @@ pub fn execute_select(select: &SelectStatement, catalog: &Catalog) -> Result<Que
         })
         .collect();
 
-    Ok(QueryResult {
-        columns,
-        rows,
-        rows_affected: 0,
-    })
+    Ok((
+        QueryResult {
+            columns,
+            rows,
+            rows_affected: 0,
+        },
+        matching,
+    ))
 }
 
 fn execute_insert(
@@ -412,6 +439,25 @@ mod tests {
         assert_eq!(result.rows.len(), 2);
         assert_eq!(result.rows[0][0], Value::from("Psycho"));
         assert_eq!(result.rows[1][0], Value::from("Vertigo"));
+    }
+
+    #[test]
+    fn indexed_select_reports_the_physical_row_behind_each_result_row() {
+        let catalog = setup();
+        let stmt = parse("SELECT name FROM movies WHERE year < 1977 ORDER BY rating DESC").unwrap();
+        let (result, rows) = execute_read_indexed(&stmt, &catalog).unwrap();
+        // By rating: Psycho (row 1), Vertigo (row 2), Rocky (row 0);
+        // Grease (1978) is filtered out.
+        assert_eq!(rows, vec![1, 2, 0]);
+        assert_eq!(result.rows.len(), rows.len());
+        // The indexed and plain paths agree.
+        assert_eq!(execute_read(&stmt, &catalog).unwrap(), result);
+        // Write statements are rejected, as on the plain read path.
+        let stmt = parse("DELETE FROM movies").unwrap();
+        assert!(matches!(
+            execute_read_indexed(&stmt, &catalog),
+            Err(RelationalError::InvalidStatement(_))
+        ));
     }
 
     #[test]

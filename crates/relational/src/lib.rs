@@ -45,10 +45,12 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use error::RelationalError;
-pub use executor::{analyze, execute, execute_read, QueryResult, StatementAnalysis};
+pub use executor::{
+    analyze, execute, execute_read, execute_read_indexed, QueryResult, StatementAnalysis,
+};
 pub use expr::{BinaryOperator, Expr, UnaryOperator};
 pub use schema::{Column, Schema};
-pub use sql::{parse, Statement};
+pub use sql::{parse, ExpansionClause, ExpansionClauseMode, Statement};
 pub use table::Table;
 pub use value::{DataType, Value};
 

@@ -48,8 +48,12 @@ const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "ORDER", "BY", "ASC", "DESC", "LIMIT", "INSERT", "INTO", "VALUES",
     "CREATE", "TABLE", "ALTER", "ADD", "COLUMN", "NOT", "NULL", "AND", "OR", "TRUE", "FALSE", "IS",
     "INTEGER", "INT", "FLOAT", "REAL", "DOUBLE", "TEXT", "VARCHAR", "STRING", "BOOLEAN", "BOOL",
-    "UPDATE", "SET", "DELETE",
+    "UPDATE", "SET", "DELETE", "WITH",
 ];
+// `EXPANSION` is deliberately NOT in the list: it only has meaning directly
+// after `WITH` and the parser matches it contextually, so pre-existing
+// schemas with a column or table named `expansion` keep working.  `WITH`
+// itself is reserved, as in standard SQL.
 
 /// Splits a SQL string into tokens.
 pub fn tokenize(input: &str) -> Result<Vec<Token>> {

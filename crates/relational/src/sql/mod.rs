@@ -16,6 +16,8 @@ mod parser;
 pub use lexer::{tokenize, Token};
 pub use parser::parse;
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use crate::expr::Expr;
@@ -40,6 +42,88 @@ pub struct OrderBy {
     pub ascending: bool,
 }
 
+/// The expansion mode named in a `WITH EXPANSION (mode = …)` clause.
+///
+/// This is the *syntactic* mode — the crowd layer maps it onto its semantic
+/// policy type.  The relational engine itself never expands anything; it
+/// only carries the requester's instructions through the AST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpansionClauseMode {
+    /// `mode = deny` — error out instead of expanding missing columns.
+    Deny,
+    /// `mode = cache_only` — serve already-acquired judgments, `NULL`
+    /// otherwise; never dispatch new crowd work.
+    CacheOnly,
+    /// `mode = best_effort` — expand until the budget is exhausted and
+    /// return partial columns for the rest.
+    BestEffort,
+    /// `mode = full` — expand everything regardless of cost.
+    Full,
+}
+
+impl ExpansionClauseMode {
+    /// The keyword as it appears in SQL.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExpansionClauseMode::Deny => "deny",
+            ExpansionClauseMode::CacheOnly => "cache_only",
+            ExpansionClauseMode::BestEffort => "best_effort",
+            ExpansionClauseMode::Full => "full",
+        }
+    }
+}
+
+/// A parsed `WITH EXPANSION (budget = …, mode = …, quality >= …)` suffix
+/// clause: the per-query expansion policy expressed in SQL itself.
+///
+/// Every setting is optional; the crowd layer fills unset fields from the
+/// session defaults.  The clause renders back to SQL via [`fmt::Display`],
+/// and `parse(render(clause))` round-trips.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExpansionClause {
+    /// `budget = <dollars>` — the most this query may spend on crowd work.
+    pub budget: Option<f64>,
+    /// `mode = <deny | cache_only | best_effort | full>`.
+    pub mode: Option<ExpansionClauseMode>,
+    /// `quality >= <floor>` — drop crowd verdicts whose inter-worker
+    /// agreement lies below the floor (in `[0, 1]`).
+    pub quality_floor: Option<f64>,
+}
+
+impl ExpansionClause {
+    /// True when no setting was provided.
+    pub fn is_empty(&self) -> bool {
+        self.budget.is_none() && self.mode.is_none() && self.quality_floor.is_none()
+    }
+}
+
+impl fmt::Display for ExpansionClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WITH EXPANSION (")?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            Ok(())
+        };
+        if let Some(budget) = self.budget {
+            sep(f)?;
+            write!(f, "budget = {budget}")?;
+        }
+        if let Some(mode) = self.mode {
+            sep(f)?;
+            write!(f, "mode = {}", mode.as_str())?;
+        }
+        if let Some(floor) = self.quality_floor {
+            sep(f)?;
+            write!(f, "quality >= {floor}")?;
+        }
+        write!(f, ")")
+    }
+}
+
 /// A parsed `SELECT` statement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SelectStatement {
@@ -53,6 +137,9 @@ pub struct SelectStatement {
     pub order_by: Option<OrderBy>,
     /// Optional `LIMIT` clause.
     pub limit: Option<usize>,
+    /// Optional `WITH EXPANSION (…)` suffix clause carrying the per-query
+    /// expansion policy.
+    pub expansion: Option<ExpansionClause>,
 }
 
 /// A parsed statement.

@@ -1,7 +1,9 @@
 //! Recursive-descent parser for the SQL subset.
 
 use super::lexer::{tokenize, Token};
-use super::{OrderBy, Projection, SelectStatement, Statement};
+use super::{
+    ExpansionClause, ExpansionClauseMode, OrderBy, Projection, SelectStatement, Statement,
+};
 use crate::error::RelationalError;
 use crate::expr::{BinaryOperator, Expr, UnaryOperator};
 use crate::schema::Column;
@@ -191,13 +193,149 @@ impl Parser {
         } else {
             None
         };
+        let expansion = if self.consume_keyword_if("WITH") {
+            // `expansion` is a contextual keyword: it lexes as a plain
+            // identifier so schemas may still use it as a name.
+            match self.advance() {
+                Some(Token::Identifier(word)) if word == "expansion" => {}
+                other => {
+                    return Err(RelationalError::Parse(format!(
+                        "expected EXPANSION after WITH, found {other:?}"
+                    )))
+                }
+            }
+            Some(self.expansion_clause()?)
+        } else {
+            None
+        };
         Ok(Statement::Select(SelectStatement {
             projection,
             table,
             filter,
             order_by,
             limit,
+            expansion,
         }))
+    }
+
+    /// The parenthesized setting list of a `WITH EXPANSION (…)` clause.
+    fn expansion_clause(&mut self) -> Result<ExpansionClause> {
+        self.expect(&Token::LeftParen)?;
+        let mut clause = ExpansionClause::default();
+        // An empty setting list is a valid no-op clause — it is what an
+        // `ExpansionClause::default()` renders to, and parse(render(c))
+        // must round-trip for every clause value.
+        if self.consume_if(&Token::RightParen) {
+            return Ok(clause);
+        }
+        loop {
+            let key = match self.advance() {
+                Some(Token::Identifier(key)) => key,
+                other => {
+                    return Err(RelationalError::Parse(format!(
+                        "expected a WITH EXPANSION key (budget, mode, or quality), found {other:?}"
+                    )))
+                }
+            };
+            match key.as_str() {
+                "budget" => {
+                    if clause.budget.is_some() {
+                        return Err(RelationalError::Parse(
+                            "duplicate budget in WITH EXPANSION".into(),
+                        ));
+                    }
+                    self.expect(&Token::Eq)?;
+                    clause.budget = Some(self.non_negative_number("budget")?);
+                }
+                "mode" => {
+                    self.expect(&Token::Eq)?;
+                    let name = match self.advance() {
+                        Some(Token::Identifier(name)) => name,
+                        other => {
+                            return Err(RelationalError::Parse(format!(
+                                "expected an expansion mode after 'mode =', found {other:?}"
+                            )))
+                        }
+                    };
+                    let mode = match name.as_str() {
+                        "deny" => ExpansionClauseMode::Deny,
+                        "cache_only" => ExpansionClauseMode::CacheOnly,
+                        "best_effort" => ExpansionClauseMode::BestEffort,
+                        "full" => ExpansionClauseMode::Full,
+                        other => {
+                            return Err(RelationalError::Parse(format!(
+                                "unknown expansion mode '{other}' \
+                                 (expected deny, cache_only, best_effort, or full)"
+                            )))
+                        }
+                    };
+                    match clause.mode {
+                        Some(previous) if previous != mode => {
+                            return Err(RelationalError::Parse(format!(
+                                "conflicting expansion modes '{}' and '{}'",
+                                previous.as_str(),
+                                mode.as_str()
+                            )))
+                        }
+                        Some(_) => {
+                            return Err(RelationalError::Parse(
+                                "duplicate mode in WITH EXPANSION".into(),
+                            ))
+                        }
+                        None => clause.mode = Some(mode),
+                    }
+                }
+                "quality" => {
+                    if clause.quality_floor.is_some() {
+                        return Err(RelationalError::Parse(
+                            "duplicate quality in WITH EXPANSION".into(),
+                        ));
+                    }
+                    // `quality >= 0.8` reads like the predicate it enforces;
+                    // `quality = 0.8` is accepted as a synonym.
+                    if !self.consume_if(&Token::GtEq) && !self.consume_if(&Token::Eq) {
+                        return Err(RelationalError::Parse(format!(
+                            "expected '>=' or '=' after quality, found {:?}",
+                            self.peek()
+                        )));
+                    }
+                    let floor = self.non_negative_number("quality")?;
+                    if floor > 1.0 {
+                        return Err(RelationalError::Parse(format!(
+                            "quality floor must lie in [0, 1], got {floor}"
+                        )));
+                    }
+                    clause.quality_floor = Some(floor);
+                }
+                other => {
+                    return Err(RelationalError::Parse(format!(
+                        "unknown WITH EXPANSION key '{other}' \
+                         (expected budget, mode, or quality)"
+                    )))
+                }
+            }
+            if !self.consume_if(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RightParen)?;
+        Ok(clause)
+    }
+
+    /// A non-negative numeric literal; negative values are rejected with a
+    /// message naming the offending setting.
+    fn non_negative_number(&mut self, setting: &str) -> Result<f64> {
+        match self.advance() {
+            Some(Token::Number(n)) => n
+                .parse::<f64>()
+                .map_err(|_| RelationalError::Parse(format!("invalid number: {n}"))),
+            Some(Token::Minus) => Err(RelationalError::Parse(format!(
+                "{setting} must be non-negative"
+            ))),
+            other => Err(RelationalError::Parse(format!(
+                "expected a number for {setting}, found {other:?}"
+            ))),
+        }
     }
 
     fn insert(&mut self) -> Result<Statement> {
@@ -559,6 +697,143 @@ mod tests {
     fn trailing_semicolon_is_accepted() {
         assert!(parse("SELECT * FROM t;").is_ok());
         assert!(parse("SELECT * FROM t; SELECT * FROM u").is_err());
+    }
+
+    fn select_expansion(sql: &str) -> ExpansionClause {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => s.expansion.unwrap(),
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    fn parse_error(sql: &str) -> String {
+        match parse(sql).unwrap_err() {
+            RelationalError::Parse(msg) => msg,
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_expansion_clause_parses_all_settings() {
+        let clause = select_expansion(
+            "SELECT name FROM movies WHERE is_comedy = true \
+             WITH EXPANSION (budget = 12.5, mode = best_effort, quality >= 0.8)",
+        );
+        assert_eq!(clause.budget, Some(12.5));
+        assert_eq!(clause.mode, Some(ExpansionClauseMode::BestEffort));
+        assert_eq!(clause.quality_floor, Some(0.8));
+        // Settings are optional and order-free; `quality =` is a synonym.
+        let clause = select_expansion(
+            "SELECT * FROM t ORDER BY x LIMIT 3 WITH EXPANSION (quality = 0.9, mode = deny)",
+        );
+        assert_eq!(clause.budget, None);
+        assert_eq!(clause.mode, Some(ExpansionClauseMode::Deny));
+        assert_eq!(clause.quality_floor, Some(0.9));
+        for (name, mode) in [
+            ("deny", ExpansionClauseMode::Deny),
+            ("cache_only", ExpansionClauseMode::CacheOnly),
+            ("best_effort", ExpansionClauseMode::BestEffort),
+            ("full", ExpansionClauseMode::Full),
+        ] {
+            let clause =
+                select_expansion(&format!("SELECT * FROM t WITH EXPANSION (mode = {name})"));
+            assert_eq!(clause.mode, Some(mode));
+        }
+    }
+
+    #[test]
+    fn with_expansion_clause_round_trips_through_display() {
+        for sql in [
+            "SELECT * FROM t WITH EXPANSION (budget = 12.5, mode = best_effort, quality >= 0.8)",
+            "SELECT * FROM t WITH EXPANSION (mode = cache_only)",
+            "SELECT * FROM t WITH EXPANSION (budget = 0.4)",
+            "SELECT * FROM t WITH EXPANSION (quality >= 1)",
+            "SELECT * FROM t WITH EXPANSION ()",
+        ] {
+            let clause = select_expansion(sql);
+            let rendered = format!("SELECT * FROM t {clause}");
+            assert_eq!(
+                select_expansion(&rendered),
+                clause,
+                "clause of {sql:?} did not survive the {rendered:?} round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn with_expansion_rejects_unknown_keys_and_modes() {
+        let msg = parse_error("SELECT * FROM t WITH EXPANSION (price = 3)");
+        assert!(msg.contains("unknown WITH EXPANSION key 'price'"), "{msg}");
+        assert!(msg.contains("budget, mode, or quality"), "{msg}");
+        let msg = parse_error("SELECT * FROM t WITH EXPANSION (mode = cheap)");
+        assert!(msg.contains("unknown expansion mode 'cheap'"), "{msg}");
+        assert!(msg.contains("best_effort"), "{msg}");
+    }
+
+    #[test]
+    fn with_expansion_rejects_negative_and_out_of_range_values() {
+        let msg = parse_error("SELECT * FROM t WITH EXPANSION (budget = -5)");
+        assert!(msg.contains("budget must be non-negative"), "{msg}");
+        let msg = parse_error("SELECT * FROM t WITH EXPANSION (quality >= -0.1)");
+        assert!(msg.contains("quality must be non-negative"), "{msg}");
+        let msg = parse_error("SELECT * FROM t WITH EXPANSION (quality >= 1.5)");
+        assert!(msg.contains("quality floor must lie in [0, 1]"), "{msg}");
+    }
+
+    #[test]
+    fn with_expansion_rejects_conflicting_and_duplicate_settings() {
+        let msg = parse_error("SELECT * FROM t WITH EXPANSION (mode = deny, mode = best_effort)");
+        assert!(
+            msg.contains("conflicting expansion modes 'deny' and 'best_effort'"),
+            "{msg}"
+        );
+        let msg = parse_error("SELECT * FROM t WITH EXPANSION (mode = full, mode = full)");
+        assert!(msg.contains("duplicate mode"), "{msg}");
+        let msg = parse_error("SELECT * FROM t WITH EXPANSION (budget = 1, budget = 2)");
+        assert!(msg.contains("duplicate budget"), "{msg}");
+        let msg = parse_error("SELECT * FROM t WITH EXPANSION (quality >= 0.5, quality >= 0.6)");
+        assert!(msg.contains("duplicate quality"), "{msg}");
+    }
+
+    #[test]
+    fn with_expansion_empty_clause_is_a_valid_no_op() {
+        let clause = select_expansion("SELECT * FROM t WITH EXPANSION ()");
+        assert!(clause.is_empty());
+        assert_eq!(clause, ExpansionClause::default());
+    }
+
+    #[test]
+    fn expansion_stays_usable_as_an_ordinary_identifier() {
+        // `expansion` is a contextual keyword (only after WITH): schemas
+        // that already use the name keep working.
+        match parse("SELECT expansion FROM t WHERE expansion > 1").unwrap() {
+            Statement::Select(s) => {
+                assert_eq!(s.projection, Projection::Columns(vec!["expansion".into()]));
+                assert!(s.filter.is_some());
+            }
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+        match parse("CREATE TABLE expansion (expansion INTEGER)").unwrap() {
+            Statement::CreateTable { table, columns } => {
+                assert_eq!(table, "expansion");
+                assert_eq!(columns[0].name, "expansion");
+            }
+            other => panic!("expected CREATE TABLE, got {other:?}"),
+        }
+        // But after WITH it introduces the clause, and nothing else does.
+        let msg = parse_error("SELECT * FROM t WITH budget (x = 1)");
+        assert!(msg.contains("expected EXPANSION after WITH"), "{msg}");
+    }
+
+    #[test]
+    fn with_expansion_malformed_clauses_are_rejected() {
+        assert!(parse("SELECT * FROM t WITH EXPANSION").is_err());
+        assert!(parse("SELECT * FROM t WITH EXPANSION (budget)").is_err());
+        assert!(parse("SELECT * FROM t WITH EXPANSION (budget = )").is_err());
+        assert!(parse("SELECT * FROM t WITH EXPANSION (mode = best_effort").is_err());
+        assert!(parse("SELECT * FROM t WITH (budget = 1)").is_err());
+        // The clause is a suffix: nothing may follow it.
+        assert!(parse("SELECT * FROM t WITH EXPANSION (budget = 1) LIMIT 2").is_err());
     }
 
     #[test]

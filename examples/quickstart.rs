@@ -4,7 +4,9 @@
 //! factual attributes, the query asks `WHERE is_comedy = true`, and the
 //! crowd-enabled database expands the schema at query time — crowd-sourcing
 //! only a small gold sample and extrapolating the rest from the perceptual
-//! space built out of user ratings.
+//! space built out of user ratings.  The query runs through the typed
+//! `Session` API, so the outcome carries the effective expansion policy,
+//! the crowd cost actually paid, and per-cell provenance.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -47,46 +49,75 @@ fn main() {
     db.register_attribute("movies", "is_comedy", "Comedy")
         .expect("register attribute");
 
-    // 4. The query references `is_comedy`, which does not exist yet.
+    // 4. The query references `is_comedy`, which does not exist yet.  The
+    //    session API makes the expansion trade-off explicit: this query
+    //    runs under the default `Full` policy, but the same builder takes
+    //    `.budget(…)`, `.mode(…)`, and `.quality_floor(…)` — or the policy
+    //    can live in the SQL itself as a
+    //    `WITH EXPANSION (budget = …, mode = best_effort)` suffix.
     let sql = "SELECT name, year FROM movies WHERE is_comedy = true ORDER BY year DESC LIMIT 10";
     println!("\nExecuting: {sql}");
-    let result = db.execute(sql).expect("query execution");
+    let outcome = db
+        .query(sql)
+        .mode(ExpansionMode::Full)
+        .run()
+        .expect("query execution");
+    let result = outcome.rows().expect("a SELECT returns rows");
 
     println!("\nTop comedies according to the expanded schema:");
-    for row in &result.rows {
+    for (row, provenance) in result.rows.iter().zip(&result.provenance) {
         println!(
-            "  {:<28} ({})",
+            "  {:<28} ({})  [is_comedy drove the filter; name is {:?}]",
             row[0].to_string().trim_matches('\''),
-            row[1]
+            row[1],
+            provenance[0]
         );
     }
 
-    // 5. What did the expansion cost?
-    let events = db.expansion_events();
-    let event = &events[0];
-    println!("\nSchema expansion report");
-    println!("  strategy          : {}", event.report.strategy);
+    // 5. What did the expansion cost?  The outcome aggregates the spend;
+    //    the per-attribute reports carry the detail.
+    println!("\nSchema expansion outcome");
     println!(
-        "  items crowd-sourced: {}",
-        event.report.items_crowd_sourced
+        "  policy             : mode = {}",
+        outcome.policy.mode.name()
     );
-    println!(
-        "  judgments collected: {}",
-        event.report.judgments_collected
-    );
-    println!("  crowd cost         : ${:.2}", event.report.crowd_cost);
+    println!("  crowd cost paid    : ${:.2}", outcome.crowd_cost);
+    let report = &outcome.reports[0];
+    println!("  strategy           : {}", report.strategy);
+    println!("  items crowd-sourced: {}", report.items_crowd_sourced);
+    println!("  judgments collected: {}", report.judgments_collected);
     println!(
         "  crowd time         : {:.0} simulated minutes",
-        event.report.crowd_minutes
+        report.crowd_minutes
     );
-    println!("  training set size  : {}", event.report.training_set_size);
+    println!("  training set size  : {}", report.training_set_size);
     println!(
         "  rows filled        : {} / {}",
-        event.report.rows_filled,
-        event.report.rows_filled + event.report.rows_unfilled
+        report.rows_filled,
+        report.rows_filled + report.rows_unfilled
     );
 
-    // 6. Compare against the ground truth the generator planted.
+    // 6. A follow-up over the materialized column is free — and a
+    //    cache-only session proves it: zero crowd cost, served provenance.
+    let outcome = db
+        .query("SELECT item_id, is_comedy FROM movies LIMIT 5 WITH EXPANSION (mode = cache_only)")
+        .run()
+        .expect("cache-only query");
+    println!(
+        "\nCache-only follow-up (zero crowd cost): ${:.2}",
+        outcome.crowd_cost
+    );
+    let rows = outcome.rows().unwrap();
+    for (row, provenance) in rows.rows.iter().zip(&rows.provenance) {
+        println!(
+            "  item {:>4}  is_comedy = {:<7}  provenance = {:?}",
+            row[0],
+            row[1].to_string(),
+            provenance[1]
+        );
+    }
+
+    // 7. Compare against the ground truth the generator planted.
     let truth = domain.labels_for_category(domain.category_index("Comedy").unwrap());
     let catalog = db.catalog();
     let table = catalog.table("movies").unwrap();

@@ -44,9 +44,10 @@ pub mod prelude {
     pub use crowddb_core::{
         audit_binary_labels, build_space_for_domain, evaluate_boost_over_time,
         extract_binary_attribute, extract_numeric_attribute, repair_labels, AttributeRequest,
-        AuditOutcome, BoostCurve, CacheStats, CrowdDb, CrowdDbConfig, CrowdDbError, CrowdSource,
-        ExpansionPlan, ExpansionReport, ExpansionStrategy, ExtractionConfig, JudgmentCache,
-        RepairOutcome, SimulatedCrowd,
+        AuditOutcome, BoostCurve, CacheStats, CellProvenance, CrowdDb, CrowdDbConfig, CrowdDbError,
+        CrowdSource, ExpansionMode, ExpansionPlan, ExpansionPolicy, ExpansionReport,
+        ExpansionStrategy, ExtractionConfig, JudgmentCache, MissingReason, QueryBuilder,
+        QueryOutcome, RepairOutcome, RowSet, Session, SimulatedCrowd, StatementResult,
     };
     pub use crowdsim::{
         majority_vote, CrowdPlatform, CrowdRun, ExperimentRegime, HitConfig, Judgment,

@@ -1,0 +1,554 @@
+//! End-to-end tests of per-query expansion policies: budgets enforced
+//! mid-plan against the crowd platform's *real* charges, per-cell
+//! provenance, cache-only serving, deny mode, quality floors, and the
+//! cross-query owner-pays rule under coalescing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crowddb::prelude::*;
+use crowdsim::{BatchCrowdRun, CrowdRun};
+
+/// A gate the test holds closed while worker threads pile up on the same
+/// acquisition, making the contention deterministic instead of timing-based.
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    signal: Condvar,
+}
+
+impl Gate {
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.signal.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.signal.wait(open).unwrap();
+        }
+    }
+}
+
+/// Wraps a [`SimulatedCrowd`], counting rounds, accumulating the dollars the
+/// platform really charged, and (optionally) parking dispatches on a gate.
+struct MeteredCrowd {
+    inner: SimulatedCrowd,
+    batch_calls: Arc<AtomicUsize>,
+    dollars_charged: Arc<Mutex<f64>>,
+    gate: Option<Arc<Gate>>,
+}
+
+impl CrowdSource for MeteredCrowd {
+    fn collect(
+        &mut self,
+        items: &[u32],
+        attribute: &str,
+        seed: u64,
+    ) -> Result<CrowdRun, CrowdDbError> {
+        self.inner.collect(items, attribute, seed)
+    }
+
+    fn collect_batch(
+        &mut self,
+        requests: &[AttributeRequest],
+        seed: u64,
+    ) -> Result<BatchCrowdRun, CrowdDbError> {
+        self.batch_calls.fetch_add(1, Ordering::SeqCst);
+        if let Some(gate) = &self.gate {
+            gate.wait_open();
+        }
+        let batch = self.inner.collect_batch(requests, seed)?;
+        *self.dollars_charged.lock().unwrap() += batch.total_cost;
+        Ok(batch)
+    }
+
+    fn estimate_cost(&self, n_items: usize) -> Option<f64> {
+        self.inner.estimate_cost(n_items)
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+}
+
+struct Setup {
+    db: CrowdDb,
+    batch_calls: Arc<AtomicUsize>,
+    dollars_charged: Arc<Mutex<f64>>,
+    n_items: usize,
+}
+
+fn setup(strategy: ExpansionStrategy, regime: ExperimentRegime, gate: Option<Arc<Gate>>) -> Setup {
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.05), 404).unwrap();
+    let space = build_space_for_domain(&domain, 8, 10).unwrap();
+    let n_items = domain.items().len();
+    let batch_calls = Arc::new(AtomicUsize::new(0));
+    let dollars_charged = Arc::new(Mutex::new(0.0));
+    let crowd = MeteredCrowd {
+        inner: SimulatedCrowd::new(&domain, regime, 31),
+        batch_calls: batch_calls.clone(),
+        dollars_charged: dollars_charged.clone(),
+        gate,
+    };
+    let db = CrowdDb::new(CrowdDbConfig {
+        strategy,
+        ..Default::default()
+    });
+    db.load_domain("movies", &domain, space, Box::new(crowd))
+        .unwrap();
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
+    Setup {
+        db,
+        batch_calls,
+        dollars_charged,
+        n_items,
+    }
+}
+
+fn charged(s: &Setup) -> f64 {
+    *s.dollars_charged.lock().unwrap()
+}
+
+/// The acceptance scenario: one SQL string with a `WITH EXPANSION` budget
+/// demonstrably stops crowd spending at the budget (asserted against the
+/// platform's real charges), leaves `Missing`-provenance cells for the
+/// unexpanded items, and a follow-up cache-only query serves the purchased
+/// judgments at zero additional cost.
+#[test]
+fn sql_budget_stops_crowd_spending_and_cache_only_serves_the_rest() {
+    let s = setup(
+        ExpansionStrategy::DirectCrowd,
+        ExperimentRegime::TrustedWorkers,
+        None,
+    );
+    // Trusted-worker pricing: a 10-item group costs 10 HITs x $0.02 = $0.20,
+    // so $0.40 pays for exactly 20 of the 100 items — per the platform's
+    // own budget-inversion primitive, which is the expectation the test
+    // holds the database to.
+    let budget = 0.4;
+    let pricing = ExperimentRegime::TrustedWorkers.hit_config(0);
+    let affordable = pricing.max_items_within_budget(budget);
+    assert_eq!(affordable, 20);
+    let outcome =
+        s.db.query(format!(
+            "SELECT item_id, is_comedy FROM movies \
+             WITH EXPANSION (budget = {budget}, mode = best_effort)"
+        ))
+        .run()
+        .unwrap();
+
+    // Spending stopped at the budget — per the crowd platform's own meter,
+    // not the database's bookkeeping — and the outcome agrees with it.
+    let really_charged = charged(&s);
+    assert!(really_charged > 0.0, "some crowd work was paid for");
+    assert!(
+        really_charged <= budget + 1e-9,
+        "platform charged ${really_charged} over the ${budget} budget"
+    );
+    assert!((outcome.crowd_cost - really_charged).abs() < 1e-9);
+    assert_eq!(outcome.policy.mode, ExpansionMode::BestEffort);
+
+    // The report says what was bought and what the budget refused.
+    assert_eq!(outcome.reports.len(), 1);
+    let report = &outcome.reports[0];
+    assert_eq!(report.items_crowd_sourced, affordable);
+    assert_eq!(report.items_dropped, s.n_items - affordable);
+    assert!((report.crowd_cost - really_charged).abs() < 1e-9);
+
+    // Per-cell provenance: every row is returned; acquired items carry
+    // crowd-derived verdicts (or an explicit tie marker), the rest are
+    // budget-exhausted holes.
+    let rows = outcome.rows().expect("reads return rows");
+    assert_eq!(rows.rows.len(), s.n_items, "partial columns, full rows");
+    let mut derived = 0;
+    let mut ties = 0;
+    let mut exhausted = 0;
+    for (row, provenance) in rows.rows.iter().zip(&rows.provenance) {
+        match provenance[1] {
+            CellProvenance::CrowdDerived {
+                confidence,
+                cost_share,
+            } => {
+                derived += 1;
+                assert!(confidence > 0.5 && confidence <= 1.0);
+                assert!(cost_share > 0.0);
+                assert!(matches!(row[1], Value::Boolean(_)));
+            }
+            CellProvenance::Missing {
+                reason: MissingReason::NoMajority,
+            } => {
+                ties += 1;
+                assert_eq!(row[1], Value::Null);
+            }
+            CellProvenance::Missing {
+                reason: MissingReason::BudgetExhausted,
+            } => {
+                exhausted += 1;
+                assert_eq!(row[1], Value::Null);
+            }
+            ref other => panic!("unexpected provenance {other:?}"),
+        }
+    }
+    assert_eq!(
+        derived + ties,
+        affordable,
+        "exactly the budgeted items were judged"
+    );
+    assert_eq!(exhausted, s.n_items - affordable);
+
+    // Follow-up cache-only query: the purchased judgments are served at
+    // zero additional cost — the platform's meter does not move.
+    let rounds_before = s.batch_calls.load(Ordering::SeqCst);
+    let followup =
+        s.db.query("SELECT item_id, is_comedy FROM movies WITH EXPANSION (mode = cache_only)")
+            .run()
+            .unwrap();
+    assert_eq!(s.batch_calls.load(Ordering::SeqCst), rounds_before);
+    assert!((charged(&s) - really_charged).abs() < 1e-12, "no new spend");
+    assert_eq!(followup.crowd_cost, 0.0);
+    let cached_rows = followup.rows().unwrap();
+    let mut cache_hits = 0;
+    for (row, (prev_row, provenance)) in rows
+        .rows
+        .iter()
+        .zip(cached_rows.rows.iter().zip(&cached_rows.provenance))
+    {
+        // The same values as the budgeted query materialized…
+        assert_eq!(row[1], prev_row[1]);
+        // …now attributed to the cache, with the holes re-labeled as
+        // cache misses of a cache-only query.
+        match provenance[1] {
+            CellProvenance::CacheHit { .. } => cache_hits += 1,
+            CellProvenance::Missing {
+                reason: MissingReason::NoCachedJudgment | MissingReason::NoMajority,
+            } => {}
+            ref other => panic!("unexpected provenance {other:?}"),
+        }
+    }
+    assert_eq!(cache_hits, derived);
+
+    // A later unbudgeted query pays exactly for the remainder and completes
+    // the column; after that, no further expansion is triggered.
+    let completion =
+        s.db.query("SELECT item_id, is_comedy FROM movies")
+            .run()
+            .unwrap();
+    assert_eq!(completion.reports.len(), 1, "incomplete column re-expanded");
+    let total_now = charged(&s);
+    assert!(total_now > really_charged, "the remainder was paid for");
+    assert!((completion.crowd_cost - (total_now - really_charged)).abs() < 1e-9);
+    assert_eq!(
+        completion.rows().unwrap().missing_cells(),
+        completion
+            .rows()
+            .unwrap()
+            .provenance
+            .iter()
+            .filter(|row| {
+                matches!(
+                    row[1],
+                    CellProvenance::Missing {
+                        reason: MissingReason::NoMajority
+                    }
+                )
+            })
+            .count(),
+        "only ties may remain missing"
+    );
+    let rounds_after = s.batch_calls.load(Ordering::SeqCst);
+    s.db.query("SELECT item_id, is_comedy FROM movies")
+        .run()
+        .unwrap();
+    assert_eq!(s.batch_calls.load(Ordering::SeqCst), rounds_after);
+}
+
+/// The budget is enforced per query, not per concept: a budgeted best-effort
+/// query that *joins* another query's in-flight round gets that round's
+/// verdicts for free — none of it counts against its own budget.
+#[test]
+fn coalesced_best_effort_query_is_not_charged_for_the_round_it_joined() {
+    let gate = Arc::new(Gate::default());
+    let s = setup(
+        ExpansionStrategy::PerceptualSpace {
+            gold_sample_size: 40,
+            extraction: ExtractionConfig::default(),
+        },
+        ExperimentRegime::TrustedWorkers,
+        Some(gate.clone()),
+    );
+    // Far below one round's price: alone, this query could buy nothing.
+    let tiny_budget = 0.05;
+
+    let (full_outcome, best_effort_outcome) = std::thread::scope(|scope| {
+        let owner = scope.spawn(|| {
+            s.db.query("SELECT item_id FROM movies WHERE is_comedy = true")
+                .run()
+                .unwrap()
+        });
+        // Wait until the owner is parked inside its crowd dispatch…
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while s.batch_calls.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "round never started");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // …then race a budgeted query into the same acquisition.
+        let joiner = scope.spawn(|| {
+            s.db.query("SELECT item_id FROM movies WHERE is_comedy = true")
+                .budget(tiny_budget)
+                .run()
+                .unwrap()
+        });
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while s.db.inflight_stats().coalesced == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "the budgeted query never coalesced: {:?}",
+                s.db.inflight_stats()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        gate.open();
+        (owner.join().unwrap(), joiner.join().unwrap())
+    });
+
+    // One crowd round; the full query owned and paid for it.
+    assert_eq!(s.batch_calls.load(Ordering::SeqCst), 1);
+    assert!((full_outcome.crowd_cost - charged(&s)).abs() < 1e-9);
+    assert!(
+        full_outcome.crowd_cost > tiny_budget,
+        "the round cost more than the joiner's budget"
+    );
+
+    // The joiner paid nothing, reported the coalescion, and still got a
+    // fully expanded column — its budget never came into play.
+    assert_eq!(best_effort_outcome.crowd_cost, 0.0);
+    assert_eq!(best_effort_outcome.policy.budget, Some(tiny_budget));
+    let report = &best_effort_outcome.reports[0];
+    assert_eq!(report.crowd_cost, 0.0);
+    assert!(report.items_coalesced > 0);
+    assert_eq!(report.items_dropped, 0, "nothing was budget-denied");
+    assert_eq!(
+        best_effort_outcome.rows().unwrap().rows.len(),
+        full_outcome.rows().unwrap().rows.len()
+    );
+}
+
+#[test]
+fn deny_mode_refuses_expansion_in_sql_and_builder_form() {
+    let s = setup(
+        ExpansionStrategy::DirectCrowd,
+        ExperimentRegime::TrustedWorkers,
+        None,
+    );
+    let err =
+        s.db.query("SELECT name FROM movies WHERE is_comedy = true WITH EXPANSION (mode = deny)")
+            .run()
+            .unwrap_err();
+    match err {
+        CrowdDbError::ExpansionDenied { table, columns } => {
+            assert_eq!(table, "movies");
+            assert_eq!(columns, vec!["is_comedy".to_string()]);
+        }
+        other => panic!("expected ExpansionDenied, got {other:?}"),
+    }
+    let err =
+        s.db.query("SELECT name FROM movies WHERE is_comedy = true")
+            .mode(ExpansionMode::Deny)
+            .run()
+            .unwrap_err();
+    assert!(matches!(err, CrowdDbError::ExpansionDenied { .. }));
+    // The explicit expansion entry point honors deny too.
+    let err =
+        s.db.expand_columns_with_policy(
+            "movies",
+            &["is_comedy".to_string()],
+            &ExpansionPolicy::deny(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, CrowdDbError::ExpansionDenied { .. }));
+    // Nothing was dispatched or paid for.
+    assert_eq!(s.batch_calls.load(Ordering::SeqCst), 0);
+    assert_eq!(charged(&s), 0.0);
+    // Queries over existing columns still run under deny.
+    let outcome =
+        s.db.query("SELECT name FROM movies WHERE year > 2000 WITH EXPANSION (mode = deny)")
+            .run()
+            .unwrap();
+    assert!(outcome.rows().is_some());
+}
+
+#[test]
+fn cache_only_on_a_cold_database_serves_nulls_without_dispatching() {
+    let s = setup(
+        ExpansionStrategy::DirectCrowd,
+        ExperimentRegime::TrustedWorkers,
+        None,
+    );
+    let outcome =
+        s.db.query("SELECT item_id, is_comedy FROM movies WITH EXPANSION (mode = cache_only)")
+            .run()
+            .unwrap();
+    assert_eq!(s.batch_calls.load(Ordering::SeqCst), 0, "no crowd work");
+    assert_eq!(charged(&s), 0.0);
+    assert_eq!(outcome.crowd_cost, 0.0);
+    let rows = outcome.rows().unwrap();
+    assert_eq!(rows.rows.len(), s.n_items);
+    for (row, provenance) in rows.rows.iter().zip(&rows.provenance) {
+        assert_eq!(row[1], Value::Null);
+        assert_eq!(
+            provenance[1],
+            CellProvenance::Missing {
+                reason: MissingReason::NoCachedJudgment
+            }
+        );
+    }
+    assert_eq!(outcome.reports[0].items_dropped, s.n_items);
+
+    // A write that merely names the incomplete column must not pay the
+    // crowd to fill holes it is about to overwrite.
+    let write =
+        s.db.query("UPDATE movies SET is_comedy = false WHERE year < 1950")
+            .run()
+            .unwrap();
+    assert!(write.reports.is_empty());
+    assert_eq!(write.crowd_cost, 0.0);
+    assert_eq!(s.batch_calls.load(Ordering::SeqCst), 0);
+
+    // The column now exists but is marked incomplete: a paying query later
+    // fills it instead of trusting the empty materialization forever.
+    let paid =
+        s.db.query("SELECT item_id, is_comedy FROM movies")
+            .run()
+            .unwrap();
+    assert!(paid.crowd_cost > 0.0);
+    assert!(paid.rows().unwrap().missing_cells() < s.n_items);
+}
+
+#[test]
+fn quality_floor_drops_low_agreement_verdicts_with_provenance() {
+    // A spam-heavy crowd produces plenty of low-agreement verdicts.
+    let s = setup(
+        ExpansionStrategy::DirectCrowd,
+        ExperimentRegime::AllWorkers,
+        None,
+    );
+    let outcome =
+        s.db.query(
+            "SELECT item_id, is_comedy FROM movies \
+             WITH EXPANSION (mode = full, quality >= 0.95)",
+        )
+        .run()
+        .unwrap();
+    assert_eq!(outcome.policy.quality_floor, Some(0.95));
+    let rows = outcome.rows().unwrap();
+    let mut below_floor = 0;
+    for provenance in rows.provenance.iter() {
+        match provenance[1] {
+            CellProvenance::CrowdDerived { confidence, .. } => {
+                assert!(confidence >= 0.95, "floor violated: {confidence}");
+            }
+            CellProvenance::Missing {
+                reason: MissingReason::BelowQualityFloor,
+            } => below_floor += 1,
+            CellProvenance::Missing {
+                reason: MissingReason::NoMajority,
+            } => {}
+            ref other => panic!("unexpected provenance {other:?}"),
+        }
+    }
+    assert!(
+        below_floor > 0,
+        "an all-workers crowd should produce sub-0.95-agreement verdicts"
+    );
+
+    // The floor is a per-query *view* filter, not a global data decision:
+    // a later query without the floor sees every materialized verdict at
+    // zero extra cost, and the floor applies even to columns materialized
+    // long ago (no re-expansion is needed to enforce it).
+    let spent_before = charged(&s);
+    let unfloored =
+        s.db.query("SELECT item_id, is_comedy FROM movies")
+            .run()
+            .unwrap();
+    assert_eq!(charged(&s), spent_before, "materialized verdicts are free");
+    let unfloored_rows = unfloored.rows().unwrap();
+    assert_eq!(
+        unfloored_rows.missing_cells() + below_floor,
+        rows.missing_cells(),
+        "every floored cell reappears without the floor"
+    );
+    assert!(!unfloored_rows.provenance.iter().any(|row| {
+        matches!(
+            row[1],
+            CellProvenance::Missing {
+                reason: MissingReason::BelowQualityFloor
+            }
+        )
+    }));
+
+    // And a floored query over the already-materialized column still
+    // honors the floor — enforcement does not depend on expansion running.
+    let refloored =
+        s.db.query("SELECT item_id, is_comedy FROM movies")
+            .quality_floor(0.95)
+            .run()
+            .unwrap();
+    assert_eq!(charged(&s), spent_before);
+    assert!(refloored.reports.is_empty(), "no re-expansion needed");
+    assert_eq!(
+        refloored.rows().unwrap().missing_cells(),
+        rows.missing_cells()
+    );
+}
+
+#[test]
+fn policy_merging_and_validation() {
+    let s = setup(
+        ExpansionStrategy::DirectCrowd,
+        ExperimentRegime::TrustedWorkers,
+        None,
+    );
+    // A builder budget implies best-effort…
+    let outcome =
+        s.db.query("SELECT item_id, is_comedy FROM movies")
+            .budget(0.2)
+            .run()
+            .unwrap();
+    assert_eq!(outcome.policy.mode, ExpansionMode::BestEffort);
+    assert_eq!(outcome.policy.budget, Some(0.2));
+    // …and SQL settings override the builder's.
+    let outcome =
+        s.db.query("SELECT item_id, is_comedy FROM movies WITH EXPANSION (budget = 0.4)")
+            .budget(0.2)
+            .run()
+            .unwrap();
+    assert_eq!(outcome.policy.budget, Some(0.4));
+    // Contradictions are rejected before any crowd work.
+    let rounds = s.batch_calls.load(Ordering::SeqCst);
+    let err =
+        s.db.query("SELECT item_id FROM movies")
+            .mode(ExpansionMode::CacheOnly)
+            .budget(1.0)
+            .run()
+            .unwrap_err();
+    assert!(matches!(err, CrowdDbError::Configuration(_)));
+    assert_eq!(s.batch_calls.load(Ordering::SeqCst), rounds);
+
+    // Sessions hand their defaults to every query they build.
+    let session = s.db.session().with_defaults(ExpansionPolicy::cache_only());
+    let outcome = session.query("SELECT item_id FROM movies").run().unwrap();
+    assert_eq!(outcome.policy.mode, ExpansionMode::CacheOnly);
+
+    // Writes run through the policy path too and report a mutation count
+    // instead of rows.
+    let outcome =
+        s.db.query("UPDATE movies SET popularity = 0.5 WHERE year < 1960")
+            .run()
+            .unwrap();
+    assert!(outcome.rows().is_none());
+    assert!(outcome.rows_affected().is_some());
+}
