@@ -25,6 +25,24 @@ pub struct AttributeRequest {
     pub items: Vec<u32>,
 }
 
+/// A crowd source's own estimate of the acquisition work still outstanding
+/// for one attribute question — the basis of the completeness estimates on
+/// streaming [`Progress`](crate::QueryEvent::Progress) events, in the
+/// spirit of Trushkowsky et al.'s "Getting It All from the Crowd"
+/// estimators: the crowd itself knows best how much of "all" is reachable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutstandingEstimate {
+    /// Of the outstanding items, how many the source expects to end in a
+    /// decisive answer (an expected value, hence fractional).  Items nobody
+    /// in the worker population is expected to know do not count: they are
+    /// unreachable no matter how much is spent, so a completeness estimate
+    /// built on this figure converges to 1.0 when the *achievable* answer
+    /// is in, not when every row is.
+    pub expected_resolvable: f64,
+    /// Predicted dollars to dispatch the outstanding items.
+    pub estimated_cost: f64,
+}
+
 /// A source of human judgments for a perceptual attribute.
 ///
 /// Sources must be [`Send`]: the database serializes access to each
@@ -93,6 +111,22 @@ pub trait CrowdSource: Send {
     /// [`ExpansionMode::BestEffort`]: crate::ExpansionMode::BestEffort
     fn estimate_cost(&self, n_items: usize) -> Option<f64> {
         let _ = n_items;
+        None
+    }
+
+    /// The source's own estimate of what acquiring `items` for `attribute`
+    /// would still take — expected decisive answers and predicted dollars.
+    ///
+    /// Streaming queries ([`QueryBuilder::stream`]) turn this into the
+    /// `estimated_completeness` / `estimated_remaining_cost` of their
+    /// [`Progress`](crate::QueryEvent::Progress) events.  The default
+    /// declines (`None`); the stream then falls back to assuming every
+    /// outstanding item is resolvable and pricing via
+    /// [`estimate_cost`](CrowdSource::estimate_cost).
+    ///
+    /// [`QueryBuilder::stream`]: crate::QueryBuilder::stream
+    fn estimate_outstanding(&self, attribute: &str, items: &[u32]) -> Option<OutstandingEstimate> {
+        let _ = (attribute, items);
         None
     }
 
@@ -223,6 +257,33 @@ impl CrowdSource for SimulatedCrowd {
     fn estimate_cost(&self, n_items: usize) -> Option<f64> {
         let config = self.regime.hit_config(n_items);
         Some(config.total_cost(n_items))
+    }
+
+    /// The simulator estimates from its own item and round state: each
+    /// outstanding item's chance of a decisive verdict is the chance that
+    /// at least one of its `judgments_per_item` workers knows it (driven by
+    /// the item's familiarity); tasks without a "don't know" option force
+    /// an answer from everyone, so every item resolves.  The cost side is
+    /// the exact deterministic round price.
+    fn estimate_outstanding(&self, attribute: &str, items: &[u32]) -> Option<OutstandingEstimate> {
+        // No ground truth for the attribute → no basis to estimate.
+        self.category_index(attribute).ok()?;
+        let config = self.regime.hit_config(items.len());
+        let expected_resolvable = if config.allow_unknown {
+            items
+                .iter()
+                .map(|&item| {
+                    let familiarity = self.familiarity.get(item as usize).copied().unwrap_or(0.0);
+                    1.0 - (1.0 - familiarity.clamp(0.0, 1.0)).powi(config.judgments_per_item as i32)
+                })
+                .sum()
+        } else {
+            items.len() as f64
+        };
+        Some(OutstandingEstimate {
+            expected_resolvable,
+            estimated_cost: config.total_cost(items.len()),
+        })
     }
 
     fn describe(&self) -> String {
@@ -375,6 +436,42 @@ mod tests {
             }
         }
         assert_eq!(Opaque.estimate_cost(10), None);
+    }
+
+    #[test]
+    fn simulated_crowd_estimates_outstanding_work() {
+        let d = domain();
+        let crowd = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 1);
+        let items: Vec<u32> = (0..30).collect();
+        let estimate = crowd.estimate_outstanding("Comedy", &items).unwrap();
+        // The cost side is the exact deterministic round price…
+        assert!((estimate.estimated_cost - crowd.estimate_cost(items.len()).unwrap()).abs() < 1e-9);
+        // …and with a "don't know" option, not every item is reachable: the
+        // expectation lies strictly between zero and everything (the
+        // long-tail items are unfamiliar to most workers).
+        assert!(estimate.expected_resolvable > 0.0);
+        assert!(estimate.expected_resolvable <= items.len() as f64);
+
+        // Unknown attributes yield no estimate rather than a made-up one.
+        assert!(crowd.estimate_outstanding("Excitement", &items).is_none());
+
+        // Without the unknown option (Experiment 3 config) every worker
+        // answers, so every item is expected to resolve.
+        let lookup = SimulatedCrowd::new(&d, ExperimentRegime::LookupWithGold, 1);
+        let estimate = lookup.estimate_outstanding("Comedy", &items).unwrap();
+        assert!((estimate.expected_resolvable - items.len() as f64).abs() < 1e-12);
+
+        // The trait default declines.
+        struct Opaque;
+        impl CrowdSource for Opaque {
+            fn collect(&mut self, _: &[u32], _: &str, _: u64) -> Result<CrowdRun> {
+                unreachable!()
+            }
+            fn describe(&self) -> String {
+                "opaque".into()
+            }
+        }
+        assert!(Opaque.estimate_outstanding("Comedy", &items).is_none());
     }
 
     #[test]

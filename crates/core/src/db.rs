@@ -38,7 +38,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Mutex, RwLock, RwLockReadGuard};
 
 use crowdsim::majority_vote;
 use datagen::SyntheticDomain;
@@ -46,7 +46,7 @@ use perceptual::{EuclideanEmbeddingConfig, EuclideanEmbeddingModel, ItemId, Perc
 use relational::{executor, sql, Catalog, Column, DataType, QueryResult, Schema, Table, Value};
 
 use crate::cache::{CacheStats, CachedJudgment, JudgmentCache};
-use crate::crowd_source::{AttributeRequest, CrowdSource};
+use crate::crowd_source::{AttributeRequest, CrowdSource, OutstandingEstimate};
 use crate::error::CrowdDbError;
 use crate::expansion::{ExpansionReport, ExpansionStage, ExpansionStrategy};
 use crate::extraction::extract_binary_attribute;
@@ -55,7 +55,9 @@ use crate::materialize::materialize_column;
 use crate::planner::{self, ExpansionPlan, PlanInputs};
 use crate::policy::{ExpansionMode, ExpansionPolicy};
 use crate::provenance::{CellProvenance, MissingReason};
+use crate::scheduler::Scheduler;
 use crate::session::{QueryBuilder, QueryOutcome, RowSet, Session, StatementResult};
+use crate::stream::{EventSink, QueryEvent};
 use crate::Result;
 
 use crate::sync::{mlock, rlock, wlock};
@@ -166,6 +168,9 @@ struct ConceptNeed {
     /// Distinct uncached items, in first-demand order.
     items: Vec<ItemId>,
     item_set: HashSet<ItemId>,
+    /// Items the cache had already answered when the need was formed — the
+    /// baseline the streaming `Progress` events count resolved items from.
+    already_resolved: usize,
 }
 
 /// What the coalescing resolution loop produced for one concept need.
@@ -192,6 +197,15 @@ struct ConceptResolution {
     items_charged: usize,
     /// Items served by another query's in-flight round.
     items_coalesced: usize,
+}
+
+/// One decisive fresh verdict of a crowd round, with the facts a streaming
+/// [`QueryEvent::Delta`] row carries.
+struct RoundVerdict {
+    item: ItemId,
+    verdict: bool,
+    confidence: f64,
+    cost_share: f64,
 }
 
 /// The running spend of one budgeted query, shared across every concept
@@ -224,7 +238,26 @@ impl BudgetLedger {
 /// All methods take `&self`; the database is `Send + Sync` and designed to
 /// be shared across threads.  See the [module documentation](self) for the
 /// locking and coalescing design.
+///
+/// Internally the database is an [`Arc`]-shared state core plus a
+/// background [`Scheduler`]: every query — streaming
+/// ([`QueryBuilder::stream`](crate::QueryBuilder::stream)) or blocking
+/// ([`QueryBuilder::run`](crate::QueryBuilder::run), which is a drain over
+/// the same stream) — executes as one job on the scheduler's worker
+/// threads and reports back over a channel, so crowd work never runs on
+/// the caller's thread.
 pub struct CrowdDb {
+    /// The shared state core.  Scheduler jobs hold their own [`Arc`]
+    /// clones, so in-flight queries outlive any particular borrow of the
+    /// database handle.
+    pub(crate) inner: Arc<DbInner>,
+    /// The background expansion scheduler (see [`crate::scheduler`]).
+    pub(crate) scheduler: Scheduler,
+}
+
+/// The shared state behind a [`CrowdDb`]: everything scheduler jobs need,
+/// behind one [`Arc`].
+pub(crate) struct DbInner {
     config: CrowdDbConfig,
     catalog: RwLock<Catalog>,
     bindings: RwLock<HashMap<String, Arc<TableBinding>>>,
@@ -248,19 +281,27 @@ pub struct CrowdDb {
     incomplete: RwLock<HashSet<(String, String)>>,
 }
 
+/// Core worker threads per database.  The scheduler grows past this
+/// whenever more queries than workers are simultaneously in flight
+/// (coalescing *requires* that) and shrinks back when the burst is over.
+const SCHEDULER_CORE_WORKERS: usize = 2;
+
 impl CrowdDb {
     /// Creates an empty crowd-enabled database.
     pub fn new(config: CrowdDbConfig) -> Self {
         CrowdDb {
-            config,
-            catalog: RwLock::new(Catalog::new()),
-            bindings: RwLock::new(HashMap::new()),
-            events: Mutex::new(Vec::new()),
-            cache: JudgmentCache::new(),
-            inflight: InflightRegistry::new(),
-            crowd_rounds: AtomicU64::new(0),
-            provenance: RwLock::new(HashMap::new()),
-            incomplete: RwLock::new(HashSet::new()),
+            inner: Arc::new(DbInner {
+                config,
+                catalog: RwLock::new(Catalog::new()),
+                bindings: RwLock::new(HashMap::new()),
+                events: Mutex::new(Vec::new()),
+                cache: JudgmentCache::new(),
+                inflight: InflightRegistry::new(),
+                crowd_rounds: AtomicU64::new(0),
+                provenance: RwLock::new(HashMap::new()),
+                incomplete: RwLock::new(HashSet::new()),
+            }),
+            scheduler: Scheduler::new(SCHEDULER_CORE_WORKERS),
         }
     }
 
@@ -270,72 +311,75 @@ impl CrowdDb {
     /// `SELECT`s keep running, but writes and expansions block until it is
     /// dropped.  Do not hold it across a call to [`CrowdDb::execute`].
     pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
-        rlock(&self.catalog)
-    }
-
-    /// Mutable access to the relational catalog.
-    ///
-    /// **Deprecated** — the raw write guard lets callers mutate *bound*
-    /// tables behind the planner's back, which violates the invariant the
-    /// expansion pipeline depends on: the configured id column is the only
-    /// link between table rows and perceptual-space items, and the judgment
-    /// cache and provenance ledger are keyed by those item ids.  Rewriting
-    /// id cells, dropping the id column, or editing crowd-materialized
-    /// values through the guard leaves stale row mappings, stale cached
-    /// verdicts, and lying provenance that no later expansion can detect.
-    /// Use the narrow mutators instead: [`CrowdDb::create_table`] to
-    /// register new tables, and SQL through [`CrowdDb::execute`] /
-    /// [`CrowdDb::query`] for data changes (the pipeline re-derives its
-    /// row mappings around those).
-    ///
-    /// The returned guard holds the exclusive catalog lock; every other
-    /// statement blocks until it is dropped.  Do not hold it across a call
-    /// to [`CrowdDb::execute`].
-    #[deprecated(
-        note = "mutating bound tables behind the planner invalidates row mappings, \
-                cached judgments, and provenance; use CrowdDb::create_table or SQL \
-                via CrowdDb::execute / CrowdDb::query instead"
-    )]
-    pub fn catalog_mut(&self) -> RwLockWriteGuard<'_, Catalog> {
-        wlock(&self.catalog)
+        rlock(&self.inner.catalog)
     }
 
     /// Registers a fully built table with the catalog — the narrow,
-    /// invariant-safe replacement for loading tables through
-    /// [`catalog_mut`](CrowdDb::catalog_mut).  A brand-new table has no
-    /// binding, cache entries, or provenance to invalidate.
+    /// invariant-safe catalog mutator.  A brand-new table has no binding,
+    /// cache entries, or provenance to invalidate, which is exactly why no
+    /// raw write guard to the catalog is offered: mutating *bound* tables
+    /// behind the planner would break the id-column ↔ perceptual-item link
+    /// the judgment cache and provenance ledger are keyed by.  For data
+    /// changes go through SQL via [`CrowdDb::execute`] / [`CrowdDb::query`]
+    /// (the pipeline re-derives its row mappings around those).
     pub fn create_table(&self, table: Table) -> Result<()> {
-        wlock(&self.catalog).create_table(table)?;
+        wlock(&self.inner.catalog).create_table(table)?;
         Ok(())
     }
 
     /// All expansions performed so far, in completion order.
+    ///
+    /// Clones the full history on every call; pollers that only want what
+    /// is new should use [`events_since`](CrowdDb::events_since) instead.
     pub fn expansion_events(&self) -> Vec<ExpansionEvent> {
-        mlock(&self.events).clone()
+        mlock(&self.inner.events).clone()
+    }
+
+    /// The expansion events recorded at or after cursor `seq`, plus the
+    /// cursor to pass next time.
+    ///
+    /// `seq` is an opaque position: start at 0, then always hand back the
+    /// returned cursor — each event is cloned to each poller exactly once,
+    /// instead of the whole history being re-copied per poll the way
+    /// [`expansion_events`](CrowdDb::expansion_events) does.
+    ///
+    /// ```
+    /// # use crowddb_core::{CrowdDb, CrowdDbConfig};
+    /// # let db = CrowdDb::new(CrowdDbConfig::default());
+    /// let (events, cursor) = db.events_since(0);
+    /// assert!(events.is_empty());
+    /// let (newer, _) = db.events_since(cursor);
+    /// assert!(newer.is_empty(), "nothing happened since the last poll");
+    /// ```
+    pub fn events_since(&self, seq: u64) -> (Vec<ExpansionEvent>, u64) {
+        let events = mlock(&self.inner.events);
+        let cursor = events.len() as u64;
+        let start = seq.min(cursor) as usize;
+        (events[start..].to_vec(), cursor)
     }
 
     /// Read access to the judgment cache.
     pub fn judgment_cache(&self) -> &JudgmentCache {
-        &self.cache
+        &self.inner.cache
     }
 
     /// Cache effectiveness counters (hits, misses, dollars saved).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.inner.cache.stats()
     }
 
     /// Counters of the in-flight registry: how many crowd rounds this
     /// database dispatched and how many it avoided by coalescing onto
     /// rounds already in flight.
     pub fn inflight_stats(&self) -> InflightStats {
-        self.inflight.stats()
+        self.inner.inflight.stats()
     }
 
     /// Drops the cached judgments of one attribute, forcing the next
     /// expansion to re-crowd-source it (e.g. after a repair round found the
     /// old judgments questionable).
     pub fn invalidate_judgments(&self, table: &str, attribute: &str) {
-        self.cache.invalidate(table, attribute);
+        self.inner.cache.invalidate(table, attribute);
     }
 
     /// Loads a synthetic domain as a table holding the factual attributes
@@ -358,7 +402,7 @@ impl CrowdDb {
             )));
         }
         let schema = Schema::new(vec![
-            Column::not_null(self.config.id_column.clone(), DataType::Integer),
+            Column::not_null(self.inner.config.id_column.clone(), DataType::Integer),
             Column::new("name", DataType::Text),
             Column::new("year", DataType::Integer),
             Column::new("popularity", DataType::Float),
@@ -372,8 +416,8 @@ impl CrowdDb {
                 Value::Float(item.popularity),
             ])?;
         }
-        wlock(&self.catalog).create_table(table)?;
-        wlock(&self.bindings).insert(
+        wlock(&self.inner.catalog).create_table(table)?;
+        wlock(&self.inner.bindings).insert(
             table_name.to_lowercase(),
             Arc::new(TableBinding {
                 space,
@@ -395,16 +439,16 @@ impl CrowdDb {
         crowd: Box<dyn CrowdSource>,
     ) -> Result<()> {
         {
-            let catalog = rlock(&self.catalog);
+            let catalog = rlock(&self.inner.catalog);
             let table = catalog.table(table_name)?;
-            if !table.schema().contains(&self.config.id_column) {
+            if !table.schema().contains(&self.inner.config.id_column) {
                 return Err(CrowdDbError::Configuration(format!(
                     "table {table_name} has no id column '{}'",
-                    self.config.id_column
+                    self.inner.config.id_column
                 )));
             }
         }
-        wlock(&self.bindings).insert(
+        wlock(&self.inner.bindings).insert(
             table_name.to_lowercase(),
             Arc::new(TableBinding {
                 space,
@@ -416,23 +460,11 @@ impl CrowdDb {
         Ok(())
     }
 
-    /// The binding of one table, by lower-cased name.
-    fn binding(&self, table_key: &str) -> Result<Arc<TableBinding>> {
-        rlock(&self.bindings)
-            .get(table_key)
-            .cloned()
-            .ok_or_else(|| {
-                CrowdDbError::Configuration(format!(
-                    "table {table_key} is not bound to a crowd source"
-                ))
-            })
-    }
-
     /// Declares that queries over `column` of `table` refer to the domain
     /// concept `attribute` (a category name the crowd source understands).
     /// The column itself is created lazily when a query first needs it.
     pub fn register_attribute(&self, table: &str, column: &str, attribute: &str) -> Result<()> {
-        let binding = self.binding(&table.to_lowercase())?;
+        let binding = self.inner.binding(&table.to_lowercase())?;
         wlock(&binding.attributes).insert(column.to_lowercase(), attribute.to_string());
         Ok(())
     }
@@ -448,7 +480,7 @@ impl CrowdDb {
         attribute: &str,
         strategy: ExpansionStrategy,
     ) -> Result<()> {
-        let binding = self.binding(&table.to_lowercase())?;
+        let binding = self.inner.binding(&table.to_lowercase())?;
         // The override goes in first: the instant the attribute
         // registration lands, a concurrent query may plan an expansion,
         // and it must already see the pinned strategy rather than the
@@ -465,7 +497,7 @@ impl CrowdDb {
         column: &str,
         strategy: ExpansionStrategy,
     ) -> Result<()> {
-        let binding = self.binding(&table.to_lowercase())?;
+        let binding = self.inner.binding(&table.to_lowercase())?;
         let column = column.to_lowercase();
         if !rlock(&binding.attributes).contains_key(&column) {
             return Err(CrowdDbError::UnknownAttribute {
@@ -506,7 +538,10 @@ impl CrowdDb {
     /// assert_eq!(db.expansion_events().len(), 1);
     /// ```
     pub fn execute(&self, sql_text: &str) -> Result<QueryResult> {
-        self.run_policy_query(sql_text, ExpansionPolicy::full())
+        // The compat wrapper drains the same stream every query runs as —
+        // there is exactly one execution path through the engine.
+        self.query(sql_text)
+            .run()
             .map(QueryOutcome::into_query_result)
     }
 
@@ -536,24 +571,113 @@ impl CrowdDb {
         Session::new(self)
     }
 
-    /// The engine behind [`execute`](CrowdDb::execute), [`QueryBuilder`],
-    /// and [`Session`]: parse, overlay the SQL `WITH EXPANSION` clause on
-    /// the caller's policy, analyze, expand within policy, execute once,
-    /// and attach per-cell provenance.
+    /// The provenance ledger of one expanded column: per item, where its
+    /// materialized value came from.  `None` when the column was never
+    /// expanded.
+    pub fn column_provenance(
+        &self,
+        table: &str,
+        column: &str,
+    ) -> Option<HashMap<ItemId, CellProvenance>> {
+        rlock(&self.inner.provenance)
+            .get(&(table.to_lowercase(), column.to_lowercase()))
+            .cloned()
+    }
+
+    /// Runs the plan → acquire → materialize pipeline for a set of missing
+    /// columns on one table, with **one** batched crowd round serving every
+    /// attribute that neither the cache nor a concurrent query's in-flight
+    /// round can answer.
+    ///
+    /// Returns one report per expanded attribute, in plan order.
+    pub fn expand_columns(
+        &self,
+        table_name: &str,
+        columns: &[String],
+    ) -> Result<Vec<ExpansionReport>> {
+        self.expand_columns_with_policy(table_name, columns, &ExpansionPolicy::full())
+    }
+
+    /// [`expand_columns`](CrowdDb::expand_columns) under an explicit
+    /// [`ExpansionPolicy`]: `CacheOnly` acquires nothing beyond the
+    /// judgment cache, `BestEffort` stops dispatching crowd rounds the
+    /// moment the budget is spent, the quality floor filters verdicts
+    /// before materialization, and `Deny` refuses the whole expansion with
+    /// [`CrowdDbError::ExpansionDenied`].
+    pub fn expand_columns_with_policy(
+        &self,
+        table_name: &str,
+        columns: &[String],
+        policy: &ExpansionPolicy,
+    ) -> Result<Vec<ExpansionReport>> {
+        self.inner
+            .expand_columns_with_policy(table_name, columns, policy, &EventSink::null())
+    }
+
+    /// Performs query-driven schema expansion of a single `column` on
+    /// `table` — the one-attribute special case of [`expand_columns`].
+    ///
+    /// Calling this for an already-materialized column re-runs the pipeline
+    /// and overwrites the column in place; thanks to the [`JudgmentCache`]
+    /// such a re-expansion reuses the crowd's previous answers instead of
+    /// paying for them again.
+    ///
+    /// [`expand_columns`]: CrowdDb::expand_columns
+    pub fn expand_attribute(&self, table_name: &str, column: &str) -> Result<ExpansionReport> {
+        let mut reports = self.expand_columns(table_name, &[column.to_lowercase()])?;
+        Ok(reports.remove(0))
+    }
+}
+
+/// The `SELECT` inside a statement, whether queried live or wrapped in an
+/// `EXPLAIN EXPANSION` — both carry a `WITH EXPANSION` clause and both are
+/// analyzed the same way.
+fn select_of(statement: &sql::Statement) -> Option<&sql::SelectStatement> {
+    match statement {
+        sql::Statement::Select(select) | sql::Statement::ExplainExpansion(select) => Some(select),
+        _ => None,
+    }
+}
+
+impl DbInner {
+    /// The binding of one table, by lower-cased name.
+    fn binding(&self, table_key: &str) -> Result<Arc<TableBinding>> {
+        rlock(&self.bindings)
+            .get(table_key)
+            .cloned()
+            .ok_or_else(|| {
+                CrowdDbError::Configuration(format!(
+                    "table {table_key} is not bound to a crowd source"
+                ))
+            })
+    }
+
+    /// The engine behind every query — [`CrowdDb::execute`],
+    /// [`QueryBuilder`], [`Session`], streaming and blocking alike: parse,
+    /// overlay the SQL `WITH EXPANSION` clause on the caller's policy,
+    /// analyze, emit the immediate snapshot, expand within policy (feeding
+    /// `Delta`/`Progress` events into `sink`), execute once, and attach
+    /// per-cell provenance.  `EXPLAIN EXPANSION` statements short-circuit
+    /// into the zero-dispatch planner preview.
     pub(crate) fn run_policy_query(
         &self,
         sql_text: &str,
         policy: ExpansionPolicy,
+        sink: &EventSink,
     ) -> Result<QueryOutcome> {
         let statement = sql::parse(sql_text)?;
-        let policy = match &statement {
-            sql::Statement::Select(select) => match &select.expansion {
+        let policy = match select_of(&statement) {
+            Some(select) => match &select.expansion {
                 Some(clause) => policy.merged_with_clause(clause),
                 None => policy,
             },
-            _ => policy,
+            None => policy,
         };
         policy.validate()?;
+
+        if matches!(statement, sql::Statement::ExplainExpansion(_)) {
+            return self.explain_expansion(&statement, policy);
+        }
 
         let analysis = {
             let catalog = rlock(&self.catalog);
@@ -561,60 +685,40 @@ impl CrowdDb {
         };
         let mut reports = Vec::new();
         if let Some(table) = analysis.table.clone() {
-            let key = table.to_lowercase();
-            // Columns that do not exist yet: unregistered ones are a hard
-            // error regardless of policy (there is nothing to expand them
-            // *from*), registered ones are refused under `Deny`.
-            for column in &analysis.missing_columns {
-                if !self.is_expandable(&table, column) {
-                    return Err(CrowdDbError::UnknownAttribute {
-                        table,
-                        attribute: column.clone(),
-                    });
-                }
-            }
+            let candidates = self.expansion_candidates(&statement, &analysis, &policy, &table)?;
             if policy.mode == ExpansionMode::Deny && !analysis.missing_columns.is_empty() {
                 return Err(CrowdDbError::ExpansionDenied {
                     table,
                     columns: analysis.missing_columns.clone(),
                 });
             }
-            // Referenced columns that exist but have recoverable holes
-            // (left by an earlier budgeted or cache-only query) are
-            // re-expanded: the judgment cache makes the already-purchased
-            // part free, so the query pays only for what is still missing.
-            // `SELECT *` references every column of the table, including
-            // every incomplete one.  Reads only: a write that merely names
-            // an incomplete column (an UPDATE about to overwrite it, say)
-            // must not pay the crowd to fill holes first.
-            let mut candidates = analysis.missing_columns.clone();
-            if statement.is_read_only() && policy.mode != ExpansionMode::Deny {
-                let incomplete = rlock(&self.incomplete);
-                if !incomplete.is_empty() {
-                    let references_all = matches!(
-                        &statement,
-                        sql::Statement::Select(select)
-                            if matches!(select.projection, sql::Projection::All)
-                    );
-                    if references_all {
-                        for (incomplete_table, column) in incomplete.iter() {
-                            if *incomplete_table == key && !candidates.contains(column) {
-                                candidates.push(column.clone());
-                            }
+            // The anytime snapshot: everything answerable from stored and
+            // previously purchased cells, emitted before any crowd work so
+            // a streaming consumer has rows while acquisition runs.
+            if sink.is_live() {
+                if let sql::Statement::Select(select) = &statement {
+                    let mut snapshot = {
+                        let catalog = rlock(&self.catalog);
+                        let snapshot = executor::execute_select_snapshot(select, &catalog)?;
+                        let provenance = self.snapshot_provenance(
+                            &catalog,
+                            statement.target_table(),
+                            &snapshot,
+                        )?;
+                        RowSet {
+                            columns: snapshot.result.columns,
+                            rows: snapshot.result.rows,
+                            provenance,
                         }
-                    } else {
-                        for column in statement.referenced_columns() {
-                            if !candidates.contains(&column)
-                                && incomplete.contains(&(key.clone(), column.clone()))
-                            {
-                                candidates.push(column);
-                            }
-                        }
+                    };
+                    if let Some(floor) = policy.quality_floor {
+                        mask_below_quality_floor(&mut snapshot, floor);
                     }
+                    sink.emit(QueryEvent::Snapshot(snapshot));
                 }
             }
             if !candidates.is_empty() {
-                reports = self.expand_columns_with_policy(&table, &candidates, &policy)?;
+                reports = self.expand_columns_with_policy(&table, &candidates, &policy, sink)?;
                 let mut events = mlock(&self.events);
                 for report in &reports {
                     events.push(ExpansionEvent {
@@ -660,6 +764,205 @@ impl CrowdDb {
             reports,
             crowd_cost,
         })
+    }
+
+    /// The columns a statement would expand: every missing (registered)
+    /// column, plus — for reads outside `Deny` — referenced columns that
+    /// exist but carry recoverable holes left by an earlier budgeted or
+    /// cache-only query (the judgment cache makes the already-purchased
+    /// part free, so the query pays only for what is still missing).
+    /// `SELECT *` references every column of the table, including every
+    /// incomplete one.  Writes never re-expand: an `UPDATE` about to
+    /// overwrite a column must not pay the crowd to fill its holes first.
+    ///
+    /// Unregistered missing columns are a hard error regardless of policy —
+    /// there is nothing to expand them *from*.
+    fn expansion_candidates(
+        &self,
+        statement: &sql::Statement,
+        analysis: &executor::StatementAnalysis,
+        policy: &ExpansionPolicy,
+        table: &str,
+    ) -> Result<Vec<String>> {
+        let key = table.to_lowercase();
+        for column in &analysis.missing_columns {
+            if !self.is_expandable(table, column) {
+                return Err(CrowdDbError::UnknownAttribute {
+                    table: table.to_string(),
+                    attribute: column.clone(),
+                });
+            }
+        }
+        let mut candidates = analysis.missing_columns.clone();
+        if statement.is_read_only() && policy.mode != ExpansionMode::Deny {
+            let incomplete = rlock(&self.incomplete);
+            if !incomplete.is_empty() {
+                let references_all = matches!(
+                    select_of(statement),
+                    Some(select) if matches!(select.projection, sql::Projection::All)
+                );
+                if references_all {
+                    for (incomplete_table, column) in incomplete.iter() {
+                        if *incomplete_table == key && !candidates.contains(column) {
+                            candidates.push(column.clone());
+                        }
+                    }
+                } else {
+                    for column in statement.referenced_columns() {
+                        if !candidates.contains(&column)
+                            && incomplete.contains(&(key.clone(), column.clone()))
+                        {
+                            candidates.push(column);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(candidates)
+    }
+
+    /// `EXPLAIN EXPANSION <select>`: the crowd work the wrapped query
+    /// *would* trigger — planned concepts, per-concept item counts, cache
+    /// hits, and an [`CrowdSource::estimate_cost`]-priced dollar preview —
+    /// as an ordinary [`QueryOutcome`] row set, with **zero** crowd
+    /// dispatch: no in-flight claim, no cache-counter movement, no round
+    /// seed consumed, no dollar spent.
+    ///
+    /// One row per planned column, in plan order.  Sibling columns sharing
+    /// one domain concept share one crowd question under owner-pays
+    /// accounting, so only the first (owning) column carries the concept's
+    /// outstanding-item count and price — summing the `estimated_cost`
+    /// column previews what the live plan would charge.  A source that
+    /// cannot price its work yields `NULL` in the cost cell.
+    fn explain_expansion(
+        &self,
+        statement: &sql::Statement,
+        policy: ExpansionPolicy,
+    ) -> Result<QueryOutcome> {
+        let analysis = {
+            let catalog = rlock(&self.catalog);
+            executor::analyze(statement, &catalog)?
+        };
+        let columns: Vec<String> = [
+            "concept",
+            "column",
+            "strategy",
+            "items",
+            "cache_hits",
+            "items_to_crowd",
+            "estimated_cost",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        if let Some(table) = analysis.table.clone() {
+            let candidates = self.expansion_candidates(statement, &analysis, &policy, &table)?;
+            if !candidates.is_empty() {
+                let binding = self.binding(&table.to_lowercase())?;
+                let plan = self.build_plan(&binding, &table, &candidates)?;
+                // First pass: the per-concept union of uncached items, the
+                // way the live acquire stage merges sibling columns into
+                // one question.
+                let mut concept_need: HashMap<String, HashSet<ItemId>> = HashMap::new();
+                for (index, attribute) in plan.attributes.iter().enumerate() {
+                    let (_, uncached) = self.cache.partition_peek(
+                        &plan.table,
+                        &attribute.attribute,
+                        plan.crowd_items_for(index),
+                    );
+                    concept_need
+                        .entry(attribute.attribute.to_lowercase())
+                        .or_default()
+                        .extend(uncached);
+                }
+                // Second pass: one row per planned column; the concept's
+                // owner carries the merged question's size and price.
+                let mut seen: HashSet<String> = HashSet::new();
+                for (index, attribute) in plan.attributes.iter().enumerate() {
+                    let targets = plan.crowd_items_for(index);
+                    let (cached, _) =
+                        self.cache
+                            .partition_peek(&plan.table, &attribute.attribute, targets);
+                    let concept = attribute.attribute.to_lowercase();
+                    let owns = seen.insert(concept.clone());
+                    let to_crowd = if owns {
+                        concept_need.get(&concept).map_or(0, HashSet::len)
+                    } else {
+                        0
+                    };
+                    let estimated_cost = if to_crowd == 0 {
+                        Value::Float(0.0)
+                    } else {
+                        match mlock(&binding.crowd).estimate_cost(to_crowd) {
+                            Some(dollars) => Value::Float(dollars),
+                            None => Value::Null,
+                        }
+                    };
+                    rows.push(vec![
+                        Value::Text(attribute.attribute.clone()),
+                        Value::Text(attribute.column.clone()),
+                        Value::Text(attribute.strategy.name().to_string()),
+                        Value::Integer(targets.len() as i64),
+                        Value::Integer(cached.len() as i64),
+                        Value::Integer(to_crowd as i64),
+                        estimated_cost,
+                    ]);
+                }
+            }
+        }
+        let provenance = rows
+            .iter()
+            .map(|row| vec![CellProvenance::Stored; row.len()])
+            .collect();
+        Ok(QueryOutcome {
+            policy,
+            result: StatementResult::Rows(RowSet {
+                columns,
+                rows,
+                provenance,
+            }),
+            reports: Vec::new(),
+            crowd_cost: 0.0,
+        })
+    }
+
+    /// Per-cell provenance of an anytime snapshot: the ledger-backed
+    /// [`row_provenance`](DbInner::row_provenance), with the cells of
+    /// columns that are not in the schema yet marked `NotExpanded` rather
+    /// than `Stored` — a snapshot `NULL` for a missing attribute is a hole
+    /// acquisition may still fill, not a stored fact.
+    fn snapshot_provenance(
+        &self,
+        catalog: &Catalog,
+        table: Option<&str>,
+        snapshot: &executor::SnapshotResult,
+    ) -> Result<Vec<Vec<CellProvenance>>> {
+        let mut provenance =
+            self.row_provenance(catalog, table, &snapshot.result, &snapshot.row_indices)?;
+        if !snapshot.missing_columns.is_empty() {
+            let missing: Vec<usize> = snapshot
+                .result
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(_, column)| {
+                    snapshot
+                        .missing_columns
+                        .iter()
+                        .any(|m| m.eq_ignore_ascii_case(column))
+                })
+                .map(|(index, _)| index)
+                .collect();
+            for row in &mut provenance {
+                for &column in &missing {
+                    row[column] = CellProvenance::Missing {
+                        reason: MissingReason::NotExpanded,
+                    };
+                }
+            }
+        }
+        Ok(provenance)
     }
 
     /// Builds the per-cell provenance of a result set: `Stored` for factual
@@ -740,49 +1043,23 @@ impl CrowdDb {
             .collect())
     }
 
-    /// The provenance ledger of one expanded column: per item, where its
-    /// materialized value came from.  `None` when the column was never
-    /// expanded.
-    pub fn column_provenance(
-        &self,
-        table: &str,
-        column: &str,
-    ) -> Option<HashMap<ItemId, CellProvenance>> {
-        rlock(&self.provenance)
-            .get(&(table.to_lowercase(), column.to_lowercase()))
-            .cloned()
-    }
-
     fn is_expandable(&self, table: &str, column: &str) -> bool {
         self.binding(&table.to_lowercase())
             .is_ok_and(|b| rlock(&b.attributes).contains_key(&column.to_lowercase()))
     }
 
-    /// Runs the plan → acquire → materialize pipeline for a set of missing
-    /// columns on one table, with **one** batched crowd round serving every
-    /// attribute that neither the cache nor a concurrent query's in-flight
-    /// round can answer.
-    ///
-    /// Returns one report per expanded attribute, in plan order.
-    pub fn expand_columns(
-        &self,
-        table_name: &str,
-        columns: &[String],
-    ) -> Result<Vec<ExpansionReport>> {
-        self.expand_columns_with_policy(table_name, columns, &ExpansionPolicy::full())
-    }
-
-    /// [`expand_columns`](CrowdDb::expand_columns) under an explicit
-    /// [`ExpansionPolicy`]: `CacheOnly` acquires nothing beyond the
-    /// judgment cache, `BestEffort` stops dispatching crowd rounds the
-    /// moment the budget is spent, the quality floor filters verdicts
-    /// before materialization, and `Deny` refuses the whole expansion with
+    /// The pipeline behind [`CrowdDb::expand_columns_with_policy`] (and
+    /// every query's expansion), with the streaming event sink threaded
+    /// through: `CacheOnly` acquires nothing beyond the judgment cache,
+    /// `BestEffort` stops dispatching crowd rounds the moment the budget is
+    /// spent, and `Deny` refuses the whole expansion with
     /// [`CrowdDbError::ExpansionDenied`].
-    pub fn expand_columns_with_policy(
+    fn expand_columns_with_policy(
         &self,
         table_name: &str,
         columns: &[String],
         policy: &ExpansionPolicy,
+        sink: &EventSink,
     ) -> Result<Vec<ExpansionReport>> {
         policy.validate()?;
         // `Deny` promises "never trigger crowd spending" no matter which
@@ -796,22 +1073,8 @@ impl CrowdDb {
         let binding = self.binding(&table_name.to_lowercase())?;
         let plan = self.build_plan(&binding, table_name, columns)?;
         let mut ledger = BudgetLedger::new(policy.budget);
-        let acquisitions = self.acquire(&plan, &binding, policy, &mut ledger)?;
+        let acquisitions = self.acquire(&plan, &binding, policy, &mut ledger, sink)?;
         self.materialize(&plan, &binding, acquisitions, policy)
-    }
-
-    /// Performs query-driven schema expansion of a single `column` on
-    /// `table` — the one-attribute special case of [`expand_columns`].
-    ///
-    /// Calling this for an already-materialized column re-runs the pipeline
-    /// and overwrites the column in place; thanks to the [`JudgmentCache`]
-    /// such a re-expansion reuses the crowd's previous answers instead of
-    /// paying for them again.
-    ///
-    /// [`expand_columns`]: CrowdDb::expand_columns
-    pub fn expand_attribute(&self, table_name: &str, column: &str) -> Result<ExpansionReport> {
-        let mut reports = self.expand_columns(table_name, &[column.to_lowercase()])?;
-        Ok(reports.remove(0))
     }
 
     /// The **plan** stage.
@@ -854,6 +1117,7 @@ impl CrowdDb {
         binding: &TableBinding,
         policy: &ExpansionPolicy,
         ledger: &mut BudgetLedger,
+        sink: &EventSink,
     ) -> Result<Vec<Acquisition>> {
         // Consult the cache per attribute; deduplicate crowd questions by
         // attribute concept.  The first column asking about a concept owns
@@ -864,6 +1128,9 @@ impl CrowdDb {
         let mut needs: Vec<ConceptNeed> = Vec::new();
         let mut need_of: HashMap<String, usize> = HashMap::new();
         let mut seen_concepts: HashSet<String> = HashSet::new();
+        // Per-concept (resolved, outstanding) at plan time, for the initial
+        // streaming Progress events.
+        let mut initial_progress: Vec<(String, usize, usize)> = Vec::new();
         for (index, attribute) in plan.attributes.iter().enumerate() {
             let targets = plan.crowd_items_for(index);
             // The first column of a concept moves the cache counters and
@@ -882,6 +1149,9 @@ impl CrowdDb {
             } else {
                 0.0
             };
+            if first_for_concept && sink.is_live() {
+                initial_progress.push((attribute.attribute.clone(), cached.len(), uncached.len()));
+            }
             let mut owns_question = false;
             let question = if uncached.is_empty() {
                 None
@@ -903,6 +1173,7 @@ impl CrowdDb {
                             concept: attribute.attribute.clone(),
                             items: uncached.clone(),
                             item_set: uncached.iter().copied().collect(),
+                            already_resolved: cached.len(),
                         });
                         need_of.insert(concept, needs.len() - 1);
                         needs.len() - 1
@@ -938,6 +1209,26 @@ impl CrowdDb {
             });
         }
 
+        // Initial Progress per concept: what the cache resolved, what is
+        // outstanding, and the crowd source's own completeness / cost
+        // estimate for the remainder.  For cache-only queries this is also
+        // the *final* word — the outstanding items are the remainder the
+        // policy will not acquire, reported rather than silently dropped.
+        if sink.is_live() {
+            for (concept, resolved, outstanding) in &initial_progress {
+                // A need holds the merged item union when sibling columns
+                // share the concept — report that, not one column's slice.
+                let (outstanding, estimate) = match need_of.get(&concept.to_lowercase()) {
+                    Some(&q) => (
+                        needs[q].items.len(),
+                        self.outstanding_estimate(binding, concept, &needs[q].items),
+                    ),
+                    None => (*outstanding, None),
+                };
+                sink.emit(progress_event(concept, *resolved, outstanding, estimate));
+            }
+        }
+
         if policy.mode == ExpansionMode::CacheOnly {
             // Cache-only queries never dispatch crowd work and never wait
             // on other queries' rounds: every uncached item stays NULL.
@@ -956,7 +1247,7 @@ impl CrowdDb {
         if needs.is_empty() {
             return Ok(acquisitions);
         }
-        let resolutions = self.resolve_needs(plan, binding, &needs, ledger)?;
+        let resolutions = self.resolve_needs(plan, binding, &needs, ledger, sink)?;
 
         // Route the resolved verdicts and accounting back to the plan's
         // attributes.  Every sharer (owner included) reads its own items'
@@ -1015,10 +1306,22 @@ impl CrowdDb {
         binding: &TableBinding,
         needs: &[ConceptNeed],
         ledger: &mut BudgetLedger,
+        sink: &EventSink,
     ) -> Result<Vec<ConceptResolution>> {
         let mut resolutions: Vec<ConceptResolution> =
             needs.iter().map(|_| ConceptResolution::default()).collect();
         let mut pending: Vec<Vec<ItemId>> = needs.iter().map(|n| n.items.clone()).collect();
+        // 0-based index of the next crowd round *this query* dispatches —
+        // the `round` field of its streaming Delta events.
+        let mut round_index = 0usize;
+        // Items resolved for concept `q` so far, from this query's view:
+        // cache baseline + fresh judgments + coalesced foreign rounds.
+        let resolved_so_far =
+            |needs: &[ConceptNeed], resolutions: &[ConceptResolution], q: usize| {
+                needs[q].already_resolved
+                    + resolutions[q].fresh_cost_share.len()
+                    + resolutions[q].coalesced_set.len()
+            };
         // In the common case this loop runs once (everything owned) or
         // twice (wait, then serve from cache).  More iterations only happen
         // when an in-flight owner aborts or acquired a different item set;
@@ -1087,7 +1390,7 @@ impl CrowdDb {
                         resolution.cost += batch.question_cost(question);
                         resolution.minutes = resolution.minutes.max(batch.total_minutes);
                         resolution.items_charged += items.len();
-                        self.ingest_question(
+                        let fresh = self.ingest_question(
                             &plan.table,
                             &needs[index].concept,
                             items,
@@ -1097,7 +1400,25 @@ impl CrowdDb {
                         );
                         pending[index].clear();
                         token.complete();
+                        if sink.is_live() {
+                            sink.emit(delta_event(
+                                &self.config.id_column,
+                                &needs[index].concept,
+                                round_index,
+                                ledger.spent,
+                                &fresh,
+                            ));
+                            sink.emit(progress_event(
+                                &needs[index].concept,
+                                resolved_so_far(needs, &resolutions, index),
+                                0,
+                                None,
+                            ));
+                        }
                     }
+                    // One batched dispatch covering every owned concept is
+                    // one crowd round.
+                    round_index += 1;
                 }
             } else {
                 // Budgeted (best-effort): one round at a time per concept,
@@ -1110,6 +1431,23 @@ impl CrowdDb {
                     while !items.is_empty() {
                         let affordable = self.affordable_round(binding, ledger, items.len());
                         if affordable == 0 {
+                            // Mid-stream budget exhaustion is *reported*,
+                            // never silent: one last Progress carries the
+                            // BudgetExhausted remainder and what acquiring
+                            // it would have cost.
+                            if sink.is_live() {
+                                let estimate = self.outstanding_estimate(
+                                    binding,
+                                    &needs[index].concept,
+                                    &items,
+                                );
+                                sink.emit(progress_event(
+                                    &needs[index].concept,
+                                    resolved_so_far(needs, &resolutions, index),
+                                    items.len(),
+                                    estimate,
+                                ));
+                            }
                             resolutions[index].budget_denied.append(&mut items);
                             break;
                         }
@@ -1129,7 +1467,7 @@ impl CrowdDb {
                         // Sequential rounds: their wall-clock adds up.
                         resolution.minutes += batch.total_minutes;
                         resolution.items_charged += chunk.len();
-                        self.ingest_question(
+                        let fresh = self.ingest_question(
                             &plan.table,
                             &needs[index].concept,
                             &chunk,
@@ -1137,6 +1475,28 @@ impl CrowdDb {
                             batch.total_cost,
                             resolution,
                         );
+                        if sink.is_live() {
+                            sink.emit(delta_event(
+                                &self.config.id_column,
+                                &needs[index].concept,
+                                round_index,
+                                ledger.spent,
+                                &fresh,
+                            ));
+                            // With items left, the next iteration speaks —
+                            // another round's Delta or the BudgetExhausted
+                            // Progress — so only a finished concept gets
+                            // its closing Progress here.
+                            if items.is_empty() {
+                                sink.emit(progress_event(
+                                    &needs[index].concept,
+                                    resolved_so_far(needs, &resolutions, index),
+                                    0,
+                                    None,
+                                ));
+                            }
+                        }
+                        round_index += 1;
                     }
                     // The claim is complete either way: what the budget
                     // refused is final for this query, and a waiter is free
@@ -1154,8 +1514,24 @@ impl CrowdDb {
                 let (cached, uncached) =
                     self.cache
                         .partition_peek(&plan.table, &needs[index].concept, &pending[index]);
+                let absorbed = cached.len();
                 absorb_published(&mut resolutions[index], cached);
                 pending[index] = uncached;
+                // A foreign round resolved items for free: report the jump
+                // (there is no Delta — it was not this query's round).
+                if absorbed > 0 && sink.is_live() {
+                    let estimate = if pending[index].is_empty() {
+                        None
+                    } else {
+                        self.outstanding_estimate(binding, &needs[index].concept, &pending[index])
+                    };
+                    sink.emit(progress_event(
+                        &needs[index].concept,
+                        resolved_so_far(needs, &resolutions, index),
+                        pending[index].len(),
+                        estimate,
+                    ));
+                }
             }
         }
         Err(CrowdDbError::Contention(format!(
@@ -1176,6 +1552,9 @@ impl CrowdDb {
     /// confidence from the tallies, cache write-back (ties included — asking
     /// again would cost the same and likely tie again), and resolution
     /// bookkeeping for verdict routing and provenance.
+    ///
+    /// Returns the round's *decisive* fresh verdicts — the payload of the
+    /// streaming [`QueryEvent::Delta`] this round produces.
     fn ingest_question(
         &self,
         table: &str,
@@ -1184,7 +1563,7 @@ impl CrowdDb {
         judgments: &[crowdsim::Judgment],
         question_cost: f64,
         resolution: &mut ConceptResolution,
-    ) {
+    ) -> Vec<RoundVerdict> {
         let per_item_cost = if items.is_empty() {
             0.0
         } else {
@@ -1195,6 +1574,7 @@ impl CrowdDb {
             *judgment_counts.entry(judgment.item).or_insert(0) += 1;
         }
         let verdicts = majority_vote(judgments, items);
+        let mut fresh = Vec::new();
         for verdict in &verdicts {
             let confidence = verdict.tally.agreement();
             self.cache.insert(
@@ -1214,8 +1594,38 @@ impl CrowdDb {
                 .insert(verdict.item, per_item_cost);
             if let Some(label) = verdict.verdict {
                 resolution.verdicts.insert(verdict.item, label);
+                fresh.push(RoundVerdict {
+                    item: verdict.item,
+                    verdict: label,
+                    confidence,
+                    cost_share: per_item_cost,
+                });
             }
         }
+        fresh
+    }
+
+    /// The crowd source's estimate of the outstanding work for one concept,
+    /// falling back from the full [`CrowdSource::estimate_outstanding`]
+    /// hook to plain [`CrowdSource::estimate_cost`] pricing (with every
+    /// item assumed resolvable), to `None` for sources that offer neither.
+    ///
+    /// Takes the binding's crowd mutex briefly; never call while holding it.
+    fn outstanding_estimate(
+        &self,
+        binding: &TableBinding,
+        concept: &str,
+        items: &[ItemId],
+    ) -> Option<OutstandingEstimate> {
+        let crowd = mlock(&binding.crowd);
+        crowd.estimate_outstanding(concept, items).or_else(|| {
+            crowd
+                .estimate_cost(items.len())
+                .map(|estimated_cost| OutstandingEstimate {
+                    expected_resolvable: items.len() as f64,
+                    estimated_cost,
+                })
+        })
     }
 
     /// How many of `available` items the next budgeted round may judge.
@@ -1487,48 +1897,8 @@ impl CrowdDb {
         Ok(reports)
     }
 
-    /// The perceptual space bound to a table (if any), cloned out of the
-    /// binding so no lock is held by the caller.
-    pub fn space_of(&self, table: &str) -> Option<PerceptualSpace> {
-        rlock(&self.bindings)
-            .get(&table.to_lowercase())
-            .map(|b| b.space.clone())
-    }
-
-    /// The data-quality loop of Section 4.4 for an expanded binary
-    /// attribute: audit the column against the perceptual space,
-    /// re-crowd-source **only** the flagged items, overwrite the column
-    /// with the repaired labels, and refresh the [`JudgmentCache`] so
-    /// later expansions reuse the repaired verdicts instead of the
-    /// questionable ones.
-    ///
-    /// The column must already be materialized (expanded).  Unfilled and
-    /// out-of-space rows are treated as `false` for the audit and are not
-    /// touched by the repair.
-    ///
-    /// ```
-    /// use crowddb_core::{CrowdDb, CrowdDbConfig, ExpansionStrategy, SimulatedCrowd};
-    /// use crowdsim::ExperimentRegime;
-    /// use datagen::{DomainConfig, SyntheticDomain};
-    ///
-    /// let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.05), 21).unwrap();
-    /// let space = crowddb_core::build_space_for_domain(&domain, 8, 12).unwrap();
-    /// // A spam-heavy crowd produces a noisy column worth repairing.
-    /// let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::AllWorkers, 3);
-    /// let db = CrowdDb::new(CrowdDbConfig {
-    ///     strategy: ExpansionStrategy::DirectCrowd,
-    ///     ..Default::default()
-    /// });
-    /// db.load_domain("movies", &domain, space, Box::new(crowd)).unwrap();
-    /// db.register_attribute("movies", "is_comedy", "Comedy").unwrap();
-    /// db.execute("SELECT item_id FROM movies WHERE is_comedy = true").unwrap();
-    ///
-    /// let outcome = db.repair_attribute("movies", "is_comedy", &Default::default()).unwrap();
-    /// // Flagged items were re-crowd-sourced and the column now carries
-    /// // the repaired labels.
-    /// assert_eq!(outcome.labels.len(), domain.items().len());
-    /// ```
-    pub fn repair_attribute(
+    /// The engine behind [`CrowdDb::repair_attribute`] (see its docs).
+    fn repair_attribute(
         &self,
         table_name: &str,
         column: &str,
@@ -1634,16 +2004,8 @@ impl CrowdDb {
         Ok(outcome)
     }
 
-    /// Expands `column` of `table` as a **numeric** perceptual attribute
-    /// (e.g. a 1–10 `humor` score, the paper's motivating
-    /// `SELECT name FROM movies WHERE humor ≥ 8` query).
-    ///
-    /// Numeric judgments cannot be aggregated by majority vote, so the gold
-    /// sample is passed in explicitly as `(item, value)` pairs — in practice
-    /// these come from a curated crowd task with trusted workers (Section
-    /// 3.4).  Support-vector regression over the bound perceptual space
-    /// extrapolates the value to every row; the new column has type `FLOAT`.
-    pub fn expand_numeric_attribute(
+    /// The engine behind [`CrowdDb::expand_numeric_attribute`].
+    fn expand_numeric_attribute(
         &self,
         table_name: &str,
         column: &str,
@@ -1702,6 +2064,151 @@ impl CrowdDb {
             items_coalesced: 0,
             items_dropped: 0,
         })
+    }
+}
+
+impl CrowdDb {
+    /// The perceptual space bound to a table (if any), cloned out of the
+    /// binding so no lock is held by the caller.
+    pub fn space_of(&self, table: &str) -> Option<PerceptualSpace> {
+        rlock(&self.inner.bindings)
+            .get(&table.to_lowercase())
+            .map(|b| b.space.clone())
+    }
+
+    /// The data-quality loop of Section 4.4 for an expanded binary
+    /// attribute: audit the column against the perceptual space,
+    /// re-crowd-source **only** the flagged items, overwrite the column
+    /// with the repaired labels, and refresh the [`JudgmentCache`] so
+    /// later expansions reuse the repaired verdicts instead of the
+    /// questionable ones.
+    ///
+    /// The column must already be materialized (expanded).  Unfilled and
+    /// out-of-space rows are treated as `false` for the audit and are not
+    /// touched by the repair.
+    ///
+    /// ```
+    /// use crowddb_core::{CrowdDb, CrowdDbConfig, ExpansionStrategy, SimulatedCrowd};
+    /// use crowdsim::ExperimentRegime;
+    /// use datagen::{DomainConfig, SyntheticDomain};
+    ///
+    /// let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.05), 21).unwrap();
+    /// let space = crowddb_core::build_space_for_domain(&domain, 8, 12).unwrap();
+    /// // A spam-heavy crowd produces a noisy column worth repairing.
+    /// let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::AllWorkers, 3);
+    /// let db = CrowdDb::new(CrowdDbConfig {
+    ///     strategy: ExpansionStrategy::DirectCrowd,
+    ///     ..Default::default()
+    /// });
+    /// db.load_domain("movies", &domain, space, Box::new(crowd)).unwrap();
+    /// db.register_attribute("movies", "is_comedy", "Comedy").unwrap();
+    /// db.execute("SELECT item_id FROM movies WHERE is_comedy = true").unwrap();
+    ///
+    /// let outcome = db.repair_attribute("movies", "is_comedy", &Default::default()).unwrap();
+    /// // Flagged items were re-crowd-sourced and the column now carries
+    /// // the repaired labels.
+    /// assert_eq!(outcome.labels.len(), domain.items().len());
+    /// ```
+    pub fn repair_attribute(
+        &self,
+        table_name: &str,
+        column: &str,
+        extraction: &crate::extraction::ExtractionConfig,
+    ) -> Result<crate::repair::RepairOutcome> {
+        self.inner.repair_attribute(table_name, column, extraction)
+    }
+
+    /// Expands `column` of `table` as a **numeric** perceptual attribute
+    /// (e.g. a 1–10 `humor` score, the paper's motivating
+    /// `SELECT name FROM movies WHERE humor ≥ 8` query).
+    ///
+    /// Numeric judgments cannot be aggregated by majority vote, so the gold
+    /// sample is passed in explicitly as `(item, value)` pairs — in practice
+    /// these come from a curated crowd task with trusted workers (Section
+    /// 3.4).  Support-vector regression over the bound perceptual space
+    /// extrapolates the value to every row; the new column has type `FLOAT`.
+    pub fn expand_numeric_attribute(
+        &self,
+        table_name: &str,
+        column: &str,
+        gold: &[(ItemId, f64)],
+        extraction: &crate::extraction::ExtractionConfig,
+    ) -> Result<ExpansionReport> {
+        self.inner
+            .expand_numeric_attribute(table_name, column, gold, extraction)
+    }
+}
+
+/// Builds one streaming [`QueryEvent::Progress`] for a concept.
+///
+/// The completeness estimate divides what is resolved by what is resolved
+/// plus what the crowd source *expects to be resolvable* of the
+/// outstanding items — items nobody in the worker population knows do not
+/// count against completeness (Trushkowsky et al.'s "get it all" is about
+/// the reachable all).  Without an estimate every outstanding item is
+/// assumed resolvable and the remaining cost reads 0 (unknown).
+fn progress_event(
+    concept: &str,
+    items_resolved: usize,
+    items_outstanding: usize,
+    estimate: Option<OutstandingEstimate>,
+) -> QueryEvent {
+    let (expected_resolvable, estimated_remaining_cost) = match estimate {
+        Some(estimate) => (
+            estimate
+                .expected_resolvable
+                .clamp(0.0, items_outstanding as f64),
+            estimate.estimated_cost.max(0.0),
+        ),
+        None => (items_outstanding as f64, 0.0),
+    };
+    let denominator = items_resolved as f64 + expected_resolvable;
+    let estimated_completeness = if denominator <= 0.0 {
+        1.0
+    } else {
+        (items_resolved as f64 / denominator).clamp(0.0, 1.0)
+    };
+    QueryEvent::Progress {
+        concept: concept.to_string(),
+        items_resolved,
+        items_outstanding,
+        estimated_completeness,
+        estimated_remaining_cost,
+    }
+}
+
+/// Builds one streaming [`QueryEvent::Delta`]: the round's decisive fresh
+/// verdicts as `(id column, concept)` rows with `CrowdDerived` provenance.
+fn delta_event(
+    id_column: &str,
+    concept: &str,
+    round: usize,
+    cost_so_far: f64,
+    fresh: &[RoundVerdict],
+) -> QueryEvent {
+    QueryEvent::Delta {
+        rows: RowSet {
+            columns: vec![id_column.to_string(), concept.to_lowercase()],
+            rows: fresh
+                .iter()
+                .map(|v| vec![Value::Integer(v.item as i64), Value::Boolean(v.verdict)])
+                .collect(),
+            provenance: fresh
+                .iter()
+                .map(|v| {
+                    vec![
+                        CellProvenance::Stored,
+                        CellProvenance::CrowdDerived {
+                            confidence: v.confidence,
+                            cost_share: v.cost_share,
+                        },
+                    ]
+                })
+                .collect(),
+        },
+        concept: concept.to_string(),
+        round,
+        cost_so_far,
     }
 }
 

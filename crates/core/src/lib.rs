@@ -50,6 +50,17 @@
 //! [`CrowdDb::execute`] remains as a thin full-expansion compatibility
 //! wrapper over the same engine.
 //!
+//! Queries are **anytime**: [`QueryBuilder::stream`] returns a blocking
+//! iterator of [`QueryEvent`]s — an immediate snapshot of the rows
+//! answerable from stored and cached cells, per-concept progress with
+//! completeness and remaining-cost estimates from the crowd source's own
+//! [`CrowdSource::estimate_outstanding`] hook, per-round verdict deltas,
+//! and finally the completed [`QueryOutcome`] — while the expansion work
+//! runs on the database's background [`scheduler`].  A blocking
+//! [`QueryBuilder::run`] is just a drained stream, so the two entry points
+//! cannot diverge, and `EXPLAIN EXPANSION <select>` prices the whole plan
+//! (concepts, cache hits, dollars) with zero crowd dispatch.
+//!
 //! The database is a **concurrent query engine**: [`CrowdDb::execute`]
 //! takes `&self` and [`CrowdDb`] is `Send + Sync`, so N threads can share
 //! one database and execute simultaneously.  Read-only statements run in
@@ -108,13 +119,15 @@ pub mod planner;
 pub mod policy;
 pub mod provenance;
 pub mod repair;
+pub mod scheduler;
 pub mod session;
+pub mod stream;
 mod sync;
 
 pub use audit::{audit_binary_labels, AuditOutcome};
 pub use boost::{evaluate_boost_over_time, BoostCheckpoint, BoostCurve};
 pub use cache::{CacheStats, CachedJudgment, JudgmentCache};
-pub use crowd_source::{AttributeRequest, CrowdSource, SimulatedCrowd};
+pub use crowd_source::{AttributeRequest, CrowdSource, OutstandingEstimate, SimulatedCrowd};
 pub use db::{build_space_for_domain, CrowdDb, CrowdDbConfig, ExpansionEvent};
 pub use error::CrowdDbError;
 pub use expansion::{ExpansionReport, ExpansionStrategy};
@@ -124,7 +137,9 @@ pub use planner::{ExpansionPlan, PlannedAttribute};
 pub use policy::{ExpansionMode, ExpansionPolicy};
 pub use provenance::{CellProvenance, MissingReason};
 pub use repair::{repair_labels, repair_labels_among, RepairOutcome};
+pub use scheduler::Scheduler;
 pub use session::{QueryBuilder, QueryOutcome, RowSet, Session, StatementResult};
+pub use stream::{QueryEvent, QueryStream};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CrowdDbError>;

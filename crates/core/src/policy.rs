@@ -47,14 +47,40 @@ pub enum ExpansionMode {
 }
 
 impl ExpansionMode {
-    /// A short name for reports and messages.
+    /// A short name for reports and messages — the SQL spelling, straight
+    /// from the parser's mode table ([`ExpansionClauseMode::as_str`]) so
+    /// the two surfaces cannot drift.
     pub fn name(&self) -> &'static str {
-        match self {
-            ExpansionMode::Deny => "deny",
-            ExpansionMode::CacheOnly => "cache_only",
-            ExpansionMode::BestEffort => "best_effort",
-            ExpansionMode::Full => "full",
-        }
+        ExpansionClauseMode::from(*self).as_str()
+    }
+}
+
+impl std::fmt::Display for ExpansionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ExpansionMode {
+    type Err = CrowdDbError;
+
+    /// Parses the SQL spelling of a mode (`deny`, `cache_only`,
+    /// `best_effort`, `full`), case-insensitively — by delegating to the
+    /// parser's own [`ExpansionClauseMode`] table, so benches, examples,
+    /// and the `WITH EXPANSION` clause accept exactly the same strings.
+    ///
+    /// ```
+    /// use crowddb_core::ExpansionMode;
+    ///
+    /// let mode: ExpansionMode = "best_effort".parse().unwrap();
+    /// assert_eq!(mode, ExpansionMode::BestEffort);
+    /// assert_eq!(mode.to_string(), "best_effort");
+    /// assert!("cheap".parse::<ExpansionMode>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Self> {
+        s.parse::<ExpansionClauseMode>()
+            .map(ExpansionMode::from)
+            .map_err(CrowdDbError::Relational)
     }
 }
 
@@ -65,6 +91,17 @@ impl From<ExpansionClauseMode> for ExpansionMode {
             ExpansionClauseMode::CacheOnly => ExpansionMode::CacheOnly,
             ExpansionClauseMode::BestEffort => ExpansionMode::BestEffort,
             ExpansionClauseMode::Full => ExpansionMode::Full,
+        }
+    }
+}
+
+impl From<ExpansionMode> for ExpansionClauseMode {
+    fn from(mode: ExpansionMode) -> Self {
+        match mode {
+            ExpansionMode::Deny => ExpansionClauseMode::Deny,
+            ExpansionMode::CacheOnly => ExpansionClauseMode::CacheOnly,
+            ExpansionMode::BestEffort => ExpansionClauseMode::BestEffort,
+            ExpansionMode::Full => ExpansionClauseMode::Full,
         }
     }
 }
@@ -230,6 +267,28 @@ mod tests {
         assert!(p.validate().is_ok());
         assert_eq!(ExpansionMode::default(), ExpansionMode::Full);
         assert_eq!(ExpansionMode::BestEffort.name(), "best_effort");
+    }
+
+    #[test]
+    fn mode_spellings_round_trip_through_the_parsers_table() {
+        // Display → FromStr round-trips for every mode, and both sides
+        // agree with the SQL parser's ExpansionClauseMode table — the
+        // single source of accepted spellings.
+        for clause_mode in ExpansionClauseMode::ALL {
+            let mode = ExpansionMode::from(clause_mode);
+            let rendered = mode.to_string();
+            assert_eq!(rendered, clause_mode.as_str());
+            assert_eq!(rendered.parse::<ExpansionMode>().unwrap(), mode);
+            // Case-insensitive, like SQL keywords.
+            assert_eq!(
+                rendered.to_uppercase().parse::<ExpansionMode>().unwrap(),
+                mode
+            );
+            // The round-trip through the clause type is the identity too.
+            assert_eq!(ExpansionClauseMode::from(mode), clause_mode);
+        }
+        let err = "cheap".parse::<ExpansionMode>().unwrap_err();
+        assert!(err.to_string().contains("unknown expansion mode"), "{err}");
     }
 
     #[test]

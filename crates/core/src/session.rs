@@ -30,12 +30,15 @@
 //! `SELECT … WITH EXPANSION (budget = 12.0, mode = best_effort,
 //! quality >= 0.8)` — and SQL settings override the builder's.
 
+use std::sync::Arc;
+
 use relational::{QueryResult, Value};
 
 use crate::db::CrowdDb;
 use crate::expansion::ExpansionReport;
 use crate::policy::{ExpansionMode, ExpansionPolicy};
 use crate::provenance::CellProvenance;
+use crate::stream::{EventSink, QueryStream};
 use crate::Result;
 
 /// A handle binding a set of default [`ExpansionPolicy`] settings to a
@@ -164,9 +167,52 @@ impl<'db> QueryBuilder<'db> {
         &self.policy
     }
 
-    /// Parses, plans, expands (within policy), and executes the query.
+    /// Parses, plans, expands (within policy), and executes the query,
+    /// blocking until the full answer is in.
+    ///
+    /// `run` is a thin drain over [`stream`](QueryBuilder::stream): the
+    /// query executes on the database's background scheduler either way and
+    /// there is exactly one execution path — this entry point simply waits
+    /// for the final [`QueryEvent::Completed`](crate::QueryEvent::Completed)
+    /// and unwraps its [`QueryOutcome`].
     pub fn run(self) -> Result<QueryOutcome> {
-        self.db.run_policy_query(&self.sql, self.policy)
+        // Intermediate events are skipped (nobody would read them), which
+        // keeps the blocking path from paying for snapshots and estimates.
+        self.launch(false).wait()
+    }
+
+    /// Starts the query as an **anytime** query: returns immediately with a
+    /// blocking [`QueryStream`] of [`QueryEvent`](crate::QueryEvent)s while
+    /// the expansion work runs on the database's background scheduler.
+    ///
+    /// The stream yields an immediate `Snapshot` of the rows answerable
+    /// from stored and cached cells, `Progress`/`Delta` events per concept
+    /// as crowd rounds land (with completeness and remaining-cost
+    /// estimates from the crowd source), and finally `Completed` with the
+    /// exact [`QueryOutcome`] a blocking [`run`](QueryBuilder::run) would
+    /// have produced.  Streaming queries coalesce with concurrent blocking
+    /// ones in the in-flight registry like any other query.
+    ///
+    /// Dropping the stream does not cancel the expansion — dispatched
+    /// crowd work completes and is paid for; only the notifications stop.
+    pub fn stream(self) -> QueryStream {
+        self.launch(true)
+    }
+
+    /// Submits the query to the scheduler, with or without intermediate
+    /// events, and hands back the consuming stream.
+    fn launch(self, events: bool) -> QueryStream {
+        let (sink, receiver) = EventSink::channel(events);
+        let inner = Arc::clone(&self.db.inner);
+        let sql = self.sql;
+        let policy = self.policy;
+        self.db
+            .scheduler
+            .spawn(move || match inner.run_policy_query(&sql, policy, &sink) {
+                Ok(outcome) => sink.complete(outcome),
+                Err(error) => sink.fail(error),
+            });
+        QueryStream::new(receiver)
     }
 }
 

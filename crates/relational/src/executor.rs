@@ -104,16 +104,184 @@ pub fn execute_read_indexed(
 ) -> Result<(QueryResult, Vec<usize>)> {
     match statement {
         Statement::Select(select) => execute_select_indexed(select, catalog),
+        Statement::ExplainExpansion(_) => Err(RelationalError::InvalidStatement(
+            "EXPLAIN EXPANSION is answered by the crowd layer, not the relational engine \
+             (the plan it describes does not exist here)"
+                .into(),
+        )),
         other => Err(RelationalError::InvalidStatement(format!(
             "execute_read got a write statement: {other:?}"
         ))),
     }
 }
 
+/// The outcome of a *snapshot* read: the rows answerable from the catalog
+/// as it is right now, with columns the schema does not (yet) contain
+/// served as `NULL` instead of erroring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotResult {
+    /// The rows and columns, shaped exactly like the eventual full answer.
+    pub result: QueryResult,
+    /// The table row index behind each result row (parallel to
+    /// `result.rows`), as in [`execute_read_indexed`].
+    pub row_indices: Vec<usize>,
+    /// Projected columns that are absent from the schema (lower-cased) —
+    /// their cells are all `NULL` and a caller attaching provenance should
+    /// mark them as not-yet-expanded rather than stored.
+    pub missing_columns: Vec<String>,
+}
+
+/// Executes a `SELECT` under snapshot semantics: any referenced column the
+/// schema does not contain evaluates to `NULL` (projection cells, `WHERE`
+/// predicates via [`crate::Expr::matches_lenient`], and `ORDER BY` keys
+/// alike) instead of failing the statement.
+///
+/// This is what lets a crowd-enabled database answer *immediately* from
+/// stored data while schema expansion for the missing attributes is still
+/// in flight: the snapshot has the same shape as the eventual answer, just
+/// with the unacquired cells empty, and predicates over missing columns
+/// reject rows exactly as they would over an existing-but-unfilled column.
+pub fn execute_select_snapshot(
+    select: &SelectStatement,
+    catalog: &Catalog,
+) -> Result<SnapshotResult> {
+    execute_select_core(select, catalog, true)
+}
+
+/// The one `SELECT` implementation behind both the strict and the snapshot
+/// path: scan, filter, order, limit, project.  `lenient` decides what a
+/// reference to a column absent from the schema means — a hard
+/// [`RelationalError::UnknownColumn`] (strict), or an all-`NULL` column
+/// recorded in [`SnapshotResult::missing_columns`] (snapshot).  One shared
+/// body keeps the two paths' ordering/limit/projection semantics from ever
+/// drifting apart: the streamed snapshot must have exactly the shape of
+/// the answer the strict executor later produces.
+fn execute_select_core(
+    select: &SelectStatement,
+    catalog: &Catalog,
+    lenient: bool,
+) -> Result<SnapshotResult> {
+    let table = catalog.table(&select.table)?;
+    let schema = table.schema();
+
+    // Resolve every referenced column up front (so unknown columns error —
+    // or register as missing — even for empty tables, deterministically).
+    let mut missing_columns: Vec<String> = Vec::new();
+    let mut resolve = |name: &str| -> Result<Option<usize>> {
+        match schema.index_of(name) {
+            Some(index) => Ok(Some(index)),
+            None if lenient => {
+                let lower = name.to_lowercase();
+                if !missing_columns.contains(&lower) {
+                    missing_columns.push(lower);
+                }
+                Ok(None)
+            }
+            None => Err(RelationalError::UnknownColumn {
+                table: table.name().to_string(),
+                column: name.to_lowercase(),
+            }),
+        }
+    };
+    let projected: Vec<(String, Option<usize>)> = match &select.projection {
+        Projection::All => schema
+            .column_names()
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| (n, Some(i)))
+            .collect(),
+        Projection::Columns(names) => names
+            .iter()
+            .map(|n| Ok((n.to_lowercase(), resolve(n)?)))
+            .collect::<Result<Vec<_>>>()?,
+    };
+    if let Some(filter) = &select.filter {
+        for column in filter.referenced_columns() {
+            resolve(&column)?;
+        }
+    }
+    let order_index = match &select.order_by {
+        Some(OrderBy { column, .. }) => resolve(column)?,
+        None => None,
+    };
+
+    // Scan and filter.  Under snapshot semantics a predicate over a
+    // missing column evaluates to NULL and rejects the row, as it would
+    // over an existing-but-unfilled column.
+    let mut matching: Vec<usize> = Vec::new();
+    for (i, row) in table.rows().iter().enumerate() {
+        let keep = match &select.filter {
+            Some(filter) if lenient => filter.matches_lenient(schema, row, table.name())?,
+            Some(filter) => filter.matches(schema, row, table.name())?,
+            None => true,
+        };
+        if keep {
+            matching.push(i);
+        }
+    }
+
+    // Order.  A missing (snapshot-only) sort key is all-NULL, so the order
+    // is a no-op: the scan order is kept, which is also what
+    // NULLs-sort-equal would yield.
+    if let (Some(OrderBy { ascending, .. }), Some(col_idx)) = (&select.order_by, order_index) {
+        matching.sort_by(|&a, &b| {
+            let va = &table.rows()[a][col_idx];
+            let vb = &table.rows()[b][col_idx];
+            // NULLs sort last regardless of direction.
+            let ord = match (va.is_null(), vb.is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+                (false, false) => va.compare(vb).unwrap_or(std::cmp::Ordering::Equal),
+            };
+            if *ascending {
+                ord
+            } else {
+                ord.reverse()
+            }
+        });
+    }
+
+    // Limit.
+    if let Some(limit) = select.limit {
+        matching.truncate(limit);
+    }
+
+    // Project; a missing column is a constant-NULL column.
+    let columns: Vec<String> = projected.iter().map(|(n, _)| n.clone()).collect();
+    let rows: Vec<Vec<Value>> = matching
+        .iter()
+        .map(|&i| {
+            projected
+                .iter()
+                .map(|(_, index)| match index {
+                    Some(index) => table.rows()[i][*index].clone(),
+                    None => Value::Null,
+                })
+                .collect()
+        })
+        .collect();
+
+    Ok(SnapshotResult {
+        result: QueryResult {
+            columns,
+            rows,
+            rows_affected: 0,
+        },
+        row_indices: matching,
+        missing_columns,
+    })
+}
+
 /// Executes a parsed statement against the catalog.
 pub fn execute(statement: &Statement, catalog: &mut Catalog) -> Result<QueryResult> {
     match statement {
         Statement::Select(select) => execute_select(select, catalog),
+        Statement::ExplainExpansion(_) => Err(RelationalError::InvalidStatement(
+            "EXPLAIN EXPANSION is answered by the crowd layer, not the relational engine \
+             (the plan it describes does not exist here)"
+                .into(),
+        )),
         Statement::Insert {
             table,
             columns,
@@ -228,111 +396,12 @@ pub fn execute_select_indexed(
     select: &SelectStatement,
     catalog: &Catalog,
 ) -> Result<(QueryResult, Vec<usize>)> {
-    let table = catalog.table(&select.table)?;
-    let schema = table.schema();
-
-    // Resolve the projection up front so unknown columns error out even for
-    // empty tables.
-    let projected_indices: Vec<(String, usize)> = match &select.projection {
-        Projection::All => schema
-            .column_names()
-            .into_iter()
-            .enumerate()
-            .map(|(i, n)| (n, i))
-            .collect(),
-        Projection::Columns(names) => names
-            .iter()
-            .map(|n| {
-                schema
-                    .index_of(n)
-                    .map(|i| (n.to_lowercase(), i))
-                    .ok_or_else(|| RelationalError::UnknownColumn {
-                        table: table.name().to_string(),
-                        column: n.to_lowercase(),
-                    })
-            })
-            .collect::<Result<Vec<_>>>()?,
-    };
-
-    // Validate the filter's column references before scanning (gives the
-    // crowd layer a deterministic UnknownColumn error).
-    if let Some(filter) = &select.filter {
-        for column in filter.referenced_columns() {
-            if !schema.contains(&column) {
-                return Err(RelationalError::UnknownColumn {
-                    table: table.name().to_string(),
-                    column,
-                });
-            }
-        }
-    }
-    if let Some(OrderBy { column, .. }) = &select.order_by {
-        if !schema.contains(column) {
-            return Err(RelationalError::UnknownColumn {
-                table: table.name().to_string(),
-                column: column.to_lowercase(),
-            });
-        }
-    }
-
-    // Scan, filter, and collect row indices.
-    let mut matching: Vec<usize> = Vec::new();
-    for (i, row) in table.rows().iter().enumerate() {
-        let keep = match &select.filter {
-            Some(filter) => filter.matches(schema, row, table.name())?,
-            None => true,
-        };
-        if keep {
-            matching.push(i);
-        }
-    }
-
-    // Order.
-    if let Some(OrderBy { column, ascending }) = &select.order_by {
-        let col_idx = schema.index_of(column).expect("validated above");
-        matching.sort_by(|&a, &b| {
-            let va = &table.rows()[a][col_idx];
-            let vb = &table.rows()[b][col_idx];
-            // NULLs sort last regardless of direction.
-            let ord = match (va.is_null(), vb.is_null()) {
-                (true, true) => std::cmp::Ordering::Equal,
-                (true, false) => std::cmp::Ordering::Greater,
-                (false, true) => std::cmp::Ordering::Less,
-                (false, false) => va.compare(vb).unwrap_or(std::cmp::Ordering::Equal),
-            };
-            if *ascending {
-                ord
-            } else {
-                ord.reverse()
-            }
-        });
-    }
-
-    // Limit.
-    if let Some(limit) = select.limit {
-        matching.truncate(limit);
-    }
-
-    // Project.
-    let columns: Vec<String> = projected_indices.iter().map(|(n, _)| n.clone()).collect();
-    let rows: Vec<Vec<Value>> = matching
-        .iter()
-        .map(|&i| {
-            projected_indices
-                .iter()
-                .map(|&(_, idx)| table.rows()[i][idx].clone())
-                .collect()
-        })
-        .collect();
-
-    Ok((
-        QueryResult {
-            columns,
-            rows,
-            rows_affected: 0,
-        },
-        matching,
-    ))
+    let snapshot = execute_select_core(select, catalog, false)?;
+    debug_assert!(
+        snapshot.missing_columns.is_empty(),
+        "the strict path errors on unknown columns instead of recording them"
+    );
+    Ok((snapshot.result, snapshot.row_indices))
 }
 
 fn execute_insert(
@@ -724,6 +793,79 @@ mod tests {
         assert_eq!(stmt.referenced_columns(), vec!["id", "name"]);
         let stmt = parse("UPDATE movies SET rating = rating + 1 WHERE year < 1970").unwrap();
         assert_eq!(stmt.referenced_columns(), vec!["rating", "year"]);
+    }
+
+    #[test]
+    fn snapshot_select_serves_missing_columns_as_null() {
+        let catalog = setup();
+        // `is_comedy` does not exist: the strict path errors, the snapshot
+        // path answers with the column all-NULL and the predicate over it
+        // rejecting every row (NULL-rejects semantics).
+        let select = match parse("SELECT name, is_comedy FROM movies WHERE year < 1977").unwrap() {
+            Statement::Select(select) => select,
+            other => panic!("expected SELECT, got {other:?}"),
+        };
+        let snapshot = execute_select_snapshot(&select, &catalog).unwrap();
+        assert_eq!(snapshot.result.columns, vec!["name", "is_comedy"]);
+        assert_eq!(snapshot.missing_columns, vec!["is_comedy"]);
+        assert_eq!(snapshot.result.rows.len(), 3);
+        assert!(snapshot.result.rows.iter().all(|row| row[1] == Value::Null));
+        assert_eq!(snapshot.result.rows.len(), snapshot.row_indices.len());
+
+        // A predicate over the missing column rejects all rows…
+        let select = match parse("SELECT name FROM movies WHERE is_comedy = true").unwrap() {
+            Statement::Select(select) => select,
+            other => panic!("expected SELECT, got {other:?}"),
+        };
+        let snapshot = execute_select_snapshot(&select, &catalog).unwrap();
+        assert!(snapshot.result.rows.is_empty());
+        assert_eq!(snapshot.missing_columns, vec!["is_comedy"]);
+
+        // …while OR over a stored column still answers from stored data,
+        // and a missing ORDER BY key degrades to scan order instead of
+        // failing.
+        let select = match parse(
+            "SELECT name FROM movies WHERE is_comedy = true OR year < 1977 ORDER BY humor",
+        )
+        .unwrap()
+        {
+            Statement::Select(select) => select,
+            other => panic!("expected SELECT, got {other:?}"),
+        };
+        let snapshot = execute_select_snapshot(&select, &catalog).unwrap();
+        assert_eq!(snapshot.result.rows.len(), 3);
+        assert_eq!(snapshot.missing_columns, vec!["is_comedy", "humor"]);
+
+        // Fully resolved statements report nothing missing and agree with
+        // the strict executor.
+        let select = match parse("SELECT name FROM movies WHERE year < 1977").unwrap() {
+            Statement::Select(select) => select,
+            other => panic!("expected SELECT, got {other:?}"),
+        };
+        let snapshot = execute_select_snapshot(&select, &catalog).unwrap();
+        assert!(snapshot.missing_columns.is_empty());
+        let (strict, indices) = execute_select_indexed(&select, &catalog).unwrap();
+        assert_eq!(snapshot.result, strict);
+        assert_eq!(snapshot.row_indices, indices);
+    }
+
+    #[test]
+    fn explain_expansion_is_rejected_by_the_relational_executor() {
+        let mut catalog = setup();
+        let stmt = parse("EXPLAIN EXPANSION SELECT * FROM movies").unwrap();
+        assert!(matches!(
+            execute(&stmt, &mut catalog),
+            Err(RelationalError::InvalidStatement(_))
+        ));
+        assert!(matches!(
+            execute_read_indexed(&stmt, &catalog),
+            Err(RelationalError::InvalidStatement(_))
+        ));
+        // But analysis sees straight through to the wrapped SELECT.
+        let stmt = parse("EXPLAIN EXPANSION SELECT * FROM movies WHERE is_comedy = true").unwrap();
+        let analysis = analyze(&stmt, &catalog).unwrap();
+        assert_eq!(analysis.table.as_deref(), Some("movies"));
+        assert_eq!(analysis.missing_columns, vec!["is_comedy"]);
     }
 
     #[test]

@@ -130,24 +130,50 @@ impl Expr {
 
     /// Evaluates the expression against one row.
     pub fn evaluate(&self, schema: &Schema, row: &[Value], table_name: &str) -> Result<Value> {
+        self.evaluate_inner(schema, row, table_name, false)
+    }
+
+    /// Like [`evaluate`](Expr::evaluate), but references to columns absent
+    /// from the schema evaluate to [`Value::Null`] instead of erroring.
+    ///
+    /// This is the *snapshot* semantics of a crowd-enabled database: a
+    /// predicate over a not-yet-materialized perceptual attribute behaves as
+    /// if the column existed with every value unknown, so the rows
+    /// answerable from stored data alone can be returned immediately while
+    /// acquisition continues.
+    pub fn evaluate_lenient(
+        &self,
+        schema: &Schema,
+        row: &[Value],
+        table_name: &str,
+    ) -> Result<Value> {
+        self.evaluate_inner(schema, row, table_name, true)
+    }
+
+    fn evaluate_inner(
+        &self,
+        schema: &Schema,
+        row: &[Value],
+        table_name: &str,
+        lenient: bool,
+    ) -> Result<Value> {
         match self {
-            Expr::Column(name) => {
-                let idx = schema
-                    .index_of(name)
-                    .ok_or_else(|| RelationalError::UnknownColumn {
-                        table: table_name.to_string(),
-                        column: name.to_lowercase(),
-                    })?;
-                Ok(row[idx].clone())
-            }
+            Expr::Column(name) => match schema.index_of(name) {
+                Some(idx) => Ok(row[idx].clone()),
+                None if lenient => Ok(Value::Null),
+                None => Err(RelationalError::UnknownColumn {
+                    table: table_name.to_string(),
+                    column: name.to_lowercase(),
+                }),
+            },
             Expr::Literal(v) => Ok(v.clone()),
             Expr::BinaryOp { left, op, right } => {
-                let l = left.evaluate(schema, row, table_name)?;
-                let r = right.evaluate(schema, row, table_name)?;
+                let l = left.evaluate_inner(schema, row, table_name, lenient)?;
+                let r = right.evaluate_inner(schema, row, table_name, lenient)?;
                 evaluate_binary(&l, *op, &r)
             }
             Expr::UnaryOp { op, expr } => {
-                let v = expr.evaluate(schema, row, table_name)?;
+                let v = expr.evaluate_inner(schema, row, table_name, lenient)?;
                 match op {
                     UnaryOperator::Not => Ok(match v {
                         Value::Null => Value::Null,
@@ -169,11 +195,11 @@ impl Expr {
                 }
             }
             Expr::IsNull(expr) => {
-                let v = expr.evaluate(schema, row, table_name)?;
+                let v = expr.evaluate_inner(schema, row, table_name, lenient)?;
                 Ok(Value::Boolean(v.is_null()))
             }
             Expr::IsNotNull(expr) => {
-                let v = expr.evaluate(schema, row, table_name)?;
+                let v = expr.evaluate_inner(schema, row, table_name, lenient)?;
                 Ok(Value::Boolean(!v.is_null()))
             }
         }
@@ -184,6 +210,27 @@ impl Expr {
     /// row).
     pub fn matches(&self, schema: &Schema, row: &[Value], table_name: &str) -> Result<bool> {
         match self.evaluate(schema, row, table_name)? {
+            Value::Boolean(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(RelationalError::Evaluation(format!(
+                "WHERE predicate evaluated to non-boolean value {other}"
+            ))),
+        }
+    }
+
+    /// [`matches`](Expr::matches) under [`evaluate_lenient`]'s
+    /// missing-column-is-`NULL` semantics: a predicate over an unknown
+    /// column evaluates to `NULL` and therefore rejects the row, exactly as
+    /// it would once the column existed with that cell unfilled.
+    ///
+    /// [`evaluate_lenient`]: Expr::evaluate_lenient
+    pub fn matches_lenient(
+        &self,
+        schema: &Schema,
+        row: &[Value],
+        table_name: &str,
+    ) -> Result<bool> {
+        match self.evaluate_lenient(schema, row, table_name)? {
             Value::Boolean(b) => Ok(b),
             Value::Null => Ok(false),
             other => Err(RelationalError::Evaluation(format!(
@@ -490,6 +537,40 @@ mod tests {
         );
         assert_eq!(e.referenced_columns(), vec!["humor", "year"]);
         assert!(Expr::literal(1i64).referenced_columns().is_empty());
+    }
+
+    #[test]
+    fn lenient_evaluation_treats_unknown_columns_as_null() {
+        let s = schema();
+        let r = row();
+        // Strict: error.  Lenient: NULL, flowing through three-valued logic.
+        let missing = Expr::binary(
+            Expr::column("nonexistent"),
+            BinaryOperator::Eq,
+            Expr::literal(true),
+        );
+        assert!(missing.evaluate(&s, &r, "t").is_err());
+        assert_eq!(missing.evaluate_lenient(&s, &r, "t").unwrap(), Value::Null);
+        assert!(!missing.matches_lenient(&s, &r, "t").unwrap());
+        // NULL OR true = true: stored data still answers.
+        let or_known = Expr::binary(
+            missing,
+            BinaryOperator::Or,
+            Expr::binary(Expr::column("id"), BinaryOperator::Eq, Expr::literal(1i64)),
+        );
+        assert!(or_known.matches_lenient(&s, &r, "t").unwrap());
+        // IS NULL over a missing column is true — the cell is a hole.
+        let is_null = Expr::IsNull(Box::new(Expr::column("nonexistent")));
+        assert_eq!(
+            is_null.evaluate_lenient(&s, &r, "t").unwrap(),
+            Value::Boolean(true)
+        );
+        // Known columns behave identically on both paths.
+        let known = Expr::binary(Expr::column("id"), BinaryOperator::Eq, Expr::literal(1i64));
+        assert_eq!(
+            known.evaluate(&s, &r, "t").unwrap(),
+            known.evaluate_lenient(&s, &r, "t").unwrap()
+        );
     }
 
     #[test]

@@ -46,7 +46,8 @@ pub mod value;
 pub use catalog::Catalog;
 pub use error::RelationalError;
 pub use executor::{
-    analyze, execute, execute_read, execute_read_indexed, QueryResult, StatementAnalysis,
+    analyze, execute, execute_read, execute_read_indexed, execute_select_snapshot, QueryResult,
+    SnapshotResult, StatementAnalysis,
 };
 pub use expr::{BinaryOperator, Expr, UnaryOperator};
 pub use schema::{Column, Schema};

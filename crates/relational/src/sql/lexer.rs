@@ -48,7 +48,7 @@ const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "ORDER", "BY", "ASC", "DESC", "LIMIT", "INSERT", "INTO", "VALUES",
     "CREATE", "TABLE", "ALTER", "ADD", "COLUMN", "NOT", "NULL", "AND", "OR", "TRUE", "FALSE", "IS",
     "INTEGER", "INT", "FLOAT", "REAL", "DOUBLE", "TEXT", "VARCHAR", "STRING", "BOOLEAN", "BOOL",
-    "UPDATE", "SET", "DELETE", "WITH",
+    "UPDATE", "SET", "DELETE", "WITH", "EXPLAIN",
 ];
 // `EXPANSION` is deliberately NOT in the list: it only has meaning directly
 // after `WITH` and the parser matches it contextually, so pre-existing

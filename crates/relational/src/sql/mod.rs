@@ -71,6 +71,41 @@ impl ExpansionClauseMode {
             ExpansionClauseMode::Full => "full",
         }
     }
+
+    /// Every mode with its SQL spelling — the single table the parser,
+    /// [`std::str::FromStr`], and the crowd layer's `ExpansionMode`
+    /// conversions are all built on, so the accepted spellings cannot
+    /// drift between surfaces.
+    pub const ALL: [ExpansionClauseMode; 4] = [
+        ExpansionClauseMode::Deny,
+        ExpansionClauseMode::CacheOnly,
+        ExpansionClauseMode::BestEffort,
+        ExpansionClauseMode::Full,
+    ];
+}
+
+impl fmt::Display for ExpansionClauseMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for ExpansionClauseMode {
+    type Err = crate::error::RelationalError;
+
+    /// Parses the SQL spelling of a mode (`deny`, `cache_only`,
+    /// `best_effort`, `full`), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ExpansionClauseMode::ALL
+            .into_iter()
+            .find(|mode| mode.as_str().eq_ignore_ascii_case(s))
+            .ok_or_else(|| {
+                crate::error::RelationalError::Parse(format!(
+                    "unknown expansion mode '{s}' \
+                     (expected deny, cache_only, best_effort, or full)"
+                ))
+            })
+    }
 }
 
 /// A parsed `WITH EXPANSION (budget = …, mode = …, quality >= …)` suffix
@@ -147,6 +182,11 @@ pub struct SelectStatement {
 pub enum Statement {
     /// `SELECT …`
     Select(SelectStatement),
+    /// `EXPLAIN EXPANSION SELECT …` — ask what crowd work the wrapped
+    /// `SELECT` *would* trigger (planned concepts, cache hits, a priced
+    /// dollar preview) without dispatching any of it.  The relational
+    /// engine only carries the request; the crowd layer answers it.
+    ExplainExpansion(SelectStatement),
     /// `INSERT INTO …`
     Insert {
         /// Target table.
@@ -206,7 +246,9 @@ impl Statement {
             }
         };
         match self {
-            Statement::Select(select) => {
+            // An EXPLAIN references exactly what its wrapped SELECT would:
+            // the crowd layer analyzes both through the same pass.
+            Statement::Select(select) | Statement::ExplainExpansion(select) => {
                 if let Projection::Columns(names) = &select.projection {
                     names.iter().for_each(|n| push(n));
                 }
@@ -242,18 +284,19 @@ impl Statement {
     }
 
     /// True when executing the statement cannot modify the catalog — i.e.
-    /// it is a `SELECT`.  Concurrent engines use this to route read-only
-    /// statements through [`crate::executor::execute_read`] under a shared
-    /// lock while writes take the exclusive one.
+    /// it is a `SELECT` (or an `EXPLAIN EXPANSION` over one, which by
+    /// definition performs no work at all).  Concurrent engines use this to
+    /// route read-only statements through [`crate::executor::execute_read`]
+    /// under a shared lock while writes take the exclusive one.
     pub fn is_read_only(&self) -> bool {
-        matches!(self, Statement::Select(_))
+        matches!(self, Statement::Select(_) | Statement::ExplainExpansion(_))
     }
 
     /// The table the statement operates on, when it targets an existing
     /// table (`CREATE TABLE` introduces its table instead of reading one).
     pub fn target_table(&self) -> Option<&str> {
         match self {
-            Statement::Select(select) => Some(&select.table),
+            Statement::Select(select) | Statement::ExplainExpansion(select) => Some(&select.table),
             Statement::Insert { table, .. }
             | Statement::AlterTableAddColumn { table, .. }
             | Statement::Update { table, .. }

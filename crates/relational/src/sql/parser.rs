@@ -98,14 +98,33 @@ impl Parser {
     fn statement(&mut self) -> Result<Statement> {
         match self.peek() {
             Some(Token::Keyword(k)) if k == "SELECT" => self.select(),
+            Some(Token::Keyword(k)) if k == "EXPLAIN" => self.explain_expansion(),
             Some(Token::Keyword(k)) if k == "INSERT" => self.insert(),
             Some(Token::Keyword(k)) if k == "CREATE" => self.create_table(),
             Some(Token::Keyword(k)) if k == "ALTER" => self.alter_table(),
             Some(Token::Keyword(k)) if k == "UPDATE" => self.update(),
             Some(Token::Keyword(k)) if k == "DELETE" => self.delete(),
             other => Err(RelationalError::Parse(format!(
-                "expected SELECT, INSERT, UPDATE, DELETE, CREATE, or ALTER, found {other:?}"
+                "expected SELECT, EXPLAIN, INSERT, UPDATE, DELETE, CREATE, or ALTER, found {other:?}"
             ))),
+        }
+    }
+
+    /// `EXPLAIN EXPANSION <select>` — like `WITH`, `EXPANSION` stays a
+    /// contextual identifier so schemas using the name keep working.
+    fn explain_expansion(&mut self) -> Result<Statement> {
+        self.keyword("EXPLAIN")?;
+        match self.advance() {
+            Some(Token::Identifier(word)) if word == "expansion" => {}
+            other => {
+                return Err(RelationalError::Parse(format!(
+                    "expected EXPANSION after EXPLAIN, found {other:?}"
+                )))
+            }
+        }
+        match self.select()? {
+            Statement::Select(select) => Ok(Statement::ExplainExpansion(select)),
+            other => unreachable!("select() only returns SELECT, got {other:?}"),
         }
     }
 
@@ -257,18 +276,10 @@ impl Parser {
                             )))
                         }
                     };
-                    let mode = match name.as_str() {
-                        "deny" => ExpansionClauseMode::Deny,
-                        "cache_only" => ExpansionClauseMode::CacheOnly,
-                        "best_effort" => ExpansionClauseMode::BestEffort,
-                        "full" => ExpansionClauseMode::Full,
-                        other => {
-                            return Err(RelationalError::Parse(format!(
-                                "unknown expansion mode '{other}' \
-                                 (expected deny, cache_only, best_effort, or full)"
-                            )))
-                        }
-                    };
+                    // One shared mode table: the parser accepts exactly the
+                    // spellings `ExpansionClauseMode::from_str` does, so SQL
+                    // and the programmatic `FromStr` surface cannot drift.
+                    let mode: ExpansionClauseMode = name.parse()?;
                     match clause.mode {
                         Some(previous) if previous != mode => {
                             return Err(RelationalError::Parse(format!(
@@ -793,6 +804,60 @@ mod tests {
         assert!(msg.contains("duplicate budget"), "{msg}");
         let msg = parse_error("SELECT * FROM t WITH EXPANSION (quality >= 0.5, quality >= 0.6)");
         assert!(msg.contains("duplicate quality"), "{msg}");
+    }
+
+    #[test]
+    fn explain_expansion_wraps_a_full_select() {
+        let stmt = parse(
+            "EXPLAIN EXPANSION SELECT name FROM movies WHERE is_comedy = true \
+             ORDER BY year DESC LIMIT 5 WITH EXPANSION (budget = 2.5)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::ExplainExpansion(select) => {
+                assert_eq!(select.table, "movies");
+                assert!(select.filter.is_some());
+                assert_eq!(select.limit, Some(5));
+                assert_eq!(select.expansion.unwrap().budget, Some(2.5));
+            }
+            other => panic!("expected EXPLAIN EXPANSION, got {other:?}"),
+        }
+        // The wrapper is read-only, targets the inner table, and references
+        // exactly what the wrapped SELECT would.
+        let stmt = parse("EXPLAIN EXPANSION SELECT a FROM t WHERE b = 1 ORDER BY c").unwrap();
+        assert!(stmt.is_read_only());
+        assert_eq!(stmt.target_table(), Some("t"));
+        assert_eq!(stmt.referenced_columns(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn explain_expansion_rejects_malformed_forms() {
+        let msg = parse_error("EXPLAIN SELECT * FROM t");
+        assert!(msg.contains("expected EXPANSION after EXPLAIN"), "{msg}");
+        assert!(parse("EXPLAIN EXPANSION").is_err());
+        assert!(parse("EXPLAIN EXPANSION INSERT INTO t (a) VALUES (1)").is_err());
+        assert!(parse("EXPLAIN EXPANSION DELETE FROM t").is_err());
+        // EXPLAIN is a reserved keyword; EXPANSION stays contextual.
+        assert!(parse("SELECT expansion FROM t").is_ok());
+        assert!(parse("SELECT explain FROM t").is_err());
+    }
+
+    #[test]
+    fn expansion_clause_mode_from_str_matches_the_parser() {
+        // The FromStr table and the `mode =` table are the same code path.
+        for mode in ExpansionClauseMode::ALL {
+            assert_eq!(mode.as_str().parse::<ExpansionClauseMode>().unwrap(), mode);
+            assert_eq!(mode.to_string(), mode.as_str());
+            let clause =
+                select_expansion(&format!("SELECT * FROM t WITH EXPANSION (mode = {mode})"));
+            assert_eq!(clause.mode, Some(mode));
+        }
+        assert!("cheap".parse::<ExpansionClauseMode>().is_err());
+        // Case-insensitive, like everything else in the SQL surface.
+        assert_eq!(
+            "BEST_EFFORT".parse::<ExpansionClauseMode>().unwrap(),
+            ExpansionClauseMode::BestEffort
+        );
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Anytime queries over a crowd-enabled database.
+//!
+//! A blocking `run()` hides the whole crowd round behind one return value;
+//! this example drives the same query through `QueryBuilder::stream()` and
+//! narrates what an interactive consumer sees instead: an immediate
+//! snapshot, per-concept progress with completeness and remaining-cost
+//! estimates straight from the crowd source, per-round verdict deltas, and
+//! finally the exact outcome `run()` would have produced.  It also shows
+//! `EXPLAIN EXPANSION` pricing the plan for free before any money moves,
+//! and the `events_since` cursor for cheap polling.
+//!
+//! Run with `cargo run --release --example streaming`.
+
+use crowddb::prelude::*;
+
+fn main() {
+    // A mid-sized synthetic movie domain with its perceptual space.
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.2), 42).unwrap();
+    let space = build_space_for_domain(&domain, 8, 12).unwrap();
+    let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 7);
+
+    let db = CrowdDb::new(CrowdDbConfig {
+        strategy: ExpansionStrategy::DirectCrowd,
+        ..Default::default()
+    });
+    db.load_domain("movies", &domain, space, Box::new(crowd))
+        .unwrap();
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
+
+    // Before spending a cent: what would this query cost?  EXPLAIN
+    // EXPANSION answers from the planner and the crowd source's own price
+    // list, with zero crowd dispatch.
+    let explain = db
+        .query("EXPLAIN EXPANSION SELECT name, is_comedy FROM movies WHERE is_comedy = true")
+        .run()
+        .unwrap();
+    println!("EXPLAIN EXPANSION:");
+    for row in &explain.rows().unwrap().rows {
+        println!(
+            "  concept {} via column {}: {} items, {} cached, {} to crowd, ~${}",
+            row[0], row[1], row[3], row[4], row[5], row[6]
+        );
+    }
+
+    // The anytime query: a budget of $2 under best-effort, streamed.
+    let mut events_cursor = 0u64;
+    let mut stream = db
+        .query(
+            "SELECT name, is_comedy FROM movies WHERE is_comedy = true \
+             WITH EXPANSION (budget = 2.0, mode = best_effort)",
+        )
+        .stream();
+    println!("\nstreaming events:");
+    let mut deltas = 0usize;
+    for event in &mut stream {
+        match event {
+            QueryEvent::Snapshot(rows) => {
+                // Nothing is materialized yet, so the snapshot is empty —
+                // but it arrives *now*, not after the crowd round.
+                println!(
+                    "  snapshot: {} rows answerable immediately",
+                    rows.rows.len()
+                );
+            }
+            QueryEvent::Progress {
+                concept,
+                items_resolved,
+                items_outstanding,
+                estimated_completeness,
+                estimated_remaining_cost,
+                ..
+            } => {
+                println!(
+                    "  progress[{concept}]: {items_resolved} resolved, \
+                     {items_outstanding} outstanding, {:.0} % complete, \
+                     ~${estimated_remaining_cost:.2} to finish",
+                    estimated_completeness * 100.0
+                );
+            }
+            QueryEvent::Delta {
+                rows,
+                concept,
+                round,
+                cost_so_far,
+                ..
+            } => {
+                deltas += 1;
+                println!(
+                    "  delta[{concept}] round {round}: {} fresh verdicts, \
+                     ${cost_so_far:.2} spent so far",
+                    rows.rows.len()
+                );
+            }
+            QueryEvent::Completed(outcome) => {
+                let rows = outcome.rows().unwrap();
+                println!(
+                    "  completed: {} comedies, ${:.2} charged, {} cells left missing",
+                    rows.rows.len(),
+                    outcome.crowd_cost,
+                    rows.missing_cells()
+                );
+            }
+            _ => {}
+        }
+    }
+    let outcome = stream.wait().unwrap();
+    assert!(deltas > 0, "the budget bought at least one round");
+    assert!(outcome.crowd_cost <= 2.0 + 1e-9);
+
+    // Poll the expansion history with the cursor API: each event is handed
+    // out exactly once, no matter how often we ask.
+    let (events, cursor) = db.events_since(events_cursor);
+    events_cursor = cursor;
+    for event in &events {
+        println!(
+            "\nexpansion event: {} on {} ({} items crowd-sourced, ${:.2})",
+            event.report.column,
+            event.report.table,
+            event.report.items_crowd_sourced,
+            event.report.crowd_cost
+        );
+    }
+    let (none, _) = db.events_since(events_cursor);
+    assert!(none.is_empty(), "no re-copied history on the second poll");
+
+    // A later unbudgeted query completes the column; `run()` is just a
+    // drained stream, so the two entry points cannot disagree.
+    let completion = db
+        .query("SELECT name, is_comedy FROM movies WHERE is_comedy = true")
+        .run()
+        .unwrap();
+    println!(
+        "\ncompletion query: {} comedies after paying the remaining ${:.2}",
+        completion.rows().unwrap().rows.len(),
+        completion.crowd_cost
+    );
+}

@@ -46,8 +46,9 @@ pub mod prelude {
         extract_binary_attribute, extract_numeric_attribute, repair_labels, AttributeRequest,
         AuditOutcome, BoostCurve, CacheStats, CellProvenance, CrowdDb, CrowdDbConfig, CrowdDbError,
         CrowdSource, ExpansionMode, ExpansionPlan, ExpansionPolicy, ExpansionReport,
-        ExpansionStrategy, ExtractionConfig, JudgmentCache, MissingReason, QueryBuilder,
-        QueryOutcome, RepairOutcome, RowSet, Session, SimulatedCrowd, StatementResult,
+        ExpansionStrategy, ExtractionConfig, JudgmentCache, MissingReason, OutstandingEstimate,
+        QueryBuilder, QueryEvent, QueryOutcome, QueryStream, RepairOutcome, RowSet, Session,
+        SimulatedCrowd, StatementResult,
     };
     pub use crowdsim::{
         majority_vote, CrowdPlatform, CrowdRun, ExperimentRegime, HitConfig, Judgment,
