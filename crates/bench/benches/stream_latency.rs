@@ -62,22 +62,28 @@ fn measure_stream(db: &CrowdDb, budget: Option<f64>) -> (f64, f64) {
     (first_row_ms.expect("no snapshot arrived"), complete_ms)
 }
 
-/// One cold blocking pass: milliseconds to the full answer.
-fn measure_blocking(db: &CrowdDb, budget: Option<f64>) -> f64 {
+/// One cold blocking pass: milliseconds to the full answer, plus the
+/// deterministic outcome facts (crowd dollars, missing cells) the
+/// regression guard compares against its committed baseline.
+fn measure_blocking(db: &CrowdDb, budget: Option<f64>) -> (f64, f64, usize) {
     let start = Instant::now();
     let builder = db.query(QUERY);
     let builder = match budget {
         Some(dollars) => builder.budget(dollars),
         None => builder,
     };
-    builder.run().unwrap();
-    start.elapsed().as_secs_f64() * 1e3
+    let outcome = builder.run().unwrap();
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let missing_cells = outcome.rows().map(|r| r.missing_cells()).unwrap_or(0);
+    (ms, outcome.crowd_cost, missing_cells)
 }
 
 struct ModeLatency {
     first_row_ms: f64,
     stream_complete_ms: f64,
     blocking_complete_ms: f64,
+    cost_dollars: f64,
+    missing_cells: usize,
 }
 
 fn measure_mode(
@@ -87,11 +93,14 @@ fn measure_mode(
 ) -> ModeLatency {
     let (first_row_ms, stream_complete_ms) =
         measure_stream(&make_db(domain, space.clone()), budget);
-    let blocking_complete_ms = measure_blocking(&make_db(domain, space.clone()), budget);
+    let (blocking_complete_ms, cost_dollars, missing_cells) =
+        measure_blocking(&make_db(domain, space.clone()), budget);
     ModeLatency {
         first_row_ms,
         stream_complete_ms,
         blocking_complete_ms,
+        cost_dollars,
+        missing_cells,
     }
 }
 
@@ -102,18 +111,26 @@ fn write_report(items: usize, full: &ModeLatency, best_effort: &ModeLatency, bud
     path.pop();
     path.pop();
     path.push("BENCH_stream.json");
+    // Key names are globally unique (not nested-scoped) so the flat field
+    // extraction in check_bench_regression stays unambiguous.
     let json = format!(
         "{{\n  \"bench\": \"stream_latency\",\n  \"items\": {items},\n  \"full\": {{\n    \
          \"first_row_ms\": {:.3},\n    \"stream_complete_ms\": {:.3},\n    \
-         \"blocking_complete_ms\": {:.3}\n  }},\n  \"best_effort\": {{\n    \
+         \"blocking_complete_ms\": {:.3},\n    \"full_cost_dollars\": {:.4},\n    \
+         \"full_missing_cells\": {}\n  }},\n  \"best_effort\": {{\n    \
          \"budget_dollars\": {budget:.4},\n    \"first_row_ms\": {:.3},\n    \
-         \"stream_complete_ms\": {:.3},\n    \"blocking_complete_ms\": {:.3}\n  }}\n}}\n",
+         \"stream_complete_ms\": {:.3},\n    \"blocking_complete_ms\": {:.3},\n    \
+         \"best_effort_cost_dollars\": {:.4},\n    \"best_effort_missing_cells\": {}\n  }}\n}}\n",
         full.first_row_ms,
         full.stream_complete_ms,
         full.blocking_complete_ms,
+        full.cost_dollars,
+        full.missing_cells,
         best_effort.first_row_ms,
         best_effort.stream_complete_ms,
         best_effort.blocking_complete_ms,
+        best_effort.cost_dollars,
+        best_effort.missing_cells,
     );
     std::fs::write(&path, json).expect("write BENCH_stream.json");
     println!("wrote {}", path.display());

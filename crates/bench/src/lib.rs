@@ -17,6 +17,8 @@
 //! The binaries print the same rows/series the paper reports so that
 //! `EXPERIMENTS.md` can list paper-vs-measured values side by side.
 
+#![warn(missing_docs)]
+
 use mlkit::{BinaryConfusion, LabeledDataset, LsiModel};
 use perceptual::PerceptualSpace;
 

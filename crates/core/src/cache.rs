@@ -80,6 +80,10 @@ struct CacheInner {
     cost_saved: f64,
 }
 
+/// One exported cache group: the `(table, attribute)` key and its entries,
+/// sorted by item id (see [`JudgmentCache::export`]).
+pub type CacheGroup = (String, String, Vec<(ItemId, CachedJudgment)>);
+
 /// A concurrency-safe cache of aggregated crowd judgments keyed by
 /// `(table, attribute, item)`.
 #[derive(Debug, Default)]
@@ -209,6 +213,51 @@ impl JudgmentCache {
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.read().entries.values().all(HashMap::is_empty)
+    }
+
+    /// Every cached entry, grouped by `(table, attribute)` and sorted (both
+    /// the groups and each group's items) so the export is deterministic —
+    /// the judgment half of a durable snapshot, together with
+    /// [`stats`](JudgmentCache::stats).
+    pub fn export(&self) -> (Vec<CacheGroup>, CacheStats) {
+        let inner = self.read();
+        let mut groups: Vec<CacheGroup> = inner
+            .entries
+            .iter()
+            .map(|((table, attribute), per_item)| {
+                let mut items: Vec<(ItemId, CachedJudgment)> =
+                    per_item.iter().map(|(&item, &j)| (item, j)).collect();
+                items.sort_unstable_by_key(|(item, _)| *item);
+                (table.clone(), attribute.clone(), items)
+            })
+            .collect();
+        groups.sort_unstable_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        let stats = CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            cost_saved: inner.cost_saved,
+            entries: inner.entries.values().map(HashMap::len).sum(),
+        };
+        (groups, stats)
+    }
+
+    /// Rebuilds a cache from exported groups and counters — the recovery
+    /// side of [`export`](JudgmentCache::export).  The `entries` field of
+    /// `stats` is ignored (it is derived from the groups).
+    pub fn restore(groups: Vec<CacheGroup>, stats: CacheStats) -> Self {
+        let cache = JudgmentCache::new();
+        {
+            let mut inner = cache.write();
+            for (table, attribute, items) in groups {
+                inner
+                    .entries
+                    .insert((table, attribute), items.into_iter().collect());
+            }
+            inner.hits = stats.hits;
+            inner.misses = stats.misses;
+            inner.cost_saved = stats.cost_saved;
+        }
+        cache
     }
 
     /// Clears entries and counters.

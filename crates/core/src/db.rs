@@ -36,9 +36,12 @@
 //! from the judgment cache at zero crowd cost (see [`crate::inflight`]).
 
 use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::{Mutex, RwLock, RwLockReadGuard};
+
+use storage::{TableImage, WalRecord};
 
 use crowdsim::majority_vote;
 use datagen::SyntheticDomain;
@@ -52,6 +55,7 @@ use crate::expansion::{ExpansionReport, ExpansionStage, ExpansionStrategy};
 use crate::extraction::extract_binary_attribute;
 use crate::inflight::{Claim, InflightRegistry, InflightStats};
 use crate::materialize::materialize_column;
+use crate::persist::{self, Durability, RecoveredState};
 use crate::planner::{self, ExpansionPlan, PlanInputs};
 use crate::policy::{ExpansionMode, ExpansionPolicy};
 use crate::provenance::{CellProvenance, MissingReason};
@@ -279,6 +283,12 @@ pub(crate) struct DbInner {
     /// thanks to the judgment cache — instead of treating the partial
     /// column as complete forever.
     incomplete: RwLock<HashSet<(String, String)>>,
+    /// The durability engine of a persistent database (`None` for the
+    /// in-memory default).  Mutators append WAL records through
+    /// [`DbInner::log`]; catalog-shaped records are logged under the
+    /// exclusive catalog lock so checkpointing can never split an apply
+    /// from its log record (see [`crate::persist`] for the invariants).
+    durability: Option<Durability>,
 }
 
 /// Core worker threads per database.  The scheduler grows past this
@@ -286,20 +296,159 @@ pub(crate) struct DbInner {
 /// (coalescing *requires* that) and shrinks back when the burst is over.
 const SCHEDULER_CORE_WORKERS: usize = 2;
 
+/// Builds a [`CrowdDb`], optionally durable.
+///
+/// ```no_run
+/// # use crowddb_core::{CrowdDb, CrowdDbConfig};
+/// let db = CrowdDb::builder()
+///     .config(CrowdDbConfig::default())
+///     .persistent("/var/lib/crowddb/movies")
+///     .open()?;
+/// # Ok::<(), crowddb_core::CrowdDbError>(())
+/// ```
+///
+/// Without [`persistent`](CrowdDbBuilder::persistent) the builder yields
+/// the same in-memory database as [`CrowdDb::new`].  With it, opening
+/// replays the directory's snapshot and write-ahead log — catalog,
+/// stored and crowd-materialized cells, per-cell provenance, and the
+/// judgment cache all come back, so answers the crowd was already paid
+/// for are **never bought twice across restarts**.  Perceptual spaces and
+/// crowd sources are runtime objects: re-attach them with
+/// [`CrowdDb::bind_table`] / [`CrowdDb::register_attribute`] after
+/// opening (see `examples/persistent_session.rs`).
+#[derive(Default)]
+pub struct CrowdDbBuilder {
+    config: CrowdDbConfig,
+    path: Option<PathBuf>,
+}
+
+impl CrowdDbBuilder {
+    /// Starts from the default configuration, in-memory.
+    pub fn new() -> Self {
+        CrowdDbBuilder::default()
+    }
+
+    /// Replaces the database configuration.
+    pub fn config(mut self, config: CrowdDbConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Makes the database durable in directory `path` (created if absent):
+    /// state is recovered from it on open, and every committed change is
+    /// WAL-appended to it before the triggering call returns.
+    pub fn persistent(mut self, path: impl Into<PathBuf>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+
+    /// Opens the database, recovering persisted state when a directory was
+    /// configured.  Recovery truncates a torn final WAL record (a crash
+    /// mid-append) but fails with [`CrowdDbError::Storage`] on checksum
+    /// mismatches — silent loss of paid-for judgments is never an option.
+    pub fn open(self) -> Result<CrowdDb> {
+        match self.path {
+            None => Ok(CrowdDb::assemble(
+                self.config,
+                RecoveredState::default(),
+                None,
+            )),
+            Some(dir) => {
+                let (state, durability) = persist::recover(&dir, &self.config.id_column)?;
+                Ok(CrowdDb::assemble(self.config, state, Some(durability)))
+            }
+        }
+    }
+}
+
 impl CrowdDb {
-    /// Creates an empty crowd-enabled database.
+    /// Creates an empty, in-memory crowd-enabled database.  For a durable
+    /// one, use [`CrowdDb::open`] or [`CrowdDb::builder`].
     pub fn new(config: CrowdDbConfig) -> Self {
+        CrowdDb::assemble(config, RecoveredState::default(), None)
+    }
+
+    /// Opens a durable database in directory `path` under the default
+    /// configuration — shorthand for
+    /// `CrowdDb::builder().persistent(path).open()`.  See
+    /// [`CrowdDbBuilder`] for recovery semantics.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        CrowdDb::builder().persistent(path.as_ref()).open()
+    }
+
+    /// Starts building a database (configuration, persistence).
+    pub fn builder() -> CrowdDbBuilder {
+        CrowdDbBuilder::new()
+    }
+
+    /// True when the database is backed by a durable directory.
+    pub fn is_persistent(&self) -> bool {
+        self.inner.durability.is_some()
+    }
+
+    /// Compacts the durable state: writes a fresh snapshot of the whole
+    /// database and truncates the write-ahead log it supersedes.  Returns
+    /// `false` (doing nothing) on an in-memory database.
+    ///
+    /// The checkpoint holds the **shared** catalog lock plus the WAL lock
+    /// for its duration: concurrent readers and the background scheduler
+    /// keep running; writers (mutations, materializations, cache writes)
+    /// block until the snapshot is on disk.  A crash at any point leaves
+    /// either the old snapshot + old WAL or the new snapshot (+ the records
+    /// appended since), never a torn hybrid — the snapshot is written to a
+    /// temp file and atomically renamed into place.
+    pub fn checkpoint(&self) -> Result<bool> {
+        let inner = &self.inner;
+        let durability = match &inner.durability {
+            Some(durability) => durability,
+            None => return Ok(false),
+        };
+        let catalog = rlock(&inner.catalog);
+        durability.checkpoint_with(|wal_generation, wal_records_applied| {
+            persist::snapshot_image(
+                persist::SnapshotParts {
+                    catalog: &catalog,
+                    cache: &inner.cache,
+                    provenance: &rlock(&inner.provenance),
+                    incomplete: &rlock(&inner.incomplete),
+                    crowd_rounds: inner.crowd_rounds.load(Ordering::SeqCst),
+                    id_column: &inner.config.id_column,
+                },
+                wal_generation,
+                wal_records_applied,
+            )
+        })?;
+        Ok(true)
+    }
+
+    /// Current size of the write-ahead log in bytes (0 for in-memory
+    /// databases) — a compaction diagnostic: it grows with committed work
+    /// and collapses back to a few dozen bytes (file header plus the
+    /// configuration stamp) on [`checkpoint`](CrowdDb::checkpoint).
+    pub fn wal_bytes(&self) -> u64 {
+        self.inner
+            .durability
+            .as_ref()
+            .map_or(0, Durability::wal_bytes)
+    }
+
+    fn assemble(
+        config: CrowdDbConfig,
+        state: RecoveredState,
+        durability: Option<Durability>,
+    ) -> Self {
         CrowdDb {
             inner: Arc::new(DbInner {
                 config,
-                catalog: RwLock::new(Catalog::new()),
+                catalog: RwLock::new(state.catalog),
                 bindings: RwLock::new(HashMap::new()),
                 events: Mutex::new(Vec::new()),
-                cache: JudgmentCache::new(),
+                cache: state.cache,
                 inflight: InflightRegistry::new(),
-                crowd_rounds: AtomicU64::new(0),
-                provenance: RwLock::new(HashMap::new()),
-                incomplete: RwLock::new(HashSet::new()),
+                crowd_rounds: AtomicU64::new(state.crowd_rounds),
+                provenance: RwLock::new(state.provenance),
+                incomplete: RwLock::new(state.incomplete),
+                durability,
             }),
             scheduler: Scheduler::new(SCHEDULER_CORE_WORKERS),
         }
@@ -323,8 +472,7 @@ impl CrowdDb {
     /// changes go through SQL via [`CrowdDb::execute`] / [`CrowdDb::query`]
     /// (the pipeline re-derives its row mappings around those).
     pub fn create_table(&self, table: Table) -> Result<()> {
-        wlock(&self.inner.catalog).create_table(table)?;
-        Ok(())
+        self.inner.create_table_logged(table)
     }
 
     /// All expansions performed so far, in completion order.
@@ -377,9 +525,15 @@ impl CrowdDb {
 
     /// Drops the cached judgments of one attribute, forcing the next
     /// expansion to re-crowd-source it (e.g. after a repair round found the
-    /// old judgments questionable).
-    pub fn invalidate_judgments(&self, table: &str, attribute: &str) {
+    /// old judgments questionable).  On a persistent database the eviction
+    /// is durable: a reopened database will not resurrect the distrusted
+    /// judgments (hence the `Result` — the WAL append can fail).
+    pub fn invalidate_judgments(&self, table: &str, attribute: &str) -> Result<()> {
         self.inner.cache.invalidate(table, attribute);
+        self.inner.log(&[WalRecord::CacheInvalidate {
+            table: table.to_lowercase(),
+            attribute: attribute.to_lowercase(),
+        }])
     }
 
     /// Loads a synthetic domain as a table holding the factual attributes
@@ -416,7 +570,7 @@ impl CrowdDb {
                 Value::Float(item.popularity),
             ])?;
         }
-        wlock(&self.inner.catalog).create_table(table)?;
+        self.inner.create_table_logged(table)?;
         wlock(&self.inner.bindings).insert(
             table_name.to_lowercase(),
             Arc::new(TableBinding {
@@ -640,6 +794,37 @@ fn select_of(statement: &sql::Statement) -> Option<&sql::SelectStatement> {
 }
 
 impl DbInner {
+    /// Appends `records` to the WAL as one fsynced group — the durability
+    /// commit point of every mutator.  A no-op on in-memory databases.
+    ///
+    /// Callers logging catalog-shaped records (`CreateTable`, `Mutation`,
+    /// `MaterializeColumn`, `SetCells`) must hold the **exclusive** catalog
+    /// lock across both the in-memory apply and this call; cache-shaped
+    /// records need no lock beyond the WAL's own (see [`crate::persist`]).
+    fn log(&self, records: &[WalRecord]) -> Result<()> {
+        match &self.durability {
+            Some(durability) => durability.log(records),
+            None => Ok(()),
+        }
+    }
+
+    /// Registers a table with the catalog and logs it durably — the apply
+    /// and the append happen under one exclusive catalog lock (the
+    /// checkpoint invariant), shared by [`CrowdDb::create_table`] and
+    /// [`CrowdDb::load_domain`].
+    fn create_table_logged(&self, table: Table) -> Result<()> {
+        let record = self
+            .durability
+            .is_some()
+            .then(|| WalRecord::CreateTable(TableImage::of(&table)));
+        let mut catalog = wlock(&self.catalog);
+        catalog.create_table(table)?;
+        if let Some(record) = record {
+            self.log(&[record])?;
+        }
+        Ok(())
+    }
+
     /// The binding of one table, by lower-cased name.
     fn binding(&self, table_key: &str) -> Result<Arc<TableBinding>> {
         rlock(&self.bindings)
@@ -754,6 +939,16 @@ impl DbInner {
         } else {
             let mut catalog = wlock(&self.catalog);
             let result = executor::execute(&statement, &mut catalog)?;
+            // Replay re-executes the statement text: mutations never
+            // dispatch crowd work, so against the recovered catalog the
+            // re-execution is deterministic.  Logged under the exclusive
+            // catalog lock (still held) so a concurrent checkpoint cannot
+            // capture the apply without the record.
+            if self.durability.is_some() {
+                self.log(&[WalRecord::Mutation {
+                    sql: sql_text.to_string(),
+                }])?;
+            }
             StatementResult::Mutation {
                 rows_affected: result.rows_affected,
             }
@@ -1382,6 +1577,7 @@ impl DbInner {
                     let batch =
                         mlock(&binding.crowd).collect_batch(&requests, self.next_round_seed())?;
                     ledger.charge(batch.total_cost);
+                    let mut wal_pending: Vec<WalRecord> = Vec::new();
                     for (question, (index, token)) in dispatch.into_iter().enumerate() {
                         let judgments = &batch.question_judgments[question];
                         let items = &requests[question].items;
@@ -1397,6 +1593,7 @@ impl DbInner {
                             judgments,
                             batch.question_cost(question),
                             resolution,
+                            &mut wal_pending,
                         );
                         pending[index].clear();
                         token.complete();
@@ -1416,6 +1613,9 @@ impl DbInner {
                             ));
                         }
                     }
+                    // The round's cache write-back — one CachePut per
+                    // concept — commits as one fsynced group.
+                    self.log(&wal_pending)?;
                     // One batched dispatch covering every owned concept is
                     // one crowd round.
                     round_index += 1;
@@ -1467,6 +1667,7 @@ impl DbInner {
                         // Sequential rounds: their wall-clock adds up.
                         resolution.minutes += batch.total_minutes;
                         resolution.items_charged += chunk.len();
+                        let mut wal_pending: Vec<WalRecord> = Vec::new();
                         let fresh = self.ingest_question(
                             &plan.table,
                             &needs[index].concept,
@@ -1474,7 +1675,9 @@ impl DbInner {
                             &batch.question_judgments[0],
                             batch.total_cost,
                             resolution,
+                            &mut wal_pending,
                         );
+                        self.log(&wal_pending)?;
                         if sink.is_live() {
                             sink.emit(delta_event(
                                 &self.config.id_column,
@@ -1555,6 +1758,14 @@ impl DbInner {
     ///
     /// Returns the round's *decisive* fresh verdicts — the payload of the
     /// streaming [`QueryEvent::Delta`] this round produces.
+    ///
+    /// On a persistent database the question's cache write-back is pushed
+    /// onto `wal_pending`; the dispatching round logs the whole batch as
+    /// **one** fsynced group right after ingesting its questions, so the
+    /// judgments just paid for survive a crash even if the query never
+    /// reaches materialization — at one disk flush per crowd round, not
+    /// one per concept.
+    #[allow(clippy::too_many_arguments)] // internal: the round's full context
     fn ingest_question(
         &self,
         table: &str,
@@ -1563,6 +1774,7 @@ impl DbInner {
         judgments: &[crowdsim::Judgment],
         question_cost: f64,
         resolution: &mut ConceptResolution,
+        wal_pending: &mut Vec<WalRecord>,
     ) -> Vec<RoundVerdict> {
         let per_item_cost = if items.is_empty() {
             0.0
@@ -1575,19 +1787,17 @@ impl DbInner {
         }
         let verdicts = majority_vote(judgments, items);
         let mut fresh = Vec::new();
+        let mut written: Vec<(ItemId, CachedJudgment)> = Vec::with_capacity(verdicts.len());
         for verdict in &verdicts {
             let confidence = verdict.tally.agreement();
-            self.cache.insert(
-                table,
-                concept,
-                verdict.item,
-                CachedJudgment {
-                    verdict: verdict.verdict,
-                    judgments: judgment_counts.get(&verdict.item).copied().unwrap_or(0),
-                    cost: per_item_cost,
-                    confidence,
-                },
-            );
+            let judgment = CachedJudgment {
+                verdict: verdict.verdict,
+                judgments: judgment_counts.get(&verdict.item).copied().unwrap_or(0),
+                cost: per_item_cost,
+                confidence,
+            };
+            self.cache.insert(table, concept, verdict.item, judgment);
+            written.push((verdict.item, judgment));
             resolution.confidence.insert(verdict.item, confidence);
             resolution
                 .fresh_cost_share
@@ -1601,6 +1811,10 @@ impl DbInner {
                     cost_share: per_item_cost,
                 });
             }
+        }
+        if self.durability.is_some() && !written.is_empty() {
+            let rounds = self.crowd_rounds.load(Ordering::Relaxed);
+            wal_pending.push(persist::cache_put_record(table, concept, written, rounds));
         }
         fresh
     }
@@ -1785,6 +1999,7 @@ impl DbInner {
         // rows.  Values are keyed by item id, so the fresh mapping routes
         // every verdict to whichever rows carry that item *now*.
         let mut reports = Vec::with_capacity(plan.attributes.len());
+        let mut wal_records: Vec<WalRecord> = Vec::new();
         let mut catalog = wlock(&self.catalog);
         let (rows, _, skipped_rows) = planner::row_mapping(
             catalog.table(&plan.table)?,
@@ -1863,6 +2078,33 @@ impl DbInner {
                     }
                 )
             });
+            // Persist the materialization before publishing it: values,
+            // the full provenance ledger (confidence and cost share
+            // included), and the incomplete flag, so a reopened database
+            // reports bit-identical cells and provenance without asking
+            // the crowd again.  Built here, appended below while the
+            // exclusive catalog lock is still held.
+            if self.durability.is_some() {
+                let mut values: Vec<(ItemId, Value)> = item
+                    .values
+                    .iter()
+                    .map(|(&item_id, value)| (item_id, value.clone()))
+                    .collect();
+                values.sort_unstable_by_key(|(item_id, _)| *item_id);
+                let mut marks: Vec<(ItemId, storage::CellMark)> = cell_provenance
+                    .iter()
+                    .map(|(&item_id, &p)| (item_id, persist::mark_of_provenance(p)))
+                    .collect();
+                marks.sort_unstable_by_key(|(item_id, _)| *item_id);
+                wal_records.push(WalRecord::MaterializeColumn {
+                    table: plan.table.clone(),
+                    column: attribute.column.clone(),
+                    data_type: DataType::Boolean,
+                    values,
+                    ledger: Some(marks),
+                    incomplete: recoverable,
+                });
+            }
             let ledger_key = (plan.table.clone(), attribute.column.clone());
             wlock(&self.provenance).insert(ledger_key.clone(), cell_provenance);
             if recoverable {
@@ -1894,6 +2136,9 @@ impl DbInner {
                 items_dropped: item.acquisition.dropped.len(),
             });
         }
+        // One fsynced group for the whole plan, while the exclusive
+        // catalog lock is still held (the checkpoint invariant).
+        self.log(&wal_records)?;
         Ok(reports)
     }
 
@@ -1967,20 +2212,25 @@ impl DbInner {
         } else {
             outcome.repair_cost / outcome.flagged.len() as f64
         };
+        let mut refreshed: Vec<(ItemId, CachedJudgment)> =
+            Vec::with_capacity(outcome.flagged.len());
         for &item in &outcome.flagged {
-            self.cache.insert(
-                &key,
-                &attribute,
-                item,
-                CachedJudgment {
-                    verdict: Some(outcome.labels[item as usize]),
-                    judgments: 0,
-                    cost: per_item_cost,
-                    // Repaired labels went through the audit → re-source →
-                    // merge loop; treat them as fully trusted.
-                    confidence: 1.0,
-                },
-            );
+            let judgment = CachedJudgment {
+                verdict: Some(outcome.labels[item as usize]),
+                judgments: 0,
+                cost: per_item_cost,
+                // Repaired labels went through the audit → re-source →
+                // merge loop; treat them as fully trusted.
+                confidence: 1.0,
+            };
+            self.cache.insert(&key, &attribute, item, judgment);
+            refreshed.push((item, judgment));
+        }
+        if self.durability.is_some() && !refreshed.is_empty() {
+            let rounds = self.crowd_rounds.load(Ordering::Relaxed);
+            self.log(&[persist::cache_put_record(
+                &key, &attribute, refreshed, rounds,
+            )])?;
         }
         let flagged: HashSet<ItemId> = outcome.flagged.iter().copied().collect();
         let mut catalog = wlock(&self.catalog);
@@ -1992,6 +2242,7 @@ impl DbInner {
         let (rows, _, _) =
             planner::row_mapping(catalog.table(table_name)?, &self.config.id_column, &key)?;
         let table = catalog.table_mut(table_name)?;
+        let mut repaired: HashSet<ItemId> = HashSet::new();
         for (row, item) in &rows {
             if flagged.contains(item) {
                 table.set_value(
@@ -1999,7 +2250,23 @@ impl DbInner {
                     &column,
                     Value::Boolean(outcome.labels[*item as usize]),
                 )?;
+                repaired.insert(*item);
             }
+        }
+        // Durably record the cell overwrites (item-keyed — replay routes
+        // them through the then-current id → row mapping), still under the
+        // exclusive catalog lock.
+        if self.durability.is_some() && !repaired.is_empty() {
+            let mut values: Vec<(ItemId, Value)> = repaired
+                .iter()
+                .map(|&item| (item, Value::Boolean(outcome.labels[item as usize])))
+                .collect();
+            values.sort_unstable_by_key(|(item, _)| *item);
+            self.log(&[WalRecord::SetCells {
+                table: key.clone(),
+                column: column.clone(),
+                values,
+            }])?;
         }
         Ok(outcome)
     }
@@ -2037,6 +2304,24 @@ impl DbInner {
             .collect();
         let table = catalog.table_mut(table_name)?;
         let outcome = materialize_column(table, &column, DataType::Float, &values, &rows)?;
+        // Numeric expansion keeps no provenance ledger (`ledger: None`
+        // mirrors that on replay), but the extrapolated column itself is
+        // durable like any other materialization.
+        if self.durability.is_some() {
+            let mut logged: Vec<(ItemId, Value)> = values
+                .iter()
+                .map(|(&item, value)| (item, value.clone()))
+                .collect();
+            logged.sort_unstable_by_key(|(item, _)| *item);
+            self.log(&[WalRecord::MaterializeColumn {
+                table: key.clone(),
+                column: column.clone(),
+                data_type: DataType::Float,
+                values: logged,
+                ledger: None,
+                incomplete: false,
+            }])?;
+        }
 
         Ok(ExpansionReport {
             table: key,
@@ -2638,7 +2923,7 @@ mod tests {
         assert_eq!(first.rows_filled, second.rows_filled);
 
         // Invalidation forces fresh judgments again.
-        db.invalidate_judgments("movies", "Comedy");
+        db.invalidate_judgments("movies", "Comedy").unwrap();
         let third = db.expand_attribute("movies", "is_comedy").unwrap();
         assert!(third.judgments_collected > 0);
         assert_eq!(third.cache_hits, 0);

@@ -33,6 +33,12 @@ pub enum CrowdDbError {
     /// [`Configuration`](CrowdDbError::Configuration) this is not a caller
     /// mistake — retrying the query is reasonable.
     Contention(String),
+    /// A durability failure: the write-ahead log or snapshot could not be
+    /// read or written, or a file failed its integrity check on recovery.
+    /// The message carries the storage engine's diagnosis (the variant
+    /// stores a string because [`storage::StorageError`] wraps
+    /// non-cloneable I/O errors).
+    Storage(String),
     /// The query referenced missing expandable columns, but its policy was
     /// [`ExpansionMode::Deny`](crate::ExpansionMode::Deny): the caller asked
     /// to never trigger crowd spending, so the expansion was refused rather
@@ -58,6 +64,7 @@ impl fmt::Display for CrowdDbError {
             ),
             CrowdDbError::Configuration(msg) => write!(f, "configuration error: {msg}"),
             CrowdDbError::Contention(msg) => write!(f, "contention error: {msg}"),
+            CrowdDbError::Storage(msg) => write!(f, "storage error: {msg}"),
             CrowdDbError::ExpansionDenied { table, columns } => write!(
                 f,
                 "expansion denied by the query policy: table {table} is missing columns {}",
@@ -90,6 +97,12 @@ impl From<mlkit::MlError> for CrowdDbError {
 impl From<crowdsim::CrowdError> for CrowdDbError {
     fn from(e: crowdsim::CrowdError) -> Self {
         CrowdDbError::Crowd(e)
+    }
+}
+
+impl From<storage::StorageError> for CrowdDbError {
+    fn from(e: storage::StorageError) -> Self {
+        CrowdDbError::Storage(e.to_string())
     }
 }
 

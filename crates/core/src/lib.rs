@@ -61,6 +61,17 @@
 //! cannot diverge, and `EXPLAIN EXPANSION <select>` prices the whole plan
 //! (concepts, cache hits, dollars) with zero crowd dispatch.
 //!
+//! The database can be **durable**: [`CrowdDb::open`] /
+//! [`CrowdDbBuilder::persistent`] back it with the [`storage`] engine — an
+//! append-only, checksummed write-ahead log (fsynced before the triggering
+//! call returns) plus a snapshot file written by [`CrowdDb::checkpoint`].
+//! Catalog DDL, stored rows, materialized crowd cells, per-cell provenance
+//! (confidence and cost share included), and the [`JudgmentCache`] all
+//! survive process death, so an answer the crowd was paid for is **never
+//! bought twice across restarts** — the pay-once cost model, extended over
+//! the process lifetime.  Recovery truncates a torn final WAL record and
+//! rejects checksum mismatches.
+//!
 //! The database is a **concurrent query engine**: [`CrowdDb::execute`]
 //! takes `&self` and [`CrowdDb`] is `Send + Sync`, so N threads can share
 //! one database and execute simultaneously.  Read-only statements run in
@@ -115,6 +126,7 @@ pub mod expansion;
 pub mod extraction;
 pub mod inflight;
 mod materialize;
+mod persist;
 pub mod planner;
 pub mod policy;
 pub mod provenance;
@@ -126,9 +138,9 @@ mod sync;
 
 pub use audit::{audit_binary_labels, AuditOutcome};
 pub use boost::{evaluate_boost_over_time, BoostCheckpoint, BoostCurve};
-pub use cache::{CacheStats, CachedJudgment, JudgmentCache};
+pub use cache::{CacheGroup, CacheStats, CachedJudgment, JudgmentCache};
 pub use crowd_source::{AttributeRequest, CrowdSource, OutstandingEstimate, SimulatedCrowd};
-pub use db::{build_space_for_domain, CrowdDb, CrowdDbConfig, ExpansionEvent};
+pub use db::{build_space_for_domain, CrowdDb, CrowdDbBuilder, CrowdDbConfig, ExpansionEvent};
 pub use error::CrowdDbError;
 pub use expansion::{ExpansionReport, ExpansionStrategy};
 pub use extraction::{extract_binary_attribute, extract_numeric_attribute, ExtractionConfig};

@@ -1,0 +1,557 @@
+//! Durability wiring: logging committed changes to the [`storage`] engine
+//! and rebuilding a [`CrowdDb`](crate::CrowdDb) from its files.
+//!
+//! # What is durable
+//!
+//! Everything real money or real work produced: catalog DDL and rows,
+//! SQL mutations, materialized crowd columns (values *and* the per-cell
+//! provenance ledger, confidence and cost share included), the
+//! incomplete-column set, judgment-cache entries and invalidations, and
+//! the crowd-round counter.  Runtime bindings — perceptual spaces, crowd
+//! sources, column → concept registrations — are *not* persisted: they are
+//! live objects the application re-binds after
+//! [`CrowdDb::open`](crate::CrowdDb::open) (see
+//! `examples/persistent_session.rs`), and nothing about them costs crowd
+//! dollars to recreate.
+//!
+//! # Write path and crash consistency
+//!
+//! Mutators apply their change to the in-memory state first and then
+//! append the matching [`WalRecord`] (group-fsynced) before the query
+//! returns.  Two invariants make this safe against a checkpoint running
+//! concurrently (see [`CrowdDb::checkpoint`](crate::CrowdDb::checkpoint)):
+//!
+//! 1. Catalog-shaped records (`CreateTable`, `Mutation`,
+//!    `MaterializeColumn`, `SetCells`) are applied *and* logged under the
+//!    exclusive catalog lock, and the checkpoint holds the shared catalog
+//!    lock across both its state capture and its WAL swap — so each such
+//!    record lands either entirely before the snapshot (and is truncated
+//!    with the old log) or entirely after it (and replays on top).  This
+//!    matters because `Mutation` replay re-executes the SQL and is **not**
+//!    idempotent.
+//! 2. Cache-shaped records (`CachePut`, `CacheInvalidate`) are applied
+//!    outside the catalog lock, so one may be captured by the snapshot
+//!    *and* land in the fresh log; both replay idempotently (same-key
+//!    overwrite / remove), so the double-apply is harmless.
+//!
+//! A crash between the in-memory apply and the append loses that one
+//! change — exactly the "query never returned" outcome WAL semantics
+//! promise.  A crash mid-append leaves a torn tail the next
+//! [`recover`] truncates.
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use perceptual::ItemId;
+use relational::{executor, sql, Catalog};
+use storage::{
+    read_snapshot, write_snapshot, CacheImage, CellMark, ColumnImage, JudgmentEntry, LedgerImage,
+    MissingCause, SnapshotImage, StorageError, TableImage, Wal, WalRecord, WAL_FILE,
+};
+
+use crate::cache::{CacheStats, CachedJudgment, JudgmentCache};
+use crate::error::CrowdDbError;
+use crate::materialize::materialize_column;
+use crate::planner;
+use crate::provenance::{CellProvenance, MissingReason};
+use crate::sync::mlock;
+use crate::Result;
+
+/// The per-column provenance ledger type shared with `db.rs`.
+pub(crate) type ProvenanceLedger = HashMap<(String, String), HashMap<ItemId, CellProvenance>>;
+
+/// The open durability engine of a persistent database: the directory and
+/// the WAL, serialized by one mutex (the *WAL lock* of the locking
+/// discipline documented in `docs/architecture.md`).
+pub(crate) struct Durability {
+    dir: PathBuf,
+    wal: Mutex<Wal>,
+    id_column: String,
+    /// Set on the first append failure; every later durable operation is
+    /// refused.  In-memory state was already mutated when the failed
+    /// append was attempted, so continuing to commit *later* changes
+    /// would write a log that replays against a catalog the disk never
+    /// saw — fail-stop keeps the divergence to the one lost change,
+    /// which recovery treats as "that query never returned".
+    failed: AtomicBool,
+}
+
+impl Durability {
+    fn check_not_failed(&self) -> Result<()> {
+        if self.failed.load(Ordering::SeqCst) {
+            return Err(CrowdDbError::Storage(
+                "a previous WAL append failed; the storage engine is fail-stopped — reopen \
+                 the database to recover to the last durable state"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn fail_stop<T>(&self, result: std::result::Result<T, StorageError>) -> Result<T> {
+        if result.is_err() {
+            self.failed.store(true, Ordering::SeqCst);
+        }
+        result.map_err(CrowdDbError::from)
+    }
+
+    /// Appends `records` as one fsynced group — the commit point.
+    pub(crate) fn log(&self, records: &[WalRecord]) -> Result<()> {
+        self.check_not_failed()?;
+        let result = mlock(&self.wal).append_all(records);
+        self.fail_stop(result)
+    }
+
+    /// Writes the captured image as the new snapshot, then truncates the
+    /// WAL under a fresh generation.
+    ///
+    /// `capture` runs while the WAL lock is held — no record can slip into
+    /// the old log after the state it describes was captured — and
+    /// receives the log's current `(generation, record count)`, which the
+    /// image must carry: recovery only skips the already-snapshotted
+    /// prefix when the on-disk log still has that generation, so a crash
+    /// *between* the snapshot rename and the reset (new snapshot +
+    /// complete old log) replays nothing twice.  The caller must already
+    /// hold the shared catalog lock (see the module docs for the
+    /// two-invariant argument).
+    pub(crate) fn checkpoint_with(
+        &self,
+        capture: impl FnOnce(u64, u64) -> SnapshotImage,
+    ) -> Result<()> {
+        self.check_not_failed()?;
+        let mut wal = mlock(&self.wal);
+        let image = capture(wal.generation(), wal.record_count());
+        // A failed snapshot write leaves the old snapshot + untouched log
+        // — fully consistent, no fail-stop needed.  A failed reset or
+        // Meta append leaves the log in an unknown shape: fail-stop.
+        write_snapshot(&self.dir, &image)?;
+        let reset = wal.reset();
+        self.fail_stop(reset)?;
+        // Every log starts with its Meta record (the reset emptied it).
+        let meta = wal.append(&WalRecord::Meta {
+            id_column: self.id_column.clone(),
+        });
+        self.fail_stop(meta)
+    }
+
+    /// Size of the WAL file in bytes (diagnostics; used by tests to verify
+    /// checkpoint compaction).
+    pub(crate) fn wal_bytes(&self) -> u64 {
+        let wal = mlock(&self.wal);
+        std::fs::metadata(wal.path()).map(|m| m.len()).unwrap_or(0)
+    }
+}
+
+/// The in-memory state recovered from a database directory, ready to be
+/// moved into a `DbInner`.
+pub(crate) struct RecoveredState {
+    pub(crate) catalog: Catalog,
+    pub(crate) cache: JudgmentCache,
+    pub(crate) provenance: ProvenanceLedger,
+    pub(crate) incomplete: HashSet<(String, String)>,
+    pub(crate) crowd_rounds: u64,
+}
+
+impl Default for RecoveredState {
+    fn default() -> Self {
+        RecoveredState {
+            catalog: Catalog::new(),
+            cache: JudgmentCache::new(),
+            provenance: HashMap::new(),
+            incomplete: HashSet::new(),
+            crowd_rounds: 0,
+        }
+    }
+}
+
+/// Opens (creating if needed) the database directory: loads the snapshot,
+/// replays the WAL on top of it (truncating a torn tail, rejecting
+/// checksum failures), and returns the recovered state plus the engine
+/// positioned for appending.
+pub(crate) fn recover(dir: &Path, id_column: &str) -> Result<(RecoveredState, Durability)> {
+    std::fs::create_dir_all(dir).map_err(|e| {
+        CrowdDbError::Storage(format!(
+            "cannot create database directory {}: {e}",
+            dir.display()
+        ))
+    })?;
+    let snapshot = read_snapshot(dir)?;
+    let (mut state, wal_stamp) = match snapshot {
+        Some(image) => {
+            if !image.id_column.is_empty() && image.id_column != id_column {
+                return Err(CrowdDbError::Storage(format!(
+                    "database directory {} was written with id_column '{}' but is being \
+                     opened with id_column '{id_column}' — item-keyed records would be \
+                     misrouted; open with the original configuration",
+                    dir.display(),
+                    image.id_column
+                )));
+            }
+            let stamp = (image.wal_generation, image.wal_records_applied);
+            (state_of_snapshot(image)?, Some(stamp))
+        }
+        None => (RecoveredState::default(), None),
+    };
+    let (mut wal, records) = Wal::open(dir.join(WAL_FILE))?;
+    // Records the snapshot already folded in are skipped — but only while
+    // the log still carries the generation the snapshot stamped.  A log
+    // that was reset since (or never matched) replays in full.
+    let skip = match wal_stamp {
+        Some((generation, applied)) if generation == wal.generation() => {
+            (applied as usize).min(records.len())
+        }
+        _ => 0,
+    };
+    if wal.record_count() == 0 {
+        // A brand-new (or torn-header-recreated, necessarily empty) log:
+        // stamp the configuration its replayer will depend on.
+        wal.append(&WalRecord::Meta {
+            id_column: id_column.to_string(),
+        })?;
+    }
+    for record in records.into_iter().skip(skip) {
+        apply(record, &mut state, id_column, dir)?;
+    }
+    Ok((
+        state,
+        Durability {
+            dir: dir.to_path_buf(),
+            wal: Mutex::new(wal),
+            id_column: id_column.to_string(),
+            failed: AtomicBool::new(false),
+        },
+    ))
+}
+
+/// Replays one WAL record onto the recovered state.
+fn apply(record: WalRecord, state: &mut RecoveredState, id_column: &str, dir: &Path) -> Result<()> {
+    match record {
+        WalRecord::Meta {
+            id_column: recorded,
+        } => {
+            if recorded != id_column {
+                return Err(CrowdDbError::Storage(format!(
+                    "database directory {} was written with id_column '{recorded}' but is \
+                     being opened with id_column '{id_column}' — item-keyed records would \
+                     be misrouted; open with the original configuration",
+                    dir.display()
+                )));
+            }
+        }
+        WalRecord::CreateTable(image) => {
+            // Idempotent: a record that raced a checkpoint may already be
+            // covered by the snapshot.
+            if state.catalog.table(&image.name).is_err() {
+                state.catalog.create_table(image.into_table()?)?;
+            }
+        }
+        WalRecord::Mutation { sql: text } => {
+            let statement = sql::parse(&text)?;
+            executor::execute(&statement, &mut state.catalog)?;
+        }
+        WalRecord::MaterializeColumn {
+            table,
+            column,
+            data_type,
+            values,
+            ledger,
+            incomplete,
+        } => {
+            let values: HashMap<ItemId, relational::Value> = values.into_iter().collect();
+            let table_ref = state.catalog.table(&table)?;
+            let (rows, _, _) = planner::row_mapping(table_ref, id_column, &table)?;
+            let table_mut = state.catalog.table_mut(&table)?;
+            materialize_column(table_mut, &column, data_type, &values, &rows)?;
+            let key = (table.clone(), column.clone());
+            if let Some(marks) = ledger {
+                state.provenance.insert(
+                    key.clone(),
+                    marks
+                        .into_iter()
+                        .map(|(item, mark)| (item, provenance_of_mark(mark)))
+                        .collect(),
+                );
+            }
+            if incomplete {
+                state.incomplete.insert(key);
+            } else {
+                state.incomplete.remove(&key);
+            }
+        }
+        WalRecord::SetCells {
+            table,
+            column,
+            values,
+        } => {
+            let values: HashMap<ItemId, relational::Value> = values.into_iter().collect();
+            let table_ref = state.catalog.table(&table)?;
+            let (rows, _, _) = planner::row_mapping(table_ref, id_column, &table)?;
+            let table_mut = state.catalog.table_mut(&table)?;
+            for (row, item) in rows {
+                if let Some(value) = values.get(&item) {
+                    table_mut.set_value(row, &column, value.clone())?;
+                }
+            }
+        }
+        WalRecord::CachePut {
+            table,
+            attribute,
+            entries,
+            rounds,
+        } => {
+            for (item, entry) in entries {
+                state
+                    .cache
+                    .insert(&table, &attribute, item, judgment_of_entry(entry));
+            }
+            state.crowd_rounds = state.crowd_rounds.max(rounds);
+        }
+        WalRecord::CacheInvalidate { table, attribute } => {
+            state.cache.invalidate(&table, &attribute);
+        }
+    }
+    Ok(())
+}
+
+fn state_of_snapshot(image: SnapshotImage) -> Result<RecoveredState> {
+    let mut catalog = Catalog::new();
+    for table in image.tables {
+        catalog.create_table(table.into_table()?)?;
+    }
+    let provenance = image
+        .ledgers
+        .into_iter()
+        .map(|ledger| {
+            (
+                (ledger.table, ledger.column),
+                ledger
+                    .marks
+                    .into_iter()
+                    .map(|(item, mark)| (item, provenance_of_mark(mark)))
+                    .collect(),
+            )
+        })
+        .collect();
+    let incomplete = image
+        .incomplete
+        .into_iter()
+        .map(|c| (c.table, c.column))
+        .collect();
+    let cache = JudgmentCache::restore(
+        image
+            .cache
+            .groups
+            .into_iter()
+            .map(|(table, attribute, entries)| {
+                (
+                    table,
+                    attribute,
+                    entries
+                        .into_iter()
+                        .map(|(item, entry)| (item, judgment_of_entry(entry)))
+                        .collect(),
+                )
+            })
+            .collect(),
+        CacheStats {
+            hits: image.cache.hits,
+            misses: image.cache.misses,
+            cost_saved: image.cache.cost_saved,
+            entries: 0, // derived from the entries themselves
+        },
+    );
+    Ok(RecoveredState {
+        catalog,
+        cache,
+        provenance,
+        incomplete,
+        crowd_rounds: image.crowd_rounds,
+    })
+}
+
+/// Borrowed views of the live state a checkpoint captures (the caller
+/// holds the shared catalog lock; the other structures are read through
+/// their own synchronization).
+pub(crate) struct SnapshotParts<'a> {
+    pub(crate) catalog: &'a Catalog,
+    pub(crate) cache: &'a JudgmentCache,
+    pub(crate) provenance: &'a ProvenanceLedger,
+    pub(crate) incomplete: &'a HashSet<(String, String)>,
+    pub(crate) crowd_rounds: u64,
+    pub(crate) id_column: &'a str,
+}
+
+/// Captures the whole live state as a snapshot image, stamped with the
+/// WAL position it supersedes (see [`Durability::checkpoint_with`]).
+pub(crate) fn snapshot_image(
+    parts: SnapshotParts<'_>,
+    wal_generation: u64,
+    wal_records_applied: u64,
+) -> SnapshotImage {
+    let SnapshotParts {
+        catalog,
+        cache,
+        provenance,
+        incomplete,
+        crowd_rounds,
+        id_column,
+    } = parts;
+    let tables = catalog
+        .table_names()
+        .iter()
+        .map(|name| TableImage::of(catalog.table(name).expect("listed table exists")))
+        .collect();
+    let mut ledgers: Vec<LedgerImage> = provenance
+        .iter()
+        .map(|((table, column), marks)| {
+            let mut marks: Vec<(ItemId, CellMark)> = marks
+                .iter()
+                .map(|(&item, provenance)| (item, mark_of_provenance(*provenance)))
+                .collect();
+            marks.sort_unstable_by_key(|(item, _)| *item);
+            LedgerImage {
+                table: table.clone(),
+                column: column.clone(),
+                marks,
+            }
+        })
+        .collect();
+    ledgers.sort_unstable_by(|a, b| (&a.table, &a.column).cmp(&(&b.table, &b.column)));
+    let mut incomplete: Vec<ColumnImage> = incomplete
+        .iter()
+        .map(|(table, column)| ColumnImage {
+            table: table.clone(),
+            column: column.clone(),
+        })
+        .collect();
+    incomplete.sort_unstable_by(|a, b| (&a.table, &a.column).cmp(&(&b.table, &b.column)));
+    let (groups, stats) = cache.export();
+    SnapshotImage {
+        tables,
+        ledgers,
+        incomplete,
+        cache: CacheImage {
+            groups: groups
+                .into_iter()
+                .map(|(table, attribute, entries)| {
+                    (
+                        table,
+                        attribute,
+                        entries
+                            .into_iter()
+                            .map(|(item, judgment)| (item, entry_of_judgment(&judgment)))
+                            .collect(),
+                    )
+                })
+                .collect(),
+            hits: stats.hits,
+            misses: stats.misses,
+            cost_saved: stats.cost_saved,
+        },
+        crowd_rounds,
+        id_column: id_column.to_string(),
+        wal_generation,
+        wal_records_applied,
+    }
+}
+
+/// Builds the WAL record of one judgment-cache write batch, sorted for a
+/// deterministic log.
+pub(crate) fn cache_put_record(
+    table: &str,
+    attribute: &str,
+    entries: impl IntoIterator<Item = (ItemId, CachedJudgment)>,
+    rounds: u64,
+) -> WalRecord {
+    let mut entries: Vec<(ItemId, JudgmentEntry)> = entries
+        .into_iter()
+        .map(|(item, judgment)| (item, entry_of_judgment(&judgment)))
+        .collect();
+    entries.sort_unstable_by_key(|(item, _)| *item);
+    WalRecord::CachePut {
+        table: table.to_lowercase(),
+        attribute: attribute.to_lowercase(),
+        entries,
+        rounds,
+    }
+}
+
+pub(crate) fn entry_of_judgment(judgment: &CachedJudgment) -> JudgmentEntry {
+    JudgmentEntry {
+        verdict: judgment.verdict,
+        judgments: judgment.judgments as u64,
+        cost: judgment.cost,
+        confidence: judgment.confidence,
+    }
+}
+
+pub(crate) fn judgment_of_entry(entry: JudgmentEntry) -> CachedJudgment {
+    CachedJudgment {
+        verdict: entry.verdict,
+        judgments: entry.judgments as usize,
+        cost: entry.cost,
+        confidence: entry.confidence,
+    }
+}
+
+pub(crate) fn mark_of_provenance(provenance: CellProvenance) -> CellMark {
+    match provenance {
+        CellProvenance::Stored => CellMark::Stored,
+        CellProvenance::CrowdDerived {
+            confidence,
+            cost_share,
+        } => CellMark::CrowdDerived {
+            confidence,
+            cost_share,
+        },
+        CellProvenance::CacheHit { confidence } => CellMark::CacheHit { confidence },
+        CellProvenance::Extracted => CellMark::Extracted,
+        CellProvenance::Missing { reason } => CellMark::Missing {
+            cause: cause_of_reason(reason),
+        },
+    }
+}
+
+pub(crate) fn provenance_of_mark(mark: CellMark) -> CellProvenance {
+    match mark {
+        CellMark::Stored => CellProvenance::Stored,
+        CellMark::CrowdDerived {
+            confidence,
+            cost_share,
+        } => CellProvenance::CrowdDerived {
+            confidence,
+            cost_share,
+        },
+        CellMark::CacheHit { confidence } => CellProvenance::CacheHit { confidence },
+        CellMark::Extracted => CellProvenance::Extracted,
+        CellMark::Missing { cause } => CellProvenance::Missing {
+            reason: reason_of_cause(cause),
+        },
+    }
+}
+
+fn cause_of_reason(reason: MissingReason) -> MissingCause {
+    match reason {
+        MissingReason::BudgetExhausted => MissingCause::BudgetExhausted,
+        MissingReason::NoCachedJudgment => MissingCause::NoCachedJudgment,
+        MissingReason::BelowQualityFloor => MissingCause::BelowQualityFloor,
+        MissingReason::NoMajority => MissingCause::NoMajority,
+        MissingReason::OutOfSpace => MissingCause::OutOfSpace,
+        MissingReason::NotExpanded => MissingCause::NotExpanded,
+        MissingReason::NoItemId => MissingCause::NoItemId,
+    }
+}
+
+fn reason_of_cause(cause: MissingCause) -> MissingReason {
+    match cause {
+        MissingCause::BudgetExhausted => MissingReason::BudgetExhausted,
+        MissingCause::NoCachedJudgment => MissingReason::NoCachedJudgment,
+        MissingCause::BelowQualityFloor => MissingReason::BelowQualityFloor,
+        MissingCause::NoMajority => MissingReason::NoMajority,
+        MissingCause::OutOfSpace => MissingReason::OutOfSpace,
+        MissingCause::NotExpanded => MissingReason::NotExpanded,
+        MissingCause::NoItemId => MissingReason::NoItemId,
+    }
+}

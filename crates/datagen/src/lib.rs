@@ -34,6 +34,8 @@
 //! assert!(!comedies.is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod domain;
 pub mod experts;
 pub mod generator;

@@ -39,6 +39,8 @@
 //! assert!(!model.predict(&[0.05, 0.05]));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod dataset;
 pub mod error;
 pub mod kernel;

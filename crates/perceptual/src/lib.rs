@@ -37,6 +37,8 @@
 //! assert_eq!(space.dimensions(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cross_validation;
 pub mod error;
 pub mod euclidean;

@@ -1,0 +1,231 @@
+//! The binary encoding of durable records.
+//!
+//! A deliberately small, schema-less, little-endian format in the spirit of
+//! `bincode`: fixed-width integers, IEEE-754 doubles, length-prefixed
+//! strings and sequences, one tag byte per enum variant.  The workspace's
+//! vendored `serde` is a no-op stand-in (the build environment is offline),
+//! so the record types in [`crate::records`] encode themselves explicitly
+//! through [`Encoder`] / [`Decoder`] instead of deriving — which also keeps
+//! the on-disk format an auditable, versioned contract rather than an
+//! accident of struct layout.
+//!
+//! Integrity is a layer above: the WAL frames every encoded record with a
+//! length prefix and a [`crc32`] checksum, and the snapshot file checksums
+//! its whole payload.
+
+use crate::{Result, StorageError};
+
+/// Appends primitive values to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an IEEE-754 double.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends a sequence length prefix; the caller encodes the elements.
+    pub fn seq_len(&mut self, n: usize) {
+        self.u64(n as u64);
+    }
+}
+
+/// Reads primitive values back out of an encoded byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&end| end <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(StorageError::Corrupt(format!(
+                "record truncated: wanted {n} bytes at offset {} of {}",
+                self.pos,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an IEEE-754 double.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a boolean byte, rejecting anything but 0 and 1.
+    pub fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StorageError::Corrupt(format!(
+                "invalid boolean byte {other:#04x}"
+            ))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.seq_len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StorageError::Corrupt(format!("invalid UTF-8 in string: {e}")))
+    }
+
+    /// Reads a sequence length prefix, bounds-checked against the bytes
+    /// actually remaining so a corrupt length cannot trigger a huge
+    /// allocation.
+    pub fn seq_len(&mut self) -> Result<usize> {
+        let n = self.u64()?;
+        if n > self.buf.len() as u64 {
+            return Err(StorageError::Corrupt(format!(
+                "sequence length {n} exceeds the {} bytes of the record",
+                self.buf.len()
+            )));
+        }
+        Ok(n as usize)
+    }
+}
+
+/// The CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of `bytes` —
+/// the checksum the WAL frames and the snapshot payload are verified with.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in bytes {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_primitives() {
+        let mut e = Encoder::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.i64(-42);
+        e.f64(1.5);
+        e.bool(true);
+        e.str("crowd €£");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.f64().unwrap(), 1.5);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.str().unwrap(), "crowd €£");
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_and_bad_bytes_are_corruption() {
+        let mut d = Decoder::new(&[1, 2]);
+        assert!(matches!(d.u32(), Err(StorageError::Corrupt(_))));
+        let mut d = Decoder::new(&[9]);
+        assert!(matches!(d.bool(), Err(StorageError::Corrupt(_))));
+        // A length prefix claiming more bytes than the record holds.
+        let mut e = Encoder::new();
+        e.u64(1 << 40);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.seq_len(), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+}

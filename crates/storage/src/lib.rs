@@ -1,0 +1,76 @@
+//! # storage — durable persistence for the crowd-enabled database
+//!
+//! Crowd judgments are the single most expensive resource of a
+//! crowd-enabled database: every materialized cell and every
+//! [`judgment-cache`](crate::records::JudgmentEntry) entry represents real
+//! dollars paid to real workers.  A purely in-memory engine throws that
+//! investment away on every restart.  This crate is the storage engine that
+//! keeps it:
+//!
+//! * [`wal`] — an append-only **write-ahead log** of length-prefixed,
+//!   CRC32-checksummed records, fsynced on every commit.  Recovery
+//!   truncates a torn tail (a crash mid-append) and *rejects* a log whose
+//!   interior records fail their checksum.
+//! * [`snapshot`] — a point-in-time image of the whole database state,
+//!   written atomically (temp file + fsync + rename) so a crash during
+//!   checkpointing can never destroy the previous snapshot.
+//! * [`records`] — the durable record schema: catalog DDL, row mutations,
+//!   materialized crowd cells (with confidence and cost share), judgment
+//!   cache entries, and the snapshot image tying them together.
+//! * [`codec`] — the little-endian binary encoding the records are framed
+//!   in, including the CRC32 the WAL and snapshot integrity checks use.
+//!
+//! The crate is deliberately independent of `crowddb_core`: it knows the
+//! relational vocabulary ([`relational::Value`], [`relational::Schema`])
+//! and the shape of crowd-derived facts, but not the engine that produces
+//! them.  `crowddb_core::CrowdDb::open` drives recovery and appends records
+//! as queries commit.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod records;
+pub mod snapshot;
+pub mod wal;
+
+pub use codec::{crc32, Decoder, Encoder};
+pub use records::{
+    CacheImage, CellMark, ColumnImage, JudgmentEntry, LedgerImage, MissingCause, SnapshotImage,
+    TableImage, WalRecord,
+};
+pub use snapshot::{read_snapshot, write_snapshot, SNAPSHOT_FILE};
+pub use wal::{Wal, WAL_FILE};
+
+use std::fmt;
+
+/// Errors produced by the storage engine.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system I/O failure (open, write, fsync, rename, …).
+    Io(std::io::Error),
+    /// A record or snapshot failed its integrity check: a checksum
+    /// mismatch, an impossible length, an unknown record tag, or a
+    /// truncated payload in a position recovery is not allowed to repair.
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,888 @@
+//! The durable record schema.
+//!
+//! Two kinds of payloads travel through the storage engine:
+//!
+//! * [`WalRecord`] — one committed change: catalog DDL, a row mutation,
+//!   a materialized crowd column (per-item values plus per-item
+//!   [`CellMark`] provenance with confidence and cost share), judgment
+//!   cache writes, and cache invalidation.
+//! * [`SnapshotImage`] — the whole-database image a checkpoint writes:
+//!   every table, every provenance ledger, the incomplete-column set, the
+//!   judgment cache (entries *and* effectiveness counters), and the crowd
+//!   round counter (so reopened databases keep drawing fresh round seeds
+//!   instead of replaying old ones).
+//!
+//! Every type encodes itself explicitly through [`Encoder`] / [`Decoder`]
+//! (see [`crate::codec`] for why), with one tag byte per enum variant.
+//! Tags are append-only: new variants take new numbers, existing numbers
+//! are never reused, so old files stay readable.
+//!
+//! Crowd-layer concepts (judgments, provenance) appear here as plain data
+//! mirrors — [`JudgmentEntry`], [`CellMark`], [`MissingCause`] — so this
+//! crate does not depend on `crowddb_core`; the core converts to and from
+//! its richer types when logging and replaying.
+
+use relational::{Column, DataType, Schema, Table, Value};
+
+use crate::codec::{Decoder, Encoder};
+use crate::{Result, StorageError};
+
+/// A perceptual-space item id (mirrors `perceptual::ItemId` without the
+/// dependency).
+pub type ItemId = u32;
+
+fn corrupt(what: &str, tag: u8) -> StorageError {
+    StorageError::Corrupt(format!("unknown {what} tag {tag:#04x}"))
+}
+
+fn encode_value(e: &mut Encoder, value: &Value) {
+    match value {
+        Value::Null => e.u8(0),
+        Value::Integer(i) => {
+            e.u8(1);
+            e.i64(*i);
+        }
+        Value::Float(f) => {
+            e.u8(2);
+            e.f64(*f);
+        }
+        Value::Text(s) => {
+            e.u8(3);
+            e.str(s);
+        }
+        Value::Boolean(b) => {
+            e.u8(4);
+            e.bool(*b);
+        }
+    }
+}
+
+fn decode_value(d: &mut Decoder<'_>) -> Result<Value> {
+    Ok(match d.u8()? {
+        0 => Value::Null,
+        1 => Value::Integer(d.i64()?),
+        2 => Value::Float(d.f64()?),
+        3 => Value::Text(d.str()?),
+        4 => Value::Boolean(d.bool()?),
+        tag => return Err(corrupt("value", tag)),
+    })
+}
+
+fn encode_data_type(e: &mut Encoder, ty: DataType) {
+    e.u8(match ty {
+        DataType::Integer => 0,
+        DataType::Float => 1,
+        DataType::Text => 2,
+        DataType::Boolean => 3,
+    });
+}
+
+fn decode_data_type(d: &mut Decoder<'_>) -> Result<DataType> {
+    Ok(match d.u8()? {
+        0 => DataType::Integer,
+        1 => DataType::Float,
+        2 => DataType::Text,
+        3 => DataType::Boolean,
+        tag => return Err(corrupt("data type", tag)),
+    })
+}
+
+fn encode_schema(e: &mut Encoder, schema: &Schema) {
+    e.seq_len(schema.len());
+    for column in schema.columns() {
+        e.str(&column.name);
+        encode_data_type(e, column.data_type);
+        e.bool(column.nullable);
+    }
+}
+
+fn decode_schema(d: &mut Decoder<'_>) -> Result<Schema> {
+    let n = d.seq_len()?;
+    let mut columns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = d.str()?;
+        let data_type = decode_data_type(d)?;
+        let nullable = d.bool()?;
+        let column = if nullable {
+            Column::new(name, data_type)
+        } else {
+            Column::not_null(name, data_type)
+        };
+        columns.push(column);
+    }
+    Schema::new(columns)
+        .map_err(|e| StorageError::Corrupt(format!("invalid schema in record: {e}")))
+}
+
+/// A full table — name, schema, and rows — as stored in snapshots and
+/// `CreateTable` WAL records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableImage {
+    /// Table name (lower-cased, as the catalog stores it).
+    pub name: String,
+    /// The schema.
+    pub schema: Schema,
+    /// All rows, in table order.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl TableImage {
+    /// Captures a live table.
+    pub fn of(table: &Table) -> Self {
+        TableImage {
+            name: table.name().to_string(),
+            schema: table.schema().clone(),
+            rows: table.rows().to_vec(),
+        }
+    }
+
+    /// Rebuilds the live table.
+    pub fn into_table(self) -> Result<Table> {
+        let mut table = Table::new(self.name, self.schema);
+        for row in self.rows {
+            table
+                .insert_row(row)
+                .map_err(|e| StorageError::Corrupt(format!("invalid row in table image: {e}")))?;
+        }
+        Ok(table)
+    }
+
+    fn encode(&self, e: &mut Encoder) {
+        e.str(&self.name);
+        encode_schema(e, &self.schema);
+        e.seq_len(self.rows.len());
+        for row in &self.rows {
+            e.seq_len(row.len());
+            for value in row {
+                encode_value(e, value);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        let name = d.str()?;
+        let schema = decode_schema(d)?;
+        let n_rows = d.seq_len()?;
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let n_cells = d.seq_len()?;
+            let mut row = Vec::with_capacity(n_cells);
+            for _ in 0..n_cells {
+                row.push(decode_value(d)?);
+            }
+            rows.push(row);
+        }
+        Ok(TableImage { name, schema, rows })
+    }
+}
+
+/// One aggregated judgment-cache entry (mirrors
+/// `crowddb_core::CachedJudgment`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JudgmentEntry {
+    /// The majority verdict; `None` records a tie (also worth keeping —
+    /// asking again would cost the same and likely tie again).
+    pub verdict: Option<bool>,
+    /// Raw judgments aggregated into the verdict.
+    pub judgments: u64,
+    /// Dollars paid for those judgments.
+    pub cost: f64,
+    /// Inter-worker agreement behind the verdict.
+    pub confidence: f64,
+}
+
+impl JudgmentEntry {
+    fn encode(&self, e: &mut Encoder) {
+        match self.verdict {
+            None => e.u8(0),
+            Some(false) => e.u8(1),
+            Some(true) => e.u8(2),
+        }
+        e.u64(self.judgments);
+        e.f64(self.cost);
+        e.f64(self.confidence);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        let verdict = match d.u8()? {
+            0 => None,
+            1 => Some(false),
+            2 => Some(true),
+            tag => return Err(corrupt("verdict", tag)),
+        };
+        Ok(JudgmentEntry {
+            verdict,
+            judgments: d.u64()?,
+            cost: d.f64()?,
+            confidence: d.f64()?,
+        })
+    }
+}
+
+/// Why a materialized cell has no value (mirrors
+/// `crowddb_core::MissingReason`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissingCause {
+    /// The query's crowd budget ran out before the item was acquired.
+    BudgetExhausted,
+    /// A cache-only query found no purchased judgment for the item.
+    NoCachedJudgment,
+    /// The verdict's agreement lies below the query's quality floor.
+    BelowQualityFloor,
+    /// The crowd tied on the item.
+    NoMajority,
+    /// The item has no coordinates in the perceptual space.
+    OutOfSpace,
+    /// The row was never covered by an expansion of this column.
+    NotExpanded,
+    /// The row's id column holds no usable item id.
+    NoItemId,
+}
+
+impl MissingCause {
+    fn encode(&self, e: &mut Encoder) {
+        e.u8(match self {
+            MissingCause::BudgetExhausted => 0,
+            MissingCause::NoCachedJudgment => 1,
+            MissingCause::BelowQualityFloor => 2,
+            MissingCause::NoMajority => 3,
+            MissingCause::OutOfSpace => 4,
+            MissingCause::NotExpanded => 5,
+            MissingCause::NoItemId => 6,
+        });
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        Ok(match d.u8()? {
+            0 => MissingCause::BudgetExhausted,
+            1 => MissingCause::NoCachedJudgment,
+            2 => MissingCause::BelowQualityFloor,
+            3 => MissingCause::NoMajority,
+            4 => MissingCause::OutOfSpace,
+            5 => MissingCause::NotExpanded,
+            6 => MissingCause::NoItemId,
+            tag => return Err(corrupt("missing cause", tag)),
+        })
+    }
+}
+
+/// The pedigree of one materialized cell (mirrors
+/// `crowddb_core::CellProvenance`), persisted so a reopened database
+/// reports *identical* per-cell provenance — confidence and cost share
+/// included — for answers bought before the restart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellMark {
+    /// A stored (factual) value.
+    Stored,
+    /// A crowd majority verdict the recording query paid for.
+    CrowdDerived {
+        /// Inter-worker agreement behind the verdict.
+        confidence: f64,
+        /// Dollars of the query's crowd spend attributed to the item.
+        cost_share: f64,
+    },
+    /// A judgment-cache hit (paid for by an earlier or concurrent query).
+    CacheHit {
+        /// Inter-worker agreement behind the reused verdict.
+        confidence: f64,
+    },
+    /// An extractor (SVM) extrapolation over the perceptual space.
+    Extracted,
+    /// The cell is `NULL` for the recorded reason.
+    Missing {
+        /// Why the value is absent.
+        cause: MissingCause,
+    },
+}
+
+impl CellMark {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            CellMark::Stored => e.u8(0),
+            CellMark::CrowdDerived {
+                confidence,
+                cost_share,
+            } => {
+                e.u8(1);
+                e.f64(*confidence);
+                e.f64(*cost_share);
+            }
+            CellMark::CacheHit { confidence } => {
+                e.u8(2);
+                e.f64(*confidence);
+            }
+            CellMark::Extracted => e.u8(3),
+            CellMark::Missing { cause } => {
+                e.u8(4);
+                cause.encode(e);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        Ok(match d.u8()? {
+            0 => CellMark::Stored,
+            1 => CellMark::CrowdDerived {
+                confidence: d.f64()?,
+                cost_share: d.f64()?,
+            },
+            2 => CellMark::CacheHit {
+                confidence: d.f64()?,
+            },
+            3 => CellMark::Extracted,
+            4 => CellMark::Missing {
+                cause: MissingCause::decode(d)?,
+            },
+            tag => return Err(corrupt("cell mark", tag)),
+        })
+    }
+}
+
+fn encode_items<T>(e: &mut Encoder, items: &[(ItemId, T)], encode: impl Fn(&mut Encoder, &T)) {
+    e.seq_len(items.len());
+    for (item, payload) in items {
+        e.u32(*item);
+        encode(e, payload);
+    }
+}
+
+fn decode_items<T>(
+    d: &mut Decoder<'_>,
+    decode: impl Fn(&mut Decoder<'_>) -> Result<T>,
+) -> Result<Vec<(ItemId, T)>> {
+    let n = d.seq_len()?;
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        let item = d.u32()?;
+        items.push((item, decode(d)?));
+    }
+    Ok(items)
+}
+
+/// One committed change, as framed into the write-ahead log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A table registered with the catalog (DDL), rows included — covers
+    /// both `CrowdDb::create_table` and domain loading.
+    CreateTable(TableImage),
+    /// A relational mutation (`INSERT` / `UPDATE` / `DELETE` / DDL issued
+    /// as SQL), replayed by re-executing the statement text: mutations
+    /// never dispatch crowd work, so re-execution against the recovered
+    /// catalog state is deterministic.
+    Mutation {
+        /// The statement text, exactly as executed.
+        sql: String,
+    },
+    /// One materialized (expanded) column: every item's value, its
+    /// provenance mark, and whether the column still carries recoverable
+    /// holes a later query may pay to fill.
+    MaterializeColumn {
+        /// The table (lower-cased).
+        table: String,
+        /// The column (lower-cased).
+        column: String,
+        /// The column's declared type.
+        data_type: DataType,
+        /// Per-item values, sorted by item id.
+        values: Vec<(ItemId, Value)>,
+        /// The provenance ledger of the column, sorted by item id;
+        /// `None` for materializations that keep no ledger (numeric
+        /// gold-sample expansion).
+        ledger: Option<Vec<(ItemId, CellMark)>>,
+        /// True when the column has budget- or cache-shaped holes.
+        incomplete: bool,
+    },
+    /// Direct cell overwrites of an existing column, keyed by item id
+    /// (repair rounds).
+    SetCells {
+        /// The table (lower-cased).
+        table: String,
+        /// The column (lower-cased).
+        column: String,
+        /// Per-item replacement values, sorted by item id.
+        values: Vec<(ItemId, Value)>,
+    },
+    /// A batch of judgment-cache writes (one crowd question's ingest, or a
+    /// repair round's refresh).
+    CachePut {
+        /// The table key (lower-cased).
+        table: String,
+        /// The attribute concept key (lower-cased).
+        attribute: String,
+        /// The entries, sorted by item id.
+        entries: Vec<(ItemId, JudgmentEntry)>,
+        /// The database's crowd-round counter after the write — replay
+        /// takes the maximum, so a reopened database keeps drawing fresh
+        /// round seeds instead of repeating pre-crash ones.
+        rounds: u64,
+    },
+    /// All cached judgments of one `(table, attribute)` dropped.
+    CacheInvalidate {
+        /// The table key (lower-cased).
+        table: String,
+        /// The attribute concept key (lower-cased).
+        attribute: String,
+    },
+    /// The first record of every log: configuration the replayer depends
+    /// on.  Recovery rejects a directory whose recorded `id_column`
+    /// differs from the opening configuration — item-keyed records would
+    /// otherwise be routed through the wrong id → row mapping.
+    Meta {
+        /// The id-column name the writing database was configured with.
+        id_column: String,
+    },
+}
+
+impl WalRecord {
+    /// Encodes the record to its framed payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            WalRecord::CreateTable(image) => {
+                e.u8(0);
+                image.encode(&mut e);
+            }
+            WalRecord::Mutation { sql } => {
+                e.u8(1);
+                e.str(sql);
+            }
+            WalRecord::MaterializeColumn {
+                table,
+                column,
+                data_type,
+                values,
+                ledger,
+                incomplete,
+            } => {
+                e.u8(2);
+                e.str(table);
+                e.str(column);
+                encode_data_type(&mut e, *data_type);
+                encode_items(&mut e, values, encode_value);
+                match ledger {
+                    None => e.bool(false),
+                    Some(marks) => {
+                        e.bool(true);
+                        encode_items(&mut e, marks, |e, m| m.encode(e));
+                    }
+                }
+                e.bool(*incomplete);
+            }
+            WalRecord::SetCells {
+                table,
+                column,
+                values,
+            } => {
+                e.u8(3);
+                e.str(table);
+                e.str(column);
+                encode_items(&mut e, values, encode_value);
+            }
+            WalRecord::CachePut {
+                table,
+                attribute,
+                entries,
+                rounds,
+            } => {
+                e.u8(4);
+                e.str(table);
+                e.str(attribute);
+                encode_items(&mut e, entries, |e, j| j.encode(e));
+                e.u64(*rounds);
+            }
+            WalRecord::CacheInvalidate { table, attribute } => {
+                e.u8(5);
+                e.str(table);
+                e.str(attribute);
+            }
+            WalRecord::Meta { id_column } => {
+                e.u8(6);
+                e.str(id_column);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes one record from its payload bytes, rejecting trailing
+    /// garbage.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut d = Decoder::new(bytes);
+        let record = match d.u8()? {
+            0 => WalRecord::CreateTable(TableImage::decode(&mut d)?),
+            1 => WalRecord::Mutation { sql: d.str()? },
+            2 => {
+                let table = d.str()?;
+                let column = d.str()?;
+                let data_type = decode_data_type(&mut d)?;
+                let values = decode_items(&mut d, decode_value)?;
+                let ledger = if d.bool()? {
+                    Some(decode_items(&mut d, CellMark::decode)?)
+                } else {
+                    None
+                };
+                let incomplete = d.bool()?;
+                WalRecord::MaterializeColumn {
+                    table,
+                    column,
+                    data_type,
+                    values,
+                    ledger,
+                    incomplete,
+                }
+            }
+            3 => WalRecord::SetCells {
+                table: d.str()?,
+                column: d.str()?,
+                values: decode_items(&mut d, decode_value)?,
+            },
+            4 => WalRecord::CachePut {
+                table: d.str()?,
+                attribute: d.str()?,
+                entries: decode_items(&mut d, JudgmentEntry::decode)?,
+                rounds: d.u64()?,
+            },
+            5 => WalRecord::CacheInvalidate {
+                table: d.str()?,
+                attribute: d.str()?,
+            },
+            6 => WalRecord::Meta {
+                id_column: d.str()?,
+            },
+            tag => return Err(corrupt("WAL record", tag)),
+        };
+        if !d.is_exhausted() {
+            return Err(StorageError::Corrupt(
+                "trailing bytes after WAL record".into(),
+            ));
+        }
+        Ok(record)
+    }
+}
+
+/// One judgment-cache group inside a snapshot: the `(table, attribute)`
+/// key and its entries, sorted by item id.
+pub type CacheGroup = (String, String, Vec<(ItemId, JudgmentEntry)>);
+
+/// The judgment cache as a snapshot stores it: entries grouped by
+/// `(table, attribute)` plus the effectiveness counters (the WAL only
+/// carries entries, so the counters are checkpoint-granular).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CacheImage {
+    /// Entries per `(table, attribute)` group, each sorted by item id.
+    pub groups: Vec<CacheGroup>,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that went to the crowd.
+    pub misses: u64,
+    /// Dollars not re-spent thanks to hits.
+    pub cost_saved: f64,
+}
+
+/// One column's provenance ledger inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerImage {
+    /// The table key (lower-cased).
+    pub table: String,
+    /// The column key (lower-cased).
+    pub column: String,
+    /// Per-item provenance marks, sorted by item id.
+    pub marks: Vec<(ItemId, CellMark)>,
+}
+
+/// A `(table, column)` pair flagged as carrying recoverable holes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnImage {
+    /// The table key (lower-cased).
+    pub table: String,
+    /// The column key (lower-cased).
+    pub column: String,
+}
+
+/// The point-in-time image of the whole database a checkpoint writes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotImage {
+    /// Every catalog table, sorted by name.
+    pub tables: Vec<TableImage>,
+    /// Every provenance ledger, sorted by `(table, column)`.
+    pub ledgers: Vec<LedgerImage>,
+    /// The incomplete-column set, sorted.
+    pub incomplete: Vec<ColumnImage>,
+    /// The judgment cache.
+    pub cache: CacheImage,
+    /// The crowd-round counter at checkpoint time.
+    pub crowd_rounds: u64,
+    /// The id-column name the writing database was configured with;
+    /// recovery rejects an open under a different configuration.
+    pub id_column: String,
+    /// Generation of the WAL this snapshot supersedes a prefix of.
+    pub wal_generation: u64,
+    /// How many leading records of that generation's log are already
+    /// folded into this snapshot.  Replay skips them **iff** the log still
+    /// carries `wal_generation` — the crash window between snapshot
+    /// rename and log truncation must not double-apply non-idempotent
+    /// records.
+    pub wal_records_applied: u64,
+}
+
+impl SnapshotImage {
+    /// Encodes the image to its payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.seq_len(self.tables.len());
+        for table in &self.tables {
+            table.encode(&mut e);
+        }
+        e.seq_len(self.ledgers.len());
+        for ledger in &self.ledgers {
+            e.str(&ledger.table);
+            e.str(&ledger.column);
+            encode_items(&mut e, &ledger.marks, |e, m| m.encode(e));
+        }
+        e.seq_len(self.incomplete.len());
+        for column in &self.incomplete {
+            e.str(&column.table);
+            e.str(&column.column);
+        }
+        e.seq_len(self.cache.groups.len());
+        for (table, attribute, entries) in &self.cache.groups {
+            e.str(table);
+            e.str(attribute);
+            encode_items(&mut e, entries, |e, j| j.encode(e));
+        }
+        e.u64(self.cache.hits);
+        e.u64(self.cache.misses);
+        e.f64(self.cache.cost_saved);
+        e.u64(self.crowd_rounds);
+        e.str(&self.id_column);
+        e.u64(self.wal_generation);
+        e.u64(self.wal_records_applied);
+        e.into_bytes()
+    }
+
+    /// Decodes an image from its payload bytes, rejecting trailing garbage.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut d = Decoder::new(bytes);
+        let n_tables = d.seq_len()?;
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            tables.push(TableImage::decode(&mut d)?);
+        }
+        let n_ledgers = d.seq_len()?;
+        let mut ledgers = Vec::with_capacity(n_ledgers);
+        for _ in 0..n_ledgers {
+            ledgers.push(LedgerImage {
+                table: d.str()?,
+                column: d.str()?,
+                marks: decode_items(&mut d, CellMark::decode)?,
+            });
+        }
+        let n_incomplete = d.seq_len()?;
+        let mut incomplete = Vec::with_capacity(n_incomplete);
+        for _ in 0..n_incomplete {
+            incomplete.push(ColumnImage {
+                table: d.str()?,
+                column: d.str()?,
+            });
+        }
+        let n_groups = d.seq_len()?;
+        let mut groups = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let table = d.str()?;
+            let attribute = d.str()?;
+            groups.push((
+                table,
+                attribute,
+                decode_items(&mut d, JudgmentEntry::decode)?,
+            ));
+        }
+        let cache = CacheImage {
+            groups,
+            hits: d.u64()?,
+            misses: d.u64()?,
+            cost_saved: d.f64()?,
+        };
+        let crowd_rounds = d.u64()?;
+        let id_column = d.str()?;
+        let wal_generation = d.u64()?;
+        let wal_records_applied = d.u64()?;
+        if !d.is_exhausted() {
+            return Err(StorageError::Corrupt(
+                "trailing bytes after snapshot image".into(),
+            ));
+        }
+        Ok(SnapshotImage {
+            tables,
+            ledgers,
+            incomplete,
+            cache,
+            crowd_rounds,
+            id_column,
+            wal_generation,
+            wal_records_applied,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> TableImage {
+        let schema = Schema::new(vec![
+            Column::not_null("item_id", DataType::Integer),
+            Column::new("name", DataType::Text),
+            Column::new("is_comedy", DataType::Boolean),
+        ])
+        .unwrap();
+        let mut table = Table::new("movies", schema);
+        table
+            .insert_row(vec![
+                Value::Integer(1),
+                Value::Text("Rocky".into()),
+                Value::Null,
+            ])
+            .unwrap();
+        table
+            .insert_row(vec![
+                Value::Integer(2),
+                Value::Text("Airplane!".into()),
+                Value::Boolean(true),
+            ])
+            .unwrap();
+        TableImage::of(&table)
+    }
+
+    #[test]
+    fn wal_records_round_trip() {
+        let records = vec![
+            WalRecord::CreateTable(sample_table()),
+            WalRecord::Mutation {
+                sql: "INSERT INTO movies (item_id, name) VALUES (3, 'Alien')".into(),
+            },
+            WalRecord::MaterializeColumn {
+                table: "movies".into(),
+                column: "is_comedy".into(),
+                data_type: DataType::Boolean,
+                values: vec![(1, Value::Boolean(false)), (2, Value::Boolean(true))],
+                ledger: Some(vec![
+                    (
+                        1,
+                        CellMark::CrowdDerived {
+                            confidence: 0.9,
+                            cost_share: 0.02,
+                        },
+                    ),
+                    (2, CellMark::CacheHit { confidence: 0.8 }),
+                    (
+                        3,
+                        CellMark::Missing {
+                            cause: MissingCause::BudgetExhausted,
+                        },
+                    ),
+                ]),
+                incomplete: true,
+            },
+            WalRecord::MaterializeColumn {
+                table: "movies".into(),
+                column: "humor".into(),
+                data_type: DataType::Float,
+                values: vec![(1, Value::Float(7.5))],
+                ledger: None,
+                incomplete: false,
+            },
+            WalRecord::SetCells {
+                table: "movies".into(),
+                column: "is_comedy".into(),
+                values: vec![(2, Value::Boolean(false))],
+            },
+            WalRecord::CachePut {
+                table: "movies".into(),
+                attribute: "comedy".into(),
+                entries: vec![(
+                    7,
+                    JudgmentEntry {
+                        verdict: Some(true),
+                        judgments: 10,
+                        cost: 0.02,
+                        confidence: 0.95,
+                    },
+                )],
+                rounds: 4,
+            },
+            WalRecord::CacheInvalidate {
+                table: "movies".into(),
+                attribute: "comedy".into(),
+            },
+            WalRecord::Meta {
+                id_column: "item_id".into(),
+            },
+        ];
+        for record in records {
+            let bytes = record.encode();
+            assert_eq!(WalRecord::decode(&bytes).unwrap(), record);
+        }
+    }
+
+    #[test]
+    fn snapshot_image_round_trips() {
+        let image = SnapshotImage {
+            tables: vec![sample_table()],
+            ledgers: vec![LedgerImage {
+                table: "movies".into(),
+                column: "is_comedy".into(),
+                marks: vec![(1, CellMark::Extracted), (2, CellMark::Stored)],
+            }],
+            incomplete: vec![ColumnImage {
+                table: "movies".into(),
+                column: "is_comedy".into(),
+            }],
+            cache: CacheImage {
+                groups: vec![(
+                    "movies".into(),
+                    "comedy".into(),
+                    vec![(
+                        1,
+                        JudgmentEntry {
+                            verdict: None,
+                            judgments: 8,
+                            cost: 0.01,
+                            confidence: 0.0,
+                        },
+                    )],
+                )],
+                hits: 12,
+                misses: 3,
+                cost_saved: 0.24,
+            },
+            crowd_rounds: 9,
+            id_column: "item_id".into(),
+            wal_generation: 0xABCD,
+            wal_records_applied: 17,
+        };
+        let bytes = image.encode();
+        assert_eq!(SnapshotImage::decode(&bytes).unwrap(), image);
+    }
+
+    #[test]
+    fn decode_rejects_bad_tags_and_trailing_bytes() {
+        assert!(matches!(
+            WalRecord::decode(&[0xFF]),
+            Err(StorageError::Corrupt(_))
+        ));
+        let mut bytes = WalRecord::Mutation { sql: "x".into() }.encode();
+        bytes.push(0);
+        assert!(matches!(
+            WalRecord::decode(&bytes),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn table_image_rebuilds_the_table() {
+        let image = sample_table();
+        let table = image.clone().into_table().unwrap();
+        assert_eq!(table.name(), "movies");
+        assert_eq!(table.len(), 2);
+        assert_eq!(TableImage::of(&table), image);
+    }
+}

@@ -1,0 +1,77 @@
+//! Durable sessions: pay the crowd once, keep the answers across restarts.
+//!
+//! The example runs the same "process" twice against one database
+//! directory.  The first life loads the movie domain, triggers a
+//! crowd-paid schema expansion, and dies without any explicit save — every
+//! committed change is already in the write-ahead log.  The second life
+//! reopens the directory, re-binds the runtime objects (space + crowd
+//! source — those are not persisted), and re-runs the query: zero crowd
+//! rounds, zero dollars, identical rows and provenance.  A checkpoint at
+//! the end compacts the log into a snapshot.
+//!
+//! Run with `cargo run --example persistent_session`.
+
+use crowddb::prelude::*;
+
+const QUERY: &str = "SELECT item_id, name, is_comedy FROM movies LIMIT 5";
+
+fn open_session(dir: &std::path::Path, domain: &SyntheticDomain) -> Result<CrowdDb, CrowdDbError> {
+    let db = CrowdDb::builder()
+        .config(CrowdDbConfig {
+            strategy: ExpansionStrategy::DirectCrowd,
+            ..Default::default()
+        })
+        .persistent(dir)
+        .open()?;
+    // Spaces and crowd sources are live runtime objects: re-attach them on
+    // every open.  Only crowd-bought *data* is persisted — which is the
+    // part that costs money.
+    let space = build_space_for_domain(domain, 8, 12)?;
+    let crowd = SimulatedCrowd::new(domain, ExperimentRegime::TrustedWorkers, 7);
+    if db.catalog().table("movies").is_ok() {
+        // Reopened: the table (rows, expanded columns, provenance) is
+        // already recovered from snapshot + WAL.
+        db.bind_table("movies", space, Box::new(crowd))?;
+    } else {
+        db.load_domain("movies", domain, space, Box::new(crowd))?;
+    }
+    db.register_attribute("movies", "is_comedy", "Comedy")?;
+    Ok(db)
+}
+
+fn main() -> Result<(), CrowdDbError> {
+    let dir = std::env::temp_dir().join("crowddb-persistent-session");
+    let _ = std::fs::remove_dir_all(&dir);
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.05), 42).unwrap();
+
+    // ── Life 1: expansion is paid for and logged ────────────────────────
+    {
+        let db = open_session(&dir, &domain)?;
+        let outcome = db.query(QUERY).run()?;
+        println!(
+            "first life : {} rows, crowd cost ${:.2}, WAL {} bytes",
+            outcome.rows().map_or(0, |r| r.rows.len()),
+            outcome.crowd_cost,
+            db.wal_bytes(),
+        );
+        // The process "dies" here: no checkpoint, no explicit save.
+    }
+
+    // ── Life 2: reopen, replay, answer for free ─────────────────────────
+    let db = open_session(&dir, &domain)?;
+    let outcome = db.query(QUERY).run()?;
+    println!(
+        "second life: {} rows, crowd cost ${:.2} (cache {} entries recovered)",
+        outcome.rows().map_or(0, |r| r.rows.len()),
+        outcome.crowd_cost,
+        db.cache_stats().entries,
+    );
+    assert_eq!(outcome.crowd_cost, 0.0, "never pay the crowd twice");
+
+    // Compact the log into a snapshot; the WAL collapses to its header.
+    db.checkpoint()?;
+    println!("checkpoint : WAL compacted to {} bytes", db.wal_bytes());
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -12,6 +12,7 @@
 //! | [`mlkit`] | SVM / SVR / TSVM, LSI, dense linear algebra, evaluation metrics |
 //! | [`crowdsim`] | simulated crowd-sourcing platform (workers, HITs, gold questions, majority voting) |
 //! | [`datagen`] | synthetic Social-Web domains (movies, restaurants, board games) |
+//! | [`storage`] | durable storage engine (checksummed write-ahead log, snapshot/checkpoint files) |
 //! | [`crowddb_core`] | the crowd-enabled database: query-driven schema expansion, boosting, HIT auditing |
 //!
 //! See the repository README for a quickstart, `docs/architecture.md` for
@@ -32,23 +33,26 @@
 //! assert!(result.rows.len() <= 3);
 //! ```
 
+#![warn(missing_docs)]
+
 pub use crowddb_core;
 pub use crowdsim;
 pub use datagen;
 pub use mlkit;
 pub use perceptual;
 pub use relational;
+pub use storage;
 
 /// Commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
     pub use crowddb_core::{
         audit_binary_labels, build_space_for_domain, evaluate_boost_over_time,
         extract_binary_attribute, extract_numeric_attribute, repair_labels, AttributeRequest,
-        AuditOutcome, BoostCurve, CacheStats, CellProvenance, CrowdDb, CrowdDbConfig, CrowdDbError,
-        CrowdSource, ExpansionMode, ExpansionPlan, ExpansionPolicy, ExpansionReport,
-        ExpansionStrategy, ExtractionConfig, JudgmentCache, MissingReason, OutstandingEstimate,
-        QueryBuilder, QueryEvent, QueryOutcome, QueryStream, RepairOutcome, RowSet, Session,
-        SimulatedCrowd, StatementResult,
+        AuditOutcome, BoostCurve, CacheStats, CellProvenance, CrowdDb, CrowdDbBuilder,
+        CrowdDbConfig, CrowdDbError, CrowdSource, ExpansionMode, ExpansionPlan, ExpansionPolicy,
+        ExpansionReport, ExpansionStrategy, ExtractionConfig, JudgmentCache, MissingReason,
+        OutstandingEstimate, QueryBuilder, QueryEvent, QueryOutcome, QueryStream, RepairOutcome,
+        RowSet, Session, SimulatedCrowd, StatementResult,
     };
     pub use crowdsim::{
         majority_vote, CrowdPlatform, CrowdRun, ExperimentRegime, HitConfig, Judgment,

@@ -416,7 +416,7 @@ fn events_since_cursor_never_recopies_history() {
 
     // A later expansion shows up exactly once, and the full accessor still
     // sees everything.
-    s.db.invalidate_judgments("movies", "Comedy");
+    s.db.invalidate_judgments("movies", "Comedy").unwrap();
     s.db.expand_attribute("movies", "is_comedy").unwrap();
     // expand_attribute is not a query: it records no event, so force one
     // through a query over a second registered attribute.
