@@ -1,6 +1,7 @@
 //! Bench-regression guard: compares the deterministic *cost* fields of the
-//! smoke-bench reports (`BENCH_policy.json`, `BENCH_stream.json`) against
-//! the baselines committed under `ci/`, and fails on any drift.
+//! smoke-bench reports (`BENCH_policy.json`, `BENCH_stream.json`,
+//! `BENCH_shard.json`) against the baselines committed under `ci/`, and
+//! fails on any drift.
 //!
 //! The guarded fields are the seeded, machine-independent outputs of the
 //! policy engine — crowd dollars per mode and missing-cell counts — which
@@ -39,6 +40,15 @@ const STREAM_FIELDS: &[&str] = &[
     "full_missing_cells",
     "best_effort_cost_dollars",
     "best_effort_missing_cells",
+];
+const SHARD_FIELDS: &[&str] = &[
+    "threads",
+    "tables",
+    "rows_written",
+    "archive_rows_per_table",
+    "expansion_items_per_table",
+    "expansion_cost_dollars",
+    "expansion_missing_cells",
 ];
 
 /// Numeric comparisons use an epsilon: the reports print floats with fixed
@@ -115,6 +125,11 @@ fn main() -> ExitCode {
             "BENCH_stream.json",
             "BENCH_stream.baseline.json",
             STREAM_FIELDS,
+        ),
+        (
+            "BENCH_shard.json",
+            "BENCH_shard.baseline.json",
+            SHARD_FIELDS,
         ),
     ];
     let mut failed = false;

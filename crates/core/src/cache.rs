@@ -19,18 +19,27 @@
 //! convert into the money-saved metric surfaced on
 //! [`crate::ExpansionReport`].
 //!
-//! All methods take `&self`: the state lives behind an internal [`RwLock`],
-//! so a cache shared by N concurrently executing queries needs no external
-//! synchronization.  Reads (`peek`, `partition_peek`, `stats`) take the
-//! shared lock; `partition` takes the exclusive lock because it moves the
-//! hit/miss counters.
+//! # Sharding
+//!
+//! Entries are partitioned **by table**, mirroring the engine's per-table
+//! catalog shards and WAL segments: each table's entries live behind their
+//! own [`RwLock`], found through a table-map lock that is held only long
+//! enough to clone the partition handle.  Concurrent expansions on
+//! different tables therefore never contend on cache state, and a per-table
+//! incremental checkpoint can export exactly one partition
+//! ([`JudgmentCache::export_table`]).  The hit/miss/cost-saved counters are
+//! global (they describe the whole cache's effectiveness) and live behind a
+//! separate small mutex, always acquired *after* any partition lock.
+//!
+//! All methods take `&self`, so a cache shared by N concurrently executing
+//! queries needs no external synchronization.
 
 use std::collections::HashMap;
-use std::sync::RwLock;
+use std::sync::{Arc, Mutex, RwLock};
 
 use perceptual::ItemId;
 
-use crate::sync::{rlock, wlock};
+use crate::sync::{mlock, rlock, wlock};
 
 /// The aggregated crowd knowledge about one `(table, attribute, item)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,14 +76,22 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// Mutable state of the cache, kept behind one lock so counters and entries
-/// always move together.
+/// One table's share of the cache: attribute → item → judgment.
 #[derive(Debug, Default)]
-struct CacheInner {
-    /// Outer key: `(table, attribute)`; inner key: item id.  Two-level so a
-    /// planning round constructs one string key per attribute, not one per
-    /// item.
-    entries: HashMap<(String, String), HashMap<ItemId, CachedJudgment>>,
+struct Partition {
+    entries: HashMap<String, HashMap<ItemId, CachedJudgment>>,
+}
+
+impl Partition {
+    fn len(&self) -> usize {
+        self.entries.values().map(HashMap::len).sum()
+    }
+}
+
+/// Global effectiveness counters, kept together under one mutex so the
+/// dollars-saved figure always moves with the hit count that earned it.
+#[derive(Debug, Default)]
+struct Counters {
     hits: u64,
     misses: u64,
     cost_saved: f64,
@@ -85,10 +102,14 @@ struct CacheInner {
 pub type CacheGroup = (String, String, Vec<(ItemId, CachedJudgment)>);
 
 /// A concurrency-safe cache of aggregated crowd judgments keyed by
-/// `(table, attribute, item)`.
+/// `(table, attribute, item)`, partitioned by table.
 #[derive(Debug, Default)]
 pub struct JudgmentCache {
-    inner: RwLock<CacheInner>,
+    /// Table (lowercased) → that table's partition.  The map lock guards
+    /// only the membership; entry state lives behind each partition's own
+    /// lock so distinct tables never contend.
+    partitions: RwLock<HashMap<String, Arc<RwLock<Partition>>>>,
+    counters: Mutex<Counters>,
 }
 
 impl JudgmentCache {
@@ -97,16 +118,19 @@ impl JudgmentCache {
         JudgmentCache::default()
     }
 
-    fn key(table: &str, attribute: &str) -> (String, String) {
-        (table.to_lowercase(), attribute.to_lowercase())
+    /// Looks up the partition for `table`, if one exists.  The table-map
+    /// lock is released before the handle is returned.
+    fn partition_of(&self, table: &str) -> Option<Arc<RwLock<Partition>>> {
+        rlock(&self.partitions).get(&table.to_lowercase()).cloned()
     }
 
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, CacheInner> {
-        rlock(&self.inner)
-    }
-
-    fn write(&self) -> std::sync::RwLockWriteGuard<'_, CacheInner> {
-        wlock(&self.inner)
+    /// Looks up or creates the partition for `table`.
+    fn partition_or_create(&self, table: &str) -> Arc<RwLock<Partition>> {
+        let key = table.to_lowercase();
+        if let Some(partition) = rlock(&self.partitions).get(&key) {
+            return Arc::clone(partition);
+        }
+        Arc::clone(wlock(&self.partitions).entry(key).or_default())
     }
 
     /// Splits `items` into cached judgments and items that must be sent to
@@ -120,25 +144,12 @@ impl JudgmentCache {
         attribute: &str,
         items: &[ItemId],
     ) -> (HashMap<ItemId, CachedJudgment>, Vec<ItemId>) {
-        let mut inner = self.write();
-        let mut cached = HashMap::new();
-        let mut uncached = Vec::new();
-        let mut hits = 0u64;
-        let mut cost_saved = 0.0;
-        let per_item = inner.entries.get(&Self::key(table, attribute));
-        for &item in items {
-            match per_item.and_then(|m| m.get(&item)) {
-                Some(&judgment) => {
-                    hits += 1;
-                    cost_saved += judgment.cost;
-                    cached.insert(item, judgment);
-                }
-                None => uncached.push(item),
-            }
-        }
-        inner.hits += hits;
-        inner.misses += uncached.len() as u64;
-        inner.cost_saved += cost_saved;
+        let (cached, uncached) = self.partition_peek(table, attribute, items);
+        let mut counters = mlock(&self.counters);
+        counters.hits += cached.len() as u64;
+        counters.misses += uncached.len() as u64;
+        counters.cost_saved += cached.values().map(|j| j.cost).sum::<f64>();
+        drop(counters);
         (cached, uncached)
     }
 
@@ -154,35 +165,43 @@ impl JudgmentCache {
         attribute: &str,
         items: &[ItemId],
     ) -> (HashMap<ItemId, CachedJudgment>, Vec<ItemId>) {
-        let inner = self.read();
-        let per_item = inner.entries.get(&Self::key(table, attribute));
         let mut cached = HashMap::new();
         let mut uncached = Vec::new();
-        for &item in items {
-            match per_item.and_then(|m| m.get(&item)) {
-                Some(&judgment) => {
-                    cached.insert(item, judgment);
+        match self.partition_of(table) {
+            Some(partition) => {
+                let partition = rlock(&partition);
+                let per_item = partition.entries.get(&attribute.to_lowercase());
+                for &item in items {
+                    match per_item.and_then(|m| m.get(&item)) {
+                        Some(&judgment) => {
+                            cached.insert(item, judgment);
+                        }
+                        None => uncached.push(item),
+                    }
                 }
-                None => uncached.push(item),
             }
+            None => uncached.extend_from_slice(items),
         }
         (cached, uncached)
     }
 
     /// Reads one entry without touching the counters.
     pub fn peek(&self, table: &str, attribute: &str, item: ItemId) -> Option<CachedJudgment> {
-        self.read()
+        let partition = self.partition_of(table)?;
+        let partition = rlock(&partition);
+        partition
             .entries
-            .get(&Self::key(table, attribute))
+            .get(&attribute.to_lowercase())
             .and_then(|m| m.get(&item))
             .copied()
     }
 
     /// Stores one aggregated judgment.
     pub fn insert(&self, table: &str, attribute: &str, item: ItemId, judgment: CachedJudgment) {
-        self.write()
+        let partition = self.partition_or_create(table);
+        wlock(&partition)
             .entries
-            .entry(Self::key(table, attribute))
+            .entry(attribute.to_lowercase())
             .or_default()
             .insert(item, judgment);
     }
@@ -191,28 +210,56 @@ impl JudgmentCache {
     /// judgments must be forced, e.g. after a repair round found the old
     /// ones questionable.
     pub fn invalidate(&self, table: &str, attribute: &str) {
-        self.write().entries.remove(&Self::key(table, attribute));
+        if let Some(partition) = self.partition_of(table) {
+            wlock(&partition).entries.remove(&attribute.to_lowercase());
+        }
     }
 
     /// Current effectiveness counters.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.read();
+        let entries = self.len();
+        let counters = mlock(&self.counters);
         CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            cost_saved: inner.cost_saved,
-            entries: inner.entries.values().map(HashMap::len).sum(),
+            hits: counters.hits,
+            misses: counters.misses,
+            cost_saved: counters.cost_saved,
+            entries,
         }
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.read().entries.values().map(HashMap::len).sum()
+        let partitions: Vec<_> = rlock(&self.partitions).values().cloned().collect();
+        partitions.iter().map(|p| rlock(p).len()).sum()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.read().entries.values().all(HashMap::is_empty)
+        self.len() == 0
+    }
+
+    /// Every cached entry of one table, grouped by attribute and sorted
+    /// (both the groups and each group's items) so the export is
+    /// deterministic — the judgment half of a per-table incremental
+    /// checkpoint.
+    pub fn export_table(&self, table: &str) -> Vec<CacheGroup> {
+        let key = table.to_lowercase();
+        let Some(partition) = self.partition_of(&key) else {
+            return Vec::new();
+        };
+        let partition = rlock(&partition);
+        let mut groups: Vec<CacheGroup> = partition
+            .entries
+            .iter()
+            .map(|(attribute, per_item)| {
+                let mut items: Vec<(ItemId, CachedJudgment)> =
+                    per_item.iter().map(|(&item, &j)| (item, j)).collect();
+                items.sort_unstable_by_key(|(item, _)| *item);
+                (key.clone(), attribute.clone(), items)
+            })
+            .collect();
+        groups.sort_unstable_by(|a, b| a.1.cmp(&b.1));
+        groups
     }
 
     /// Every cached entry, grouped by `(table, attribute)` and sorted (both
@@ -220,25 +267,13 @@ impl JudgmentCache {
     /// the judgment half of a durable snapshot, together with
     /// [`stats`](JudgmentCache::stats).
     pub fn export(&self) -> (Vec<CacheGroup>, CacheStats) {
-        let inner = self.read();
-        let mut groups: Vec<CacheGroup> = inner
-            .entries
-            .iter()
-            .map(|((table, attribute), per_item)| {
-                let mut items: Vec<(ItemId, CachedJudgment)> =
-                    per_item.iter().map(|(&item, &j)| (item, j)).collect();
-                items.sort_unstable_by_key(|(item, _)| *item);
-                (table.clone(), attribute.clone(), items)
-            })
-            .collect();
-        groups.sort_unstable_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
-        let stats = CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            cost_saved: inner.cost_saved,
-            entries: inner.entries.values().map(HashMap::len).sum(),
-        };
-        (groups, stats)
+        let mut tables: Vec<String> = rlock(&self.partitions).keys().cloned().collect();
+        tables.sort_unstable();
+        let mut groups = Vec::new();
+        for table in tables {
+            groups.extend(self.export_table(&table));
+        }
+        (groups, self.stats())
     }
 
     /// Rebuilds a cache from exported groups and counters — the recovery
@@ -246,27 +281,40 @@ impl JudgmentCache {
     /// `stats` is ignored (it is derived from the groups).
     pub fn restore(groups: Vec<CacheGroup>, stats: CacheStats) -> Self {
         let cache = JudgmentCache::new();
-        {
-            let mut inner = cache.write();
-            for (table, attribute, items) in groups {
-                inner
-                    .entries
-                    .insert((table, attribute), items.into_iter().collect());
-            }
-            inner.hits = stats.hits;
-            inner.misses = stats.misses;
-            inner.cost_saved = stats.cost_saved;
-        }
+        cache.absorb(groups);
+        cache.set_stats(stats);
         cache
+    }
+
+    /// Bulk-inserts exported groups (recovery of one or more tables).
+    /// Group keys are normalized (lowercased) exactly like live inserts.
+    pub fn absorb(&self, groups: Vec<CacheGroup>) {
+        for (table, attribute, items) in groups {
+            let partition = self.partition_or_create(&table);
+            wlock(&partition)
+                .entries
+                .entry(attribute.to_lowercase())
+                .or_default()
+                .extend(items);
+        }
+    }
+
+    /// Overwrites the global effectiveness counters (recovery only; the
+    /// `entries` field is ignored).
+    pub fn set_stats(&self, stats: CacheStats) {
+        let mut counters = mlock(&self.counters);
+        counters.hits = stats.hits;
+        counters.misses = stats.misses;
+        counters.cost_saved = stats.cost_saved;
     }
 
     /// Clears entries and counters.
     pub fn clear(&self) {
-        let mut inner = self.write();
-        inner.entries.clear();
-        inner.hits = 0;
-        inner.misses = 0;
-        inner.cost_saved = 0.0;
+        wlock(&self.partitions).clear();
+        let mut counters = mlock(&self.counters);
+        counters.hits = 0;
+        counters.misses = 0;
+        counters.cost_saved = 0.0;
     }
 }
 
@@ -328,6 +376,34 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn export_table_scopes_to_one_partition() {
+        let cache = JudgmentCache::new();
+        cache.insert("movies", "Comedy", 2, judgment(Some(true), 0.02));
+        cache.insert("movies", "Comedy", 1, judgment(Some(false), 0.02));
+        cache.insert("books", "Sci-Fi", 9, judgment(Some(true), 0.03));
+
+        let movies = cache.export_table("Movies");
+        assert_eq!(movies.len(), 1);
+        assert_eq!(movies[0].0, "movies");
+        assert_eq!(movies[0].1, "comedy");
+        // Items sorted by id for determinism.
+        assert_eq!(
+            movies[0].2.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert!(cache.export_table("music").is_empty());
+        // The full export covers both tables, sorted by table then attribute.
+        let (groups, _) = cache.export();
+        assert_eq!(
+            groups
+                .iter()
+                .map(|(t, a, _)| (t.as_str(), a.as_str()))
+                .collect::<Vec<_>>(),
+            vec![("books", "sci-fi"), ("movies", "comedy")]
+        );
     }
 
     #[test]

@@ -20,22 +20,27 @@
 //!
 //! # Concurrency
 //!
-//! [`CrowdDb::execute`] takes `&self`: the catalog and the binding table
-//! live behind [`RwLock`]s, every crowd source behind a [`Mutex`], the
-//! [`JudgmentCache`] and [`InflightRegistry`] are internally synchronized,
-//! and the database is `Send + Sync` — share it across N threads (e.g. via
-//! [`std::sync::Arc`] or [`std::thread::scope`]) and call `execute` from
-//! all of them.  Read-only statements (`SELECT`) run under the shared
-//! catalog lock and therefore in parallel; writes and column
-//! materialization take the exclusive lock.  No lock is ever held across a
-//! crowd dispatch, so slow human work never blocks factual queries.
+//! [`CrowdDb::execute`] takes `&self`: the catalog is **sharded by
+//! table** — each table's single-table [`Catalog`] lives behind its own
+//! [`RwLock`] (a `Shard`), reached through a lightweight table-map lock
+//! touched only to create tables or clone shard handles — the binding
+//! table is behind an [`RwLock`], every crowd source behind a [`Mutex`],
+//! the [`JudgmentCache`] and [`InflightRegistry`] are internally
+//! synchronized, and the database is `Send + Sync` — share it across N
+//! threads (e.g. via [`std::sync::Arc`] or [`std::thread::scope`]) and
+//! call `execute` from all of them.  Read-only statements (`SELECT`) run
+//! under their table's shared shard lock and therefore in parallel; writes
+//! and column materialization take that one table's exclusive lock, so
+//! queries on *different tables* never contend on any catalog lock at
+//! all.  No lock is ever held across a crowd dispatch, so slow human work
+//! never blocks factual queries.
 //!
 //! Queries that concurrently need the same missing `(table, attribute)`
 //! are **coalesced**: the first becomes the owner of one crowd round, the
 //! others block on the in-flight acquisition and then serve themselves
 //! from the judgment cache at zero crowd cost (see [`crate::inflight`]).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -46,7 +51,9 @@ use storage::{TableImage, WalRecord};
 use crowdsim::majority_vote;
 use datagen::SyntheticDomain;
 use perceptual::{EuclideanEmbeddingConfig, EuclideanEmbeddingModel, ItemId, PerceptualSpace};
-use relational::{executor, sql, Catalog, Column, DataType, QueryResult, Schema, Table, Value};
+use relational::{
+    executor, sql, Catalog, Column, DataType, QueryResult, RelationalError, Schema, Table, Value,
+};
 
 use crate::cache::{CacheStats, CachedJudgment, JudgmentCache};
 use crate::crowd_source::{AttributeRequest, CrowdSource, OutstandingEstimate};
@@ -102,6 +109,91 @@ pub struct ExpansionEvent {
     pub triggering_query: String,
     /// The expansion report.
     pub report: ExpansionReport,
+}
+
+/// What one incremental [`CrowdDb::checkpoint`] did: which tables were
+/// dirty (and got a fresh snapshot + truncated segment), which were clean
+/// (and were skipped untouched), and how many WAL bytes the truncations
+/// reclaimed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Tables whose segments had records since their last checkpoint, in
+    /// name order.  Each got a fresh snapshot and a truncated segment.
+    pub tables_snapshotted: Vec<String>,
+    /// Clean tables the checkpoint skipped, in name order.
+    pub tables_skipped: Vec<String>,
+    /// WAL bytes reclaimed by the segment truncations.
+    pub bytes_reclaimed: u64,
+}
+
+impl CheckpointReport {
+    /// True when at least one table was snapshotted.
+    pub fn snapshotted_any(&self) -> bool {
+        !self.tables_snapshotted.is_empty()
+    }
+}
+
+/// A read view of the sharded catalog, returned by [`CrowdDb::catalog`].
+///
+/// Holds shard *handles*, not locks: each [`table`](CatalogRead::table)
+/// call takes only that table's shared lock, for exactly as long as the
+/// returned [`TableRef`] lives.  Tables created after this view was taken
+/// are not visible through it — take a fresh view to see them.
+pub struct CatalogRead {
+    /// `(table name, shard)` pairs, sorted by name.
+    shards: Vec<(String, Arc<Shard>)>,
+}
+
+impl CatalogRead {
+    /// Shared read access to one table.  Fails with
+    /// [`RelationalError::UnknownTable`] when the view holds no table of
+    /// that name.
+    pub fn table(&self, name: &str) -> Result<TableRef<'_>> {
+        let key = name.to_lowercase();
+        let shard = self
+            .shards
+            .iter()
+            .find(|(shard_name, _)| *shard_name == key)
+            .map(|(_, shard)| shard)
+            .ok_or_else(|| RelationalError::UnknownTable(name.to_string()))?;
+        Ok(TableRef {
+            guard: rlock(&shard.catalog),
+            name: key,
+        })
+    }
+
+    /// The table names of this view, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.shards.iter().map(|(name, _)| name.clone()).collect()
+    }
+
+    /// Number of tables in this view.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the view holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+}
+
+/// A borrowed table behind its shard's shared lock, dereferencing to
+/// [`Table`].  Writers to this table block while it is alive; drop it
+/// before triggering expansions or mutations.
+pub struct TableRef<'a> {
+    guard: RwLockReadGuard<'a, Catalog>,
+    name: String,
+}
+
+impl std::ops::Deref for TableRef<'_> {
+    type Target = Table;
+
+    fn deref(&self) -> &Table {
+        self.guard
+            .table(&self.name)
+            .expect("a shard always holds its own table")
+    }
 }
 
 /// Everything one table needs for crowd-driven expansion: its perceptual
@@ -259,11 +351,40 @@ pub struct CrowdDb {
     pub(crate) scheduler: Scheduler,
 }
 
+/// One table's unit of catalog locking: a single-table [`Catalog`] behind
+/// its own [`RwLock`].
+///
+/// The executor's analysis and execution functions take a `&Catalog`; a
+/// shard satisfies them with a catalog that happens to hold exactly one
+/// table, so every statement runs against its own table's lock and tables
+/// never contend with each other.  The shard map itself (`DbInner::shards`)
+/// is guarded by a separate lightweight lock used only for table creation
+/// and handle cloning — the lock order is table map → shard → WAL segment →
+/// manifest (see `docs/architecture.md`).
+struct Shard {
+    catalog: RwLock<Catalog>,
+}
+
+impl Shard {
+    /// Wraps a fully built table in its own single-table catalog.
+    fn of_table(table: Table) -> Arc<Shard> {
+        let mut catalog = Catalog::new();
+        catalog
+            .create_table(table)
+            .expect("a fresh single-table catalog cannot collide");
+        Arc::new(Shard {
+            catalog: RwLock::new(catalog),
+        })
+    }
+}
+
 /// The shared state behind a [`CrowdDb`]: everything scheduler jobs need,
 /// behind one [`Arc`].
 pub(crate) struct DbInner {
     config: CrowdDbConfig,
-    catalog: RwLock<Catalog>,
+    /// Table name (lower-cased) → shard.  The map lock guards membership
+    /// only; all table data sits behind each shard's own lock.
+    shards: RwLock<BTreeMap<String, Arc<Shard>>>,
     bindings: RwLock<HashMap<String, Arc<TableBinding>>>,
     events: Mutex<Vec<ExpansionEvent>>,
     cache: JudgmentCache,
@@ -284,10 +405,11 @@ pub(crate) struct DbInner {
     /// column as complete forever.
     incomplete: RwLock<HashSet<(String, String)>>,
     /// The durability engine of a persistent database (`None` for the
-    /// in-memory default).  Mutators append WAL records through
-    /// [`DbInner::log`]; catalog-shaped records are logged under the
-    /// exclusive catalog lock so checkpointing can never split an apply
-    /// from its log record (see [`crate::persist`] for the invariants).
+    /// in-memory default).  Mutators append WAL records to their table's
+    /// segment through [`DbInner::log`]; catalog-shaped records are logged
+    /// under that table's exclusive shard lock so checkpointing can never
+    /// split an apply from its log record (see [`crate::persist`] for the
+    /// invariants).
     durability: Option<Durability>,
 }
 
@@ -316,10 +438,25 @@ const SCHEDULER_CORE_WORKERS: usize = 2;
 /// crowd sources are runtime objects: re-attach them with
 /// [`CrowdDb::bind_table`] / [`CrowdDb::register_attribute`] after
 /// opening (see `examples/persistent_session.rs`).
-#[derive(Default)]
 pub struct CrowdDbBuilder {
     config: CrowdDbConfig,
     path: Option<PathBuf>,
+    recovery_parallelism: usize,
+}
+
+/// Default worker count for parallel segment replay on recovery.  Replay
+/// is I/O- and decode-bound; a small pool overlaps segment reads without
+/// oversubscribing small machines.
+const DEFAULT_RECOVERY_PARALLELISM: usize = 4;
+
+impl Default for CrowdDbBuilder {
+    fn default() -> Self {
+        CrowdDbBuilder {
+            config: CrowdDbConfig::default(),
+            path: None,
+            recovery_parallelism: DEFAULT_RECOVERY_PARALLELISM,
+        }
+    }
 }
 
 impl CrowdDbBuilder {
@@ -342,10 +479,22 @@ impl CrowdDbBuilder {
         self
     }
 
+    /// Caps the worker threads recovery replays WAL segments on (default
+    /// 4).  `1` forces serial replay.  The recovered state is bit-identical
+    /// either way: segments share no state, and the per-table results are
+    /// merged in sorted table order regardless of completion order.
+    pub fn recovery_parallelism(mut self, workers: usize) -> Self {
+        self.recovery_parallelism = workers.max(1);
+        self
+    }
+
     /// Opens the database, recovering persisted state when a directory was
     /// configured.  Recovery truncates a torn final WAL record (a crash
     /// mid-append) but fails with [`CrowdDbError::Storage`] on checksum
     /// mismatches — silent loss of paid-for judgments is never an option.
+    /// A directory in the legacy single-file layout (`wal.log` +
+    /// `snapshot.db`) is migrated into the segmented per-table layout
+    /// once, losslessly, on open.
     pub fn open(self) -> Result<CrowdDb> {
         match self.path {
             None => Ok(CrowdDb::assemble(
@@ -354,7 +503,8 @@ impl CrowdDbBuilder {
                 None,
             )),
             Some(dir) => {
-                let (state, durability) = persist::recover(&dir, &self.config.id_column)?;
+                let (state, durability) =
+                    persist::recover(&dir, &self.config.id_column, self.recovery_parallelism)?;
                 Ok(CrowdDb::assemble(self.config, state, Some(durability)))
             }
         }
@@ -386,45 +536,82 @@ impl CrowdDb {
         self.inner.durability.is_some()
     }
 
-    /// Compacts the durable state: writes a fresh snapshot of the whole
-    /// database and truncates the write-ahead log it supersedes.  Returns
-    /// `false` (doing nothing) on an in-memory database.
+    /// Compacts the durable state **incrementally**: every table whose WAL
+    /// segment received records since its last checkpoint gets a fresh
+    /// per-table snapshot and a truncated segment; clean tables are
+    /// skipped untouched.  The manifest is rewritten once at the end.
+    /// Does nothing (an empty report) on an in-memory database.
     ///
-    /// The checkpoint holds the **shared** catalog lock plus the WAL lock
-    /// for its duration: concurrent readers and the background scheduler
-    /// keep running; writers (mutations, materializations, cache writes)
-    /// block until the snapshot is on disk.  A crash at any point leaves
-    /// either the old snapshot + old WAL or the new snapshot (+ the records
-    /// appended since), never a torn hybrid — the snapshot is written to a
-    /// temp file and atomically renamed into place.
-    pub fn checkpoint(&self) -> Result<bool> {
+    /// Each table's checkpoint holds that table's **shared** shard lock
+    /// plus its segment mutex: concurrent readers and the background
+    /// scheduler keep running, writers on *other tables* are completely
+    /// unaffected, and writers on the table being snapshotted block only
+    /// for its own capture.  A crash at any point leaves every table with
+    /// either its old snapshot + complete old segment or its new snapshot
+    /// (+ the records appended since), never a torn hybrid — snapshots are
+    /// written to a temp file and atomically renamed, and per-table
+    /// generation stamps keep a partially completed incremental checkpoint
+    /// consistent table by table.
+    pub fn checkpoint(&self) -> Result<CheckpointReport> {
+        self.checkpoint_inner(false)
+    }
+
+    /// Compacts the durable state **fully**: every table gets a fresh
+    /// snapshot and a truncated segment, dirty or not.  This is what the
+    /// pre-sharding engine did on every checkpoint; it survives as the
+    /// backup/archival entry point — after it returns, the `snap/`
+    /// directory plus the manifest describe the complete database with
+    /// every segment empty, so copying the directory captures a
+    /// self-contained image.  Prefer [`checkpoint`](CrowdDb::checkpoint)
+    /// for routine compaction: on read-mostly tables a full checkpoint
+    /// re-serializes and re-writes data that has not changed.
+    pub fn checkpoint_full(&self) -> Result<CheckpointReport> {
+        self.checkpoint_inner(true)
+    }
+
+    fn checkpoint_inner(&self, force: bool) -> Result<CheckpointReport> {
         let inner = &self.inner;
         let durability = match &inner.durability {
             Some(durability) => durability,
-            None => return Ok(false),
+            None => return Ok(CheckpointReport::default()),
         };
-        let catalog = rlock(&inner.catalog);
-        durability.checkpoint_with(|wal_generation, wal_records_applied| {
-            persist::snapshot_image(
-                persist::SnapshotParts {
-                    catalog: &catalog,
-                    cache: &inner.cache,
-                    provenance: &rlock(&inner.provenance),
-                    incomplete: &rlock(&inner.incomplete),
-                    crowd_rounds: inner.crowd_rounds.load(Ordering::SeqCst),
-                    id_column: &inner.config.id_column,
-                },
-                wal_generation,
-                wal_records_applied,
-            )
-        })?;
-        Ok(true)
+        let mut report = CheckpointReport::default();
+        for (name, shard) in inner.shards_sorted() {
+            if !force && !durability.is_dirty(&name) {
+                report.tables_skipped.push(name);
+                continue;
+            }
+            let catalog = rlock(&shard.catalog);
+            let table = catalog.table(&name)?;
+            report.bytes_reclaimed +=
+                durability.checkpoint_table(&name, |wal_generation, wal_records_applied| {
+                    persist::table_snapshot_image(
+                        persist::TableSnapshotParts {
+                            table,
+                            cache: &inner.cache,
+                            provenance: &rlock(&inner.provenance),
+                            incomplete: &rlock(&inner.incomplete),
+                            crowd_rounds: inner.crowd_rounds.load(Ordering::SeqCst),
+                            id_column: &inner.config.id_column,
+                        },
+                        wal_generation,
+                        wal_records_applied,
+                    )
+                })?;
+            report.tables_snapshotted.push(name);
+        }
+        durability.write_manifest_state(
+            inner.cache.stats(),
+            inner.crowd_rounds.load(Ordering::SeqCst),
+        )?;
+        Ok(report)
     }
 
-    /// Current size of the write-ahead log in bytes (0 for in-memory
-    /// databases) — a compaction diagnostic: it grows with committed work
-    /// and collapses back to a few dozen bytes (file header plus the
-    /// configuration stamp) on [`checkpoint`](CrowdDb::checkpoint).
+    /// Current total size of the write-ahead log in bytes, summed across
+    /// every table's segment (0 for in-memory databases) — a compaction
+    /// diagnostic: it grows with committed work and collapses back to a
+    /// few dozen bytes per table (file header plus the configuration
+    /// stamp) on [`checkpoint`](CrowdDb::checkpoint).
     pub fn wal_bytes(&self) -> u64 {
         self.inner
             .durability
@@ -432,15 +619,34 @@ impl CrowdDb {
             .map_or(0, Durability::wal_bytes)
     }
 
+    /// Per-table WAL segment sizes in bytes, sorted by table name (empty
+    /// for in-memory databases) — the per-shard breakdown of
+    /// [`wal_bytes`](CrowdDb::wal_bytes).
+    pub fn wal_bytes_by_table(&self) -> Vec<(String, u64)> {
+        self.inner
+            .durability
+            .as_ref()
+            .map_or_else(Vec::new, Durability::wal_bytes_by_table)
+    }
+
     fn assemble(
         config: CrowdDbConfig,
         state: RecoveredState,
         durability: Option<Durability>,
     ) -> Self {
+        let mut shards = BTreeMap::new();
+        for name in state.catalog.table_names() {
+            let table = state
+                .catalog
+                .table(&name)
+                .expect("listed table exists")
+                .clone();
+            shards.insert(name, Shard::of_table(table));
+        }
         CrowdDb {
             inner: Arc::new(DbInner {
                 config,
-                catalog: RwLock::new(state.catalog),
+                shards: RwLock::new(shards),
                 bindings: RwLock::new(HashMap::new()),
                 events: Mutex::new(Vec::new()),
                 cache: state.cache,
@@ -456,11 +662,16 @@ impl CrowdDb {
 
     /// Read access to the relational catalog.
     ///
-    /// The returned guard holds the shared catalog lock: concurrent
-    /// `SELECT`s keep running, but writes and expansions block until it is
-    /// dropped.  Do not hold it across a call to [`CrowdDb::execute`].
-    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
-        rlock(&self.inner.catalog)
+    /// The returned view holds **no** lock itself — it carries a handle to
+    /// every table shard, and each [`CatalogRead::table`] call takes only
+    /// that table's shared lock for the lifetime of the returned
+    /// reference.  Concurrent `SELECT`s keep running; a write to a table
+    /// blocks only while a reference to *that* table is alive.  Do not
+    /// hold a table reference across a call to [`CrowdDb::execute`].
+    pub fn catalog(&self) -> CatalogRead {
+        CatalogRead {
+            shards: self.inner.shards_sorted(),
+        }
     }
 
     /// Registers a fully built table with the catalog — the narrow,
@@ -530,10 +741,13 @@ impl CrowdDb {
     /// judgments (hence the `Result` — the WAL append can fail).
     pub fn invalidate_judgments(&self, table: &str, attribute: &str) -> Result<()> {
         self.inner.cache.invalidate(table, attribute);
-        self.inner.log(&[WalRecord::CacheInvalidate {
-            table: table.to_lowercase(),
-            attribute: attribute.to_lowercase(),
-        }])
+        self.inner.log(
+            table,
+            &[WalRecord::CacheInvalidate {
+                table: table.to_lowercase(),
+                attribute: attribute.to_lowercase(),
+            }],
+        )
     }
 
     /// Loads a synthetic domain as a table holding the factual attributes
@@ -593,7 +807,8 @@ impl CrowdDb {
         crowd: Box<dyn CrowdSource>,
     ) -> Result<()> {
         {
-            let catalog = rlock(&self.inner.catalog);
+            let shard = self.inner.shard(table_name)?;
+            let catalog = rlock(&shard.catalog);
             let table = catalog.table(table_name)?;
             if !table.schema().contains(&self.inner.config.id_column) {
                 return Err(CrowdDbError::Configuration(format!(
@@ -794,34 +1009,63 @@ fn select_of(statement: &sql::Statement) -> Option<&sql::SelectStatement> {
 }
 
 impl DbInner {
-    /// Appends `records` to the WAL as one fsynced group — the durability
-    /// commit point of every mutator.  A no-op on in-memory databases.
+    /// The shard of one table (any casing).  Fails with
+    /// [`RelationalError::UnknownTable`] for tables that do not exist.
+    fn shard(&self, table: &str) -> Result<Arc<Shard>> {
+        let key = table.to_lowercase();
+        rlock(&self.shards)
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| RelationalError::UnknownTable(table.to_string()).into())
+    }
+
+    /// A point-in-time copy of the shard map, sorted by table name.  Only
+    /// clones [`Arc`] handles — no table lock is taken.
+    fn shards_sorted(&self) -> Vec<(String, Arc<Shard>)> {
+        rlock(&self.shards)
+            .iter()
+            .map(|(name, shard)| (name.clone(), Arc::clone(shard)))
+            .collect()
+    }
+
+    /// Appends `records` to `table`'s WAL segment as one fsynced group —
+    /// the durability commit point of every mutator.  A no-op on in-memory
+    /// databases.
     ///
     /// Callers logging catalog-shaped records (`CreateTable`, `Mutation`,
-    /// `MaterializeColumn`, `SetCells`) must hold the **exclusive** catalog
-    /// lock across both the in-memory apply and this call; cache-shaped
-    /// records need no lock beyond the WAL's own (see [`crate::persist`]).
-    fn log(&self, records: &[WalRecord]) -> Result<()> {
+    /// `MaterializeColumn`, `SetCells`) must hold the table's **exclusive**
+    /// shard lock across both the in-memory apply and this call;
+    /// cache-shaped records need no lock beyond the segment's own (see
+    /// [`crate::persist`]).
+    fn log(&self, table: &str, records: &[WalRecord]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
         match &self.durability {
-            Some(durability) => durability.log(records),
+            Some(durability) => durability.log(table, records),
             None => Ok(()),
         }
     }
 
-    /// Registers a table with the catalog and logs it durably — the apply
-    /// and the append happen under one exclusive catalog lock (the
-    /// checkpoint invariant), shared by [`CrowdDb::create_table`] and
-    /// [`CrowdDb::load_domain`].
+    /// Registers a table as a new shard and logs it durably to the table's
+    /// own fresh WAL segment — the shard becomes visible and durable under
+    /// one table-map write lock, shared by [`CrowdDb::create_table`],
+    /// [`CrowdDb::load_domain`], and SQL `CREATE TABLE`.
     fn create_table_logged(&self, table: Table) -> Result<()> {
+        let name = table.name().to_string();
         let record = self
             .durability
             .is_some()
             .then(|| WalRecord::CreateTable(TableImage::of(&table)));
-        let mut catalog = wlock(&self.catalog);
-        catalog.create_table(table)?;
-        if let Some(record) = record {
-            self.log(&[record])?;
+        let mut shards = wlock(&self.shards);
+        if shards.contains_key(&name) {
+            return Err(RelationalError::TableExists(name).into());
         }
+        let shard = Shard::of_table(table);
+        if let Some(record) = record {
+            self.log(&name, &[record])?;
+        }
+        shards.insert(name, shard);
         Ok(())
     }
 
@@ -864,8 +1108,35 @@ impl DbInner {
             return self.explain_expansion(&statement, policy);
         }
 
+        // CREATE TABLE is the one statement with no shard to route to — it
+        // *introduces* its shard.  Execute against a scratch catalog and
+        // install the result as a new shard, logged to the table's own
+        // fresh WAL segment.
+        if matches!(statement, sql::Statement::CreateTable { .. }) {
+            let mut scratch = Catalog::new();
+            let result = executor::execute(&statement, &mut scratch)?;
+            let name = scratch
+                .table_names()
+                .pop()
+                .expect("CREATE TABLE created a table");
+            let table = scratch.table(&name).expect("listed table exists").clone();
+            self.create_table_logged(table)?;
+            return Ok(QueryOutcome {
+                policy,
+                result: StatementResult::Mutation {
+                    rows_affected: result.rows_affected,
+                },
+                reports: Vec::new(),
+                crowd_cost: 0.0,
+            });
+        }
+
+        // Every remaining statement names its target table: all catalog
+        // access below goes through that one table's shard, so statements
+        // on different tables never share a lock.
+        let shard = self.shard(statement.target_table().unwrap_or_default())?;
         let analysis = {
-            let catalog = rlock(&self.catalog);
+            let catalog = rlock(&shard.catalog);
             executor::analyze(&statement, &catalog)?
         };
         let mut reports = Vec::new();
@@ -883,7 +1154,7 @@ impl DbInner {
             if sink.is_live() {
                 if let sql::Statement::Select(select) = &statement {
                     let mut snapshot = {
-                        let catalog = rlock(&self.catalog);
+                        let catalog = rlock(&shard.catalog);
                         let snapshot = executor::execute_select_snapshot(select, &catalog)?;
                         let provenance = self.snapshot_provenance(
                             &catalog,
@@ -918,7 +1189,7 @@ impl DbInner {
         // a spurious "-0.00" spend on queries that expanded nothing.
         let crowd_cost = reports.iter().fold(0.0, |total, r| total + r.crowd_cost);
         let result = if statement.is_read_only() {
-            let catalog = rlock(&self.catalog);
+            let catalog = rlock(&shard.catalog);
             let (result, row_indices) = executor::execute_read_indexed(&statement, &catalog)?;
             let provenance =
                 self.row_provenance(&catalog, statement.target_table(), &result, &row_indices)?;
@@ -937,17 +1208,24 @@ impl DbInner {
             }
             StatementResult::Rows(rows)
         } else {
-            let mut catalog = wlock(&self.catalog);
+            let table_key = statement
+                .target_table()
+                .expect("non-DDL statements name a table")
+                .to_lowercase();
+            let mut catalog = wlock(&shard.catalog);
             let result = executor::execute(&statement, &mut catalog)?;
             // Replay re-executes the statement text: mutations never
             // dispatch crowd work, so against the recovered catalog the
             // re-execution is deterministic.  Logged under the exclusive
-            // catalog lock (still held) so a concurrent checkpoint cannot
-            // capture the apply without the record.
+            // shard lock (still held) so a concurrent checkpoint of this
+            // table cannot capture the apply without the record.
             if self.durability.is_some() {
-                self.log(&[WalRecord::Mutation {
-                    sql: sql_text.to_string(),
-                }])?;
+                self.log(
+                    &table_key,
+                    &[WalRecord::Mutation {
+                        sql: sql_text.to_string(),
+                    }],
+                )?;
             }
             StatementResult::Mutation {
                 rows_affected: result.rows_affected,
@@ -1035,7 +1313,8 @@ impl DbInner {
         policy: ExpansionPolicy,
     ) -> Result<QueryOutcome> {
         let analysis = {
-            let catalog = rlock(&self.catalog);
+            let shard = self.shard(statement.target_table().unwrap_or_default())?;
+            let catalog = rlock(&shard.catalog);
             executor::analyze(statement, &catalog)?
         };
         let columns: Vec<String> = [
@@ -1280,7 +1559,8 @@ impl DbInner {
         columns: &[String],
     ) -> Result<ExpansionPlan> {
         let key = table_name.to_lowercase();
-        let catalog = rlock(&self.catalog);
+        let shard = self.shard(table_name)?;
+        let catalog = rlock(&shard.catalog);
         let table = catalog.table(table_name)?;
         let attributes = rlock(&binding.attributes);
         let overrides = rlock(&binding.strategy_overrides);
@@ -1614,8 +1894,9 @@ impl DbInner {
                         }
                     }
                     // The round's cache write-back — one CachePut per
-                    // concept — commits as one fsynced group.
-                    self.log(&wal_pending)?;
+                    // concept — commits as one fsynced group on the
+                    // table's segment.
+                    self.log(&plan.table, &wal_pending)?;
                     // One batched dispatch covering every owned concept is
                     // one crowd round.
                     round_index += 1;
@@ -1677,7 +1958,7 @@ impl DbInner {
                             resolution,
                             &mut wal_pending,
                         );
-                        self.log(&wal_pending)?;
+                        self.log(&plan.table, &wal_pending)?;
                         if sink.is_live() {
                             sink.emit(delta_event(
                                 &self.config.id_column,
@@ -1991,16 +2272,18 @@ impl DbInner {
             });
         }
 
-        // Phase 2: one exclusive catalog lock fills every column.  The
-        // id → row mapping is re-derived under this lock: `plan.rows` was
-        // captured under an earlier read lock, and a DELETE/INSERT that
-        // committed while the crowd worked would shift row indices —
-        // replaying the stale mapping would write verdicts to the wrong
-        // rows.  Values are keyed by item id, so the fresh mapping routes
-        // every verdict to whichever rows carry that item *now*.
+        // Phase 2: one exclusive shard lock fills every column — writers
+        // and readers of *other* tables are untouched.  The id → row
+        // mapping is re-derived under this lock: `plan.rows` was captured
+        // under an earlier read lock, and a DELETE/INSERT that committed
+        // while the crowd worked would shift row indices — replaying the
+        // stale mapping would write verdicts to the wrong rows.  Values
+        // are keyed by item id, so the fresh mapping routes every verdict
+        // to whichever rows carry that item *now*.
         let mut reports = Vec::with_capacity(plan.attributes.len());
         let mut wal_records: Vec<WalRecord> = Vec::new();
-        let mut catalog = wlock(&self.catalog);
+        let shard = self.shard(&plan.table)?;
+        let mut catalog = wlock(&shard.catalog);
         let (rows, _, skipped_rows) = planner::row_mapping(
             catalog.table(&plan.table)?,
             &self.config.id_column,
@@ -2137,8 +2420,8 @@ impl DbInner {
             });
         }
         // One fsynced group for the whole plan, while the exclusive
-        // catalog lock is still held (the checkpoint invariant).
-        self.log(&wal_records)?;
+        // shard lock is still held (the checkpoint invariant).
+        self.log(&plan.table, &wal_records)?;
         Ok(reports)
     }
 
@@ -2162,9 +2445,10 @@ impl DbInner {
         let space_len = binding.space.len();
 
         // Read the current column as a space-indexed labeling, then drop
-        // the catalog lock before any crowd work.
+        // the shard lock before any crowd work.
+        let shard = self.shard(table_name)?;
         let (labels, eligible) = {
-            let catalog = rlock(&self.catalog);
+            let catalog = rlock(&shard.catalog);
             let table = catalog.table(table_name)?;
             let col_idx = table.schema().index_of(&column).ok_or_else(|| {
                 CrowdDbError::Configuration(format!(
@@ -2228,12 +2512,15 @@ impl DbInner {
         }
         if self.durability.is_some() && !refreshed.is_empty() {
             let rounds = self.crowd_rounds.load(Ordering::Relaxed);
-            self.log(&[persist::cache_put_record(
-                &key, &attribute, refreshed, rounds,
-            )])?;
+            self.log(
+                &key,
+                &[persist::cache_put_record(
+                    &key, &attribute, refreshed, rounds,
+                )],
+            )?;
         }
         let flagged: HashSet<ItemId> = outcome.flagged.iter().copied().collect();
-        let mut catalog = wlock(&self.catalog);
+        let mut catalog = wlock(&shard.catalog);
         // Re-derive the id → row mapping under the exclusive lock: the
         // repair round takes simulated minutes, and rows deleted or
         // inserted meanwhile would shift the indices captured earlier —
@@ -2255,18 +2542,21 @@ impl DbInner {
         }
         // Durably record the cell overwrites (item-keyed — replay routes
         // them through the then-current id → row mapping), still under the
-        // exclusive catalog lock.
+        // exclusive shard lock.
         if self.durability.is_some() && !repaired.is_empty() {
             let mut values: Vec<(ItemId, Value)> = repaired
                 .iter()
                 .map(|&item| (item, Value::Boolean(outcome.labels[item as usize])))
                 .collect();
             values.sort_unstable_by_key(|(item, _)| *item);
-            self.log(&[WalRecord::SetCells {
-                table: key.clone(),
-                column: column.clone(),
-                values,
-            }])?;
+            self.log(
+                &key,
+                &[WalRecord::SetCells {
+                    table: key.clone(),
+                    column: column.clone(),
+                    values,
+                }],
+            )?;
         }
         Ok(outcome)
     }
@@ -2289,11 +2579,12 @@ impl DbInner {
         let predicted =
             crate::extraction::extract_numeric_attribute(&binding.space, gold, extraction)?;
 
-        // Map and materialize under one exclusive lock: deriving the
+        // Map and materialize under one exclusive shard lock: deriving the
         // id → row mapping under a read lock and replaying it under a
         // later write lock would let a concurrent DELETE shift the row
         // indices in between and misroute the values.
-        let mut catalog = wlock(&self.catalog);
+        let shard = self.shard(table_name)?;
+        let mut catalog = wlock(&shard.catalog);
         let table = catalog.table(table_name)?;
         let (rows, items, skipped_rows) =
             planner::row_mapping(table, &self.config.id_column, &key)?;
@@ -2313,14 +2604,17 @@ impl DbInner {
                 .map(|(&item, value)| (item, value.clone()))
                 .collect();
             logged.sort_unstable_by_key(|(item, _)| *item);
-            self.log(&[WalRecord::MaterializeColumn {
-                table: key.clone(),
-                column: column.clone(),
-                data_type: DataType::Float,
-                values: logged,
-                ledger: None,
-                incomplete: false,
-            }])?;
+            self.log(
+                &key,
+                &[WalRecord::MaterializeColumn {
+                    table: key.clone(),
+                    column: column.clone(),
+                    data_type: DataType::Float,
+                    values: logged,
+                    ledger: None,
+                    incomplete: false,
+                }],
+            )?;
         }
 
         Ok(ExpansionReport {

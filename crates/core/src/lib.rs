@@ -140,7 +140,10 @@ pub use audit::{audit_binary_labels, AuditOutcome};
 pub use boost::{evaluate_boost_over_time, BoostCheckpoint, BoostCurve};
 pub use cache::{CacheGroup, CacheStats, CachedJudgment, JudgmentCache};
 pub use crowd_source::{AttributeRequest, CrowdSource, OutstandingEstimate, SimulatedCrowd};
-pub use db::{build_space_for_domain, CrowdDb, CrowdDbBuilder, CrowdDbConfig, ExpansionEvent};
+pub use db::{
+    build_space_for_domain, CatalogRead, CheckpointReport, CrowdDb, CrowdDbBuilder, CrowdDbConfig,
+    ExpansionEvent, TableRef,
+};
 pub use error::CrowdDbError;
 pub use expansion::{ExpansionReport, ExpansionStrategy};
 pub use extraction::{extract_binary_attribute, extract_numeric_attribute, ExtractionConfig};

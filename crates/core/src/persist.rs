@@ -14,41 +14,61 @@
 //! `examples/persistent_session.rs`), and nothing about them costs crowd
 //! dollars to recreate.
 //!
+//! # Segmented layout
+//!
+//! The durable state is sharded by table, mirroring the engine's
+//! per-table catalog shards: each table owns one WAL segment
+//! (`wal/<table>.log`) and one snapshot (`snap/<table>.snap`), tied
+//! together by the [`storage::manifest`].  Tables therefore commit,
+//! checkpoint, and recover independently: writers on different tables
+//! never share a WAL mutex, [`Durability::checkpoint_table`] compacts one
+//! segment without touching the others, and [`recover`] replays segments
+//! in parallel on a worker pool.  A directory in the legacy single-file
+//! layout (`wal.log` + `snapshot.db`, the PR 5 format) is migrated into
+//! segments once, on open ([`migrate_legacy`]).
+//!
 //! # Write path and crash consistency
 //!
 //! Mutators apply their change to the in-memory state first and then
-//! append the matching [`WalRecord`] (group-fsynced) before the query
-//! returns.  Two invariants make this safe against a checkpoint running
-//! concurrently (see [`CrowdDb::checkpoint`](crate::CrowdDb::checkpoint)):
+//! append the matching [`WalRecord`] (group-fsynced) to their table's
+//! segment before the query returns.  Two invariants make this safe
+//! against a checkpoint of the same table running concurrently (see
+//! [`CrowdDb::checkpoint`](crate::CrowdDb::checkpoint)):
 //!
 //! 1. Catalog-shaped records (`CreateTable`, `Mutation`,
 //!    `MaterializeColumn`, `SetCells`) are applied *and* logged under the
-//!    exclusive catalog lock, and the checkpoint holds the shared catalog
-//!    lock across both its state capture and its WAL swap — so each such
-//!    record lands either entirely before the snapshot (and is truncated
-//!    with the old log) or entirely after it (and replays on top).  This
-//!    matters because `Mutation` replay re-executes the SQL and is **not**
-//!    idempotent.
+//!    table's exclusive shard lock, and the checkpoint holds the shared
+//!    shard lock across both its state capture and its segment swap — so
+//!    each such record lands either entirely before the snapshot (and is
+//!    truncated with the old segment) or entirely after it (and replays
+//!    on top).  This matters because `Mutation` replay re-executes the
+//!    SQL and is **not** idempotent.
 //! 2. Cache-shaped records (`CachePut`, `CacheInvalidate`) are applied
-//!    outside the catalog lock, so one may be captured by the snapshot
-//!    *and* land in the fresh log; both replay idempotently (same-key
+//!    outside the shard lock, so one may be captured by the snapshot
+//!    *and* land in the fresh segment; both replay idempotently (same-key
 //!    overwrite / remove), so the double-apply is harmless.
 //!
 //! A crash between the in-memory apply and the append loses that one
 //! change — exactly the "query never returned" outcome WAL semantics
-//! promise.  A crash mid-append leaves a torn tail the next
-//! [`recover`] truncates.
+//! promise.  A crash mid-append leaves a torn tail the next [`recover`]
+//! truncates.  A crash mid-*incremental*-checkpoint leaves each table
+//! with either its old snapshot + complete old segment or its new
+//! snapshot (+ reset segment): per-table generation stamps keep every
+//! table individually consistent, whichever subset the crash interrupted.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 
 use perceptual::ItemId;
 use relational::{executor, sql, Catalog};
+use storage::manifest::{snap_dir, wal_dir};
 use storage::{
-    read_snapshot, write_snapshot, CacheImage, CellMark, ColumnImage, JudgmentEntry, LedgerImage,
-    MissingCause, SnapshotImage, StorageError, TableImage, Wal, WalRecord, WAL_FILE,
+    read_manifest, read_snapshot, read_snapshot_file, scan_segments, segment_file_name,
+    snapshot_file_name, write_manifest, write_snapshot_file, CacheImage, CellMark, ColumnImage,
+    JudgmentEntry, LedgerImage, Manifest, ManifestEntry, MissingCause, SnapshotImage, StorageError,
+    TableImage, Wal, WalRecord, SNAPSHOT_FILE, WAL_FILE,
 };
 
 use crate::cache::{CacheStats, CachedJudgment, JudgmentCache};
@@ -56,19 +76,36 @@ use crate::error::CrowdDbError;
 use crate::materialize::materialize_column;
 use crate::planner;
 use crate::provenance::{CellProvenance, MissingReason};
-use crate::sync::mlock;
+use crate::scheduler::Scheduler;
+use crate::sync::{mlock, rlock, wlock};
 use crate::Result;
 
 /// The per-column provenance ledger type shared with `db.rs`.
 pub(crate) type ProvenanceLedger = HashMap<(String, String), HashMap<ItemId, CellProvenance>>;
 
+/// One table's WAL segment: the open log plus the dirty flag incremental
+/// checkpoints consult.  The segment mutex is the per-table *WAL lock* of
+/// the locking discipline documented in `docs/architecture.md`.
+pub(crate) struct Segment {
+    wal: Mutex<Wal>,
+    /// True when the segment has received an append since the table's last
+    /// checkpoint — the table must be re-snapshotted.  Cleared under the
+    /// segment mutex before the checkpoint captures state, so a racing
+    /// append re-dirties the table for the *next* checkpoint.
+    dirty: AtomicBool,
+}
+
 /// The open durability engine of a persistent database: the directory and
-/// the WAL, serialized by one mutex (the *WAL lock* of the locking
-/// discipline documented in `docs/architecture.md`).
+/// the per-table WAL segments.
 pub(crate) struct Durability {
     dir: PathBuf,
-    wal: Mutex<Wal>,
     id_column: String,
+    /// Table → segment.  The map lock guards membership only (segment
+    /// creation); appends synchronize on each segment's own mutex, so
+    /// distinct tables never contend.
+    segments: RwLock<BTreeMap<String, Arc<Segment>>>,
+    /// Serializes manifest rewrites (last in the lock order).
+    manifest: Mutex<()>,
     /// Set on the first append failure; every later durable operation is
     /// refused.  In-memory state was already mutated when the failed
     /// append was attempted, so continuing to commit *later* changes
@@ -79,6 +116,16 @@ pub(crate) struct Durability {
 }
 
 impl Durability {
+    fn new(dir: &Path, id_column: &str, segments: BTreeMap<String, Arc<Segment>>) -> Durability {
+        Durability {
+            dir: dir.to_path_buf(),
+            id_column: id_column.to_string(),
+            segments: RwLock::new(segments),
+            manifest: Mutex::new(()),
+            failed: AtomicBool::new(false),
+        }
+    }
+
     fn check_not_failed(&self) -> Result<()> {
         if self.failed.load(Ordering::SeqCst) {
             return Err(CrowdDbError::Storage(
@@ -97,50 +144,161 @@ impl Durability {
         result.map_err(CrowdDbError::from)
     }
 
-    /// Appends `records` as one fsynced group — the commit point.
-    pub(crate) fn log(&self, records: &[WalRecord]) -> Result<()> {
+    /// Looks up (or lazily creates, on a table's first durable record) the
+    /// segment for `table`.
+    fn segment(&self, table: &str) -> Result<Arc<Segment>> {
+        let key = table.to_lowercase();
+        if let Some(segment) = rlock(&self.segments).get(&key) {
+            return Ok(Arc::clone(segment));
+        }
+        let mut segments = wlock(&self.segments);
+        if let Some(segment) = segments.get(&key) {
+            return Ok(Arc::clone(segment));
+        }
+        // First record for this table: open a fresh segment.  The manifest
+        // is *not* rewritten here — recovery unions in orphan segments, so
+        // the new table is durable the moment its segment's first group
+        // fsyncs, and the manifest catches up at the next checkpoint.
+        std::fs::create_dir_all(wal_dir(&self.dir)).map_err(StorageError::from)?;
+        let opened = Wal::open(wal_dir(&self.dir).join(segment_file_name(&key)));
+        let (mut wal, _) = self.fail_stop(opened)?;
+        if wal.record_count() == 0 {
+            let meta = wal.append(&WalRecord::Meta {
+                id_column: self.id_column.clone(),
+            });
+            self.fail_stop(meta)?;
+        }
+        let segment = Arc::new(Segment {
+            wal: Mutex::new(wal),
+            dirty: AtomicBool::new(false),
+        });
+        segments.insert(key, Arc::clone(&segment));
+        Ok(segment)
+    }
+
+    /// Appends `records` to `table`'s segment as one fsynced group — the
+    /// commit point.
+    pub(crate) fn log(&self, table: &str, records: &[WalRecord]) -> Result<()> {
         self.check_not_failed()?;
-        let result = mlock(&self.wal).append_all(records);
+        let segment = self.segment(table)?;
+        let wal = &mut *mlock(&segment.wal);
+        let result = wal.append_all(records);
+        segment.dirty.store(true, Ordering::SeqCst);
         self.fail_stop(result)
     }
 
-    /// Writes the captured image as the new snapshot, then truncates the
-    /// WAL under a fresh generation.
+    /// Writes the captured image as `table`'s new snapshot, then truncates
+    /// its segment under a fresh generation.  Returns the segment bytes
+    /// reclaimed by the truncation.
     ///
-    /// `capture` runs while the WAL lock is held — no record can slip into
-    /// the old log after the state it describes was captured — and
-    /// receives the log's current `(generation, record count)`, which the
-    /// image must carry: recovery only skips the already-snapshotted
-    /// prefix when the on-disk log still has that generation, so a crash
-    /// *between* the snapshot rename and the reset (new snapshot +
-    /// complete old log) replays nothing twice.  The caller must already
-    /// hold the shared catalog lock (see the module docs for the
-    /// two-invariant argument).
-    pub(crate) fn checkpoint_with(
+    /// `capture` runs while the segment mutex is held — no record can slip
+    /// into the old segment after the state it describes was captured —
+    /// and receives the segment's current `(generation, record count)`,
+    /// which the image must carry: recovery only skips the
+    /// already-snapshotted prefix when the on-disk segment still has that
+    /// generation, so a crash *between* the snapshot rename and the reset
+    /// (new snapshot + complete old segment) replays nothing twice.  The
+    /// caller must already hold the table's shared shard lock (see the
+    /// module docs for the two-invariant argument).
+    pub(crate) fn checkpoint_table(
         &self,
+        table: &str,
         capture: impl FnOnce(u64, u64) -> SnapshotImage,
-    ) -> Result<()> {
+    ) -> Result<u64> {
         self.check_not_failed()?;
-        let mut wal = mlock(&self.wal);
+        let segment = self.segment(table)?;
+        let mut wal = mlock(&segment.wal);
+        let bytes_before = std::fs::metadata(wal.path()).map(|m| m.len()).unwrap_or(0);
+        // Clear the flag *before* capturing: an append racing in after the
+        // capture re-dirties the table so the next checkpoint picks it up.
+        segment.dirty.store(false, Ordering::SeqCst);
         let image = capture(wal.generation(), wal.record_count());
-        // A failed snapshot write leaves the old snapshot + untouched log
-        // — fully consistent, no fail-stop needed.  A failed reset or
-        // Meta append leaves the log in an unknown shape: fail-stop.
-        write_snapshot(&self.dir, &image)?;
+        std::fs::create_dir_all(snap_dir(&self.dir)).map_err(StorageError::from)?;
+        let snap_path = snap_dir(&self.dir).join(snapshot_file_name(&table.to_lowercase()));
+        // A failed snapshot write leaves the old snapshot + untouched
+        // segment — fully consistent, no fail-stop needed, but the table
+        // is still dirty.  A failed reset or Meta append leaves the
+        // segment in an unknown shape: fail-stop.
+        if let Err(e) = write_snapshot_file(&snap_path, &image) {
+            segment.dirty.store(true, Ordering::SeqCst);
+            return Err(e.into());
+        }
         let reset = wal.reset();
         self.fail_stop(reset)?;
-        // Every log starts with its Meta record (the reset emptied it).
+        // Every segment starts with its Meta record (the reset emptied it).
         let meta = wal.append(&WalRecord::Meta {
             id_column: self.id_column.clone(),
         });
-        self.fail_stop(meta)
+        self.fail_stop(meta)?;
+        let bytes_after = std::fs::metadata(wal.path()).map(|m| m.len()).unwrap_or(0);
+        Ok(bytes_before.saturating_sub(bytes_after))
     }
 
-    /// Size of the WAL file in bytes (diagnostics; used by tests to verify
-    /// checkpoint compaction).
+    /// Rewrites the manifest from the live segment set and the given
+    /// global counters.  Called after recovery and after each checkpoint —
+    /// the manifest is checkpoint-granular by design (segment and snapshot
+    /// file names are stable per table, so a stale manifest never points
+    /// at missing data; orphan segments are unioned in on recovery).
+    pub(crate) fn write_manifest_state(&self, stats: CacheStats, crowd_rounds: u64) -> Result<()> {
+        self.check_not_failed()?;
+        let entries: Vec<ManifestEntry> = rlock(&self.segments)
+            .keys()
+            .map(|table| {
+                let snapshot = snapshot_file_name(table);
+                ManifestEntry {
+                    table: table.clone(),
+                    segment: segment_file_name(table),
+                    snapshot: snap_dir(&self.dir)
+                        .join(&snapshot)
+                        .exists()
+                        .then_some(snapshot),
+                }
+            })
+            .collect();
+        let _guard = mlock(&self.manifest);
+        write_manifest(
+            &self.dir,
+            &Manifest {
+                id_column: self.id_column.clone(),
+                cache_hits: stats.hits,
+                cache_misses: stats.misses,
+                cache_cost_saved: stats.cost_saved,
+                crowd_rounds,
+                entries,
+            },
+        )
+        .map_err(CrowdDbError::from)
+    }
+
+    /// True when `table` has unsnapshotted records (an incremental
+    /// checkpoint must include it).  A table with no segment yet has
+    /// nothing durable to compact.
+    pub(crate) fn is_dirty(&self, table: &str) -> bool {
+        rlock(&self.segments)
+            .get(&table.to_lowercase())
+            .is_some_and(|s| s.dirty.load(Ordering::SeqCst))
+    }
+
+    /// Total size of all live WAL segments in bytes (diagnostics; used by
+    /// tests to verify checkpoint compaction).
     pub(crate) fn wal_bytes(&self) -> u64 {
-        let wal = mlock(&self.wal);
-        std::fs::metadata(wal.path()).map(|m| m.len()).unwrap_or(0)
+        self.wal_bytes_by_table().into_iter().map(|(_, b)| b).sum()
+    }
+
+    /// Per-table segment sizes in bytes, sorted by table name.
+    pub(crate) fn wal_bytes_by_table(&self) -> Vec<(String, u64)> {
+        let segments: Vec<(String, Arc<Segment>)> = rlock(&self.segments)
+            .iter()
+            .map(|(t, s)| (t.clone(), Arc::clone(s)))
+            .collect();
+        segments
+            .into_iter()
+            .map(|(table, segment)| {
+                let wal = mlock(&segment.wal);
+                let bytes = std::fs::metadata(wal.path()).map(|m| m.len()).unwrap_or(0);
+                (table, bytes)
+            })
+            .collect()
     }
 }
 
@@ -166,17 +324,214 @@ impl Default for RecoveredState {
     }
 }
 
-/// Opens (creating if needed) the database directory: loads the snapshot,
-/// replays the WAL on top of it (truncating a torn tail, rejecting
-/// checksum failures), and returns the recovered state plus the engine
-/// positioned for appending.
-pub(crate) fn recover(dir: &Path, id_column: &str) -> Result<(RecoveredState, Durability)> {
+/// Opens (creating if needed) the database directory and returns the
+/// recovered state plus the engine positioned for appending.
+///
+/// Routing: a directory with a manifest recovers segment-by-segment
+/// (replayed on up to `parallelism` workers); a manifest-less directory
+/// with a legacy `wal.log`/`snapshot.db` is recovered through the old
+/// single-file path and migrated into segments; an empty directory starts
+/// fresh with an empty manifest.
+pub(crate) fn recover(
+    dir: &Path,
+    id_column: &str,
+    parallelism: usize,
+) -> Result<(RecoveredState, Durability)> {
     std::fs::create_dir_all(dir).map_err(|e| {
         CrowdDbError::Storage(format!(
             "cannot create database directory {}: {e}",
             dir.display()
         ))
     })?;
+    match read_manifest(dir)? {
+        Some(manifest) => recover_segmented(dir, id_column, parallelism, manifest),
+        None if dir.join(WAL_FILE).exists() || dir.join(SNAPSHOT_FILE).exists() => {
+            migrate_legacy(dir, id_column)
+        }
+        None => {
+            let durability = Durability::new(dir, id_column, BTreeMap::new());
+            durability.write_manifest_state(CacheStats::default(), 0)?;
+            Ok((RecoveredState::default(), durability))
+        }
+    }
+}
+
+/// One table's replay result: its recovered slice of the database plus
+/// its open segment.
+struct TableRecovered {
+    table: String,
+    state: RecoveredState,
+    wal: Wal,
+    /// True when the segment held records beyond the snapshotted prefix —
+    /// the table must not be skipped by the next incremental checkpoint.
+    dirty: bool,
+}
+
+/// Recovers a segmented directory: replays every live segment (manifest
+/// entries ∪ orphan segments on disk) and merges the per-table results in
+/// sorted table order, so the outcome is bit-identical however many
+/// workers replayed them.
+fn recover_segmented(
+    dir: &Path,
+    id_column: &str,
+    parallelism: usize,
+    manifest: Manifest,
+) -> Result<(RecoveredState, Durability)> {
+    if !manifest.id_column.is_empty() && manifest.id_column != id_column {
+        return Err(CrowdDbError::Storage(format!(
+            "database directory {} was written with id_column '{}' but is being \
+             opened with id_column '{id_column}' — item-keyed records would be \
+             misrouted; open with the original configuration",
+            dir.display(),
+            manifest.id_column
+        )));
+    }
+    // The manifest is authoritative for checkpointed tables, but a table
+    // created after the last checkpoint exists only as a segment file:
+    // union both sources so no committed record is orphaned.
+    let mut tables: Vec<String> = manifest.entries.iter().map(|e| e.table.clone()).collect();
+    for (table, _) in scan_segments(dir)? {
+        if !tables.contains(&table) {
+            tables.push(table);
+        }
+    }
+    tables.sort_unstable();
+    std::fs::create_dir_all(wal_dir(dir)).map_err(StorageError::from)?;
+
+    let results = replay_tables(dir, id_column, parallelism, tables)?;
+
+    let mut state = RecoveredState::default();
+    let mut crowd_rounds = manifest.crowd_rounds;
+    let mut segments = BTreeMap::new();
+    for recovered in results {
+        for name in recovered.state.catalog.table_names() {
+            let table = recovered
+                .state
+                .catalog
+                .table(&name)
+                .expect("listed table exists");
+            state.catalog.create_table(table.clone())?;
+        }
+        state.provenance.extend(recovered.state.provenance);
+        state.incomplete.extend(recovered.state.incomplete);
+        let (groups, _) = recovered.state.cache.export();
+        state.cache.absorb(groups);
+        crowd_rounds = crowd_rounds.max(recovered.state.crowd_rounds);
+        segments.insert(
+            recovered.table,
+            Arc::new(Segment {
+                wal: Mutex::new(recovered.wal),
+                dirty: AtomicBool::new(recovered.dirty),
+            }),
+        );
+    }
+    // Global counters are checkpoint-granular and live in the manifest.
+    state.cache.set_stats(CacheStats {
+        hits: manifest.cache_hits,
+        misses: manifest.cache_misses,
+        cost_saved: manifest.cache_cost_saved,
+        entries: 0,
+    });
+    state.crowd_rounds = crowd_rounds;
+    let durability = Durability::new(dir, id_column, segments);
+    // Fold any orphan segments into the manifest now that they replayed.
+    durability.write_manifest_state(state.cache.stats(), state.crowd_rounds)?;
+    Ok((state, durability))
+}
+
+/// Replays `tables` — inline when `parallelism <= 1`, otherwise on a
+/// worker pool — and returns the results sorted by table name.  Replay
+/// order cannot matter: segments share no state, and the caller merges in
+/// sorted order regardless of completion order.
+fn replay_tables(
+    dir: &Path,
+    id_column: &str,
+    parallelism: usize,
+    tables: Vec<String>,
+) -> Result<Vec<TableRecovered>> {
+    if parallelism <= 1 || tables.len() <= 1 {
+        return tables
+            .into_iter()
+            .map(|table| replay_one(dir, id_column, table))
+            .collect();
+    }
+    let pool = Scheduler::new(parallelism.min(tables.len()));
+    let (tx, rx) = mpsc::channel();
+    for table in tables {
+        let tx = tx.clone();
+        let dir = dir.to_path_buf();
+        let id_column = id_column.to_string();
+        pool.spawn(move || {
+            let result = replay_one(&dir, &id_column, table);
+            let _ = tx.send(result);
+        });
+    }
+    drop(tx);
+    let mut results: Vec<TableRecovered> = rx.iter().collect::<Result<_>>()?;
+    results.sort_unstable_by(|a, b| a.table.cmp(&b.table));
+    Ok(results)
+}
+
+/// Replays one table: its snapshot (if any), then its segment on top,
+/// skipping the already-snapshotted prefix when the generation stamps
+/// still match (the same discipline the monolithic layout used, now per
+/// table).
+fn replay_one(dir: &Path, id_column: &str, table: String) -> Result<TableRecovered> {
+    let snapshot = read_snapshot_file(&snap_dir(dir).join(snapshot_file_name(&table)))?;
+    let (mut state, wal_stamp) = match snapshot {
+        Some(image) => {
+            if !image.id_column.is_empty() && image.id_column != id_column {
+                return Err(CrowdDbError::Storage(format!(
+                    "table '{table}' in {} was written with id_column '{}' but is being \
+                     opened with id_column '{id_column}' — item-keyed records would be \
+                     misrouted; open with the original configuration",
+                    dir.display(),
+                    image.id_column
+                )));
+            }
+            let stamp = (image.wal_generation, image.wal_records_applied);
+            (state_of_snapshot(image)?, Some(stamp))
+        }
+        None => (RecoveredState::default(), None),
+    };
+    let (mut wal, records) = Wal::open(wal_dir(dir).join(segment_file_name(&table)))?;
+    // Records the snapshot already folded in are skipped — but only while
+    // the segment still carries the generation the snapshot stamped.  A
+    // segment that was reset since (or never matched) replays in full.
+    let skip = match wal_stamp {
+        Some((generation, applied)) if generation == wal.generation() => {
+            (applied as usize).min(records.len())
+        }
+        _ => 0,
+    };
+    if wal.record_count() == 0 {
+        // A brand-new (or torn-header-recreated, necessarily empty)
+        // segment: stamp the configuration its replayer will depend on.
+        wal.append(&WalRecord::Meta {
+            id_column: id_column.to_string(),
+        })?;
+    }
+    let mut dirty = false;
+    for record in records.into_iter().skip(skip) {
+        dirty |= !matches!(record, WalRecord::Meta { .. });
+        apply(record, &mut state, id_column, dir)?;
+    }
+    Ok(TableRecovered {
+        table,
+        state,
+        wal,
+        dirty,
+    })
+}
+
+/// Recovers a legacy single-file directory (the PR 5 format) through the
+/// old whole-database path, then rewrites it into the segmented layout:
+/// per-table snapshots and fresh segments first, the manifest last (its
+/// appearance is the commit point of the migration), and only then are
+/// the legacy files deleted.  A crash anywhere re-runs cleanly: before
+/// the manifest lands the directory still recovers as legacy; after, the
+/// stray legacy files are ignored and re-deleted.
+fn migrate_legacy(dir: &Path, id_column: &str) -> Result<(RecoveredState, Durability)> {
     let snapshot = read_snapshot(dir)?;
     let (mut state, wal_stamp) = match snapshot {
         Some(image) => {
@@ -194,35 +549,60 @@ pub(crate) fn recover(dir: &Path, id_column: &str) -> Result<(RecoveredState, Du
         }
         None => (RecoveredState::default(), None),
     };
-    let (mut wal, records) = Wal::open(dir.join(WAL_FILE))?;
-    // Records the snapshot already folded in are skipped — but only while
-    // the log still carries the generation the snapshot stamped.  A log
-    // that was reset since (or never matched) replays in full.
-    let skip = match wal_stamp {
-        Some((generation, applied)) if generation == wal.generation() => {
-            (applied as usize).min(records.len())
+    {
+        let (wal, records) = Wal::open(dir.join(WAL_FILE))?;
+        let skip = match wal_stamp {
+            Some((generation, applied)) if generation == wal.generation() => {
+                (applied as usize).min(records.len())
+            }
+            _ => 0,
+        };
+        for record in records.into_iter().skip(skip) {
+            apply(record, &mut state, id_column, dir)?;
         }
-        _ => 0,
-    };
-    if wal.record_count() == 0 {
-        // A brand-new (or torn-header-recreated, necessarily empty) log:
-        // stamp the configuration its replayer will depend on.
+        // The legacy log is consumed; it is deleted below, after the
+        // segmented layout durably supersedes it.
+    }
+    std::fs::create_dir_all(wal_dir(dir)).map_err(StorageError::from)?;
+    std::fs::create_dir_all(snap_dir(dir)).map_err(StorageError::from)?;
+    let mut segments = BTreeMap::new();
+    for name in state.catalog.table_names() {
+        let (mut wal, _) = Wal::open(wal_dir(dir).join(segment_file_name(&name)))?;
+        if wal.record_count() > 0 {
+            // Leftover from a crashed earlier migration attempt; the
+            // legacy files are still authoritative, so start over.
+            wal.reset()?;
+        }
         wal.append(&WalRecord::Meta {
             id_column: id_column.to_string(),
         })?;
+        let table = state.catalog.table(&name).expect("listed table exists");
+        let image = table_snapshot_image(
+            TableSnapshotParts {
+                table,
+                cache: &state.cache,
+                provenance: &state.provenance,
+                incomplete: &state.incomplete,
+                crowd_rounds: state.crowd_rounds,
+                id_column,
+            },
+            wal.generation(),
+            wal.record_count(),
+        );
+        write_snapshot_file(&snap_dir(dir).join(snapshot_file_name(&name)), &image)?;
+        segments.insert(
+            name,
+            Arc::new(Segment {
+                wal: Mutex::new(wal),
+                dirty: AtomicBool::new(false),
+            }),
+        );
     }
-    for record in records.into_iter().skip(skip) {
-        apply(record, &mut state, id_column, dir)?;
-    }
-    Ok((
-        state,
-        Durability {
-            dir: dir.to_path_buf(),
-            wal: Mutex::new(wal),
-            id_column: id_column.to_string(),
-            failed: AtomicBool::new(false),
-        },
-    ))
+    let durability = Durability::new(dir, id_column, segments);
+    durability.write_manifest_state(state.cache.stats(), state.crowd_rounds)?;
+    let _ = std::fs::remove_file(dir.join(WAL_FILE));
+    let _ = std::fs::remove_file(dir.join(SNAPSHOT_FILE));
+    Ok((state, durability))
 }
 
 /// Replays one WAL record onto the recovered state.
@@ -371,11 +751,12 @@ fn state_of_snapshot(image: SnapshotImage) -> Result<RecoveredState> {
     })
 }
 
-/// Borrowed views of the live state a checkpoint captures (the caller
-/// holds the shared catalog lock; the other structures are read through
-/// their own synchronization).
-pub(crate) struct SnapshotParts<'a> {
-    pub(crate) catalog: &'a Catalog,
+/// Borrowed views of the live state a per-table checkpoint captures (the
+/// caller holds the table's shared shard lock; the other structures are
+/// read through their own synchronization and filtered down to the
+/// table's slice).
+pub(crate) struct TableSnapshotParts<'a> {
+    pub(crate) table: &'a relational::Table,
     pub(crate) cache: &'a JudgmentCache,
     pub(crate) provenance: &'a ProvenanceLedger,
     pub(crate) incomplete: &'a HashSet<(String, String)>,
@@ -383,28 +764,27 @@ pub(crate) struct SnapshotParts<'a> {
     pub(crate) id_column: &'a str,
 }
 
-/// Captures the whole live state as a snapshot image, stamped with the
-/// WAL position it supersedes (see [`Durability::checkpoint_with`]).
-pub(crate) fn snapshot_image(
-    parts: SnapshotParts<'_>,
+/// Captures one table's state as a snapshot image, stamped with the
+/// segment position it supersedes (see [`Durability::checkpoint_table`]).
+/// The image's cache counters are zero: the global effectiveness counters
+/// are manifest state, not per-table state.
+pub(crate) fn table_snapshot_image(
+    parts: TableSnapshotParts<'_>,
     wal_generation: u64,
     wal_records_applied: u64,
 ) -> SnapshotImage {
-    let SnapshotParts {
-        catalog,
+    let TableSnapshotParts {
+        table,
         cache,
         provenance,
         incomplete,
         crowd_rounds,
         id_column,
     } = parts;
-    let tables = catalog
-        .table_names()
-        .iter()
-        .map(|name| TableImage::of(catalog.table(name).expect("listed table exists")))
-        .collect();
+    let name = table.name().to_string();
     let mut ledgers: Vec<LedgerImage> = provenance
         .iter()
+        .filter(|((t, _), _)| *t == name)
         .map(|((table, column), marks)| {
             let mut marks: Vec<(ItemId, CellMark)> = marks
                 .iter()
@@ -421,19 +801,20 @@ pub(crate) fn snapshot_image(
     ledgers.sort_unstable_by(|a, b| (&a.table, &a.column).cmp(&(&b.table, &b.column)));
     let mut incomplete: Vec<ColumnImage> = incomplete
         .iter()
+        .filter(|(t, _)| *t == name)
         .map(|(table, column)| ColumnImage {
             table: table.clone(),
             column: column.clone(),
         })
         .collect();
     incomplete.sort_unstable_by(|a, b| (&a.table, &a.column).cmp(&(&b.table, &b.column)));
-    let (groups, stats) = cache.export();
     SnapshotImage {
-        tables,
+        tables: vec![TableImage::of(table)],
         ledgers,
         incomplete,
         cache: CacheImage {
-            groups: groups
+            groups: cache
+                .export_table(&name)
                 .into_iter()
                 .map(|(table, attribute, entries)| {
                     (
@@ -446,9 +827,9 @@ pub(crate) fn snapshot_image(
                     )
                 })
                 .collect(),
-            hits: stats.hits,
-            misses: stats.misses,
-            cost_saved: stats.cost_saved,
+            hits: 0,
+            misses: 0,
+            cost_saved: 0.0,
         },
         crowd_rounds,
         id_column: id_column.to_string(),

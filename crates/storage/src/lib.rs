@@ -11,9 +11,14 @@
 //!   CRC32-checksummed records, fsynced on every commit.  Recovery
 //!   truncates a torn tail (a crash mid-append) and *rejects* a log whose
 //!   interior records fail their checksum.
-//! * [`snapshot`] — a point-in-time image of the whole database state,
-//!   written atomically (temp file + fsync + rename) so a crash during
-//!   checkpointing can never destroy the previous snapshot.
+//! * [`snapshot`] — a point-in-time image of database state (one table's,
+//!   or — legacy — the whole database's), written atomically (temp file +
+//!   fsync + rename) so a crash during checkpointing can never destroy
+//!   the previous snapshot.
+//! * [`manifest`] — the root of the segmented (per-table) layout: the
+//!   authoritative list of live `wal/<table>.log` segments and
+//!   `snap/<table>.snap` snapshots, plus the few global counters, swapped
+//!   atomically on every checkpoint.
 //! * [`records`] — the durable record schema: catalog DDL, row mutations,
 //!   materialized crowd cells (with confidence and cost share), judgment
 //!   cache entries, and the snapshot image tying them together.
@@ -29,16 +34,23 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod manifest;
 pub mod records;
 pub mod snapshot;
 pub mod wal;
 
 pub use codec::{crc32, Decoder, Encoder};
+pub use manifest::{
+    read_manifest, scan_segments, segment_file_name, snapshot_file_name, write_manifest, Manifest,
+    ManifestEntry, MANIFEST_FILE, SNAP_DIR, WAL_DIR,
+};
 pub use records::{
     CacheImage, CellMark, ColumnImage, JudgmentEntry, LedgerImage, MissingCause, SnapshotImage,
     TableImage, WalRecord,
 };
-pub use snapshot::{read_snapshot, write_snapshot, SNAPSHOT_FILE};
+pub use snapshot::{
+    read_snapshot, read_snapshot_file, write_snapshot, write_snapshot_file, SNAPSHOT_FILE,
+};
 pub use wal::{Wal, WAL_FILE};
 
 use std::fmt;

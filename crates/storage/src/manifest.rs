@@ -1,0 +1,396 @@
+//! The manifest: the root of a segmented (per-table) database directory.
+//!
+//! A sharded database splits its durable state by table:
+//!
+//! ```text
+//! <dir>/
+//!   manifest.db        <- this file: the authoritative list of live tables
+//!   wal/<table>.log    <- one WAL segment per table (format: crate::wal)
+//!   snap/<table>.snap  <- one snapshot per table (format: crate::snapshot)
+//! ```
+//!
+//! The manifest is the *routing root*: its presence is what marks a
+//! directory as segmented (recovery of a legacy single-file layout is
+//! keyed off its absence), and its entries name the segment and snapshot
+//! file of every live table.  It also carries the few pieces of state
+//! that are global rather than per-table — the judgment-cache
+//! effectiveness counters, the crowd-round counter, and the configured id
+//! column — which are checkpoint-granular, exactly as they were in the
+//! monolithic snapshot.
+//!
+//! # Atomicity
+//!
+//! The manifest is rewritten with the same tmp + fsync + rename + dir-fsync
+//! pattern as snapshots: a crash mid-checkpoint leaves either the old
+//! manifest or the new one.  Per-table snapshot/segment files referenced by
+//! a manifest are always durably on disk *before* the manifest that names
+//! them is swapped in, and recovery additionally unions in any `wal/`
+//! segment the manifest does not know about (a table created after the
+//! last checkpoint), so no committed record is ever orphaned.
+//!
+//! # File names
+//!
+//! Table names are lower-cased identifiers in practice, but the manifest
+//! does not trust that: names are sanitized reversibly (`[a-z0-9_-]`
+//! passes through, every other byte becomes `%xx`) so any table name maps
+//! to a unique, portable file name and recovery can map an orphan segment
+//! file back to its table.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::{crc32, Decoder, Encoder};
+use crate::{Result, StorageError};
+
+/// File name of the manifest inside a database directory.  Its presence
+/// marks the directory as using the segmented layout.
+pub const MANIFEST_FILE: &str = "manifest.db";
+
+const TMP_FILE: &str = "manifest.tmp";
+
+/// Subdirectory holding per-table WAL segments.
+pub const WAL_DIR: &str = "wal";
+
+/// Subdirectory holding per-table snapshots.
+pub const SNAP_DIR: &str = "snap";
+
+const MAGIC: &[u8; 8] = b"CDBMANI1";
+
+/// One live table in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Table name (lower-cased, as the catalog stores it).
+    pub table: String,
+    /// Segment file name inside [`WAL_DIR`].
+    pub segment: String,
+    /// Snapshot file name inside [`SNAP_DIR`]; `None` until the table's
+    /// first checkpoint.
+    pub snapshot: Option<String>,
+}
+
+/// The manifest: live tables plus the global (non-per-table) counters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Manifest {
+    /// The id-column name the writing database was configured with;
+    /// recovery rejects an open under a different configuration.
+    pub id_column: String,
+    /// Judgment-cache lookups answered from the cache (checkpoint-granular).
+    pub cache_hits: u64,
+    /// Judgment-cache lookups that went to the crowd (checkpoint-granular).
+    pub cache_misses: u64,
+    /// Dollars not re-spent thanks to cache hits (checkpoint-granular).
+    pub cache_cost_saved: f64,
+    /// The crowd-round counter at the last manifest write; recovery takes
+    /// the maximum of this and every replayed `CachePut` round stamp.
+    pub crowd_rounds: u64,
+    /// Live tables, sorted by name.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Looks up the entry for `table`.
+    pub fn entry(&self, table: &str) -> Option<&ManifestEntry> {
+        self.entries.iter().find(|e| e.table == table)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.str(&self.id_column);
+        e.u64(self.cache_hits);
+        e.u64(self.cache_misses);
+        e.f64(self.cache_cost_saved);
+        e.u64(self.crowd_rounds);
+        e.seq_len(self.entries.len());
+        for entry in &self.entries {
+            e.str(&entry.table);
+            e.str(&entry.segment);
+            match &entry.snapshot {
+                None => e.bool(false),
+                Some(snap) => {
+                    e.bool(true);
+                    e.str(snap);
+                }
+            }
+        }
+        e.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut d = Decoder::new(bytes);
+        let id_column = d.str()?;
+        let cache_hits = d.u64()?;
+        let cache_misses = d.u64()?;
+        let cache_cost_saved = d.f64()?;
+        let crowd_rounds = d.u64()?;
+        let n = d.seq_len()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let table = d.str()?;
+            let segment = d.str()?;
+            let snapshot = if d.bool()? { Some(d.str()?) } else { None };
+            entries.push(ManifestEntry {
+                table,
+                segment,
+                snapshot,
+            });
+        }
+        if !d.is_exhausted() {
+            return Err(StorageError::Corrupt(
+                "trailing bytes after manifest".into(),
+            ));
+        }
+        Ok(Manifest {
+            id_column,
+            cache_hits,
+            cache_misses,
+            cache_cost_saved,
+            crowd_rounds,
+            entries,
+        })
+    }
+}
+
+/// Durably writes `manifest`, atomically replacing any previous one.
+pub fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<()> {
+    let payload = manifest.encode();
+    let tmp = dir.join(TMP_FILE);
+    {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&(payload.len() as u64).to_le_bytes())?;
+        file.write_all(&crc32(&payload).to_le_bytes())?;
+        file.write_all(&payload)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+    if let Ok(dir_handle) = File::open(dir) {
+        let _ = dir_handle.sync_all();
+    }
+    Ok(())
+}
+
+/// Reads the directory's manifest, verifying magic, length, and checksum.
+/// Returns `Ok(None)` when no manifest exists (a legacy single-file
+/// directory, or a brand-new one).
+pub fn read_manifest(dir: &Path) -> Result<Option<Manifest>> {
+    let path = dir.join(MANIFEST_FILE);
+    let mut file = match File::open(&path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    if bytes.len() < MAGIC.len() + 12 || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(StorageError::Corrupt(format!(
+            "{} is not a crowddb manifest (bad magic or truncated header)",
+            path.display()
+        )));
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    let checksum = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    let payload = &bytes[20..];
+    if payload.len() != len {
+        return Err(StorageError::Corrupt(format!(
+            "manifest payload is {} bytes but the header declares {len}",
+            payload.len()
+        )));
+    }
+    if crc32(payload) != checksum {
+        return Err(StorageError::Corrupt("manifest fails its checksum".into()));
+    }
+    Manifest::decode(payload).map(Some)
+}
+
+/// The `wal/` segment directory of a database directory.
+pub fn wal_dir(dir: &Path) -> PathBuf {
+    dir.join(WAL_DIR)
+}
+
+/// The `snap/` snapshot directory of a database directory.
+pub fn snap_dir(dir: &Path) -> PathBuf {
+    dir.join(SNAP_DIR)
+}
+
+/// Reversibly sanitizes a table name into a file-name stem: bytes in
+/// `[a-z0-9_-]` pass through, everything else becomes `%xx` (lowercase
+/// hex).  Distinct table names always map to distinct stems.
+pub fn sanitize_table_name(table: &str) -> String {
+    let mut out = String::with_capacity(table.len());
+    for b in table.bytes() {
+        match b {
+            b'a'..=b'z' | b'0'..=b'9' | b'_' | b'-' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02x}")),
+        }
+    }
+    out
+}
+
+/// Reverses [`sanitize_table_name`].  Returns `None` for a stem that is
+/// not a valid sanitized name (truncated or non-hex escape).
+pub fn desanitize_table_name(stem: &str) -> Option<String> {
+    let bytes = stem.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hex = std::str::from_utf8(hex).ok()?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 3;
+            }
+            b @ (b'a'..=b'z' | b'0'..=b'9' | b'_' | b'-') => {
+                out.push(b);
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// The segment file name (inside [`WAL_DIR`]) for `table`.
+pub fn segment_file_name(table: &str) -> String {
+    format!("{}.log", sanitize_table_name(table))
+}
+
+/// The snapshot file name (inside [`SNAP_DIR`]) for `table`.
+pub fn snapshot_file_name(table: &str) -> String {
+    format!("{}.snap", sanitize_table_name(table))
+}
+
+/// Maps a segment file name back to its table, if it parses as one.
+pub fn table_of_segment_file(file_name: &str) -> Option<String> {
+    desanitize_table_name(file_name.strip_suffix(".log")?)
+}
+
+/// Lists every segment file currently present in `wal/`, as
+/// `(table, file name)` pairs sorted by table.  Files that do not parse as
+/// sanitized segment names are ignored (editor droppings, tmp files).
+/// Returns an empty list when the directory does not exist.
+pub fn scan_segments(dir: &Path) -> Result<Vec<(String, String)>> {
+    let wal = wal_dir(dir);
+    let entries = match fs::read_dir(&wal) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut segments = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let file_name = entry.file_name();
+        let Some(file_name) = file_name.to_str() else {
+            continue;
+        };
+        if let Some(table) = table_of_segment_file(file_name) {
+            segments.push((table, file_name.to_string()));
+        }
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("crowddb-mani-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> Manifest {
+        Manifest {
+            id_column: "item_id".into(),
+            cache_hits: 4,
+            cache_misses: 9,
+            cache_cost_saved: 0.36,
+            crowd_rounds: 11,
+            entries: vec![
+                ManifestEntry {
+                    table: "books".into(),
+                    segment: "books.log".into(),
+                    snapshot: None,
+                },
+                ManifestEntry {
+                    table: "movies".into(),
+                    segment: "movies.log".into(),
+                    snapshot: Some("movies.snap".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn write_read_round_trips_and_replaces() {
+        let dir = tmp_dir("rw");
+        assert_eq!(read_manifest(&dir).unwrap(), None);
+        write_manifest(&dir, &sample()).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), Some(sample()));
+        let mut newer = sample();
+        newer.crowd_rounds = 12;
+        write_manifest(&dir, &newer).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap().unwrap().crowd_rounds, 12);
+        assert!(!dir.join(TMP_FILE).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_rejected() {
+        let dir = tmp_dir("corrupt");
+        write_manifest(&dir, &sample()).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_manifest(&dir), Err(StorageError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn table_names_sanitize_reversibly() {
+        for name in ["movies", "a_b-c9", "Movies 2!", "tbl.%", "ünïcode"] {
+            let stem = sanitize_table_name(name);
+            assert!(stem
+                .bytes()
+                .all(|b| matches!(b, b'a'..=b'z' | b'0'..=b'9' | b'_' | b'-' | b'%')));
+            assert_eq!(desanitize_table_name(&stem).as_deref(), Some(name));
+        }
+        // Distinct names never collide, even when one contains escapes.
+        assert_ne!(sanitize_table_name("a%62"), sanitize_table_name("ab"));
+        assert_eq!(desanitize_table_name("%zz"), None);
+        assert_eq!(desanitize_table_name("%6"), None);
+    }
+
+    #[test]
+    fn segment_scan_lists_only_parseable_segments() {
+        let dir = tmp_dir("scan");
+        let wal = wal_dir(&dir);
+        std::fs::create_dir_all(&wal).unwrap();
+        std::fs::write(wal.join(segment_file_name("movies")), b"").unwrap();
+        std::fs::write(wal.join(segment_file_name("über")), b"").unwrap();
+        std::fs::write(wal.join("README.txt"), b"").unwrap();
+        std::fs::write(wal.join("Upper.log"), b"").unwrap();
+        let segments = scan_segments(&dir).unwrap();
+        assert_eq!(
+            segments,
+            vec![
+                ("movies".to_string(), "movies.log".to_string()),
+                ("über".to_string(), segment_file_name("über")),
+            ]
+        );
+        assert!(scan_segments(&tmp_dir("scan-empty")).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -36,11 +36,14 @@ const TMP_FILE: &str = "snapshot.tmp";
 
 const MAGIC: &[u8; 8] = b"CDBSNAP1";
 
-/// Durably writes `image` as the directory's snapshot, atomically
-/// replacing any previous one.
-pub fn write_snapshot(dir: &Path, image: &SnapshotImage) -> Result<()> {
+/// Durably writes `image` to `path`, atomically replacing any previous
+/// file there.  Used for both the legacy whole-database snapshot and the
+/// per-table snapshots of the segmented layout.
+pub fn write_snapshot_file(path: &Path, image: &SnapshotImage) -> Result<()> {
     let payload = image.encode();
-    let tmp = dir.join(TMP_FILE);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
     {
         let mut file = OpenOptions::new()
             .write(true)
@@ -53,22 +56,31 @@ pub fn write_snapshot(dir: &Path, image: &SnapshotImage) -> Result<()> {
         file.write_all(&payload)?;
         file.sync_all()?;
     }
-    fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
+    fs::rename(&tmp, path)?;
     // Make the rename durable: fsync the directory entry.  Directories
     // cannot be fsynced everywhere (e.g. Windows); failing to is not
     // fatal — the data file itself is already synced.
-    if let Ok(dir_handle) = File::open(dir) {
-        let _ = dir_handle.sync_all();
+    if let Some(parent) = path.parent() {
+        if let Ok(dir_handle) = File::open(parent) {
+            let _ = dir_handle.sync_all();
+        }
     }
     Ok(())
 }
 
-/// Reads the directory's snapshot, verifying magic, length, and checksum.
-/// Returns `Ok(None)` when no snapshot exists (a database that has never
-/// checkpointed).
-pub fn read_snapshot(dir: &Path) -> Result<Option<SnapshotImage>> {
-    let path = dir.join(SNAPSHOT_FILE);
-    let mut file = match File::open(&path) {
+/// Durably writes `image` as the directory's snapshot, atomically
+/// replacing any previous one (the legacy single-file layout).
+pub fn write_snapshot(dir: &Path, image: &SnapshotImage) -> Result<()> {
+    // The historical tmp name is kept so a crash mid-upgrade under an old
+    // binary and a new one clean up the same dropping.
+    let _ = fs::remove_file(dir.join(TMP_FILE));
+    write_snapshot_file(&dir.join(SNAPSHOT_FILE), image)
+}
+
+/// Reads the snapshot at `path`, verifying magic, length, and checksum.
+/// Returns `Ok(None)` when the file does not exist.
+pub fn read_snapshot_file(path: &Path) -> Result<Option<SnapshotImage>> {
+    let mut file = match File::open(path) {
         Ok(file) => file,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e.into()),
@@ -94,6 +106,13 @@ pub fn read_snapshot(dir: &Path) -> Result<Option<SnapshotImage>> {
         return Err(StorageError::Corrupt("snapshot fails its checksum".into()));
     }
     Ok(Some(SnapshotImage::decode(payload)?))
+}
+
+/// Reads the directory's snapshot (the legacy single-file layout),
+/// verifying magic, length, and checksum.  Returns `Ok(None)` when no
+/// snapshot exists (a database that has never checkpointed).
+pub fn read_snapshot(dir: &Path) -> Result<Option<SnapshotImage>> {
+    read_snapshot_file(&dir.join(SNAPSHOT_FILE))
 }
 
 #[cfg(test)]

@@ -1,13 +1,16 @@
 //! Durable sessions: pay the crowd once, keep the answers across restarts.
 //!
 //! The example runs the same "process" twice against one database
-//! directory.  The first life loads the movie domain, triggers a
-//! crowd-paid schema expansion, and dies without any explicit save — every
-//! committed change is already in the write-ahead log.  The second life
-//! reopens the directory, re-binds the runtime objects (space + crowd
-//! source — those are not persisted), and re-runs the query: zero crowd
-//! rounds, zero dollars, identical rows and provenance.  A checkpoint at
-//! the end compacts the log into a snapshot.
+//! directory holding a **multi-table** workload.  The first life loads the
+//! movie domain, triggers a crowd-paid schema expansion, writes a second
+//! (factual) table, and dies without any explicit save — every committed
+//! change is already in its table's write-ahead segment.  The second life
+//! reopens the directory (every table's segment replays, in parallel),
+//! re-binds the runtime objects (space + crowd source — those are not
+//! persisted), and re-runs the query: zero crowd rounds, zero dollars,
+//! identical rows and provenance.  Checkpoints at the end show the
+//! **incremental** contract: only tables with new committed work since
+//! their last snapshot are re-snapshotted, clean tables are skipped.
 //!
 //! Run with `cargo run --example persistent_session`.
 
@@ -30,7 +33,7 @@ fn open_session(dir: &std::path::Path, domain: &SyntheticDomain) -> Result<Crowd
     let crowd = SimulatedCrowd::new(domain, ExperimentRegime::TrustedWorkers, 7);
     if db.catalog().table("movies").is_ok() {
         // Reopened: the table (rows, expanded columns, provenance) is
-        // already recovered from snapshot + WAL.
+        // already recovered from snapshot + WAL segment.
         db.bind_table("movies", space, Box::new(crowd))?;
     } else {
         db.load_domain("movies", domain, space, Box::new(crowd))?;
@@ -48,29 +51,51 @@ fn main() -> Result<(), CrowdDbError> {
     {
         let db = open_session(&dir, &domain)?;
         let outcome = db.query(QUERY).run()?;
+        // A second, purely factual table: its commits go to its own WAL
+        // segment and never queue behind the movie table's crowd work.
+        db.execute("CREATE TABLE watchlist (item_id INTEGER, note TEXT)")?;
+        db.execute("INSERT INTO watchlist (item_id, note) VALUES (1, 'seen'), (2, 'queued')")?;
         println!(
-            "first life : {} rows, crowd cost ${:.2}, WAL {} bytes",
+            "first life : {} rows, crowd cost ${:.2}, WAL {} bytes across {} segments",
             outcome.rows().map_or(0, |r| r.rows.len()),
             outcome.crowd_cost,
             db.wal_bytes(),
+            db.wal_bytes_by_table().len(),
         );
         // The process "dies" here: no checkpoint, no explicit save.
     }
 
-    // ── Life 2: reopen, replay, answer for free ─────────────────────────
+    // ── Life 2: reopen, replay every table, answer for free ─────────────
     let db = open_session(&dir, &domain)?;
     let outcome = db.query(QUERY).run()?;
+    let watchlist = db.execute("SELECT item_id, note FROM watchlist")?;
     println!(
-        "second life: {} rows, crowd cost ${:.2} (cache {} entries recovered)",
+        "second life: {} rows + {} watchlist rows, crowd cost ${:.2} (cache {} entries recovered)",
         outcome.rows().map_or(0, |r| r.rows.len()),
+        watchlist.rows.len(),
         outcome.crowd_cost,
         db.cache_stats().entries,
     );
     assert_eq!(outcome.crowd_cost, 0.0, "never pay the crowd twice");
 
-    // Compact the log into a snapshot; the WAL collapses to its header.
-    db.checkpoint()?;
-    println!("checkpoint : WAL compacted to {} bytes", db.wal_bytes());
+    // Incremental checkpoint #1: both tables have committed work since
+    // their (nonexistent) last snapshot, so both are compacted.
+    let report = db.checkpoint()?;
+    println!(
+        "checkpoint : snapshotted {:?}, skipped {:?}, reclaimed {} WAL bytes",
+        report.tables_snapshotted, report.tables_skipped, report.bytes_reclaimed,
+    );
+
+    // New work on the watchlist only — the next incremental checkpoint
+    // re-snapshots just that table and skips the (clean) movie table.
+    db.execute("INSERT INTO watchlist (item_id, note) VALUES (3, 'recommended')")?;
+    let report = db.checkpoint()?;
+    println!(
+        "checkpoint : snapshotted {:?}, skipped {:?}",
+        report.tables_snapshotted, report.tables_skipped,
+    );
+    assert_eq!(report.tables_snapshotted, vec!["watchlist".to_string()]);
+    assert_eq!(report.tables_skipped, vec!["movies".to_string()]);
 
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())

@@ -48,11 +48,11 @@ pub mod prelude {
     pub use crowddb_core::{
         audit_binary_labels, build_space_for_domain, evaluate_boost_over_time,
         extract_binary_attribute, extract_numeric_attribute, repair_labels, AttributeRequest,
-        AuditOutcome, BoostCurve, CacheStats, CellProvenance, CrowdDb, CrowdDbBuilder,
-        CrowdDbConfig, CrowdDbError, CrowdSource, ExpansionMode, ExpansionPlan, ExpansionPolicy,
-        ExpansionReport, ExpansionStrategy, ExtractionConfig, JudgmentCache, MissingReason,
-        OutstandingEstimate, QueryBuilder, QueryEvent, QueryOutcome, QueryStream, RepairOutcome,
-        RowSet, Session, SimulatedCrowd, StatementResult,
+        AuditOutcome, BoostCurve, CacheStats, CatalogRead, CellProvenance, CheckpointReport,
+        CrowdDb, CrowdDbBuilder, CrowdDbConfig, CrowdDbError, CrowdSource, ExpansionMode,
+        ExpansionPlan, ExpansionPolicy, ExpansionReport, ExpansionStrategy, ExtractionConfig,
+        JudgmentCache, MissingReason, OutstandingEstimate, QueryBuilder, QueryEvent, QueryOutcome,
+        QueryStream, RepairOutcome, RowSet, Session, SimulatedCrowd, StatementResult, TableRef,
     };
     pub use crowdsim::{
         majority_vote, CrowdPlatform, CrowdRun, ExperimentRegime, HitConfig, Judgment,

@@ -215,8 +215,9 @@ fn torn_final_wal_record_is_truncated_on_reopen() {
         db.execute("INSERT INTO notes (item_id, body) VALUES (2, 'torn')")
             .unwrap();
     }
-    // Simulate the crash mid-append: chop bytes off the last frame.
-    let wal = dir.join("wal.log");
+    // Simulate the crash mid-append: chop bytes off the last frame of the
+    // table's segment.
+    let wal = dir.join("wal").join("notes.log");
     let len = std::fs::metadata(&wal).unwrap().len();
     let file = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
     file.set_len(len - 5).unwrap();
@@ -250,7 +251,7 @@ fn interior_checksum_corruption_is_rejected() {
     }
     // Flip one byte inside the *first* record's payload (well before the
     // tail), leaving frame lengths intact.
-    let wal = dir.join("wal.log");
+    let wal = dir.join("wal").join("notes.log");
     let mut bytes = std::fs::read(&wal).unwrap();
     let target = 8 + 8 + 4; // header + frame prefix + a few payload bytes
     bytes[target] ^= 0x20;
@@ -281,19 +282,64 @@ fn checkpoint_compacts_the_wal_and_preserves_state() {
             before > 1000,
             "committed work fills the log ({before} bytes)"
         );
-        assert!(db.checkpoint().unwrap());
+        let report = db.checkpoint().unwrap();
+        assert_eq!(report.tables_snapshotted, vec!["movies".to_string()]);
+        assert!(report.bytes_reclaimed > 0);
         let after = db.wal_bytes();
         assert!(
             after <= 64,
             "checkpoint truncates to header + config stamp, got {after} bytes"
         );
-        assert!(dir.join("snapshot.db").exists());
+        assert!(dir.join("snap").join("movies.snap").exists());
+        // A second checkpoint with nothing new skips the clean table.
+        let idle = db.checkpoint().unwrap();
+        assert!(!idle.snapshotted_any());
+        assert_eq!(idle.tables_skipped, vec!["movies".to_string()]);
     }
     let (db, meter) = open_bound(&dir, &domain);
     let outcome = db.query(QUERY).run().unwrap();
     assert_eq!(meter.calls(), 0);
     assert_eq!(meter.dollars(), 0.0);
     assert!(outcome.crowd_cost == 0.0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `checkpoint_full` re-snapshots every table, clean or not — the
+/// backup/archival entry point (and the pre-sharding engine's behavior) —
+/// while the incremental `checkpoint` keeps skipping clean tables.
+#[test]
+fn full_checkpoint_rewrites_clean_tables() {
+    let dir = test_dir("full-checkpoint");
+    let domain = domain();
+    {
+        let (db, _) = open_bound(&dir, &domain);
+        db.execute("CREATE TABLE notes (item_id INTEGER, body TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO notes (item_id, body) VALUES (1, 'kept')")
+            .unwrap();
+        // Incremental pass leaves both tables clean.
+        let first = db.checkpoint().unwrap();
+        assert_eq!(
+            first.tables_snapshotted,
+            vec!["movies".to_string(), "notes".to_string()]
+        );
+        // With nothing new, incremental skips everything ...
+        let idle = db.checkpoint().unwrap();
+        assert!(!idle.snapshotted_any());
+        // ... but a full checkpoint still rewrites every snapshot.
+        let full = db.checkpoint_full().unwrap();
+        assert_eq!(
+            full.tables_snapshotted,
+            vec!["movies".to_string(), "notes".to_string()]
+        );
+        assert!(full.tables_skipped.is_empty());
+        assert!(dir.join("snap").join("movies.snap").exists());
+        assert!(dir.join("snap").join("notes.snap").exists());
+    }
+    let (db, meter) = open_bound(&dir, &domain);
+    let notes = db.execute("SELECT item_id, body FROM notes").unwrap();
+    assert_eq!(notes.rows.len(), 1);
+    assert_eq!(meter.calls(), 0);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -315,7 +361,7 @@ fn checkpoint_then_replay_matches_uninterrupted_run() {
         {
             let (db, _) = open_bound(&dir, &domain);
             db.query(QUERY).run().unwrap();
-            assert!(db.checkpoint().unwrap());
+            assert!(db.checkpoint().unwrap().snapshotted_any());
             db.execute("CREATE TABLE notes (item_id INTEGER, body TEXT)")
                 .unwrap();
             db.execute(sql_insert).unwrap();
@@ -401,10 +447,10 @@ fn crash_between_snapshot_and_wal_reset_does_not_double_apply() {
             ))
             .unwrap();
         }
-        // Reconstruct the crash state: snapshot written, WAL reset lost.
-        let wal_path = dir.join("wal.log");
+        // Reconstruct the crash state: snapshot written, segment reset lost.
+        let wal_path = dir.join("wal").join("notes.log");
         let old_wal = std::fs::read(&wal_path).unwrap();
-        assert!(db.checkpoint().unwrap());
+        assert!(db.checkpoint().unwrap().snapshotted_any());
         drop(db);
         std::fs::write(&wal_path, &old_wal).unwrap();
     }
@@ -450,7 +496,7 @@ fn reopening_with_a_different_id_column_is_rejected() {
     // The original configuration still opens fine — including after a
     // checkpoint (the snapshot carries the same stamp).
     let db = CrowdDb::open(&dir).unwrap();
-    assert!(db.checkpoint().unwrap());
+    assert!(db.checkpoint().unwrap().snapshotted_any());
     drop(db);
     assert!(CrowdDb::open(&dir).is_ok());
     std::fs::remove_dir_all(&dir).unwrap();
@@ -489,11 +535,13 @@ fn checkpoint_interleaves_with_concurrent_queries() {
             });
             scope.spawn(move || {
                 for _ in 0..10 {
-                    assert!(db.checkpoint().unwrap());
+                    // An incremental checkpoint racing the writers may find
+                    // every table clean — that is a valid (empty) report.
+                    db.checkpoint().unwrap();
                 }
             });
         });
-        assert!(db.checkpoint().unwrap());
+        db.checkpoint().unwrap();
     }
     let (db, meter) = open_bound(&dir, &domain);
     assert_eq!(db.execute("SELECT body FROM notes").unwrap().rows.len(), 20);
