@@ -20,11 +20,20 @@ use crowddb_core::{
 use crowdsim::ExperimentRegime;
 use datagen::{DomainConfig, SyntheticDomain};
 use perceptual::PerceptualSpace;
+use relational::Value;
 
 const QUERY: &str = "SELECT item_id, is_comedy FROM movies";
 
 fn make_db(domain: &SyntheticDomain, space: PerceptualSpace) -> CrowdDb {
-    let crowd = SimulatedCrowd::new(domain, ExperimentRegime::TrustedWorkers, 17);
+    make_regime_db(domain, space, ExperimentRegime::TrustedWorkers)
+}
+
+fn make_regime_db(
+    domain: &SyntheticDomain,
+    space: PerceptualSpace,
+    regime: ExperimentRegime,
+) -> CrowdDb {
+    let crowd = SimulatedCrowd::new(domain, regime, 17);
     // Direct crowd-sourcing prices every item, which is what makes the
     // budget meaningful (perceptual extraction would extrapolate around it).
     let db = CrowdDb::new(CrowdDbConfig {
@@ -40,11 +49,55 @@ fn make_db(domain: &SyntheticDomain, space: PerceptualSpace) -> CrowdDb {
 
 struct ModeCosts {
     full: f64,
+    full_accuracy: f64,
+    adaptive: f64,
+    adaptive_accuracy: f64,
+    adaptive_cells: usize,
+    adaptive_flat: f64,
+    adaptive_flat_accuracy: f64,
+    adaptive_flat_cells: usize,
     best_effort: f64,
     best_effort_budget: f64,
     best_effort_missing: usize,
     cache_only_warm: f64,
     items: usize,
+}
+
+/// Classified-cell count and the fraction of those matching the domain's
+/// ground truth — the answer-quality axis of the adaptive-vs-flat
+/// comparison.
+fn accuracy_vs_oracle(domain: &SyntheticDomain, rows: &crowddb_core::RowSet) -> (usize, f64) {
+    let comedy = domain
+        .category_names()
+        .iter()
+        .position(|n| n == "Comedy")
+        .expect("movies domain has a Comedy category");
+    let truth = domain.labels_for_category(comedy);
+    let item_col = rows
+        .columns
+        .iter()
+        .position(|c| c.eq_ignore_ascii_case("item_id"))
+        .unwrap();
+    let label_col = rows
+        .columns
+        .iter()
+        .position(|c| c.eq_ignore_ascii_case("is_comedy"))
+        .unwrap();
+    let mut classified = 0usize;
+    let mut correct = 0usize;
+    for row in &rows.rows {
+        let item = match row[item_col] {
+            Value::Integer(i) => i as usize,
+            _ => continue,
+        };
+        if let Value::Boolean(label) = row[label_col] {
+            classified += 1;
+            if truth.get(item) == Some(&label) {
+                correct += 1;
+            }
+        }
+    }
+    (classified, correct as f64 / classified.max(1) as f64)
 }
 
 /// One un-timed pass per mode, capturing the crowd dollars each policy
@@ -55,6 +108,22 @@ fn measure_costs(domain: &SyntheticDomain, space: &PerceptualSpace, budget: f64)
         .mode(ExpansionMode::Full)
         .run()
         .unwrap();
+    // Adaptive vs flat on the lookup crowd (Experiment 3): every worker
+    // answers (no "don't know" option), so flat's 10 assignments per item
+    // are mostly redundant confirmation — the setting where posterior
+    // early-stopping pays.  Both passes run cold on identical worker pools
+    // and HIT pricing; only the acquisition policy differs.
+    let adaptive_flat = make_regime_db(domain, space.clone(), ExperimentRegime::LookupWithGold)
+        .query(QUERY)
+        .mode(ExpansionMode::Full)
+        .run()
+        .unwrap();
+    let adaptive = make_regime_db(domain, space.clone(), ExperimentRegime::LookupWithGold)
+        .query(QUERY)
+        .mode(ExpansionMode::Full)
+        .adaptive(true)
+        .run()
+        .unwrap();
     let best_effort_db = make_db(domain, space.clone());
     let best_effort = best_effort_db.query(QUERY).budget(budget).run().unwrap();
     // Warm cache-only: reuse the budgeted database's cache.
@@ -63,8 +132,19 @@ fn measure_costs(domain: &SyntheticDomain, space: &PerceptualSpace, budget: f64)
         .mode(ExpansionMode::CacheOnly)
         .run()
         .unwrap();
+    let (_, full_accuracy) = accuracy_vs_oracle(domain, full.rows().unwrap());
+    let (adaptive_cells, adaptive_accuracy) = accuracy_vs_oracle(domain, adaptive.rows().unwrap());
+    let (adaptive_flat_cells, adaptive_flat_accuracy) =
+        accuracy_vs_oracle(domain, adaptive_flat.rows().unwrap());
     ModeCosts {
         full: full.crowd_cost,
+        full_accuracy,
+        adaptive: adaptive.crowd_cost,
+        adaptive_accuracy,
+        adaptive_cells,
+        adaptive_flat: adaptive_flat.crowd_cost,
+        adaptive_flat_accuracy,
+        adaptive_flat_cells,
         best_effort: best_effort.crowd_cost,
         best_effort_budget: budget,
         best_effort_missing: best_effort.rows().unwrap().missing_cells(),
@@ -82,11 +162,23 @@ fn write_report(costs: &ModeCosts) {
     path.push("BENCH_policy.json");
     let json = format!(
         "{{\n  \"bench\": \"policy_modes\",\n  \"items\": {},\n  \
-         \"full_cost_dollars\": {:.4},\n  \"best_effort_budget_dollars\": {:.4},\n  \
+         \"full_cost_dollars\": {:.4},\n  \"full_accuracy\": {:.4},\n  \
+         \"adaptive_cost_dollars\": {:.4},\n  \"adaptive_accuracy\": {:.4},\n  \
+         \"adaptive_classified_cells\": {},\n  \
+         \"adaptive_flat_cost_dollars\": {:.4},\n  \"adaptive_flat_accuracy\": {:.4},\n  \
+         \"adaptive_flat_classified_cells\": {},\n  \
+         \"best_effort_budget_dollars\": {:.4},\n  \
          \"best_effort_cost_dollars\": {:.4},\n  \"best_effort_missing_cells\": {},\n  \
          \"cache_only_warm_cost_dollars\": {:.4}\n}}\n",
         costs.items,
         costs.full,
+        costs.full_accuracy,
+        costs.adaptive,
+        costs.adaptive_accuracy,
+        costs.adaptive_cells,
+        costs.adaptive_flat,
+        costs.adaptive_flat_accuracy,
+        costs.adaptive_flat_cells,
         costs.best_effort_budget,
         costs.best_effort,
         costs.best_effort_missing,
@@ -157,6 +249,21 @@ fn main() {
     assert!(costs.best_effort <= costs.best_effort_budget + 1e-9);
     assert!(costs.full > costs.best_effort);
     assert_eq!(costs.cache_only_warm, 0.0);
+    // Adaptive acquisition must buy classified cells at least 20% cheaper
+    // than flat assignments-per-item on the same crowd, without giving up
+    // accuracy against the domain's ground truth.
+    let adaptive_per_cell = costs.adaptive / costs.adaptive_cells.max(1) as f64;
+    let flat_per_cell = costs.adaptive_flat / costs.adaptive_flat_cells.max(1) as f64;
+    assert!(
+        adaptive_per_cell <= 0.8 * flat_per_cell,
+        "adaptive ${adaptive_per_cell:.4}/cell vs flat ${flat_per_cell:.4}/cell"
+    );
+    assert!(
+        costs.adaptive_accuracy >= costs.adaptive_flat_accuracy,
+        "adaptive accuracy {:.4} below flat {:.4}",
+        costs.adaptive_accuracy,
+        costs.adaptive_flat_accuracy
+    );
     write_report(&costs);
 
     let mut criterion = Criterion::default();

@@ -28,6 +28,13 @@ use std::process::ExitCode;
 const POLICY_FIELDS: &[&str] = &[
     "items",
     "full_cost_dollars",
+    "full_accuracy",
+    "adaptive_cost_dollars",
+    "adaptive_accuracy",
+    "adaptive_classified_cells",
+    "adaptive_flat_cost_dollars",
+    "adaptive_flat_accuracy",
+    "adaptive_flat_classified_cells",
     "best_effort_budget_dollars",
     "best_effort_cost_dollars",
     "best_effort_missing_cells",

@@ -7,8 +7,10 @@
 //! actual crowd-sourcing service (Mechanical Turk, CrowdFlower, …) behind
 //! the same trait.
 
+use std::collections::HashSet;
+
 use crowdsim::{
-    BatchCrowdRun, BatchQuestion, CrowdPlatform, CrowdRun, ExperimentRegime, LabelOracle,
+    BatchCrowdRun, BatchQuestion, CrowdPlatform, CrowdRun, ExperimentRegime, LabelOracle, WorkerId,
 };
 use datagen::{CategoryOracle, SyntheticDomain};
 
@@ -96,6 +98,41 @@ pub trait CrowdSource: Send {
             excluded_workers,
             hits_completed,
         })
+    }
+
+    /// Collects one **adaptive** round: at most `judgments_per_item`
+    /// assignments per item (instead of the source's flat per-item count),
+    /// optionally restricted to `preferred_workers` — the routing hook the
+    /// adaptive judgment layer uses to send still-uncertain items to
+    /// high-accuracy workers.
+    ///
+    /// The default implementation ignores both knobs and falls back to a
+    /// flat [`collect_batch`](CrowdSource::collect_batch) round, so
+    /// third-party sources keep working: adaptive acquisition still
+    /// early-stops between rounds, it just cannot shrink the rounds
+    /// themselves.
+    fn collect_adaptive(
+        &mut self,
+        requests: &[AttributeRequest],
+        seed: u64,
+        judgments_per_item: usize,
+        preferred_workers: Option<&HashSet<WorkerId>>,
+    ) -> Result<BatchCrowdRun> {
+        let _ = (judgments_per_item, preferred_workers);
+        self.collect_batch(requests, seed)
+    }
+
+    /// The predicted dollar cost of one adaptive round asking
+    /// `judgments_per_item` assignments for each of `n_items` items.
+    ///
+    /// `None` (the default) means the source cannot price shrunken rounds;
+    /// budgeted adaptive acquisition then sizes rounds with the flat
+    /// [`estimate_cost`](CrowdSource::estimate_cost), which is conservative
+    /// for sources whose [`collect_adaptive`](CrowdSource::collect_adaptive)
+    /// falls back to flat rounds anyway.
+    fn adaptive_round_cost(&self, n_items: usize, judgments_per_item: usize) -> Option<f64> {
+        let _ = (n_items, judgments_per_item);
+        None
     }
 
     /// The predicted dollar cost of a round judging `n_items` items, when
@@ -197,24 +234,19 @@ impl SimulatedCrowd {
                 ))
             })
     }
-}
 
-impl CrowdSource for SimulatedCrowd {
-    fn collect(&mut self, items: &[u32], attribute: &str, seed: u64) -> Result<CrowdRun> {
-        let category = self.category_index(attribute)?;
-        let oracle = SnapshotOracle {
-            labels: &self.labels[category],
-            familiarity: &self.familiarity,
-        };
-        let pool = self.regime.worker_pool(self.seed.wrapping_add(seed));
-        let config = self.regime.hit_config(items.len());
-        let run = CrowdPlatform::new(config).run(items, &oracle, &pool, self.seed ^ seed)?;
-        Ok(run)
-    }
-
-    /// One platform round whose HITs mix questions about all requested
-    /// attributes — the real batched dispatch the planner relies on.
-    fn collect_batch(&mut self, requests: &[AttributeRequest], seed: u64) -> Result<BatchCrowdRun> {
+    /// One platform round over all requested attributes.  `judgments_per_item`
+    /// overrides the regime's flat per-item count (never exceeding it);
+    /// `preferred` routes the round to the given workers when enough of them
+    /// exist in the pool to serve a full HIT, and is ignored otherwise —
+    /// routing must narrow the pool, not starve the round.
+    fn run_round(
+        &mut self,
+        requests: &[AttributeRequest],
+        seed: u64,
+        judgments_per_item: Option<usize>,
+        preferred: Option<&HashSet<WorkerId>>,
+    ) -> Result<BatchCrowdRun> {
         if requests.is_empty() {
             return Err(CrowdDbError::Configuration(
                 "a batched crowd round needs at least one attribute request".into(),
@@ -242,14 +274,68 @@ impl CrowdSource for SimulatedCrowd {
             .collect();
         let total_items: usize = requests.iter().map(|r| r.items.len()).sum();
         let pool = self.regime.worker_pool(self.seed.wrapping_add(seed));
-        let config = self.regime.hit_config(total_items);
-        let batch = CrowdPlatform::new(config).run_batch(
+        let mut config = self.regime.hit_config(total_items);
+        if let Some(per_item) = judgments_per_item {
+            let clamped = per_item.min(config.judgments_per_item);
+            config = config.with_judgments_per_item(clamped);
+        }
+        let routed = preferred.filter(|allowed| {
+            let eligible = pool
+                .workers()
+                .iter()
+                .filter(|w| allowed.contains(&w.id))
+                .count();
+            eligible >= config.judgments_per_item
+        });
+        let batch = CrowdPlatform::new(config).run_batch_routed(
             &questions,
             &oracle_refs,
             &pool,
             self.seed ^ seed,
+            routed,
         )?;
         Ok(batch)
+    }
+}
+
+impl CrowdSource for SimulatedCrowd {
+    fn collect(&mut self, items: &[u32], attribute: &str, seed: u64) -> Result<CrowdRun> {
+        let category = self.category_index(attribute)?;
+        let oracle = SnapshotOracle {
+            labels: &self.labels[category],
+            familiarity: &self.familiarity,
+        };
+        let pool = self.regime.worker_pool(self.seed.wrapping_add(seed));
+        let config = self.regime.hit_config(items.len());
+        let run = CrowdPlatform::new(config).run(items, &oracle, &pool, self.seed ^ seed)?;
+        Ok(run)
+    }
+
+    /// One platform round whose HITs mix questions about all requested
+    /// attributes — the real batched dispatch the planner relies on.
+    fn collect_batch(&mut self, requests: &[AttributeRequest], seed: u64) -> Result<BatchCrowdRun> {
+        self.run_round(requests, seed, None, None)
+    }
+
+    /// A shrunken, optionally routed platform round: at most
+    /// `judgments_per_item` assignments per item, dispatched only to
+    /// `preferred_workers` when enough of them are in the round's pool.
+    fn collect_adaptive(
+        &mut self,
+        requests: &[AttributeRequest],
+        seed: u64,
+        judgments_per_item: usize,
+        preferred_workers: Option<&HashSet<WorkerId>>,
+    ) -> Result<BatchCrowdRun> {
+        self.run_round(requests, seed, Some(judgments_per_item), preferred_workers)
+    }
+
+    /// Deterministic pricing for shrunken rounds, mirroring
+    /// [`estimate_cost`](CrowdSource::estimate_cost).
+    fn adaptive_round_cost(&self, n_items: usize, judgments_per_item: usize) -> Option<f64> {
+        let config = self.regime.hit_config(n_items);
+        let per_item = judgments_per_item.min(config.judgments_per_item);
+        Some(config.with_judgments_per_item(per_item).total_cost(n_items))
     }
 
     /// The simulator prices deterministically, so the estimate equals the
@@ -411,6 +497,62 @@ mod tests {
         assert_eq!(batch.question_judgments.len(), 2);
         assert_eq!(batch.total_judgments(), 200);
         assert!(batch.total_cost > 0.0);
+    }
+
+    #[test]
+    fn adaptive_rounds_shrink_and_route() {
+        let d = domain();
+        let mut crowd = SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 1);
+        let requests = vec![AttributeRequest {
+            attribute: "Comedy".into(),
+            items: (0..20).collect(),
+        }];
+        let flat = crowd.collect_batch(&requests, 9).unwrap();
+        let small = crowd.collect_adaptive(&requests, 9, 3, None).unwrap();
+        // 20 items × 3 assignments instead of × 10.
+        assert_eq!(small.question_judgments[0].len(), 60);
+        assert!(small.total_cost < flat.total_cost);
+        // The adaptive price estimate equals the real charge.
+        let priced = crowd.adaptive_round_cost(20, 3).unwrap();
+        assert!((priced - small.total_cost).abs() < 1e-9);
+        // Requesting more than the regime's flat count is clamped, not
+        // amplified.
+        let clamped = crowd.adaptive_round_cost(20, 99).unwrap();
+        assert!((clamped - crowd.estimate_cost(20).unwrap()).abs() < 1e-9);
+
+        // Routing restricts the round to the preferred workers...
+        let preferred: HashSet<WorkerId> = (0..8).collect();
+        let routed = crowd
+            .collect_adaptive(&requests, 9, 3, Some(&preferred))
+            .unwrap();
+        assert!(routed.question_judgments[0]
+            .iter()
+            .all(|j| preferred.contains(&j.worker)));
+        // ...but a preferred set too small to fill a HIT is ignored rather
+        // than starving the round.
+        let tiny: HashSet<WorkerId> = (0..2).collect();
+        let unstarved = crowd
+            .collect_adaptive(&requests, 9, 3, Some(&tiny))
+            .unwrap();
+        assert_eq!(unstarved.question_judgments[0].len(), 60);
+        assert!(unstarved.question_judgments[0]
+            .iter()
+            .any(|j| !tiny.contains(&j.worker)));
+
+        // The trait default ignores the knobs and collects a flat round.
+        struct Flat(SimulatedCrowd);
+        impl CrowdSource for Flat {
+            fn collect(&mut self, items: &[u32], attribute: &str, seed: u64) -> Result<CrowdRun> {
+                self.0.collect(items, attribute, seed)
+            }
+            fn describe(&self) -> String {
+                "flat".into()
+            }
+        }
+        let mut fallback = Flat(SimulatedCrowd::new(&d, ExperimentRegime::TrustedWorkers, 1));
+        let batch = fallback.collect_adaptive(&requests, 9, 3, None).unwrap();
+        assert_eq!(batch.question_judgments[0].len(), 200);
+        assert_eq!(fallback.adaptive_round_cost(20, 3), None);
     }
 
     #[test]

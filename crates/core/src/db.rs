@@ -48,7 +48,9 @@ use std::sync::{Mutex, RwLock, RwLockReadGuard};
 
 use storage::{TableImage, WalRecord};
 
-use crowdsim::majority_vote;
+use crowdsim::{
+    em_aggregate, majority_vote, EmConfig, ItemPosterior, WorkerAccuracyStore, WorkerId,
+};
 use datagen::SyntheticDomain;
 use perceptual::{EuclideanEmbeddingConfig, EuclideanEmbeddingModel, ItemId, PerceptualSpace};
 use relational::{
@@ -78,6 +80,51 @@ use crate::sync::{mlock, rlock, wlock};
 /// acquirer checks the real charge after each round, so a small round bounds
 /// the possible budget overshoot.
 const FALLBACK_BUDGET_CHUNK: usize = 10;
+
+/// Assignments per item bought in each adaptive acquisition round.  The
+/// cumulative sum equals the paper's flat 10 assignments per item, so an
+/// item the posterior never settles on costs exactly what the flat path
+/// would have paid — adaptive stopping can only save, never overspend.
+const ADAPTIVE_ROUND_SCHEDULE: &[usize] = &[3, 2, 2, 3];
+
+/// The posterior an item must clear to stop buying before the schedule is
+/// exhausted.  Deliberately above the default quality floor: a short vote
+/// streak (3–5 judgments) reaches ~0.93 posterior even for items the model
+/// suspects are ambiguous, and stopping there trades real accuracy for
+/// pennies.  The effective stop bar is the *larger* of this and the query's
+/// floor, so a stricter floor tightens stopping too.
+const ADAPTIVE_STOP_CONFIDENCE: f64 = 0.97;
+
+/// Early stopping also demands this many decisive (non-abstaining) votes.
+/// Without it a 3-vote streak from workers the EM model has learned to
+/// trust clears the confidence bar, and among 3-0 streaks the share of
+/// genuinely ambiguous items (whose next votes are coin flips) is several
+/// times higher than among longer streaks.  Kept below the second round's
+/// cumulative assignment count because abstentions ("don't know") are
+/// common and do not count as decisive.
+const ADAPTIVE_STOP_MIN_DECISIVE: usize = 4;
+
+/// Decisive votes a finalized item needs before its verdict is
+/// materialized at all.  A couple of unopposed votes from trusted workers
+/// (or a 2-1 split whose dissenter the model has learned to discount)
+/// already clear a 0.9 posterior floor, but a label resting on so few
+/// opinions is exactly the thin evidence the adaptive layer exists to
+/// avoid.
+const ADAPTIVE_VERDICT_MIN_DECISIVE: usize = 4;
+
+/// Routing floors: a worker is offered still-uncertain items only once the
+/// EM model credits them with this much accuracy, backed by at least this
+/// much evidence weight (prior pseudo-counts included).
+const ADAPTIVE_ROUTING_MIN_ACCURACY: f64 = 0.8;
+const ADAPTIVE_ROUTING_MIN_WEIGHT: f64 = 6.0;
+
+/// Routing needs enough reliable workers to serve whole HITs; below this
+/// pool size the adaptive rounds stay unrouted rather than starve.  The
+/// bar is well above one item's total assignment count on purpose: each
+/// round draws independently from the preferred pool, a worker's repeat
+/// answer deduplicates to nothing, so a pool close to the per-item
+/// assignment count would pay for judgments that carry no new evidence.
+const ADAPTIVE_ROUTING_MIN_POOL: usize = 24;
 
 /// Configuration of a [`CrowdDb`].
 pub struct CrowdDbConfig {
@@ -411,6 +458,14 @@ pub(crate) struct DbInner {
     /// split an apply from its log record (see [`crate::persist`] for the
     /// invariants).
     durability: Option<Durability>,
+    /// Per-worker accuracy profiles learned by adaptive acquisition's EM
+    /// aggregation, shared across rounds and queries so later rounds can
+    /// route uncertain items to proven workers.  A runtime estimate cache,
+    /// not durable state: after recovery it re-converges from fresh rounds
+    /// (finalized verdicts are served from the judgment cache and never
+    /// re-bought, so losing the profiles costs convergence speed, not
+    /// dollars).
+    accuracy: Mutex<WorkerAccuracyStore>,
 }
 
 /// Core worker threads per database.  The scheduler grows past this
@@ -655,6 +710,7 @@ impl CrowdDb {
                 provenance: RwLock::new(state.provenance),
                 incomplete: RwLock::new(state.incomplete),
                 durability,
+                accuracy: Mutex::new(WorkerAccuracyStore::new()),
             }),
             scheduler: Scheduler::new(SCHEDULER_CORE_WORKERS),
         }
@@ -1722,7 +1778,7 @@ impl DbInner {
         if needs.is_empty() {
             return Ok(acquisitions);
         }
-        let resolutions = self.resolve_needs(plan, binding, &needs, ledger, sink)?;
+        let resolutions = self.resolve_needs(plan, binding, &needs, policy, ledger, sink)?;
 
         // Route the resolved verdicts and accounting back to the plan's
         // attributes.  Every sharer (owner included) reads its own items'
@@ -1780,6 +1836,7 @@ impl DbInner {
         plan: &ExpansionPlan,
         binding: &TableBinding,
         needs: &[ConceptNeed],
+        policy: &ExpansionPolicy,
         ledger: &mut BudgetLedger,
         sink: &EventSink,
     ) -> Result<Vec<ConceptResolution>> {
@@ -1843,7 +1900,26 @@ impl DbInner {
 
             // Dispatch phase.  An error drops the tokens, which aborts the
             // claims and wakes any waiters into a retry.
-            if ledger.limit.is_none() {
+            if policy.adaptive {
+                // Adaptive acquisition: per concept, buy judgments in small
+                // rounds and stop per item as soon as its EM posterior
+                // clears the target (works budgeted and unbudgeted alike).
+                for (index, token) in dispatch {
+                    let items = std::mem::take(&mut pending[index]);
+                    self.resolve_concept_adaptive(
+                        plan,
+                        binding,
+                        &needs[index],
+                        items,
+                        &mut resolutions[index],
+                        ledger,
+                        sink,
+                        policy.adaptive_target(),
+                        &mut round_index,
+                    )?;
+                    token.complete();
+                }
+            } else if ledger.limit.is_none() {
                 // Unbudgeted: one batched round covering every owned
                 // concept — the cheapest dispatch shape.
                 if !dispatch.is_empty() {
@@ -2098,6 +2174,341 @@ impl DbInner {
             wal_pending.push(persist::cache_put_record(table, concept, written, rounds));
         }
         fresh
+    }
+
+    /// Resolves one concept **adaptively**: judgments are bought in the
+    /// small rounds of [`ADAPTIVE_ROUND_SCHEDULE`], each round's merged
+    /// stream is aggregated with the EM worker-accuracy model
+    /// ([`crowdsim::em_aggregate`]), and an item leaves the active set the
+    /// moment its calibrated posterior reaches `target` — easy items cost
+    /// 2–3 assignments instead of the flat per-item count.  Rounds after
+    /// the first are routed to workers the shared
+    /// [`WorkerAccuracyStore`] considers reliable.
+    ///
+    /// Budgets are enforced per round: when the remaining budget cannot
+    /// cover all active items, items the plan already bought judgments for
+    /// are *finalized* at their current posterior (the money is spent and
+    /// the cache keeps what it paid for) while untouched items are denied,
+    /// exactly like the flat budgeted path.
+    ///
+    /// Items reach the judgment cache only when finalized; a crash between
+    /// rounds loses at most the in-progress rounds' judgments, never a
+    /// finalized (and therefore WAL-logged) verdict, so recovery re-buys
+    /// only what was never finished.
+    #[allow(clippy::too_many_arguments)] // internal: the concept's full context
+    fn resolve_concept_adaptive(
+        &self,
+        plan: &ExpansionPlan,
+        binding: &TableBinding,
+        need: &ConceptNeed,
+        mut active: Vec<ItemId>,
+        resolution: &mut ConceptResolution,
+        ledger: &mut BudgetLedger,
+        sink: &EventSink,
+        target: f64,
+        round_index: &mut usize,
+    ) -> Result<()> {
+        let all_items = active.clone();
+        let em_config = EmConfig::default();
+        // Every judgment bought for this concept so far; the EM pass always
+        // aggregates the full merged stream, not just the latest round.
+        let mut collected: Vec<crowdsim::Judgment> = Vec::new();
+        let mut judgment_counts: HashMap<ItemId, usize> = HashMap::new();
+        let mut cost_share: HashMap<ItemId, f64> = HashMap::new();
+        // Items cut off by the budget *after* some judgments were bought:
+        // finalized post-loop at their latest posterior.
+        let mut cut_off: Vec<ItemId> = Vec::new();
+        // Items the budget never touched: denied like the flat path.
+        let mut denied: Vec<ItemId> = Vec::new();
+        let mut latest: Option<crowdsim::EmOutcome> = None;
+
+        let resolved_now = |need: &ConceptNeed, resolution: &ConceptResolution| {
+            need.already_resolved
+                + resolution.fresh_cost_share.len()
+                + resolution.coalesced_set.len()
+        };
+
+        for (round, &round_size) in ADAPTIVE_ROUND_SCHEDULE.iter().enumerate() {
+            if active.is_empty() {
+                break;
+            }
+            let affordable = self.adaptive_affordable(binding, ledger, active.len(), round_size);
+            if affordable < active.len() {
+                for item in active.split_off(affordable) {
+                    if cost_share.contains_key(&item) {
+                        cut_off.push(item);
+                    } else {
+                        denied.push(item);
+                    }
+                }
+            }
+            if active.is_empty() {
+                break;
+            }
+
+            let request = AttributeRequest {
+                attribute: need.concept.clone(),
+                items: active.clone(),
+            };
+            // The first round has no evidence to route on; later rounds
+            // (the uncertain tail) go to proven workers when enough exist.
+            let preferred = if round == 0 {
+                None
+            } else {
+                self.preferred_workers()
+            };
+            let batch = mlock(&binding.crowd).collect_adaptive(
+                std::slice::from_ref(&request),
+                self.next_round_seed(),
+                round_size,
+                preferred.as_ref(),
+            )?;
+            ledger.charge(batch.total_cost);
+            resolution.judgments += batch.question_judgments[0].len();
+            resolution.cost += batch.total_cost;
+            // Sequential rounds: their wall-clock adds up.
+            resolution.minutes += batch.total_minutes;
+            resolution.items_charged += active
+                .iter()
+                .filter(|item| !cost_share.contains_key(item))
+                .count();
+            let share = batch.total_cost / active.len() as f64;
+            for &item in &active {
+                *cost_share.entry(item).or_insert(0.0) += share;
+            }
+            for judgment in &batch.question_judgments[0] {
+                *judgment_counts.entry(judgment.item).or_insert(0) += 1;
+            }
+            collected.extend_from_slice(&batch.question_judgments[0]);
+
+            // EM over the full stream; fold the refreshed worker profiles
+            // back into the shared store so later rounds (and later
+            // queries) route on them.
+            let outcome = {
+                let mut store = mlock(&self.accuracy);
+                let outcome = em_aggregate(&collected, &all_items, &store, &em_config);
+                store.absorb(&outcome);
+                outcome
+            };
+
+            // Stopping rule: an item is done when its posterior clears the
+            // target — or when the schedule (the flat assignment count) is
+            // exhausted, at whatever posterior it earned.  Items whose
+            // judgments are still *all* abstentions after two rounds are
+            // abandoned unclassified: the crowd does not know them, and the
+            // flat path would burn its whole assignment count learning the
+            // same thing.
+            let last_round = round + 1 == ADAPTIVE_ROUND_SCHEDULE.len();
+            let mut finalized: Vec<&ItemPosterior> = Vec::new();
+            let mut still_active: Vec<ItemId> = Vec::new();
+            for &item in &active {
+                let posterior = outcome
+                    .posterior_of(item)
+                    .expect("EM aggregates every item of the concept");
+                let decisive = posterior.tally.positive + posterior.tally.negative;
+                let unknowable = round >= 1 && decisive == 0;
+                let stop_bar = target.max(ADAPTIVE_STOP_CONFIDENCE);
+                let settled =
+                    decisive >= ADAPTIVE_STOP_MIN_DECISIVE && posterior.posterior >= stop_bar;
+                if last_round || unknowable || settled {
+                    finalized.push(posterior);
+                } else {
+                    still_active.push(item);
+                }
+            }
+            let mut wal_pending: Vec<WalRecord> = Vec::new();
+            let fresh = self.finalize_adaptive_items(
+                &plan.table,
+                &need.concept,
+                &finalized,
+                &judgment_counts,
+                &cost_share,
+                target,
+                resolution,
+                &mut wal_pending,
+            );
+            self.log(&plan.table, &wal_pending)?;
+            active = still_active;
+            latest = Some(outcome);
+            if sink.is_live() {
+                sink.emit(delta_event(
+                    &self.config.id_column,
+                    &need.concept,
+                    *round_index,
+                    ledger.spent,
+                    &fresh,
+                ));
+                sink.emit(progress_event(
+                    &need.concept,
+                    resolved_now(need, resolution),
+                    active.len() + cut_off.len() + denied.len(),
+                    None,
+                ));
+            }
+            *round_index += 1;
+        }
+
+        // Budget-cut items with bought judgments are finalized at their
+        // latest posterior instead of being thrown away half-paid.
+        if !cut_off.is_empty() {
+            let outcome = latest.as_ref().expect("cut-off items imply a prior round");
+            let finalized: Vec<&ItemPosterior> = cut_off
+                .iter()
+                .filter_map(|&item| outcome.posterior_of(item))
+                .collect();
+            let mut wal_pending: Vec<WalRecord> = Vec::new();
+            self.finalize_adaptive_items(
+                &plan.table,
+                &need.concept,
+                &finalized,
+                &judgment_counts,
+                &cost_share,
+                target,
+                resolution,
+                &mut wal_pending,
+            );
+            self.log(&plan.table, &wal_pending)?;
+        }
+
+        if !denied.is_empty() {
+            // Mid-stream budget exhaustion is *reported*, never silent —
+            // same contract as the flat budgeted path.
+            if sink.is_live() {
+                let estimate = self.outstanding_estimate(binding, &need.concept, &denied);
+                sink.emit(progress_event(
+                    &need.concept,
+                    resolved_now(need, resolution),
+                    denied.len(),
+                    estimate,
+                ));
+            }
+            resolution.budget_denied.extend(denied);
+        } else if sink.is_live() {
+            sink.emit(progress_event(
+                &need.concept,
+                resolved_now(need, resolution),
+                0,
+                None,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Writes finalized adaptive items to the judgment cache (verdict from
+    /// the EM model, confidence = calibrated posterior, cost = the item's
+    /// accumulated round shares) and records them on the resolution.
+    /// Returns the decisive fresh verdicts — the payload of the round's
+    /// streaming Delta.
+    #[allow(clippy::too_many_arguments)] // internal: the round's full context
+    fn finalize_adaptive_items(
+        &self,
+        table: &str,
+        concept: &str,
+        finalized: &[&ItemPosterior],
+        judgment_counts: &HashMap<ItemId, usize>,
+        cost_share: &HashMap<ItemId, f64>,
+        target: f64,
+        resolution: &mut ConceptResolution,
+        wal_pending: &mut Vec<WalRecord>,
+    ) -> Vec<RoundVerdict> {
+        let mut fresh = Vec::new();
+        let mut written: Vec<(ItemId, CachedJudgment)> = Vec::with_capacity(finalized.len());
+        for posterior in finalized {
+            let item = posterior.item;
+            let share = cost_share.get(&item).copied().unwrap_or(0.0);
+            // An item whose posterior never cleared the floor — or whose
+            // evidence is thinner than the decisive-vote minimum — stays
+            // unclassified (the flat path's tie behaviour): caching such a
+            // verdict would hand later queries a label the model itself
+            // does not trust.
+            let decisive = posterior.tally.positive + posterior.tally.negative;
+            let verdict = posterior
+                .verdict
+                .filter(|_| posterior.posterior >= target)
+                .filter(|_| decisive >= ADAPTIVE_VERDICT_MIN_DECISIVE);
+            let judgment = CachedJudgment {
+                verdict,
+                judgments: judgment_counts.get(&item).copied().unwrap_or(0),
+                cost: share,
+                confidence: posterior.posterior,
+            };
+            self.cache.insert(table, concept, item, judgment);
+            written.push((item, judgment));
+            resolution.confidence.insert(item, posterior.posterior);
+            resolution.fresh_cost_share.insert(item, share);
+            if let Some(label) = verdict {
+                resolution.verdicts.insert(item, label);
+                fresh.push(RoundVerdict {
+                    item,
+                    verdict: label,
+                    confidence: posterior.posterior,
+                    cost_share: share,
+                });
+            }
+        }
+        if self.durability.is_some() && !written.is_empty() {
+            let rounds = self.crowd_rounds.load(Ordering::Relaxed);
+            wal_pending.push(persist::cache_put_record(table, concept, written, rounds));
+        }
+        fresh
+    }
+
+    /// The workers adaptive rounds may be routed to: those whose stored
+    /// accuracy estimate clears the routing floors.  `None` (route nothing)
+    /// until enough reliable workers are known to serve whole HITs.
+    fn preferred_workers(&self) -> Option<HashSet<WorkerId>> {
+        let store = mlock(&self.accuracy);
+        let reliable =
+            store.reliable_workers(ADAPTIVE_ROUTING_MIN_ACCURACY, ADAPTIVE_ROUTING_MIN_WEIGHT);
+        if reliable.len() >= ADAPTIVE_ROUTING_MIN_POOL {
+            Some(reliable.into_iter().collect())
+        } else {
+            None
+        }
+    }
+
+    /// [`affordable_round`](Self::affordable_round) for adaptive rounds of
+    /// `round_size` assignments per item.  Sources without adaptive pricing
+    /// fall back to the flat estimate — conservative, since their
+    /// [`CrowdSource::collect_adaptive`] default dispatches flat rounds.
+    fn adaptive_affordable(
+        &self,
+        binding: &TableBinding,
+        ledger: &BudgetLedger,
+        available: usize,
+        round_size: usize,
+    ) -> usize {
+        let remaining = match ledger.remaining() {
+            Some(remaining) => remaining,
+            None => return available,
+        };
+        if remaining <= 1e-12 {
+            return 0;
+        }
+        let crowd = mlock(&binding.crowd);
+        match crowd.adaptive_round_cost(1, round_size) {
+            None => {
+                drop(crowd);
+                self.affordable_round(binding, ledger, available)
+            }
+            Some(single) if single > remaining + 1e-9 => 0,
+            Some(_) => {
+                let fits = |n: usize| match crowd.adaptive_round_cost(n, round_size) {
+                    Some(cost) => cost <= remaining + 1e-9,
+                    None => false,
+                };
+                let (mut lo, mut hi) = (1usize, available);
+                while lo < hi {
+                    let mid = (lo + hi).div_ceil(2);
+                    if fits(mid) {
+                        lo = mid;
+                    } else {
+                        hi = mid - 1;
+                    }
+                }
+                lo
+            }
+        }
     }
 
     /// The crowd source's estimate of the outstanding work for one concept,

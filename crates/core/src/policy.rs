@@ -134,6 +134,15 @@ pub struct ExpansionPolicy {
     /// filter only: the shared table, cache, and provenance ledger keep
     /// the verdicts for less strict queries.
     pub quality_floor: Option<f64>,
+    /// Acquire judgments adaptively: collect them round-at-a-time per item,
+    /// aggregate with the EM worker-accuracy model, and stop buying for an
+    /// item once its calibrated posterior clears the quality floor (or
+    /// [`DEFAULT_ADAPTIVE_TARGET`](Self::DEFAULT_ADAPTIVE_TARGET) when no
+    /// floor is set).  Easy items cost 2–3 assignments instead of the flat
+    /// per-item count, and still-uncertain items are routed to workers with
+    /// high estimated accuracy.  Off by default: the flat majority-vote
+    /// path stays byte-identical for existing queries.
+    pub adaptive: bool,
 }
 
 impl ExpansionPolicy {
@@ -183,6 +192,23 @@ impl ExpansionPolicy {
     pub fn with_quality_floor(mut self, floor: f64) -> Self {
         self.quality_floor = Some(floor);
         self
+    }
+
+    /// Posterior confidence adaptive acquisition aims for when the query
+    /// sets no explicit quality floor.
+    pub const DEFAULT_ADAPTIVE_TARGET: f64 = 0.9;
+
+    /// Enables or disables adaptive (early-stopping) judgment acquisition.
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// The posterior confidence adaptive acquisition stops buying at: the
+    /// query's quality floor when set, otherwise
+    /// [`DEFAULT_ADAPTIVE_TARGET`](Self::DEFAULT_ADAPTIVE_TARGET).
+    pub fn adaptive_target(&self) -> f64 {
+        self.quality_floor.unwrap_or(Self::DEFAULT_ADAPTIVE_TARGET)
     }
 
     /// Overlays the settings of a SQL `WITH EXPANSION (…)` clause: anything

@@ -155,6 +155,16 @@ impl<'db> QueryBuilder<'db> {
         self
     }
 
+    /// Enables adaptive judgment acquisition for this query: judgments are
+    /// bought round-at-a-time per item and aggregated with the EM
+    /// worker-accuracy model, stopping as soon as an item's calibrated
+    /// posterior clears the quality floor (or
+    /// [`ExpansionPolicy::DEFAULT_ADAPTIVE_TARGET`] when none is set).
+    pub fn adaptive(mut self, enabled: bool) -> Self {
+        self.policy.adaptive = enabled;
+        self
+    }
+
     /// Replaces the whole policy at once.
     pub fn policy(mut self, policy: ExpansionPolicy) -> Self {
         self.mode_explicit = policy.mode != ExpansionMode::Full;

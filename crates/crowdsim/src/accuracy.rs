@@ -1,0 +1,592 @@
+//! Worker-accuracy modeling: EM aggregation with calibrated posteriors.
+//!
+//! The paper's quality knob is a flat assignments-per-item majority vote;
+//! this module replaces it with a one-coin Dawid–Skene-style EM that jointly
+//! estimates per-worker accuracy and per-item label posteriors, following
+//! Zhang et al., "Reducing Uncertainty of Schema Matching via Crowdsourcing
+//! with Accuracy Rates" (see PAPERS.md).  Two refinements matter here:
+//!
+//! * **Ambiguity mixture.**  A fraction of items is genuinely ambiguous — in
+//!   the simulator, [`crate::platform`] flips a coin for 15% of items
+//!   regardless of worker skill.  Plain EM over-trusts unanimous votes on
+//!   such items (three agreeing coin flips look like three experts), so the
+//!   likelihood mixes a "clean" component (workers answer with their
+//!   accuracy) with an "ambiguous" component (every decisive vote is a coin
+//!   flip).  This keeps the posterior honest: it is what makes posterior ≥ q
+//!   translate into empirical error ≤ 1 − q, which the quality floors of
+//!   `WITH EXPANSION (quality >= q)` rely on.
+//! * **Cross-round profiles.**  [`WorkerAccuracyStore`] carries the learned
+//!   per-worker estimates across acquisition rounds (and across queries), so
+//!   the second round already knows who the spammers are and the engine can
+//!   route the remaining uncertain items to reliable workers.
+//!
+//! Aggregation first collapses the judgment stream to one response per
+//! `(item, worker)` pair — the same rule [`majority_vote`] uses — so merged
+//! multi-round streams never double-count a worker.
+//!
+//! [`majority_vote`]: crate::aggregate::majority_vote
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::aggregate::{distinct_responses, VoteTally};
+use crate::hit::{Judgment, JudgmentResponse};
+use crate::{ItemId, WorkerId};
+
+/// One worker's accuracy estimate together with the evidence weight behind
+/// it (a pseudo-count of effective judgments, prior included).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerEstimate {
+    /// Estimated probability that a decisive answer from this worker is
+    /// correct on an unambiguous item.
+    pub accuracy: f64,
+    /// Pseudo-count of judgments behind the estimate.  Larger weights make
+    /// the estimate harder to move.
+    pub weight: f64,
+}
+
+/// Default prior: a new worker is assumed mildly reliable.  0.75 sits
+/// between the simulator's spammer (0.5) and trusted (0.88) archetypes, and
+/// the low weight lets a handful of observed judgments dominate quickly.
+const PRIOR_ACCURACY: f64 = 0.75;
+const PRIOR_WEIGHT: f64 = 4.0;
+
+/// Evidence-weight ceiling when absorbing an EM outcome.  Capping keeps the
+/// store adaptive: a worker whose behavior drifts is re-estimated within a
+/// few hundred judgments instead of being anchored forever.
+const MAX_STORE_WEIGHT: f64 = 200.0;
+
+/// Per-worker accuracy profiles persisted across aggregation rounds.
+///
+/// The store is the "memory" of the adaptive judgment layer: each EM pass
+/// starts from the stored estimates (so convergence carries over between
+/// rounds) and [`absorb`](Self::absorb) folds the pass's outcome back in.
+/// Iteration order is deterministic (`BTreeMap`), which keeps downstream
+/// floating-point accumulation bit-stable for a fixed seed.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkerAccuracyStore {
+    estimates: BTreeMap<WorkerId, WorkerEstimate>,
+}
+
+impl WorkerAccuracyStore {
+    /// Creates an empty store; unknown workers get the default prior.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The prior estimate used for workers the store has never seen.
+    pub fn prior(&self) -> WorkerEstimate {
+        WorkerEstimate {
+            accuracy: PRIOR_ACCURACY,
+            weight: PRIOR_WEIGHT,
+        }
+    }
+
+    /// The current estimate for `worker` (the prior when unseen).
+    pub fn accuracy_of(&self, worker: WorkerId) -> WorkerEstimate {
+        self.estimates
+            .get(&worker)
+            .copied()
+            .unwrap_or_else(|| self.prior())
+    }
+
+    /// Number of workers with an observed (non-prior) estimate.
+    pub fn len(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Whether the store has seen no workers yet.
+    pub fn is_empty(&self) -> bool {
+        self.estimates.is_empty()
+    }
+
+    /// Folds an EM outcome back into the store.  Estimates replace the old
+    /// ones (the EM pass already anchored them on the stored prior), with
+    /// the evidence weight capped so the store stays adaptive.
+    pub fn absorb(&mut self, outcome: &EmOutcome) {
+        for (&worker, estimate) in &outcome.workers {
+            self.estimates.insert(
+                worker,
+                WorkerEstimate {
+                    accuracy: estimate.accuracy,
+                    weight: estimate.weight.min(MAX_STORE_WEIGHT),
+                },
+            );
+        }
+    }
+
+    /// Workers whose estimated accuracy and evidence weight both clear the
+    /// given floors — the candidates for routing uncertain items.  Sorted by
+    /// worker id (deterministic).
+    pub fn reliable_workers(&self, min_accuracy: f64, min_weight: f64) -> Vec<WorkerId> {
+        self.estimates
+            .iter()
+            .filter(|(_, e)| e.accuracy >= min_accuracy && e.weight >= min_weight)
+            .map(|(&w, _)| w)
+            .collect()
+    }
+}
+
+/// Tuning knobs of one EM aggregation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmConfig {
+    /// Prior probability that an item's true label is positive.  0.5 makes
+    /// the model symmetric under label permutation.
+    pub prior_positive: f64,
+    /// Mixture weight of the "ambiguous item" component (decisive votes are
+    /// coin flips).  Matches the simulator's 15% ambiguous-item rate.
+    pub ambiguity_rate: f64,
+    /// Maximum number of EM iterations (E-step + M-step pairs).  `0` skips
+    /// accuracy re-estimation entirely: one E-step with the stored/prior
+    /// accuracies, which is the fixed-accuracy model of Zhang et al.
+    pub max_iterations: usize,
+    /// Early-exit threshold on the largest per-worker accuracy change.
+    pub tolerance: f64,
+    /// Lower clamp on estimated worker accuracy.
+    pub min_accuracy: f64,
+    /// Upper clamp on estimated worker accuracy.
+    pub max_accuracy: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self {
+            prior_positive: 0.5,
+            ambiguity_rate: 0.15,
+            max_iterations: 25,
+            tolerance: 1e-9,
+            min_accuracy: 0.05,
+            max_accuracy: 0.98,
+        }
+    }
+}
+
+impl EmConfig {
+    /// A configuration that never updates worker accuracies: a single
+    /// E-step using the store's (or prior) accuracies.  Useful when the
+    /// caller wants the posterior model without letting one small batch
+    /// re-estimate workers, and for property tests that need the posterior
+    /// to be a pure function of the votes.
+    pub fn frozen() -> Self {
+        Self {
+            max_iterations: 0,
+            ..Self::default()
+        }
+    }
+}
+
+/// The aggregated outcome for one item under the EM model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ItemPosterior {
+    /// The item.
+    pub item: ItemId,
+    /// De-duplicated vote counts (one response per worker).
+    pub tally: VoteTally,
+    /// Accuracy-weighted verdict: `Some(label)` when the posterior favors a
+    /// side, `None` when the item has no decisive votes or the evidence is
+    /// exactly balanced.
+    pub verdict: Option<bool>,
+    /// Calibrated confidence in the verdict: `max(mu, 1 - mu)` where `mu` is
+    /// the posterior probability of the positive label.  `0` when the item
+    /// has no decisive votes — the same convention as
+    /// [`VoteTally::agreement`], so quality-floor masks treat both alike.
+    pub posterior: f64,
+}
+
+/// The result of one EM aggregation pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmOutcome {
+    /// Per-item posteriors, in the order of the `items` argument.
+    pub posteriors: Vec<ItemPosterior>,
+    /// Re-estimated accuracy per worker that contributed a decisive vote.
+    pub workers: BTreeMap<WorkerId, WorkerEstimate>,
+}
+
+impl EmOutcome {
+    /// The posterior for `item`, if it was part of the aggregation.
+    pub fn posterior_of(&self, item: ItemId) -> Option<&ItemPosterior> {
+        self.posteriors.iter().find(|p| p.item == item)
+    }
+}
+
+/// Decisive votes of one item, in worker-id order.
+struct ItemVotes {
+    item: ItemId,
+    tally: VoteTally,
+    votes: Vec<(WorkerId, bool)>,
+}
+
+/// Per-item E-step result: posterior of the positive label and the
+/// responsibility of the "clean" (non-ambiguous) mixture component.
+struct ItemBelief {
+    mu: f64,
+    clean: f64,
+}
+
+/// Verdicts use a small dead zone around 0.5 so that exactly balanced
+/// evidence (which the symmetric model produces bit-exactly on ties between
+/// equal-accuracy workers) maps to "no verdict" rather than an arbitrary
+/// side picked by rounding noise.
+const TIE_EPSILON: f64 = 1e-12;
+
+fn e_step(
+    items: &[ItemVotes],
+    accuracy: &BTreeMap<WorkerId, f64>,
+    config: &EmConfig,
+) -> Vec<ItemBelief> {
+    let eps = config.ambiguity_rate.clamp(0.0, 0.95);
+    let prior = config.prior_positive.clamp(1e-6, 1.0 - 1e-6);
+    items
+        .iter()
+        .map(|iv| {
+            if iv.votes.is_empty() {
+                return ItemBelief {
+                    mu: 0.5,
+                    clean: 1.0,
+                };
+            }
+            // Likelihood of the decisive votes under each true label
+            // (clean component), and under the ambiguous component where
+            // every decisive vote is a fair coin.
+            let mut like_true = 1.0f64;
+            let mut like_false = 1.0f64;
+            let mut ambiguous = 1.0f64;
+            for &(worker, positive) in &iv.votes {
+                let a = accuracy[&worker];
+                if positive {
+                    like_true *= a;
+                    like_false *= 1.0 - a;
+                } else {
+                    like_true *= 1.0 - a;
+                    like_false *= a;
+                }
+                ambiguous *= 0.5;
+            }
+            let p_true = prior * (eps * ambiguous + (1.0 - eps) * like_true);
+            let p_false = (1.0 - prior) * (eps * ambiguous + (1.0 - eps) * like_false);
+            let mu = p_true / (p_true + p_false);
+            let clean_mass = (1.0 - eps) * (prior * like_true + (1.0 - prior) * like_false);
+            let clean = clean_mass / (clean_mass + eps * ambiguous);
+            ItemBelief { mu, clean }
+        })
+        .collect()
+}
+
+/// M-step: re-estimate each worker's accuracy from the current beliefs,
+/// anchored on the store prior.  Only the "clean" responsibility of an item
+/// counts as evidence — an agreeing coin flip on an ambiguous item says
+/// nothing about the worker.  Returns the new estimates and the largest
+/// accuracy change.
+fn m_step(
+    items: &[ItemVotes],
+    beliefs: &[ItemBelief],
+    accuracy: &BTreeMap<WorkerId, f64>,
+    anchors: &BTreeMap<WorkerId, WorkerEstimate>,
+    config: &EmConfig,
+) -> (
+    BTreeMap<WorkerId, f64>,
+    BTreeMap<WorkerId, WorkerEstimate>,
+    f64,
+) {
+    let mut agree: BTreeMap<WorkerId, f64> = BTreeMap::new();
+    let mut seen: BTreeMap<WorkerId, f64> = BTreeMap::new();
+    for (iv, belief) in items.iter().zip(beliefs) {
+        for &(worker, positive) in &iv.votes {
+            let p_correct = if positive { belief.mu } else { 1.0 - belief.mu };
+            *agree.entry(worker).or_insert(0.0) += belief.clean * p_correct;
+            *seen.entry(worker).or_insert(0.0) += belief.clean;
+        }
+    }
+    let mut next = BTreeMap::new();
+    let mut estimates = BTreeMap::new();
+    let mut delta = 0.0f64;
+    for (&worker, &observed) in &seen {
+        let anchor = anchors[&worker];
+        let weight = anchor.weight + observed;
+        let raw = (anchor.accuracy * anchor.weight + agree[&worker]) / weight;
+        let clamped = raw.clamp(config.min_accuracy, config.max_accuracy);
+        delta = delta.max((clamped - accuracy[&worker]).abs());
+        next.insert(worker, clamped);
+        estimates.insert(
+            worker,
+            WorkerEstimate {
+                accuracy: clamped,
+                weight,
+            },
+        );
+    }
+    (next, estimates, delta)
+}
+
+/// Aggregates a judgment stream with the EM model.
+///
+/// `items` lists the payload items of interest (same contract as
+/// [`majority_vote`]: gold judgments and unlisted items are ignored, items
+/// without judgments are reported with an empty tally and posterior 0).
+/// Worker accuracies start from `store` (unseen workers get the prior) and
+/// are re-estimated for up to `config.max_iterations` rounds; the outcome
+/// carries the refreshed estimates so the caller can
+/// [`absorb`](WorkerAccuracyStore::absorb) them.
+///
+/// The pass is deterministic: all state lives in `BTreeMap`s, so identical
+/// inputs produce bit-identical outputs.
+///
+/// [`majority_vote`]: crate::aggregate::majority_vote
+pub fn em_aggregate(
+    judgments: &[Judgment],
+    items: &[ItemId],
+    store: &WorkerAccuracyStore,
+    config: &EmConfig,
+) -> EmOutcome {
+    let per_item = distinct_responses(judgments, items);
+    // Deduplicated votes per item, preserving the caller's item order.
+    let item_votes: Vec<ItemVotes> = items
+        .iter()
+        .map(|&item| {
+            let responses = &per_item[&item];
+            let mut tally = VoteTally::default();
+            let mut votes = Vec::new();
+            for (&worker, &response) in responses {
+                tally.record(response);
+                match response {
+                    JudgmentResponse::Positive => votes.push((worker, true)),
+                    JudgmentResponse::Negative => votes.push((worker, false)),
+                    JudgmentResponse::Unknown => {}
+                }
+            }
+            ItemVotes { item, tally, votes }
+        })
+        .collect();
+
+    // Anchor every participating worker on its stored estimate.
+    let mut anchors: BTreeMap<WorkerId, WorkerEstimate> = BTreeMap::new();
+    let mut accuracy: BTreeMap<WorkerId, f64> = BTreeMap::new();
+    for iv in &item_votes {
+        for &(worker, _) in &iv.votes {
+            let estimate = store.accuracy_of(worker);
+            anchors.entry(worker).or_insert(estimate);
+            accuracy.entry(worker).or_insert_with(|| {
+                estimate
+                    .accuracy
+                    .clamp(config.min_accuracy, config.max_accuracy)
+            });
+        }
+    }
+
+    let mut workers: BTreeMap<WorkerId, WorkerEstimate> = BTreeMap::new();
+    for _ in 0..config.max_iterations {
+        let beliefs = e_step(&item_votes, &accuracy, config);
+        let (next, estimates, delta) = m_step(&item_votes, &beliefs, &accuracy, &anchors, config);
+        accuracy = next;
+        workers = estimates;
+        if delta < config.tolerance {
+            break;
+        }
+    }
+    // Final E-step with the converged (or frozen) accuracies.
+    let beliefs = e_step(&item_votes, &accuracy, config);
+    if config.max_iterations == 0 {
+        // Frozen pass: report the observed evidence without moving the
+        // stored accuracies, so absorbing the outcome only grows weight.
+        let (_, estimates, _) = m_step(&item_votes, &beliefs, &accuracy, &anchors, config);
+        for (worker, mut estimate) in estimates {
+            estimate.accuracy = accuracy[&worker];
+            workers.insert(worker, estimate);
+        }
+    }
+
+    let posteriors = item_votes
+        .iter()
+        .zip(&beliefs)
+        .map(|(iv, belief)| {
+            let decisive = iv.tally.positive + iv.tally.negative;
+            let (verdict, posterior) = if decisive == 0 {
+                (None, 0.0)
+            } else if belief.mu > 0.5 + TIE_EPSILON {
+                (Some(true), belief.mu)
+            } else if belief.mu < 0.5 - TIE_EPSILON {
+                (Some(false), 1.0 - belief.mu)
+            } else {
+                (None, 0.5)
+            };
+            ItemPosterior {
+                item: iv.item,
+                tally: iv.tally,
+                verdict,
+                posterior,
+            }
+        })
+        .collect();
+
+    EmOutcome {
+        posteriors,
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn judgment(item: ItemId, worker: WorkerId, response: JudgmentResponse) -> Judgment {
+        Judgment {
+            item,
+            worker,
+            response,
+            minutes: 0.0,
+            cumulative_cost: 0.0,
+            is_gold: false,
+        }
+    }
+
+    fn positive(item: ItemId, worker: WorkerId) -> Judgment {
+        judgment(item, worker, JudgmentResponse::Positive)
+    }
+
+    fn negative(item: ItemId, worker: WorkerId) -> Judgment {
+        judgment(item, worker, JudgmentResponse::Negative)
+    }
+
+    #[test]
+    fn empty_items_have_zero_posterior() {
+        let store = WorkerAccuracyStore::new();
+        let out = em_aggregate(&[], &[0, 1], &store, &EmConfig::default());
+        assert_eq!(out.posteriors.len(), 2);
+        for p in &out.posteriors {
+            assert_eq!(p.verdict, None);
+            assert_eq!(p.posterior, 0.0);
+            assert_eq!(p.tally.total(), 0);
+        }
+        assert!(out.workers.is_empty());
+    }
+
+    #[test]
+    fn agreeing_votes_raise_the_posterior() {
+        let store = WorkerAccuracyStore::new();
+        let config = EmConfig::frozen();
+        let one = em_aggregate(&[positive(0, 1)], &[0], &store, &config);
+        let two = em_aggregate(&[positive(0, 1), positive(0, 2)], &[0], &store, &config);
+        let three = em_aggregate(
+            &[positive(0, 1), positive(0, 2), positive(0, 3)],
+            &[0],
+            &store,
+            &config,
+        );
+        let p1 = one.posteriors[0].posterior;
+        let p2 = two.posteriors[0].posterior;
+        let p3 = three.posteriors[0].posterior;
+        assert!(p1 < p2 && p2 < p3, "{p1} < {p2} < {p3}");
+        assert_eq!(three.posteriors[0].verdict, Some(true));
+        // The ambiguity mixture keeps even a unanimous pair below certainty.
+        assert!(p2 < 0.97, "mixture tempers unanimity: {p2}");
+    }
+
+    #[test]
+    fn exact_tie_has_no_verdict() {
+        let store = WorkerAccuracyStore::new();
+        let out = em_aggregate(
+            &[positive(0, 1), negative(0, 2)],
+            &[0],
+            &store,
+            &EmConfig::frozen(),
+        );
+        assert_eq!(out.posteriors[0].verdict, None);
+        assert!((out.posteriors[0].posterior - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn em_downweights_a_consistent_dissenter() {
+        // Workers 1-4 agree on every item; worker 5 always dissents.  Full
+        // EM should learn worker 5 is unreliable and hold a higher posterior
+        // than the frozen (equal-accuracy) model does.
+        let mut judgments = Vec::new();
+        for item in 0..8u32 {
+            for worker in 1..=4u32 {
+                judgments.push(positive(item, worker));
+            }
+            judgments.push(negative(item, 5));
+        }
+        let items: Vec<ItemId> = (0..8).collect();
+        let store = WorkerAccuracyStore::new();
+        let frozen = em_aggregate(&judgments, &items, &store, &EmConfig::frozen());
+        let adapted = em_aggregate(&judgments, &items, &store, &EmConfig::default());
+        let dissenter = adapted.workers[&5];
+        let supporter = adapted.workers[&1];
+        assert!(
+            dissenter.accuracy < supporter.accuracy,
+            "dissenter {} should rank below supporter {}",
+            dissenter.accuracy,
+            supporter.accuracy
+        );
+        assert!(
+            adapted.posteriors[0].posterior >= frozen.posteriors[0].posterior,
+            "downweighting the dissenter cannot lower the posterior"
+        );
+        for p in &adapted.posteriors {
+            assert_eq!(p.verdict, Some(true));
+        }
+    }
+
+    #[test]
+    fn store_absorbs_and_routes() {
+        let mut judgments = Vec::new();
+        for item in 0..10u32 {
+            for worker in 1..=4u32 {
+                judgments.push(positive(item, worker));
+            }
+            judgments.push(negative(item, 5));
+        }
+        let items: Vec<ItemId> = (0..10).collect();
+        let mut store = WorkerAccuracyStore::new();
+        let out = em_aggregate(&judgments, &items, &store, &EmConfig::default());
+        store.absorb(&out);
+        assert_eq!(store.len(), 5);
+        assert!(store.accuracy_of(1).accuracy > store.accuracy_of(5).accuracy);
+        assert!(store.accuracy_of(1).weight > store.prior().weight);
+        let reliable = store.reliable_workers(0.8, 5.0);
+        assert!(
+            reliable.contains(&1) && !reliable.contains(&5),
+            "{reliable:?}"
+        );
+        // Unseen workers fall back to the prior.
+        let unseen = store.accuracy_of(99);
+        assert_eq!(unseen.accuracy, store.prior().accuracy);
+    }
+
+    #[test]
+    fn aggregation_is_deterministic() {
+        let mut judgments = Vec::new();
+        for item in 0..6u32 {
+            for worker in 0..7u32 {
+                let response = if (item + worker) % 3 == 0 {
+                    JudgmentResponse::Negative
+                } else {
+                    JudgmentResponse::Positive
+                };
+                judgments.push(judgment(item, worker, response));
+            }
+        }
+        let items: Vec<ItemId> = (0..6).collect();
+        let store = WorkerAccuracyStore::new();
+        let a = em_aggregate(&judgments, &items, &store, &EmConfig::default());
+        let b = em_aggregate(&judgments, &items, &store, &EmConfig::default());
+        assert_eq!(a, b, "same inputs must be bit-identical");
+        // Shuffling the judgment stream does not change the outcome either:
+        // deduplication and BTreeMap ordering normalize it.
+        let mut reversed = judgments.clone();
+        reversed.reverse();
+        let c = em_aggregate(&reversed, &items, &store, &EmConfig::default());
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn frozen_pass_reports_weight_without_moving_accuracy() {
+        let judgments = vec![positive(0, 1), positive(1, 1), positive(2, 1)];
+        let store = WorkerAccuracyStore::new();
+        let out = em_aggregate(&judgments, &[0, 1, 2], &store, &EmConfig::frozen());
+        let estimate = out.workers[&1];
+        assert_eq!(estimate.accuracy, store.prior().accuracy);
+        assert!(estimate.weight > store.prior().weight);
+    }
+}

@@ -4,12 +4,12 @@
 //! "don't know" answers; a movie stays unclassified when it received no
 //! actual judgment or when the vote is tied (Section 4.1).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
 use crate::hit::{Judgment, JudgmentResponse};
-use crate::ItemId;
+use crate::{ItemId, WorkerId};
 
 /// The vote counts of one item.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,23 +71,61 @@ pub struct ItemVerdict {
     pub verdict: Option<bool>,
 }
 
+/// Collapses a judgment stream to one response per `(item, worker)` pair.
+///
+/// A worker answers each question once per HIT, but judgment streams get
+/// merged across rounds (top-ups, recovery replays), and a worker who first
+/// returned an out-of-space answer ("don't know") may answer decisively in a
+/// later round.  The ledger counts that worker once; aggregation must too.
+/// The rule: a worker's first *decisive* response wins, and "don't know"
+/// stands only if the worker never gave a decisive answer.  Gold questions
+/// and unlisted items are dropped.
+pub(crate) fn distinct_responses(
+    judgments: &[Judgment],
+    items: &[ItemId],
+) -> BTreeMap<ItemId, BTreeMap<WorkerId, JudgmentResponse>> {
+    let wanted: HashSet<ItemId> = items.iter().copied().collect();
+    let mut per_item: BTreeMap<ItemId, BTreeMap<WorkerId, JudgmentResponse>> =
+        items.iter().map(|&item| (item, BTreeMap::new())).collect();
+    for j in judgments {
+        if j.is_gold || !wanted.contains(&j.item) {
+            continue;
+        }
+        let responses = per_item
+            .get_mut(&j.item)
+            .expect("wanted items are pre-inserted");
+        match responses.get(&j.worker) {
+            // First response from this worker, or an upgrade from "don't
+            // know" to a decisive answer.  A decisive answer is never
+            // replaced.
+            None => {
+                responses.insert(j.worker, j.response);
+            }
+            Some(JudgmentResponse::Unknown) if j.response != JudgmentResponse::Unknown => {
+                responses.insert(j.worker, j.response);
+            }
+            Some(_) => {}
+        }
+    }
+    per_item
+}
+
 /// Aggregates judgments by majority vote.
 ///
 /// `items` lists the payload items of interest (gold questions and items
 /// without judgments are reported with an empty tally).  Judgments flagged as
 /// gold are ignored — they exist for quality control, not for data
-/// collection.
+/// collection.  Each worker counts at most once per item (the judgment
+/// stream is collapsed to one response per `(item, worker)` pair first),
+/// so a worker who abstained and later answered does not inflate the
+/// agreement denominator.
 pub fn majority_vote(judgments: &[Judgment], items: &[ItemId]) -> Vec<ItemVerdict> {
+    let per_item = distinct_responses(judgments, items);
     let mut tallies: HashMap<ItemId, VoteTally> = HashMap::with_capacity(items.len());
-    for item in items {
-        tallies.insert(*item, VoteTally::default());
-    }
-    for j in judgments {
-        if j.is_gold {
-            continue;
-        }
-        if let Some(tally) = tallies.get_mut(&j.item) {
-            tally.record(j.response);
+    for (item, responses) in &per_item {
+        let tally = tallies.entry(*item).or_default();
+        for response in responses.values() {
+            tally.record(*response);
         }
     }
     items
@@ -233,6 +271,47 @@ mod tests {
         // No judgments at all → unclassified.
         assert_eq!(verdicts[3].verdict, None);
         assert_eq!(verdicts[3].tally.total(), 0);
+    }
+
+    fn judgment_by(item: ItemId, worker: WorkerId, response: JudgmentResponse) -> Judgment {
+        Judgment {
+            worker,
+            ..judgment(item, response)
+        }
+    }
+
+    #[test]
+    fn agreement_counts_each_worker_once_per_item() {
+        // Worker 7 answered "don't know" in round one and "positive" in the
+        // round-two top-up; worker 9 answered "negative".  The ledger counts
+        // two workers, so agreement must be 1/2 — the old per-judgment tally
+        // recorded worker 7 twice and reported 2/3.
+        let judgments = vec![
+            judgment_by(0, 7, JudgmentResponse::Unknown),
+            judgment_by(0, 9, JudgmentResponse::Negative),
+            judgment_by(0, 7, JudgmentResponse::Positive),
+            judgment_by(0, 7, JudgmentResponse::Positive),
+        ];
+        let verdicts = majority_vote(&judgments, &[0]);
+        let tally = verdicts[0].tally;
+        assert_eq!(tally.positive, 1, "worker 7 counts once");
+        assert_eq!(tally.negative, 1);
+        assert_eq!(tally.unknown, 0, "the abstention was superseded");
+        assert!((tally.agreement() - 0.5).abs() < 1e-12);
+        assert_eq!(verdicts[0].verdict, None, "one vote each way is a tie");
+    }
+
+    #[test]
+    fn distinct_responses_keeps_first_decisive_answer() {
+        let judgments = vec![
+            judgment_by(0, 3, JudgmentResponse::Negative),
+            judgment_by(0, 3, JudgmentResponse::Positive), // later flip ignored
+            judgment_by(1, 3, JudgmentResponse::Unknown),
+            judgment_by(1, 3, JudgmentResponse::Unknown), // repeat abstention
+        ];
+        let per_item = distinct_responses(&judgments, &[0, 1]);
+        assert_eq!(per_item[&0][&3], JudgmentResponse::Negative);
+        assert_eq!(per_item[&1][&3], JudgmentResponse::Unknown);
     }
 
     #[test]

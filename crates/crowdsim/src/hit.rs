@@ -136,6 +136,15 @@ impl HitConfig {
         HitConfig::default()
     }
 
+    /// Returns the configuration with `judgments_per_item` replaced
+    /// (clamped to at least one).  The adaptive judgment layer uses this to
+    /// dispatch small top-up rounds — 2 or 3 assignments per item — instead
+    /// of the paper's flat 10.
+    pub fn with_judgments_per_item(mut self, judgments_per_item: usize) -> Self {
+        self.judgments_per_item = judgments_per_item.max(1);
+        self
+    }
+
     /// The configuration used in Experiment 3: no "don't know" option, 10 %
     /// gold questions, higher payment.
     pub fn experiment3(n_items: usize) -> Self {

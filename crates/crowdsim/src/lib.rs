@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accuracy;
 pub mod aggregate;
 pub mod error;
 pub mod hit;
@@ -47,6 +48,9 @@ pub mod platform;
 pub mod regimes;
 pub mod worker;
 
+pub use accuracy::{
+    em_aggregate, EmConfig, EmOutcome, ItemPosterior, WorkerAccuracyStore, WorkerEstimate,
+};
 pub use aggregate::{majority_vote, ItemVerdict, VoteTally};
 pub use error::CrowdError;
 pub use hit::{HitConfig, Judgment, JudgmentResponse};

@@ -201,7 +201,7 @@ impl CrowdPlatform {
         pool: &WorkerPool,
         seed: u64,
     ) -> Result<CrowdRun> {
-        self.run_inner(items, oracle, pool, seed, None)
+        self.run_inner(items, oracle, pool, seed, None, None)
     }
 
     /// The shared simulation loop behind [`run`] and [`run_batch`].
@@ -213,6 +213,13 @@ impl CrowdPlatform {
     /// instead of the item itself, making batched and sequential dispatch
     /// statistically different.
     ///
+    /// `preferred` restricts dispatch to the given workers: the routing hook
+    /// of the adaptive judgment layer.  Workers outside the set never pick
+    /// up a HIT.  With a preferred set too small to serve
+    /// `judgments_per_item` distinct workers per HIT, the round simply
+    /// completes with fewer assignments — the same graceful degradation as
+    /// an undersized pool.
+    ///
     /// [`run`]: CrowdPlatform::run
     /// [`run_batch`]: CrowdPlatform::run_batch
     fn run_inner(
@@ -222,6 +229,7 @@ impl CrowdPlatform {
         pool: &WorkerPool,
         seed: u64,
         noise_id_of: Option<&dyn Fn(ItemId) -> ItemId>,
+        preferred: Option<&HashSet<WorkerId>>,
     ) -> Result<CrowdRun> {
         self.config.validate()?;
         if items.is_empty() {
@@ -272,7 +280,8 @@ impl CrowdPlatform {
 
         // Initially dispatch one HIT per worker.
         for (w_idx, offset) in (0..workers.len()).zip(start_offsets) {
-            if let Some(b_idx) = pick_batch(&batches, &workers[w_idx], &excluded, w_idx) {
+            if let Some(b_idx) = pick_batch(&batches, &workers[w_idx], &excluded, w_idx, preferred)
+            {
                 batches[b_idx].remaining_assignments -= 1;
                 batches[b_idx].done_by.insert(workers[w_idx].id);
                 let duration = hit_duration(&workers[w_idx], &mut rng);
@@ -349,7 +358,9 @@ impl CrowdPlatform {
             // Dispatch the next HIT to this worker, if any remain and the
             // worker is still allowed to work.
             if !excluded[event.worker] {
-                if let Some(b_idx) = pick_batch(&batches, worker, &excluded, event.worker) {
+                if let Some(b_idx) =
+                    pick_batch(&batches, worker, &excluded, event.worker, preferred)
+                {
                     batches[b_idx].remaining_assignments -= 1;
                     batches[b_idx].done_by.insert(worker.id);
                     let duration = hit_duration(worker, &mut rng);
@@ -402,6 +413,26 @@ impl CrowdPlatform {
         pool: &WorkerPool,
         seed: u64,
     ) -> Result<BatchCrowdRun> {
+        self.run_batch_routed(questions, oracles, pool, seed, None)
+    }
+
+    /// [`run_batch`](CrowdPlatform::run_batch) with a routing constraint:
+    /// when `preferred` is `Some`, only the listed workers are offered HITs.
+    ///
+    /// This is the hook the adaptive judgment layer uses to send
+    /// still-uncertain items to workers whose estimated accuracy
+    /// (see [`crate::accuracy::WorkerAccuracyStore`]) clears a floor.
+    /// Routing to a set with too few eligible workers degrades gracefully:
+    /// each HIT collects as many distinct preferred workers as exist, and
+    /// the round ends with fewer judgments rather than an error.
+    pub fn run_batch_routed(
+        &self,
+        questions: &[BatchQuestion],
+        oracles: &[&dyn LabelOracle],
+        pool: &WorkerPool,
+        seed: u64,
+        preferred: Option<&HashSet<WorkerId>>,
+    ) -> Result<BatchCrowdRun> {
         if questions.len() != oracles.len() {
             return Err(CrowdError::InvalidConfig(format!(
                 "{} questions but {} oracles",
@@ -429,7 +460,14 @@ impl CrowdPlatform {
             oracles,
         };
         let original_item_of = |slot: ItemId| slots[slot as usize].1;
-        let run = self.run_inner(&slot_ids, &oracle, pool, seed, Some(&original_item_of))?;
+        let run = self.run_inner(
+            &slot_ids,
+            &oracle,
+            pool,
+            seed,
+            Some(&original_item_of),
+            preferred,
+        )?;
 
         // Demultiplex: translate slot ids back to (question, original item).
         let mut question_judgments: Vec<Vec<Judgment>> = vec![Vec::new(); questions.len()];
@@ -451,15 +489,22 @@ impl CrowdPlatform {
 }
 
 /// Picks the batch with the most remaining assignments that this worker has
-/// not done yet.  Returns `None` when the worker cannot take any batch.
+/// not done yet.  Returns `None` when the worker cannot take any batch —
+/// including when a routing constraint (`preferred`) leaves them out.
 fn pick_batch(
     batches: &[Batch],
     worker: &Worker,
     excluded: &[bool],
     worker_idx: usize,
+    preferred: Option<&HashSet<WorkerId>>,
 ) -> Option<usize> {
     if excluded[worker_idx] {
         return None;
+    }
+    if let Some(allowed) = preferred {
+        if !allowed.contains(&worker.id) {
+            return None;
+        }
     }
     batches
         .iter()
@@ -613,6 +658,50 @@ mod tests {
             .run(&items, &oracle(), &pool, 6)
             .unwrap();
         assert_eq!(run.judgments.len(), 10 * 4);
+    }
+
+    #[test]
+    fn routing_restricts_judgments_to_preferred_workers() {
+        let question = BatchQuestion {
+            attribute: "is_comedy".into(),
+            items: (0..20).collect(),
+        };
+        let o = oracle();
+        let oracles: Vec<&dyn LabelOracle> = vec![&o];
+        let pool = WorkerPool::trusted(15, 1);
+        let preferred: HashSet<WorkerId> = pool.workers().iter().take(10).map(|w| w.id).collect();
+        let platform = CrowdPlatform::new(HitConfig::default());
+        let routed = platform
+            .run_batch_routed(
+                std::slice::from_ref(&question),
+                &oracles,
+                &pool,
+                3,
+                Some(&preferred),
+            )
+            .unwrap();
+        assert!(!routed.question_judgments[0].is_empty());
+        for j in &routed.question_judgments[0] {
+            assert!(
+                preferred.contains(&j.worker),
+                "worker {} judged despite not being preferred",
+                j.worker
+            );
+        }
+        // A preferred set smaller than judgments_per_item degrades
+        // gracefully: each item gets one judgment per preferred worker.
+        let tiny: HashSet<WorkerId> = pool.workers().iter().take(3).map(|w| w.id).collect();
+        let degraded = platform
+            .run_batch_routed(
+                std::slice::from_ref(&question),
+                &oracles,
+                &pool,
+                3,
+                Some(&tiny),
+            )
+            .unwrap();
+        assert_eq!(degraded.question_judgments[0].len(), 20 * 3);
+        assert!(degraded.total_cost < routed.total_cost);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Property-based tests of the EM aggregation model: statistical invariants
+//! that must hold for *any* judgment stream, not just the seeded fixtures —
+//! label-permutation symmetry, monotonicity under agreeing evidence, and
+//! degradation to plain majority voting when every worker looks the same.
+
+// The vendored `proptest!` macro expands token-by-token, so each property
+// gets its own block (one big block overruns the macro recursion limit).
+#![recursion_limit = "512"]
+
+use proptest::prelude::*;
+
+use crowdsim::{
+    em_aggregate, majority_vote, EmConfig, Judgment, JudgmentResponse, WorkerAccuracyStore,
+};
+
+fn judgment(item: u32, worker: u32, response: JudgmentResponse) -> Judgment {
+    Judgment {
+        item,
+        worker,
+        response,
+        minutes: 0.0,
+        cumulative_cost: 0.0,
+        is_gold: false,
+    }
+}
+
+fn response_of(code: u8) -> JudgmentResponse {
+    match code {
+        0 => JudgmentResponse::Positive,
+        1 => JudgmentResponse::Negative,
+        _ => JudgmentResponse::Unknown,
+    }
+}
+
+/// Flips Positive ↔ Negative, leaving Unknown alone.
+fn flipped(response: JudgmentResponse) -> JudgmentResponse {
+    match response {
+        JudgmentResponse::Positive => JudgmentResponse::Negative,
+        JudgmentResponse::Negative => JudgmentResponse::Positive,
+        JudgmentResponse::Unknown => JudgmentResponse::Unknown,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The model is symmetric under relabeling: with the symmetric 0.5
+    // prior, flipping every decisive vote flips every verdict while
+    // preserving each item's posterior confidence and every worker's
+    // re-estimated accuracy.  A model that broke this would smuggle a
+    // hidden bias toward one label into the quality floors.
+    #[test]
+    fn label_permutation_flips_verdicts_and_preserves_posteriors(
+        votes in prop::collection::vec((0u32..12, 0u8..3), 1..150),
+    ) {
+        let judgments: Vec<Judgment> = votes
+            .iter()
+            .enumerate()
+            // Worker i % 9: workers span items, so full EM has real
+            // cross-item evidence to re-estimate accuracies from.
+            .map(|(i, &(item, code))| judgment(item, (i % 9) as u32, response_of(code)))
+            .collect();
+        let mirrored: Vec<Judgment> = judgments
+            .iter()
+            .map(|j| Judgment { response: flipped(j.response), ..*j })
+            .collect();
+        let items: Vec<u32> = (0..12).collect();
+        let store = WorkerAccuracyStore::new();
+        for config in [EmConfig::frozen(), EmConfig::default()] {
+            let straight = em_aggregate(&judgments, &items, &store, &config);
+            let inverted = em_aggregate(&mirrored, &items, &store, &config);
+            for (s, i) in straight.posteriors.iter().zip(&inverted.posteriors) {
+                prop_assert_eq!(s.item, i.item);
+                prop_assert_eq!(s.verdict.map(|v| !v), i.verdict, "verdicts must flip");
+                prop_assert!(
+                    (s.posterior - i.posterior).abs() < 1e-9,
+                    "posterior {} vs mirrored {}", s.posterior, i.posterior
+                );
+                prop_assert_eq!(s.tally.positive, i.tally.negative);
+                prop_assert_eq!(s.tally.negative, i.tally.positive);
+                prop_assert_eq!(s.tally.unknown, i.tally.unknown);
+            }
+            for (worker, s) in &straight.workers {
+                let i = inverted.workers[worker];
+                prop_assert!(
+                    (s.accuracy - i.accuracy).abs() < 1e-9,
+                    "worker {} accuracy {} vs mirrored {}", worker, s.accuracy, i.accuracy
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // With accuracies held fixed (the frozen, pure-function-of-the-votes
+    // model), a fresh worker agreeing with the current verdict can only
+    // raise the item's posterior, and can never flip the verdict.  This is
+    // what makes round-at-a-time acquisition sound: buying a confirming
+    // judgment never argues an item back below the quality floor.
+    #[test]
+    fn agreeing_judgment_never_lowers_the_posterior(
+        votes in prop::collection::vec((0u32..4, 0u8..3), 1..60),
+        focus in 0u32..4,
+    ) {
+        let judgments: Vec<Judgment> = votes
+            .iter()
+            .enumerate()
+            .map(|(i, &(item, code))| judgment(item, i as u32, response_of(code)))
+            .collect();
+        let items: Vec<u32> = (0..4).collect();
+        let store = WorkerAccuracyStore::new();
+        let config = EmConfig::frozen();
+        let before = em_aggregate(&judgments, &items, &store, &config);
+        let prior_posterior = before.posterior_of(focus).unwrap();
+
+        // Agree with the verdict; on a tie or an empty item any decisive
+        // side is "agreeing" with nothing, so pick positive.
+        let side = prior_posterior.verdict.unwrap_or(true);
+        let mut extended = judgments.clone();
+        extended.push(judgment(
+            focus,
+            u32::MAX, // a worker id no generated judgment uses
+            if side { JudgmentResponse::Positive } else { JudgmentResponse::Negative },
+        ));
+        let after = em_aggregate(&extended, &items, &store, &config);
+        let next_posterior = after.posterior_of(focus).unwrap();
+
+        prop_assert!(
+            next_posterior.posterior >= prior_posterior.posterior - 1e-12,
+            "posterior dropped from {} to {} after an agreeing vote",
+            prior_posterior.posterior,
+            next_posterior.posterior
+        );
+        if let Some(verdict) = prior_posterior.verdict {
+            prop_assert_eq!(
+                next_posterior.verdict, Some(verdict),
+                "an agreeing vote must not flip the verdict"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // When every worker carries the same accuracy (no store history, no
+    // re-estimation), the EM verdict degenerates to the plain majority
+    // vote: whichever side has more decisive votes wins, exact ties and
+    // vote-less items yield no verdict.  EM only *adds* information when
+    // workers are distinguishable; it must not contradict counting when
+    // they are not.
+    #[test]
+    fn identical_accuracies_degrade_to_majority_vote(
+        votes in prop::collection::vec((0u32..10, 0u8..3), 1..150),
+    ) {
+        let judgments: Vec<Judgment> = votes
+            .iter()
+            .enumerate()
+            .map(|(i, &(item, code))| judgment(item, i as u32, response_of(code)))
+            .collect();
+        let items: Vec<u32> = (0..10).collect();
+        let store = WorkerAccuracyStore::new();
+        let em = em_aggregate(&judgments, &items, &store, &EmConfig::frozen());
+        let counted = majority_vote(&judgments, &items);
+        prop_assert_eq!(em.posteriors.len(), counted.len());
+        for (posterior, vote) in em.posteriors.iter().zip(&counted) {
+            prop_assert_eq!(posterior.item, vote.item);
+            prop_assert_eq!(
+                posterior.verdict, vote.verdict,
+                "EM with indistinguishable workers must match counting on item {}",
+                vote.item
+            );
+            // And the posterior is ordered sensibly: a decided item is more
+            // confident than an exact tie.
+            if posterior.verdict.is_some() {
+                prop_assert!(posterior.posterior > 0.5);
+            } else if posterior.tally.positive + posterior.tally.negative > 0 {
+                prop_assert!((posterior.posterior - 0.5).abs() < 1e-12);
+            } else {
+                prop_assert_eq!(posterior.posterior, 0.0);
+            }
+        }
+    }
+}

@@ -55,8 +55,9 @@ pub mod prelude {
         QueryStream, RepairOutcome, RowSet, Session, SimulatedCrowd, StatementResult, TableRef,
     };
     pub use crowdsim::{
-        majority_vote, CrowdPlatform, CrowdRun, ExperimentRegime, HitConfig, Judgment,
-        JudgmentResponse, LabelOracle, WorkerKind, WorkerPool,
+        em_aggregate, majority_vote, CrowdPlatform, CrowdRun, EmConfig, EmOutcome,
+        ExperimentRegime, HitConfig, ItemPosterior, Judgment, JudgmentResponse, LabelOracle,
+        WorkerAccuracyStore, WorkerEstimate, WorkerKind, WorkerPool,
     };
     pub use datagen::{
         CategoryOracle, DomainConfig, ExpertPanel, Item, MetadataGenerator, SyntheticDomain,

@@ -1,0 +1,322 @@
+//! Statistical quality harness for the adaptive judgment layer: adaptive
+//! acquisition must dispatch strictly fewer assignments than flat
+//! judgments-per-item on a mixed easy/hard workload without giving up
+//! accuracy against the simulator's ground truth, the `quality >= q` floor
+//! must be met by *calibrated* posteriors (empirical error vs ground truth
+//! no worse than `1 - q` across hundreds of accepted items), and the whole
+//! EM + early-stopping pipeline must be deterministic for a fixed seed —
+//! bit-identical between `run()` and a drained `stream()`.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crowddb::prelude::*;
+use crowdsim::{BatchCrowdRun, CrowdRun, WorkerId};
+
+/// Wraps a [`SimulatedCrowd`], counting every judgment the platform really
+/// produced and every dollar it really charged — including the shrunken,
+/// routed rounds of [`CrowdSource::collect_adaptive`].  Forwarding the
+/// adaptive hooks matters: the trait defaults fall back to flat rounds, so
+/// a meter that only forwards `collect_batch` would silently measure the
+/// flat policy twice.
+struct MeteredCrowd {
+    inner: SimulatedCrowd,
+    judgments: Arc<AtomicUsize>,
+    dollars: Arc<Mutex<f64>>,
+}
+
+impl MeteredCrowd {
+    fn charge(&self, batch: &BatchCrowdRun) {
+        self.judgments
+            .fetch_add(batch.total_judgments(), Ordering::SeqCst);
+        *self.dollars.lock().unwrap() += batch.total_cost;
+    }
+}
+
+impl CrowdSource for MeteredCrowd {
+    fn collect(
+        &mut self,
+        items: &[u32],
+        attribute: &str,
+        seed: u64,
+    ) -> Result<CrowdRun, CrowdDbError> {
+        let run = self.inner.collect(items, attribute, seed)?;
+        self.judgments
+            .fetch_add(run.judgments.len(), Ordering::SeqCst);
+        *self.dollars.lock().unwrap() += run.total_cost;
+        Ok(run)
+    }
+
+    fn collect_batch(
+        &mut self,
+        requests: &[AttributeRequest],
+        seed: u64,
+    ) -> Result<BatchCrowdRun, CrowdDbError> {
+        let batch = self.inner.collect_batch(requests, seed)?;
+        self.charge(&batch);
+        Ok(batch)
+    }
+
+    fn collect_adaptive(
+        &mut self,
+        requests: &[AttributeRequest],
+        seed: u64,
+        judgments_per_item: usize,
+        preferred_workers: Option<&HashSet<WorkerId>>,
+    ) -> Result<BatchCrowdRun, CrowdDbError> {
+        let batch =
+            self.inner
+                .collect_adaptive(requests, seed, judgments_per_item, preferred_workers)?;
+        self.charge(&batch);
+        Ok(batch)
+    }
+
+    fn adaptive_round_cost(&self, n_items: usize, judgments_per_item: usize) -> Option<f64> {
+        self.inner.adaptive_round_cost(n_items, judgments_per_item)
+    }
+
+    fn estimate_cost(&self, n_items: usize) -> Option<f64> {
+        self.inner.estimate_cost(n_items)
+    }
+
+    fn estimate_outstanding(&self, attribute: &str, items: &[u32]) -> Option<OutstandingEstimate> {
+        self.inner.estimate_outstanding(attribute, items)
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+}
+
+struct Meter {
+    judgments: Arc<AtomicUsize>,
+    dollars: Arc<Mutex<f64>>,
+}
+
+impl Meter {
+    fn judgments(&self) -> usize {
+        self.judgments.load(Ordering::SeqCst)
+    }
+
+    fn dollars(&self) -> f64 {
+        *self.dollars.lock().unwrap()
+    }
+}
+
+const QUERY: &str = "SELECT item_id, is_comedy FROM movies";
+
+/// A database over `domain` whose crowd runs `regime` behind the judgment
+/// meter.  Direct crowd-sourcing prices every item, so the meter sees the
+/// full acquisition cost of the policy under test.
+fn metered_db(
+    domain: &SyntheticDomain,
+    regime: ExperimentRegime,
+    crowd_seed: u64,
+) -> (CrowdDb, Meter) {
+    let judgments = Arc::new(AtomicUsize::new(0));
+    let dollars = Arc::new(Mutex::new(0.0));
+    let crowd = MeteredCrowd {
+        inner: SimulatedCrowd::new(domain, regime, crowd_seed),
+        judgments: judgments.clone(),
+        dollars: dollars.clone(),
+    };
+    let db = CrowdDb::new(CrowdDbConfig {
+        strategy: ExpansionStrategy::DirectCrowd,
+        ..Default::default()
+    });
+    let space = build_space_for_domain(domain, 8, 10).unwrap();
+    db.load_domain("movies", domain, space, Box::new(crowd))
+        .unwrap();
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
+    (db, Meter { judgments, dollars })
+}
+
+fn rows_of(outcome: &QueryOutcome) -> &RowSet {
+    match &outcome.result {
+        StatementResult::Rows(rows) => rows,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+/// Classified-cell count and the fraction of those matching the domain's
+/// ground truth for the Comedy attribute.
+fn accuracy_vs_oracle(domain: &SyntheticDomain, rows: &RowSet) -> (usize, f64) {
+    let comedy = domain
+        .category_names()
+        .iter()
+        .position(|n| n == "Comedy")
+        .expect("movies domain has a Comedy category");
+    let truth = domain.labels_for_category(comedy);
+    let item_col = rows
+        .columns
+        .iter()
+        .position(|c| c.eq_ignore_ascii_case("item_id"))
+        .unwrap();
+    let label_col = rows
+        .columns
+        .iter()
+        .position(|c| c.eq_ignore_ascii_case("is_comedy"))
+        .unwrap();
+    let mut classified = 0usize;
+    let mut correct = 0usize;
+    for row in &rows.rows {
+        let item = match row[item_col] {
+            Value::Integer(i) => i as usize,
+            _ => continue,
+        };
+        if let Value::Boolean(label) = row[label_col] {
+            classified += 1;
+            if truth.get(item) == Some(&label) {
+                correct += 1;
+            }
+        }
+    }
+    (classified, correct as f64 / classified.max(1) as f64)
+}
+
+/// Adaptive acquisition on the lookup crowd (Experiment 3: everyone
+/// answers, so flat assignments-per-item are mostly redundant
+/// confirmation) must buy the same classified column with strictly fewer
+/// paid assignments and strictly fewer dollars, at accuracy no worse than
+/// flat against the oracle.  The workload is genuinely mixed: most items
+/// are easy unanimous lookups, while the web-mislabelled and ambiguous
+/// items force extra rounds out of the early-stopper.
+#[test]
+fn adaptive_dispatches_fewer_assignments_at_no_worse_accuracy() {
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.05), 6).unwrap();
+
+    let (flat_db, flat_meter) = metered_db(&domain, ExperimentRegime::LookupWithGold, 17);
+    let flat = flat_db
+        .query(QUERY)
+        .mode(ExpansionMode::Full)
+        .run()
+        .unwrap();
+
+    let (adaptive_db, adaptive_meter) = metered_db(&domain, ExperimentRegime::LookupWithGold, 17);
+    let adaptive = adaptive_db
+        .query(QUERY)
+        .mode(ExpansionMode::Full)
+        .adaptive(true)
+        .run()
+        .unwrap();
+
+    assert!(
+        adaptive_meter.judgments() < flat_meter.judgments(),
+        "adaptive dispatched {} assignments, flat {}",
+        adaptive_meter.judgments(),
+        flat_meter.judgments()
+    );
+    assert!(
+        adaptive_meter.dollars() < flat_meter.dollars(),
+        "adaptive charged ${:.2}, flat ${:.2}",
+        adaptive_meter.dollars(),
+        flat_meter.dollars()
+    );
+    assert!(adaptive.crowd_cost > 0.0, "adaptive still pays the crowd");
+
+    let (flat_cells, flat_accuracy) = accuracy_vs_oracle(&domain, rows_of(&flat));
+    let (adaptive_cells, adaptive_accuracy) = accuracy_vs_oracle(&domain, rows_of(&adaptive));
+    assert_eq!(
+        adaptive_cells, flat_cells,
+        "early stopping must not shrink the classified column"
+    );
+    assert!(
+        adaptive_accuracy >= flat_accuracy,
+        "adaptive accuracy {adaptive_accuracy:.4} below flat {flat_accuracy:.4}"
+    );
+}
+
+/// The calibration contract of `quality >= q`: across hundreds of items
+/// whose calibrated posterior cleared a 0.9 floor, the empirical error
+/// against ground truth must be at most `1 - q`.  An over-confident
+/// posterior (e.g. raw agreement on a spammy crowd) would accept cells
+/// whose true error exceeds the floor; the EM posterior must not.
+#[test]
+fn quality_floor_is_met_by_calibrated_posteriors() {
+    // ~300 items so the ≥200-sample requirement holds even if a slice of
+    // the column fails to clear the floor and stays unclassified.
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.15), 6).unwrap();
+    let (db, _meter) = metered_db(&domain, ExperimentRegime::LookupWithGold, 17);
+    let outcome = db
+        .query(QUERY)
+        .mode(ExpansionMode::Full)
+        .quality_floor(0.9)
+        .adaptive(true)
+        .run()
+        .unwrap();
+
+    let rows = rows_of(&outcome);
+    let (accepted, accuracy) = accuracy_vs_oracle(&domain, rows);
+    assert!(
+        accepted >= 200,
+        "need at least 200 accepted cells for a meaningful error estimate, got {accepted}"
+    );
+    let empirical_error = 1.0 - accuracy;
+    assert!(
+        empirical_error <= 0.10,
+        "empirical error {empirical_error:.4} across {accepted} cells accepted at quality >= 0.9 \
+         exceeds the 10% the floor promises"
+    );
+    // Accepted cells carry their calibrated posterior as provenance, and
+    // every one of them cleared the floor.
+    for prov in rows.provenance.iter().flatten() {
+        if let CellProvenance::CrowdDerived { confidence, .. } = prov {
+            assert!(
+                *confidence >= 0.9,
+                "cell accepted below the quality floor: confidence {confidence:.4}"
+            );
+        }
+    }
+}
+
+/// EM aggregation and round-at-a-time early stopping are deterministic for
+/// a fixed seed: two independent databases over the same domain, crowd
+/// regime, and seeds produce bit-identical outcomes, and a drained
+/// `stream()` is bit-identical to a blocking `run()` of the same adaptive
+/// query.
+#[test]
+fn adaptive_em_is_deterministic_and_stream_matches_run() {
+    let make = || {
+        let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.05), 6).unwrap();
+        metered_db(&domain, ExperimentRegime::TrustedWorkers, 17)
+    };
+
+    let (first_db, first_meter) = make();
+    let first = first_db
+        .query(QUERY)
+        .mode(ExpansionMode::Full)
+        .adaptive(true)
+        .run()
+        .unwrap();
+
+    let (second_db, second_meter) = make();
+    let second = second_db
+        .query(QUERY)
+        .mode(ExpansionMode::Full)
+        .adaptive(true)
+        .run()
+        .unwrap();
+
+    assert_eq!(first, second, "adaptive run() must be seed-deterministic");
+    assert_eq!(first_meter.judgments(), second_meter.judgments());
+    assert!((first_meter.dollars() - second_meter.dollars()).abs() < 1e-12);
+
+    // A streaming execution of the same query converges to the same bits.
+    let (stream_db, stream_meter) = make();
+    let mut stream = stream_db
+        .query(QUERY)
+        .mode(ExpansionMode::Full)
+        .adaptive(true)
+        .stream();
+    let events: Vec<QueryEvent> = stream.by_ref().collect();
+    let stream_outcome = stream.wait().unwrap();
+    assert!(matches!(events.first(), Some(QueryEvent::Snapshot { .. })));
+    assert!(matches!(events.last(), Some(QueryEvent::Completed { .. })));
+    assert_eq!(
+        stream_outcome, first,
+        "drained stream() must be bit-identical to blocking run()"
+    );
+    assert_eq!(stream_meter.judgments(), first_meter.judgments());
+}

@@ -5,12 +5,13 @@
 //! checkpointed-then-replayed database is bit-identical — rows and
 //! per-cell provenance — to an uninterrupted run under the same seeds.
 
+use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crowddb::prelude::*;
-use crowdsim::{BatchCrowdRun, CrowdRun};
+use crowdsim::{BatchCrowdRun, CrowdRun, WorkerId};
 
 /// Wraps a [`SimulatedCrowd`], counting dispatched rounds and accumulating
 /// the dollars the platform really charged — the meter every zero-cost
@@ -40,6 +41,28 @@ impl CrowdSource for MeteredCrowd {
         let batch = self.inner.collect_batch(requests, seed)?;
         *self.dollars_charged.lock().unwrap() += batch.total_cost;
         Ok(batch)
+    }
+
+    // The adaptive hooks must forward too: the trait defaults fall back to
+    // flat rounds, which would make the metered crowd price and dispatch
+    // differently from the real one under adaptive acquisition.
+    fn collect_adaptive(
+        &mut self,
+        requests: &[AttributeRequest],
+        seed: u64,
+        judgments_per_item: usize,
+        preferred_workers: Option<&HashSet<WorkerId>>,
+    ) -> Result<BatchCrowdRun, CrowdDbError> {
+        self.batch_calls.fetch_add(1, Ordering::SeqCst);
+        let batch =
+            self.inner
+                .collect_adaptive(requests, seed, judgments_per_item, preferred_workers)?;
+        *self.dollars_charged.lock().unwrap() += batch.total_cost;
+        Ok(batch)
+    }
+
+    fn adaptive_round_cost(&self, n_items: usize, judgments_per_item: usize) -> Option<f64> {
+        self.inner.adaptive_round_cost(n_items, judgments_per_item)
     }
 
     fn estimate_cost(&self, n_items: usize) -> Option<f64> {
@@ -548,4 +571,108 @@ fn checkpoint_interleaves_with_concurrent_queries() {
     db.query(QUERY).run().unwrap();
     assert_eq!(meter.calls(), 0, "recovered expansion still serves free");
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Fault injection on the adaptive judgment layer: the "process dies"
+/// between adaptive acquisition rounds (a budget cuts life 1 off after the
+/// first round and the database is dropped without checkpoint), then a
+/// fresh process reopens the directory and runs the expansion to
+/// completion.  Recovery must re-converge without panicking, and — the
+/// no-double-charge contract — life 2 pays only for items life 1 never
+/// finalized: its bill stays below a cold uninterrupted adaptive run, and
+/// a repeat query after convergence costs exactly $0.00.
+#[test]
+fn kill_between_adaptive_rounds_reconverges_without_double_charge() {
+    let dir = test_dir("adaptive-kill");
+    let domain = domain();
+    let space = || build_space_for_domain(&domain, 8, 10).unwrap();
+
+    // Reference: a cold, uninterrupted adaptive expansion in memory.
+    let (cold_db, cold_meter) = {
+        let db = CrowdDb::new(direct_crowd_config());
+        let (crowd, meter) = metered_crowd(&domain);
+        db.load_domain("movies", &domain, space(), crowd).unwrap();
+        db.register_attribute("movies", "is_comedy", "Comedy")
+            .unwrap();
+        (db, meter)
+    };
+    let cold = cold_db
+        .query(QUERY)
+        .mode(ExpansionMode::Full)
+        .adaptive(true)
+        .run()
+        .unwrap();
+    let cold_cost = cold_meter.dollars();
+    assert!(cold_cost > 0.0);
+
+    // A budget that covers the first adaptive round for half the items:
+    // life 1 buys judgments for that half (finalized at their thin-evidence
+    // posteriors and WAL-logged), the other half is denied untouched.
+    let pricer = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 31);
+    let half = domain.items().len() / 2;
+    let budget = pricer.adaptive_round_cost(half, 3).unwrap();
+
+    // Life 1: the interrupted run.  Dropping the database without a
+    // checkpoint is the kill; recovery will replay the WAL alone.
+    let life1_cost = {
+        let (db, meter) = open_bound(&dir, &domain);
+        let outcome = db.query(QUERY).budget(budget).adaptive(true).run().unwrap();
+        assert!(meter.dollars() > 0.0);
+        assert!(meter.dollars() <= budget + 1e-9);
+        assert!(
+            rows_of(&outcome).missing_cells() > 0,
+            "the budget must cut acquisition off mid-way for the fault to mean anything"
+        );
+        meter.dollars()
+    };
+
+    // Life 2: a fresh process re-runs the expansion to completion.
+    let (db, meter) = open_bound(&dir, &domain);
+    let outcome = db
+        .query(QUERY)
+        .mode(ExpansionMode::Full)
+        .adaptive(true)
+        .run()
+        .unwrap();
+    let life2_cost = meter.dollars();
+    assert!(
+        life2_cost > 0.0,
+        "the denied half was never bought; completion must pay for it"
+    );
+    assert!(
+        life2_cost < cold_cost,
+        "life 2 (${life2_cost:.2}) re-bought items life 1 already finalized \
+         (cold run costs ${cold_cost:.2})"
+    );
+    assert!(
+        life1_cost + life2_cost < life1_cost + cold_cost,
+        "sanity: the interrupted path never exceeds interrupted + cold"
+    );
+    // The recovered column is as complete as the uninterrupted one: every
+    // item carries a cached judgment now (classified or honestly
+    // unclassified), so nothing is left in the Missing-budget state.
+    assert_eq!(
+        rows_of(&outcome).rows.len(),
+        rows_of(&cold).rows.len(),
+        "recovered expansion must cover the full table"
+    );
+
+    // No double-charge: a repeat query in the recovered process is served
+    // entirely from the judgment cache.
+    let calls_before = meter.calls();
+    let again = db
+        .query(QUERY)
+        .mode(ExpansionMode::Full)
+        .adaptive(true)
+        .run()
+        .unwrap();
+    assert_eq!(meter.calls(), calls_before, "no new crowd rounds");
+    assert!(
+        (meter.dollars() - life2_cost).abs() < 1e-12,
+        "no new dollars"
+    );
+    assert_eq!(rows_of(&again), rows_of(&outcome));
+    assert_eq!(again.crowd_cost, 0.0);
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
