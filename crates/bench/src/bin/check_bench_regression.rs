@@ -1,7 +1,7 @@
 //! Bench-regression guard: compares the deterministic *cost* fields of the
 //! smoke-bench reports (`BENCH_policy.json`, `BENCH_stream.json`,
-//! `BENCH_shard.json`) against the baselines committed under `ci/`, and
-//! fails on any drift.
+//! `BENCH_shard.json`, `BENCH_server.json`) against the baselines
+//! committed under `ci/`, and fails on any drift.
 //!
 //! The guarded fields are the seeded, machine-independent outputs of the
 //! policy engine — crowd dollars per mode and missing-cell counts — which
@@ -47,6 +47,13 @@ const STREAM_FIELDS: &[&str] = &[
     "full_missing_cells",
     "best_effort_cost_dollars",
     "best_effort_missing_cells",
+];
+const SERVER_FIELDS: &[&str] = &[
+    "clients",
+    "items",
+    "server_crowd_rounds",
+    "server_cold_cost_dollars",
+    "server_warm_cost_dollars",
 ];
 const SHARD_FIELDS: &[&str] = &[
     "threads",
@@ -137,6 +144,11 @@ fn main() -> ExitCode {
             "BENCH_shard.json",
             "BENCH_shard.baseline.json",
             SHARD_FIELDS,
+        ),
+        (
+            "BENCH_server.json",
+            "BENCH_server.baseline.json",
+            SERVER_FIELDS,
         ),
     ];
     let mut failed = false;

@@ -73,7 +73,7 @@ use crate::session::{QueryBuilder, QueryOutcome, RowSet, Session, StatementResul
 use crate::stream::{EventSink, QueryEvent};
 use crate::Result;
 
-use crate::sync::{mlock, rlock, wlock};
+use crate::sync::{mlock, rlock, try_mlock, wlock};
 
 /// Items dispatched per budgeted round when the crowd source cannot price
 /// its work up front ([`CrowdSource::estimate_cost`] returns `None`): the
@@ -994,6 +994,21 @@ impl CrowdDb {
     /// every query built from it inherits.
     pub fn session(&self) -> Session<'_> {
         Session::new(self)
+    }
+
+    /// Submits one job to the database's background [`Scheduler`] — the
+    /// same elastic pool every query executes on.
+    ///
+    /// This is the serving entry point for layers built *around* the
+    /// database, above all the network service layer: connection readers,
+    /// writers, and per-query event pumps run as scheduler jobs next to
+    /// the queries themselves, so the whole server shares one pool whose
+    /// elasticity guarantees blocked jobs (a pump parked on a stream, an
+    /// owner inside its crowd round) can never starve each other.  Jobs
+    /// submitted while the database is shutting down are silently dropped,
+    /// exactly like queries.
+    pub fn spawn_background(&self, job: impl FnOnce() + Send + 'static) {
+        self.scheduler.spawn(job);
     }
 
     /// The provenance ledger of one expanded column: per item, where its
@@ -2516,14 +2531,21 @@ impl DbInner {
     /// hook to plain [`CrowdSource::estimate_cost`] pricing (with every
     /// item assumed resolvable), to `None` for sources that offer neither.
     ///
-    /// Takes the binding's crowd mutex briefly; never call while holding it.
+    /// Never blocks on the binding's crowd mutex: while another query's
+    /// crowd round is in flight the source is locked for the whole round,
+    /// and an estimate that parked behind it would stall the *caller* —
+    /// in particular an event-streaming query computing its initial
+    /// progress estimate before it has even registered with the inflight
+    /// table, which must stay free to coalesce onto that very round.  The
+    /// estimate only feeds advisory [`QueryEvent::Progress`] numbers, so
+    /// under contention we simply report `None`.
     fn outstanding_estimate(
         &self,
         binding: &TableBinding,
         concept: &str,
         items: &[ItemId],
     ) -> Option<OutstandingEstimate> {
-        let crowd = mlock(&binding.crowd);
+        let crowd = try_mlock(&binding.crowd)?;
         crowd.estimate_outstanding(concept, items).or_else(|| {
             crowd
                 .estimate_cost(items.len())

@@ -49,6 +49,18 @@ pub enum CrowdDbError {
         /// The missing columns the query would have expanded.
         columns: Vec<String>,
     },
+    /// A failure of the network service layer itself — a broken or refused
+    /// connection, a protocol-version or authentication mismatch, a
+    /// malformed frame — as opposed to a database error that was carried
+    /// *over* the wire intact (those decode back into their original
+    /// variants).  Construct via [`CrowdDbError::protocol`]; the variant is
+    /// `#[non_exhaustive]` so transport diagnostics can grow fields without
+    /// breaking matches.
+    #[non_exhaustive]
+    Protocol {
+        /// The transport layer's diagnosis.
+        message: String,
+    },
 }
 
 impl fmt::Display for CrowdDbError {
@@ -70,6 +82,18 @@ impl fmt::Display for CrowdDbError {
                 "expansion denied by the query policy: table {table} is missing columns {}",
                 columns.join(", ")
             ),
+            CrowdDbError::Protocol { message } => write!(f, "protocol error: {message}"),
+        }
+    }
+}
+
+impl CrowdDbError {
+    /// Builds a [`Protocol`](CrowdDbError::Protocol) error — the
+    /// constructor the network service layer (and any other transport)
+    /// uses, since the variant itself is `#[non_exhaustive]`.
+    pub fn protocol(message: impl Into<String>) -> Self {
+        CrowdDbError::Protocol {
+            message: message.into(),
         }
     }
 }
@@ -133,5 +157,8 @@ mod tests {
         };
         assert!(e.to_string().contains("denied"));
         assert!(e.to_string().contains("is_comedy, humor"));
+        let e = CrowdDbError::protocol("handshake rejected");
+        assert!(e.to_string().contains("protocol error"));
+        assert!(e.to_string().contains("handshake rejected"));
     }
 }

@@ -290,6 +290,24 @@ pub struct QueryOutcome {
 }
 
 impl QueryOutcome {
+    /// Assembles an outcome from its parts.  The struct is
+    /// `#[non_exhaustive]`, so out-of-crate producers — above all the
+    /// network service layer decoding a completed query off the wire —
+    /// construct it through this entry point.
+    pub fn new(
+        policy: ExpansionPolicy,
+        result: StatementResult,
+        reports: Vec<ExpansionReport>,
+        crowd_cost: f64,
+    ) -> Self {
+        QueryOutcome {
+            policy,
+            result,
+            reports,
+            crowd_cost,
+        }
+    }
+
     /// The row set, when the statement was a read.
     pub fn rows(&self) -> Option<&RowSet> {
         match &self.result {

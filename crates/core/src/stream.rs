@@ -97,6 +97,39 @@ pub enum QueryEvent {
     Completed(QueryOutcome),
 }
 
+impl QueryEvent {
+    /// Builds a [`Delta`](QueryEvent::Delta) event.  The struct variant is
+    /// `#[non_exhaustive]`, so out-of-crate producers — above all the
+    /// network service layer decoding events off the wire — construct it
+    /// through this entry point.
+    pub fn delta(rows: RowSet, concept: impl Into<String>, round: usize, cost_so_far: f64) -> Self {
+        QueryEvent::Delta {
+            rows,
+            concept: concept.into(),
+            round,
+            cost_so_far,
+        }
+    }
+
+    /// Builds a [`Progress`](QueryEvent::Progress) event (the wire-decoding
+    /// counterpart of [`QueryEvent::delta`]).
+    pub fn progress(
+        concept: impl Into<String>,
+        items_resolved: usize,
+        items_outstanding: usize,
+        estimated_completeness: f64,
+        estimated_remaining_cost: f64,
+    ) -> Self {
+        QueryEvent::Progress {
+            concept: concept.into(),
+            items_resolved,
+            items_outstanding,
+            estimated_completeness,
+            estimated_remaining_cost,
+        }
+    }
+}
+
 /// What the worker sends over the channel: events, or the query's failure.
 pub(crate) enum StreamMessage {
     Event(QueryEvent),

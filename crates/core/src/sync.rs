@@ -27,3 +27,16 @@ pub(crate) fn wlock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 pub(crate) fn mlock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
     lock.lock().unwrap_or_else(PoisonError::into_inner)
 }
+
+/// Attempts to acquire a mutex without blocking, ignoring poisoning.
+///
+/// Returns `None` when the lock is currently held elsewhere.  For best-effort
+/// reads (progress estimates, stats) where a stale or missing answer beats
+/// parking behind a long-held lock — e.g. a crowd source mid-round.
+pub(crate) fn try_mlock<T>(lock: &Mutex<T>) -> Option<MutexGuard<'_, T>> {
+    match lock.try_lock() {
+        Ok(guard) => Some(guard),
+        Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+        Err(std::sync::TryLockError::WouldBlock) => None,
+    }
+}

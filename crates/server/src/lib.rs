@@ -1,0 +1,28 @@
+//! The network service layer: CrowdDb as a multi-client TCP server.
+//!
+//! In-process, a [`CrowdDb`](crowddb_core::CrowdDb) already multiplexes
+//! concurrent sessions over one engine: queries run on an elastic
+//! scheduler, concurrent expansions of the same attribute coalesce onto a
+//! single crowd round, and every crowdsourced judgment lands in a shared
+//! cache.  This crate puts that engine on a socket.  [`CrowdDbServer`]
+//! accepts TCP connections speaking the framed, checksummed, versioned
+//! binary protocol of [`wire`]; each connection is a session with its own
+//! policy defaults and as many concurrent in-flight queries as it cares to
+//! tag with request ids; each query's anytime event stream — snapshot,
+//! progress, deltas, completion — is forwarded frame by frame as the
+//! expansion produces it.
+//!
+//! The interesting property is what *doesn't* change: because every
+//! connection drives the same engine, cross-client coalescing, owner-pays
+//! cost accounting, judgment reuse, and crash-safe persistence all behave
+//! exactly as they do for in-process callers.  N clients asking for the
+//! same missing attribute still buy exactly one crowd round.
+//!
+//! The matching blocking client lives in `crowddb-client`.
+
+#![warn(missing_docs)]
+
+pub mod server;
+pub mod wire;
+
+pub use server::{CrowdDbServer, ServerConfig, ServerStats};

@@ -1,0 +1,1416 @@
+//! The wire protocol: framing, handshake, and message codecs.
+//!
+//! Everything on the socket is a **frame**: an 8-byte header — payload
+//! length (`u32`, little-endian) followed by the payload's CRC-32
+//! ([`storage::crc32`], the same polynomial the WAL uses) — and then the
+//! payload itself.  The codec discipline is [`storage`]'s: explicit
+//! little-endian primitives through [`Encoder`] / [`Decoder`], one tag byte
+//! per enum variant, length-prefixed strings and sequences, so the wire
+//! format is an auditable versioned contract rather than an accident of
+//! struct layout.  A frame that is truncated, oversize
+//! ([`MAX_FRAME_LEN`]), or fails its checksum is a
+//! [`CrowdDbError::Protocol`] — the connection carrying it is torn down,
+//! the server stays up.
+//!
+//! A connection opens with a **handshake**: the client sends
+//! [`ClientHello`] (magic, [`PROTOCOL_VERSION`], optional auth token), the
+//! server answers [`HandshakeReply`] — accepted with a session id, or
+//! rejected with a reason — and only then do [`Request`] / [`Response`]
+//! frames flow.  Requests carry a client-chosen `id` so one connection can
+//! run many queries at once; every response names the request it belongs
+//! to, and a streamed query's events arrive interleaved with other
+//! requests' traffic, demultiplexed by that id.
+//!
+//! The payload types of the query surface — [`QueryEvent`],
+//! [`QueryOutcome`], [`ExpansionPolicy`], [`ExpansionReport`], per-cell
+//! [`CellProvenance`], and the full [`CrowdDbError`] enum including every
+//! nested engine error — round-trip the codec exactly: a remote caller
+//! sees the same typed events and typed errors an in-process caller does.
+
+use crowddb_core::expansion::ExpansionStage;
+use crowddb_core::{
+    CellProvenance, CrowdDbError, ExpansionMode, ExpansionPolicy, ExpansionReport, MissingReason,
+    QueryEvent, QueryOutcome, Result, RowSet, StatementResult,
+};
+use relational::Value;
+use std::io::{Read, Write};
+use storage::{crc32, Decoder, Encoder};
+
+/// Version of the wire protocol; bumped on any incompatible change.  The
+/// handshake rejects a client whose version differs.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// The four magic bytes opening a [`ClientHello`] — lets the server reject
+/// a non-CrowdDb client on the first frame instead of misparsing it.
+pub const MAGIC: [u8; 4] = *b"CRWD";
+
+/// Upper bound on a frame's payload length.  A length prefix beyond this is
+/// treated as corruption (or hostility) and drops the connection before any
+/// allocation happens.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+fn protocol_err(message: impl Into<String>) -> CrowdDbError {
+    CrowdDbError::protocol(message)
+}
+
+fn io_err(context: &str, e: std::io::Error) -> CrowdDbError {
+    protocol_err(format!("{context}: {e}"))
+}
+
+// Decoder failures (ran off the end of the payload, bad UTF-8, oversize
+// sequence) arrive as `CrowdDbError::Storage` via the blanket From impl;
+// on the wire they are protocol errors — the frame was malformed.
+fn as_protocol(e: CrowdDbError) -> CrowdDbError {
+    match e {
+        CrowdDbError::Storage(m) => protocol_err(format!("malformed message: {m}")),
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one frame (header + payload) and flushes the writer.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(protocol_err(format!(
+            "frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte limit",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; 8];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header).map_err(|e| io_err("frame write", e))?;
+    w.write_all(payload).map_err(|e| io_err("frame write", e))?;
+    w.flush().map_err(|e| io_err("frame flush", e))
+}
+
+/// Reads one frame's payload, verifying length bound and checksum.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed the
+/// connection *between* frames); end-of-stream in the middle of a frame,
+/// an oversize length prefix, and a checksum mismatch are all
+/// [`CrowdDbError::Protocol`] errors.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 8];
+    let mut read = 0;
+    while read < header.len() {
+        match r.read(&mut header[read..]) {
+            Ok(0) if read == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(protocol_err(format!(
+                    "connection closed mid-frame-header ({read} of 8 bytes)"
+                )))
+            }
+            Ok(n) => read += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err("frame header read", e)),
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+    let want_crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return Err(protocol_err(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| io_err("frame payload read", e))?;
+    let got_crc = crc32(&payload);
+    if got_crc != want_crc {
+        return Err(protocol_err(format!(
+            "frame checksum mismatch: header says {want_crc:#010x}, payload hashes to {got_crc:#010x}"
+        )));
+    }
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+/// The first frame of a connection, client → server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// The client's [`PROTOCOL_VERSION`]; the server rejects a mismatch.
+    pub protocol_version: u32,
+    /// Shared-secret auth token; must match the server's configured token
+    /// (`None` ⇔ the server requires none).
+    pub auth_token: Option<String>,
+}
+
+impl ClientHello {
+    /// Encodes the hello into a frame payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        for byte in MAGIC {
+            e.u8(byte);
+        }
+        e.u32(self.protocol_version);
+        encode_opt_str(&mut e, self.auth_token.as_deref());
+        e.into_bytes()
+    }
+
+    /// Decodes a hello, verifying the magic bytes first.
+    pub fn from_payload(bytes: &[u8]) -> Result<ClientHello> {
+        ClientHello::from_payload_inner(bytes).map_err(as_protocol)
+    }
+
+    fn from_payload_inner(bytes: &[u8]) -> Result<ClientHello> {
+        let mut d = Decoder::new(bytes);
+        let mut magic = [0u8; 4];
+        for slot in &mut magic {
+            *slot = d.u8()?;
+        }
+        if magic != MAGIC {
+            return Err(protocol_err(format!(
+                "bad magic {magic:02x?}: not a CrowdDb client"
+            )));
+        }
+        let hello = ClientHello {
+            protocol_version: d.u32()?,
+            auth_token: decode_opt_str(&mut d)?,
+        };
+        expect_exhausted(&d)?;
+        Ok(hello)
+    }
+}
+
+/// The server's answer to a [`ClientHello`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeReply {
+    /// The connection is live; requests may flow.
+    Accepted {
+        /// The server's [`PROTOCOL_VERSION`] (equal to the client's).
+        protocol_version: u32,
+        /// Server-assigned id of this connection's session.
+        session_id: u64,
+    },
+    /// The connection is refused; the server closes it after this frame.
+    Rejected {
+        /// Why (version mismatch, bad token, shutdown, …).
+        reason: String,
+    },
+}
+
+impl HandshakeReply {
+    /// Encodes the reply into a frame payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            HandshakeReply::Accepted {
+                protocol_version,
+                session_id,
+            } => {
+                e.u8(0);
+                e.u32(*protocol_version);
+                e.u64(*session_id);
+            }
+            HandshakeReply::Rejected { reason } => {
+                e.u8(1);
+                e.str(reason);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a reply.
+    pub fn from_payload(bytes: &[u8]) -> Result<HandshakeReply> {
+        HandshakeReply::from_payload_inner(bytes).map_err(as_protocol)
+    }
+
+    fn from_payload_inner(bytes: &[u8]) -> Result<HandshakeReply> {
+        let mut d = Decoder::new(bytes);
+        let reply = match d.u8()? {
+            0 => HandshakeReply::Accepted {
+                protocol_version: d.u32()?,
+                session_id: d.u64()?,
+            },
+            1 => HandshakeReply::Rejected { reason: d.str()? },
+            tag => return Err(protocol_err(format!("unknown handshake reply tag {tag}"))),
+        };
+        expect_exhausted(&d)?;
+        Ok(reply)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests and responses
+// ---------------------------------------------------------------------------
+
+/// One client → server message (after the handshake).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Start a query.  With `events`, the server streams every
+    /// [`QueryEvent`] as it is produced (the remote anytime path); without,
+    /// only the terminal `Completed` (or failure) comes back — the remote
+    /// equivalent of a blocking `run()`.
+    Query {
+        /// Client-chosen id all of this query's responses carry.
+        id: u64,
+        /// The SQL text (a `WITH EXPANSION` clause works as in-process).
+        sql: String,
+        /// Explicit per-query policy; `None` applies the connection's
+        /// session defaults ([`Request::SetDefaults`]).
+        policy: Option<ExpansionPolicy>,
+        /// Whether intermediate events (snapshot, progress, deltas) are
+        /// wanted.
+        events: bool,
+    },
+    /// Replace the connection's session-default [`ExpansionPolicy`]
+    /// (answered with [`Response::Ack`]).
+    SetDefaults {
+        /// Id echoed on the acknowledgement.
+        id: u64,
+        /// The new defaults.
+        policy: ExpansionPolicy,
+    },
+    /// Liveness check (answered with [`Response::Ack`]).
+    Ping {
+        /// Id echoed on the acknowledgement.
+        id: u64,
+    },
+    /// Clean shutdown: the server tears the connection down.  In-flight
+    /// queries keep running server-side (their crowd work completes and is
+    /// cached); only the notifications stop.
+    Goodbye,
+}
+
+impl Request {
+    /// Encodes the request into a frame payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            Request::Query {
+                id,
+                sql,
+                policy,
+                events,
+            } => {
+                e.u8(0);
+                e.u64(*id);
+                e.str(sql);
+                match policy {
+                    Some(policy) => {
+                        e.bool(true);
+                        encode_policy(&mut e, policy);
+                    }
+                    None => e.bool(false),
+                }
+                e.bool(*events);
+            }
+            Request::SetDefaults { id, policy } => {
+                e.u8(1);
+                e.u64(*id);
+                encode_policy(&mut e, policy);
+            }
+            Request::Ping { id } => {
+                e.u8(2);
+                e.u64(*id);
+            }
+            Request::Goodbye => e.u8(3),
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a request.
+    pub fn from_payload(bytes: &[u8]) -> Result<Request> {
+        Request::from_payload_inner(bytes).map_err(as_protocol)
+    }
+
+    fn from_payload_inner(bytes: &[u8]) -> Result<Request> {
+        let mut d = Decoder::new(bytes);
+        let request = match d.u8()? {
+            0 => {
+                let id = d.u64()?;
+                let sql = d.str()?;
+                let policy = if d.bool()? {
+                    Some(decode_policy(&mut d)?)
+                } else {
+                    None
+                };
+                Request::Query {
+                    id,
+                    sql,
+                    policy,
+                    events: d.bool()?,
+                }
+            }
+            1 => Request::SetDefaults {
+                id: d.u64()?,
+                policy: decode_policy(&mut d)?,
+            },
+            2 => Request::Ping { id: d.u64()? },
+            3 => Request::Goodbye,
+            tag => return Err(protocol_err(format!("unknown request tag {tag}"))),
+        };
+        expect_exhausted(&d)?;
+        Ok(request)
+    }
+}
+
+/// One server → client message, tagged with the request it answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// One event of a streamed query.  `Completed` is always the final
+    /// event of a successful query, exactly as in-process.
+    Event {
+        /// The query's request id.
+        id: u64,
+        /// The event, bit-identical to the in-process stream's.
+        event: QueryEvent,
+    },
+    /// The query failed; this is its terminal message.
+    QueryFailed {
+        /// The query's request id.
+        id: u64,
+        /// The typed error, round-tripped through the codec.
+        error: CrowdDbError,
+    },
+    /// Acknowledges a [`Request::SetDefaults`] or [`Request::Ping`].
+    Ack {
+        /// The acknowledged request's id.
+        id: u64,
+    },
+}
+
+impl Response {
+    /// Encodes the response into a frame payload.  Fails only on a
+    /// [`QueryEvent`] variant this protocol version cannot express.
+    pub fn to_payload(&self) -> Result<Vec<u8>> {
+        let mut e = Encoder::new();
+        match self {
+            Response::Event { id, event } => {
+                e.u8(0);
+                e.u64(*id);
+                encode_event(&mut e, event)?;
+            }
+            Response::QueryFailed { id, error } => {
+                e.u8(1);
+                e.u64(*id);
+                encode_error(&mut e, error);
+            }
+            Response::Ack { id } => {
+                e.u8(2);
+                e.u64(*id);
+            }
+        }
+        Ok(e.into_bytes())
+    }
+
+    /// Decodes a response.
+    pub fn from_payload(bytes: &[u8]) -> Result<Response> {
+        Response::from_payload_inner(bytes).map_err(as_protocol)
+    }
+
+    fn from_payload_inner(bytes: &[u8]) -> Result<Response> {
+        let mut d = Decoder::new(bytes);
+        let response = match d.u8()? {
+            0 => Response::Event {
+                id: d.u64()?,
+                event: decode_event(&mut d)?,
+            },
+            1 => Response::QueryFailed {
+                id: d.u64()?,
+                error: decode_error(&mut d)?,
+            },
+            2 => Response::Ack { id: d.u64()? },
+            tag => return Err(protocol_err(format!("unknown response tag {tag}"))),
+        };
+        expect_exhausted(&d)?;
+        Ok(response)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+fn expect_exhausted(d: &Decoder<'_>) -> Result<()> {
+    if d.is_exhausted() {
+        Ok(())
+    } else {
+        Err(protocol_err("trailing bytes after a well-formed message"))
+    }
+}
+
+fn encode_opt_str(e: &mut Encoder, v: Option<&str>) {
+    match v {
+        Some(s) => {
+            e.bool(true);
+            e.str(s);
+        }
+        None => e.bool(false),
+    }
+}
+
+fn decode_opt_str(d: &mut Decoder<'_>) -> Result<Option<String>> {
+    Ok(if d.bool()? { Some(d.str()?) } else { None })
+}
+
+fn encode_opt_f64(e: &mut Encoder, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            e.bool(true);
+            e.f64(x);
+        }
+        None => e.bool(false),
+    }
+}
+
+fn decode_opt_f64(d: &mut Decoder<'_>) -> Result<Option<f64>> {
+    Ok(if d.bool()? { Some(d.f64()?) } else { None })
+}
+
+fn encode_mode(e: &mut Encoder, mode: ExpansionMode) {
+    e.u8(match mode {
+        ExpansionMode::Deny => 0,
+        ExpansionMode::CacheOnly => 1,
+        ExpansionMode::BestEffort => 2,
+        ExpansionMode::Full => 3,
+        // `ExpansionMode` is #[non_exhaustive]; a future mode this protocol
+        // version cannot name degrades to Full, the engine default.
+        _ => 3,
+    });
+}
+
+fn decode_mode(d: &mut Decoder<'_>) -> Result<ExpansionMode> {
+    Ok(match d.u8()? {
+        0 => ExpansionMode::Deny,
+        1 => ExpansionMode::CacheOnly,
+        2 => ExpansionMode::BestEffort,
+        3 => ExpansionMode::Full,
+        tag => return Err(protocol_err(format!("unknown expansion mode tag {tag}"))),
+    })
+}
+
+/// Encodes an [`ExpansionPolicy`] (mode, budget, quality floor, adaptive).
+pub fn encode_policy(e: &mut Encoder, policy: &ExpansionPolicy) {
+    encode_mode(e, policy.mode);
+    encode_opt_f64(e, policy.budget);
+    encode_opt_f64(e, policy.quality_floor);
+    e.bool(policy.adaptive);
+}
+
+/// Decodes an [`ExpansionPolicy`].
+pub fn decode_policy(d: &mut Decoder<'_>) -> Result<ExpansionPolicy> {
+    decode_policy_inner(d).map_err(as_protocol)
+}
+
+fn decode_policy_inner(d: &mut Decoder<'_>) -> Result<ExpansionPolicy> {
+    let mut policy = ExpansionPolicy::full();
+    policy.mode = decode_mode(d)?;
+    policy.budget = decode_opt_f64(d)?;
+    policy.quality_floor = decode_opt_f64(d)?;
+    policy.adaptive = d.bool()?;
+    Ok(policy)
+}
+
+fn encode_value(e: &mut Encoder, value: &Value) {
+    match value {
+        Value::Null => e.u8(0),
+        Value::Integer(v) => {
+            e.u8(1);
+            e.i64(*v);
+        }
+        Value::Float(v) => {
+            e.u8(2);
+            e.f64(*v);
+        }
+        Value::Text(v) => {
+            e.u8(3);
+            e.str(v);
+        }
+        Value::Boolean(v) => {
+            e.u8(4);
+            e.bool(*v);
+        }
+    }
+}
+
+fn decode_value(d: &mut Decoder<'_>) -> Result<Value> {
+    Ok(match d.u8()? {
+        0 => Value::Null,
+        1 => Value::Integer(d.i64()?),
+        2 => Value::Float(d.f64()?),
+        3 => Value::Text(d.str()?),
+        4 => Value::Boolean(d.bool()?),
+        tag => return Err(protocol_err(format!("unknown value tag {tag}"))),
+    })
+}
+
+fn encode_missing_reason(e: &mut Encoder, reason: MissingReason) {
+    e.u8(match reason {
+        MissingReason::BudgetExhausted => 0,
+        MissingReason::NoCachedJudgment => 1,
+        MissingReason::BelowQualityFloor => 2,
+        MissingReason::NoMajority => 3,
+        MissingReason::OutOfSpace => 4,
+        MissingReason::NotExpanded => 5,
+        MissingReason::NoItemId => 6,
+        // #[non_exhaustive]: a reason this protocol version cannot name
+        // degrades to the generic "not expanded".
+        _ => 5,
+    });
+}
+
+fn decode_missing_reason(d: &mut Decoder<'_>) -> Result<MissingReason> {
+    Ok(match d.u8()? {
+        0 => MissingReason::BudgetExhausted,
+        1 => MissingReason::NoCachedJudgment,
+        2 => MissingReason::BelowQualityFloor,
+        3 => MissingReason::NoMajority,
+        4 => MissingReason::OutOfSpace,
+        5 => MissingReason::NotExpanded,
+        6 => MissingReason::NoItemId,
+        tag => return Err(protocol_err(format!("unknown missing-reason tag {tag}"))),
+    })
+}
+
+fn encode_provenance(e: &mut Encoder, provenance: &CellProvenance) {
+    match provenance {
+        CellProvenance::Stored => e.u8(0),
+        CellProvenance::CrowdDerived {
+            confidence,
+            cost_share,
+        } => {
+            e.u8(1);
+            e.f64(*confidence);
+            e.f64(*cost_share);
+        }
+        CellProvenance::CacheHit { confidence } => {
+            e.u8(2);
+            e.f64(*confidence);
+        }
+        CellProvenance::Extracted => e.u8(3),
+        CellProvenance::Missing { reason } => {
+            e.u8(4);
+            encode_missing_reason(e, *reason);
+        }
+        // #[non_exhaustive]: a pedigree this protocol version cannot name
+        // degrades to the weakest claim, "not expanded".
+        _ => {
+            e.u8(4);
+            encode_missing_reason(e, MissingReason::NotExpanded);
+        }
+    }
+}
+
+fn decode_provenance(d: &mut Decoder<'_>) -> Result<CellProvenance> {
+    Ok(match d.u8()? {
+        0 => CellProvenance::Stored,
+        1 => CellProvenance::CrowdDerived {
+            confidence: d.f64()?,
+            cost_share: d.f64()?,
+        },
+        2 => CellProvenance::CacheHit {
+            confidence: d.f64()?,
+        },
+        3 => CellProvenance::Extracted,
+        4 => CellProvenance::Missing {
+            reason: decode_missing_reason(d)?,
+        },
+        tag => return Err(protocol_err(format!("unknown provenance tag {tag}"))),
+    })
+}
+
+fn encode_rowset(e: &mut Encoder, rows: &RowSet) {
+    e.seq_len(rows.columns.len());
+    for column in &rows.columns {
+        e.str(column);
+    }
+    e.seq_len(rows.rows.len());
+    for row in &rows.rows {
+        e.seq_len(row.len());
+        for value in row {
+            encode_value(e, value);
+        }
+    }
+    e.seq_len(rows.provenance.len());
+    for row in &rows.provenance {
+        e.seq_len(row.len());
+        for provenance in row {
+            encode_provenance(e, provenance);
+        }
+    }
+}
+
+fn decode_rowset(d: &mut Decoder<'_>) -> Result<RowSet> {
+    let n_columns = d.seq_len()?;
+    let mut columns = Vec::with_capacity(n_columns);
+    for _ in 0..n_columns {
+        columns.push(d.str()?);
+    }
+    let n_rows = d.seq_len()?;
+    let mut rows = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let n_cells = d.seq_len()?;
+        let mut row = Vec::with_capacity(n_cells);
+        for _ in 0..n_cells {
+            row.push(decode_value(d)?);
+        }
+        rows.push(row);
+    }
+    let n_provenance = d.seq_len()?;
+    let mut provenance = Vec::with_capacity(n_provenance);
+    for _ in 0..n_provenance {
+        let n_cells = d.seq_len()?;
+        let mut row = Vec::with_capacity(n_cells);
+        for _ in 0..n_cells {
+            row.push(decode_provenance(d)?);
+        }
+        provenance.push(row);
+    }
+    Ok(RowSet {
+        columns,
+        rows,
+        provenance,
+    })
+}
+
+fn encode_stage(e: &mut Encoder, stage: &ExpansionStage) {
+    e.u8(match stage {
+        ExpansionStage::MissingAttributeDetected => 0,
+        ExpansionStage::ExpansionPlanned => 1,
+        ExpansionStage::JudgmentsReused => 2,
+        ExpansionStage::JoinedInflightRound => 3,
+        ExpansionStage::BudgetExhausted => 4,
+        ExpansionStage::ColumnAdded => 5,
+        ExpansionStage::CrowdSourcingStarted => 6,
+        ExpansionStage::JudgmentsAggregated => 7,
+        ExpansionStage::ExtractorTrained => 8,
+        ExpansionStage::ColumnMaterialized => 9,
+        ExpansionStage::QueryReExecuted => 10,
+    });
+}
+
+fn decode_stage(d: &mut Decoder<'_>) -> Result<ExpansionStage> {
+    Ok(match d.u8()? {
+        0 => ExpansionStage::MissingAttributeDetected,
+        1 => ExpansionStage::ExpansionPlanned,
+        2 => ExpansionStage::JudgmentsReused,
+        3 => ExpansionStage::JoinedInflightRound,
+        4 => ExpansionStage::BudgetExhausted,
+        5 => ExpansionStage::ColumnAdded,
+        6 => ExpansionStage::CrowdSourcingStarted,
+        7 => ExpansionStage::JudgmentsAggregated,
+        8 => ExpansionStage::ExtractorTrained,
+        9 => ExpansionStage::ColumnMaterialized,
+        10 => ExpansionStage::QueryReExecuted,
+        tag => return Err(protocol_err(format!("unknown expansion stage tag {tag}"))),
+    })
+}
+
+fn encode_report(e: &mut Encoder, report: &ExpansionReport) {
+    e.str(&report.table);
+    e.str(&report.column);
+    e.str(&report.attribute);
+    e.str(&report.strategy);
+    e.seq_len(report.stages.len());
+    for stage in &report.stages {
+        encode_stage(e, stage);
+    }
+    e.u64(report.items_crowd_sourced as u64);
+    e.u64(report.judgments_collected as u64);
+    e.u64(report.rows_filled as u64);
+    e.u64(report.rows_unfilled as u64);
+    e.f64(report.crowd_cost);
+    e.f64(report.crowd_minutes);
+    e.u64(report.training_set_size as u64);
+    e.u64(report.cache_hits as u64);
+    e.u64(report.cache_misses as u64);
+    e.f64(report.cost_saved);
+    e.u64(report.items_unmapped as u64);
+    e.u64(report.items_coalesced as u64);
+    e.u64(report.items_dropped as u64);
+}
+
+fn decode_report(d: &mut Decoder<'_>) -> Result<ExpansionReport> {
+    let table = d.str()?;
+    let column = d.str()?;
+    let attribute = d.str()?;
+    let strategy = d.str()?;
+    let n_stages = d.seq_len()?;
+    let mut stages = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages {
+        stages.push(decode_stage(d)?);
+    }
+    Ok(ExpansionReport {
+        table,
+        column,
+        attribute,
+        strategy,
+        stages,
+        items_crowd_sourced: d.u64()? as usize,
+        judgments_collected: d.u64()? as usize,
+        rows_filled: d.u64()? as usize,
+        rows_unfilled: d.u64()? as usize,
+        crowd_cost: d.f64()?,
+        crowd_minutes: d.f64()?,
+        training_set_size: d.u64()? as usize,
+        cache_hits: d.u64()? as usize,
+        cache_misses: d.u64()? as usize,
+        cost_saved: d.f64()?,
+        items_unmapped: d.u64()? as usize,
+        items_coalesced: d.u64()? as usize,
+        items_dropped: d.u64()? as usize,
+    })
+}
+
+/// Encodes a [`QueryOutcome`] (policy, result, reports, cost).
+pub fn encode_outcome(e: &mut Encoder, outcome: &QueryOutcome) {
+    encode_policy(e, &outcome.policy);
+    match &outcome.result {
+        StatementResult::Rows(rows) => {
+            e.u8(0);
+            encode_rowset(e, rows);
+        }
+        StatementResult::Mutation { rows_affected } => {
+            e.u8(1);
+            e.u64(*rows_affected as u64);
+        }
+        // #[non_exhaustive]: a future statement shape degrades to an empty
+        // mutation rather than a lie about rows.
+        _ => {
+            e.u8(1);
+            e.u64(0);
+        }
+    }
+    e.seq_len(outcome.reports.len());
+    for report in &outcome.reports {
+        encode_report(e, report);
+    }
+    e.f64(outcome.crowd_cost);
+}
+
+/// Decodes a [`QueryOutcome`].
+pub fn decode_outcome(d: &mut Decoder<'_>) -> Result<QueryOutcome> {
+    decode_outcome_inner(d).map_err(as_protocol)
+}
+
+fn decode_outcome_inner(d: &mut Decoder<'_>) -> Result<QueryOutcome> {
+    let policy = decode_policy(d)?;
+    let result = match d.u8()? {
+        0 => StatementResult::Rows(decode_rowset(d)?),
+        1 => StatementResult::Mutation {
+            rows_affected: d.u64()? as usize,
+        },
+        tag => return Err(protocol_err(format!("unknown statement result tag {tag}"))),
+    };
+    let n_reports = d.seq_len()?;
+    let mut reports = Vec::with_capacity(n_reports);
+    for _ in 0..n_reports {
+        reports.push(decode_report(d)?);
+    }
+    let crowd_cost = d.f64()?;
+    Ok(QueryOutcome::new(policy, result, reports, crowd_cost))
+}
+
+/// Encodes a [`QueryEvent`].  Fails on an event variant this protocol
+/// version cannot express (`QueryEvent` is `#[non_exhaustive]`): the
+/// server skips such events rather than sending garbage.
+pub fn encode_event(e: &mut Encoder, event: &QueryEvent) -> Result<()> {
+    match event {
+        QueryEvent::Snapshot(rows) => {
+            e.u8(0);
+            encode_rowset(e, rows);
+        }
+        QueryEvent::Delta {
+            rows,
+            concept,
+            round,
+            cost_so_far,
+            ..
+        } => {
+            e.u8(1);
+            encode_rowset(e, rows);
+            e.str(concept);
+            e.u64(*round as u64);
+            e.f64(*cost_so_far);
+        }
+        QueryEvent::Progress {
+            concept,
+            items_resolved,
+            items_outstanding,
+            estimated_completeness,
+            estimated_remaining_cost,
+            ..
+        } => {
+            e.u8(2);
+            e.str(concept);
+            e.u64(*items_resolved as u64);
+            e.u64(*items_outstanding as u64);
+            e.f64(*estimated_completeness);
+            e.f64(*estimated_remaining_cost);
+        }
+        QueryEvent::Completed(outcome) => {
+            e.u8(3);
+            encode_outcome(e, outcome);
+        }
+        other => {
+            return Err(protocol_err(format!(
+                "query event {other:?} is not expressible in protocol version {PROTOCOL_VERSION}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Decodes a [`QueryEvent`].
+pub fn decode_event(d: &mut Decoder<'_>) -> Result<QueryEvent> {
+    decode_event_inner(d).map_err(as_protocol)
+}
+
+fn decode_event_inner(d: &mut Decoder<'_>) -> Result<QueryEvent> {
+    Ok(match d.u8()? {
+        0 => QueryEvent::Snapshot(decode_rowset(d)?),
+        1 => {
+            let rows = decode_rowset(d)?;
+            let concept = d.str()?;
+            let round = d.u64()? as usize;
+            let cost_so_far = d.f64()?;
+            QueryEvent::delta(rows, concept, round, cost_so_far)
+        }
+        2 => {
+            let concept = d.str()?;
+            let items_resolved = d.u64()? as usize;
+            let items_outstanding = d.u64()? as usize;
+            let estimated_completeness = d.f64()?;
+            let estimated_remaining_cost = d.f64()?;
+            QueryEvent::progress(
+                concept,
+                items_resolved,
+                items_outstanding,
+                estimated_completeness,
+                estimated_remaining_cost,
+            )
+        }
+        3 => QueryEvent::Completed(decode_outcome(d)?),
+        tag => return Err(protocol_err(format!("unknown query event tag {tag}"))),
+    })
+}
+
+/// Encodes a [`CrowdDbError`], preserving the exact variant — including
+/// every nested engine error — so remote callers match on typed errors,
+/// never on strings.
+pub fn encode_error(e: &mut Encoder, error: &CrowdDbError) {
+    match error {
+        CrowdDbError::Relational(sub) => {
+            e.u8(0);
+            match sub {
+                relational::RelationalError::Parse(m) => {
+                    e.u8(0);
+                    e.str(m);
+                }
+                relational::RelationalError::UnknownTable(m) => {
+                    e.u8(1);
+                    e.str(m);
+                }
+                relational::RelationalError::UnknownColumn { table, column } => {
+                    e.u8(2);
+                    e.str(table);
+                    e.str(column);
+                }
+                relational::RelationalError::TableExists(m) => {
+                    e.u8(3);
+                    e.str(m);
+                }
+                relational::RelationalError::ColumnExists(m) => {
+                    e.u8(4);
+                    e.str(m);
+                }
+                relational::RelationalError::TypeMismatch(m) => {
+                    e.u8(5);
+                    e.str(m);
+                }
+                relational::RelationalError::InvalidStatement(m) => {
+                    e.u8(6);
+                    e.str(m);
+                }
+                relational::RelationalError::Evaluation(m) => {
+                    e.u8(7);
+                    e.str(m);
+                }
+            }
+        }
+        CrowdDbError::Perceptual(sub) => {
+            e.u8(1);
+            match sub {
+                perceptual::PerceptualError::InvalidRatings(m) => {
+                    e.u8(0);
+                    e.str(m);
+                }
+                perceptual::PerceptualError::InvalidConfig(m) => {
+                    e.u8(1);
+                    e.str(m);
+                }
+                perceptual::PerceptualError::UnknownId(m) => {
+                    e.u8(2);
+                    e.str(m);
+                }
+                perceptual::PerceptualError::Numerical(m) => {
+                    e.u8(3);
+                    e.str(m);
+                }
+            }
+        }
+        CrowdDbError::Learning(sub) => {
+            e.u8(2);
+            match sub {
+                mlkit::MlError::InvalidInput(m) => {
+                    e.u8(0);
+                    e.str(m);
+                }
+                mlkit::MlError::InvalidParameter(m) => {
+                    e.u8(1);
+                    e.str(m);
+                }
+                mlkit::MlError::MissingClass { positive } => {
+                    e.u8(2);
+                    e.bool(*positive);
+                }
+                mlkit::MlError::Numerical(m) => {
+                    e.u8(3);
+                    e.str(m);
+                }
+            }
+        }
+        CrowdDbError::Crowd(sub) => {
+            e.u8(3);
+            match sub {
+                crowdsim::CrowdError::InvalidConfig(m) => {
+                    e.u8(0);
+                    e.str(m);
+                }
+                crowdsim::CrowdError::UnknownId(m) => {
+                    e.u8(1);
+                    e.str(m);
+                }
+            }
+        }
+        CrowdDbError::UnknownAttribute { table, attribute } => {
+            e.u8(4);
+            e.str(table);
+            e.str(attribute);
+        }
+        CrowdDbError::Configuration(m) => {
+            e.u8(5);
+            e.str(m);
+        }
+        CrowdDbError::Contention(m) => {
+            e.u8(6);
+            e.str(m);
+        }
+        CrowdDbError::Storage(m) => {
+            e.u8(7);
+            e.str(m);
+        }
+        CrowdDbError::ExpansionDenied { table, columns } => {
+            e.u8(8);
+            e.str(table);
+            e.seq_len(columns.len());
+            for column in columns {
+                e.str(column);
+            }
+        }
+        CrowdDbError::Protocol { message, .. } => {
+            e.u8(9);
+            e.str(message);
+        }
+        // `CrowdDbError` is #[non_exhaustive]; an error variant this
+        // protocol version cannot name crosses the wire as a Protocol
+        // error carrying its rendered message — typed-ness degrades, the
+        // diagnosis survives.
+        other => {
+            e.u8(9);
+            e.str(&other.to_string());
+        }
+    }
+}
+
+/// Decodes a [`CrowdDbError`].
+pub fn decode_error(d: &mut Decoder<'_>) -> Result<CrowdDbError> {
+    decode_error_inner(d).map_err(as_protocol)
+}
+
+fn decode_error_inner(d: &mut Decoder<'_>) -> Result<CrowdDbError> {
+    Ok(match d.u8()? {
+        0 => CrowdDbError::Relational(match d.u8()? {
+            0 => relational::RelationalError::Parse(d.str()?),
+            1 => relational::RelationalError::UnknownTable(d.str()?),
+            2 => relational::RelationalError::UnknownColumn {
+                table: d.str()?,
+                column: d.str()?,
+            },
+            3 => relational::RelationalError::TableExists(d.str()?),
+            4 => relational::RelationalError::ColumnExists(d.str()?),
+            5 => relational::RelationalError::TypeMismatch(d.str()?),
+            6 => relational::RelationalError::InvalidStatement(d.str()?),
+            7 => relational::RelationalError::Evaluation(d.str()?),
+            tag => return Err(protocol_err(format!("unknown relational error tag {tag}"))),
+        }),
+        1 => CrowdDbError::Perceptual(match d.u8()? {
+            0 => perceptual::PerceptualError::InvalidRatings(d.str()?),
+            1 => perceptual::PerceptualError::InvalidConfig(d.str()?),
+            2 => perceptual::PerceptualError::UnknownId(d.str()?),
+            3 => perceptual::PerceptualError::Numerical(d.str()?),
+            tag => return Err(protocol_err(format!("unknown perceptual error tag {tag}"))),
+        }),
+        2 => CrowdDbError::Learning(match d.u8()? {
+            0 => mlkit::MlError::InvalidInput(d.str()?),
+            1 => mlkit::MlError::InvalidParameter(d.str()?),
+            2 => mlkit::MlError::MissingClass {
+                positive: d.bool()?,
+            },
+            3 => mlkit::MlError::Numerical(d.str()?),
+            tag => return Err(protocol_err(format!("unknown learning error tag {tag}"))),
+        }),
+        3 => CrowdDbError::Crowd(match d.u8()? {
+            0 => crowdsim::CrowdError::InvalidConfig(d.str()?),
+            1 => crowdsim::CrowdError::UnknownId(d.str()?),
+            tag => return Err(protocol_err(format!("unknown crowd error tag {tag}"))),
+        }),
+        4 => CrowdDbError::UnknownAttribute {
+            table: d.str()?,
+            attribute: d.str()?,
+        },
+        5 => CrowdDbError::Configuration(d.str()?),
+        6 => CrowdDbError::Contention(d.str()?),
+        7 => CrowdDbError::Storage(d.str()?),
+        8 => {
+            let table = d.str()?;
+            let n_columns = d.seq_len()?;
+            let mut columns = Vec::with_capacity(n_columns);
+            for _ in 0..n_columns {
+                columns.push(d.str()?);
+            }
+            CrowdDbError::ExpansionDenied { table, columns }
+        }
+        9 => CrowdDbError::protocol(d.str()?),
+        tag => return Err(protocol_err(format!("unknown error tag {tag}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowddb_core::expansion::ExpansionStage;
+
+    fn frame_round_trip(payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        let mut cursor = &buf[..];
+        read_frame(&mut cursor).unwrap().unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip_and_detect_damage() {
+        assert_eq!(frame_round_trip(b"hello"), b"hello");
+        assert_eq!(frame_round_trip(b""), b"");
+
+        // Clean EOF between frames.
+        let mut empty: &[u8] = &[];
+        assert!(read_frame(&mut empty).unwrap().is_none());
+
+        // Truncated header.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut cursor = &buf[..3];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(CrowdDbError::Protocol { .. })
+        ));
+
+        // Truncated payload.
+        let mut cursor = &buf[..buf.len() - 2];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(CrowdDbError::Protocol { .. })
+        ));
+
+        // Flipped payload byte fails the checksum.
+        let mut corrupt = buf.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        let mut cursor = &corrupt[..];
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // An oversize length prefix is rejected before any allocation.
+        let mut oversize = Vec::new();
+        oversize.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        oversize.extend_from_slice(&0u32.to_le_bytes());
+        let mut cursor = &oversize[..];
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn handshake_round_trips_and_rejects_bad_magic() {
+        for hello in [
+            ClientHello {
+                protocol_version: PROTOCOL_VERSION,
+                auth_token: None,
+            },
+            ClientHello {
+                protocol_version: 7,
+                auth_token: Some("sesame".into()),
+            },
+        ] {
+            let decoded = ClientHello::from_payload(&hello.to_payload()).unwrap();
+            assert_eq!(decoded, hello);
+        }
+        let mut bad = ClientHello {
+            protocol_version: PROTOCOL_VERSION,
+            auth_token: None,
+        }
+        .to_payload();
+        bad[0] = b'X';
+        let err = ClientHello::from_payload(&bad).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        for reply in [
+            HandshakeReply::Accepted {
+                protocol_version: PROTOCOL_VERSION,
+                session_id: 42,
+            },
+            HandshakeReply::Rejected {
+                reason: "bad token".into(),
+            },
+        ] {
+            let decoded = HandshakeReply::from_payload(&reply.to_payload()).unwrap();
+            assert_eq!(decoded, reply);
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Query {
+                id: 9,
+                sql: "SELECT name FROM movies WHERE is_comedy = true".into(),
+                policy: Some(ExpansionPolicy::best_effort(12.5).with_quality_floor(0.8)),
+                events: true,
+            },
+            Request::Query {
+                id: 10,
+                sql: "SELECT 1".into(),
+                policy: None,
+                events: false,
+            },
+            Request::SetDefaults {
+                id: 11,
+                policy: ExpansionPolicy::cache_only(),
+            },
+            Request::Ping { id: 12 },
+            Request::Goodbye,
+        ];
+        for request in requests {
+            let decoded = Request::from_payload(&request.to_payload()).unwrap();
+            assert_eq!(decoded, request);
+        }
+        assert!(Request::from_payload(&[250]).is_err());
+        // Trailing garbage after a well-formed request is a protocol error.
+        let mut payload = Request::Ping { id: 1 }.to_payload();
+        payload.push(0);
+        assert!(Request::from_payload(&payload).is_err());
+    }
+
+    fn sample_rowset() -> RowSet {
+        RowSet {
+            columns: vec!["name".into(), "is_comedy".into()],
+            rows: vec![
+                vec![Value::Text("Rocky".into()), Value::Boolean(false)],
+                vec![Value::Text("Grease".into()), Value::Null],
+                vec![Value::Integer(3), Value::Float(0.25)],
+            ],
+            provenance: vec![
+                vec![
+                    CellProvenance::Stored,
+                    CellProvenance::CrowdDerived {
+                        confidence: 0.9,
+                        cost_share: 0.02,
+                    },
+                ],
+                vec![
+                    CellProvenance::Stored,
+                    CellProvenance::Missing {
+                        reason: MissingReason::BudgetExhausted,
+                    },
+                ],
+                vec![
+                    CellProvenance::CacheHit { confidence: 0.75 },
+                    CellProvenance::Extracted,
+                ],
+            ],
+        }
+    }
+
+    fn sample_report() -> ExpansionReport {
+        ExpansionReport {
+            table: "movies".into(),
+            column: "is_comedy".into(),
+            attribute: "Comedy".into(),
+            strategy: "perceptual-space extraction".into(),
+            stages: vec![
+                ExpansionStage::MissingAttributeDetected,
+                ExpansionStage::ExpansionPlanned,
+                ExpansionStage::JudgmentsReused,
+                ExpansionStage::JoinedInflightRound,
+                ExpansionStage::BudgetExhausted,
+                ExpansionStage::ColumnAdded,
+                ExpansionStage::CrowdSourcingStarted,
+                ExpansionStage::JudgmentsAggregated,
+                ExpansionStage::ExtractorTrained,
+                ExpansionStage::ColumnMaterialized,
+                ExpansionStage::QueryReExecuted,
+            ],
+            items_crowd_sourced: 100,
+            judgments_collected: 1000,
+            rows_filled: 900,
+            rows_unfilled: 100,
+            crowd_cost: 2.0,
+            crowd_minutes: 15.0,
+            training_set_size: 80,
+            cache_hits: 7,
+            cache_misses: 93,
+            cost_saved: 0.14,
+            items_unmapped: 3,
+            items_coalesced: 5,
+            items_dropped: 2,
+        }
+    }
+
+    #[test]
+    fn events_and_outcomes_round_trip() {
+        let outcome = QueryOutcome::new(
+            ExpansionPolicy::best_effort(4.0).with_quality_floor(0.7),
+            StatementResult::Rows(sample_rowset()),
+            vec![sample_report()],
+            1.25,
+        );
+        let events = [
+            QueryEvent::Snapshot(sample_rowset()),
+            QueryEvent::delta(sample_rowset(), "Comedy", 2, 0.75),
+            QueryEvent::progress("Comedy", 30, 70, 0.3, 1.4),
+            QueryEvent::Completed(outcome.clone()),
+        ];
+        for event in &events {
+            let mut e = Encoder::new();
+            encode_event(&mut e, event).unwrap();
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            let decoded = decode_event(&mut d).unwrap();
+            assert!(d.is_exhausted());
+            assert_eq!(&decoded, event);
+        }
+        // Outcomes with a mutation result round-trip too.
+        let mutation = QueryOutcome::new(
+            ExpansionPolicy::full(),
+            StatementResult::Mutation { rows_affected: 17 },
+            Vec::new(),
+            0.0,
+        );
+        let mut e = Encoder::new();
+        encode_outcome(&mut e, &mutation);
+        let bytes = e.into_bytes();
+        let decoded = decode_outcome(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(decoded, mutation);
+    }
+
+    /// The satellite contract: **every** existing [`CrowdDbError`] variant
+    /// — including each nested engine error variant — survives the codec
+    /// exactly, so remote callers never fall back to stringly-typed errors.
+    #[test]
+    fn every_error_variant_round_trips_exactly() {
+        let errors: Vec<CrowdDbError> = vec![
+            CrowdDbError::Relational(relational::RelationalError::Parse("bad token".into())),
+            CrowdDbError::Relational(relational::RelationalError::UnknownTable("movies".into())),
+            CrowdDbError::Relational(relational::RelationalError::UnknownColumn {
+                table: "movies".into(),
+                column: "is_comedy".into(),
+            }),
+            CrowdDbError::Relational(relational::RelationalError::TableExists("movies".into())),
+            CrowdDbError::Relational(relational::RelationalError::ColumnExists("name".into())),
+            CrowdDbError::Relational(relational::RelationalError::TypeMismatch("int/bool".into())),
+            CrowdDbError::Relational(relational::RelationalError::InvalidStatement(
+                "arity".into(),
+            )),
+            CrowdDbError::Relational(relational::RelationalError::Evaluation("div 0".into())),
+            CrowdDbError::Perceptual(perceptual::PerceptualError::InvalidRatings("empty".into())),
+            CrowdDbError::Perceptual(perceptual::PerceptualError::InvalidConfig("d = 0".into())),
+            CrowdDbError::Perceptual(perceptual::PerceptualError::UnknownId("item 7".into())),
+            CrowdDbError::Perceptual(perceptual::PerceptualError::Numerical("NaN".into())),
+            CrowdDbError::Learning(mlkit::MlError::InvalidInput("no rows".into())),
+            CrowdDbError::Learning(mlkit::MlError::InvalidParameter("C < 0".into())),
+            CrowdDbError::Learning(mlkit::MlError::MissingClass { positive: true }),
+            CrowdDbError::Learning(mlkit::MlError::MissingClass { positive: false }),
+            CrowdDbError::Learning(mlkit::MlError::Numerical("diverged".into())),
+            CrowdDbError::Crowd(crowdsim::CrowdError::InvalidConfig("no items".into())),
+            CrowdDbError::Crowd(crowdsim::CrowdError::UnknownId("worker 9".into())),
+            CrowdDbError::UnknownAttribute {
+                table: "movies".into(),
+                attribute: "humor".into(),
+            },
+            CrowdDbError::Configuration("no crowd source".into()),
+            CrowdDbError::Contention("kept aborting".into()),
+            CrowdDbError::Storage("torn record".into()),
+            CrowdDbError::ExpansionDenied {
+                table: "movies".into(),
+                columns: vec!["is_comedy".into(), "is_horror".into()],
+            },
+            CrowdDbError::protocol("handshake rejected"),
+        ];
+        for error in &errors {
+            let mut e = Encoder::new();
+            encode_error(&mut e, error);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            let decoded = decode_error(&mut d).unwrap();
+            assert!(d.is_exhausted());
+            assert_eq!(&decoded, error, "variant {error:?} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Event {
+                id: 3,
+                event: QueryEvent::Snapshot(sample_rowset()),
+            },
+            Response::QueryFailed {
+                id: 4,
+                error: CrowdDbError::ExpansionDenied {
+                    table: "movies".into(),
+                    columns: vec!["is_comedy".into()],
+                },
+            },
+            Response::Ack { id: 5 },
+        ];
+        for response in responses {
+            let payload = response.to_payload().unwrap();
+            let decoded = Response::from_payload(&payload).unwrap();
+            assert_eq!(decoded, response);
+        }
+        assert!(Response::from_payload(&[9]).is_err());
+    }
+
+    #[test]
+    fn garbage_payloads_are_typed_protocol_errors_not_panics() {
+        for garbage in [&[][..], &[42u8][..], &[0, 0, 0][..], &[1, 255, 255][..]] {
+            match Request::from_payload(garbage) {
+                Err(CrowdDbError::Protocol { .. }) => {}
+                other => panic!("garbage {garbage:?} produced {other:?}"),
+            }
+        }
+        let mut d = Decoder::new(&[200]);
+        assert!(matches!(
+            decode_event(&mut d),
+            Err(CrowdDbError::Protocol { .. })
+        ));
+    }
+}

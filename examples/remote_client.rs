@@ -1,0 +1,80 @@
+//! A remote CrowdDb client streaming an anytime query over TCP.
+//!
+//! Connects to the `server` example, pings it, then runs the usual
+//! comedy query twice — first streamed (snapshot, progress, deltas,
+//! completion arrive as frames while the crowd round runs server-side),
+//! then blocking — and shows the second run answered from the server's
+//! judgment cache for free.
+//!
+//! Start `cargo run --release --example server` first, then run this with
+//! `cargo run --release --example remote_client` (add `host:port` to
+//! override the default 127.0.0.1:4950).
+
+use crowddb::prelude::*;
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:4950".into());
+
+    let client = RemoteCrowdDb::connect(&addr).unwrap();
+    client.ping().unwrap();
+    println!("connected to {addr} as session {}", client.session_id());
+
+    // The anytime query, streamed over the wire: the same typed events an
+    // in-process `stream()` yields, demultiplexed by request id.
+    let mut stream = client
+        .query("SELECT name, is_comedy FROM movies WHERE is_comedy = true")
+        .stream();
+    for event in &mut stream {
+        match event {
+            QueryEvent::Snapshot(rows) => {
+                println!("snapshot: {} rows answerable right now", rows.rows.len());
+            }
+            QueryEvent::Progress {
+                concept,
+                estimated_completeness,
+                ..
+            } => {
+                println!(
+                    "progress: {concept} {:.0}% complete",
+                    estimated_completeness * 100.0
+                );
+            }
+            QueryEvent::Delta {
+                rows,
+                concept,
+                round,
+                ..
+            } => {
+                println!(
+                    "delta: round {round} of {concept} settled {} rows",
+                    rows.rows.len()
+                );
+            }
+            QueryEvent::Completed(outcome) => {
+                println!(
+                    "completed: {} rows for ${:.2}",
+                    outcome.rows().map_or(0, |r| r.rows.len()),
+                    outcome.crowd_cost
+                );
+            }
+            _ => {}
+        }
+    }
+    stream.wait().unwrap();
+
+    // Same question again, blocking this time: the judgments are in the
+    // server's shared cache now, so this costs nothing.
+    let warm = client
+        .query("SELECT name, is_comedy FROM movies WHERE is_comedy = true")
+        .run()
+        .unwrap();
+    println!(
+        "warm rerun: {} rows for ${:.2} (cache)",
+        warm.rows().map_or(0, |r| r.rows.len()),
+        warm.crowd_cost
+    );
+
+    client.close().unwrap();
+}

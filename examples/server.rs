@@ -1,0 +1,59 @@
+//! A CrowdDb network server over a seeded movie domain.
+//!
+//! Builds the usual synthetic movie domain with a simulated crowd, binds
+//! a [`CrowdDbServer`] on a TCP port, and serves until killed.  Point any
+//! number of `remote_client` processes at it — every connection drives
+//! the *same* engine, so concurrent clients asking for the same missing
+//! attribute coalesce onto one crowd round and share the judgment cache.
+//!
+//! Run with `cargo run --release --example server` (add a port argument
+//! to override the default 4950), then in other terminals:
+//! `cargo run --release --example remote_client`.
+
+use crowddb::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let port: u16 = std::env::args()
+        .nth(1)
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(4950);
+
+    // The same seeded setup the in-process examples use: a synthetic
+    // movie domain, its perceptual space, and a simulated crowd.
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.2), 42).unwrap();
+    let space = build_space_for_domain(&domain, 8, 12).unwrap();
+    let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 7);
+
+    let db = Arc::new(CrowdDb::new(CrowdDbConfig {
+        strategy: ExpansionStrategy::DirectCrowd,
+        ..Default::default()
+    }));
+    db.load_domain("movies", &domain, space, Box::new(crowd))
+        .unwrap();
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
+
+    let server = CrowdDbServer::bind(
+        Arc::clone(&db),
+        ("127.0.0.1", port),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    println!("crowddb server listening on {}", server.local_addr());
+    println!("try: cargo run --release --example remote_client");
+
+    // Serve until killed; the per-connection work runs on the database's
+    // own scheduler pool.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(5));
+        let stats = server.stats();
+        println!(
+            "connections: {} active / {} accepted; queries: {} completed / {} started",
+            stats.connections_active,
+            stats.connections_accepted,
+            stats.queries_completed,
+            stats.queries_started
+        );
+    }
+}

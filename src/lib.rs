@@ -14,6 +14,8 @@
 //! | [`datagen`] | synthetic Social-Web domains (movies, restaurants, board games) |
 //! | [`storage`] | durable storage engine (checksummed write-ahead log, snapshot/checkpoint files) |
 //! | [`crowddb_core`] | the crowd-enabled database: query-driven schema expansion, boosting, HIT auditing |
+//! | [`crowddb_server`] | network service layer: multi-client TCP server streaming anytime answers |
+//! | [`crowddb_client`] | blocking remote client mirroring the in-process query API |
 //!
 //! See the repository README for a quickstart, `docs/architecture.md` for
 //! the pipeline and concurrency design, and `docs/paper-mapping.md` for the
@@ -35,7 +37,9 @@
 
 #![warn(missing_docs)]
 
+pub use crowddb_client;
 pub use crowddb_core;
+pub use crowddb_server;
 pub use crowdsim;
 pub use datagen;
 pub use mlkit;
@@ -45,6 +49,7 @@ pub use storage;
 
 /// Commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
+    pub use crowddb_client::{ClientConfig, RemoteCrowdDb, RemoteQueryBuilder, RemoteQueryStream};
     pub use crowddb_core::{
         audit_binary_labels, build_space_for_domain, evaluate_boost_over_time,
         extract_binary_attribute, extract_numeric_attribute, repair_labels, AttributeRequest,
@@ -54,6 +59,7 @@ pub mod prelude {
         JudgmentCache, MissingReason, OutstandingEstimate, QueryBuilder, QueryEvent, QueryOutcome,
         QueryStream, RepairOutcome, RowSet, Session, SimulatedCrowd, StatementResult, TableRef,
     };
+    pub use crowddb_server::{CrowdDbServer, ServerConfig, ServerStats};
     pub use crowdsim::{
         em_aggregate, majority_vote, CrowdPlatform, CrowdRun, EmConfig, EmOutcome,
         ExperimentRegime, HitConfig, ItemPosterior, Judgment, JudgmentResponse, LabelOracle,
