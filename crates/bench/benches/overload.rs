@@ -1,0 +1,342 @@
+//! Criterion bench: admission control under overload — graceful
+//! degradation for a dollar-rate tenant, hard-cap shedding for a
+//! concurrency-capped tenant, and the latency of stored-only queries
+//! while the engine is saturated.
+//!
+//! Overload is made deterministic the same way the admission tests do
+//! it: a gate parks the crowd dispatch so a tenant's single slot stays
+//! pinned while shed attempts pile up, and the dollar window is an hour
+//! no bench run outlives.  The run emits `BENCH_overload.json` at the
+//! workspace root whose deterministic fields — admitted / degraded /
+//! shed counts and the dollars the limiter charged — are guarded by
+//! `check_bench_regression` against `ci/BENCH_overload.baseline.json`.
+//! The wall-clock fields (`*_ms`) are narration only.
+//!
+//! Run with `cargo bench -p bench --bench overload`; pass `-- --test`
+//! for the CI smoke mode (one sample per benchmark, same JSON).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use criterion::Criterion;
+use crowddb_core::{
+    build_space_for_domain, AttributeRequest, CrowdDb, CrowdDbConfig, CrowdDbError, CrowdSource,
+    ExpansionMode, ExpansionStrategy, Limiter, LimiterConfig, SimulatedCrowd, TenantLimits,
+};
+use crowdsim::{BatchCrowdRun, CrowdRun, ExperimentRegime};
+use datagen::{DomainConfig, SyntheticDomain};
+
+const COMEDY: &str = "SELECT item_id, is_comedy FROM movies WHERE is_comedy = true";
+const HORROR: &str = "SELECT item_id, is_horror FROM movies WHERE is_horror = true";
+const STORED: &str = "SELECT name FROM movies LIMIT 5";
+
+/// Degraded queries issued by the over-rate tenant after its window blows.
+const DEGRADED_QUERIES: usize = 8;
+/// Shed attempts issued by the capped tenant while its slot is pinned.
+const SHED_ATTEMPTS: usize = 5;
+/// Stored-only queries timed while the engine is saturated (for the p99).
+const STORED_SAMPLES: usize = 64;
+
+/// A gate the bench closes while queries pile up behind the crowd
+/// dispatch, making overload deterministic instead of timing-based.
+struct Gate {
+    open: Mutex<bool>,
+    signal: Condvar,
+}
+
+impl Gate {
+    fn new_open() -> Self {
+        Gate {
+            open: Mutex::new(true),
+            signal: Condvar::new(),
+        }
+    }
+
+    fn close(&self) {
+        *self.open.lock().unwrap() = false;
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.signal.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.signal.wait(open).unwrap();
+        }
+    }
+}
+
+/// Wraps a [`SimulatedCrowd`], counting rounds and parking each dispatch
+/// on the gate while it is closed.
+struct GatedCrowd {
+    inner: SimulatedCrowd,
+    batch_calls: Arc<AtomicUsize>,
+    gate: Arc<Gate>,
+}
+
+impl CrowdSource for GatedCrowd {
+    fn collect(
+        &mut self,
+        items: &[u32],
+        attribute: &str,
+        seed: u64,
+    ) -> Result<CrowdRun, CrowdDbError> {
+        self.inner.collect(items, attribute, seed)
+    }
+
+    fn collect_batch(
+        &mut self,
+        requests: &[AttributeRequest],
+        seed: u64,
+    ) -> Result<BatchCrowdRun, CrowdDbError> {
+        self.batch_calls.fetch_add(1, Ordering::SeqCst);
+        self.gate.wait_open();
+        self.inner.collect_batch(requests, seed)
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+}
+
+struct Setup {
+    db: Arc<CrowdDb>,
+    gate: Arc<Gate>,
+    batch_calls: Arc<AtomicUsize>,
+    items: usize,
+}
+
+/// A fresh engine with two throttled tenants: `meter` is dollar-rate
+/// limited (one-cent window the first query blows), `flood` holds a hard
+/// concurrency cap of 1.
+fn setup() -> Setup {
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.1), 777).unwrap();
+    let space = build_space_for_domain(&domain, 10, 15).unwrap();
+    let items = domain.items().len();
+    let gate = Arc::new(Gate::new_open());
+    let batch_calls = Arc::new(AtomicUsize::new(0));
+    let crowd = GatedCrowd {
+        inner: SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 23),
+        batch_calls: batch_calls.clone(),
+        gate: gate.clone(),
+    };
+    let db = Arc::new(CrowdDb::new(CrowdDbConfig {
+        strategy: ExpansionStrategy::DirectCrowd,
+        ..Default::default()
+    }));
+    db.load_domain("movies", &domain, space, Box::new(crowd))
+        .unwrap();
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
+    db.register_attribute("movies", "is_horror", "Horror")
+        .unwrap();
+    db.set_limiter(Limiter::new(
+        LimiterConfig::new()
+            .tenant(
+                "meter",
+                TenantLimits::unlimited().dollar_rate(0.01, Duration::from_secs(3600)),
+            )
+            .tenant("flood", TenantLimits::unlimited().max_concurrent(1)),
+    ));
+    Setup {
+        db,
+        gate,
+        batch_calls,
+        items,
+    }
+}
+
+struct OverloadRun {
+    items: usize,
+    admitted: usize,
+    degraded: usize,
+    shed: usize,
+    dollars_charged: f64,
+    full_cost_dollars: f64,
+    degraded_cost_dollars: f64,
+    full_wall_ms: f64,
+    degraded_wall_ms: f64,
+    shed_wall_ms: f64,
+    stored_p99_ms: f64,
+}
+
+/// One full overload pass: a full-fidelity query blows the `meter`
+/// tenant's dollar window, its next queries degrade to `BestEffort` for
+/// free, the `flood` tenant's pinned slot sheds further attempts with the
+/// typed error, and stored-only queries are timed while the engine is
+/// saturated.
+fn measure() -> OverloadRun {
+    let s = setup();
+
+    // Phase 1 — full fidelity: the window is empty, real crowd spend.
+    let start = Instant::now();
+    let full = s.db.query(COMEDY).tenant("meter").run().unwrap();
+    let full_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        full.crowd_cost > 0.01,
+        "first query must blow the one-cent window, cost {}",
+        full.crowd_cost
+    );
+    assert_eq!(s.batch_calls.load(Ordering::SeqCst), 1);
+
+    // Phase 2 — graceful degradation: the window is blown, so every
+    // further `meter` query runs at BestEffort with a zero budget cap —
+    // succeeding from stored cells, dispatching no crowd round.
+    let start = Instant::now();
+    let mut degraded_cost_dollars = 0.0;
+    for _ in 0..DEGRADED_QUERIES {
+        let outcome = s.db.query(HORROR).tenant("meter").run().unwrap();
+        assert_eq!(outcome.policy.mode, ExpansionMode::BestEffort);
+        degraded_cost_dollars += outcome.crowd_cost;
+    }
+    let degraded_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(s.batch_calls.load(Ordering::SeqCst), 1, "no extra rounds");
+
+    // Phase 3 — hard-cap shedding: pin the `flood` tenant's one slot
+    // inside a gated crowd round, then pile shed attempts against it.
+    s.gate.close();
+    let pinned = s.db.query(HORROR).tenant("flood").stream();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while s.batch_calls.load(Ordering::SeqCst) < 2 {
+        assert!(Instant::now() < deadline, "pinned round never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let start = Instant::now();
+    for _ in 0..SHED_ATTEMPTS {
+        match s.db.query(COMEDY).tenant("flood").run() {
+            Err(CrowdDbError::Overloaded { tenant, .. }) => assert_eq!(tenant, "flood"),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+    let shed_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Phase 4 — stored-only latency under saturation: the crowd round is
+    // still parked, yet stored queries answer immediately.
+    let mut latencies_ms: Vec<f64> = (0..STORED_SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            let rows = s.db.execute(STORED).unwrap();
+            assert!(!rows.rows.is_empty());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let stored_p99_ms = latencies_ms[(STORED_SAMPLES * 99) / 100 - 1];
+
+    // Release the slot; the pinned query finishes and pays the crowd.
+    s.gate.open();
+    let pinned = pinned.wait().unwrap();
+    assert!(pinned.crowd_cost > 0.0);
+
+    let stats = s.db.limiter().unwrap().stats();
+    assert_eq!(stats.degraded as usize, DEGRADED_QUERIES);
+    assert_eq!(stats.shed as usize, SHED_ATTEMPTS);
+    let invoiced = full.crowd_cost + pinned.crowd_cost;
+    assert!(
+        (stats.dollars_charged - invoiced).abs() < 1e-9,
+        "limiter accounting drifted: charged ${} but the crowd invoiced ${invoiced}",
+        stats.dollars_charged
+    );
+
+    OverloadRun {
+        items: s.items,
+        admitted: stats.admitted as usize,
+        degraded: stats.degraded as usize,
+        shed: stats.shed as usize,
+        dollars_charged: stats.dollars_charged,
+        full_cost_dollars: full.crowd_cost,
+        degraded_cost_dollars,
+        full_wall_ms,
+        degraded_wall_ms,
+        shed_wall_ms,
+        stored_p99_ms,
+    }
+}
+
+fn write_report(run: &OverloadRun) {
+    // CARGO_MANIFEST_DIR is crates/bench; the report belongs at the
+    // workspace root regardless of where cargo runs the bench binary.
+    let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_overload.json");
+    // Key names are globally unique (not nested-scoped) so the flat field
+    // extraction in check_bench_regression stays unambiguous.
+    let json = format!(
+        "{{\n  \"bench\": \"overload\",\n  \"items\": {},\n  \
+         \"overload_admitted\": {},\n  \"overload_degraded\": {},\n  \
+         \"overload_shed\": {},\n  \"overload_dollars_charged\": {:.4},\n  \
+         \"overload_full_cost_dollars\": {:.4},\n  \
+         \"overload_degraded_cost_dollars\": {:.4},\n  \
+         \"full_wall_ms\": {:.3},\n  \"degraded_wall_ms\": {:.3},\n  \
+         \"shed_wall_ms\": {:.3},\n  \"stored_p99_ms\": {:.3}\n}}\n",
+        run.items,
+        run.admitted,
+        run.degraded,
+        run.shed,
+        run.dollars_charged,
+        run.full_cost_dollars,
+        run.degraded_cost_dollars,
+        run.full_wall_ms,
+        run.degraded_wall_ms,
+        run.shed_wall_ms,
+        run.stored_p99_ms,
+    );
+    std::fs::write(&path, json).expect("write BENCH_overload.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+
+    let run = measure();
+    // The acceptance bar: soft pressure degraded every windowed query for
+    // free, only the hard cap shed, and the limiter's invoice matches the
+    // crowd's.
+    assert_eq!(run.degraded, DEGRADED_QUERIES, "degradation miscounted");
+    assert_eq!(run.shed, SHED_ATTEMPTS, "shedding miscounted");
+    assert_eq!(run.degraded_cost_dollars, 0.0, "degraded queries paid");
+    write_report(&run);
+
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group(if smoke { "overload_smoke" } else { "overload" });
+    group.sample_size(10);
+    if smoke {
+        // CI smoke mode: the measured pass above already exercised the
+        // whole admission pipeline; one degraded-admission round trip
+        // keeps criterion happy.
+        group.bench_function("degraded_admission", |b| {
+            let s = setup();
+            s.db.query(COMEDY).tenant("meter").run().unwrap();
+            b.iter(|| s.db.query(HORROR).tenant("meter").run().unwrap());
+        });
+        group.finish();
+        return;
+    }
+
+    // Full mode: the degraded fast path (admission + stored-only answer)
+    // and the stored-query path under a pinned crowd round.
+    group.bench_function("degraded_admission", |b| {
+        let s = setup();
+        s.db.query(COMEDY).tenant("meter").run().unwrap();
+        b.iter(|| s.db.query(HORROR).tenant("meter").run().unwrap());
+    });
+    group.bench_function("stored_query_under_saturation", |b| {
+        let s = setup();
+        s.db.query(COMEDY).tenant("meter").run().unwrap();
+        s.gate.close();
+        let pinned = s.db.query(HORROR).tenant("flood").stream();
+        while s.batch_calls.load(Ordering::SeqCst) < 2 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        b.iter(|| s.db.execute(STORED).unwrap());
+        s.gate.open();
+        pinned.wait().unwrap();
+    });
+    group.finish();
+}

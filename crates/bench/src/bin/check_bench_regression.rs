@@ -1,7 +1,7 @@
 //! Bench-regression guard: compares the deterministic *cost* fields of the
 //! smoke-bench reports (`BENCH_policy.json`, `BENCH_stream.json`,
-//! `BENCH_shard.json`, `BENCH_server.json`) against the baselines
-//! committed under `ci/`, and fails on any drift.
+//! `BENCH_shard.json`, `BENCH_server.json`, `BENCH_overload.json`)
+//! against the baselines committed under `ci/`, and fails on any drift.
 //!
 //! The guarded fields are the seeded, machine-independent outputs of the
 //! policy engine — crowd dollars per mode and missing-cell counts — which
@@ -54,6 +54,15 @@ const SERVER_FIELDS: &[&str] = &[
     "server_crowd_rounds",
     "server_cold_cost_dollars",
     "server_warm_cost_dollars",
+];
+const OVERLOAD_FIELDS: &[&str] = &[
+    "items",
+    "overload_admitted",
+    "overload_degraded",
+    "overload_shed",
+    "overload_dollars_charged",
+    "overload_full_cost_dollars",
+    "overload_degraded_cost_dollars",
 ];
 const SHARD_FIELDS: &[&str] = &[
     "threads",
@@ -149,6 +158,11 @@ fn main() -> ExitCode {
             "BENCH_server.json",
             "BENCH_server.baseline.json",
             SERVER_FIELDS,
+        ),
+        (
+            "BENCH_overload.json",
+            "BENCH_overload.baseline.json",
+            OVERLOAD_FIELDS,
         ),
     ];
     let mut failed = false;

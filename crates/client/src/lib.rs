@@ -33,6 +33,9 @@ use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
+pub use crowddb_server::ServerStats;
+pub use telemetry::MonitorTree;
+
 /// Connection options for [`RemoteCrowdDb::connect_with`].
 #[derive(Debug, Clone, Default)]
 pub struct ClientConfig {
@@ -45,6 +48,9 @@ enum Incoming {
     Event(QueryEvent),
     Failed(CrowdDbError),
     Ack,
+    Stats(ServerStats),
+    Metrics(String),
+    Monitor(MonitorTree),
 }
 
 struct ClientInner {
@@ -167,23 +173,64 @@ impl RemoteCrowdDb {
         self.request_ack(|id| Request::SetDefaults { id, policy })
     }
 
+    /// Snapshots the server's connection and query counters.
+    pub fn server_stats(&self) -> Result<ServerStats> {
+        match self.request_reply(|id| Request::Stats { id })? {
+            Incoming::Stats(stats) => Ok(stats),
+            Incoming::Failed(error) => Err(error),
+            _ => Err(CrowdDbError::protocol(
+                "server answered a stats request with the wrong reply",
+            )),
+        }
+    }
+
+    /// Scrapes the server's full metric catalog — engine and server
+    /// families — as Prometheus text exposition.  Parse it with
+    /// [`telemetry::parse_text`].
+    pub fn metrics(&self) -> Result<String> {
+        match self.request_reply(|id| Request::Metrics { id })? {
+            Incoming::Metrics(text) => Ok(text),
+            Incoming::Failed(error) => Err(error),
+            _ => Err(CrowdDbError::protocol(
+                "server answered a metrics request with the wrong reply",
+            )),
+        }
+    }
+
+    /// Snapshots the server's live state-monitor tree — active sessions,
+    /// running queries, in-flight expansions with cost-so-far.
+    pub fn monitor(&self) -> Result<MonitorTree> {
+        match self.request_reply(|id| Request::Monitor { id })? {
+            Incoming::Monitor(tree) => Ok(tree),
+            Incoming::Failed(error) => Err(error),
+            _ => Err(CrowdDbError::protocol(
+                "server answered a monitor request with the wrong reply",
+            )),
+        }
+    }
+
     fn request_ack(&self, make: impl FnOnce(u64) -> Request) -> Result<()> {
+        match self.request_reply(make)? {
+            Incoming::Ack => Ok(()),
+            Incoming::Failed(error) => Err(error),
+            _ => Err(CrowdDbError::protocol(
+                "server answered a control request with the wrong reply",
+            )),
+        }
+    }
+
+    /// Sends one request and blocks for its single reply, routed back by
+    /// request id.
+    fn request_reply(&self, make: impl FnOnce(u64) -> Request) -> Result<Incoming> {
         let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
         let rx = self.inner.register(id);
         if let Err(e) = self.inner.send(&make(id)) {
             self.inner.deregister(id);
             return Err(e);
         }
-        let result = match rx.recv() {
-            Ok(Incoming::Ack) => Ok(()),
-            Ok(Incoming::Failed(error)) => Err(error),
-            Ok(Incoming::Event(_)) => Err(CrowdDbError::protocol(
-                "server answered a control request with a query event",
-            )),
-            Err(mpsc::RecvError) => Err(CrowdDbError::protocol(
-                "connection lost awaiting acknowledgement",
-            )),
-        };
+        let result = rx
+            .recv()
+            .map_err(|_| CrowdDbError::protocol("connection lost awaiting a reply"));
         self.inner.deregister(id);
         result
     }
@@ -228,6 +275,9 @@ fn demux_loop(mut sock: TcpStream, inner: Arc<ClientInner>) {
             Response::Event { id, event } => (id, Incoming::Event(event)),
             Response::QueryFailed { id, error } => (id, Incoming::Failed(error)),
             Response::Ack { id } => (id, Incoming::Ack),
+            Response::Stats { id, stats } => (id, Incoming::Stats(stats)),
+            Response::Metrics { id, text } => (id, Incoming::Metrics(text)),
+            Response::Monitor { id, tree } => (id, Incoming::Monitor(tree)),
         };
         // An unknown id is a dropped stream's late event: discard.
         if let Some(tx) = inner.pending.lock().unwrap().get(&id) {
@@ -412,9 +462,9 @@ impl Iterator for RemoteQueryStream {
                 self.done = true;
                 None
             }
-            Ok(Incoming::Ack) => {
+            Ok(_) => {
                 self.outcome = Some(Err(CrowdDbError::protocol(
-                    "server answered a query with a bare acknowledgement",
+                    "server answered a query with a non-query reply",
                 )));
                 self.done = true;
                 None

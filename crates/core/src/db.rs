@@ -57,6 +57,9 @@ use relational::{
     executor, sql, Catalog, Column, DataType, QueryResult, RelationalError, Schema, Table, Value,
 };
 
+use telemetry::{MetricsSnapshot, StateMonitor};
+
+use crate::admission::{demote, DegradeDirective, Limiter};
 use crate::cache::{CacheStats, CachedJudgment, JudgmentCache};
 use crate::crowd_source::{AttributeRequest, CrowdSource, OutstandingEstimate};
 use crate::error::CrowdDbError;
@@ -64,11 +67,12 @@ use crate::expansion::{ExpansionReport, ExpansionStage, ExpansionStrategy};
 use crate::extraction::extract_binary_attribute;
 use crate::inflight::{Claim, InflightRegistry, InflightStats};
 use crate::materialize::materialize_column;
+use crate::metrics::EngineMetrics;
 use crate::persist::{self, Durability, RecoveredState};
 use crate::planner::{self, ExpansionPlan, PlanInputs};
 use crate::policy::{ExpansionMode, ExpansionPolicy};
 use crate::provenance::{CellProvenance, MissingReason};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Scheduler, SchedulerStats};
 use crate::session::{QueryBuilder, QueryOutcome, RowSet, Session, StatementResult};
 use crate::stream::{EventSink, QueryEvent};
 use crate::Result;
@@ -466,6 +470,32 @@ pub(crate) struct DbInner {
     /// re-bought, so losing the profiles costs convergence speed, not
     /// dollars).
     accuracy: Mutex<WorkerAccuracyStore>,
+    /// The hot-path metric instruments (queries started/completed per
+    /// mode, degradations, sheds, crowd dollars).  Everything else in the
+    /// scrape is collect-time state — see
+    /// [`CrowdDb::metrics_snapshot`] for the full catalog.
+    metrics: EngineMetrics,
+    /// Root of the live state-monitor tree (`crowddb`): active queries and
+    /// in-flight expansions attach child nodes for their lifetime, so a
+    /// scrape shows what the engine is doing *right now* rather than what
+    /// it has counted so far.
+    monitor: StateMonitor,
+    /// The `crowddb/queries` monitor node: one child per query currently
+    /// on (or queued for) the scheduler.
+    queries_monitor: StateMonitor,
+    /// The `crowddb/expansions` monitor node: one child per concept whose
+    /// crowd acquisition is in flight, carrying the concept, the items
+    /// outstanding, and the plan's spend so far.
+    expansions_monitor: StateMonitor,
+    /// The admission controller, when one is attached
+    /// ([`CrowdDb::set_limiter`]).  `None` (the default) admits everything
+    /// untouched.
+    limiter: RwLock<Option<Arc<Limiter>>>,
+    /// High-water mark of [`CrowdDb::events_since`] cursors handed out —
+    /// how far the furthest-ahead poller has read, surfaced as
+    /// `crowddb_events_high_water` so a stuck consumer is visible as a gap
+    /// against the event count.
+    events_high_water: AtomicU64,
 }
 
 /// Core worker threads per database.  The scheduler grows past this
@@ -698,6 +728,9 @@ impl CrowdDb {
                 .clone();
             shards.insert(name, Shard::of_table(table));
         }
+        let monitor = StateMonitor::make_root("crowddb");
+        let queries_monitor = monitor.make_child("queries");
+        let expansions_monitor = monitor.make_child("expansions");
         CrowdDb {
             inner: Arc::new(DbInner {
                 config,
@@ -711,6 +744,12 @@ impl CrowdDb {
                 incomplete: RwLock::new(state.incomplete),
                 durability,
                 accuracy: Mutex::new(WorkerAccuracyStore::new()),
+                metrics: EngineMetrics::new(),
+                monitor,
+                queries_monitor,
+                expansions_monitor,
+                limiter: RwLock::new(None),
+                events_high_water: AtomicU64::new(0),
             }),
             scheduler: Scheduler::new(SCHEDULER_CORE_WORKERS),
         }
@@ -769,6 +808,11 @@ impl CrowdDb {
     pub fn events_since(&self, seq: u64) -> (Vec<ExpansionEvent>, u64) {
         let events = mlock(&self.inner.events);
         let cursor = events.len() as u64;
+        // How far the furthest-ahead poller has read — a stuck consumer
+        // shows up in the scrape as this value lagging the event count.
+        self.inner
+            .events_high_water
+            .fetch_max(cursor, Ordering::SeqCst);
         let start = seq.min(cursor) as usize;
         (events[start..].to_vec(), cursor)
     }
@@ -788,6 +832,173 @@ impl CrowdDb {
     /// rounds already in flight.
     pub fn inflight_stats(&self) -> InflightStats {
         self.inner.inflight.stats()
+    }
+
+    /// A deterministic snapshot of every engine metric, ready to
+    /// [`render`](MetricsSnapshot::render) as Prometheus text or query
+    /// in-process via [`MetricsSnapshot::value`].
+    ///
+    /// Two kinds of series are merged.  **Hot-path instruments** count as
+    /// the query path runs (`crowddb_queries_started_total{mode}`,
+    /// `crowddb_queries_completed_total{mode}`,
+    /// `crowddb_queries_failed_total`, `crowddb_queries_degraded_total`,
+    /// `crowddb_queries_shed_total`, `crowddb_crowd_cost_dollars_total`,
+    /// and the `crowddb_query_cost_dollars` spend histogram).
+    /// **Collect-time series** are read from the engine's own counters at
+    /// snapshot time: judgment-cache effectiveness
+    /// (`crowddb_cache_hits_total`, `crowddb_cache_misses_total`,
+    /// `crowddb_cache_cost_saved_dollars_total`, `crowddb_cache_entries`),
+    /// coalescing (`crowddb_inflight_rounds_owned_total`,
+    /// `crowddb_inflight_rounds_coalesced_total`), crowd rounds
+    /// (`crowddb_crowd_rounds_total`), scheduler occupancy
+    /// (`crowddb_scheduler_queue_depth`, `crowddb_scheduler_workers_live`,
+    /// `crowddb_scheduler_workers_idle`,
+    /// `crowddb_scheduler_overflow_spawned_total`), durability
+    /// (`crowddb_wal_bytes_total` plus per-table `crowddb_wal_bytes{table}`),
+    /// the event-stream high-water (`crowddb_event_count`,
+    /// `crowddb_events_high_water`), and — when a [`Limiter`] is attached —
+    /// admission outcomes (`crowddb_admission_admitted_total`,
+    /// `crowddb_admission_degraded_total`, `crowddb_admission_shed_total`,
+    /// `crowddb_admission_dollars_charged_total`).
+    ///
+    /// Families and samples are sorted, so two snapshots of an idle engine
+    /// render byte-identically.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.inner.metrics.registry().snapshot();
+        let cache = self.inner.cache.stats();
+        snap.push_counter(
+            "crowddb_cache_hits_total",
+            "Judgment-cache lookups answered from the cache",
+            cache.hits as f64,
+        );
+        snap.push_counter(
+            "crowddb_cache_misses_total",
+            "Judgment-cache lookups that went to the crowd",
+            cache.misses as f64,
+        );
+        snap.push_counter(
+            "crowddb_cache_cost_saved_dollars_total",
+            "Dollars not re-spent thanks to judgment-cache hits",
+            cache.cost_saved,
+        );
+        snap.push_gauge(
+            "crowddb_cache_entries",
+            "Cached (table, attribute, item) judgments",
+            cache.entries as f64,
+        );
+        let inflight = self.inner.inflight.stats();
+        snap.push_counter(
+            "crowddb_inflight_rounds_owned_total",
+            "Acquisition claims that owned (dispatched) a crowd round",
+            inflight.owned as f64,
+        );
+        snap.push_counter(
+            "crowddb_inflight_rounds_coalesced_total",
+            "Acquisition claims that joined a concurrent query's in-flight round",
+            inflight.coalesced as f64,
+        );
+        snap.push_counter(
+            "crowddb_crowd_rounds_total",
+            "Crowd rounds dispatched over the database lifetime",
+            self.inner.crowd_rounds.load(Ordering::SeqCst) as f64,
+        );
+        let sched = self.scheduler.stats();
+        snap.push_gauge(
+            "crowddb_scheduler_queue_depth",
+            "Jobs waiting for a scheduler worker",
+            sched.queued as f64,
+        );
+        snap.push_gauge(
+            "crowddb_scheduler_workers_live",
+            "Scheduler worker threads currently alive (core + overflow)",
+            sched.live as f64,
+        );
+        snap.push_gauge(
+            "crowddb_scheduler_workers_idle",
+            "Scheduler workers parked waiting for work",
+            sched.idle as f64,
+        );
+        snap.push_counter(
+            "crowddb_scheduler_overflow_spawned_total",
+            "Overflow workers spawned past the core pool over the lifetime",
+            sched.overflow_spawned as f64,
+        );
+        snap.push_gauge(
+            "crowddb_wal_bytes_total",
+            "Write-ahead-log bytes on disk, summed over every table segment",
+            self.wal_bytes() as f64,
+        );
+        for (table, bytes) in self.wal_bytes_by_table() {
+            snap.push(
+                "crowddb_wal_bytes",
+                "Write-ahead-log bytes on disk, per table segment",
+                telemetry::MetricKind::Gauge,
+                &[("table", &table)],
+                bytes as f64,
+            );
+        }
+        snap.push_gauge(
+            "crowddb_event_count",
+            "Expansion events recorded so far",
+            mlock(&self.inner.events).len() as f64,
+        );
+        snap.push_gauge(
+            "crowddb_events_high_water",
+            "Furthest events_since cursor handed to any poller",
+            self.inner.events_high_water.load(Ordering::SeqCst) as f64,
+        );
+        if let Some(limiter) = self.inner.limiter_handle() {
+            let stats = limiter.stats();
+            snap.push_counter(
+                "crowddb_admission_admitted_total",
+                "Queries admitted at full fidelity",
+                stats.admitted as f64,
+            );
+            snap.push_counter(
+                "crowddb_admission_degraded_total",
+                "Queries admitted with a degraded expansion mode",
+                stats.degraded as f64,
+            );
+            snap.push_counter(
+                "crowddb_admission_shed_total",
+                "Queries rejected with Overloaded at the hard cap",
+                stats.shed as f64,
+            );
+            snap.push_counter(
+                "crowddb_admission_dollars_charged_total",
+                "Dollars booked into the tenants' sliding windows",
+                stats.dollars_charged,
+            );
+        }
+        snap.sorted()
+    }
+
+    /// The root of the live state-monitor tree (`crowddb`): active queries
+    /// and in-flight expansions attach child nodes for their lifetime.
+    /// Snapshot with [`StateMonitor::to_tree`] or dump with
+    /// [`StateMonitor::render_tree`].
+    pub fn state_monitor(&self) -> StateMonitor {
+        self.inner.monitor.clone()
+    }
+
+    /// Occupancy of the background scheduler (live/idle workers, queue
+    /// depth, lifetime overflow spawns).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.scheduler.stats()
+    }
+
+    /// Attaches an admission controller: from now on every query submitted
+    /// through [`CrowdDb::query`] / [`Session`] asks `limiter` for a ticket
+    /// first (see [`crate::admission`] for the degrade/shed semantics).
+    /// Share the same [`Arc`] with a network server so in-process and
+    /// remote queries draw from the same per-tenant limits.
+    pub fn set_limiter(&self, limiter: Arc<Limiter>) {
+        *wlock(&self.inner.limiter) = Some(limiter);
+    }
+
+    /// The attached admission controller, if any.
+    pub fn limiter(&self) -> Option<Arc<Limiter>> {
+        self.inner.limiter_handle()
     }
 
     /// Drops the cached judgments of one attribute, forcing the next
@@ -1140,6 +1351,22 @@ impl DbInner {
         Ok(())
     }
 
+    /// The engine's hot-path metric instruments (for the session layer,
+    /// which records completions and admission outcomes).
+    pub(crate) fn engine_metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// The `crowddb/queries` monitor node (for the session layer).
+    pub(crate) fn queries_monitor(&self) -> &StateMonitor {
+        &self.queries_monitor
+    }
+
+    /// The attached admission controller, if any.
+    pub(crate) fn limiter_handle(&self) -> Option<Arc<Limiter>> {
+        rlock(&self.limiter).clone()
+    }
+
     /// The binding of one table, by lower-cased name.
     fn binding(&self, table_key: &str) -> Result<Arc<TableBinding>> {
         rlock(&self.bindings)
@@ -1163,6 +1390,7 @@ impl DbInner {
         &self,
         sql_text: &str,
         policy: ExpansionPolicy,
+        admission: Option<&DegradeDirective>,
         sink: &EventSink,
     ) -> Result<QueryOutcome> {
         let statement = sql::parse(sql_text)?;
@@ -1174,6 +1402,38 @@ impl DbInner {
             None => policy,
         };
         policy.validate()?;
+        // Apply the admission controller's degrade order *after* the SQL
+        // clause merge: a `WITH EXPANSION (mode = full)` clause must not be
+        // able to un-degrade a throttled query.  The demotion is recorded
+        // as a `Degraded` stage in every expansion report below.
+        let (policy, degraded_mark) = match admission {
+            Some(directive) => {
+                let from = policy.mode;
+                let to = demote(from, directive.steps);
+                let mut policy = policy;
+                policy.mode = to;
+                match to {
+                    // Budgets are only meaningful (and only valid) under
+                    // BestEffort; a dollar-window breach additionally caps
+                    // the budget at the window's remaining allowance.
+                    ExpansionMode::BestEffort => {
+                        if let Some(cap) = directive.budget_cap {
+                            policy.budget =
+                                Some(policy.budget.map_or(cap, |budget| budget.min(cap)));
+                        }
+                    }
+                    _ => policy.budget = None,
+                }
+                let mark = ExpansionStage::Degraded {
+                    from,
+                    to,
+                    reason: directive.reason,
+                };
+                (policy, Some(mark))
+            }
+            None => (policy, None),
+        };
+        self.metrics.query_started(policy.mode);
 
         if matches!(statement, sql::Statement::ExplainExpansion(_)) {
             return self.explain_expansion(&statement, policy);
@@ -1246,6 +1506,14 @@ impl DbInner {
             }
             if !candidates.is_empty() {
                 reports = self.expand_columns_with_policy(&table, &candidates, &policy, sink)?;
+                // Load shedding with provenance: every report of a degraded
+                // query leads with the typed record of what the admission
+                // controller took away and why.
+                if let Some(mark) = &degraded_mark {
+                    for report in &mut reports {
+                        report.stages.insert(0, mark.clone());
+                    }
+                }
                 let mut events = mlock(&self.events);
                 for report in &reports {
                     events.push(ExpansionEvent {
@@ -1793,7 +2061,23 @@ impl DbInner {
         if needs.is_empty() {
             return Ok(acquisitions);
         }
+        // Live visibility: each in-flight concept hangs a node off
+        // `crowddb/expansions` for the duration of its crowd rounds (the
+        // slow part of any query).  The nodes detach when this guard drops.
+        let inflight_nodes: Vec<StateMonitor> = needs
+            .iter()
+            .map(|need| {
+                let node = self
+                    .expansions_monitor
+                    .make_child(format!("{}/{}", plan.table, need.concept));
+                node.insert("items_outstanding", need.items.len());
+                node.insert("already_resolved", need.already_resolved);
+                node.insert("cost_so_far", format!("{:.2}", ledger.spent));
+                node
+            })
+            .collect();
         let resolutions = self.resolve_needs(plan, binding, &needs, policy, ledger, sink)?;
+        drop(inflight_nodes);
 
         // Route the resolved verdicts and accounting back to the plan's
         // attributes.  Every sharer (owner included) reads its own items'

@@ -61,6 +61,19 @@ pub enum CrowdDbError {
         /// The transport layer's diagnosis.
         message: String,
     },
+    /// The admission controller refused the query outright: the tenant is
+    /// past its *hard* concurrency cap and shedding the load is the only
+    /// way to protect every other tenant on the engine.  Softer pressure
+    /// never produces this error — it degrades the expansion mode instead
+    /// (see
+    /// [`ExpansionStage::Degraded`](crate::expansion::ExpansionStage::Degraded)),
+    /// so `Overloaded` always means "retry later", not "rephrase".
+    Overloaded {
+        /// The tenant whose cap was hit.
+        tenant: String,
+        /// The limiter's diagnosis (which cap, at what value).
+        reason: String,
+    },
 }
 
 impl fmt::Display for CrowdDbError {
@@ -83,6 +96,9 @@ impl fmt::Display for CrowdDbError {
                 columns.join(", ")
             ),
             CrowdDbError::Protocol { message } => write!(f, "protocol error: {message}"),
+            CrowdDbError::Overloaded { tenant, reason } => {
+                write!(f, "overloaded: tenant {tenant} rejected: {reason}")
+            }
         }
     }
 }
@@ -160,5 +176,11 @@ mod tests {
         let e = CrowdDbError::protocol("handshake rejected");
         assert!(e.to_string().contains("protocol error"));
         assert!(e.to_string().contains("handshake rejected"));
+        let e = CrowdDbError::Overloaded {
+            tenant: "acme".into(),
+            reason: "3 concurrent queries at cap 3".into(),
+        };
+        assert!(e.to_string().contains("overloaded"));
+        assert!(e.to_string().contains("acme"));
     }
 }

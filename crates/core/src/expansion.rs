@@ -67,6 +67,18 @@ pub enum ExpansionStage {
     /// dispatching rounds and the remaining items were left unexpanded
     /// (best-effort policies only).
     BudgetExhausted,
+    /// The admission controller lowered this query's expansion mode before
+    /// acquisition started — load shedding with provenance.  The query
+    /// still *succeeds*; this stage is the durable record of why its
+    /// results may be less complete than the caller asked for.
+    Degraded {
+        /// The mode the caller asked for.
+        from: crate::policy::ExpansionMode,
+        /// The mode the query actually ran under.
+        to: crate::policy::ExpansionMode,
+        /// Which limit applied the pressure.
+        reason: DegradeReason,
+    },
     /// The column was added to the table schema.
     ColumnAdded,
     /// HITs were dispatched to the crowd.
@@ -79,6 +91,28 @@ pub enum ExpansionStage {
     ColumnMaterialized,
     /// The original query was re-executed.
     QueryReExecuted,
+}
+
+/// Why the admission controller degraded a query (see
+/// [`ExpansionStage::Degraded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeReason {
+    /// The tenant crossed its soft concurrent-query threshold.
+    ConcurrencyPressure,
+    /// The tenant's sliding-window dollar budget is exhausted.
+    DollarRateExceeded,
+    /// The scheduler queue itself is backed up past the pressure threshold.
+    QueuePressure,
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeReason::ConcurrencyPressure => write!(f, "concurrency pressure"),
+            DegradeReason::DollarRateExceeded => write!(f, "dollar-rate window exceeded"),
+            DegradeReason::QueuePressure => write!(f, "scheduler queue pressure"),
+        }
+    }
 }
 
 /// A report describing one schema expansion.

@@ -116,6 +116,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod audit;
 pub mod boost;
 pub mod cache;
@@ -126,6 +127,7 @@ pub mod expansion;
 pub mod extraction;
 pub mod inflight;
 mod materialize;
+pub mod metrics;
 mod persist;
 pub mod planner;
 pub mod policy;
@@ -136,6 +138,10 @@ pub mod session;
 pub mod stream;
 mod sync;
 
+pub use admission::{
+    Admission, AdmissionTicket, DegradeDirective, Limiter, LimiterConfig, LimiterStats,
+    TenantLimits,
+};
 pub use audit::{audit_binary_labels, AuditOutcome};
 pub use boost::{evaluate_boost_over_time, BoostCheckpoint, BoostCurve};
 pub use cache::{CacheGroup, CacheStats, CachedJudgment, JudgmentCache};
@@ -145,14 +151,14 @@ pub use db::{
     ExpansionEvent, TableRef,
 };
 pub use error::CrowdDbError;
-pub use expansion::{ExpansionReport, ExpansionStrategy};
+pub use expansion::{DegradeReason, ExpansionReport, ExpansionStage, ExpansionStrategy};
 pub use extraction::{extract_binary_attribute, extract_numeric_attribute, ExtractionConfig};
 pub use inflight::{InflightRegistry, InflightStats};
 pub use planner::{ExpansionPlan, PlannedAttribute};
 pub use policy::{ExpansionMode, ExpansionPolicy};
 pub use provenance::{CellProvenance, MissingReason};
 pub use repair::{repair_labels, repair_labels_among, RepairOutcome};
-pub use scheduler::Scheduler;
+pub use scheduler::{Scheduler, SchedulerStats};
 pub use session::{QueryBuilder, QueryOutcome, RowSet, Session, StatementResult};
 pub use stream::{QueryEvent, QueryStream};
 

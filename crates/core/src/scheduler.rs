@@ -51,7 +51,24 @@ struct State {
     idle: usize,
     /// Worker threads alive (core + overflow).
     live: usize,
+    /// Lifetime count of workers spawned *beyond* the core complement —
+    /// each one is a burst the core pool could not absorb, which makes the
+    /// counter the scheduler's cheapest overload signal.
+    overflow_spawned: u64,
     shutdown: bool,
+}
+
+/// A point-in-time reading of the scheduler's occupancy counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Worker threads currently alive (core + overflow).
+    pub live: usize,
+    /// Workers currently parked waiting for a job.
+    pub idle: usize,
+    /// Jobs queued but not yet picked up.
+    pub queued: usize,
+    /// Lifetime count of overflow workers spawned beyond the core pool.
+    pub overflow_spawned: u64,
 }
 
 struct Shared {
@@ -107,6 +124,9 @@ impl Scheduler {
             let grow = state.idle < state.queue.len();
             if grow {
                 state.live += 1;
+                if state.live > self.core {
+                    state.overflow_spawned += 1;
+                }
             }
             grow
         };
@@ -127,6 +147,19 @@ impl Scheduler {
     /// Number of worker threads currently alive.
     pub fn workers(&self) -> usize {
         mlock(&self.shared.state).live
+    }
+
+    /// Queue depth and worker occupancy, read in one consistent lock
+    /// acquisition — the scheduler's contribution to
+    /// [`CrowdDb::metrics_snapshot`](crate::CrowdDb::metrics_snapshot).
+    pub fn stats(&self) -> SchedulerStats {
+        let state = mlock(&self.shared.state);
+        SchedulerStats {
+            live: state.live,
+            idle: state.idle,
+            queued: state.queue.len(),
+            overflow_spawned: state.overflow_spawned,
+        }
     }
 }
 
@@ -217,6 +250,15 @@ mod tests {
                 }
             });
         }
+        // All N jobs are parked simultaneously right up until the last one
+        // arrives, so the pool must have grown by at least N - core
+        // overflow workers — and the spawn counter must have seen them.
+        let stats = scheduler.stats();
+        assert!(
+            stats.overflow_spawned >= (N - 2) as u64,
+            "coalescing pile-up spawned only {} overflow workers",
+            stats.overflow_spawned
+        );
         // Dropping the scheduler joins the workers; reaching this point
         // without hanging proves all N ran concurrently.
         drop(scheduler);

@@ -90,6 +90,7 @@ impl<'db> Session<'db> {
             sql: sql.into(),
             policy: self.defaults.clone(),
             mode_explicit: self.defaults.mode != ExpansionMode::Full,
+            tenant: None,
         }
     }
 }
@@ -109,6 +110,7 @@ pub struct QueryBuilder<'db> {
     sql: String,
     policy: ExpansionPolicy,
     mode_explicit: bool,
+    tenant: Option<String>,
 }
 
 impl std::fmt::Debug for QueryBuilder<'_> {
@@ -127,7 +129,18 @@ impl<'db> QueryBuilder<'db> {
             sql: sql.into(),
             policy: ExpansionPolicy::full(),
             mode_explicit: false,
+            tenant: None,
         }
+    }
+
+    /// Names the tenant this query runs as, for admission control
+    /// ([`CrowdDb::set_limiter`]).  Queries without a tenant run as
+    /// `"default"`; on the network server the authentication token is the
+    /// tenant.  Without an attached limiter the name is recorded in the
+    /// state monitor but otherwise inert.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
     }
 
     /// Caps this query's crowd spend at `dollars`; implies
@@ -211,17 +224,67 @@ impl<'db> QueryBuilder<'db> {
 
     /// Submits the query to the scheduler, with or without intermediate
     /// events, and hands back the consuming stream.
+    ///
+    /// When a [`Limiter`](crate::Limiter) is attached this is the admission
+    /// point: a shed query fails here, *before* a scheduler job exists, so
+    /// an overloaded tenant cannot occupy a worker; a degraded query
+    /// carries its [`DegradeDirective`](crate::DegradeDirective) into the
+    /// engine, and its concurrency slot (the ticket) is held from here
+    /// until the job finishes — queue time counts against the cap.
     fn launch(self, events: bool) -> QueryStream {
         let (sink, receiver) = EventSink::channel(events);
         let inner = Arc::clone(&self.db.inner);
         let sql = self.sql;
         let policy = self.policy;
-        self.db
-            .scheduler
-            .spawn(move || match inner.run_policy_query(&sql, policy, &sink) {
-                Ok(outcome) => sink.complete(outcome),
-                Err(error) => sink.fail(error),
-            });
+        let tenant = self.tenant.unwrap_or_else(|| "default".to_string());
+
+        let (ticket, directive) = match inner.limiter_handle() {
+            Some(limiter) => {
+                let queue_depth = self.db.scheduler_stats().queued;
+                match limiter.admit(&tenant, queue_depth) {
+                    Ok(admission) => {
+                        let (ticket, directive) = admission.into_parts();
+                        if directive.is_some() {
+                            inner.engine_metrics().query_degraded();
+                        }
+                        (Some(ticket), directive)
+                    }
+                    Err(error) => {
+                        inner.engine_metrics().query_shed();
+                        sink.fail(error);
+                        return QueryStream::new(receiver);
+                    }
+                }
+            }
+            None => (None, None),
+        };
+
+        let monitor = inner.queries_monitor().make_child("query");
+        monitor.insert("sql", &sql);
+        monitor.insert("tenant", &tenant);
+        self.db.scheduler.spawn(move || {
+            // Moved in so they live exactly as long as the job: the monitor
+            // node detaches and the ticket frees its concurrency slot when
+            // the query finishes, success or failure.
+            let _monitor = monitor;
+            let ticket = ticket;
+            match inner.run_policy_query(&sql, policy, directive.as_ref(), &sink) {
+                Ok(outcome) => {
+                    if let Some(ticket) = &ticket {
+                        // Post-paid dollar window: book the real spend.
+                        ticket.charge(outcome.crowd_cost);
+                    }
+                    inner
+                        .engine_metrics()
+                        .query_completed(outcome.policy.mode, outcome.crowd_cost);
+                    sink.complete(outcome);
+                }
+                Err(error) => {
+                    inner.engine_metrics().query_failed();
+                    sink.fail(error);
+                }
+            }
+        });
         QueryStream::new(receiver)
     }
 }

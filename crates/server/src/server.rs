@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+use telemetry::StateMonitor;
 
 /// Tuning knobs for a [`CrowdDbServer`].
 #[derive(Debug, Clone)]
@@ -93,6 +94,9 @@ struct Shared {
     // One try-cloned handle per live connection, so shutdown can sever
     // every socket and unblock the reader jobs parked in read_frame.
     connections: Mutex<HashMap<u64, TcpStream>>,
+    // The server's branch of the database's state-monitor tree; each live
+    // connection hangs a child under it for the lifetime of its session.
+    monitor: StateMonitor,
 }
 
 /// A running CrowdDb network server.  Dropping it shuts it down: the
@@ -122,6 +126,7 @@ impl CrowdDbServer {
         let local_addr = listener
             .local_addr()
             .map_err(|e| CrowdDbError::protocol(format!("local_addr failed: {e}")))?;
+        let monitor = db.state_monitor().make_child("server");
         let shared = Arc::new(Shared {
             db,
             config,
@@ -129,6 +134,7 @@ impl CrowdDbServer {
             counters: Counters::default(),
             next_session_id: AtomicU64::new(1),
             connections: Mutex::new(HashMap::new()),
+            monitor,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -149,15 +155,7 @@ impl CrowdDbServer {
 
     /// Snapshots the server's counters.
     pub fn stats(&self) -> ServerStats {
-        let c = &self.shared.counters;
-        ServerStats {
-            connections_accepted: c.connections_accepted.load(Ordering::SeqCst),
-            connections_active: c.connections_active.load(Ordering::SeqCst),
-            handshakes_rejected: c.handshakes_rejected.load(Ordering::SeqCst),
-            protocol_errors: c.protocol_errors.load(Ordering::SeqCst),
-            queries_started: c.queries_started.load(Ordering::SeqCst),
-            queries_completed: c.queries_completed.load(Ordering::SeqCst),
-        }
+        snapshot_counters(&self.shared.counters)
     }
 
     /// Stops accepting, severs every live connection, and joins the accept
@@ -201,6 +199,55 @@ impl Drop for CrowdDbServer {
     }
 }
 
+fn snapshot_counters(c: &Counters) -> ServerStats {
+    ServerStats {
+        connections_accepted: c.connections_accepted.load(Ordering::SeqCst),
+        connections_active: c.connections_active.load(Ordering::SeqCst),
+        handshakes_rejected: c.handshakes_rejected.load(Ordering::SeqCst),
+        protocol_errors: c.protocol_errors.load(Ordering::SeqCst),
+        queries_started: c.queries_started.load(Ordering::SeqCst),
+        queries_completed: c.queries_completed.load(Ordering::SeqCst),
+    }
+}
+
+/// The engine's metric catalog plus the server's own counter families,
+/// rendered as one Prometheus scrape body.
+fn metrics_text(shared: &Shared) -> String {
+    let mut snap = shared.db.metrics_snapshot();
+    let stats = snapshot_counters(&shared.counters);
+    snap.push_counter(
+        "crowddb_server_connections_accepted_total",
+        "Connections accepted over the server's lifetime",
+        stats.connections_accepted as f64,
+    );
+    snap.push_gauge(
+        "crowddb_server_connections_active",
+        "Connections currently live",
+        stats.connections_active as f64,
+    );
+    snap.push_counter(
+        "crowddb_server_handshakes_rejected_total",
+        "Handshakes refused (version mismatch, bad token, connection cap)",
+        stats.handshakes_rejected as f64,
+    );
+    snap.push_counter(
+        "crowddb_server_protocol_errors_total",
+        "Malformed frames or undecodable requests",
+        stats.protocol_errors as f64,
+    );
+    snap.push_counter(
+        "crowddb_server_queries_started_total",
+        "Queries started on behalf of remote clients",
+        stats.queries_started as f64,
+    );
+    snap.push_counter(
+        "crowddb_server_queries_completed_total",
+        "Remote queries that ran to a terminal event",
+        stats.queries_completed as f64,
+    );
+    snap.sorted().render()
+}
+
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     for incoming in listener.incoming() {
         if shared.shutting_down.load(Ordering::SeqCst) {
@@ -237,8 +284,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// Runs one connection start to finish: handshake, reader loop, teardown.
 fn handle_connection(shared: Arc<Shared>, mut sock: TcpStream, session_id: u64) {
     let _ = sock.set_nodelay(true);
-    if handshake(&shared, &mut sock, session_id).is_ok() {
-        serve_requests(&shared, &mut sock, session_id);
+    if let Ok(tenant) = handshake(&shared, &mut sock, session_id) {
+        serve_requests(&shared, &mut sock, session_id, &tenant);
+        if let Some(limiter) = shared.db.limiter() {
+            limiter.release_connection(&tenant);
+        }
     }
     let _ = sock.shutdown(Shutdown::Both);
     shared.connections.lock().unwrap().remove(&session_id);
@@ -248,7 +298,13 @@ fn handle_connection(shared: Arc<Shared>, mut sock: TcpStream, session_id: u64) 
         .fetch_sub(1, Ordering::SeqCst);
 }
 
-fn handshake(shared: &Arc<Shared>, sock: &mut TcpStream, session_id: u64) -> Result<()> {
+/// Runs the handshake; on success returns the tenant identity the
+/// connection authenticated as (the admission controller's accounting
+/// key).  The shared-secret token of [`ServerConfig::auth_token`] maps to
+/// the `"default"` tenant; a token naming a tenant configured on the
+/// database's [`Limiter`](crowddb_core::Limiter) authenticates as that
+/// tenant and claims one of its connection slots.
+fn handshake(shared: &Arc<Shared>, sock: &mut TcpStream, session_id: u64) -> Result<String> {
     let hello = match read_frame(sock)? {
         Some(payload) => ClientHello::from_payload(&payload),
         None => return Err(CrowdDbError::protocol("closed before hello")),
@@ -284,20 +340,34 @@ fn handshake(shared: &Arc<Shared>, sock: &mut TcpStream, session_id: u64) -> Res
             ),
         );
     }
-    if hello.auth_token != shared.config.auth_token {
-        return reject(sock, "auth token rejected".into());
+    let limiter = shared.db.limiter();
+    let tenant = if hello.auth_token == shared.config.auth_token {
+        "default".to_string()
+    } else {
+        match hello.auth_token.as_deref() {
+            Some(token) if limiter.as_ref().is_some_and(|l| l.has_tenant(token)) => {
+                token.to_string()
+            }
+            _ => return reject(sock, "auth token rejected".into()),
+        }
+    };
+    if let Some(limiter) = &limiter {
+        if let Err(reason) = limiter.admit_connection(&tenant) {
+            return reject(sock, format!("connection rejected: {reason}"));
+        }
     }
     let reply = HandshakeReply::Accepted {
         protocol_version: PROTOCOL_VERSION,
         session_id,
     };
-    write_frame(sock, &reply.to_payload())
+    write_frame(sock, &reply.to_payload())?;
+    Ok(tenant)
 }
 
 /// The post-handshake reader loop.  Decodes requests and dispatches each
 /// query to its own pump job; returns when the client says goodbye, the
 /// connection drops, or a malformed frame arrives.
-fn serve_requests(shared: &Arc<Shared>, sock: &mut TcpStream, session_id: u64) {
+fn serve_requests(shared: &Arc<Shared>, sock: &mut TcpStream, session_id: u64, tenant: &str) {
     // All outbound traffic funnels through one writer job so concurrent
     // pumps never interleave partial frames.
     let (tx, rx) = mpsc::channel::<Vec<u8>>();
@@ -309,6 +379,14 @@ fn serve_requests(shared: &Arc<Shared>, sock: &mut TcpStream, session_id: u64) {
     shared
         .db
         .spawn_background(move || writer_loop(rx, writer_sock));
+
+    // The connection's node in the state-monitor tree, live until this
+    // function returns.
+    let conn_monitor = shared.monitor.make_child(format!("session-{session_id}"));
+    conn_monitor.insert("tenant", tenant);
+    if let Ok(peer) = sock.peer_addr() {
+        conn_monitor.insert("peer", peer);
+    }
 
     // Per-connection session state: defaults applied to queries that do
     // not carry their own policy.
@@ -344,12 +422,14 @@ fn serve_requests(shared: &Arc<Shared>, sock: &mut TcpStream, session_id: u64) {
                 let pump_shared = Arc::clone(shared);
                 let pump_tx = tx.clone();
                 let pump_defaults = Arc::clone(&defaults);
+                let pump_tenant = tenant.to_string();
                 shared.db.spawn_background(move || {
                     pump_query(
                         db,
                         pump_shared,
                         pump_tx,
                         pump_defaults,
+                        pump_tenant,
                         id,
                         sql,
                         policy,
@@ -363,6 +443,18 @@ fn serve_requests(shared: &Arc<Shared>, sock: &mut TcpStream, session_id: u64) {
             }
             Ok(Request::Ping { id }) => {
                 send_response(&tx, &Response::Ack { id });
+            }
+            Ok(Request::Stats { id }) => {
+                let stats = snapshot_counters(&shared.counters);
+                send_response(&tx, &Response::Stats { id, stats });
+            }
+            Ok(Request::Metrics { id }) => {
+                let text = metrics_text(shared);
+                send_response(&tx, &Response::Metrics { id, text });
+            }
+            Ok(Request::Monitor { id }) => {
+                let tree = shared.db.state_monitor().to_tree();
+                send_response(&tx, &Response::Monitor { id, tree });
             }
             Ok(Request::Goodbye) => break,
             Err(e) => {
@@ -408,12 +500,13 @@ fn pump_query(
     shared: Arc<Shared>,
     tx: mpsc::Sender<Vec<u8>>,
     defaults: Arc<Mutex<Option<ExpansionPolicy>>>,
+    tenant: String,
     id: u64,
     sql: String,
     policy: Option<ExpansionPolicy>,
     events: bool,
 ) {
-    let mut builder = db.query(sql);
+    let mut builder = db.query(sql).tenant(tenant);
     let effective = policy.or_else(|| defaults.lock().unwrap().clone());
     if let Some(policy) = effective {
         builder = builder.policy(policy);

@@ -27,18 +27,28 @@
 //! nested engine error — round-trip the codec exactly: a remote caller
 //! sees the same typed events and typed errors an in-process caller does.
 
+use crate::server::ServerStats;
 use crowddb_core::expansion::ExpansionStage;
 use crowddb_core::{
-    CellProvenance, CrowdDbError, ExpansionMode, ExpansionPolicy, ExpansionReport, MissingReason,
-    QueryEvent, QueryOutcome, Result, RowSet, StatementResult,
+    CellProvenance, CrowdDbError, DegradeReason, ExpansionMode, ExpansionPolicy, ExpansionReport,
+    MissingReason, QueryEvent, QueryOutcome, Result, RowSet, StatementResult,
 };
 use relational::Value;
 use std::io::{Read, Write};
 use storage::{crc32, Decoder, Encoder};
+use telemetry::MonitorTree;
 
 /// Version of the wire protocol; bumped on any incompatible change.  The
-/// handshake rejects a client whose version differs.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// handshake rejects a client whose version differs.  Version 2 added the
+/// observability surface (stats / metrics / monitor requests, the
+/// `Degraded` expansion stage, and the `Overloaded` error).
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Ceiling on [`MonitorTree`] nesting the codec will decode.  The live
+/// monitor hierarchy is a few levels deep; anything past this bound is a
+/// malformed (or hostile) frame, rejected before the recursion can become
+/// a stack overflow.
+pub const MAX_MONITOR_DEPTH: usize = 64;
 
 /// The four magic bytes opening a [`ClientHello`] — lets the server reject
 /// a non-CrowdDb client on the first frame instead of misparsing it.
@@ -273,6 +283,24 @@ pub enum Request {
         /// Id echoed on the acknowledgement.
         id: u64,
     },
+    /// Snapshot the server's connection/query counters (answered with
+    /// [`Response::Stats`]).
+    Stats {
+        /// Id echoed on the reply.
+        id: u64,
+    },
+    /// Scrape the engine's full metric catalog as Prometheus text
+    /// (answered with [`Response::Metrics`]).
+    Metrics {
+        /// Id echoed on the reply.
+        id: u64,
+    },
+    /// Snapshot the engine's live state-monitor tree (answered with
+    /// [`Response::Monitor`]).
+    Monitor {
+        /// Id echoed on the reply.
+        id: u64,
+    },
     /// Clean shutdown: the server tears the connection down.  In-flight
     /// queries keep running server-side (their crowd work completes and is
     /// cached); only the notifications stop.
@@ -312,6 +340,18 @@ impl Request {
                 e.u64(*id);
             }
             Request::Goodbye => e.u8(3),
+            Request::Stats { id } => {
+                e.u8(4);
+                e.u64(*id);
+            }
+            Request::Metrics { id } => {
+                e.u8(5);
+                e.u64(*id);
+            }
+            Request::Monitor { id } => {
+                e.u8(6);
+                e.u64(*id);
+            }
         }
         e.into_bytes()
     }
@@ -345,6 +385,9 @@ impl Request {
             },
             2 => Request::Ping { id: d.u64()? },
             3 => Request::Goodbye,
+            4 => Request::Stats { id: d.u64()? },
+            5 => Request::Metrics { id: d.u64()? },
+            6 => Request::Monitor { id: d.u64()? },
             tag => return Err(protocol_err(format!("unknown request tag {tag}"))),
         };
         expect_exhausted(&d)?;
@@ -375,6 +418,29 @@ pub enum Response {
         /// The acknowledged request's id.
         id: u64,
     },
+    /// Answers a [`Request::Stats`] with the server's counters.
+    Stats {
+        /// The answered request's id.
+        id: u64,
+        /// The counter snapshot.
+        stats: ServerStats,
+    },
+    /// Answers a [`Request::Metrics`] with the engine's metric catalog
+    /// rendered as Prometheus text exposition.
+    Metrics {
+        /// The answered request's id.
+        id: u64,
+        /// The scrape body; parse it with [`telemetry::parse_text`].
+        text: String,
+    },
+    /// Answers a [`Request::Monitor`] with a snapshot of the engine's
+    /// live state-monitor tree.
+    Monitor {
+        /// The answered request's id.
+        id: u64,
+        /// The monitor tree at snapshot time.
+        tree: MonitorTree,
+    },
 }
 
 impl Response {
@@ -397,6 +463,21 @@ impl Response {
                 e.u8(2);
                 e.u64(*id);
             }
+            Response::Stats { id, stats } => {
+                e.u8(3);
+                e.u64(*id);
+                encode_server_stats(&mut e, stats);
+            }
+            Response::Metrics { id, text } => {
+                e.u8(4);
+                e.u64(*id);
+                e.str(text);
+            }
+            Response::Monitor { id, tree } => {
+                e.u8(5);
+                e.u64(*id);
+                encode_monitor_tree(&mut e, tree);
+            }
         }
         Ok(e.into_bytes())
     }
@@ -418,6 +499,18 @@ impl Response {
                 error: decode_error(&mut d)?,
             },
             2 => Response::Ack { id: d.u64()? },
+            3 => Response::Stats {
+                id: d.u64()?,
+                stats: decode_server_stats(&mut d)?,
+            },
+            4 => Response::Metrics {
+                id: d.u64()?,
+                text: d.str()?,
+            },
+            5 => Response::Monitor {
+                id: d.u64()?,
+                tree: decode_monitor_tree(&mut d)?,
+            },
             tag => return Err(protocol_err(format!("unknown response tag {tag}"))),
         };
         expect_exhausted(&d)?;
@@ -671,20 +764,43 @@ fn decode_rowset(d: &mut Decoder<'_>) -> Result<RowSet> {
     })
 }
 
-fn encode_stage(e: &mut Encoder, stage: &ExpansionStage) {
-    e.u8(match stage {
-        ExpansionStage::MissingAttributeDetected => 0,
-        ExpansionStage::ExpansionPlanned => 1,
-        ExpansionStage::JudgmentsReused => 2,
-        ExpansionStage::JoinedInflightRound => 3,
-        ExpansionStage::BudgetExhausted => 4,
-        ExpansionStage::ColumnAdded => 5,
-        ExpansionStage::CrowdSourcingStarted => 6,
-        ExpansionStage::JudgmentsAggregated => 7,
-        ExpansionStage::ExtractorTrained => 8,
-        ExpansionStage::ColumnMaterialized => 9,
-        ExpansionStage::QueryReExecuted => 10,
+fn encode_degrade_reason(e: &mut Encoder, reason: DegradeReason) {
+    e.u8(match reason {
+        DegradeReason::ConcurrencyPressure => 0,
+        DegradeReason::DollarRateExceeded => 1,
+        DegradeReason::QueuePressure => 2,
     });
+}
+
+fn decode_degrade_reason(d: &mut Decoder<'_>) -> Result<DegradeReason> {
+    Ok(match d.u8()? {
+        0 => DegradeReason::ConcurrencyPressure,
+        1 => DegradeReason::DollarRateExceeded,
+        2 => DegradeReason::QueuePressure,
+        tag => return Err(protocol_err(format!("unknown degrade reason tag {tag}"))),
+    })
+}
+
+fn encode_stage(e: &mut Encoder, stage: &ExpansionStage) {
+    match stage {
+        ExpansionStage::MissingAttributeDetected => e.u8(0),
+        ExpansionStage::ExpansionPlanned => e.u8(1),
+        ExpansionStage::JudgmentsReused => e.u8(2),
+        ExpansionStage::JoinedInflightRound => e.u8(3),
+        ExpansionStage::BudgetExhausted => e.u8(4),
+        ExpansionStage::ColumnAdded => e.u8(5),
+        ExpansionStage::CrowdSourcingStarted => e.u8(6),
+        ExpansionStage::JudgmentsAggregated => e.u8(7),
+        ExpansionStage::ExtractorTrained => e.u8(8),
+        ExpansionStage::ColumnMaterialized => e.u8(9),
+        ExpansionStage::QueryReExecuted => e.u8(10),
+        ExpansionStage::Degraded { from, to, reason } => {
+            e.u8(11);
+            encode_mode(e, *from);
+            encode_mode(e, *to);
+            encode_degrade_reason(e, *reason);
+        }
+    }
 }
 
 fn decode_stage(d: &mut Decoder<'_>) -> Result<ExpansionStage> {
@@ -700,7 +816,80 @@ fn decode_stage(d: &mut Decoder<'_>) -> Result<ExpansionStage> {
         8 => ExpansionStage::ExtractorTrained,
         9 => ExpansionStage::ColumnMaterialized,
         10 => ExpansionStage::QueryReExecuted,
+        11 => ExpansionStage::Degraded {
+            from: decode_mode(d)?,
+            to: decode_mode(d)?,
+            reason: decode_degrade_reason(d)?,
+        },
         tag => return Err(protocol_err(format!("unknown expansion stage tag {tag}"))),
+    })
+}
+
+/// Encodes a [`ServerStats`] counter snapshot.
+pub fn encode_server_stats(e: &mut Encoder, stats: &ServerStats) {
+    e.u64(stats.connections_accepted);
+    e.u64(stats.connections_active);
+    e.u64(stats.handshakes_rejected);
+    e.u64(stats.protocol_errors);
+    e.u64(stats.queries_started);
+    e.u64(stats.queries_completed);
+}
+
+/// Decodes a [`ServerStats`] counter snapshot.
+pub fn decode_server_stats(d: &mut Decoder<'_>) -> Result<ServerStats> {
+    Ok(ServerStats {
+        connections_accepted: d.u64()?,
+        connections_active: d.u64()?,
+        handshakes_rejected: d.u64()?,
+        protocol_errors: d.u64()?,
+        queries_started: d.u64()?,
+        queries_completed: d.u64()?,
+    })
+}
+
+/// Encodes a [`MonitorTree`] snapshot: name, sorted values, children,
+/// recursively.
+pub fn encode_monitor_tree(e: &mut Encoder, tree: &MonitorTree) {
+    e.str(&tree.name);
+    e.seq_len(tree.values.len());
+    for (key, value) in &tree.values {
+        e.str(key);
+        e.str(value);
+    }
+    e.seq_len(tree.children.len());
+    for child in &tree.children {
+        encode_monitor_tree(e, child);
+    }
+}
+
+/// Decodes a [`MonitorTree`], rejecting nesting past [`MAX_MONITOR_DEPTH`].
+pub fn decode_monitor_tree(d: &mut Decoder<'_>) -> Result<MonitorTree> {
+    decode_monitor_tree_at(d, 0).map_err(as_protocol)
+}
+
+fn decode_monitor_tree_at(d: &mut Decoder<'_>, depth: usize) -> Result<MonitorTree> {
+    if depth > MAX_MONITOR_DEPTH {
+        return Err(protocol_err(format!(
+            "monitor tree nests deeper than {MAX_MONITOR_DEPTH} levels"
+        )));
+    }
+    let name = d.str()?;
+    let n_values = d.seq_len()?;
+    let mut values = Vec::with_capacity(n_values);
+    for _ in 0..n_values {
+        let key = d.str()?;
+        let value = d.str()?;
+        values.push((key, value));
+    }
+    let n_children = d.seq_len()?;
+    let mut children = Vec::with_capacity(n_children);
+    for _ in 0..n_children {
+        children.push(decode_monitor_tree_at(d, depth + 1)?);
+    }
+    Ok(MonitorTree {
+        name,
+        values,
+        children,
     })
 }
 
@@ -1020,6 +1209,11 @@ pub fn encode_error(e: &mut Encoder, error: &CrowdDbError) {
             e.u8(9);
             e.str(message);
         }
+        CrowdDbError::Overloaded { tenant, reason } => {
+            e.u8(10);
+            e.str(tenant);
+            e.str(reason);
+        }
         // `CrowdDbError` is #[non_exhaustive]; an error variant this
         // protocol version cannot name crosses the wire as a Protocol
         // error carrying its rendered message — typed-ness degrades, the
@@ -1090,6 +1284,10 @@ fn decode_error_inner(d: &mut Decoder<'_>) -> Result<CrowdDbError> {
             CrowdDbError::ExpansionDenied { table, columns }
         }
         9 => CrowdDbError::protocol(d.str()?),
+        10 => CrowdDbError::Overloaded {
+            tenant: d.str()?,
+            reason: d.str()?,
+        },
         tag => return Err(protocol_err(format!("unknown error tag {tag}"))),
     })
 }
@@ -1206,6 +1404,9 @@ mod tests {
                 policy: ExpansionPolicy::cache_only(),
             },
             Request::Ping { id: 12 },
+            Request::Stats { id: 13 },
+            Request::Metrics { id: 14 },
+            Request::Monitor { id: 15 },
             Request::Goodbye,
         ];
         for request in requests {
@@ -1257,6 +1458,11 @@ mod tests {
             strategy: "perceptual-space extraction".into(),
             stages: vec![
                 ExpansionStage::MissingAttributeDetected,
+                ExpansionStage::Degraded {
+                    from: ExpansionMode::Full,
+                    to: ExpansionMode::BestEffort,
+                    reason: crowddb_core::DegradeReason::DollarRateExceeded,
+                },
                 ExpansionStage::ExpansionPlanned,
                 ExpansionStage::JudgmentsReused,
                 ExpansionStage::JoinedInflightRound,
@@ -1363,6 +1569,10 @@ mod tests {
                 columns: vec!["is_comedy".into(), "is_horror".into()],
             },
             CrowdDbError::protocol("handshake rejected"),
+            CrowdDbError::Overloaded {
+                tenant: "acme".into(),
+                reason: "5 concurrent queries at cap 5".into(),
+            },
         ];
         for error in &errors {
             let mut e = Encoder::new();
@@ -1390,6 +1600,42 @@ mod tests {
                 },
             },
             Response::Ack { id: 5 },
+            Response::QueryFailed {
+                id: 6,
+                error: CrowdDbError::Overloaded {
+                    tenant: "acme".into(),
+                    reason: "hard cap".into(),
+                },
+            },
+            Response::Stats {
+                id: 7,
+                stats: ServerStats {
+                    connections_accepted: 12,
+                    connections_active: 3,
+                    handshakes_rejected: 2,
+                    protocol_errors: 1,
+                    queries_started: 40,
+                    queries_completed: 39,
+                },
+            },
+            Response::Metrics {
+                id: 8,
+                text:
+                    "# TYPE crowddb_queries_failed_total counter\ncrowddb_queries_failed_total 0\n"
+                        .into(),
+            },
+            Response::Monitor {
+                id: 9,
+                tree: MonitorTree {
+                    name: "crowddb".into(),
+                    values: vec![],
+                    children: vec![MonitorTree {
+                        name: "expansions".into(),
+                        values: vec![("cost_so_far".into(), "2.50".into())],
+                        children: vec![],
+                    }],
+                },
+            },
         ];
         for response in responses {
             let payload = response.to_payload().unwrap();
@@ -1397,6 +1643,27 @@ mod tests {
             assert_eq!(decoded, response);
         }
         assert!(Response::from_payload(&[9]).is_err());
+    }
+
+    #[test]
+    fn monitor_tree_depth_limit_is_enforced() {
+        let mut tree = MonitorTree {
+            name: "leaf".into(),
+            values: vec![],
+            children: vec![],
+        };
+        for i in 0..=MAX_MONITOR_DEPTH {
+            tree = MonitorTree {
+                name: format!("n{i}"),
+                values: vec![],
+                children: vec![tree],
+            };
+        }
+        let mut e = Encoder::new();
+        encode_monitor_tree(&mut e, &tree);
+        let bytes = e.into_bytes();
+        let err = decode_monitor_tree(&mut Decoder::new(&bytes)).unwrap_err();
+        assert!(err.to_string().contains("nests deeper"), "{err}");
     }
 
     #[test]

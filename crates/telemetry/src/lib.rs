@@ -1,0 +1,37 @@
+//! # telemetry — observability primitives for the crowd-enabled database
+//!
+//! Everything the engine exposes about itself at runtime goes through this
+//! crate, which deliberately knows *nothing* about the engine:
+//!
+//! * [`metrics`] — a lock-cheap metrics registry.  Instruments
+//!   ([`Counter`], [`FloatCounter`], [`Gauge`], [`Histogram`]) are handles
+//!   around atomics: the hot path pays one atomic RMW per update and never
+//!   touches a lock.  The registry itself is only locked at registration
+//!   and snapshot time, and snapshots enumerate families and samples in a
+//!   deterministic (name, label) order so two scrapes of an idle process
+//!   are byte-identical.
+//! * [`text`] — the Prometheus text exposition format: a renderer for
+//!   [`MetricsSnapshot`] and a strict parser used by CI to prove a scrape
+//!   round-trips.
+//! * [`monitor`] — a recursive live-state monitor tree (in the style of
+//!   ouisync's `state_monitor`): cheap ephemeral nodes that attach to a
+//!   parent on creation and detach on drop, for introspecting *current*
+//!   state (active sessions, in-flight expansions, connections) rather
+//!   than accumulated history.
+//!
+//! The split between the two halves is intentional: metrics answer "what
+//! has this process done" (monotonic, scrape-friendly), the monitor tree
+//! answers "what is it doing right now" (ephemeral, debug-friendly).
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod monitor;
+pub mod text;
+
+pub use metrics::{
+    Counter, FloatCounter, Gauge, Histogram, MetricFamily, MetricKind, MetricsSnapshot, Registry,
+    Sample, SampleValue,
+};
+pub use monitor::{MonitorTree, StateMonitor};
+pub use text::{parse_text, ParsedFamily, ParsedMetrics, ParsedSample};

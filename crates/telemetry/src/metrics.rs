@@ -1,0 +1,586 @@
+//! The metrics registry: lock-cheap instruments, deterministic snapshots.
+//!
+//! Instruments are cloneable handles around [`Arc`]ed atomics.  The engine
+//! registers each instrument once at construction and stores the handle;
+//! updating it afterwards is a single atomic operation.  The registry's
+//! mutex guards only the name → instrument table, which is touched at
+//! registration and snapshot time — never on the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What a metric family measures, in Prometheus terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonically increasing count.
+    Counter,
+    /// A value that can go up and down.
+    Gauge,
+    /// A distribution bucketed by upper bounds.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The `# TYPE` keyword for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A monotonically increasing integer counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Raises the counter to `n` if it is currently below it (a high-water
+    /// mark recorder).
+    pub fn record_max(&self, n: u64) {
+        self.0.fetch_max(n, Ordering::Relaxed);
+    }
+}
+
+/// A monotonically increasing floating-point counter (dollars, seconds).
+///
+/// Stored as the bit pattern of an `f64` in an `AtomicU64`; additions use a
+/// compare-exchange loop, which under contention costs a handful of retries
+/// but never a lock.
+#[derive(Debug, Clone, Default)]
+pub struct FloatCounter(Arc<AtomicU64>);
+
+impl FloatCounter {
+    /// Adds `v` (negative additions are ignored: the counter is monotonic).
+    pub fn add(&self, v: f64) {
+        if v.is_nan() || v <= 0.0 {
+            return;
+        }
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = f64::from_bits(current) + v;
+            match self.0.compare_exchange_weak(
+                current,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// An integer gauge: a value that can move in both directions.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (which may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bounds of the finite buckets, strictly increasing.
+    bounds: Vec<f64>,
+    /// One count per finite bucket plus the implicit `+Inf` bucket.
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values (same bit-cast scheme as [`FloatCounter`]).
+    sum: FloatCounter,
+    count: AtomicU64,
+}
+
+/// A histogram of observations bucketed by fixed upper bounds.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Builds a histogram with the given finite bucket upper bounds (must
+    /// be strictly increasing; an `+Inf` bucket is always appended).
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            core: Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum: FloatCounter::default(),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .core
+            .bounds
+            .iter()
+            .position(|&bound| v <= bound)
+            .unwrap_or(self.core.bounds.len());
+        self.core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.core.sum.add(v.max(0.0));
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations so far.
+    pub fn sum(&self) -> f64 {
+        self.core.sum.get()
+    }
+
+    fn snapshot_value(&self) -> SampleValue {
+        let mut cumulative = Vec::with_capacity(self.core.counts.len());
+        let mut running = 0u64;
+        for count in &self.core.counts {
+            running += count.load(Ordering::Relaxed);
+            cumulative.push(running);
+        }
+        SampleValue::Histogram {
+            bounds: self.core.bounds.clone(),
+            cumulative,
+            sum: self.core.sum.get(),
+            count: self.core.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One instrument registered under a family.
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    FloatCounter(FloatCounter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Keyed by the canonical label rendering for deterministic order.
+    samples: BTreeMap<String, (Vec<(String, String)>, Instrument)>,
+}
+
+/// The registry: name → family → labelled instruments.
+///
+/// Cloning shares the underlying table, so the engine can hand the same
+/// registry to multiple subsystems.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    families: Arc<Mutex<BTreeMap<String, Family>>>,
+}
+
+/// Renders a label set canonically: sorted by key, Prometheus syntax.
+fn label_key(labels: &[(String, String)]) -> String {
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort();
+    let parts: Vec<String> = sorted.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+    parts.join(",")
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let labels = owned_labels(labels);
+        let key = label_key(&labels);
+        let mut families = self.families.lock().unwrap();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            samples: BTreeMap::new(),
+        });
+        debug_assert_eq!(family.kind, kind, "metric {name} re-registered as {kind:?}");
+        family
+            .samples
+            .entry(key)
+            .or_insert_with(|| (labels, make()))
+            .1
+            .clone()
+    }
+
+    /// Registers (or fetches) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or fetches) a counter with labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, MetricKind::Counter, labels, || {
+            Instrument::Counter(Counter::default())
+        }) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("{name} registered with a different instrument type"),
+        }
+    }
+
+    /// Registers (or fetches) an unlabelled floating-point counter.
+    pub fn float_counter(&self, name: &str, help: &str) -> FloatCounter {
+        match self.register(name, help, MetricKind::Counter, &[], || {
+            Instrument::FloatCounter(FloatCounter::default())
+        }) {
+            Instrument::FloatCounter(c) => c,
+            _ => unreachable!("{name} registered with a different instrument type"),
+        }
+    }
+
+    /// Registers (or fetches) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        match self.register(name, help, MetricKind::Gauge, &[], || {
+            Instrument::Gauge(Gauge::default())
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("{name} registered with a different instrument type"),
+        }
+    }
+
+    /// Registers (or fetches) an unlabelled histogram with the given
+    /// finite bucket bounds.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
+        match self.register(name, help, MetricKind::Histogram, &[], || {
+            Instrument::Histogram(Histogram::new(bounds))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("{name} registered with a different instrument type"),
+        }
+    }
+
+    /// Snapshots every registered family in deterministic (name, label)
+    /// order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let families = self.families.lock().unwrap();
+        let mut snapshot = MetricsSnapshot::new();
+        for (name, family) in families.iter() {
+            let samples = family
+                .samples
+                .values()
+                .map(|(labels, instrument)| Sample {
+                    labels: labels.clone(),
+                    value: match instrument {
+                        Instrument::Counter(c) => SampleValue::Float(c.get() as f64),
+                        Instrument::FloatCounter(c) => SampleValue::Float(c.get()),
+                        Instrument::Gauge(g) => SampleValue::Float(g.get() as f64),
+                        Instrument::Histogram(h) => h.snapshot_value(),
+                    },
+                })
+                .collect();
+            snapshot.families.push(MetricFamily {
+                name: name.clone(),
+                help: family.help.clone(),
+                kind: family.kind,
+                samples,
+            });
+        }
+        snapshot
+    }
+}
+
+/// The value of one sample at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// A counter or gauge reading.
+    Float(f64),
+    /// A histogram reading: cumulative bucket counts (`+Inf` last), sum,
+    /// and count.
+    Histogram {
+        /// Finite bucket upper bounds.
+        bounds: Vec<f64>,
+        /// Cumulative counts, one per finite bound plus `+Inf`.
+        cumulative: Vec<u64>,
+        /// Sum of observations.
+        sum: f64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// One labelled sample of a family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Label key/value pairs (may be empty).
+    pub labels: Vec<(String, String)>,
+    /// The reading.
+    pub value: SampleValue,
+}
+
+/// One metric family: a name, its help text, and its labelled samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFamily {
+    /// The family name (`crowddb_queries_started_total`).
+    pub name: String,
+    /// Free-text description rendered as `# HELP`.
+    pub help: String,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// The samples, in deterministic label order.
+    pub samples: Vec<Sample>,
+}
+
+/// A point-in-time reading of every metric, in deterministic order.
+///
+/// Besides the registry's own instruments, callers can push
+/// *collect-time* families — values computed from live engine state at
+/// snapshot time (queue depths, per-table WAL bytes) that would be
+/// wasteful to maintain as always-current atomics.
+/// [`sorted`](MetricsSnapshot::sorted) restores global name order after
+/// pushes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The families, sorted by name once [`sorted`](MetricsSnapshot::sorted)
+    /// has run (registry snapshots start sorted).
+    pub families: Vec<MetricFamily>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Appends a collect-time gauge family with a single unlabelled sample.
+    pub fn push_gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.push(name, help, MetricKind::Gauge, &[], value);
+    }
+
+    /// Appends a collect-time counter family with a single unlabelled
+    /// sample.
+    pub fn push_counter(&mut self, name: &str, help: &str, value: f64) {
+        self.push(name, help, MetricKind::Counter, &[], value);
+    }
+
+    /// Appends one labelled sample to the named collect-time family,
+    /// creating the family on first use.
+    pub fn push(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        let sample = Sample {
+            labels: owned_labels(labels),
+            value: SampleValue::Float(value),
+        };
+        if let Some(family) = self.families.iter_mut().find(|f| f.name == name) {
+            family.samples.push(sample);
+        } else {
+            self.families.push(MetricFamily {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+                samples: vec![sample],
+            });
+        }
+    }
+
+    /// Sorts families by name and each family's samples by label set,
+    /// restoring the deterministic order after collect-time pushes.
+    pub fn sorted(mut self) -> Self {
+        self.families.sort_by(|a, b| a.name.cmp(&b.name));
+        for family in &mut self.families {
+            family.samples.sort_by_key(|s| label_key(&s.labels));
+        }
+        self
+    }
+
+    /// Looks up the float value of `name` with exactly the given labels.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let want = label_key(&owned_labels(labels));
+        let family = self.families.iter().find(|f| f.name == name)?;
+        let sample = family
+            .samples
+            .iter()
+            .find(|s| label_key(&s.labels) == want)?;
+        match sample.value {
+            SampleValue::Float(v) => Some(v),
+            SampleValue::Histogram { sum, .. } => Some(sum),
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        crate::text::render(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_update_atomically() {
+        let registry = Registry::new();
+        let c = registry.counter("reqs_total", "requests");
+        let f = registry.float_counter("dollars_total", "dollars");
+        let g = registry.gauge("depth", "queue depth");
+        let h = registry.histogram("cost", "per-query cost", &[1.0, 5.0]);
+        c.inc();
+        c.add(4);
+        f.add(2.5);
+        f.add(-1.0); // ignored: monotonic
+        g.set(7);
+        g.add(-3);
+        h.observe(0.5);
+        h.observe(3.0);
+        h.observe(50.0);
+        assert_eq!(c.get(), 5);
+        assert!((f.get() - 2.5).abs() < 1e-12);
+        assert_eq!(g.get(), 4);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 53.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn re_registration_returns_the_same_instrument() {
+        let registry = Registry::new();
+        registry.counter("hits", "h").add(3);
+        assert_eq!(registry.counter("hits", "h").get(), 3);
+        registry
+            .counter_with("by_mode", "m", &[("mode", "full")])
+            .inc();
+        assert_eq!(
+            registry
+                .counter_with("by_mode", "m", &[("mode", "full")])
+                .get(),
+            1
+        );
+        // A different label set is a different instrument.
+        assert_eq!(
+            registry
+                .counter_with("by_mode", "m", &[("mode", "deny")])
+                .get(),
+            0
+        );
+    }
+
+    #[test]
+    fn snapshots_are_deterministically_ordered() {
+        let registry = Registry::new();
+        registry.counter("zeta", "z");
+        registry.counter("alpha", "a");
+        registry.counter_with("mid", "m", &[("mode", "full")]);
+        registry.counter_with("mid", "m", &[("mode", "best_effort")]);
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+        let mid = snap.families.iter().find(|f| f.name == "mid").unwrap();
+        assert_eq!(mid.samples[0].labels[0].1, "best_effort");
+        // Two snapshots of unchanged state are identical.
+        assert_eq!(registry.snapshot(), registry.snapshot());
+    }
+
+    #[test]
+    fn collect_time_pushes_sort_into_place() {
+        let registry = Registry::new();
+        registry.counter("b_total", "b").inc();
+        let mut snap = registry.snapshot();
+        snap.push_gauge("a_depth", "a", 3.0);
+        snap.push(
+            "wal_bytes",
+            "per table",
+            MetricKind::Gauge,
+            &[("table", "movies")],
+            128.0,
+        );
+        let snap = snap.sorted();
+        let names: Vec<&str> = snap.families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a_depth", "b_total", "wal_bytes"]);
+        assert_eq!(snap.value("a_depth", &[]), Some(3.0));
+        assert_eq!(snap.value("wal_bytes", &[("table", "movies")]), Some(128.0));
+        assert_eq!(snap.value("wal_bytes", &[("table", "other")]), None);
+    }
+
+    #[test]
+    fn histogram_snapshot_buckets_are_cumulative() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(0.7);
+        h.observe(5.0);
+        h.observe(100.0);
+        match h.snapshot_value() {
+            SampleValue::Histogram {
+                cumulative, count, ..
+            } => {
+                assert_eq!(cumulative, vec![2, 3, 4]);
+                assert_eq!(count, 4);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_counter_survives_contention() {
+        let f = FloatCounter::default();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let f = f.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        f.add(0.25);
+                    }
+                });
+            }
+        });
+        assert!((f.get() - 1000.0).abs() < 1e-9);
+    }
+}

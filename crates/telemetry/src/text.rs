@@ -1,0 +1,374 @@
+//! Prometheus text exposition format: a renderer for
+//! [`MetricsSnapshot`] and a strict parser.
+//!
+//! The parser exists so CI can prove that a live scrape *round-trips*: the
+//! rendered text is re-parsed and must yield the same families and sample
+//! values.  It accepts the subset of the format the renderer emits (plus
+//! comments and blank lines) and rejects anything malformed rather than
+//! guessing.
+
+use crate::metrics::{MetricsSnapshot, SampleValue};
+
+/// Renders a float the way Prometheus expects (`+Inf`, integers without a
+/// trailing `.0` are fine either way; `{}` keeps full precision).
+fn render_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a label value: backslash, double quote, newline.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders a snapshot in the text exposition format.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for family in &snapshot.families {
+        out.push_str(&format!(
+            "# HELP {} {}\n# TYPE {} {}\n",
+            family.name,
+            family.help.replace('\n', " "),
+            family.name,
+            family.kind.as_str()
+        ));
+        for sample in &family.samples {
+            match &sample.value {
+                SampleValue::Float(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        family.name,
+                        render_labels(&sample.labels, None),
+                        render_value(*v)
+                    ));
+                }
+                SampleValue::Histogram {
+                    bounds,
+                    cumulative,
+                    sum,
+                    count,
+                } => {
+                    for (i, cum) in cumulative.iter().enumerate() {
+                        let le = bounds
+                            .get(i)
+                            .map_or_else(|| "+Inf".to_string(), |b| render_value(*b));
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            family.name,
+                            render_labels(&sample.labels, Some(("le", &le))),
+                            cum
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        family.name,
+                        render_labels(&sample.labels, None),
+                        render_value(*sum)
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        family.name,
+                        render_labels(&sample.labels, None),
+                        count
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSample {
+    /// The full sample name (`foo_bucket` for histogram buckets).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The numeric value.
+    pub value: f64,
+}
+
+/// One parsed family (grouped by `# TYPE`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedFamily {
+    /// The family name.
+    pub name: String,
+    /// The declared type keyword (`counter`, `gauge`, `histogram`).
+    pub kind: String,
+    /// Every sample belonging to the family.
+    pub samples: Vec<ParsedSample>,
+}
+
+/// A fully parsed scrape.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedMetrics {
+    /// The families in source order.
+    pub families: Vec<ParsedFamily>,
+}
+
+impl ParsedMetrics {
+    /// Number of distinct metric families.
+    pub fn family_count(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Total number of sample lines.
+    pub fn sample_count(&self) -> usize {
+        self.families.iter().map(|f| f.samples.len()).sum()
+    }
+
+    /// The value of the sample with this exact name and label subset match
+    /// on `labels` (every given pair must be present).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.families.iter().flat_map(|f| &f.samples).find_map(|s| {
+            let matches = s.name == name
+                && labels
+                    .iter()
+                    .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v));
+            matches.then_some(s.value)
+        })
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse()
+            .map_err(|_| format!("invalid sample value {other:?}")),
+    }
+}
+
+/// Parsed label pairs in source order.
+type Labels = Vec<(String, String)>;
+
+/// Parses `{k="v",...}` starting at the `{`; returns the labels and the
+/// remainder after the closing `}`.
+fn parse_labels(text: &str) -> Result<(Labels, &str), String> {
+    let mut rest = text
+        .strip_prefix('{')
+        .ok_or_else(|| "expected '{'".to_string())?;
+    let mut labels = Vec::new();
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' near {rest:?}"))?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_metric_name(&key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("unquoted label value for {key}"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let after_quote = loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| format!("unterminated label value for {key}"))?;
+            match c {
+                '"' => break &rest[i + 1..],
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    other => return Err(format!("bad escape {other:?} in label {key}")),
+                },
+                c => value.push(c),
+            }
+        };
+        labels.push((key, value));
+        rest = after_quote.trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+}
+
+/// Parses a scrape in the Prometheus text exposition format.
+///
+/// Errors on malformed lines, samples appearing before their family's
+/// `# TYPE`, unknown type keywords, and invalid metric names — the parser
+/// is the CI gate proving the renderer's output well-formed, so it is
+/// deliberately strict.
+pub fn parse_text(text: &str) -> Result<ParsedMetrics, String> {
+    let mut parsed = ParsedMetrics::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        let fail = |message: String| format!("line {}: {message}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(type_decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = type_decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| fail("TYPE without name".into()))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| fail("TYPE without kind".into()))?;
+                if !valid_metric_name(name) {
+                    return Err(fail(format!("invalid metric name {name:?}")));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(fail(format!("unknown metric type {kind:?}")));
+                }
+                if parsed.families.iter().any(|f| f.name == name) {
+                    return Err(fail(format!("duplicate TYPE for {name}")));
+                }
+                parsed.families.push(ParsedFamily {
+                    name: name.to_string(),
+                    kind: kind.to_string(),
+                    samples: Vec::new(),
+                });
+            }
+            // HELP and free comments carry no samples.
+            continue;
+        }
+        // A sample line: name[{labels}] value
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_whitespace())
+            .ok_or_else(|| fail("sample line without value".into()))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(fail(format!("invalid metric name {name:?}")));
+        }
+        let rest = &line[name_end..];
+        let (labels, rest) = if rest.starts_with('{') {
+            parse_labels(rest).map_err(&fail)?
+        } else {
+            (Vec::new(), rest)
+        };
+        let mut parts = rest.split_whitespace();
+        let value = parse_value(parts.next().ok_or_else(|| fail("missing value".into()))?)
+            .map_err(&fail)?;
+        // An optional timestamp is tolerated; anything further is not.
+        let _timestamp = parts.next();
+        if parts.next().is_some() {
+            return Err(fail("trailing garbage after sample".into()));
+        }
+        // Histogram child series (`_bucket`, `_sum`, `_count`) belong to
+        // their base family.
+        let family = parsed
+            .families
+            .iter_mut()
+            .rev()
+            .find(|f| {
+                name == f.name
+                    || (f.kind == "histogram"
+                        && (name == format!("{}_bucket", f.name)
+                            || name == format!("{}_sum", f.name)
+                            || name == format!("{}_count", f.name)))
+            })
+            .ok_or_else(|| fail(format!("sample {name} before its # TYPE declaration")))?;
+        family.samples.push(ParsedSample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn render_then_parse_round_trips() {
+        let registry = Registry::new();
+        registry.counter("crowddb_queries_total", "queries").add(7);
+        registry
+            .counter_with("crowddb_by_mode", "per mode", &[("mode", "full")])
+            .add(3);
+        registry.gauge("crowddb_depth", "queue depth").set(-2);
+        let h = registry.histogram("crowddb_cost_dollars", "cost", &[1.0, 5.0]);
+        h.observe(0.5);
+        h.observe(9.0);
+        let text = registry.snapshot().render();
+        let parsed = parse_text(&text).expect("rendered text parses");
+        assert_eq!(parsed.family_count(), 4);
+        assert_eq!(parsed.value("crowddb_queries_total", &[]), Some(7.0));
+        assert_eq!(
+            parsed.value("crowddb_by_mode", &[("mode", "full")]),
+            Some(3.0)
+        );
+        assert_eq!(parsed.value("crowddb_depth", &[]), Some(-2.0));
+        assert_eq!(
+            parsed.value("crowddb_cost_dollars_bucket", &[("le", "+Inf")]),
+            Some(2.0)
+        );
+        assert_eq!(parsed.value("crowddb_cost_dollars_count", &[]), Some(2.0));
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let registry = Registry::new();
+        registry
+            .counter_with("tricky", "escapes", &[("path", "a\\b\"c\nd")])
+            .inc();
+        let text = registry.snapshot().render();
+        let parsed = parse_text(&text).expect("escaped labels parse");
+        assert_eq!(parsed.value("tricky", &[("path", "a\\b\"c\nd")]), Some(1.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_text("no_type_decl 1\n").is_err());
+        assert!(parse_text("# TYPE x counter\n9bad_name 1\n").is_err());
+        assert!(parse_text("# TYPE x counter\nx notanumber\n").is_err());
+        assert!(parse_text("# TYPE x wibble\n").is_err());
+        assert!(parse_text("# TYPE x counter\nx{l=\"unterminated} 1\n").is_err());
+        assert!(parse_text("# TYPE x counter\n# TYPE x counter\n").is_err());
+        assert!(parse_text("# TYPE x counter\nx 1 2 3\n").is_err());
+    }
+
+    #[test]
+    fn parser_tolerates_comments_blanks_and_timestamps() {
+        let text = "\n# just a comment\n# HELP x help text\n# TYPE x gauge\nx 4 1700000000\n";
+        let parsed = parse_text(text).expect("benign extras parse");
+        assert_eq!(parsed.value("x", &[]), Some(4.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! The observability surface, end to end: Prometheus metrics, the live
+//! monitor tree, and per-tenant admission control over a mixed workload.
+//!
+//! With no arguments this runs an in-process tour: a cold full-fidelity
+//! query, a warm rerun showing the judgment-cache hit rate climb, a
+//! dollar-throttled tenant degrading gracefully, the Prometheus text
+//! exposition (round-tripped through the strict parser), and the live
+//! monitor tree.
+//!
+//! With an `ADDR` argument (e.g. `127.0.0.1:4950`) it instead scrapes a
+//! running `server` example over the wire — used by CI to prove a live
+//! server's scrape parses and carries the engine's metric catalog:
+//!
+//! ```text
+//! cargo run --release --example server 4950 &
+//! cargo run --release --example metrics 127.0.0.1:4950
+//! ```
+
+use crowddb::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const COMEDY: &str = "SELECT item_id, is_comedy FROM movies WHERE is_comedy = true";
+const HORROR: &str = "SELECT item_id, is_horror FROM movies WHERE is_horror = true";
+
+fn main() {
+    match std::env::args().nth(1) {
+        Some(addr) => scrape_remote(&addr),
+        None => tour_in_process(),
+    }
+}
+
+/// CI mode: scrape a live server and prove the exposition is real.
+fn scrape_remote(addr: &str) {
+    let client = RemoteCrowdDb::connect(addr).unwrap();
+
+    // Drive one query so the counters have something to say.
+    let outcome = client.query(COMEDY).run().unwrap();
+    println!(
+        "query done: {} reports, ${:.4}",
+        outcome.reports.len(),
+        outcome.crowd_cost
+    );
+
+    let text = client.metrics().unwrap();
+    let parsed = parse_text(&text).expect("live scrape must parse strictly");
+    println!(
+        "scraped {} metric families / {} samples from {addr}",
+        parsed.family_count(),
+        parsed.sample_count()
+    );
+    assert!(
+        parsed.family_count() >= 10,
+        "expected >= 10 engine metric families, got {}",
+        parsed.family_count()
+    );
+    assert!(
+        parsed
+            .value("crowddb_queries_completed_total", &[("mode", "full")])
+            .is_some_and(|v| v >= 1.0),
+        "the query just run must be on the counter"
+    );
+
+    let stats = client.server_stats().unwrap();
+    println!(
+        "server counters: {} started / {} completed / {} active connections",
+        stats.queries_started, stats.queries_completed, stats.connections_active
+    );
+
+    let tree = client.monitor().unwrap();
+    println!("--- monitor tree ---\n{}", tree.render());
+
+    client.close().unwrap();
+    println!("ok: live scrape parses and carries the engine catalog");
+}
+
+/// Default mode: the full in-process tour.
+fn tour_in_process() {
+    let domain = SyntheticDomain::generate(&DomainConfig::movies().scaled(0.2), 42).unwrap();
+    let space = build_space_for_domain(&domain, 8, 12).unwrap();
+    let crowd = SimulatedCrowd::new(&domain, ExperimentRegime::TrustedWorkers, 7);
+
+    let db = Arc::new(CrowdDb::new(CrowdDbConfig {
+        strategy: ExpansionStrategy::DirectCrowd,
+        ..Default::default()
+    }));
+    db.load_domain("movies", &domain, space, Box::new(crowd))
+        .unwrap();
+    db.register_attribute("movies", "is_comedy", "Comedy")
+        .unwrap();
+    db.register_attribute("movies", "is_horror", "Horror")
+        .unwrap();
+    // A one-cent hourly budget the first crowd round blows straight
+    // through — every later `meter` query degrades instead of paying.
+    db.set_limiter(Limiter::new(LimiterConfig::new().tenant(
+        "meter",
+        TenantLimits::unlimited().dollar_rate(0.01, Duration::from_secs(3600)),
+    )));
+
+    // Cold: the crowd answers, every judgment a cache miss — and the
+    // spend lands in the `meter` tenant's dollar window.
+    let cold = db.query(COMEDY).tenant("meter").run().unwrap();
+    println!("cold query: ${:.4} crowd spend", cold.crowd_cost);
+    println!("  cache hit rate: {:.0}%", hit_rate(&db));
+
+    // Warm: force a re-expansion of the same concept — every judgment
+    // answers from the cache, the crowd is not paid again, and the hit
+    // rate jumps.
+    let warm = db.expand_attribute("movies", "is_comedy").unwrap();
+    println!(
+        "forced re-expansion: ${:.4} crowd spend, {} judgments from cache",
+        warm.crowd_cost, warm.cache_hits
+    );
+    println!("  cache hit rate: {:.0}%", hit_rate(&db));
+    assert_eq!(warm.crowd_cost, 0.0, "re-expansion must be cache-served");
+
+    // Degraded: the cold query blew the tenant's window, so its next
+    // query drops to BestEffort with a zero budget — an answer, not an
+    // error, and the provenance mark says why.
+    let degraded = db.query(HORROR).tenant("meter").run().unwrap();
+    println!(
+        "throttled tenant: mode {:?}, ${:.4} crowd spend",
+        degraded.policy.mode, degraded.crowd_cost
+    );
+    assert_eq!(degraded.policy.mode, ExpansionMode::BestEffort);
+
+    // The Prometheus exposition, round-tripped through the strict parser.
+    let text = db.metrics_snapshot().sorted().render();
+    let parsed = parse_text(&text).expect("our own exposition must parse");
+    println!(
+        "\n--- metrics ({} families / {} samples; parser round-trip ok) ---",
+        parsed.family_count(),
+        parsed.sample_count()
+    );
+    print!("{text}");
+
+    // The live monitor tree: engine state as a recursive tree of nodes.
+    println!("--- monitor tree ---\n{}", db.state_monitor().render_tree());
+}
+
+/// Judgment-cache hit rate from the engine's own metrics snapshot.
+fn hit_rate(db: &CrowdDb) -> f64 {
+    let snap = db.metrics_snapshot();
+    let hits = snap.value("crowddb_cache_hits_total", &[]).unwrap_or(0.0);
+    let misses = snap.value("crowddb_cache_misses_total", &[]).unwrap_or(0.0);
+    if hits + misses == 0.0 {
+        0.0
+    } else {
+        100.0 * hits / (hits + misses)
+    }
+}

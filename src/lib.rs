@@ -46,18 +46,21 @@ pub use mlkit;
 pub use perceptual;
 pub use relational;
 pub use storage;
+pub use telemetry;
 
 /// Commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
     pub use crowddb_client::{ClientConfig, RemoteCrowdDb, RemoteQueryBuilder, RemoteQueryStream};
     pub use crowddb_core::{
         audit_binary_labels, build_space_for_domain, evaluate_boost_over_time,
-        extract_binary_attribute, extract_numeric_attribute, repair_labels, AttributeRequest,
-        AuditOutcome, BoostCurve, CacheStats, CatalogRead, CellProvenance, CheckpointReport,
-        CrowdDb, CrowdDbBuilder, CrowdDbConfig, CrowdDbError, CrowdSource, ExpansionMode,
-        ExpansionPlan, ExpansionPolicy, ExpansionReport, ExpansionStrategy, ExtractionConfig,
-        JudgmentCache, MissingReason, OutstandingEstimate, QueryBuilder, QueryEvent, QueryOutcome,
-        QueryStream, RepairOutcome, RowSet, Session, SimulatedCrowd, StatementResult, TableRef,
+        extract_binary_attribute, extract_numeric_attribute, repair_labels, Admission,
+        AdmissionTicket, AttributeRequest, AuditOutcome, BoostCurve, CacheStats, CatalogRead,
+        CellProvenance, CheckpointReport, CrowdDb, CrowdDbBuilder, CrowdDbConfig, CrowdDbError,
+        CrowdSource, DegradeDirective, DegradeReason, ExpansionMode, ExpansionPlan,
+        ExpansionPolicy, ExpansionReport, ExpansionStrategy, ExtractionConfig, JudgmentCache,
+        Limiter, LimiterConfig, LimiterStats, MissingReason, OutstandingEstimate, QueryBuilder,
+        QueryEvent, QueryOutcome, QueryStream, RepairOutcome, RowSet, SchedulerStats, Session,
+        SimulatedCrowd, StatementResult, TableRef, TenantLimits,
     };
     pub use crowddb_server::{CrowdDbServer, ServerConfig, ServerStats};
     pub use crowdsim::{
@@ -77,6 +80,7 @@ pub mod prelude {
         SvdConfig, SvdModel,
     };
     pub use relational::{Catalog, DataType, QueryResult, Value};
+    pub use telemetry::{parse_text, MetricsSnapshot, MonitorTree, StateMonitor};
 }
 
 #[cfg(test)]
