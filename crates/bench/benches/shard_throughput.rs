@@ -21,12 +21,22 @@
 //! combines the two shipped wins: commits on one table no longer stall
 //! the other tables, and checkpoints no longer re-serialize cold data.
 //!
+//! A second scenario exercises partitioning *within* one table: a single
+//! giant table of [`GIANT_ROWS`] preloaded rows, hash-partitioned
+//! [`PARTITIONS`] ways, with four threads committing single-row inserts
+//! whose ids route each writer to its own partition.  The baseline is the
+//! identical workload against the same table with one partition — where
+//! every commit serializes behind the one partition lock held across its
+//! fsync.  Partitioned recovery of the same table is also timed serial
+//! vs. parallel (the fan-out is *within* the table here, not across
+//! tables).
+//!
 //! Besides the timings, the run emits `BENCH_shard.json` at the workspace
 //! root.  The regression-guarded fields are the deterministic ones — rows
 //! written, archive sizes, seeded crowd dollars of a four-table concurrent
-//! expansion, and its missing-cell count; the wall-clock fields (`*_ms`,
-//! the speedup) are recorded for the acceptance trail but deliberately not
-//! guarded.
+//! expansion, its missing-cell count, and the `*_partition` counts of the
+//! giant-table scenario; the wall-clock fields (`*_ms`, the speedups) are
+//! recorded for the acceptance trail but deliberately not guarded.
 //!
 //! Run with `cargo bench -p bench --bench shard_throughput`; pass
 //! `-- --test` for the CI smoke mode (same JSON, criterion timing loop
@@ -38,10 +48,12 @@ use std::time::{Duration, Instant};
 
 use criterion::Criterion;
 use crowddb_core::{
-    build_space_for_domain, CrowdDb, CrowdDbConfig, ExpansionStrategy, SimulatedCrowd,
+    build_space_for_domain, CheckpointOptions, CrowdDb, CrowdDbConfig, ExpansionStrategy,
+    PartitionSpec, SimulatedCrowd, TableOptions,
 };
 use crowdsim::ExperimentRegime;
 use datagen::{DomainConfig, SyntheticDomain};
+use relational::{Column, DataType, Schema, Table, Value};
 
 const THREADS: usize = 4;
 const TABLES: usize = 4;
@@ -64,6 +76,22 @@ const READER_INSERTS: usize = 10;
 
 /// Total committed rows across all four threads (a guarded JSON field).
 const ROWS_WRITTEN: usize = HOT_TABLES * HOT_ROWS_PER_WRITER + HOT_TABLES * READER_INSERTS;
+
+/// Rows preloaded into the single giant table before its timed phase.
+const GIANT_ROWS: usize = 8192;
+/// Hash partitions of the partitioned giant-table scenario (the baseline
+/// runs the identical table with one partition).
+const PARTITIONS: usize = 4;
+/// Committed single-row inserts each of the four giant-table writers
+/// performs.
+const PARTITION_ROWS_PER_WRITER: usize = 50;
+/// Each giant-table writer compacts its own partition after this many
+/// commits (`CheckpointScope::Partition`) — the partial-checkpoint load
+/// the partitioned layout parallelizes and the one-partition baseline
+/// serializes at full-table cost.
+const PARTITION_CHECKPOINT_EVERY: usize = 10;
+/// Total committed rows of the giant-table workload (a guarded field).
+const PARTITION_ROWS_WRITTEN: usize = THREADS * PARTITION_ROWS_PER_WRITER;
 
 fn scratch_dir(tag: &str) -> PathBuf {
     let dir =
@@ -197,6 +225,123 @@ fn best_of(runs: usize, pre_shard: bool, tag: &str) -> Duration {
         .unwrap()
 }
 
+/// Opens a fresh database holding one `GIANT_ROWS`-row table named
+/// `giant`, hash-partitioned `partitions` ways (1 = the single-partition
+/// baseline).  When `checkpoint` is set the table is snapshotted so the
+/// timed phase starts from clean segments; left unset, the full creation
+/// stays in the WAL for the recovery measurement to replay.
+fn open_giant(dir: &PathBuf, partitions: usize, checkpoint: bool) -> CrowdDb {
+    let db = CrowdDb::open(dir).unwrap();
+    let schema = Schema::new(vec![
+        Column::not_null("item_id", DataType::Integer),
+        Column::new("body", DataType::Text),
+    ])
+    .unwrap();
+    let mut table = Table::new("giant", schema);
+    for i in 0..GIANT_ROWS {
+        table
+            .insert_row(vec![
+                Value::Integer(i as i64),
+                Value::Text(format!("row {i}")),
+            ])
+            .unwrap();
+    }
+    db.create_table_with(
+        TableOptions::new("giant", "item_id").partitions(PartitionSpec::Hash { n: partitions }),
+        table,
+    )
+    .unwrap();
+    if checkpoint {
+        db.checkpoint().unwrap();
+    }
+    db
+}
+
+/// Fresh ids (beyond the preloaded range) bucketed by the partition the
+/// `Hash { PARTITIONS }` spec routes them to, `PARTITION_ROWS_PER_WRITER`
+/// per bucket — so each writer thread owns exactly one partition of the
+/// partitioned layout (and all writers contend on the one partition of
+/// the baseline).
+fn routed_insert_ids() -> Vec<Vec<i64>> {
+    let spec = PartitionSpec::Hash { n: PARTITIONS };
+    let mut buckets: Vec<Vec<i64>> = vec![Vec::new(); PARTITIONS];
+    let mut next = GIANT_ROWS as i64;
+    while buckets.iter().any(|b| b.len() < PARTITION_ROWS_PER_WRITER) {
+        let k = spec.route_value(&Value::Integer(next));
+        if buckets[k].len() < PARTITION_ROWS_PER_WRITER {
+            buckets[k].push(next);
+        }
+        next += 1;
+    }
+    buckets
+}
+
+/// Four threads committing single-row inserts into the one giant table,
+/// each compacting its own slice every [`PARTITION_CHECKPOINT_EVERY`]
+/// commits — wall-clock of the commit phase.  With `partitions ==
+/// PARTITIONS` each writer locks and fsyncs only its own partition's
+/// segment and its checkpoints snapshot a quarter of the rows, in
+/// parallel with the other writers; with one partition every commit
+/// serializes behind the same lock-plus-fsync and every checkpoint
+/// snapshots all [`GIANT_ROWS`] rows while the other three writers stall.
+fn timed_giant_workload(partitions: usize, tag: &str) -> Duration {
+    let dir = scratch_dir(tag);
+    let db = open_giant(&dir, partitions, true);
+    let db_ref = &db;
+    let buckets = routed_insert_ids();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for (k, bucket) in buckets.iter().enumerate() {
+            let own_partition = if partitions == 1 { 0 } else { k };
+            scope.spawn(move || {
+                for (row, id) in bucket.iter().enumerate() {
+                    db_ref
+                        .execute(&format!(
+                            "INSERT INTO giant (item_id, body) VALUES ({id}, 'w{id}')"
+                        ))
+                        .unwrap();
+                    if (row + 1) % PARTITION_CHECKPOINT_EVERY == 0 {
+                        db_ref
+                            .checkpoint_with(CheckpointOptions::partition("giant", own_partition))
+                            .unwrap();
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let total = db.execute("SELECT item_id FROM giant").unwrap().rows.len();
+    assert_eq!(total, GIANT_ROWS + PARTITION_ROWS_WRITTEN);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    elapsed
+}
+
+/// Reopen wall-clock of the giant partitioned table with its full
+/// creation still in the WAL: recovery fans out across the partitions of
+/// this *one* table (serial = 1 worker).
+fn measure_partition_recovery(runs: usize) -> (Duration, Duration) {
+    let dir = scratch_dir("partition-recovery");
+    drop(open_giant(&dir, PARTITIONS, false));
+    let reopen = |parallelism: usize| {
+        let started = Instant::now();
+        let db = CrowdDb::builder()
+            .persistent(&dir)
+            .recovery_parallelism(parallelism)
+            .open()
+            .unwrap();
+        let elapsed = started.elapsed();
+        let stats = db.storage_stats();
+        assert_eq!(stats.tables.len(), 1);
+        assert_eq!(stats.tables[0].partitions.len(), PARTITIONS);
+        elapsed
+    };
+    let serial = (0..runs).map(|_| reopen(1)).min().unwrap();
+    let parallel = (0..runs).map(|_| reopen(PARTITIONS)).min().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    (serial, parallel)
+}
+
 /// Reopen wall-clock of a freshly written four-table directory at the
 /// given recovery parallelism (serial = 1).
 fn measure_recovery(runs: usize) -> (Duration, Duration) {
@@ -226,7 +371,7 @@ fn measure_recovery(runs: usize) -> (Duration, Duration) {
             .open()
             .unwrap();
         let elapsed = started.elapsed();
-        assert_eq!(db.wal_bytes_by_table().len(), TABLES);
+        assert_eq!(db.storage_stats().tables.len(), TABLES);
         elapsed
     };
     let serial = (0..runs).map(|_| reopen(1)).min().unwrap();
@@ -296,6 +441,10 @@ struct Timings {
     pre_shard: Duration,
     recovery_serial: Duration,
     recovery_parallel: Duration,
+    partitioned: Duration,
+    single_partition: Duration,
+    partition_recovery_serial: Duration,
+    partition_recovery_parallel: Duration,
 }
 
 fn write_report(costs: &ExpansionCosts, timings: &Timings) {
@@ -306,6 +455,8 @@ fn write_report(costs: &ExpansionCosts, timings: &Timings) {
     path.pop();
     path.push("BENCH_shard.json");
     let speedup = timings.pre_shard.as_secs_f64() / timings.sharded.as_secs_f64();
+    let partition_speedup =
+        timings.single_partition.as_secs_f64() / timings.partitioned.as_secs_f64();
     let json = format!(
         "{{\n  \"bench\": \"shard_throughput\",\n  \"threads\": {},\n  \
          \"tables\": {},\n  \"rows_written\": {},\n  \
@@ -313,9 +464,17 @@ fn write_report(costs: &ExpansionCosts, timings: &Timings) {
          \"expansion_items_per_table\": {},\n  \
          \"expansion_cost_dollars\": {:.4},\n  \
          \"expansion_missing_cells\": {},\n  \
+         \"count_partition\": {},\n  \
+         \"giant_rows_partition\": {},\n  \
+         \"rows_written_partition\": {},\n  \
          \"sharded_ms\": {:.2},\n  \"pre_shard_ms\": {:.2},\n  \
          \"speedup_sharded_over_pre_shard\": {:.2},\n  \
-         \"recovery_serial_ms\": {:.2},\n  \"recovery_parallel_ms\": {:.2}\n}}\n",
+         \"recovery_serial_ms\": {:.2},\n  \"recovery_parallel_ms\": {:.2},\n  \
+         \"partitioned_commit_ms\": {:.2},\n  \
+         \"single_partition_commit_ms\": {:.2},\n  \
+         \"speedup_partitioned_over_single\": {:.2},\n  \
+         \"partition_recovery_serial_ms\": {:.2},\n  \
+         \"partition_recovery_parallel_ms\": {:.2}\n}}\n",
         THREADS,
         TABLES,
         ROWS_WRITTEN,
@@ -323,21 +482,32 @@ fn write_report(costs: &ExpansionCosts, timings: &Timings) {
         costs.items_per_table,
         costs.dollars,
         costs.missing_cells,
+        PARTITIONS,
+        GIANT_ROWS,
+        PARTITION_ROWS_WRITTEN,
         timings.sharded.as_secs_f64() * 1e3,
         timings.pre_shard.as_secs_f64() * 1e3,
         speedup,
         timings.recovery_serial.as_secs_f64() * 1e3,
         timings.recovery_parallel.as_secs_f64() * 1e3,
+        timings.partitioned.as_secs_f64() * 1e3,
+        timings.single_partition.as_secs_f64() * 1e3,
+        partition_speedup,
+        timings.partition_recovery_serial.as_secs_f64() * 1e3,
+        timings.partition_recovery_parallel.as_secs_f64() * 1e3,
     );
     std::fs::write(&path, json).expect("write BENCH_shard.json");
     println!(
         "wrote {} (sharded {:.2} ms, pre-shard {:.2} ms, speedup {speedup:.2}x, \
-         recovery serial {:.2} ms / parallel {:.2} ms)",
+         recovery serial {:.2} ms / parallel {:.2} ms, giant table partitioned \
+         {:.2} ms vs single {:.2} ms = {partition_speedup:.2}x)",
         path.display(),
         timings.sharded.as_secs_f64() * 1e3,
         timings.pre_shard.as_secs_f64() * 1e3,
         timings.recovery_serial.as_secs_f64() * 1e3,
         timings.recovery_parallel.as_secs_f64() * 1e3,
+        timings.partitioned.as_secs_f64() * 1e3,
+        timings.single_partition.as_secs_f64() * 1e3,
     );
 }
 
@@ -355,6 +525,16 @@ fn main() {
     let sharded = best_of(repetitions, false, "sharded");
     let pre_shard = best_of(repetitions, true, "pre-shard");
     let (recovery_serial, recovery_parallel) = measure_recovery(repetitions);
+    let partitioned = (0..repetitions)
+        .map(|run| timed_giant_workload(PARTITIONS, &format!("giant-part-{run}")))
+        .min()
+        .unwrap();
+    let single_partition = (0..repetitions)
+        .map(|run| timed_giant_workload(1, &format!("giant-single-{run}")))
+        .min()
+        .unwrap();
+    let (partition_recovery_serial, partition_recovery_parallel) =
+        measure_partition_recovery(repetitions);
     write_report(
         &costs,
         &Timings {
@@ -362,6 +542,10 @@ fn main() {
             pre_shard,
             recovery_serial,
             recovery_parallel,
+            partitioned,
+            single_partition,
+            partition_recovery_serial,
+            partition_recovery_parallel,
         },
     );
 
@@ -380,6 +564,12 @@ fn main() {
     group.bench_function("four_tables_global_lock", |b| {
         let global = RwLock::new(());
         b.iter(|| timed_workload(Some(&global), "crit-global"))
+    });
+    group.bench_function("giant_table_partitioned", |b| {
+        b.iter(|| timed_giant_workload(PARTITIONS, "crit-giant-part"))
+    });
+    group.bench_function("giant_table_single_partition", |b| {
+        b.iter(|| timed_giant_workload(1, "crit-giant-single"))
     });
     group.finish();
 }

@@ -72,6 +72,9 @@ const SHARD_FIELDS: &[&str] = &[
     "expansion_items_per_table",
     "expansion_cost_dollars",
     "expansion_missing_cells",
+    "count_partition",
+    "giant_rows_partition",
+    "rows_written_partition",
 ];
 
 /// Numeric comparisons use an epsilon: the reports print floats with fixed

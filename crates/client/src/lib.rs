@@ -23,7 +23,7 @@
 #![warn(missing_docs)]
 
 use crowddb_core::{
-    CrowdDbError, ExpansionMode, ExpansionPolicy, QueryEvent, QueryOutcome, Result,
+    CrowdDbError, ExpansionMode, ExpansionPolicy, PartitionSpec, QueryEvent, QueryOutcome, Result,
 };
 use crowddb_server::wire::{
     read_frame, write_frame, ClientHello, HandshakeReply, Request, Response, PROTOCOL_VERSION,
@@ -171,6 +171,24 @@ impl RemoteCrowdDb {
     /// [`ExpansionPolicy`], applied to queries that do not set their own.
     pub fn set_defaults(&self, policy: ExpansionPolicy) -> Result<()> {
         self.request_ack(|id| Request::SetDefaults { id, policy })
+    }
+
+    /// Creates a table on the remote database from `CREATE TABLE` DDL
+    /// with an explicit storage [`PartitionSpec`] — the remote twin of
+    /// the in-process
+    /// [`create_table_with`](crowddb_core::CrowdDb::create_table_with) /
+    /// [`TableOptions`](crowddb_core::TableOptions) builder.  Plain SQL
+    /// `CREATE TABLE` sent through [`query`](RemoteCrowdDb::query) stays
+    /// single-partition.  Errors (bad DDL, duplicate table, a layout the
+    /// engine refuses) come back as the same typed [`CrowdDbError`] the
+    /// in-process call would return.
+    pub fn create_table(&self, sql: impl Into<String>, partitions: PartitionSpec) -> Result<()> {
+        let sql = sql.into();
+        self.request_ack(move |id| Request::CreateTable {
+            id,
+            sql,
+            partitions,
+        })
     }
 
     /// Snapshots the server's connection and query counters.

@@ -21,18 +21,23 @@
 //! # Concurrency
 //!
 //! [`CrowdDb::execute`] takes `&self`: the catalog is **sharded by
-//! table** — each table's single-table [`Catalog`] lives behind its own
-//! [`RwLock`] (a `Shard`), reached through a lightweight table-map lock
-//! touched only to create tables or clone shard handles — the binding
-//! table is behind an [`RwLock`], every crowd source behind a [`Mutex`],
-//! the [`JudgmentCache`] and [`InflightRegistry`] are internally
-//! synchronized, and the database is `Send + Sync` — share it across N
-//! threads (e.g. via [`std::sync::Arc`] or [`std::thread::scope`]) and
-//! call `execute` from all of them.  Read-only statements (`SELECT`) run
-//! under their table's shared shard lock and therefore in parallel; writes
-//! and column materialization take that one table's exclusive lock, so
-//! queries on *different tables* never contend on any catalog lock at
-//! all.  No lock is ever held across a crowd dispatch, so slow human work
+//! table** — each table's `Shard` holds one single-table [`Catalog`] *per
+//! partition*, each behind its own [`RwLock`], reached through a
+//! lightweight table-map lock touched only to create tables or clone
+//! shard handles — the binding table is behind an [`RwLock`], every crowd
+//! source behind a [`Mutex`], the [`JudgmentCache`] and
+//! [`InflightRegistry`] are internally synchronized, and the database is
+//! `Send + Sync` — share it across N threads (e.g. via [`std::sync::Arc`]
+//! or [`std::thread::scope`]) and call `execute` from all of them.
+//! Read-only statements (`SELECT`) run under shared partition locks and
+//! therefore in parallel; writes and column materialization take
+//! exclusive locks on only the partitions they touch, so queries on
+//! *different tables* — and single-partition-routed writes on *disjoint
+//! partitions of the same table* (see [`TableOptions::partitions`]) —
+//! never contend on any catalog lock at all.  Multi-partition operations
+//! always take partition locks in ascending `k` order (the deadlock-free
+//! lock order is table map → shard → partition → WAL segment → manifest).
+//! No lock is ever held across a crowd dispatch, so slow human work
 //! never blocks factual queries.
 //!
 //! Queries that concurrently need the same missing `(table, attribute)`
@@ -44,7 +49,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::{Mutex, RwLock, RwLockReadGuard};
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use storage::{TableImage, WalRecord};
 
@@ -54,7 +59,8 @@ use crowdsim::{
 use datagen::SyntheticDomain;
 use perceptual::{EuclideanEmbeddingConfig, EuclideanEmbeddingModel, ItemId, PerceptualSpace};
 use relational::{
-    executor, sql, Catalog, Column, DataType, QueryResult, RelationalError, Schema, Table, Value,
+    executor, sql, Catalog, Column, DataType, PartitionSpec, QueryResult, RelationalError, Schema,
+    Table, Value,
 };
 
 use telemetry::{MetricsSnapshot, StateMonitor};
@@ -162,17 +168,138 @@ pub struct ExpansionEvent {
     pub report: ExpansionReport,
 }
 
+/// How a table is laid out and linked to the engine, built fluently and
+/// passed to [`CrowdDb::create_table_with`]:
+///
+/// ```
+/// # use crowddb_core::{TableOptions, PartitionSpec};
+/// let options = TableOptions::new("movies", "item_id")
+///     .partitions(PartitionSpec::Hash { n: 4 });
+/// ```
+///
+/// The default layout is a single partition — exactly what the deprecated
+/// [`CrowdDb::create_table`] shim produces.  A partitioned table keeps one
+/// WAL segment and one snapshot *per partition* on disk, and one catalog
+/// lock per partition in memory, so commits and checkpoints on disjoint
+/// partitions proceed in parallel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableOptions {
+    name: String,
+    id_column: String,
+    partitions: PartitionSpec,
+}
+
+impl TableOptions {
+    /// Options for table `name` whose rows are keyed by `id_column` — the
+    /// column partitioning routes on, which must equal the database-wide
+    /// [`CrowdDbConfig::id_column`].
+    pub fn new(name: impl Into<String>, id_column: impl Into<String>) -> Self {
+        TableOptions {
+            name: name.into(),
+            id_column: id_column.into(),
+            partitions: PartitionSpec::Single,
+        }
+    }
+
+    /// Sets the partition layout (normalized: one-way hash or empty range
+    /// specs collapse to [`PartitionSpec::Single`]).
+    pub fn partitions(mut self, spec: PartitionSpec) -> Self {
+        self.partitions = spec.normalize();
+        self
+    }
+
+    /// The table name these options describe.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The id column rows route on.
+    pub fn id_column(&self) -> &str {
+        &self.id_column
+    }
+
+    /// The partition layout.
+    pub fn partition_spec(&self) -> &PartitionSpec {
+        &self.partitions
+    }
+}
+
+/// Which durable state one [`CrowdDb::checkpoint_with`] call compacts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CheckpointScope {
+    /// Every partition of every table that received WAL records since its
+    /// last checkpoint — the routine incremental compaction
+    /// ([`CrowdDb::checkpoint`]).
+    #[default]
+    Dirty,
+    /// Every partition of every table, dirty or not — the backup/archival
+    /// compaction ([`CrowdDb::checkpoint_full`]).
+    Full,
+    /// Every partition of one table, dirty or not.
+    Table(String),
+    /// Exactly one partition of one table, dirty or not.  Partition `k` of
+    /// a single-partition table is `0`.
+    Partition(String, usize),
+}
+
+/// Options for [`CrowdDb::checkpoint_with`] — today just the
+/// [`CheckpointScope`], carried in a struct so future knobs extend the
+/// call instead of multiplying methods.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointOptions {
+    /// What to compact.
+    pub scope: CheckpointScope,
+}
+
+impl CheckpointOptions {
+    /// Compact only dirty partitions (the [`CrowdDb::checkpoint`] default).
+    pub fn dirty() -> Self {
+        CheckpointOptions {
+            scope: CheckpointScope::Dirty,
+        }
+    }
+
+    /// Compact everything ([`CrowdDb::checkpoint_full`] semantics).
+    pub fn full() -> Self {
+        CheckpointOptions {
+            scope: CheckpointScope::Full,
+        }
+    }
+
+    /// Compact every partition of one table.
+    pub fn table(name: impl Into<String>) -> Self {
+        CheckpointOptions {
+            scope: CheckpointScope::Table(name.into()),
+        }
+    }
+
+    /// Compact exactly one partition of one table.
+    pub fn partition(name: impl Into<String>, k: usize) -> Self {
+        CheckpointOptions {
+            scope: CheckpointScope::Partition(name.into(), k),
+        }
+    }
+}
+
 /// What one incremental [`CrowdDb::checkpoint`] did: which tables were
 /// dirty (and got a fresh snapshot + truncated segment), which were clean
-/// (and were skipped untouched), and how many WAL bytes the truncations
-/// reclaimed.
+/// (and were skipped untouched), how many individual partitions each
+/// outcome covered, and how many WAL bytes the truncations reclaimed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CheckpointReport {
-    /// Tables whose segments had records since their last checkpoint, in
-    /// name order.  Each got a fresh snapshot and a truncated segment.
+    /// Tables with at least one partition snapshotted, in name order.
+    /// Each snapshotted partition got a fresh snapshot file and a
+    /// truncated segment.
     pub tables_snapshotted: Vec<String>,
-    /// Clean tables the checkpoint skipped, in name order.
+    /// Tables the checkpoint left completely untouched, in name order.
     pub tables_skipped: Vec<String>,
+    /// Individual partitions snapshotted, summed over all tables (equals
+    /// `tables_snapshotted.len()` when every table is single-partition).
+    pub partitions_snapshotted: usize,
+    /// Individual partitions skipped clean — including the clean
+    /// partitions of tables that appear in `tables_snapshotted` (a
+    /// *partial* per-table checkpoint).
+    pub partitions_skipped: usize,
     /// WAL bytes reclaimed by the segment truncations.
     pub bytes_reclaimed: u64,
 }
@@ -181,6 +308,73 @@ impl CheckpointReport {
     /// True when at least one table was snapshotted.
     pub fn snapshotted_any(&self) -> bool {
         !self.tables_snapshotted.is_empty()
+    }
+}
+
+/// Per-partition durable footprint of one table — a row of
+/// [`StorageStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionStorage {
+    /// The partition index `k` (0 for single-partition tables).
+    pub partition: usize,
+    /// Live WAL segment bytes on disk (`wal/<table>.p<k>.log`).
+    pub wal_bytes: u64,
+    /// Snapshot file bytes on disk (0 before the first checkpoint).
+    pub snapshot_bytes: u64,
+    /// True when the segment holds records newer than the snapshot — the
+    /// next [`CheckpointScope::Dirty`] checkpoint will compact it.
+    pub dirty: bool,
+}
+
+/// One table's durable footprint — a row of [`StorageStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStorage {
+    /// The table name (lower-cased).
+    pub table: String,
+    /// How rows route to partitions.
+    pub spec: PartitionSpec,
+    /// Per-partition sizes and dirty flags, in `k` order.
+    pub partitions: Vec<PartitionStorage>,
+}
+
+impl TableStorage {
+    /// WAL bytes summed over this table's partitions.
+    pub fn wal_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.wal_bytes).sum()
+    }
+
+    /// Snapshot bytes summed over this table's partitions.
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.snapshot_bytes).sum()
+    }
+
+    /// True when any partition has unsnapshotted records.
+    pub fn is_dirty(&self) -> bool {
+        self.partitions.iter().any(|p| p.dirty)
+    }
+}
+
+/// A typed snapshot of the durable storage footprint, returned by
+/// [`CrowdDb::storage_stats`]: per-table and per-partition WAL bytes,
+/// snapshot bytes, and dirty flags.  Empty for in-memory databases.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// One entry per table, sorted by table name.
+    pub tables: Vec<TableStorage>,
+}
+
+impl StorageStats {
+    /// WAL bytes summed over every table's every partition — grows with
+    /// committed work and collapses back to a few dozen bytes per
+    /// partition (file header plus configuration stamps) on checkpoint.
+    pub fn wal_bytes_total(&self) -> u64 {
+        self.tables.iter().map(TableStorage::wal_bytes).sum()
+    }
+
+    /// One table's entry, by name (any casing).
+    pub fn table(&self, name: &str) -> Option<&TableStorage> {
+        let key = name.to_lowercase();
+        self.tables.iter().find(|t| t.table == key)
     }
 }
 
@@ -208,7 +402,7 @@ impl CatalogRead {
             .map(|(_, shard)| shard)
             .ok_or_else(|| RelationalError::UnknownTable(name.to_string()))?;
         Ok(TableRef {
-            guard: rlock(&shard.catalog),
+            view: shard.read()?,
             name: key,
         })
     }
@@ -229,11 +423,16 @@ impl CatalogRead {
     }
 }
 
-/// A borrowed table behind its shard's shared lock, dereferencing to
-/// [`Table`].  Writers to this table block while it is alive; drop it
-/// before triggering expansions or mutations.
+/// A borrowed table view, dereferencing to [`Table`].
+///
+/// For a single-partition table this holds the shard's shared lock —
+/// writers to the table block while it is alive; drop it before
+/// triggering expansions or mutations.  For a partitioned table it holds
+/// an owned merged copy assembled under briefly-held shared partition
+/// locks, so it blocks nothing — but also does not see writes that commit
+/// after it was taken.
 pub struct TableRef<'a> {
-    guard: RwLockReadGuard<'a, Catalog>,
+    view: ShardRead<'a>,
     name: String,
 }
 
@@ -241,7 +440,7 @@ impl std::ops::Deref for TableRef<'_> {
     type Target = Table;
 
     fn deref(&self) -> &Table {
-        self.guard
+        self.view
             .table(&self.name)
             .expect("a shard always holds its own table")
     }
@@ -402,30 +601,121 @@ pub struct CrowdDb {
     pub(crate) scheduler: Scheduler,
 }
 
-/// One table's unit of catalog locking: a single-table [`Catalog`] behind
-/// its own [`RwLock`].
+/// One table's unit of catalog locking: one single-table [`Catalog`] *per
+/// partition*, each behind its own [`RwLock`].
 ///
 /// The executor's analysis and execution functions take a `&Catalog`; a
 /// shard satisfies them with a catalog that happens to hold exactly one
-/// table, so every statement runs against its own table's lock and tables
-/// never contend with each other.  The shard map itself (`DbInner::shards`)
-/// is guarded by a separate lightweight lock used only for table creation
-/// and handle cloning — the lock order is table map → shard → WAL segment →
-/// manifest (see `docs/architecture.md`).
+/// table (for partitioned tables: one *slice* of it, or a merged owned
+/// copy for reads), so every statement runs against only the partition
+/// locks it needs and tables never contend with each other.  The shard map
+/// itself (`DbInner::shards`) is guarded by a separate lightweight lock
+/// used only for table creation and handle cloning — the lock order is
+/// table map → shard → partition → WAL segment → manifest (see
+/// `docs/architecture.md`).
 struct Shard {
-    catalog: RwLock<Catalog>,
+    /// How rows route to partitions ([`PartitionSpec::Single`] for every
+    /// table not created through [`TableOptions::partitions`]).
+    spec: PartitionSpec,
+    /// One single-table catalog per partition, in `k` order.  Always at
+    /// least one entry; `parts.len() == spec.partition_count()`.
+    parts: Vec<RwLock<Catalog>>,
 }
 
 impl Shard {
-    /// Wraps a fully built table in its own single-table catalog.
+    /// Wraps a fully built table in a single-partition shard.
     fn of_table(table: Table) -> Arc<Shard> {
+        Shard::partitioned(PartitionSpec::Single, vec![table])
+    }
+
+    /// Builds a shard from per-partition table slices (one per partition
+    /// of `spec`, in `k` order — see
+    /// [`persist::split_table_by_partition`]).
+    fn partitioned(spec: PartitionSpec, slices: Vec<Table>) -> Arc<Shard> {
+        debug_assert_eq!(spec.partition_count(), slices.len());
+        let parts = slices
+            .into_iter()
+            .map(|slice| {
+                let mut catalog = Catalog::new();
+                catalog
+                    .create_table(slice)
+                    .expect("a fresh single-table catalog cannot collide");
+                RwLock::new(catalog)
+            })
+            .collect();
+        Arc::new(Shard { spec, parts })
+    }
+
+    /// A read view of the table.  Single-partition: the partition's shared
+    /// lock, held for the view's lifetime.  Partitioned: all partition
+    /// locks are taken shared in `k` order, the slices are merged into an
+    /// owned whole-table catalog (so `ORDER BY` / `LIMIT` see every row),
+    /// and the locks are released before returning — the view is a
+    /// consistent point-in-time copy.
+    fn read(&self) -> Result<ShardRead<'_>> {
+        if self.parts.len() == 1 {
+            return Ok(ShardRead::Guard(rlock(&self.parts[0])));
+        }
+        let guards: Vec<RwLockReadGuard<'_, Catalog>> = self.parts.iter().map(rlock).collect();
+        let name = guards[0]
+            .table_names()
+            .pop()
+            .expect("partition catalogs hold exactly one table");
+        let mut merged: Option<Table> = None;
+        for guard in &guards {
+            let slice = guard.table(&name).expect("every partition holds the table");
+            merged = Some(match merged.take() {
+                None => slice.clone(),
+                Some(acc) => persist::merge_partition_tables(acc, slice)?,
+            });
+        }
+        drop(guards);
         let mut catalog = Catalog::new();
         catalog
-            .create_table(table)
+            .create_table(merged.expect("at least one partition"))
             .expect("a fresh single-table catalog cannot collide");
-        Arc::new(Shard {
-            catalog: RwLock::new(catalog),
-        })
+        Ok(ShardRead::Merged(Box::new(catalog)))
+    }
+
+    /// A read view of one partition only — schema-complete (every
+    /// partition slice carries the table's full schema), row-incomplete.
+    /// Lets a routed mutation run its static analysis pass without
+    /// touching — or blocking on — partitions it does not write.
+    fn read_one(&self, k: usize) -> ShardRead<'_> {
+        ShardRead::Guard(rlock(&self.parts[k]))
+    }
+
+    /// Exclusive access to one partition's catalog.
+    fn write_one(&self, k: usize) -> RwLockWriteGuard<'_, Catalog> {
+        wlock(&self.parts[k])
+    }
+
+    /// Exclusive access to every partition, locked in ascending `k` order
+    /// (the deadlock-free order every multi-partition writer uses).
+    fn write_all(&self) -> Vec<RwLockWriteGuard<'_, Catalog>> {
+        self.parts.iter().map(wlock).collect()
+    }
+}
+
+/// A read view over a shard's table — either a held shared lock
+/// (single-partition) or an owned merged copy (partitioned).  Dereferences
+/// to [`Catalog`] so the executor's `&Catalog` entry points take it
+/// directly.
+enum ShardRead<'a> {
+    /// The single partition's shared lock, held while the view lives.
+    Guard(RwLockReadGuard<'a, Catalog>),
+    /// An owned whole-table merge of every partition slice; no lock held.
+    Merged(Box<Catalog>),
+}
+
+impl std::ops::Deref for ShardRead<'_> {
+    type Target = Catalog;
+
+    fn deref(&self) -> &Catalog {
+        match self {
+            ShardRead::Guard(guard) => guard,
+            ShardRead::Merged(catalog) => catalog,
+        }
     }
 }
 
@@ -487,6 +777,10 @@ pub(crate) struct DbInner {
     /// crowd acquisition is in flight, carrying the concept, the items
     /// outstanding, and the plan's spend so far.
     expansions_monitor: StateMonitor,
+    /// The `crowddb/storage` monitor node: per-partition
+    /// `<table>.p<k>.wal_bytes` gauges, refreshed by
+    /// [`CrowdDb::storage_stats`].
+    storage_monitor: StateMonitor,
     /// The admission controller, when one is attached
     /// ([`CrowdDb::set_limiter`]).  `None` (the default) admits everything
     /// untouched.
@@ -627,63 +921,112 @@ impl CrowdDb {
     /// skipped untouched.  The manifest is rewritten once at the end.
     /// Does nothing (an empty report) on an in-memory database.
     ///
-    /// Each table's checkpoint holds that table's **shared** shard lock
+    /// Each partition's checkpoint holds that partition's **shared** lock
     /// plus its segment mutex: concurrent readers and the background
-    /// scheduler keep running, writers on *other tables* are completely
-    /// unaffected, and writers on the table being snapshotted block only
-    /// for its own capture.  A crash at any point leaves every table with
-    /// either its old snapshot + complete old segment or its new snapshot
-    /// (+ the records appended since), never a torn hybrid — snapshots are
-    /// written to a temp file and atomically renamed, and per-table
+    /// scheduler keep running, writers on *other tables* — and on other
+    /// partitions of the same table — are completely unaffected, and
+    /// writers on the partition being snapshotted block only for its own
+    /// capture.  A crash at any point leaves every partition with either
+    /// its old snapshot + complete old segment or its new snapshot (+ the
+    /// records appended since), never a torn hybrid — snapshots are
+    /// written to a temp file and atomically renamed, and per-partition
     /// generation stamps keep a partially completed incremental checkpoint
-    /// consistent table by table.
+    /// consistent partition by partition.
+    ///
+    /// Shorthand for `checkpoint_with(CheckpointOptions::dirty())`.
     pub fn checkpoint(&self) -> Result<CheckpointReport> {
-        self.checkpoint_inner(false)
+        self.checkpoint_with(CheckpointOptions::dirty())
     }
 
-    /// Compacts the durable state **fully**: every table gets a fresh
-    /// snapshot and a truncated segment, dirty or not.  This is what the
-    /// pre-sharding engine did on every checkpoint; it survives as the
-    /// backup/archival entry point — after it returns, the `snap/`
-    /// directory plus the manifest describe the complete database with
-    /// every segment empty, so copying the directory captures a
+    /// Compacts the durable state **fully**: every partition of every
+    /// table gets a fresh snapshot and a truncated segment, dirty or not.
+    /// This is what the pre-sharding engine did on every checkpoint; it
+    /// survives as the backup/archival entry point — after it returns, the
+    /// `snap/` directory plus the manifest describe the complete database
+    /// with every segment empty, so copying the directory captures a
     /// self-contained image.  Prefer [`checkpoint`](CrowdDb::checkpoint)
     /// for routine compaction: on read-mostly tables a full checkpoint
     /// re-serializes and re-writes data that has not changed.
+    ///
+    /// Shorthand for `checkpoint_with(CheckpointOptions::full())`.
     pub fn checkpoint_full(&self) -> Result<CheckpointReport> {
-        self.checkpoint_inner(true)
+        self.checkpoint_with(CheckpointOptions::full())
     }
 
-    fn checkpoint_inner(&self, force: bool) -> Result<CheckpointReport> {
+    /// Compacts the durable state within one [`CheckpointScope`]: every
+    /// selected partition gets a fresh snapshot and a truncated WAL
+    /// segment; everything outside the scope — other tables, and the
+    /// *unselected partitions of selected tables* — is left byte-for-byte
+    /// untouched on disk.  The manifest is rewritten once at the end.
+    /// Does nothing (an empty report) on an in-memory database.
+    ///
+    /// See [`checkpoint`](CrowdDb::checkpoint) for the locking and
+    /// crash-consistency guarantees, which hold per partition.
+    pub fn checkpoint_with(&self, options: CheckpointOptions) -> Result<CheckpointReport> {
         let inner = &self.inner;
         let durability = match &inner.durability {
             Some(durability) => durability,
             None => return Ok(CheckpointReport::default()),
         };
         let mut report = CheckpointReport::default();
-        for (name, shard) in inner.shards_sorted() {
-            if !force && !durability.is_dirty(&name) {
-                report.tables_skipped.push(name);
-                continue;
+        let selected: Vec<(String, Arc<Shard>)> = match &options.scope {
+            CheckpointScope::Dirty | CheckpointScope::Full => inner.shards_sorted(),
+            CheckpointScope::Table(name) | CheckpointScope::Partition(name, _) => {
+                vec![(name.to_lowercase(), inner.shard(name)?)]
             }
-            let catalog = rlock(&shard.catalog);
-            let table = catalog.table(&name)?;
-            report.bytes_reclaimed +=
-                durability.checkpoint_table(&name, |wal_generation, wal_records_applied| {
-                    persist::table_snapshot_image(
-                        persist::TableSnapshotParts {
-                            table,
-                            cache: &inner.cache,
-                            provenance: &rlock(&inner.provenance),
-                            incomplete: &rlock(&inner.incomplete),
-                            crowd_rounds: inner.crowd_rounds.load(Ordering::SeqCst),
-                            id_column: &inner.config.id_column,
-                        },
-                        wal_generation,
-                        wal_records_applied,
-                    )
-                })?;
-            report.tables_snapshotted.push(name);
+        };
+        for (name, shard) in selected {
+            let mut snapshotted = 0usize;
+            let mut skipped = 0usize;
+            for k in 0..shard.parts.len() {
+                let include = match &options.scope {
+                    CheckpointScope::Dirty => durability.is_dirty_partition(&name, k),
+                    CheckpointScope::Full | CheckpointScope::Table(_) => true,
+                    CheckpointScope::Partition(_, wanted) => {
+                        if *wanted >= shard.parts.len() {
+                            return Err(CrowdDbError::Configuration(format!(
+                                "table '{name}' has {} partitions; partition {wanted} does not exist",
+                                shard.parts.len()
+                            )));
+                        }
+                        *wanted == k
+                    }
+                };
+                if !include {
+                    skipped += 1;
+                    continue;
+                }
+                let catalog = rlock(&shard.parts[k]);
+                let table = catalog.table(&name)?;
+                let partition = (!shard.spec.is_single()).then_some((&shard.spec, k));
+                report.bytes_reclaimed += durability.checkpoint_partition(
+                    &name,
+                    k,
+                    |wal_generation, wal_records_applied| {
+                        persist::table_snapshot_image(
+                            persist::TableSnapshotParts {
+                                table,
+                                cache: &inner.cache,
+                                provenance: &rlock(&inner.provenance),
+                                incomplete: &rlock(&inner.incomplete),
+                                crowd_rounds: inner.crowd_rounds.load(Ordering::SeqCst),
+                                id_column: &inner.config.id_column,
+                                partition,
+                            },
+                            wal_generation,
+                            wal_records_applied,
+                        )
+                    },
+                )?;
+                snapshotted += 1;
+            }
+            report.partitions_snapshotted += snapshotted;
+            report.partitions_skipped += skipped;
+            if snapshotted > 0 {
+                report.tables_snapshotted.push(name);
+            } else {
+                report.tables_skipped.push(name);
+            }
         }
         durability.write_manifest_state(
             inner.cache.stats(),
@@ -692,26 +1035,43 @@ impl CrowdDb {
         Ok(report)
     }
 
-    /// Current total size of the write-ahead log in bytes, summed across
-    /// every table's segment (0 for in-memory databases) — a compaction
-    /// diagnostic: it grows with committed work and collapses back to a
-    /// few dozen bytes per table (file header plus the configuration
-    /// stamp) on [`checkpoint`](CrowdDb::checkpoint).
-    pub fn wal_bytes(&self) -> u64 {
-        self.inner
-            .durability
-            .as_ref()
-            .map_or(0, Durability::wal_bytes)
-    }
-
-    /// Per-table WAL segment sizes in bytes, sorted by table name (empty
-    /// for in-memory databases) — the per-shard breakdown of
-    /// [`wal_bytes`](CrowdDb::wal_bytes).
-    pub fn wal_bytes_by_table(&self) -> Vec<(String, u64)> {
-        self.inner
-            .durability
-            .as_ref()
-            .map_or_else(Vec::new, Durability::wal_bytes_by_table)
+    /// A typed snapshot of the durable storage footprint: per-table and
+    /// per-partition WAL bytes, snapshot bytes, and dirty flags, sorted by
+    /// table name (empty for in-memory databases).  Also refreshes the
+    /// `crowddb/storage` [`StateMonitor`] subtree with per-partition
+    /// `<table>.p<k>.wal_bytes` gauges.
+    pub fn storage_stats(&self) -> StorageStats {
+        let tables: Vec<TableStorage> = match &self.inner.durability {
+            None => Vec::new(),
+            Some(durability) => durability
+                .storage_stats()
+                .into_iter()
+                .map(|(table, spec, parts)| TableStorage {
+                    table,
+                    spec,
+                    partitions: parts
+                        .into_iter()
+                        .enumerate()
+                        .map(|(k, disk)| PartitionStorage {
+                            partition: k,
+                            wal_bytes: disk.wal_bytes,
+                            snapshot_bytes: disk.snapshot_bytes,
+                            dirty: disk.dirty,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        };
+        let stats = StorageStats { tables };
+        for table in &stats.tables {
+            for part in &table.partitions {
+                self.inner.storage_monitor.insert(
+                    format!("{}.p{}.wal_bytes", table.table, part.partition),
+                    part.wal_bytes,
+                );
+            }
+        }
+        stats
     }
 
     fn assemble(
@@ -726,11 +1086,25 @@ impl CrowdDb {
                 .table(&name)
                 .expect("listed table exists")
                 .clone();
-            shards.insert(name, Shard::of_table(table));
+            // Recovery merges every partition into one whole table and
+            // reports the spec separately; re-split along the same routing
+            // arithmetic to rebuild the per-partition shards.  The split
+            // re-inserts rows under the merged (unified) schema, so it
+            // cannot fail.
+            let shard = match state.specs.get(&name) {
+                Some(spec) => Shard::partitioned(
+                    spec.clone(),
+                    persist::split_table_by_partition(&table, &config.id_column, spec)
+                        .expect("re-splitting a recovered table cannot fail"),
+                ),
+                None => Shard::of_table(table),
+            };
+            shards.insert(name, shard);
         }
         let monitor = StateMonitor::make_root("crowddb");
         let queries_monitor = monitor.make_child("queries");
         let expansions_monitor = monitor.make_child("expansions");
+        let storage_monitor = monitor.make_child("storage");
         CrowdDb {
             inner: Arc::new(DbInner {
                 config,
@@ -748,6 +1122,7 @@ impl CrowdDb {
                 monitor,
                 queries_monitor,
                 expansions_monitor,
+                storage_monitor,
                 limiter: RwLock::new(None),
                 events_high_water: AtomicU64::new(0),
             }),
@@ -769,16 +1144,70 @@ impl CrowdDb {
         }
     }
 
-    /// Registers a fully built table with the catalog — the narrow,
-    /// invariant-safe catalog mutator.  A brand-new table has no binding,
-    /// cache entries, or provenance to invalidate, which is exactly why no
-    /// raw write guard to the catalog is offered: mutating *bound* tables
-    /// behind the planner would break the id-column ↔ perceptual-item link
-    /// the judgment cache and provenance ledger are keyed by.  For data
-    /// changes go through SQL via [`CrowdDb::execute`] / [`CrowdDb::query`]
-    /// (the pipeline re-derives its row mappings around those).
+    /// Registers a fully built table with the catalog under explicit
+    /// [`TableOptions`] — the narrow, invariant-safe catalog mutator.  A
+    /// brand-new table has no binding, cache entries, or provenance to
+    /// invalidate, which is exactly why no raw write guard to the catalog
+    /// is offered: mutating *bound* tables behind the planner would break
+    /// the id-column ↔ perceptual-item link the judgment cache and
+    /// provenance ledger are keyed by.  For data changes go through SQL
+    /// via [`CrowdDb::execute`] / [`CrowdDb::query`] (the pipeline
+    /// re-derives its row mappings around those).
+    ///
+    /// With [`TableOptions::partitions`] the table's rows are split across
+    /// per-partition shards (and, when persistent, per-partition WAL
+    /// segments `wal/<table>.p<k>.log` and snapshots
+    /// `snap/<table>.p<k>.snap`), routed on the id column: writes touching
+    /// disjoint partitions commit in parallel.  A partitioned table must
+    /// contain the id column, and `options.id_column()` must equal the
+    /// database-wide [`CrowdDbConfig::id_column`].  The layout is fixed at
+    /// creation — reopening a persistent table under a different spec is
+    /// refused.
+    pub fn create_table_with(&self, options: TableOptions, table: Table) -> Result<()> {
+        if !options.name().eq_ignore_ascii_case(table.name()) {
+            return Err(CrowdDbError::Configuration(format!(
+                "TableOptions name '{}' does not match the table's name '{}'",
+                options.name(),
+                table.name()
+            )));
+        }
+        if !options
+            .id_column()
+            .eq_ignore_ascii_case(&self.inner.config.id_column)
+        {
+            return Err(CrowdDbError::Configuration(format!(
+                "TableOptions id column '{}' does not match the database id column '{}'",
+                options.id_column(),
+                self.inner.config.id_column
+            )));
+        }
+        let spec = options.partition_spec().clone().normalize();
+        if !spec.is_single() && !table.schema().contains(&self.inner.config.id_column) {
+            return Err(CrowdDbError::Configuration(format!(
+                "table {} cannot be partitioned: it has no id column '{}' to route rows on",
+                table.name(),
+                self.inner.config.id_column
+            )));
+        }
+        self.inner.create_table_logged_with(table, spec)
+    }
+
+    /// Registers a fully built single-partition table — the pre-partition
+    /// compatibility shim around [`CrowdDb::create_table_with`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use create_table_with(TableOptions::new(name, id_column), table)"
+    )]
     pub fn create_table(&self, table: Table) -> Result<()> {
-        self.inner.create_table_logged(table)
+        let options = TableOptions::new(table.name(), &self.inner.config.id_column);
+        self.create_table_with(options, table)
+    }
+
+    /// The configuration the database was built with (notably
+    /// [`CrowdDbConfig::id_column`], which [`TableOptions::new`] must
+    /// echo).
+    pub fn config(&self) -> &CrowdDbConfig {
+        &self.inner.config
     }
 
     /// All expansions performed so far, in completion order.
@@ -854,7 +1283,9 @@ impl CrowdDb {
     /// (`crowddb_scheduler_queue_depth`, `crowddb_scheduler_workers_live`,
     /// `crowddb_scheduler_workers_idle`,
     /// `crowddb_scheduler_overflow_spawned_total`), durability
-    /// (`crowddb_wal_bytes_total` plus per-table `crowddb_wal_bytes{table}`),
+    /// (`crowddb_wal_bytes_total`, per-table `crowddb_wal_bytes{table}`,
+    /// and per-partition
+    /// `crowddb_partition_wal_bytes{table,partition}`),
     /// the event-stream high-water (`crowddb_event_count`,
     /// `crowddb_events_high_water`), and — when a [`Limiter`] is attached —
     /// admission outcomes (`crowddb_admission_admitted_total`,
@@ -923,19 +1354,32 @@ impl CrowdDb {
             "Overflow workers spawned past the core pool over the lifetime",
             sched.overflow_spawned as f64,
         );
+        let storage = self.storage_stats();
         snap.push_gauge(
             "crowddb_wal_bytes_total",
-            "Write-ahead-log bytes on disk, summed over every table segment",
-            self.wal_bytes() as f64,
+            "Write-ahead-log bytes on disk, summed over every partition segment",
+            storage.wal_bytes_total() as f64,
         );
-        for (table, bytes) in self.wal_bytes_by_table() {
+        for table in &storage.tables {
             snap.push(
                 "crowddb_wal_bytes",
-                "Write-ahead-log bytes on disk, per table segment",
+                "Write-ahead-log bytes on disk, per table (all partitions)",
                 telemetry::MetricKind::Gauge,
-                &[("table", &table)],
-                bytes as f64,
+                &[("table", &table.table)],
+                table.wal_bytes() as f64,
             );
+            for part in &table.partitions {
+                snap.push(
+                    "crowddb_partition_wal_bytes",
+                    "Write-ahead-log bytes on disk, per partition segment",
+                    telemetry::MetricKind::Gauge,
+                    &[
+                        ("table", &table.table),
+                        ("partition", &part.partition.to_string()),
+                    ],
+                    part.wal_bytes as f64,
+                );
+            }
         }
         snap.push_gauge(
             "crowddb_event_count",
@@ -1075,7 +1519,7 @@ impl CrowdDb {
     ) -> Result<()> {
         {
             let shard = self.inner.shard(table_name)?;
-            let catalog = rlock(&shard.catalog);
+            let catalog = shard.read()?;
             let table = catalog.table(table_name)?;
             if !table.schema().contains(&self.inner.config.id_column) {
                 return Err(CrowdDbError::Configuration(format!(
@@ -1290,6 +1734,33 @@ fn select_of(statement: &sql::Statement) -> Option<&sql::SelectStatement> {
     }
 }
 
+/// For an `INSERT` into a partitioned table: one partition the statement's
+/// rows route to (the first row's), so the static analysis pass can read a
+/// partition the insert actually writes instead of the merged all-partition
+/// view — the disjoint-partition-writer guarantee depends on it.  `None`
+/// for every other statement shape (and for single-partition tables, where
+/// the merged view *is* the one partition).
+fn insert_analysis_partition(
+    shard: &Shard,
+    statement: &sql::Statement,
+    config: &CrowdDbConfig,
+) -> Option<usize> {
+    if shard.spec.is_single() {
+        return None;
+    }
+    let sql::Statement::Insert { columns, rows, .. } = statement else {
+        return None;
+    };
+    let id_index = columns
+        .iter()
+        .position(|c| c.eq_ignore_ascii_case(&config.id_column));
+    let row = rows.first()?;
+    let id = id_index
+        .and_then(|index| row.get(index))
+        .unwrap_or(&Value::Null);
+    Some(shard.spec.route_value(id))
+}
+
 impl DbInner {
     /// The shard of one table (any casing).  Fails with
     /// [`RelationalError::UnknownTable`] for tables that do not exist.
@@ -1310,44 +1781,181 @@ impl DbInner {
             .collect()
     }
 
-    /// Appends `records` to `table`'s WAL segment as one fsynced group —
-    /// the durability commit point of every mutator.  A no-op on in-memory
-    /// databases.
-    ///
-    /// Callers logging catalog-shaped records (`CreateTable`, `Mutation`,
-    /// `MaterializeColumn`, `SetCells`) must hold the table's **exclusive**
-    /// shard lock across both the in-memory apply and this call;
-    /// cache-shaped records need no lock beyond the segment's own (see
-    /// [`crate::persist`]).
+    /// Appends **cache-shaped** records (`CachePut`, `CacheInvalidate`) to
+    /// `table`'s WAL store, each fsynced group per partition — routed by
+    /// item id on partitioned tables ([`CachePut`](WalRecord::CachePut)
+    /// entries are split to the partitions their items live in; other
+    /// records fan out to every partition).  A no-op on in-memory
+    /// databases.  Cache records replay idempotently, so they need no
+    /// catalog lock beyond each segment's own.
     fn log(&self, table: &str, records: &[WalRecord]) -> Result<()> {
         if records.is_empty() {
             return Ok(());
         }
         match &self.durability {
-            Some(durability) => durability.log(table, records),
+            Some(durability) => durability.log_routed(table, records),
             None => Ok(()),
         }
     }
 
-    /// Registers a table as a new shard and logs it durably to the table's
-    /// own fresh WAL segment — the shard becomes visible and durable under
-    /// one table-map write lock, shared by [`CrowdDb::create_table`],
-    /// [`CrowdDb::load_domain`], and SQL `CREATE TABLE`.
+    /// Appends `records` to partition `k` of `table`'s WAL store as one
+    /// fsynced group — the durability commit point of every partition
+    /// mutator.  A no-op on in-memory databases.
+    ///
+    /// Callers logging catalog-shaped records (`CreateTable`, `Mutation`,
+    /// `MaterializeColumn`, `SetCells`) must hold partition `k`'s
+    /// **exclusive** lock across both the in-memory apply and this call;
+    /// a checkpoint can then never capture the apply without the record
+    /// (see [`crate::persist`]).
+    fn log_to(&self, table: &str, k: usize, records: &[WalRecord]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        match &self.durability {
+            Some(durability) => durability.log(table, k, records),
+            None => Ok(()),
+        }
+    }
+
+    /// Logs **catalog-shaped, item-keyed** records
+    /// ([`MaterializeColumn`](WalRecord::MaterializeColumn) /
+    /// [`SetCells`](WalRecord::SetCells)) to a possibly partitioned table:
+    /// each record's item-keyed values (and ledger marks) are sliced down
+    /// to the partition they route to, and every partition receives its
+    /// slice — including an empty one for `MaterializeColumn`, which
+    /// still carries the schema change every partition must replay.
+    /// Empty `SetCells` slices are dropped (they change nothing).
+    ///
+    /// The caller must hold the **exclusive** locks of every partition
+    /// written (in practice: all of them, via [`Shard::write_all`]).
+    fn log_sliced(&self, table: &str, spec: &PartitionSpec, records: &[WalRecord]) -> Result<()> {
+        if records.is_empty() || self.durability.is_none() {
+            return Ok(());
+        }
+        if spec.is_single() {
+            return self.log_to(table, 0, records);
+        }
+        let n = spec.partition_count();
+        let mut per: Vec<Vec<WalRecord>> = vec![Vec::new(); n];
+        for record in records {
+            match record {
+                WalRecord::MaterializeColumn {
+                    table,
+                    column,
+                    data_type,
+                    values,
+                    ledger,
+                    incomplete,
+                } => {
+                    for (k, slot) in per.iter_mut().enumerate() {
+                        let sliced_values: Vec<(ItemId, Value)> = values
+                            .iter()
+                            .filter(|(item, _)| spec.route_item(*item) == k)
+                            .cloned()
+                            .collect();
+                        let sliced_ledger = ledger.as_ref().map(|marks| {
+                            marks
+                                .iter()
+                                .filter(|(item, _)| spec.route_item(*item) == k)
+                                .cloned()
+                                .collect()
+                        });
+                        slot.push(WalRecord::MaterializeColumn {
+                            table: table.clone(),
+                            column: column.clone(),
+                            data_type: *data_type,
+                            values: sliced_values,
+                            ledger: sliced_ledger,
+                            incomplete: *incomplete,
+                        });
+                    }
+                }
+                WalRecord::SetCells {
+                    table,
+                    column,
+                    values,
+                } => {
+                    for (k, slot) in per.iter_mut().enumerate() {
+                        let sliced: Vec<(ItemId, Value)> = values
+                            .iter()
+                            .filter(|(item, _)| spec.route_item(*item) == k)
+                            .cloned()
+                            .collect();
+                        if !sliced.is_empty() {
+                            slot.push(WalRecord::SetCells {
+                                table: table.clone(),
+                                column: column.clone(),
+                                values: sliced,
+                            });
+                        }
+                    }
+                }
+                other => {
+                    for slot in per.iter_mut() {
+                        slot.push(other.clone());
+                    }
+                }
+            }
+        }
+        for (k, records) in per.into_iter().enumerate() {
+            self.log_to(table, k, &records)?;
+        }
+        Ok(())
+    }
+
+    /// Registers a single-partition table as a new shard and logs it
+    /// durably — the compatibility path of
+    /// [`DbInner::create_table_logged_with`], shared by
+    /// [`CrowdDb::load_domain`] and SQL `CREATE TABLE`.
     fn create_table_logged(&self, table: Table) -> Result<()> {
+        self.create_table_logged_with(table, PartitionSpec::Single)
+    }
+
+    /// Registers a table as a new shard — one catalog lock and (when
+    /// persistent) one WAL segment per partition — and logs its creation
+    /// durably.  The shard becomes visible and durable under one table-map
+    /// write lock.
+    ///
+    /// On a partitioned table the `CreateTable` slices are logged to
+    /// partitions `1..n` *first* and to partition 0 *last*: partition 0's
+    /// record is the commit point, and recovery deletes the orphan files
+    /// of a creation that crashed before reaching it — so a table is
+    /// either fully present or fully absent after any crash.
+    fn create_table_logged_with(&self, table: Table, spec: PartitionSpec) -> Result<()> {
+        let spec = spec.normalize();
         let name = table.name().to_string();
-        let record = self
-            .durability
-            .is_some()
-            .then(|| WalRecord::CreateTable(TableImage::of(&table)));
         let mut shards = wlock(&self.shards);
         if shards.contains_key(&name) {
             return Err(RelationalError::TableExists(name).into());
         }
-        let shard = Shard::of_table(table);
-        if let Some(record) = record {
-            self.log(&name, &[record])?;
+        if spec.is_single() {
+            let record = self
+                .durability
+                .is_some()
+                .then(|| WalRecord::CreateTable(TableImage::of(&table)));
+            let shard = Shard::of_table(table);
+            if let Some(record) = record {
+                if let Some(durability) = &self.durability {
+                    durability.ensure_store(&name, &PartitionSpec::Single)?;
+                }
+                self.log_to(&name, 0, &[record])?;
+            }
+            shards.insert(name, shard);
+            return Ok(());
         }
-        shards.insert(name, shard);
+        let slices = persist::split_table_by_partition(&table, &self.config.id_column, &spec)?;
+        if let Some(durability) = &self.durability {
+            durability.ensure_store(&name, &spec)?;
+            for (k, slice) in slices.iter().enumerate().skip(1) {
+                durability.log(&name, k, &[WalRecord::CreateTable(TableImage::of(slice))])?;
+            }
+            durability.log(
+                &name,
+                0,
+                &[WalRecord::CreateTable(TableImage::of(&slices[0]))],
+            )?;
+        }
+        shards.insert(name, Shard::partitioned(spec, slices));
         Ok(())
     }
 
@@ -1467,7 +2075,14 @@ impl DbInner {
         // on different tables never share a lock.
         let shard = self.shard(statement.target_table().unwrap_or_default())?;
         let analysis = {
-            let catalog = rlock(&shard.catalog);
+            // Analysis is a static pass needing only the schema, and every
+            // partition slice carries the table's full schema — so an
+            // INSERT analyzes against one partition it actually writes,
+            // never waiting on a writer to an unrelated partition.
+            let catalog = match insert_analysis_partition(&shard, &statement, &self.config) {
+                Some(k) => shard.read_one(k),
+                None => shard.read()?,
+            };
             executor::analyze(&statement, &catalog)?
         };
         let mut reports = Vec::new();
@@ -1485,7 +2100,7 @@ impl DbInner {
             if sink.is_live() {
                 if let sql::Statement::Select(select) = &statement {
                     let mut snapshot = {
-                        let catalog = rlock(&shard.catalog);
+                        let catalog = shard.read()?;
                         let snapshot = executor::execute_select_snapshot(select, &catalog)?;
                         let provenance = self.snapshot_provenance(
                             &catalog,
@@ -1528,7 +2143,7 @@ impl DbInner {
         // a spurious "-0.00" spend on queries that expanded nothing.
         let crowd_cost = reports.iter().fold(0.0, |total, r| total + r.crowd_cost);
         let result = if statement.is_read_only() {
-            let catalog = rlock(&shard.catalog);
+            let catalog = shard.read()?;
             let (result, row_indices) = executor::execute_read_indexed(&statement, &catalog)?;
             let provenance =
                 self.row_provenance(&catalog, statement.target_table(), &result, &row_indices)?;
@@ -1551,24 +2166,7 @@ impl DbInner {
                 .target_table()
                 .expect("non-DDL statements name a table")
                 .to_lowercase();
-            let mut catalog = wlock(&shard.catalog);
-            let result = executor::execute(&statement, &mut catalog)?;
-            // Replay re-executes the statement text: mutations never
-            // dispatch crowd work, so against the recovered catalog the
-            // re-execution is deterministic.  Logged under the exclusive
-            // shard lock (still held) so a concurrent checkpoint of this
-            // table cannot capture the apply without the record.
-            if self.durability.is_some() {
-                self.log(
-                    &table_key,
-                    &[WalRecord::Mutation {
-                        sql: sql_text.to_string(),
-                    }],
-                )?;
-            }
-            StatementResult::Mutation {
-                rows_affected: result.rows_affected,
-            }
+            self.execute_mutation(&shard, &table_key, &statement, sql_text)?
         };
         Ok(QueryOutcome {
             policy,
@@ -1576,6 +2174,115 @@ impl DbInner {
             reports,
             crowd_cost,
         })
+    }
+
+    /// Executes a mutation against `shard`, routing it to the partitions
+    /// it touches, and logs it durably under the exclusive partition
+    /// locks (still held) so a concurrent checkpoint can never capture
+    /// the apply without the record.
+    ///
+    /// Routing contract (mirrored exactly by replay in
+    /// [`crate::persist`]):
+    ///
+    /// * `INSERT` — each row routes by its id-column value; only the
+    ///   involved partitions are locked and executed against, and the
+    ///   *original* statement text is logged to each of them (replay
+    ///   re-filters the rows down to the segment's slice).  Single-row
+    ///   inserts therefore touch exactly one partition lock and fsync one
+    ///   segment — disjoint-partition writers run fully in parallel.
+    /// * `UPDATE` / `DELETE` / `ALTER TABLE` — the predicate may match
+    ///   rows anywhere, so every partition is locked (ascending `k`),
+    ///   executed, and logged; per-partition execution matches nothing
+    ///   outside its slice.  An `UPDATE` assigning the id column of a
+    ///   partitioned table is refused: it could silently move a row out
+    ///   of the partition its WAL segment claims it lives in.
+    ///
+    /// Replay re-executes the statement text: mutations never dispatch
+    /// crowd work, so against the recovered catalog the re-execution is
+    /// deterministic.
+    fn execute_mutation(
+        &self,
+        shard: &Shard,
+        table_key: &str,
+        statement: &sql::Statement,
+        sql_text: &str,
+    ) -> Result<StatementResult> {
+        let record = || WalRecord::Mutation {
+            sql: sql_text.to_string(),
+        };
+        if shard.parts.len() == 1 {
+            let mut catalog = shard.write_one(0);
+            let result = executor::execute(statement, &mut catalog)?;
+            self.log_to(table_key, 0, &[record()])?;
+            return Ok(StatementResult::Mutation {
+                rows_affected: result.rows_affected,
+            });
+        }
+        let spec = &shard.spec;
+        if let sql::Statement::Insert {
+            table,
+            columns,
+            rows,
+        } = statement
+        {
+            let id_index = columns
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(&self.config.id_column));
+            let n = spec.partition_count();
+            let mut per: Vec<Vec<Vec<Value>>> = vec![Vec::new(); n];
+            for row in rows {
+                let id = id_index
+                    .and_then(|index| row.get(index))
+                    .unwrap_or(&Value::Null);
+                per[spec.route_value(id)].push(row.clone());
+            }
+            let involved: Vec<usize> = (0..n).filter(|&k| !per[k].is_empty()).collect();
+            let mut rows_affected = 0;
+            // Ascending k: the only order multi-partition writers lock in.
+            let guards: Vec<(usize, RwLockWriteGuard<'_, Catalog>)> =
+                involved.iter().map(|&k| (k, shard.write_one(k))).collect();
+            let mut guards = guards;
+            for (k, guard) in guards.iter_mut() {
+                let sliced = sql::Statement::Insert {
+                    table: table.clone(),
+                    columns: columns.clone(),
+                    rows: std::mem::take(&mut per[*k]),
+                };
+                rows_affected += executor::execute(&sliced, guard)?.rows_affected;
+            }
+            if self.durability.is_some() {
+                let record = [record()];
+                for (k, _) in &guards {
+                    self.log_to(table_key, *k, &record)?;
+                }
+            }
+            return Ok(StatementResult::Mutation { rows_affected });
+        }
+        if let sql::Statement::Update { assignments, .. } = statement {
+            if assignments
+                .iter()
+                .any(|(column, _)| column.eq_ignore_ascii_case(&self.config.id_column))
+            {
+                return Err(CrowdDbError::Configuration(format!(
+                    "cannot UPDATE the partitioning id column '{}' of partitioned table \
+                     {table_key}: rows cannot move between partitions in place — DELETE and \
+                     re-INSERT instead",
+                    self.config.id_column
+                )));
+            }
+        }
+        let mut guards = shard.write_all();
+        let mut rows_affected = 0;
+        for guard in guards.iter_mut() {
+            rows_affected += executor::execute(statement, guard)?.rows_affected;
+        }
+        if self.durability.is_some() {
+            let record = [record()];
+            for k in 0..guards.len() {
+                self.log_to(table_key, k, &record)?;
+            }
+        }
+        Ok(StatementResult::Mutation { rows_affected })
     }
 
     /// The columns a statement would expand: every missing (registered)
@@ -1653,7 +2360,7 @@ impl DbInner {
     ) -> Result<QueryOutcome> {
         let analysis = {
             let shard = self.shard(statement.target_table().unwrap_or_default())?;
-            let catalog = rlock(&shard.catalog);
+            let catalog = shard.read()?;
             executor::analyze(statement, &catalog)?
         };
         let columns: Vec<String> = [
@@ -1899,7 +2606,7 @@ impl DbInner {
     ) -> Result<ExpansionPlan> {
         let key = table_name.to_lowercase();
         let shard = self.shard(table_name)?;
-        let catalog = rlock(&shard.catalog);
+        let catalog = shard.read()?;
         let table = catalog.table(table_name)?;
         let attributes = rlock(&binding.attributes);
         let overrides = rlock(&binding.strategy_overrides);
@@ -2989,32 +3696,48 @@ impl DbInner {
             });
         }
 
-        // Phase 2: one exclusive shard lock fills every column — writers
-        // and readers of *other* tables are untouched.  The id → row
-        // mapping is re-derived under this lock: `plan.rows` was captured
-        // under an earlier read lock, and a DELETE/INSERT that committed
-        // while the crowd worked would shift row indices — replaying the
-        // stale mapping would write verdicts to the wrong rows.  Values
-        // are keyed by item id, so the fresh mapping routes every verdict
-        // to whichever rows carry that item *now*.
+        // Phase 2: exclusive partition locks (all of them, ascending k —
+        // a new column must appear in every partition's schema) fill
+        // every column — writers and readers of *other* tables are
+        // untouched.  The id → row mappings are re-derived under these
+        // locks: `plan.rows` was captured under an earlier read lock, and
+        // a DELETE/INSERT that committed while the crowd worked would
+        // shift row indices — replaying the stale mapping would write
+        // verdicts to the wrong rows.  Values are keyed by item id, so
+        // the fresh mappings route every verdict to whichever rows carry
+        // that item *now*, in whichever partition.
         let mut reports = Vec::with_capacity(plan.attributes.len());
         let mut wal_records: Vec<WalRecord> = Vec::new();
         let shard = self.shard(&plan.table)?;
-        let mut catalog = wlock(&shard.catalog);
-        let (rows, _, skipped_rows) = planner::row_mapping(
-            catalog.table(&plan.table)?,
-            &self.config.id_column,
-            &plan.table,
-        )?;
-        for (attribute, mut item) in plan.attributes.iter().zip(prepared) {
-            let table = catalog.table_mut(&plan.table)?;
-            let outcome = materialize_column(
-                table,
-                &attribute.column,
-                DataType::Boolean,
-                &item.values,
-                &rows,
+        let mut guards = shard.write_all();
+        let mut mappings: Vec<Vec<(usize, ItemId)>> = Vec::with_capacity(guards.len());
+        let mut skipped_rows = 0;
+        for guard in guards.iter() {
+            let (rows, _, skipped) = planner::row_mapping(
+                guard.table(&plan.table)?,
+                &self.config.id_column,
+                &plan.table,
             )?;
+            mappings.push(rows);
+            skipped_rows += skipped;
+        }
+        for (attribute, mut item) in plan.attributes.iter().zip(prepared) {
+            let mut outcome = crate::materialize::MaterializeOutcome {
+                rows_filled: 0,
+                rows_unfilled: 0,
+            };
+            for (guard, rows) in guards.iter_mut().zip(&mappings) {
+                let table = guard.table_mut(&plan.table)?;
+                let part = materialize_column(
+                    table,
+                    &attribute.column,
+                    DataType::Boolean,
+                    &item.values,
+                    rows,
+                )?;
+                outcome.rows_filled += part.rows_filled;
+                outcome.rows_unfilled += part.rows_unfilled;
+            }
             item.stages.push(ExpansionStage::ColumnAdded);
             item.stages.push(ExpansionStage::ColumnMaterialized);
             item.stages.push(ExpansionStage::QueryReExecuted);
@@ -3136,9 +3859,12 @@ impl DbInner {
                 items_dropped: item.acquisition.dropped.len(),
             });
         }
-        // One fsynced group for the whole plan, while the exclusive
-        // shard lock is still held (the checkpoint invariant).
-        self.log(&plan.table, &wal_records)?;
+        // One fsynced group per partition for the whole plan — each
+        // record sliced down to the items that route there — while the
+        // exclusive partition locks are still held (the checkpoint
+        // invariant).
+        self.log_sliced(&plan.table, &shard.spec, &wal_records)?;
+        drop(guards);
         Ok(reports)
     }
 
@@ -3165,7 +3891,7 @@ impl DbInner {
         // the shard lock before any crowd work.
         let shard = self.shard(table_name)?;
         let (labels, eligible) = {
-            let catalog = rlock(&shard.catalog);
+            let catalog = shard.read()?;
             let table = catalog.table(table_name)?;
             let col_idx = table.schema().index_of(&column).ok_or_else(|| {
                 CrowdDbError::Configuration(format!(
@@ -3237,37 +3963,40 @@ impl DbInner {
             )?;
         }
         let flagged: HashSet<ItemId> = outcome.flagged.iter().copied().collect();
-        let mut catalog = wlock(&shard.catalog);
-        // Re-derive the id → row mapping under the exclusive lock: the
+        let mut guards = shard.write_all();
+        // Re-derive the id → row mappings under the exclusive locks: the
         // repair round takes simulated minutes, and rows deleted or
         // inserted meanwhile would shift the indices captured earlier —
         // writing repaired labels through a stale mapping would flip the
         // wrong movies.
-        let (rows, _, _) =
-            planner::row_mapping(catalog.table(table_name)?, &self.config.id_column, &key)?;
-        let table = catalog.table_mut(table_name)?;
         let mut repaired: HashSet<ItemId> = HashSet::new();
-        for (row, item) in &rows {
-            if flagged.contains(item) {
-                table.set_value(
-                    *row,
-                    &column,
-                    Value::Boolean(outcome.labels[*item as usize]),
-                )?;
-                repaired.insert(*item);
+        for guard in guards.iter_mut() {
+            let (rows, _, _) =
+                planner::row_mapping(guard.table(table_name)?, &self.config.id_column, &key)?;
+            let table = guard.table_mut(table_name)?;
+            for (row, item) in &rows {
+                if flagged.contains(item) {
+                    table.set_value(
+                        *row,
+                        &column,
+                        Value::Boolean(outcome.labels[*item as usize]),
+                    )?;
+                    repaired.insert(*item);
+                }
             }
         }
         // Durably record the cell overwrites (item-keyed — replay routes
-        // them through the then-current id → row mapping), still under the
-        // exclusive shard lock.
+        // them through the then-current id → row mapping), sliced per
+        // partition, still under the exclusive partition locks.
         if self.durability.is_some() && !repaired.is_empty() {
             let mut values: Vec<(ItemId, Value)> = repaired
                 .iter()
                 .map(|&item| (item, Value::Boolean(outcome.labels[item as usize])))
                 .collect();
             values.sort_unstable_by_key(|(item, _)| *item);
-            self.log(
+            self.log_sliced(
                 &key,
+                &shard.spec,
                 &[WalRecord::SetCells {
                     table: key.clone(),
                     column: column.clone(),
@@ -3275,6 +4004,7 @@ impl DbInner {
                 }],
             )?;
         }
+        drop(guards);
         Ok(outcome)
     }
 
@@ -3296,33 +4026,52 @@ impl DbInner {
         let predicted =
             crate::extraction::extract_numeric_attribute(&binding.space, gold, extraction)?;
 
-        // Map and materialize under one exclusive shard lock: deriving the
-        // id → row mapping under a read lock and replaying it under a
-        // later write lock would let a concurrent DELETE shift the row
-        // indices in between and misroute the values.
+        // Map and materialize under exclusive partition locks (all of
+        // them, ascending k — the new column must appear in every
+        // partition's schema): deriving the id → row mappings under a
+        // read lock and replaying them under a later write lock would let
+        // a concurrent DELETE shift the row indices in between and
+        // misroute the values.
         let shard = self.shard(table_name)?;
-        let mut catalog = wlock(&shard.catalog);
-        let table = catalog.table(table_name)?;
-        let (rows, items, skipped_rows) =
-            planner::row_mapping(table, &self.config.id_column, &key)?;
+        let mut guards = shard.write_all();
+        let mut mappings: Vec<Vec<(usize, ItemId)>> = Vec::with_capacity(guards.len());
+        let mut items: Vec<ItemId> = Vec::new();
+        let mut skipped_rows = 0;
+        for guard in guards.iter() {
+            let (rows, part_items, skipped) =
+                planner::row_mapping(guard.table(table_name)?, &self.config.id_column, &key)?;
+            mappings.push(rows);
+            items.extend(part_items);
+            skipped_rows += skipped;
+        }
         let (mapped, unmapped) = planner::predictions_by_item(&items, &predicted);
         let values: HashMap<ItemId, Value> = mapped
             .into_iter()
             .map(|(item, value)| (item, Value::Float(value)))
             .collect();
-        let table = catalog.table_mut(table_name)?;
-        let outcome = materialize_column(table, &column, DataType::Float, &values, &rows)?;
+        let mut outcome = crate::materialize::MaterializeOutcome {
+            rows_filled: 0,
+            rows_unfilled: 0,
+        };
+        for (guard, rows) in guards.iter_mut().zip(&mappings) {
+            let table = guard.table_mut(table_name)?;
+            let part = materialize_column(table, &column, DataType::Float, &values, rows)?;
+            outcome.rows_filled += part.rows_filled;
+            outcome.rows_unfilled += part.rows_unfilled;
+        }
         // Numeric expansion keeps no provenance ledger (`ledger: None`
         // mirrors that on replay), but the extrapolated column itself is
-        // durable like any other materialization.
+        // durable like any other materialization — sliced per partition,
+        // logged under the still-held exclusive locks.
         if self.durability.is_some() {
             let mut logged: Vec<(ItemId, Value)> = values
                 .iter()
                 .map(|(&item, value)| (item, value.clone()))
                 .collect();
             logged.sort_unstable_by_key(|(item, _)| *item);
-            self.log(
+            self.log_sliced(
                 &key,
+                &shard.spec,
                 &[WalRecord::MaterializeColumn {
                     table: key.clone(),
                     column: column.clone(),
@@ -3333,6 +4082,7 @@ impl DbInner {
                 }],
             )?;
         }
+        drop(guards);
 
         Ok(ExpansionReport {
             table: key,
@@ -4139,7 +4889,8 @@ mod tests {
                 ])
                 .unwrap();
         }
-        db.create_table(table).unwrap();
+        db.create_table_with(TableOptions::new("things", "item_id"), table)
+            .unwrap();
         db.bind_table("things", space, Box::new(crowd)).unwrap();
 
         // Gold sample: every 10th item with its true humor value.
@@ -4192,7 +4943,8 @@ mod tests {
         for &id in &sparse_ids {
             table.insert_row(vec![Value::Integer(id)]).unwrap();
         }
-        db.create_table(table).unwrap();
+        db.create_table_with(TableOptions::new("things", "item_id"), table)
+            .unwrap();
         db.bind_table("things", space, Box::new(crowd)).unwrap();
 
         let gold: Vec<(ItemId, f64)> = vec![(0, 0.0), (10, 2.5), (20, 5.0), (39, 9.75)];
@@ -4337,7 +5089,8 @@ mod tests {
         for id in [0i64, 3, 7, 11, 15, 19, 500, 900] {
             table.insert_row(vec![Value::Integer(id)]).unwrap();
         }
-        db.create_table(table).unwrap();
+        db.create_table_with(TableOptions::new("things", "item_id"), table)
+            .unwrap();
         db.bind_table("things", space, Box::new(crowd)).unwrap();
         db.register_attribute("things", "is_comedy", "Comedy")
             .unwrap();
@@ -4398,5 +5151,195 @@ mod tests {
         let space = build_space_for_domain(&d, 6, 8).unwrap();
         assert_eq!(space.len(), d.items().len());
         assert_eq!(space.dimensions(), 6);
+    }
+
+    /// A fresh in-memory database holding one hash-partitioned table of
+    /// `n` rows (ids `0..n`), for the partitioning behavior tests below.
+    fn partitioned_things(n: usize, partitions: usize) -> CrowdDb {
+        let db = CrowdDb::new(CrowdDbConfig::default());
+        let schema = Schema::new(vec![
+            Column::not_null("item_id", DataType::Integer),
+            Column::new("name", DataType::Text),
+        ])
+        .unwrap();
+        let mut table = Table::new("things", schema);
+        for i in 0..n {
+            table
+                .insert_row(vec![
+                    Value::Integer(i as i64),
+                    Value::Text(format!("thing {i}")),
+                ])
+                .unwrap();
+        }
+        db.create_table_with(
+            TableOptions::new("things", "item_id")
+                .partitions(PartitionSpec::Hash { n: partitions }),
+            table,
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn partitioned_table_answers_queries_like_a_single_partition_one() {
+        let db = partitioned_things(30, 4);
+        // The merged read view spans every partition, ordered and limited
+        // exactly like an unpartitioned table.
+        let result = db
+            .execute("SELECT item_id FROM things ORDER BY item_id LIMIT 7")
+            .unwrap();
+        let ids: Vec<i64> = result
+            .rows
+            .iter()
+            .map(|r| match r[0] {
+                Value::Integer(id) => id,
+                ref other => panic!("unexpected value {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(db.catalog().table("things").unwrap().len(), 30);
+    }
+
+    #[test]
+    fn storage_stats_refresh_the_partition_wal_gauges() {
+        let dir = std::env::temp_dir().join(format!(
+            "crowddb-gauge-test-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = CrowdDb::open(&dir).unwrap();
+        let schema = Schema::new(vec![
+            Column::not_null("item_id", DataType::Integer),
+            Column::new("name", DataType::Text),
+        ])
+        .unwrap();
+        db.create_table_with(
+            TableOptions::new("things", "item_id").partitions(PartitionSpec::Hash { n: 2 }),
+            Table::new("things", schema),
+        )
+        .unwrap();
+        db.execute("INSERT INTO things (item_id, name) VALUES (0, 'a'), (1, 'b')")
+            .unwrap();
+        let stats = db.storage_stats();
+        let things = &stats.tables[0];
+        for part in &things.partitions {
+            assert!(part.wal_bytes > 0);
+            assert_eq!(
+                db.metrics_snapshot().value(
+                    "crowddb_partition_wal_bytes",
+                    &[
+                        ("table", "things"),
+                        ("partition", &part.partition.to_string())
+                    ],
+                ),
+                Some(part.wal_bytes as f64),
+            );
+        }
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partitioned_mutations_route_and_count_rows_across_partitions() {
+        let db = partitioned_things(20, 3);
+        // A multi-row INSERT routes each row by its id value.
+        let result = db
+            .execute("INSERT INTO things (item_id, name) VALUES (100, 'a'), (101, 'b'), (102, 'c')")
+            .unwrap();
+        assert_eq!(result.rows_affected, 3);
+        // A cross-partition UPDATE touches every matching row, wherever it
+        // lives, and reports the full count.
+        let result = db
+            .execute("UPDATE things SET name = 'renamed' WHERE item_id >= 100")
+            .unwrap();
+        assert_eq!(result.rows_affected, 3);
+        // So does DELETE.
+        let result = db.execute("DELETE FROM things WHERE item_id < 5").unwrap();
+        assert_eq!(result.rows_affected, 5);
+        assert_eq!(db.catalog().table("things").unwrap().len(), 18);
+    }
+
+    #[test]
+    fn updating_the_partitioning_id_column_is_refused() {
+        let db = partitioned_things(10, 2);
+        let err = db
+            .execute("UPDATE things SET item_id = 99 WHERE item_id = 1")
+            .unwrap_err();
+        assert!(matches!(err, CrowdDbError::Configuration(_)), "{err}");
+        // The same assignment on a single-partition table stays legal.
+        let db = partitioned_things(10, 1);
+        db.execute("UPDATE things SET item_id = 99 WHERE item_id = 1")
+            .unwrap();
+    }
+
+    #[test]
+    fn table_options_validate_name_id_column_and_schema() {
+        let db = CrowdDb::new(CrowdDbConfig::default());
+        let schema = Schema::new(vec![Column::not_null("item_id", DataType::Integer)]).unwrap();
+        // Name mismatch between options and table.
+        let err = db
+            .create_table_with(
+                TableOptions::new("other", "item_id"),
+                Table::new("things", schema.clone()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CrowdDbError::Configuration(_)), "{err}");
+        // Id-column mismatch with the database config.
+        let err = db
+            .create_table_with(
+                TableOptions::new("things", "row_id"),
+                Table::new("things", schema.clone()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CrowdDbError::Configuration(_)), "{err}");
+        // Partitioning requires the id column to exist in the schema.
+        let no_id = Schema::new(vec![Column::new("name", DataType::Text)]).unwrap();
+        let err = db
+            .create_table_with(
+                TableOptions::new("things", "item_id").partitions(PartitionSpec::Hash { n: 2 }),
+                Table::new("things", no_id),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CrowdDbError::Configuration(_)), "{err}");
+        // The deprecated shim still registers a single-partition table.
+        #[allow(deprecated)]
+        db.create_table(Table::new("things", schema)).unwrap();
+        assert_eq!(db.catalog().table("things").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn disjoint_partition_writers_do_not_block_each_other() {
+        // The rendezvous: the test thread holds partition 0's write lock
+        // while a second thread commits an INSERT routed to partition 1.
+        // If partition locks were table-wide, the insert would block until
+        // the guard dropped — and the recv_timeout below would fire first.
+        let db = partitioned_things(10, 2);
+        let spec = PartitionSpec::Hash { n: 2 };
+        // A fresh id (not already in the table) that routes to partition 1.
+        let id_b = (100..10_000i64)
+            .find(|&i| spec.route_value(&Value::Integer(i)) == 1)
+            .unwrap();
+        let shard = {
+            let shards = rlock(&db.inner.shards);
+            Arc::clone(shards.get("things").unwrap())
+        };
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            // Hold partition 0 exclusively until the other writer reports in.
+            let guard = shard.write_one(0);
+            scope.spawn(move || {
+                db.execute(&format!(
+                    "INSERT INTO things (item_id, name) VALUES ({id_b}, 'b-side')"
+                ))
+                .unwrap();
+                done_tx.send(()).unwrap();
+            });
+            // The partition-1 insert must finish while partition 0 is held.
+            done_rx
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .expect("disjoint-partition insert blocked behind an unrelated partition lock");
+            drop(guard);
+        });
     }
 }

@@ -147,8 +147,9 @@ pub use boost::{evaluate_boost_over_time, BoostCheckpoint, BoostCurve};
 pub use cache::{CacheGroup, CacheStats, CachedJudgment, JudgmentCache};
 pub use crowd_source::{AttributeRequest, CrowdSource, OutstandingEstimate, SimulatedCrowd};
 pub use db::{
-    build_space_for_domain, CatalogRead, CheckpointReport, CrowdDb, CrowdDbBuilder, CrowdDbConfig,
-    ExpansionEvent, TableRef,
+    build_space_for_domain, CatalogRead, CheckpointOptions, CheckpointReport, CheckpointScope,
+    CrowdDb, CrowdDbBuilder, CrowdDbConfig, ExpansionEvent, PartitionStorage, StorageStats,
+    TableOptions, TableRef, TableStorage,
 };
 pub use error::CrowdDbError;
 pub use expansion::{DegradeReason, ExpansionReport, ExpansionStage, ExpansionStrategy};
@@ -157,6 +158,7 @@ pub use inflight::{InflightRegistry, InflightStats};
 pub use planner::{ExpansionPlan, PlannedAttribute};
 pub use policy::{ExpansionMode, ExpansionPolicy};
 pub use provenance::{CellProvenance, MissingReason};
+pub use relational::PartitionSpec;
 pub use repair::{repair_labels, repair_labels_among, RepairOutcome};
 pub use scheduler::{Scheduler, SchedulerStats};
 pub use session::{QueryBuilder, QueryOutcome, RowSet, Session, StatementResult};

@@ -14,47 +14,78 @@
 //! `examples/persistent_session.rs`), and nothing about them costs crowd
 //! dollars to recreate.
 //!
-//! # Segmented layout
+//! # Segmented, partitioned layout
 //!
-//! The durable state is sharded by table, mirroring the engine's
-//! per-table catalog shards: each table owns one WAL segment
-//! (`wal/<table>.log`) and one snapshot (`snap/<table>.snap`), tied
-//! together by the [`storage::manifest`].  Tables therefore commit,
-//! checkpoint, and recover independently: writers on different tables
-//! never share a WAL mutex, [`Durability::checkpoint_table`] compacts one
-//! segment without touching the others, and [`recover`] replays segments
-//! in parallel on a worker pool.  A directory in the legacy single-file
-//! layout (`wal.log` + `snapshot.db`, the PR 5 format) is migrated into
-//! segments once, on open ([`migrate_legacy`]).
+//! The durable state is sharded by table and, within a table, by
+//! partition.  A single-partition table (the default, and every table from
+//! the pre-partitioning releases) owns one WAL segment (`wal/<table>.log`)
+//! and one snapshot (`snap/<table>.snap`) — byte-identical to the legacy
+//! per-table layout.  A table created with a
+//! [`PartitionSpec`](relational::PartitionSpec) of `n > 1` partitions owns
+//! `n` independent segment/snapshot pairs (`wal/<table>.p<k>.log`,
+//! `snap/<table>.p<k>.snap`), each carrying the full per-segment
+//! discipline — generation header, CRC32 frames, group fsync, torn-tail
+//! truncation — on its own file.  The manifest ties the layout together
+//! and records each partitioned table's spec; rows are routed to
+//! partitions by the deterministic [`PartitionSpec`] arithmetic applied to
+//! the table's id column, identically at write, checkpoint, and recovery
+//! time.
+//!
+//! Partitions therefore commit, checkpoint, and recover independently:
+//! writers on disjoint partitions of the *same* table never share a WAL
+//! mutex, [`Durability::checkpoint_partition`] compacts one partition
+//! without touching its siblings' files, and [`recover`] replays all
+//! partitions of all tables in parallel on a worker pool, merging each
+//! table's partitions in fixed `k` order so the result is bit-identical
+//! however many workers replayed them.  A directory in the legacy
+//! single-file layout (`wal.log` + `snapshot.db`, the PR 5 format) is
+//! migrated into segments once, on open ([`migrate_legacy`]).
 //!
 //! # Write path and crash consistency
 //!
 //! Mutators apply their change to the in-memory state first and then
-//! append the matching [`WalRecord`] (group-fsynced) to their table's
-//! segment before the query returns.  Two invariants make this safe
-//! against a checkpoint of the same table running concurrently (see
-//! [`CrowdDb::checkpoint`](crate::CrowdDb::checkpoint)):
+//! append the matching [`WalRecord`] (group-fsynced) to the owning
+//! partition's segment before the query returns.  Two invariants make this
+//! safe against a checkpoint of the same partition running concurrently
+//! (see [`CrowdDb::checkpoint`](crate::CrowdDb::checkpoint)):
 //!
 //! 1. Catalog-shaped records (`CreateTable`, `Mutation`,
 //!    `MaterializeColumn`, `SetCells`) are applied *and* logged under the
-//!    table's exclusive shard lock, and the checkpoint holds the shared
-//!    shard lock across both its state capture and its segment swap — so
-//!    each such record lands either entirely before the snapshot (and is
-//!    truncated with the old segment) or entirely after it (and replays
+//!    partition's exclusive lock, and the checkpoint holds the shared
+//!    partition lock across both its state capture and its segment swap —
+//!    so each such record lands either entirely before the snapshot (and
+//!    is truncated with the old segment) or entirely after it (and replays
 //!    on top).  This matters because `Mutation` replay re-executes the
 //!    SQL and is **not** idempotent.
 //! 2. Cache-shaped records (`CachePut`, `CacheInvalidate`) are applied
-//!    outside the shard lock, so one may be captured by the snapshot
+//!    outside the partition lock, so one may be captured by the snapshot
 //!    *and* land in the fresh segment; both replay idempotently (same-key
 //!    overwrite / remove), so the double-apply is harmless.
 //!
+//! A multi-partition statement (an `UPDATE` over a partitioned table, a
+//! multi-row `INSERT` spanning partitions) is logged to every involved
+//! partition while the caller holds all of their exclusive locks; replay
+//! re-filters each partition's copy down to its own slice (`INSERT` rows
+//! re-route by id; predicate statements simply match nothing outside the
+//! slice).  A crash midway through the fan-out can leave a suffix of
+//! partitions without the record — the recovered table then holds the
+//! prefix's effects, the same "query never returned" outcome a
+//! single-partition crash gives, and the per-partition merge reconciles
+//! any schema divergence by unioning columns (`NULL`-filling the rows of
+//! partitions the record never reached).
+//!
+//! Partitioned-table **creation** commits on partition 0: the creating
+//! thread logs the per-partition `CreateTable` row slices to partitions
+//! `1..n` first and to partition 0 last, and recovery drops (and deletes
+//! the files of) any partitioned table whose partition-0 segment lacks the
+//! table — so a half-created table can never resurrect.
+//!
 //! A crash between the in-memory apply and the append loses that one
-//! change — exactly the "query never returned" outcome WAL semantics
-//! promise.  A crash mid-append leaves a torn tail the next [`recover`]
-//! truncates.  A crash mid-*incremental*-checkpoint leaves each table
-//! with either its old snapshot + complete old segment or its new
-//! snapshot (+ reset segment): per-table generation stamps keep every
-//! table individually consistent, whichever subset the crash interrupted.
+//! change.  A crash mid-append leaves a torn tail the next [`recover`]
+//! truncates.  A crash mid-*partial*-checkpoint leaves each partition with
+//! either its old snapshot + complete old segment or its new snapshot
+//! (+ reset segment): per-partition generation stamps keep every partition
+//! individually consistent, whichever subset the crash interrupted.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
@@ -62,13 +93,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 
 use perceptual::ItemId;
-use relational::{executor, sql, Catalog};
+use relational::{executor, sql, Catalog, PartitionSpec, Table, Value};
 use storage::manifest::{snap_dir, wal_dir};
 use storage::{
-    read_manifest, read_snapshot, read_snapshot_file, scan_segments, segment_file_name,
-    snapshot_file_name, write_manifest, write_snapshot_file, CacheImage, CellMark, ColumnImage,
-    JudgmentEntry, LedgerImage, Manifest, ManifestEntry, MissingCause, SnapshotImage, StorageError,
-    TableImage, Wal, WalRecord, SNAPSHOT_FILE, WAL_FILE,
+    partition_segment_file_name, partition_snapshot_file_name, read_manifest, read_snapshot,
+    read_snapshot_file, scan_segments, segment_file_name, snapshot_file_name, write_manifest,
+    write_snapshot_file, CacheImage, CellMark, ColumnImage, JudgmentEntry, LedgerImage, Manifest,
+    ManifestEntry, MissingCause, SnapshotImage, StorageError, TableImage, Wal, WalRecord,
+    SNAPSHOT_FILE, WAL_FILE,
 };
 
 use crate::cache::{CacheStats, CachedJudgment, JudgmentCache};
@@ -83,27 +115,97 @@ use crate::Result;
 /// The per-column provenance ledger type shared with `db.rs`.
 pub(crate) type ProvenanceLedger = HashMap<(String, String), HashMap<ItemId, CellProvenance>>;
 
-/// One table's WAL segment: the open log plus the dirty flag incremental
-/// checkpoints consult.  The segment mutex is the per-table *WAL lock* of
-/// the locking discipline documented in `docs/architecture.md`.
+/// One partition's WAL segment: the open log plus the dirty flag partial
+/// checkpoints consult.  The segment mutex is the per-partition *WAL lock*
+/// of the locking discipline documented in `docs/architecture.md`.
 pub(crate) struct Segment {
     wal: Mutex<Wal>,
-    /// True when the segment has received an append since the table's last
-    /// checkpoint — the table must be re-snapshotted.  Cleared under the
-    /// segment mutex before the checkpoint captures state, so a racing
-    /// append re-dirties the table for the *next* checkpoint.
+    /// True when the segment has received an append since the partition's
+    /// last checkpoint — the partition must be re-snapshotted.  Cleared
+    /// under the segment mutex before the checkpoint captures state, so a
+    /// racing append re-dirties the partition for the *next* checkpoint.
     dirty: AtomicBool,
 }
 
+impl Segment {
+    fn of_wal(wal: Wal, dirty: bool) -> Arc<Segment> {
+        Arc::new(Segment {
+            wal: Mutex::new(wal),
+            dirty: AtomicBool::new(dirty),
+        })
+    }
+}
+
+/// One table's durable storage: its partitioning spec and one [`Segment`]
+/// per partition (`parts.len() == spec.partition_count()`).  A
+/// single-partition store keeps the legacy `wal/<table>.log` file name;
+/// partitioned stores use `wal/<table>.p<k>.log`.
+pub(crate) struct TableStore {
+    spec: PartitionSpec,
+    parts: Vec<Arc<Segment>>,
+}
+
+/// On-disk size and dirtiness of one partition, as reported by
+/// [`Durability::storage_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PartitionDisk {
+    /// Live WAL segment size in bytes.
+    pub(crate) wal_bytes: u64,
+    /// Snapshot file size in bytes (0 when no snapshot exists yet).
+    pub(crate) snapshot_bytes: u64,
+    /// True when the segment holds records newer than the snapshot.
+    pub(crate) dirty: bool,
+}
+
+/// Path of partition `k`'s WAL segment under `spec`'s layout.
+fn segment_path(dir: &Path, table: &str, spec: &PartitionSpec, k: usize) -> PathBuf {
+    if spec.is_single() {
+        wal_dir(dir).join(segment_file_name(table))
+    } else {
+        wal_dir(dir).join(partition_segment_file_name(table, k))
+    }
+}
+
+/// Path of partition `k`'s snapshot under `spec`'s layout.
+fn snapshot_path(dir: &Path, table: &str, spec: &PartitionSpec, k: usize) -> PathBuf {
+    if spec.is_single() {
+        snap_dir(dir).join(snapshot_file_name(table))
+    } else {
+        snap_dir(dir).join(partition_snapshot_file_name(table, k))
+    }
+}
+
+/// The meta record every fresh segment starts with: the plain
+/// [`Meta`] stamp for single-partition tables (legacy-compatible), or the
+/// [`MetaPartition`] stamp — id column, partition index, and spec — that
+/// lets a partitioned segment be replayed correctly even before the
+/// manifest has recorded the table.
+///
+/// [`Meta`]: WalRecord::Meta
+/// [`MetaPartition`]: WalRecord::MetaPartition
+fn meta_record(id_column: &str, spec: &PartitionSpec, k: usize) -> WalRecord {
+    if spec.is_single() {
+        WalRecord::Meta {
+            id_column: id_column.to_string(),
+        }
+    } else {
+        WalRecord::MetaPartition {
+            id_column: id_column.to_string(),
+            partition: k as u32,
+            spec: spec.clone(),
+        }
+    }
+}
+
 /// The open durability engine of a persistent database: the directory and
-/// the per-table WAL segments.
+/// the per-table, per-partition WAL segments.
 pub(crate) struct Durability {
     dir: PathBuf,
     id_column: String,
-    /// Table → segment.  The map lock guards membership only (segment
+    /// Table → store.  The map lock guards membership only (store
     /// creation); appends synchronize on each segment's own mutex, so
-    /// distinct tables never contend.
-    segments: RwLock<BTreeMap<String, Arc<Segment>>>,
+    /// distinct partitions never contend.
+    stores: RwLock<BTreeMap<String, Arc<TableStore>>>,
     /// Serializes manifest rewrites (last in the lock order).
     manifest: Mutex<()>,
     /// Set on the first append failure; every later durable operation is
@@ -116,11 +218,11 @@ pub(crate) struct Durability {
 }
 
 impl Durability {
-    fn new(dir: &Path, id_column: &str, segments: BTreeMap<String, Arc<Segment>>) -> Durability {
+    fn new(dir: &Path, id_column: &str, stores: BTreeMap<String, Arc<TableStore>>) -> Durability {
         Durability {
             dir: dir.to_path_buf(),
             id_column: id_column.to_string(),
-            segments: RwLock::new(segments),
+            stores: RwLock::new(stores),
             manifest: Mutex::new(()),
             failed: AtomicBool::new(false),
         }
@@ -144,52 +246,140 @@ impl Durability {
         result.map_err(CrowdDbError::from)
     }
 
-    /// Looks up (or lazily creates, on a table's first durable record) the
-    /// segment for `table`.
-    fn segment(&self, table: &str) -> Result<Arc<Segment>> {
+    /// Looks up (or lazily creates, with the given spec, on a table's
+    /// first durable record) the store for `table`.  An existing store's
+    /// spec is authoritative: a table cannot be re-partitioned in place,
+    /// so a mismatched request is refused.
+    pub(crate) fn ensure_store(
+        &self,
+        table: &str,
+        spec: &PartitionSpec,
+    ) -> Result<Arc<TableStore>> {
         let key = table.to_lowercase();
-        if let Some(segment) = rlock(&self.segments).get(&key) {
-            return Ok(Arc::clone(segment));
+        let check = |store: &Arc<TableStore>| -> Result<Arc<TableStore>> {
+            if store.spec != *spec {
+                return Err(CrowdDbError::Configuration(format!(
+                    "table '{key}' already has partitioning {:?}; it cannot be reopened \
+                     with {spec:?}",
+                    store.spec
+                )));
+            }
+            Ok(Arc::clone(store))
+        };
+        if let Some(store) = rlock(&self.stores).get(&key) {
+            return check(store);
         }
-        let mut segments = wlock(&self.segments);
-        if let Some(segment) = segments.get(&key) {
-            return Ok(Arc::clone(segment));
+        let mut stores = wlock(&self.stores);
+        if let Some(store) = stores.get(&key) {
+            return check(store);
         }
-        // First record for this table: open a fresh segment.  The manifest
+        // First record for this table: open fresh segments.  The manifest
         // is *not* rewritten here — recovery unions in orphan segments, so
-        // the new table is durable the moment its segment's first group
-        // fsyncs, and the manifest catches up at the next checkpoint.
+        // the new table is durable the moment its segments' first groups
+        // fsync, and the manifest catches up at the next checkpoint.
         std::fs::create_dir_all(wal_dir(&self.dir)).map_err(StorageError::from)?;
-        let opened = Wal::open(wal_dir(&self.dir).join(segment_file_name(&key)));
-        let (mut wal, _) = self.fail_stop(opened)?;
-        if wal.record_count() == 0 {
-            let meta = wal.append(&WalRecord::Meta {
-                id_column: self.id_column.clone(),
-            });
-            self.fail_stop(meta)?;
+        let mut parts = Vec::with_capacity(spec.partition_count());
+        for k in 0..spec.partition_count() {
+            let opened = Wal::open(segment_path(&self.dir, &key, spec, k));
+            let (mut wal, _) = self.fail_stop(opened)?;
+            if wal.record_count() == 0 {
+                let meta = wal.append(&meta_record(&self.id_column, spec, k));
+                self.fail_stop(meta)?;
+            }
+            parts.push(Segment::of_wal(wal, false));
         }
-        let segment = Arc::new(Segment {
-            wal: Mutex::new(wal),
-            dirty: AtomicBool::new(false),
+        let store = Arc::new(TableStore {
+            spec: spec.clone(),
+            parts,
         });
-        segments.insert(key, Arc::clone(&segment));
-        Ok(segment)
+        stores.insert(key, Arc::clone(&store));
+        Ok(store)
     }
 
-    /// Appends `records` to `table`'s segment as one fsynced group — the
-    /// commit point.
-    pub(crate) fn log(&self, table: &str, records: &[WalRecord]) -> Result<()> {
+    /// The store for `table`, lazily created single-partition when the
+    /// table has no durable state yet (the legacy default).
+    fn store(&self, table: &str) -> Result<Arc<TableStore>> {
+        let key = table.to_lowercase();
+        if let Some(store) = rlock(&self.stores).get(&key) {
+            return Ok(Arc::clone(store));
+        }
+        self.ensure_store(table, &PartitionSpec::Single)
+    }
+
+    /// Appends `records` to partition `k` of `table`'s store as one
+    /// fsynced group — the commit point.
+    pub(crate) fn log(&self, table: &str, k: usize, records: &[WalRecord]) -> Result<()> {
         self.check_not_failed()?;
-        let segment = self.segment(table)?;
+        let store = self.store(table)?;
+        let segment = store.parts.get(k).ok_or_else(|| {
+            CrowdDbError::Storage(format!(
+                "table '{table}' has {} partitions; partition {k} does not exist",
+                store.parts.len()
+            ))
+        })?;
         let wal = &mut *mlock(&segment.wal);
         let result = wal.append_all(records);
         segment.dirty.store(true, Ordering::SeqCst);
         self.fail_stop(result)
     }
 
-    /// Writes the captured image as `table`'s new snapshot, then truncates
-    /// its segment under a fresh generation.  Returns the segment bytes
-    /// reclaimed by the truncation.
+    /// Appends cache-shaped records, routing each [`CachePut`] entry to
+    /// its item's partition and fanning every other record (in practice
+    /// [`CacheInvalidate`], which replays idempotently) out to all
+    /// partitions.  Single-partition tables take the plain one-segment
+    /// path.
+    ///
+    /// [`CachePut`]: WalRecord::CachePut
+    /// [`CacheInvalidate`]: WalRecord::CacheInvalidate
+    pub(crate) fn log_routed(&self, table: &str, records: &[WalRecord]) -> Result<()> {
+        let store = self.store(table)?;
+        if store.spec.is_single() {
+            return self.log(table, 0, records);
+        }
+        let n = store.spec.partition_count();
+        let mut per: Vec<Vec<WalRecord>> = vec![Vec::new(); n];
+        for record in records {
+            match record {
+                WalRecord::CachePut {
+                    table,
+                    attribute,
+                    entries,
+                    rounds,
+                } => {
+                    let mut split: Vec<Vec<(ItemId, JudgmentEntry)>> = vec![Vec::new(); n];
+                    for (item, entry) in entries {
+                        split[store.spec.route_item(*item)].push((*item, *entry));
+                    }
+                    for (k, entries) in split.into_iter().enumerate() {
+                        if !entries.is_empty() {
+                            per[k].push(WalRecord::CachePut {
+                                table: table.clone(),
+                                attribute: attribute.clone(),
+                                entries,
+                                rounds: *rounds,
+                            });
+                        }
+                    }
+                }
+                other => {
+                    for slot in per.iter_mut() {
+                        slot.push(other.clone());
+                    }
+                }
+            }
+        }
+        for (k, records) in per.into_iter().enumerate() {
+            if !records.is_empty() {
+                self.log(table, k, &records)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the captured image as the new snapshot of partition `k` of
+    /// `table`, then truncates that partition's segment under a fresh
+    /// generation.  Returns the segment bytes reclaimed by the truncation.
+    /// Sibling partitions' files are never opened, written, or touched.
     ///
     /// `capture` runs while the segment mutex is held — no record can slip
     /// into the old segment after the state it describes was captured —
@@ -198,63 +388,79 @@ impl Durability {
     /// already-snapshotted prefix when the on-disk segment still has that
     /// generation, so a crash *between* the snapshot rename and the reset
     /// (new snapshot + complete old segment) replays nothing twice.  The
-    /// caller must already hold the table's shared shard lock (see the
+    /// caller must already hold the partition's shared lock (see the
     /// module docs for the two-invariant argument).
-    pub(crate) fn checkpoint_table(
+    pub(crate) fn checkpoint_partition(
         &self,
         table: &str,
+        k: usize,
         capture: impl FnOnce(u64, u64) -> SnapshotImage,
     ) -> Result<u64> {
         self.check_not_failed()?;
-        let segment = self.segment(table)?;
+        let store = self.store(table)?;
+        let segment = store.parts.get(k).ok_or_else(|| {
+            CrowdDbError::Storage(format!(
+                "table '{table}' has {} partitions; partition {k} does not exist",
+                store.parts.len()
+            ))
+        })?;
         let mut wal = mlock(&segment.wal);
         let bytes_before = std::fs::metadata(wal.path()).map(|m| m.len()).unwrap_or(0);
         // Clear the flag *before* capturing: an append racing in after the
-        // capture re-dirties the table so the next checkpoint picks it up.
+        // capture re-dirties the partition so the next checkpoint picks it
+        // up.
         segment.dirty.store(false, Ordering::SeqCst);
         let image = capture(wal.generation(), wal.record_count());
         std::fs::create_dir_all(snap_dir(&self.dir)).map_err(StorageError::from)?;
-        let snap_path = snap_dir(&self.dir).join(snapshot_file_name(&table.to_lowercase()));
+        let snap_path = snapshot_path(&self.dir, &table.to_lowercase(), &store.spec, k);
         // A failed snapshot write leaves the old snapshot + untouched
-        // segment — fully consistent, no fail-stop needed, but the table
-        // is still dirty.  A failed reset or Meta append leaves the
-        // segment in an unknown shape: fail-stop.
+        // segment — fully consistent, no fail-stop needed, but the
+        // partition is still dirty.  A failed reset or meta append leaves
+        // the segment in an unknown shape: fail-stop.
         if let Err(e) = write_snapshot_file(&snap_path, &image) {
             segment.dirty.store(true, Ordering::SeqCst);
             return Err(e.into());
         }
         let reset = wal.reset();
         self.fail_stop(reset)?;
-        // Every segment starts with its Meta record (the reset emptied it).
-        let meta = wal.append(&WalRecord::Meta {
-            id_column: self.id_column.clone(),
-        });
+        // Every segment starts with its meta record (the reset emptied it).
+        let meta = wal.append(&meta_record(&self.id_column, &store.spec, k));
         self.fail_stop(meta)?;
         let bytes_after = std::fs::metadata(wal.path()).map(|m| m.len()).unwrap_or(0);
         Ok(bytes_before.saturating_sub(bytes_after))
     }
 
-    /// Rewrites the manifest from the live segment set and the given
-    /// global counters.  Called after recovery and after each checkpoint —
-    /// the manifest is checkpoint-granular by design (segment and snapshot
-    /// file names are stable per table, so a stale manifest never points
-    /// at missing data; orphan segments are unioned in on recovery).
+    /// Rewrites the manifest from the live store set and the given global
+    /// counters.  Called after recovery and after each checkpoint — the
+    /// manifest is checkpoint-granular by design (segment and snapshot
+    /// file names are stable per table and partition, so a stale manifest
+    /// never points at missing data; orphan segments are unioned in on
+    /// recovery).
     pub(crate) fn write_manifest_state(&self, stats: CacheStats, crowd_rounds: u64) -> Result<()> {
         self.check_not_failed()?;
-        let entries: Vec<ManifestEntry> = rlock(&self.segments)
-            .keys()
-            .map(|table| {
-                let snapshot = snapshot_file_name(table);
-                ManifestEntry {
-                    table: table.clone(),
-                    segment: segment_file_name(table),
-                    snapshot: snap_dir(&self.dir)
-                        .join(&snapshot)
-                        .exists()
-                        .then_some(snapshot),
-                }
-            })
-            .collect();
+        let mut entries = Vec::new();
+        let mut partitioned = Vec::new();
+        for (table, store) in rlock(&self.stores).iter() {
+            let (segment, snapshot_name) = if store.spec.is_single() {
+                (segment_file_name(table), snapshot_file_name(table))
+            } else {
+                (
+                    partition_segment_file_name(table, 0),
+                    partition_snapshot_file_name(table, 0),
+                )
+            };
+            entries.push(ManifestEntry {
+                table: table.clone(),
+                segment,
+                snapshot: snap_dir(&self.dir)
+                    .join(&snapshot_name)
+                    .exists()
+                    .then_some(snapshot_name),
+            });
+            if !store.spec.is_single() {
+                partitioned.push((table.clone(), store.spec.clone()));
+            }
+        }
         let _guard = mlock(&self.manifest);
         write_manifest(
             &self.dir,
@@ -265,38 +471,53 @@ impl Durability {
                 cache_cost_saved: stats.cost_saved,
                 crowd_rounds,
                 entries,
+                partitioned,
             },
         )
         .map_err(CrowdDbError::from)
     }
 
-    /// True when `table` has unsnapshotted records (an incremental
-    /// checkpoint must include it).  A table with no segment yet has
-    /// nothing durable to compact.
-    pub(crate) fn is_dirty(&self, table: &str) -> bool {
-        rlock(&self.segments)
+    /// True when partition `k` of `table` has unsnapshotted records (a
+    /// partial checkpoint must include it; a table with no store yet has
+    /// nothing durable to compact).
+    pub(crate) fn is_dirty_partition(&self, table: &str, k: usize) -> bool {
+        rlock(&self.stores)
             .get(&table.to_lowercase())
-            .is_some_and(|s| s.dirty.load(Ordering::SeqCst))
+            .and_then(|s| s.parts.get(k).map(|p| p.dirty.load(Ordering::SeqCst)))
+            .unwrap_or(false)
     }
 
-    /// Total size of all live WAL segments in bytes (diagnostics; used by
-    /// tests to verify checkpoint compaction).
-    pub(crate) fn wal_bytes(&self) -> u64 {
-        self.wal_bytes_by_table().into_iter().map(|(_, b)| b).sum()
-    }
-
-    /// Per-table segment sizes in bytes, sorted by table name.
-    pub(crate) fn wal_bytes_by_table(&self) -> Vec<(String, u64)> {
-        let segments: Vec<(String, Arc<Segment>)> = rlock(&self.segments)
+    /// Per-table, per-partition on-disk sizes and dirty flags, sorted by
+    /// table name (partitions in `k` order).  The raw material of
+    /// [`CrowdDb::storage_stats`](crate::CrowdDb::storage_stats).
+    pub(crate) fn storage_stats(&self) -> Vec<(String, PartitionSpec, Vec<PartitionDisk>)> {
+        let mut stores: Vec<(String, Arc<TableStore>)> = rlock(&self.stores)
             .iter()
             .map(|(t, s)| (t.clone(), Arc::clone(s)))
             .collect();
-        segments
+        stores.sort_by(|a, b| a.0.cmp(&b.0));
+        stores
             .into_iter()
-            .map(|(table, segment)| {
-                let wal = mlock(&segment.wal);
-                let bytes = std::fs::metadata(wal.path()).map(|m| m.len()).unwrap_or(0);
-                (table, bytes)
+            .map(|(table, store)| {
+                let parts = store
+                    .parts
+                    .iter()
+                    .enumerate()
+                    .map(|(k, segment)| {
+                        let wal = mlock(&segment.wal);
+                        let wal_bytes = std::fs::metadata(wal.path()).map(|m| m.len()).unwrap_or(0);
+                        let snapshot_bytes =
+                            std::fs::metadata(snapshot_path(&self.dir, &table, &store.spec, k))
+                                .map(|m| m.len())
+                                .unwrap_or(0);
+                        PartitionDisk {
+                            wal_bytes,
+                            snapshot_bytes,
+                            dirty: segment.dirty.load(Ordering::SeqCst),
+                        }
+                    })
+                    .collect();
+                (table.clone(), store.spec.clone(), parts)
             })
             .collect()
     }
@@ -310,6 +531,10 @@ pub(crate) struct RecoveredState {
     pub(crate) provenance: ProvenanceLedger,
     pub(crate) incomplete: HashSet<(String, String)>,
     pub(crate) crowd_rounds: u64,
+    /// Partitioning specs of the recovered tables that are *not*
+    /// single-partition — `assemble` re-splits their merged rows into
+    /// per-partition catalog slices with the same routing arithmetic.
+    pub(crate) specs: HashMap<String, PartitionSpec>,
 }
 
 impl Default for RecoveredState {
@@ -320,6 +545,7 @@ impl Default for RecoveredState {
             provenance: HashMap::new(),
             incomplete: HashSet::new(),
             crowd_rounds: 0,
+            specs: HashMap::new(),
         }
     }
 }
@@ -328,8 +554,9 @@ impl Default for RecoveredState {
 /// recovered state plus the engine positioned for appending.
 ///
 /// Routing: a directory with a manifest recovers segment-by-segment
-/// (replayed on up to `parallelism` workers); a manifest-less directory
-/// with a legacy `wal.log`/`snapshot.db` is recovered through the old
+/// (replayed on up to `parallelism` workers, fanning out across tables
+/// *and* across one table's partitions); a manifest-less directory with a
+/// legacy `wal.log`/`snapshot.db` is recovered through the old
 /// single-file path and migrated into segments; an empty directory starts
 /// fresh with an empty manifest.
 pub(crate) fn recover(
@@ -356,21 +583,38 @@ pub(crate) fn recover(
     }
 }
 
-/// One table's replay result: its recovered slice of the database plus
-/// its open segment.
-struct TableRecovered {
+/// One replay unit: a single-partition table's whole segment
+/// (`partition: None`, legacy file names) or one partition of a
+/// partitioned table (`partition: Some(k)`).
+struct ReplayJob {
     table: String,
+    partition: Option<usize>,
+    /// The spec the manifest records for the table, when it does; orphan
+    /// partitions learn theirs from the segment's leading
+    /// [`WalRecord::MetaPartition`] record.
+    spec: Option<PartitionSpec>,
+}
+
+/// One replay unit's result: its recovered slice of the database plus its
+/// open segment.
+struct PartRecovered {
+    table: String,
+    partition: Option<usize>,
     state: RecoveredState,
     wal: Wal,
     /// True when the segment held records beyond the snapshotted prefix —
-    /// the table must not be skipped by the next incremental checkpoint.
+    /// the partition must not be skipped by the next partial checkpoint.
     dirty: bool,
+    /// The spec this partition replayed under (from the job or observed in
+    /// the segment's meta record).
+    spec: Option<PartitionSpec>,
 }
 
 /// Recovers a segmented directory: replays every live segment (manifest
-/// entries ∪ orphan segments on disk) and merges the per-table results in
-/// sorted table order, so the outcome is bit-identical however many
-/// workers replayed them.
+/// entries ∪ orphan segments on disk) and merges the results in sorted
+/// table order — and, within a partitioned table, in fixed partition
+/// order — so the outcome is bit-identical however many workers replayed
+/// them.
 fn recover_segmented(
     dir: &Path,
     id_column: &str,
@@ -387,43 +631,77 @@ fn recover_segmented(
         )));
     }
     // The manifest is authoritative for checkpointed tables, but a table
-    // created after the last checkpoint exists only as a segment file:
+    // created after the last checkpoint exists only as segment files:
     // union both sources so no committed record is orphaned.
-    let mut tables: Vec<String> = manifest.entries.iter().map(|e| e.table.clone()).collect();
-    for (table, _) in scan_segments(dir)? {
-        if !tables.contains(&table) {
-            tables.push(table);
+    let mut jobs: Vec<ReplayJob> = Vec::new();
+    let mut known: HashSet<(String, Option<usize>)> = HashSet::new();
+    for entry in &manifest.entries {
+        let spec = manifest.spec(&entry.table);
+        if spec.is_single() {
+            known.insert((entry.table.clone(), None));
+            jobs.push(ReplayJob {
+                table: entry.table.clone(),
+                partition: None,
+                spec: None,
+            });
+        } else {
+            for k in 0..spec.partition_count() {
+                known.insert((entry.table.clone(), Some(k)));
+                jobs.push(ReplayJob {
+                    table: entry.table.clone(),
+                    partition: Some(k),
+                    spec: Some(spec.clone()),
+                });
+            }
         }
     }
-    tables.sort_unstable();
+    for (table, partition, _file) in scan_segments(dir)? {
+        if known.insert((table.clone(), partition)) {
+            jobs.push(ReplayJob {
+                table,
+                partition,
+                spec: None,
+            });
+        }
+    }
+    jobs.sort_unstable_by(|a, b| (&a.table, a.partition).cmp(&(&b.table, b.partition)));
     std::fs::create_dir_all(wal_dir(dir)).map_err(StorageError::from)?;
 
-    let results = replay_tables(dir, id_column, parallelism, tables)?;
+    let results = replay_jobs(dir, id_column, parallelism, jobs)?;
 
     let mut state = RecoveredState::default();
     let mut crowd_rounds = manifest.crowd_rounds;
-    let mut segments = BTreeMap::new();
-    for recovered in results {
-        for name in recovered.state.catalog.table_names() {
-            let table = recovered
-                .state
+    let mut stores = BTreeMap::new();
+    // Group the (table, partition)-sorted results by table and merge each
+    // table's group in partition order.
+    let mut results = results.into_iter().peekable();
+    while let Some(first) = results.next() {
+        let table = first.table.clone();
+        let mut parts = vec![first];
+        while results.peek().is_some_and(|r| r.table == table) {
+            parts.push(results.next().expect("peeked"));
+        }
+        let Some((table_state, store)) = merge_table_parts(dir, id_column, &table, parts)? else {
+            continue; // abandoned half-created table: files removed
+        };
+        for name in table_state.catalog.table_names() {
+            let recovered = table_state
                 .catalog
                 .table(&name)
                 .expect("listed table exists");
-            state.catalog.create_table(table.clone())?;
+            state.catalog.create_table(recovered.clone())?;
         }
-        state.provenance.extend(recovered.state.provenance);
-        state.incomplete.extend(recovered.state.incomplete);
-        let (groups, _) = recovered.state.cache.export();
+        for (key, marks) in table_state.provenance {
+            state.provenance.entry(key).or_default().extend(marks);
+        }
+        state.incomplete.extend(table_state.incomplete);
+        let (groups, _) = table_state.cache.export();
         state.cache.absorb(groups);
-        crowd_rounds = crowd_rounds.max(recovered.state.crowd_rounds);
-        segments.insert(
-            recovered.table,
-            Arc::new(Segment {
-                wal: Mutex::new(recovered.wal),
-                dirty: AtomicBool::new(recovered.dirty),
-            }),
-        );
+        crowd_rounds = crowd_rounds.max(table_state.crowd_rounds);
+        if !store.spec.is_single() {
+            state.specs.insert(table.clone(), store.spec.clone());
+        }
+        stores.insert(table, Arc::new(store));
     }
     // Global counters are checkpoint-granular and live in the manifest.
     state.cache.set_stats(CacheStats {
@@ -433,51 +711,238 @@ fn recover_segmented(
         entries: 0,
     });
     state.crowd_rounds = crowd_rounds;
-    let durability = Durability::new(dir, id_column, segments);
+    let durability = Durability::new(dir, id_column, stores);
     // Fold any orphan segments into the manifest now that they replayed.
     durability.write_manifest_state(state.cache.stats(), state.crowd_rounds)?;
     Ok((state, durability))
 }
 
-/// Replays `tables` — inline when `parallelism <= 1`, otherwise on a
-/// worker pool — and returns the results sorted by table name.  Replay
+/// Merges one table's replayed parts (in partition order) into its final
+/// recovered state and open store.  Returns `None` — after deleting the
+/// partition files — for a partitioned table whose partition-0 segment
+/// lacks the table: creation commits on partition 0 (it is logged last),
+/// so such a table was half-created when a crash hit and must not
+/// resurrect.
+fn merge_table_parts(
+    dir: &Path,
+    id_column: &str,
+    table: &str,
+    mut parts: Vec<PartRecovered>,
+) -> Result<Option<(RecoveredState, TableStore)>> {
+    if parts.len() == 1 && parts[0].partition.is_none() {
+        // Single-partition table on the legacy per-table layout.
+        let part = parts.pop().expect("one part");
+        let mut wal = part.wal;
+        if wal.record_count() == 0 {
+            // A brand-new (or torn-header-recreated, necessarily empty)
+            // segment: stamp the configuration its replayer depends on.
+            wal.append(&WalRecord::Meta {
+                id_column: id_column.to_string(),
+            })?;
+        }
+        return Ok(Some((
+            part.state,
+            TableStore {
+                spec: PartitionSpec::Single,
+                parts: vec![Segment::of_wal(wal, part.dirty)],
+            },
+        )));
+    }
+    if parts.iter().any(|p| p.partition.is_none()) {
+        return Err(CrowdDbError::Storage(format!(
+            "table '{table}' has both a legacy single segment and partitioned segments — \
+             the directory is corrupt (tables are never re-partitioned in place)"
+        )));
+    }
+    let spec = parts
+        .iter()
+        .find_map(|p| p.spec.clone())
+        .unwrap_or(PartitionSpec::Single);
+    let exists = parts
+        .iter()
+        .find(|p| p.partition == Some(0))
+        .is_some_and(|p| p.state.catalog.table(table).is_ok());
+    if spec.is_single() || !exists {
+        // Either no partition carried a usable spec (every segment torn
+        // down to nothing) or partition 0 never saw the CreateTable — the
+        // creation never committed.  Drop the stray files so a later
+        // CREATE of the same name starts clean.
+        for part in parts {
+            let k = part.partition.expect("partitioned part");
+            drop(part.wal);
+            let _ = std::fs::remove_file(wal_dir(dir).join(partition_segment_file_name(table, k)));
+            let _ =
+                std::fs::remove_file(snap_dir(dir).join(partition_snapshot_file_name(table, k)));
+        }
+        return Ok(None);
+    }
+    let n = spec.partition_count();
+    let mut by_k: BTreeMap<usize, PartRecovered> = parts
+        .into_iter()
+        .filter(|p| p.partition.is_some_and(|k| k < n))
+        .map(|p| (p.partition.expect("partitioned part"), p))
+        .collect();
+    let mut merged = RecoveredState::default();
+    let mut segments: Vec<Arc<Segment>> = Vec::with_capacity(n);
+    let mut merged_table: Option<Table> = None;
+    for k in 0..n {
+        let part = match by_k.remove(&k) {
+            Some(part) => part,
+            None => {
+                // A partition whose file never landed on disk (possible
+                // only for an orphan table torn mid-creation, with the
+                // table itself already committed on partition 0): open the
+                // segment empty.
+                let (wal, _) = Wal::open(wal_dir(dir).join(partition_segment_file_name(table, k)))?;
+                PartRecovered {
+                    table: table.to_string(),
+                    partition: Some(k),
+                    state: RecoveredState::default(),
+                    wal,
+                    dirty: false,
+                    spec: Some(spec.clone()),
+                }
+            }
+        };
+        if let Ok(slice) = part.state.catalog.table(table) {
+            merged_table = Some(match merged_table.take() {
+                None => slice.clone(),
+                Some(acc) => merge_partition_tables(acc, slice)?,
+            });
+        }
+        for (key, marks) in part.state.provenance {
+            merged.provenance.entry(key).or_default().extend(marks);
+        }
+        merged.incomplete.extend(part.state.incomplete);
+        let (groups, _) = part.state.cache.export();
+        merged.cache.absorb(groups);
+        merged.crowd_rounds = merged.crowd_rounds.max(part.state.crowd_rounds);
+        let mut wal = part.wal;
+        if wal.record_count() == 0 {
+            wal.append(&meta_record(id_column, &spec, k))?;
+        }
+        segments.push(Segment::of_wal(wal, part.dirty));
+    }
+    merged
+        .catalog
+        .create_table(merged_table.expect("partition 0 carries the table"))?;
+    Ok(Some((
+        merged,
+        TableStore {
+            spec,
+            parts: segments,
+        },
+    )))
+}
+
+/// Appends `part`'s rows and columns onto `acc`: rows concatenate in
+/// partition order; columns `acc` has never seen (possible only when a
+/// crash tore a schema-changing record's fan-out mid-way) are appended in
+/// `part`'s order and `NULL`-filled for the rows that predate them.
+pub(crate) fn merge_partition_tables(mut acc: Table, part: &Table) -> Result<Table> {
+    for column in part.schema().columns() {
+        if acc.schema().index_of(&column.name).is_none() {
+            let mut column = column.clone();
+            // The rows already in `acc` get NULL in the new position, so
+            // the unioned column must admit it.
+            column.nullable = true;
+            acc.add_column(column, None)?;
+        }
+    }
+    let width = acc.schema().len();
+    for row in part.rows() {
+        let mut aligned = vec![Value::Null; width];
+        for (value, column) in row.iter().zip(part.schema().columns()) {
+            let index = acc
+                .schema()
+                .index_of(&column.name)
+                .expect("column was unioned above");
+            aligned[index] = value.clone();
+        }
+        acc.insert_row(aligned)?;
+    }
+    Ok(acc)
+}
+
+/// Splits `table`'s rows into `spec.partition_count()` per-partition
+/// tables (same name, same schema) by routing each row's id-column value.
+/// Rows without an id column land in partition 0, matching
+/// [`PartitionSpec::route_value`]'s `NULL` fallback.  The inverse of the
+/// recovery-time merge — the write path, the checkpoint slicer, and
+/// recovery all route through the same arithmetic, so the three can never
+/// disagree about a row's home partition.
+pub(crate) fn split_table_by_partition(
+    table: &Table,
+    id_column: &str,
+    spec: &PartitionSpec,
+) -> Result<Vec<Table>> {
+    let n = spec.partition_count();
+    let mut parts: Vec<Table> = (0..n)
+        .map(|_| Table::new(table.name(), table.schema().clone()))
+        .collect();
+    let id_index = table.schema().index_of(id_column);
+    for row in table.rows() {
+        let k = id_index
+            .map(|i| spec.route_value(&row[i]))
+            .unwrap_or_default();
+        parts[k]
+            .insert_row(row.clone())
+            .map_err(CrowdDbError::from)?;
+    }
+    Ok(parts)
+}
+
+/// Replays `jobs` — inline when `parallelism <= 1`, otherwise on a worker
+/// pool — and returns the results sorted by `(table, partition)`.  Replay
 /// order cannot matter: segments share no state, and the caller merges in
 /// sorted order regardless of completion order.
-fn replay_tables(
+fn replay_jobs(
     dir: &Path,
     id_column: &str,
     parallelism: usize,
-    tables: Vec<String>,
-) -> Result<Vec<TableRecovered>> {
-    if parallelism <= 1 || tables.len() <= 1 {
-        return tables
+    jobs: Vec<ReplayJob>,
+) -> Result<Vec<PartRecovered>> {
+    if parallelism <= 1 || jobs.len() <= 1 {
+        return jobs
             .into_iter()
-            .map(|table| replay_one(dir, id_column, table))
+            .map(|job| replay_one(dir, id_column, job))
             .collect();
     }
-    let pool = Scheduler::new(parallelism.min(tables.len()));
+    let pool = Scheduler::new(parallelism.min(jobs.len()));
     let (tx, rx) = mpsc::channel();
-    for table in tables {
+    for job in jobs {
         let tx = tx.clone();
         let dir = dir.to_path_buf();
         let id_column = id_column.to_string();
         pool.spawn(move || {
-            let result = replay_one(&dir, &id_column, table);
+            let result = replay_one(&dir, &id_column, job);
             let _ = tx.send(result);
         });
     }
     drop(tx);
-    let mut results: Vec<TableRecovered> = rx.iter().collect::<Result<_>>()?;
-    results.sort_unstable_by(|a, b| a.table.cmp(&b.table));
+    let mut results: Vec<PartRecovered> = rx.iter().collect::<Result<_>>()?;
+    results.sort_unstable_by(|a, b| (&a.table, a.partition).cmp(&(&b.table, b.partition)));
     Ok(results)
 }
 
-/// Replays one table: its snapshot (if any), then its segment on top,
+/// Replays one job: its snapshot (if any), then its segment on top,
 /// skipping the already-snapshotted prefix when the generation stamps
 /// still match (the same discipline the monolithic layout used, now per
-/// table).
-fn replay_one(dir: &Path, id_column: &str, table: String) -> Result<TableRecovered> {
-    let snapshot = read_snapshot_file(&snap_dir(dir).join(snapshot_file_name(&table)))?;
+/// partition).
+fn replay_one(dir: &Path, id_column: &str, job: ReplayJob) -> Result<PartRecovered> {
+    let ReplayJob {
+        table,
+        partition,
+        spec,
+    } = job;
+    let (segment_file, snapshot_file) = match partition {
+        None => (segment_file_name(&table), snapshot_file_name(&table)),
+        Some(k) => (
+            partition_segment_file_name(&table, k),
+            partition_snapshot_file_name(&table, k),
+        ),
+    };
+    let snapshot = read_snapshot_file(&snap_dir(dir).join(snapshot_file))?;
     let (mut state, wal_stamp) = match snapshot {
         Some(image) => {
             if !image.id_column.is_empty() && image.id_column != id_column {
@@ -494,7 +959,7 @@ fn replay_one(dir: &Path, id_column: &str, table: String) -> Result<TableRecover
         }
         None => (RecoveredState::default(), None),
     };
-    let (mut wal, records) = Wal::open(wal_dir(dir).join(segment_file_name(&table)))?;
+    let (wal, records) = Wal::open(wal_dir(dir).join(segment_file))?;
     // Records the snapshot already folded in are skipped — but only while
     // the segment still carries the generation the snapshot stamped.  A
     // segment that was reset since (or never matched) replays in full.
@@ -504,23 +969,39 @@ fn replay_one(dir: &Path, id_column: &str, table: String) -> Result<TableRecover
         }
         _ => 0,
     };
-    if wal.record_count() == 0 {
-        // A brand-new (or torn-header-recreated, necessarily empty)
-        // segment: stamp the configuration its replayer will depend on.
-        wal.append(&WalRecord::Meta {
-            id_column: id_column.to_string(),
-        })?;
+    // A partitioned segment's first record is always its MetaPartition
+    // stamp (written at creation and re-written after every reset), so the
+    // replay context survives even when the snapshot skip covers it — peek
+    // at it before applying the unskipped suffix.
+    let mut ctx = ReplayCtx {
+        id_column,
+        dir,
+        partition: spec.map(|spec| (spec, partition.unwrap_or_default())),
+    };
+    if let Some(WalRecord::MetaPartition {
+        partition: recorded,
+        spec,
+        ..
+    }) = records.first()
+    {
+        ctx.partition = Some((spec.clone(), *recorded as usize));
     }
     let mut dirty = false;
     for record in records.into_iter().skip(skip) {
-        dirty |= !matches!(record, WalRecord::Meta { .. });
-        apply(record, &mut state, id_column, dir)?;
+        dirty |= !matches!(
+            record,
+            WalRecord::Meta { .. } | WalRecord::MetaPartition { .. }
+        );
+        apply(record, &mut state, &mut ctx)?;
     }
-    Ok(TableRecovered {
+    let spec = ctx.partition.map(|(spec, _)| spec);
+    Ok(PartRecovered {
         table,
+        partition,
         state,
         wal,
         dirty,
+        spec,
     })
 }
 
@@ -530,7 +1011,8 @@ fn replay_one(dir: &Path, id_column: &str, table: String) -> Result<TableRecover
 /// appearance is the commit point of the migration), and only then are
 /// the legacy files deleted.  A crash anywhere re-runs cleanly: before
 /// the manifest lands the directory still recovers as legacy; after, the
-/// stray legacy files are ignored and re-deleted.
+/// stray legacy files are ignored and re-deleted.  Legacy tables are all
+/// single-partition — partitioning arrived after the segmented layout.
 fn migrate_legacy(dir: &Path, id_column: &str) -> Result<(RecoveredState, Durability)> {
     let snapshot = read_snapshot(dir)?;
     let (mut state, wal_stamp) = match snapshot {
@@ -557,15 +1039,20 @@ fn migrate_legacy(dir: &Path, id_column: &str) -> Result<(RecoveredState, Durabi
             }
             _ => 0,
         };
+        let mut ctx = ReplayCtx {
+            id_column,
+            dir,
+            partition: None,
+        };
         for record in records.into_iter().skip(skip) {
-            apply(record, &mut state, id_column, dir)?;
+            apply(record, &mut state, &mut ctx)?;
         }
         // The legacy log is consumed; it is deleted below, after the
         // segmented layout durably supersedes it.
     }
     std::fs::create_dir_all(wal_dir(dir)).map_err(StorageError::from)?;
     std::fs::create_dir_all(snap_dir(dir)).map_err(StorageError::from)?;
-    let mut segments = BTreeMap::new();
+    let mut stores = BTreeMap::new();
     for name in state.catalog.table_names() {
         let (mut wal, _) = Wal::open(wal_dir(dir).join(segment_file_name(&name)))?;
         if wal.record_count() > 0 {
@@ -585,40 +1072,61 @@ fn migrate_legacy(dir: &Path, id_column: &str) -> Result<(RecoveredState, Durabi
                 incomplete: &state.incomplete,
                 crowd_rounds: state.crowd_rounds,
                 id_column,
+                partition: None,
             },
             wal.generation(),
             wal.record_count(),
         );
         write_snapshot_file(&snap_dir(dir).join(snapshot_file_name(&name)), &image)?;
-        segments.insert(
+        stores.insert(
             name,
-            Arc::new(Segment {
-                wal: Mutex::new(wal),
-                dirty: AtomicBool::new(false),
+            Arc::new(TableStore {
+                spec: PartitionSpec::Single,
+                parts: vec![Segment::of_wal(wal, false)],
             }),
         );
     }
-    let durability = Durability::new(dir, id_column, segments);
+    let durability = Durability::new(dir, id_column, stores);
     durability.write_manifest_state(state.cache.stats(), state.crowd_rounds)?;
     let _ = std::fs::remove_file(dir.join(WAL_FILE));
     let _ = std::fs::remove_file(dir.join(SNAPSHOT_FILE));
     Ok((state, durability))
 }
 
+/// The context one segment replays under: which partition slice (if any)
+/// the records must be filtered down to.
+struct ReplayCtx<'a> {
+    id_column: &'a str,
+    dir: &'a Path,
+    /// `Some((spec, k))` while replaying partition `k` of a partitioned
+    /// table: multi-partition records re-filter themselves down to the
+    /// slice.  `None` for single-partition segments.
+    partition: Option<(PartitionSpec, usize)>,
+}
+
 /// Replays one WAL record onto the recovered state.
-fn apply(record: WalRecord, state: &mut RecoveredState, id_column: &str, dir: &Path) -> Result<()> {
+fn apply(record: WalRecord, state: &mut RecoveredState, ctx: &mut ReplayCtx<'_>) -> Result<()> {
     match record {
         WalRecord::Meta {
             id_column: recorded,
         } => {
-            if recorded != id_column {
-                return Err(CrowdDbError::Storage(format!(
-                    "database directory {} was written with id_column '{recorded}' but is \
-                     being opened with id_column '{id_column}' — item-keyed records would \
-                     be misrouted; open with the original configuration",
-                    dir.display()
-                )));
+            check_id_column(&recorded, ctx)?;
+        }
+        WalRecord::MetaPartition {
+            id_column: recorded,
+            partition,
+            spec,
+        } => {
+            check_id_column(&recorded, ctx)?;
+            if let Some((_, k)) = &ctx.partition {
+                if partition as usize != *k {
+                    return Err(CrowdDbError::Storage(format!(
+                        "partition segment {k} carries a meta record for partition \
+                         {partition} — the directory is corrupt"
+                    )));
+                }
             }
+            ctx.partition = Some((spec, partition as usize));
         }
         WalRecord::CreateTable(image) => {
             // Idempotent: a record that raced a checkpoint may already be
@@ -629,7 +1137,41 @@ fn apply(record: WalRecord, state: &mut RecoveredState, id_column: &str, dir: &P
         }
         WalRecord::Mutation { sql: text } => {
             let statement = sql::parse(&text)?;
-            executor::execute(&statement, &mut state.catalog)?;
+            match (&statement, &ctx.partition) {
+                (
+                    sql::Statement::Insert {
+                        table,
+                        columns,
+                        rows,
+                    },
+                    Some((spec, k)),
+                ) if !spec.is_single() => {
+                    // The statement was logged to every partition it
+                    // routed rows into; keep only this partition's rows.
+                    let id_index = columns
+                        .iter()
+                        .position(|c| c.eq_ignore_ascii_case(ctx.id_column));
+                    let kept: Vec<Vec<Value>> = rows
+                        .iter()
+                        .filter(|row| {
+                            let id = id_index.and_then(|i| row.get(i)).unwrap_or(&Value::Null);
+                            spec.route_value(id) == *k
+                        })
+                        .cloned()
+                        .collect();
+                    if !kept.is_empty() {
+                        let sliced = sql::Statement::Insert {
+                            table: table.clone(),
+                            columns: columns.clone(),
+                            rows: kept,
+                        };
+                        executor::execute(&sliced, &mut state.catalog)?;
+                    }
+                }
+                _ => {
+                    executor::execute(&statement, &mut state.catalog)?;
+                }
+            }
         }
         WalRecord::MaterializeColumn {
             table,
@@ -641,17 +1183,18 @@ fn apply(record: WalRecord, state: &mut RecoveredState, id_column: &str, dir: &P
         } => {
             let values: HashMap<ItemId, relational::Value> = values.into_iter().collect();
             let table_ref = state.catalog.table(&table)?;
-            let (rows, _, _) = planner::row_mapping(table_ref, id_column, &table)?;
+            let (rows, _, _) = planner::row_mapping(table_ref, ctx.id_column, &table)?;
             let table_mut = state.catalog.table_mut(&table)?;
             materialize_column(table_mut, &column, data_type, &values, &rows)?;
             let key = (table.clone(), column.clone());
             if let Some(marks) = ledger {
-                state.provenance.insert(
-                    key.clone(),
+                // Entry-wise extend, not insert: sibling partitions of the
+                // same table contribute disjoint item slices to the same
+                // (table, column) ledger during the recovery merge.
+                state.provenance.entry(key.clone()).or_default().extend(
                     marks
                         .into_iter()
-                        .map(|(item, mark)| (item, provenance_of_mark(mark)))
-                        .collect(),
+                        .map(|(item, mark)| (item, provenance_of_mark(mark))),
                 );
             }
             if incomplete {
@@ -667,7 +1210,7 @@ fn apply(record: WalRecord, state: &mut RecoveredState, id_column: &str, dir: &P
         } => {
             let values: HashMap<ItemId, relational::Value> = values.into_iter().collect();
             let table_ref = state.catalog.table(&table)?;
-            let (rows, _, _) = planner::row_mapping(table_ref, id_column, &table)?;
+            let (rows, _, _) = planner::row_mapping(table_ref, ctx.id_column, &table)?;
             let table_mut = state.catalog.table_mut(&table)?;
             for (row, item) in rows {
                 if let Some(value) = values.get(&item) {
@@ -691,6 +1234,19 @@ fn apply(record: WalRecord, state: &mut RecoveredState, id_column: &str, dir: &P
         WalRecord::CacheInvalidate { table, attribute } => {
             state.cache.invalidate(&table, &attribute);
         }
+    }
+    Ok(())
+}
+
+fn check_id_column(recorded: &str, ctx: &ReplayCtx<'_>) -> Result<()> {
+    if recorded != ctx.id_column {
+        return Err(CrowdDbError::Storage(format!(
+            "database directory {} was written with id_column '{recorded}' but is \
+             being opened with id_column '{}' — item-keyed records would \
+             be misrouted; open with the original configuration",
+            ctx.dir.display(),
+            ctx.id_column
+        )));
     }
     Ok(())
 }
@@ -748,26 +1304,35 @@ fn state_of_snapshot(image: SnapshotImage) -> Result<RecoveredState> {
         provenance,
         incomplete,
         crowd_rounds: image.crowd_rounds,
+        specs: HashMap::new(),
     })
 }
 
-/// Borrowed views of the live state a per-table checkpoint captures (the
-/// caller holds the table's shared shard lock; the other structures are
-/// read through their own synchronization and filtered down to the
-/// table's slice).
+/// Borrowed views of the live state a per-partition checkpoint captures
+/// (the caller holds the partition's shared lock; the other structures
+/// are read through their own synchronization and filtered down to the
+/// partition's slice).
 pub(crate) struct TableSnapshotParts<'a> {
+    /// The partition's catalog slice (the whole table when
+    /// single-partition).
     pub(crate) table: &'a relational::Table,
     pub(crate) cache: &'a JudgmentCache,
     pub(crate) provenance: &'a ProvenanceLedger,
     pub(crate) incomplete: &'a HashSet<(String, String)>,
     pub(crate) crowd_rounds: u64,
     pub(crate) id_column: &'a str,
+    /// `Some((spec, k))` when snapshotting partition `k` of a partitioned
+    /// table: item-keyed structures (ledger marks, cache entries) are
+    /// filtered to the items that route to `k`, matching the rows the
+    /// `table` slice holds.  `None` captures the whole table.
+    pub(crate) partition: Option<(&'a PartitionSpec, usize)>,
 }
 
-/// Captures one table's state as a snapshot image, stamped with the
-/// segment position it supersedes (see [`Durability::checkpoint_table`]).
-/// The image's cache counters are zero: the global effectiveness counters
-/// are manifest state, not per-table state.
+/// Captures one partition's state as a snapshot image, stamped with the
+/// segment position it supersedes (see
+/// [`Durability::checkpoint_partition`]).  The image's cache counters are
+/// zero: the global effectiveness counters are manifest state, not
+/// per-table state.
 pub(crate) fn table_snapshot_image(
     parts: TableSnapshotParts<'_>,
     wal_generation: u64,
@@ -780,7 +1345,12 @@ pub(crate) fn table_snapshot_image(
         incomplete,
         crowd_rounds,
         id_column,
+        partition,
     } = parts;
+    let in_slice = |item: ItemId| match partition {
+        Some((spec, k)) => spec.route_item(item) == k,
+        None => true,
+    };
     let name = table.name().to_string();
     let mut ledgers: Vec<LedgerImage> = provenance
         .iter()
@@ -788,6 +1358,7 @@ pub(crate) fn table_snapshot_image(
         .map(|((table, column), marks)| {
             let mut marks: Vec<(ItemId, CellMark)> = marks
                 .iter()
+                .filter(|(&item, _)| in_slice(item))
                 .map(|(&item, provenance)| (item, mark_of_provenance(*provenance)))
                 .collect();
             marks.sort_unstable_by_key(|(item, _)| *item);
@@ -822,6 +1393,7 @@ pub(crate) fn table_snapshot_image(
                         attribute,
                         entries
                             .into_iter()
+                            .filter(|(item, _)| in_slice(*item))
                             .map(|(item, judgment)| (item, entry_of_judgment(&judgment)))
                             .collect(),
                     )

@@ -38,6 +38,7 @@ pub mod catalog;
 pub mod error;
 pub mod executor;
 pub mod expr;
+pub mod partition;
 pub mod schema;
 pub mod sql;
 pub mod table;
@@ -50,6 +51,7 @@ pub use executor::{
     SnapshotResult, StatementAnalysis,
 };
 pub use expr::{BinaryOperator, Expr, UnaryOperator};
+pub use partition::PartitionSpec;
 pub use schema::{Column, Schema};
 pub use sql::{parse, ExpansionClause, ExpansionClauseMode, Statement};
 pub use table::Table;

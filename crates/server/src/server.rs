@@ -27,7 +27,8 @@
 use crate::wire::{
     read_frame, write_frame, ClientHello, HandshakeReply, Request, Response, PROTOCOL_VERSION,
 };
-use crowddb_core::{CrowdDb, CrowdDbError, ExpansionPolicy, QueryEvent, Result};
+use crowddb_core::{CrowdDb, CrowdDbError, ExpansionPolicy, QueryEvent, Result, TableOptions};
+use relational::PartitionSpec;
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -456,6 +457,17 @@ fn serve_requests(shared: &Arc<Shared>, sock: &mut TcpStream, session_id: u64, t
                 let tree = shared.db.state_monitor().to_tree();
                 send_response(&tx, &Response::Monitor { id, tree });
             }
+            Ok(Request::CreateTable {
+                id,
+                sql,
+                partitions,
+            }) => {
+                let response = match create_remote_table(&shared.db, &sql, partitions) {
+                    Ok(()) => Response::Ack { id },
+                    Err(error) => Response::QueryFailed { id, error },
+                };
+                send_response(&tx, &response);
+            }
             Ok(Request::Goodbye) => break,
             Err(e) => {
                 shared
@@ -533,6 +545,28 @@ fn pump_query(
         .counters
         .queries_completed
         .fetch_add(1, Ordering::SeqCst);
+}
+
+/// Executes a remote `CREATE TABLE` DDL against a scratch catalog and
+/// installs the result with the requested partition layout — the server
+/// half of [`Request::CreateTable`].  Anything but a `CREATE TABLE`
+/// statement is refused before touching the engine.
+fn create_remote_table(db: &CrowdDb, sql: &str, partitions: PartitionSpec) -> Result<()> {
+    let statement = relational::sql::parse(sql)?;
+    if !matches!(statement, relational::sql::Statement::CreateTable { .. }) {
+        return Err(CrowdDbError::Configuration(
+            "a CreateTable request must carry a CREATE TABLE statement".into(),
+        ));
+    }
+    let mut scratch = relational::Catalog::new();
+    relational::executor::execute(&statement, &mut scratch)?;
+    let name = scratch
+        .table_names()
+        .pop()
+        .expect("CREATE TABLE created a table");
+    let table = scratch.table(&name).expect("listed table exists").clone();
+    let options = TableOptions::new(table.name(), &db.config().id_column).partitions(partitions);
+    db.create_table_with(options, table)
 }
 
 fn log_protocol_error(session_id: u64, error: &CrowdDbError) {

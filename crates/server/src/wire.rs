@@ -33,16 +33,20 @@ use crowddb_core::{
     CellProvenance, CrowdDbError, DegradeReason, ExpansionMode, ExpansionPolicy, ExpansionReport,
     MissingReason, QueryEvent, QueryOutcome, Result, RowSet, StatementResult,
 };
-use relational::Value;
+use relational::{PartitionSpec, Value};
 use std::io::{Read, Write};
-use storage::{crc32, Decoder, Encoder};
+use storage::{crc32, decode_partition_spec, encode_partition_spec, Decoder, Encoder};
 use telemetry::MonitorTree;
 
 /// Version of the wire protocol; bumped on any incompatible change.  The
 /// handshake rejects a client whose version differs.  Version 2 added the
 /// observability surface (stats / metrics / monitor requests, the
-/// `Degraded` expansion stage, and the `Overloaded` error).
-pub const PROTOCOL_VERSION: u32 = 2;
+/// `Degraded` expansion stage, and the `Overloaded` error).  Version 3
+/// added intra-table partitioning: the [`Request::CreateTable`] message
+/// and its length-prefixed [`PartitionSpec`] payload field (a spec variant
+/// this build does not know decodes as single-partition instead of
+/// dropping the connection).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Ceiling on [`MonitorTree`] nesting the codec will decode.  The live
 /// monitor hierarchy is a few levels deep; anything past this bound is a
@@ -301,10 +305,57 @@ pub enum Request {
         /// Id echoed on the reply.
         id: u64,
     },
+    /// Create a table with an explicit storage partition layout (answered
+    /// with [`Response::Ack`], or [`Response::QueryFailed`] carrying the
+    /// typed error).  Plain SQL `CREATE TABLE` through
+    /// [`Request::Query`] stays single-partition; this message is the
+    /// remote twin of the in-process
+    /// [`TableOptions`](crowddb_core::TableOptions) builder.  Added in
+    /// protocol version 3.
+    CreateTable {
+        /// Id echoed on the acknowledgement.
+        id: u64,
+        /// The `CREATE TABLE` DDL defining the table's name and schema.
+        sql: String,
+        /// Partition layout of the new table's storage.
+        partitions: PartitionSpec,
+    },
     /// Clean shutdown: the server tears the connection down.  In-flight
     /// queries keep running server-side (their crowd work completes and is
     /// cached); only the notifications stop.
     Goodbye,
+}
+
+/// Encodes a [`PartitionSpec`] as a *versioned payload field*: the spec's
+/// own codec ([`encode_partition_spec`]) wrapped in a length prefix, so a
+/// decoder that does not understand the variant inside can still consume
+/// exactly the right number of bytes and keep the frame parseable.
+fn encode_spec_field(e: &mut Encoder, spec: &PartitionSpec) {
+    let mut sub = Encoder::new();
+    encode_partition_spec(&mut sub, spec);
+    let bytes = sub.into_bytes();
+    e.seq_len(bytes.len());
+    for byte in bytes {
+        e.u8(byte);
+    }
+}
+
+/// Decodes a [`PartitionSpec`] field written by [`encode_spec_field`].
+/// An unknown spec variant (a newer peer's layout) decodes as
+/// [`PartitionSpec::Single`] — the universally valid fallback — instead of
+/// failing the frame; the length prefix keeps the decoder aligned either
+/// way.
+fn decode_spec_field(d: &mut Decoder<'_>) -> Result<PartitionSpec> {
+    let len = d.seq_len()?;
+    let mut bytes = Vec::with_capacity(len);
+    for _ in 0..len {
+        bytes.push(d.u8()?);
+    }
+    let mut sub = Decoder::new(&bytes);
+    match decode_partition_spec(&mut sub) {
+        Ok(spec) if sub.is_exhausted() => Ok(spec),
+        _ => Ok(PartitionSpec::Single),
+    }
 }
 
 impl Request {
@@ -352,6 +403,16 @@ impl Request {
                 e.u8(6);
                 e.u64(*id);
             }
+            Request::CreateTable {
+                id,
+                sql,
+                partitions,
+            } => {
+                e.u8(7);
+                e.u64(*id);
+                e.str(sql);
+                encode_spec_field(&mut e, partitions);
+            }
         }
         e.into_bytes()
     }
@@ -388,6 +449,11 @@ impl Request {
             4 => Request::Stats { id: d.u64()? },
             5 => Request::Metrics { id: d.u64()? },
             6 => Request::Monitor { id: d.u64()? },
+            7 => Request::CreateTable {
+                id: d.u64()?,
+                sql: d.str()?,
+                partitions: decode_spec_field(&mut d)?,
+            },
             tag => return Err(protocol_err(format!("unknown request tag {tag}"))),
         };
         expect_exhausted(&d)?;
@@ -1407,6 +1473,23 @@ mod tests {
             Request::Stats { id: 13 },
             Request::Metrics { id: 14 },
             Request::Monitor { id: 15 },
+            Request::CreateTable {
+                id: 16,
+                sql: "CREATE TABLE things (item_id INTEGER, name TEXT)".into(),
+                partitions: PartitionSpec::Hash { n: 4 },
+            },
+            Request::CreateTable {
+                id: 17,
+                sql: "CREATE TABLE ranged (item_id INTEGER)".into(),
+                partitions: PartitionSpec::Range {
+                    bounds: vec![100, 2000],
+                },
+            },
+            Request::CreateTable {
+                id: 18,
+                sql: "CREATE TABLE plain (item_id INTEGER)".into(),
+                partitions: PartitionSpec::Single,
+            },
             Request::Goodbye,
         ];
         for request in requests {
@@ -1418,6 +1501,32 @@ mod tests {
         let mut payload = Request::Ping { id: 1 }.to_payload();
         payload.push(0);
         assert!(Request::from_payload(&payload).is_err());
+    }
+
+    #[test]
+    fn unknown_partition_spec_variant_falls_back_to_single() {
+        // Hand-build a CreateTable frame whose spec field carries a variant
+        // tag this build has never heard of.  The length prefix keeps the
+        // decoder aligned, so the frame still parses — as single-partition —
+        // instead of killing the connection.
+        let mut e = Encoder::new();
+        e.u8(7);
+        e.u64(42);
+        e.str("CREATE TABLE future (item_id INTEGER)");
+        e.seq_len(5); // spec field: 5 payload bytes
+        e.u8(250); // unknown spec variant tag
+        for byte in [1, 2, 3, 4] {
+            e.u8(byte); // opaque variant payload, skipped via the prefix
+        }
+        let decoded = Request::from_payload(&e.into_bytes()).unwrap();
+        assert_eq!(
+            decoded,
+            Request::CreateTable {
+                id: 42,
+                sql: "CREATE TABLE future (item_id INTEGER)".into(),
+                partitions: PartitionSpec::Single,
+            }
+        );
     }
 
     fn sample_rowset() -> RowSet {

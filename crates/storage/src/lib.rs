@@ -41,12 +41,13 @@ pub mod wal;
 
 pub use codec::{crc32, Decoder, Encoder};
 pub use manifest::{
-    read_manifest, scan_segments, segment_file_name, snapshot_file_name, write_manifest, Manifest,
-    ManifestEntry, MANIFEST_FILE, SNAP_DIR, WAL_DIR,
+    partition_segment_file_name, partition_snapshot_file_name, read_manifest, scan_segments,
+    segment_file_name, snapshot_file_name, write_manifest, Manifest, ManifestEntry, MANIFEST_FILE,
+    SNAP_DIR, WAL_DIR,
 };
 pub use records::{
-    CacheImage, CellMark, ColumnImage, JudgmentEntry, LedgerImage, MissingCause, SnapshotImage,
-    TableImage, WalRecord,
+    decode_partition_spec, encode_partition_spec, CacheImage, CellMark, ColumnImage, JudgmentEntry,
+    LedgerImage, MissingCause, SnapshotImage, TableImage, WalRecord,
 };
 pub use snapshot::{
     read_snapshot, read_snapshot_file, write_snapshot, write_snapshot_file, SNAPSHOT_FILE,

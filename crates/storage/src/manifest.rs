@@ -1,13 +1,21 @@
 //! The manifest: the root of a segmented (per-table) database directory.
 //!
-//! A sharded database splits its durable state by table:
+//! A sharded database splits its durable state by table, and optionally
+//! by partition *within* a table:
 //!
 //! ```text
 //! <dir>/
-//!   manifest.db        <- this file: the authoritative list of live tables
-//!   wal/<table>.log    <- one WAL segment per table (format: crate::wal)
-//!   snap/<table>.snap  <- one snapshot per table (format: crate::snapshot)
+//!   manifest.db          <- this file: the authoritative list of live tables
+//!   wal/<table>.log      <- one WAL segment per single-partition table
+//!   wal/<table>.p<k>.log <- one WAL segment per partition k of a
+//!                           partitioned table (format: crate::wal)
+//!   snap/<table>.snap    <- one snapshot per single-partition table
+//!   snap/<table>.p<k>.snap <- one snapshot per partition
 //! ```
+//!
+//! Single-partition tables use the suffix-free names, byte-identical to
+//! the pre-partitioning layout.  Sanitized stems never contain `.` (it is
+//! `%2e`-escaped), so `<stem>.p<k>` parses unambiguously.
 //!
 //! The manifest is the *routing root*: its presence is what marks a
 //! directory as segmented (recovery of a legacy single-file layout is
@@ -40,7 +48,10 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
+use relational::PartitionSpec;
+
 use crate::codec::{crc32, Decoder, Encoder};
+use crate::records::{decode_partition_spec, encode_partition_spec};
 use crate::{Result, StorageError};
 
 /// File name of the manifest inside a database directory.  Its presence
@@ -86,12 +97,27 @@ pub struct Manifest {
     pub crowd_rounds: u64,
     /// Live tables, sorted by name.
     pub entries: Vec<ManifestEntry>,
+    /// Partition specs of the partitioned tables, sorted by name —
+    /// encoded as a trailing section so a manifest with no partitioned
+    /// tables stays byte-identical to the pre-partitioning format.
+    /// Single-partition tables never appear here.
+    pub partitioned: Vec<(String, PartitionSpec)>,
 }
 
 impl Manifest {
     /// Looks up the entry for `table`.
     pub fn entry(&self, table: &str) -> Option<&ManifestEntry> {
         self.entries.iter().find(|e| e.table == table)
+    }
+
+    /// The partition spec of `table`: the recorded one for partitioned
+    /// tables, [`PartitionSpec::Single`] otherwise.
+    pub fn spec(&self, table: &str) -> PartitionSpec {
+        self.partitioned
+            .iter()
+            .find(|(name, _)| name == table)
+            .map(|(_, spec)| spec.clone())
+            .unwrap_or(PartitionSpec::Single)
     }
 
     fn encode(&self) -> Vec<u8> {
@@ -111,6 +137,16 @@ impl Manifest {
                     e.bool(true);
                     e.str(snap);
                 }
+            }
+        }
+        // The partitioned-tables section is appended only when non-empty:
+        // a purely single-partition database keeps the legacy manifest
+        // byte layout exactly.
+        if !self.partitioned.is_empty() {
+            e.seq_len(self.partitioned.len());
+            for (table, spec) in &self.partitioned {
+                e.str(table);
+                encode_partition_spec(&mut e, spec);
             }
         }
         e.into_bytes()
@@ -135,6 +171,18 @@ impl Manifest {
                 snapshot,
             });
         }
+        // Legacy manifests end here; newer ones may carry the trailing
+        // partitioned-tables section.
+        let mut partitioned = Vec::new();
+        if !d.is_exhausted() {
+            let n = d.seq_len()?;
+            partitioned.reserve(n);
+            for _ in 0..n {
+                let table = d.str()?;
+                let spec = decode_partition_spec(&mut d)?;
+                partitioned.push((table, spec));
+            }
+        }
         if !d.is_exhausted() {
             return Err(StorageError::Corrupt(
                 "trailing bytes after manifest".into(),
@@ -147,6 +195,7 @@ impl Manifest {
             cache_cost_saved,
             crowd_rounds,
             entries,
+            partitioned,
         })
     }
 }
@@ -255,26 +304,60 @@ pub fn desanitize_table_name(stem: &str) -> Option<String> {
     String::from_utf8(out).ok()
 }
 
-/// The segment file name (inside [`WAL_DIR`]) for `table`.
+/// The segment file name (inside [`WAL_DIR`]) for a single-partition
+/// `table`.
 pub fn segment_file_name(table: &str) -> String {
     format!("{}.log", sanitize_table_name(table))
 }
 
-/// The snapshot file name (inside [`SNAP_DIR`]) for `table`.
+/// The snapshot file name (inside [`SNAP_DIR`]) for a single-partition
+/// `table`.
 pub fn snapshot_file_name(table: &str) -> String {
     format!("{}.snap", sanitize_table_name(table))
 }
 
-/// Maps a segment file name back to its table, if it parses as one.
+/// The segment file name (inside [`WAL_DIR`]) for partition `k` of a
+/// partitioned `table`.  Sanitized stems never contain `.`, so the name
+/// parses back unambiguously.
+pub fn partition_segment_file_name(table: &str, k: usize) -> String {
+    format!("{}.p{k}.log", sanitize_table_name(table))
+}
+
+/// The snapshot file name (inside [`SNAP_DIR`]) for partition `k` of a
+/// partitioned `table`.
+pub fn partition_snapshot_file_name(table: &str, k: usize) -> String {
+    format!("{}.p{k}.snap", sanitize_table_name(table))
+}
+
+/// Splits a file stem into its table stem and partition index:
+/// `movies.p3` → `("movies", Some(3))`, `movies` → `("movies", None)`.
+fn split_partition_stem(stem: &str) -> (&str, Option<usize>) {
+    if let Some(dot) = stem.rfind('.') {
+        if let Some(digits) = stem[dot + 1..].strip_prefix('p') {
+            if !digits.is_empty() {
+                if let Ok(k) = digits.parse::<usize>() {
+                    return (&stem[..dot], Some(k));
+                }
+            }
+        }
+    }
+    (stem, None)
+}
+
+/// Maps a segment file name back to its table, if it parses as one
+/// (either layout — the partition index is dropped).
 pub fn table_of_segment_file(file_name: &str) -> Option<String> {
-    desanitize_table_name(file_name.strip_suffix(".log")?)
+    let (stem, _) = split_partition_stem(file_name.strip_suffix(".log")?);
+    desanitize_table_name(stem)
 }
 
 /// Lists every segment file currently present in `wal/`, as
-/// `(table, file name)` pairs sorted by table.  Files that do not parse as
-/// sanitized segment names are ignored (editor droppings, tmp files).
-/// Returns an empty list when the directory does not exist.
-pub fn scan_segments(dir: &Path) -> Result<Vec<(String, String)>> {
+/// `(table, partition, file name)` triples sorted by table then partition.
+/// `partition` is `None` for a single-partition (suffix-free) segment and
+/// `Some(k)` for partition `k` of a partitioned table.  Files that do not
+/// parse as sanitized segment names are ignored (editor droppings, tmp
+/// files).  Returns an empty list when the directory does not exist.
+pub fn scan_segments(dir: &Path) -> Result<Vec<(String, Option<usize>, String)>> {
     let wal = wal_dir(dir);
     let entries = match fs::read_dir(&wal) {
         Ok(entries) => entries,
@@ -288,8 +371,12 @@ pub fn scan_segments(dir: &Path) -> Result<Vec<(String, String)>> {
         let Some(file_name) = file_name.to_str() else {
             continue;
         };
-        if let Some(table) = table_of_segment_file(file_name) {
-            segments.push((table, file_name.to_string()));
+        let Some(stem) = file_name.strip_suffix(".log") else {
+            continue;
+        };
+        let (table_stem, partition) = split_partition_stem(stem);
+        if let Some(table) = desanitize_table_name(table_stem) {
+            segments.push((table, partition, file_name.to_string()));
         }
     }
     segments.sort();
@@ -328,6 +415,7 @@ mod tests {
                     snapshot: Some("movies.snap".into()),
                 },
             ],
+            partitioned: Vec::new(),
         }
     }
 
@@ -380,17 +468,60 @@ mod tests {
         std::fs::create_dir_all(&wal).unwrap();
         std::fs::write(wal.join(segment_file_name("movies")), b"").unwrap();
         std::fs::write(wal.join(segment_file_name("über")), b"").unwrap();
+        std::fs::write(wal.join(partition_segment_file_name("events", 2)), b"").unwrap();
+        std::fs::write(wal.join(partition_segment_file_name("events", 0)), b"").unwrap();
         std::fs::write(wal.join("README.txt"), b"").unwrap();
         std::fs::write(wal.join("Upper.log"), b"").unwrap();
         let segments = scan_segments(&dir).unwrap();
         assert_eq!(
             segments,
             vec![
-                ("movies".to_string(), "movies.log".to_string()),
-                ("über".to_string(), segment_file_name("über")),
+                ("events".to_string(), Some(0), "events.p0.log".to_string()),
+                ("events".to_string(), Some(2), "events.p2.log".to_string()),
+                ("movies".to_string(), None, "movies.log".to_string()),
+                ("über".to_string(), None, segment_file_name("über")),
             ]
         );
         assert!(scan_segments(&tmp_dir("scan-empty")).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partition_file_names_parse_back() {
+        assert_eq!(partition_segment_file_name("events", 3), "events.p3.log");
+        assert_eq!(partition_snapshot_file_name("events", 3), "events.p3.snap");
+        assert_eq!(
+            table_of_segment_file("events.p3.log").as_deref(),
+            Some("events")
+        );
+        // A table whose *name* contains a dot sanitizes it away, so the
+        // partition suffix can never collide with user data.
+        assert_eq!(sanitize_table_name("a.p3"), "a%2ep3");
+        assert_eq!(split_partition_stem("a%2ep3"), ("a%2ep3", None));
+    }
+
+    #[test]
+    fn manifest_partitioned_section_round_trips_and_stays_legacy_compatible() {
+        let dir = tmp_dir("partitioned");
+        // No partitioned tables: byte layout has no trailing section.
+        write_manifest(&dir, &sample()).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), Some(sample()));
+        // With partitioned tables the section round-trips.
+        let mut manifest = sample();
+        manifest.partitioned = vec![
+            ("events".to_string(), PartitionSpec::Hash { n: 4 }),
+            (
+                "readings".to_string(),
+                PartitionSpec::Range {
+                    bounds: vec![100, 200],
+                },
+            ),
+        ];
+        write_manifest(&dir, &manifest).unwrap();
+        let read = read_manifest(&dir).unwrap().unwrap();
+        assert_eq!(read, manifest);
+        assert_eq!(read.spec("events"), PartitionSpec::Hash { n: 4 });
+        assert_eq!(read.spec("movies"), PartitionSpec::Single);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -22,7 +22,7 @@
 //! crate does not depend on `crowddb_core`; the core converts to and from
 //! its richer types when logging and replaying.
 
-use relational::{Column, DataType, Schema, Table, Value};
+use relational::{Column, DataType, PartitionSpec, Schema, Table, Value};
 
 use crate::codec::{Decoder, Encoder};
 use crate::{Result, StorageError};
@@ -65,6 +65,45 @@ fn decode_value(d: &mut Decoder<'_>) -> Result<Value> {
         3 => Value::Text(d.str()?),
         4 => Value::Boolean(d.bool()?),
         tag => return Err(corrupt("value", tag)),
+    })
+}
+
+/// Encodes a [`PartitionSpec`] with one tag byte per variant — shared by
+/// the manifest's partitioned-tables section and the `MetaPartition` WAL
+/// record, so the two can never drift apart.
+pub fn encode_partition_spec(e: &mut Encoder, spec: &PartitionSpec) {
+    match spec {
+        PartitionSpec::Single => e.u8(0),
+        PartitionSpec::Hash { n } => {
+            e.u8(1);
+            e.u32(*n as u32);
+        }
+        PartitionSpec::Range { bounds } => {
+            e.u8(2);
+            e.seq_len(bounds.len());
+            for bound in bounds {
+                e.i64(*bound);
+            }
+        }
+    }
+}
+
+/// Decodes a [`PartitionSpec`] written by [`encode_partition_spec`].
+pub fn decode_partition_spec(d: &mut Decoder<'_>) -> Result<PartitionSpec> {
+    Ok(match d.u8()? {
+        0 => PartitionSpec::Single,
+        1 => PartitionSpec::Hash {
+            n: d.u32()? as usize,
+        },
+        2 => {
+            let n = d.seq_len()?;
+            let mut bounds = Vec::with_capacity(n);
+            for _ in 0..n {
+                bounds.push(d.i64()?);
+            }
+            PartitionSpec::Range { bounds }
+        }
+        tag => return Err(corrupt("partition spec", tag)),
     })
 }
 
@@ -423,13 +462,28 @@ pub enum WalRecord {
         /// The attribute concept key (lower-cased).
         attribute: String,
     },
-    /// The first record of every log: configuration the replayer depends
-    /// on.  Recovery rejects a directory whose recorded `id_column`
-    /// differs from the opening configuration — item-keyed records would
-    /// otherwise be routed through the wrong id → row mapping.
+    /// The first record of every single-partition log: configuration the
+    /// replayer depends on.  Recovery rejects a directory whose recorded
+    /// `id_column` differs from the opening configuration — item-keyed
+    /// records would otherwise be routed through the wrong id → row
+    /// mapping.
     Meta {
         /// The id-column name the writing database was configured with.
         id_column: String,
+    },
+    /// The first record of every *partitioned* segment: the
+    /// single-partition [`WalRecord::Meta`] stamp plus which partition of
+    /// which spec the segment belongs to, so replay can re-route a
+    /// multi-partition statement's rows to this segment's slice even when
+    /// the manifest has not recorded the table yet (a table created after
+    /// the last checkpoint).
+    MetaPartition {
+        /// The id-column name the writing database was configured with.
+        id_column: String,
+        /// The partition index this segment holds.
+        partition: u32,
+        /// The table's partitioning spec.
+        spec: PartitionSpec,
     },
 }
 
@@ -499,6 +553,16 @@ impl WalRecord {
                 e.u8(6);
                 e.str(id_column);
             }
+            WalRecord::MetaPartition {
+                id_column,
+                partition,
+                spec,
+            } => {
+                e.u8(7);
+                e.str(id_column);
+                e.u32(*partition);
+                encode_partition_spec(&mut e, spec);
+            }
         }
         e.into_bytes()
     }
@@ -547,6 +611,11 @@ impl WalRecord {
             },
             6 => WalRecord::Meta {
                 id_column: d.str()?,
+            },
+            7 => WalRecord::MetaPartition {
+                id_column: d.str()?,
+                partition: d.u32()?,
+                spec: decode_partition_spec(&mut d)?,
             },
             tag => return Err(corrupt("WAL record", tag)),
         };
@@ -815,6 +884,18 @@ mod tests {
             },
             WalRecord::Meta {
                 id_column: "item_id".into(),
+            },
+            WalRecord::MetaPartition {
+                id_column: "item_id".into(),
+                partition: 3,
+                spec: PartitionSpec::Hash { n: 4 },
+            },
+            WalRecord::MetaPartition {
+                id_column: "item_id".into(),
+                partition: 0,
+                spec: PartitionSpec::Range {
+                    bounds: vec![-5, 1000],
+                },
             },
         ];
         for record in records {

@@ -55,12 +55,13 @@ fn main() -> Result<(), CrowdDbError> {
         // segment and never queue behind the movie table's crowd work.
         db.execute("CREATE TABLE watchlist (item_id INTEGER, note TEXT)")?;
         db.execute("INSERT INTO watchlist (item_id, note) VALUES (1, 'seen'), (2, 'queued')")?;
+        let stats = db.storage_stats();
         println!(
-            "first life : {} rows, crowd cost ${:.2}, WAL {} bytes across {} segments",
+            "first life : {} rows, crowd cost ${:.2}, WAL {} bytes across {} tables",
             outcome.rows().map_or(0, |r| r.rows.len()),
             outcome.crowd_cost,
-            db.wal_bytes(),
-            db.wal_bytes_by_table().len(),
+            stats.wal_bytes_total(),
+            stats.tables.len(),
         );
         // The process "dies" here: no checkpoint, no explicit save.
     }

@@ -55,12 +55,13 @@ pub mod prelude {
         audit_binary_labels, build_space_for_domain, evaluate_boost_over_time,
         extract_binary_attribute, extract_numeric_attribute, repair_labels, Admission,
         AdmissionTicket, AttributeRequest, AuditOutcome, BoostCurve, CacheStats, CatalogRead,
-        CellProvenance, CheckpointReport, CrowdDb, CrowdDbBuilder, CrowdDbConfig, CrowdDbError,
-        CrowdSource, DegradeDirective, DegradeReason, ExpansionMode, ExpansionPlan,
-        ExpansionPolicy, ExpansionReport, ExpansionStrategy, ExtractionConfig, JudgmentCache,
-        Limiter, LimiterConfig, LimiterStats, MissingReason, OutstandingEstimate, QueryBuilder,
-        QueryEvent, QueryOutcome, QueryStream, RepairOutcome, RowSet, SchedulerStats, Session,
-        SimulatedCrowd, StatementResult, TableRef, TenantLimits,
+        CellProvenance, CheckpointOptions, CheckpointReport, CheckpointScope, CrowdDb,
+        CrowdDbBuilder, CrowdDbConfig, CrowdDbError, CrowdSource, DegradeDirective, DegradeReason,
+        ExpansionMode, ExpansionPlan, ExpansionPolicy, ExpansionReport, ExpansionStrategy,
+        ExtractionConfig, JudgmentCache, Limiter, LimiterConfig, LimiterStats, MissingReason,
+        OutstandingEstimate, PartitionSpec, PartitionStorage, QueryBuilder, QueryEvent,
+        QueryOutcome, QueryStream, RepairOutcome, RowSet, SchedulerStats, Session, SimulatedCrowd,
+        StatementResult, StorageStats, TableOptions, TableRef, TableStorage, TenantLimits,
     };
     pub use crowddb_server::{CrowdDbServer, ServerConfig, ServerStats};
     pub use crowdsim::{

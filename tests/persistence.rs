@@ -300,7 +300,7 @@ fn checkpoint_compacts_the_wal_and_preserves_state() {
         let (db, meter) = open_bound(&dir, &domain);
         db.query(QUERY).run().unwrap();
         assert_eq!(meter.calls(), 1);
-        let before = db.wal_bytes();
+        let before = db.storage_stats().wal_bytes_total();
         assert!(
             before > 1000,
             "committed work fills the log ({before} bytes)"
@@ -308,7 +308,7 @@ fn checkpoint_compacts_the_wal_and_preserves_state() {
         let report = db.checkpoint().unwrap();
         assert_eq!(report.tables_snapshotted, vec!["movies".to_string()]);
         assert!(report.bytes_reclaimed > 0);
-        let after = db.wal_bytes();
+        let after = db.storage_stats().wal_bytes_total();
         assert!(
             after <= 64,
             "checkpoint truncates to header + config stamp, got {after} bytes"

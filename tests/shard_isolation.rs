@@ -177,12 +177,19 @@ fn crash_mid_incremental_checkpoint_recovers_every_table() {
         }
         // Satellite check while both segments are hot: the aggregate is
         // exactly the sum of the per-table views.
-        let by_table = db.wal_bytes_by_table();
+        let stats = db.storage_stats();
         assert_eq!(
-            by_table.iter().map(|(t, _)| t.as_str()).collect::<Vec<_>>(),
+            stats
+                .tables
+                .iter()
+                .map(|t| t.table.as_str())
+                .collect::<Vec<_>>(),
             vec!["alpha", "beta"]
         );
-        assert_eq!(db.wal_bytes(), by_table.iter().map(|(_, b)| b).sum::<u64>());
+        assert_eq!(
+            stats.wal_bytes_total(),
+            stats.tables.iter().map(|t| t.wal_bytes()).sum::<u64>()
+        );
 
         // Second (incremental) checkpoint, then reconstruct the crash:
         // beta's snapshot was written but its segment reset never hit disk.
@@ -298,7 +305,12 @@ fn observe(dir: &PathBuf, domain: &SyntheticDomain, parallelism: usize) -> Recov
         movie_provenance: rows.provenance,
         note_rows,
         cache_entries: db.cache_stats().entries,
-        wal_bytes_by_table: db.wal_bytes_by_table(),
+        wal_bytes_by_table: db
+            .storage_stats()
+            .tables
+            .iter()
+            .map(|t| (t.table.clone(), t.wal_bytes()))
+            .collect(),
         crowd_rounds_dispatched: batch_calls.load(Ordering::SeqCst),
     }
 }
